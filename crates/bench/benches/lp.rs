@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks of the LP/MILP substrate: simplex scaling
+//! with problem size, and the branch-and-bound overhead on counting specs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use raven_lp::{Direction, LinExpr, LpProblem, Sense};
+
+/// A dense random-ish transportation-style LP with `n` variables and `n`
+/// constraints (deterministic coefficients).
+fn make_lp(n: usize) -> LpProblem {
+    let mut p = LpProblem::new();
+    let vars: Vec<_> = (0..n).map(|_| p.add_var(0.0, 10.0)).collect();
+    for i in 0..n {
+        let mut row = LinExpr::new();
+        for (j, &v) in vars.iter().enumerate() {
+            let c = (((i * 31 + j * 17 + 7) % 13) as f64 - 4.0) / 4.0;
+            if c != 0.0 {
+                row.push(c, v);
+            }
+        }
+        p.add_constraint(row, Sense::Le, 5.0 + (i % 7) as f64);
+    }
+    let obj: LinExpr = vars
+        .iter()
+        .enumerate()
+        .map(|(j, &v)| (v, 1.0 + ((j * 11) % 5) as f64 / 5.0))
+        .collect();
+    p.set_objective(Direction::Maximize, obj);
+    p
+}
+
+/// A 0/1 knapsack with `n` items.
+fn make_knapsack(n: usize) -> LpProblem {
+    let mut p = LpProblem::new();
+    let mut weight_row = LinExpr::new();
+    let mut obj = LinExpr::new();
+    for j in 0..n {
+        let v = p.add_binary_var();
+        weight_row.push(1.0 + ((j * 7) % 5) as f64, v);
+        obj.push(1.0 + ((j * 13) % 9) as f64, v);
+    }
+    p.add_constraint(weight_row, Sense::Le, n as f64);
+    p.set_objective(Direction::Maximize, obj);
+    p
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex");
+    for &n in &[20usize, 60, 120] {
+        let p = make_lp(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| p.solve().expect("lp solves"))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("milp-knapsack");
+    for &n in &[8usize, 12] {
+        let p = make_knapsack(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| p.solve_milp().expect("milp solves"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_lp
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benchmarks of end-to-end verification per method — the
+//! timing companion of table T5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use raven::{
+    verify_monotonicity, verify_uap, Method, MonotonicityProblem, RavenConfig, UapProblem,
+};
+use raven_bench::models::{credit_model, fc_model, uap_batches, Training};
+
+fn bench_verify(c: &mut Criterion) {
+    let model = fc_model("fc-small", Training::Standard);
+    let plan = model.net.to_plan();
+    let (inputs, labels) = uap_batches(&model, 3, 1).remove(0);
+    let problem = UapProblem {
+        plan,
+        inputs,
+        labels,
+        eps: 0.09,
+    };
+    let config = RavenConfig::default();
+    for method in Method::all() {
+        c.bench_function(&format!("uap/{method}/fc-small"), |b| {
+            b.iter(|| verify_uap(std::hint::black_box(&problem), method, &config))
+        });
+    }
+
+    let credit = credit_model();
+    let mono = MonotonicityProblem {
+        plan: credit.net.to_plan(),
+        center: credit.test.inputs[0].clone(),
+        eps: 0.01,
+        feature: 0,
+        tau: 0.1,
+        output_weights: vec![-1.0, 1.0],
+        increasing: true,
+    };
+    for method in [Method::DeepPolyIndividual, Method::Raven] {
+        c.bench_function(&format!("monotonicity/{method}/credit"), |b| {
+            b.iter(|| verify_monotonicity(std::hint::black_box(&mono), method, &config))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_verify
+}
+criterion_main!(benches);

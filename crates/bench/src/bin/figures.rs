@@ -1,0 +1,22 @@
+//! Regenerates the evaluation figures F1–F4 as CSV series.
+//!
+//! Usage: `cargo run -p raven-bench --release --bin figures -- [f1 f2 ...|all]`
+
+use raven_bench::figures::run;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let ids = if ids.is_empty() || ids.contains(&"all") {
+        vec!["f1", "f2", "f3", "f4", "f5", "f6"]
+    } else {
+        ids
+    };
+    for fig in run(&ids) {
+        println!("{}", fig.to_csv());
+    }
+}

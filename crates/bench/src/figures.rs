@@ -1,0 +1,363 @@
+//! Figure experiments F1–F4: series data printed as CSV, mirroring the
+//! paper's plots (precision vs ε, scaling with k, ablations, and the
+//! certified-vs-empirical sandwich).
+
+use crate::models::{fc_model, uap_batches, Training};
+use crate::report::Table;
+use raven::{verify_uap, Method, PairStrategy, RavenConfig, UapProblem};
+use raven_nn::attack;
+
+/// A figure: named columns of numeric series, rendered as CSV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure {
+    /// Figure id and caption.
+    pub title: String,
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl Figure {
+    /// Renders the figure as CSV with a `#` caption line.
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("# {}\n{}\n", self.title, self.columns.join(","));
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|v| format!("{v:.4}")).collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the figure as a markdown table (for `EXPERIMENTS.md`).
+    pub fn to_table(&self) -> Table {
+        let headers: Vec<&str> = self.columns.iter().map(String::as_str).collect();
+        let mut t = Table::new(self.title.clone(), &headers);
+        for row in &self.rows {
+            t.push_row(row.iter().map(|v| format!("{v:.3}")).collect());
+        }
+        t
+    }
+}
+
+fn avg_uap_accuracy(
+    model: &crate::models::BenchModel,
+    eps: f64,
+    k: usize,
+    batches: usize,
+    method: Method,
+    config: &RavenConfig,
+) -> (f64, f64) {
+    let plan = model.net.to_plan();
+    let groups = uap_batches(model, k, batches);
+    let mut acc = 0.0;
+    let mut millis = 0.0;
+    for (inputs, labels) in &groups {
+        let problem = UapProblem {
+            plan: plan.clone(),
+            inputs: inputs.clone(),
+            labels: labels.clone(),
+            eps,
+        };
+        let res = verify_uap(&problem, method, config);
+        acc += res.worst_case_accuracy;
+        millis += res.solve_millis;
+    }
+    let n = groups.len() as f64;
+    (acc / n, millis / n)
+}
+
+/// F1: certified worst-case UAP accuracy vs ε for all four methods.
+pub fn f1() -> Figure {
+    let model = fc_model("fc-med", Training::Standard);
+    let config = RavenConfig::default();
+    let mut rows = Vec::new();
+    for i in 1..=6 {
+        let eps = 0.02 * i as f64;
+        let mut row = vec![eps];
+        for method in Method::all() {
+            row.push(avg_uap_accuracy(&model, eps, 3, 1, method, &config).0);
+        }
+        rows.push(row);
+    }
+    Figure {
+        title: "F1: certified worst-case UAP accuracy vs eps (fc-med/std, k=3)".into(),
+        columns: vec![
+            "eps".into(),
+            "box".into(),
+            "zonotope".into(),
+            "deeppoly".into(),
+            "io-lp".into(),
+            "raven".into(),
+        ],
+        rows,
+    }
+}
+
+/// F2: precision and time as the number of executions k grows.
+pub fn f2() -> Figure {
+    let model = fc_model("fc-small", Training::Standard);
+    let config = RavenConfig::default();
+    let mut rows = Vec::new();
+    for k in 2..=5 {
+        let (io_acc, io_ms) = avg_uap_accuracy(&model, 0.1, k, 1, Method::IoLp, &config);
+        let (rv_acc, rv_ms) = avg_uap_accuracy(&model, 0.1, k, 1, Method::Raven, &config);
+        rows.push(vec![k as f64, io_acc, rv_acc, io_ms, rv_ms]);
+    }
+    Figure {
+        title: "F2: precision and time vs k (fc-small/std, eps=0.1)".into(),
+        columns: vec![
+            "k".into(),
+            "io-lp acc".into(),
+            "raven acc".into(),
+            "io-lp ms".into(),
+            "raven ms".into(),
+        ],
+        rows,
+    }
+}
+
+/// F3: ablation over the DiffPoly pair strategy and the spec solver.
+pub fn f3() -> Figure {
+    let model = fc_model("fc-small", Training::Standard);
+    let mut rows = Vec::new();
+    let strategies = [
+        (PairStrategy::None, 0.0),
+        (PairStrategy::Consecutive, 1.0),
+        (PairStrategy::AllPairs, 2.0),
+    ];
+    for (pairs, code) in strategies {
+        for (milp, milp_code) in [(false, 0.0), (true, 1.0)] {
+            let config = RavenConfig {
+                pairs,
+                spec_milp: milp,
+                ..RavenConfig::default()
+            };
+            let (acc, millis) = avg_uap_accuracy(&model, 0.1, 3, 1, Method::Raven, &config);
+            rows.push(vec![code, milp_code, acc, millis]);
+        }
+    }
+    Figure {
+        title: "F3: ablation — pair strategy (0=none,1=consecutive,2=all) x spec \
+                solver (0=lp,1=milp), fc-small/std, eps=0.1, k=3"
+            .into(),
+        columns: vec![
+            "pairs".into(),
+            "milp".into(),
+            "accuracy".into(),
+            "ms".into(),
+        ],
+        rows,
+    }
+}
+
+/// F4: certified lower bound vs UAP-attack upper bound.
+pub fn f4() -> Figure {
+    let model = fc_model("fc-small", Training::Standard);
+    let config = RavenConfig::default();
+    let plan = model.net.to_plan();
+    let (inputs, labels) = uap_batches(&model, 3, 1).remove(0);
+    let mut rows = Vec::new();
+    for i in 1..=6 {
+        let eps = 0.025 * i as f64;
+        let problem = UapProblem {
+            plan: plan.clone(),
+            inputs: inputs.clone(),
+            labels: labels.clone(),
+            eps,
+        };
+        let cert = verify_uap(&problem, Method::Raven, &config);
+        let atk = attack::uap(&model.net, &inputs, &labels, eps, 25, eps / 5.0);
+        rows.push(vec![eps, cert.worst_case_accuracy, atk.accuracy]);
+    }
+    Figure {
+        title: "F4: certified lower bound vs UAP-attack upper bound (fc-small/std, k=3)"
+            .into(),
+        columns: vec![
+            "eps".into(),
+            "raven certified".into(),
+            "attack upper".into(),
+        ],
+        rows,
+    }
+}
+
+/// F5: the direct measurement of difference tracking — the width of the
+/// certified output-difference interval under DiffPoly, relative to naively
+/// subtracting the two executions' DeepPoly bounds, as network depth grows.
+/// Ratios far below 1 are the paper's core "difference tracking is precise"
+/// claim.
+pub fn f5() -> Figure {
+    use raven_deeppoly::DeepPolyAnalysis;
+    use raven_diffpoly::DiffPolyAnalysis;
+    use raven_interval::{linf_ball, Interval};
+    use raven_nn::{ActKind, NetworkBuilder};
+    let mut rows = Vec::new();
+    for depth in 1..=5usize {
+        let mut b = NetworkBuilder::new(12);
+        for layer in 0..depth {
+            b = b
+                .dense(16, 300 + layer as u64)
+                .activation(ActKind::Relu);
+        }
+        let net = b.dense(4, 399).build();
+        let plan = net.to_plan();
+        let za: Vec<f64> = (0..12).map(|i| 0.4 + 0.02 * (i % 5) as f64).collect();
+        let zb: Vec<f64> = (0..12).map(|i| 0.45 + 0.015 * (i % 7) as f64).collect();
+        let eps = 0.05;
+        let dp_a = DeepPolyAnalysis::run(&plan, &linf_ball(&za, eps, f64::NEG_INFINITY, f64::INFINITY));
+        let dp_b = DeepPolyAnalysis::run(&plan, &linf_ball(&zb, eps, f64::NEG_INFINITY, f64::INFINITY));
+        let delta: Vec<Interval> = za
+            .iter()
+            .zip(&zb)
+            .map(|(&a, &b)| Interval::point(a - b))
+            .collect();
+        let diff = DiffPolyAnalysis::run(&plan, &dp_a, &dp_b, &delta);
+        let mut tracked = 0.0;
+        let mut naive = 0.0;
+        for (iv, (a, b)) in diff
+            .output()
+            .iter()
+            .zip(dp_a.output().iter().zip(dp_b.output()))
+        {
+            tracked += iv.width();
+            naive += (*a - *b).width();
+        }
+        rows.push(vec![depth as f64, tracked, naive, tracked / naive]);
+    }
+    Figure {
+        title: "F5: certified output-difference width — DiffPoly vs per-execution \
+                subtraction, by depth (shared eps=0.05 perturbation)"
+            .into(),
+        columns: vec![
+            "depth".into(),
+            "diffpoly width".into(),
+            "subtraction width".into(),
+            "ratio".into(),
+        ],
+        rows,
+    }
+}
+
+/// F6: the ℓ1-budget threat model — certified worst-case accuracy as the
+/// shared perturbation's ℓ1 budget grows, at a fixed per-pixel ℓ∞ cap.
+/// The LP methods encode the budget exactly; the box-shaped baselines
+/// cannot and stay at their ℓ∞ answer, so the curves showcase the
+/// expressiveness of LP-based relational verification over non-box input
+/// specifications.
+pub fn f6() -> Figure {
+    use raven::verify_uap_l1;
+    let model = fc_model("fc-small", Training::Standard);
+    let plan = model.net.to_plan();
+    let (inputs, labels) = uap_batches(&model, 3, 1).remove(0);
+    let eps = 0.12; // per-pixel cap where the plain ℓ∞ answer is weak
+    let config = RavenConfig::default();
+    let problem = UapProblem {
+        plan,
+        inputs,
+        labels,
+        eps,
+    };
+    let linf_only = verify_uap(&problem, Method::Raven, &config).worst_case_accuracy;
+    let mut rows = Vec::new();
+    for i in 0..=6 {
+        let budget = 0.3 * i as f64;
+        let deeppoly = verify_uap_l1(
+            &problem,
+            budget,
+            Method::DeepPolyIndividual,
+            &config,
+        )
+        .worst_case_accuracy;
+        let raven = verify_uap_l1(&problem, budget, Method::Raven, &config).worst_case_accuracy;
+        rows.push(vec![budget, deeppoly, raven, linf_only]);
+    }
+    Figure {
+        title: format!(
+            "F6: certified worst-case accuracy vs shared-perturbation l1 budget              (fc-small/std, k=3, per-pixel cap eps={eps})"
+        ),
+        columns: vec![
+            "l1 budget".into(),
+            "deeppoly (box relax)".into(),
+            "raven (exact l1)".into(),
+            "raven linf-only".into(),
+        ],
+        rows,
+    }
+}
+
+/// Runs the selected figures.
+///
+/// # Panics
+///
+/// Panics on an unknown figure id.
+pub fn run(ids: &[&str]) -> Vec<Figure> {
+    ids.iter()
+        .map(|&id| match id {
+            "f1" => f1(),
+            "f2" => f2(),
+            "f3" => f3(),
+            "f4" => f4(),
+            "f5" => f5(),
+            "f6" => f6(),
+            other => panic!("unknown figure {other:?} (expected f1..f6)"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f4_sandwich_holds() {
+        let fig = f4();
+        for row in &fig.rows {
+            assert!(
+                row[1] <= row[2] + 1e-9,
+                "certified bound {} exceeds attack upper bound {} at eps {}",
+                row[1],
+                row[2],
+                row[0]
+            );
+        }
+    }
+
+    #[test]
+    fn f5_difference_tracking_is_tighter() {
+        let fig = f5();
+        for row in &fig.rows {
+            assert!(row[3] <= 1.0 + 1e-9, "ratio above 1 at depth {}", row[0]);
+        }
+        // At depth ≥ 2 difference tracking must win clearly.
+        assert!(fig.rows.iter().any(|r| r[0] >= 2.0 && r[3] < 0.8));
+    }
+
+    #[test]
+    fn f6_l1_budget_is_monotone_and_dominates_linf() {
+        let fig = f6();
+        // Accuracy is non-increasing in the ℓ1 budget, and the exact-ℓ1
+        // answer is never worse than the ℓ∞-only answer.
+        for w in fig.rows.windows(2) {
+            assert!(w[0][2] >= w[1][2] - 1e-9, "raven column not monotone");
+        }
+        for row in &fig.rows {
+            assert!(row[2] >= row[3] - 1e-9, "l1 answer below linf-only");
+            assert!(row[2] >= row[1] - 1e-9, "raven below box-relaxed deeppoly");
+        }
+    }
+
+    #[test]
+    fn figure_csv_rendering() {
+        let fig = Figure {
+            title: "demo".into(),
+            columns: vec!["a".into(), "b".into()],
+            rows: vec![vec![1.0, 2.0]],
+        };
+        let csv = fig.to_csv();
+        assert!(csv.contains("# demo"));
+        assert!(csv.contains("a,b"));
+        assert!(csv.contains("1.0000,2.0000"));
+    }
+}

@@ -1,0 +1,19 @@
+//! Benchmark harness for the RaVeN reproduction.
+//!
+//! This crate regenerates every table and figure of the reconstructed
+//! evaluation (see `DESIGN.md` for the experiment index and `EXPERIMENTS.md`
+//! for recorded results):
+//!
+//! * `cargo run -p raven-bench --release --bin tables -- all` — T1–T5
+//! * `cargo run -p raven-bench --release --bin figures -- all` — F1–F4
+//! * `cargo bench -p raven-bench` — Criterion micro-benchmarks of the
+//!   domains and the LP solver.
+//!
+//! The model zoo ([`models`]) trains every benchmark network from scratch
+//! with fixed seeds, standing in for the paper's pretrained MNIST/CIFAR
+//! models; results are therefore deterministic on a given platform.
+
+pub mod figures;
+pub mod models;
+pub mod report;
+pub mod tables;

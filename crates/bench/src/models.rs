@@ -1,0 +1,318 @@
+//! The benchmark model zoo.
+//!
+//! Mirrors the paper's network/training grid: fully-connected ReLU networks
+//! of three sizes and a small convolutional network, each in a standard and
+//! a PGD-adversarially trained variant, plus a sigmoid network on the
+//! monotone tabular task. All models are trained in-process from fixed
+//! seeds (fast at these sizes) so the whole evaluation is self-contained.
+
+use raven_nn::data::{synth_credit, synth_digits, synth_rgb, CreditSpec, Dataset};
+use raven_nn::train::{train_classifier, AdvTrainConfig, TrainConfig};
+use raven_nn::{ActKind, Network, NetworkBuilder};
+use std::sync::OnceLock;
+
+/// Training regime for a benchmark network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Training {
+    /// Plain SGD (accurate but fragile — large unstable-neuron counts).
+    Standard,
+    /// PGD adversarial training (the paper's robust-training stand-in).
+    Pgd,
+}
+
+impl Training {
+    /// Short name used in table rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            Training::Standard => "std",
+            Training::Pgd => "pgd",
+        }
+    }
+}
+
+/// A trained benchmark network together with its evaluation data.
+#[derive(Debug, Clone)]
+pub struct BenchModel {
+    /// Identifier used in tables (e.g. `fc-med/pgd`).
+    pub name: String,
+    /// The trained network.
+    pub net: Network,
+    /// Held-out test set drawn from the same distribution.
+    pub test: Dataset,
+    /// Training-set accuracy reached.
+    pub train_accuracy: f64,
+}
+
+fn train_on(
+    mut net: Network,
+    ds: &Dataset,
+    training: Training,
+    epochs: usize,
+    seed: u64,
+) -> (Network, f64) {
+    let adversarial = match training {
+        Training::Standard => None,
+        Training::Pgd => Some(AdvTrainConfig {
+            eps: 0.06,
+            steps: 4,
+            step_size: 0.025,
+            adv_fraction: 0.5,
+        }),
+    };
+    let report = train_classifier(
+        &mut net,
+        ds,
+        &TrainConfig {
+            epochs,
+            lr: 0.4,
+            momentum: 0.0,
+            batch_size: 8,
+            seed,
+            adversarial,
+        },
+    );
+    (net, report.final_accuracy)
+}
+
+/// The digit-classification dataset used by the FC benchmarks (6×6
+/// grayscale, 4 classes).
+pub fn digits_dataset() -> &'static Dataset {
+    static DS: OnceLock<Dataset> = OnceLock::new();
+    DS.get_or_init(|| synth_digits(6, 4, 280, 0.15, 42))
+}
+
+/// The RGB dataset used by the conv benchmark (3×4×4, 4 classes).
+pub fn rgb_dataset() -> &'static Dataset {
+    static DS: OnceLock<Dataset> = OnceLock::new();
+    DS.get_or_init(|| synth_rgb(4, 4, 240, 0.07, 43))
+}
+
+/// The monotone tabular dataset plus its ground-truth monotone features.
+pub fn credit_dataset() -> &'static (Dataset, CreditSpec) {
+    static DS: OnceLock<(Dataset, CreditSpec)> = OnceLock::new();
+    DS.get_or_init(|| synth_credit(300, 0.05, 44))
+}
+
+/// Architecture names available from [`fc_model`].
+pub const FC_SIZES: [&str; 3] = ["fc-small", "fc-med", "fc-big"];
+
+fn fc_architecture(size: &str, input_dim: usize, classes: usize) -> Network {
+    let b = NetworkBuilder::new(input_dim);
+    match size {
+        "fc-small" => b
+            .dense(24, 101)
+            .activation(ActKind::Relu)
+            .dense(24, 102)
+            .activation(ActKind::Relu)
+            .dense(classes, 103)
+            .build(),
+        "fc-med" => b
+            .dense(32, 111)
+            .activation(ActKind::Relu)
+            .dense(32, 112)
+            .activation(ActKind::Relu)
+            .dense(32, 113)
+            .activation(ActKind::Relu)
+            .dense(classes, 114)
+            .build(),
+        "fc-big" => b
+            .dense(32, 121)
+            .activation(ActKind::Relu)
+            .dense(32, 122)
+            .activation(ActKind::Relu)
+            .dense(32, 123)
+            .activation(ActKind::Relu)
+            .dense(32, 124)
+            .activation(ActKind::Relu)
+            .dense(classes, 125)
+            .build(),
+        other => panic!("unknown fc size {other:?}"),
+    }
+}
+
+/// Trains (and caches) a fully-connected benchmark model.
+///
+/// # Panics
+///
+/// Panics on an unknown size name.
+pub fn fc_model(size: &str, training: Training) -> BenchModel {
+    static CACHE: OnceLock<std::sync::Mutex<std::collections::HashMap<String, BenchModel>>> =
+        OnceLock::new();
+    let key = format!("{size}/{}", training.name());
+    let cache = CACHE.get_or_init(Default::default);
+    if let Some(m) = cache.lock().expect("model cache lock").get(&key) {
+        return m.clone();
+    }
+    let ds = digits_dataset();
+    let (train, test) = ds.split(0.2);
+    let net = fc_architecture(size, ds.input_dim, ds.num_classes);
+    let epochs = match training {
+        Training::Standard => 35,
+        Training::Pgd => 30,
+    };
+    let (net, acc) = train_on(net, &train, training, epochs, 7);
+    let model = BenchModel {
+        name: key.clone(),
+        net,
+        test,
+        train_accuracy: acc,
+    };
+    cache
+        .lock()
+        .expect("model cache lock")
+        .insert(key, model.clone());
+    model
+}
+
+/// Trains (and caches) the convolutional benchmark model.
+pub fn conv_model(training: Training) -> BenchModel {
+    static CACHE: OnceLock<std::sync::Mutex<std::collections::HashMap<String, BenchModel>>> =
+        OnceLock::new();
+    let key = format!("conv-small/{}", training.name());
+    let cache = CACHE.get_or_init(Default::default);
+    if let Some(m) = cache.lock().expect("model cache lock").get(&key) {
+        return m.clone();
+    }
+    let ds = rgb_dataset();
+    let (train, test) = ds.split(0.2);
+    let net = NetworkBuilder::new(ds.input_dim)
+        .conv(3, 4, 4, 4, 3, 3, 1, 1, 131)
+        .activation(ActKind::Relu)
+        .dense(24, 132)
+        .activation(ActKind::Relu)
+        .dense(ds.num_classes, 133)
+        .build();
+    let (net, acc) = train_on(net, &train, training, 30, 8);
+    let model = BenchModel {
+        name: key.clone(),
+        net,
+        test,
+        train_accuracy: acc,
+    };
+    cache
+        .lock()
+        .expect("model cache lock")
+        .insert(key, model.clone());
+    model
+}
+
+/// Trains (and caches) the sigmoid network for the monotonicity benchmark.
+pub fn credit_model() -> BenchModel {
+    static CACHE: OnceLock<BenchModel> = OnceLock::new();
+    CACHE
+        .get_or_init(|| {
+            let (ds, _) = credit_dataset();
+            let (train, test) = ds.split(0.2);
+            let net = NetworkBuilder::new(ds.input_dim)
+                .dense(12, 141)
+                .activation(ActKind::Sigmoid)
+                .dense(12, 142)
+                .activation(ActKind::Sigmoid)
+                .dense(2, 143)
+                .build();
+            let (net, acc) = train_on(net, &train, Training::Standard, 60, 9);
+            BenchModel {
+                name: "credit-sigmoid".into(),
+                net,
+                test,
+                train_accuracy: acc,
+            }
+        })
+        .clone()
+}
+
+/// Trains (and caches) an fc-small-shaped model with the given activation
+/// (the T6 activation-generality sweep).
+pub fn act_model(kind: ActKind) -> BenchModel {
+    static CACHE: OnceLock<std::sync::Mutex<std::collections::HashMap<String, BenchModel>>> =
+        OnceLock::new();
+    let key = format!("fc-small-{}", kind.name());
+    let cache = CACHE.get_or_init(Default::default);
+    if let Some(m) = cache.lock().expect("model cache lock").get(&key) {
+        return m.clone();
+    }
+    let ds = digits_dataset();
+    let (train, test) = ds.split(0.2);
+    let net = NetworkBuilder::new(ds.input_dim)
+        .dense(24, 151)
+        .activation(kind)
+        .dense(24, 152)
+        .activation(kind)
+        .dense(ds.num_classes, 153)
+        .build();
+    let (net, acc) = train_on(net, &train, Training::Standard, 40, 10);
+    let model = BenchModel {
+        name: key.clone(),
+        net,
+        test,
+        train_accuracy: acc,
+    };
+    cache
+        .lock()
+        .expect("model cache lock")
+        .insert(key, model.clone());
+    model
+}
+
+/// Draws `count` batches of `k` correctly-classified test inputs for UAP
+/// verification, in deterministic order.
+pub fn uap_batches(model: &BenchModel, k: usize, count: usize) -> Vec<(Vec<Vec<f64>>, Vec<usize>)> {
+    let mut batches = Vec::new();
+    let mut cur_inputs = Vec::new();
+    let mut cur_labels = Vec::new();
+    for (x, &y) in model.test.inputs.iter().zip(&model.test.labels) {
+        if model.net.classify(x) != y {
+            continue;
+        }
+        cur_inputs.push(x.clone());
+        cur_labels.push(y);
+        if cur_inputs.len() == k {
+            batches.push((
+                std::mem::take(&mut cur_inputs),
+                std::mem::take(&mut cur_labels),
+            ));
+            if batches.len() == count {
+                break;
+            }
+        }
+    }
+    batches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fc_small_trains_to_usable_accuracy() {
+        let m = fc_model("fc-small", Training::Standard);
+        assert!(m.train_accuracy > 0.9, "accuracy {}", m.train_accuracy);
+        assert_eq!(m.net.input_dim(), 36);
+    }
+
+    #[test]
+    fn model_cache_returns_identical_networks() {
+        let a = fc_model("fc-small", Training::Standard);
+        let b = fc_model("fc-small", Training::Standard);
+        assert_eq!(a.net, b.net);
+    }
+
+    #[test]
+    fn uap_batches_are_correctly_classified() {
+        let m = fc_model("fc-small", Training::Standard);
+        let batches = uap_batches(&m, 3, 2);
+        assert_eq!(batches.len(), 2);
+        for (inputs, labels) in &batches {
+            assert_eq!(inputs.len(), 3);
+            for (x, &y) in inputs.iter().zip(labels) {
+                assert_eq!(m.net.classify(x), y);
+            }
+        }
+    }
+
+    #[test]
+    fn credit_model_learns_the_task() {
+        let m = credit_model();
+        assert!(m.train_accuracy > 0.8, "accuracy {}", m.train_accuracy);
+    }
+}

@@ -1,0 +1,443 @@
+//! `raven_cli` — command-line front-end for the RaVeN verifier.
+//!
+//! ```text
+//! raven_cli info       --model net.txt
+//! raven_cli train-demo --out net.txt --inputs batch.txt
+//! raven_cli verify-uap --model net.txt --inputs batch.txt --eps 0.05
+//!                      [--method box|deeppoly|io-lp|raven] [--pairs none|consecutive|all]
+//! raven_cli verify-mono --model net.txt --center 0.5,0.5,... --feature 0
+//!                       --tau 0.1 [--eps 0.01] [--decreasing]
+//! raven_cli export-lp  --model net.txt --inputs batch.txt --eps 0.05 --out problem.lp
+//! ```
+//!
+//! The batch file holds one example per line: the label followed by the
+//! input coordinates, whitespace-separated. `#` starts a comment.
+
+use raven::{
+    verify_monotonicity, verify_uap, Method, MonotonicityProblem, PairStrategy, RavenConfig,
+    UapProblem,
+};
+use raven_nn::{load_network, save_network};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  raven_cli info        --model <net.txt>
+  raven_cli train-demo  --out <net.txt> --inputs <batch.txt>
+  raven_cli verify-uap  --model <net.txt> --inputs <batch.txt> --eps <f>
+                        [--method box|deeppoly|io-lp|raven] [--pairs none|consecutive|all]
+  raven_cli verify-mono --model <net.txt> --center <v,v,...> --feature <i>
+                        --tau <f> [--eps <f>] [--decreasing] [--method ...]
+  raven_cli export-lp   --model <net.txt> --inputs <batch.txt> --eps <f> --out <file.lp>";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err("missing command".into());
+    };
+    let opts = parse_flags(rest)?;
+    match command.as_str() {
+        "info" => cmd_info(&opts),
+        "train-demo" => cmd_train_demo(&opts),
+        "verify-uap" => cmd_verify_uap(&opts),
+        "verify-mono" => cmd_verify_mono(&opts),
+        "export-lp" => cmd_export_lp(&opts),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// Parsed `--flag value` pairs (flags without values are stored as "true").
+#[derive(Debug, Default)]
+struct Flags {
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing --{name}"))
+    }
+
+    fn get_f64(&self, name: &str) -> Result<Option<f64>, String> {
+        self.get(name)
+            .map(|v| v.parse::<f64>().map_err(|e| format!("--{name}: {e}")))
+            .transpose()
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags::default();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected argument {arg:?}"));
+        };
+        let value = match it.peek() {
+            Some(v) if !v.starts_with("--") => it.next().expect("peeked").clone(),
+            _ => "true".to_string(),
+        };
+        flags.pairs.push((name.to_string(), value));
+    }
+    Ok(flags)
+}
+
+fn parse_method(flags: &Flags) -> Result<Method, String> {
+    match flags.get("method").unwrap_or("raven") {
+        "box" => Ok(Method::Box),
+        "zonotope" => Ok(Method::ZonotopeIndividual),
+        "deeppoly" => Ok(Method::DeepPolyIndividual),
+        "io-lp" => Ok(Method::IoLp),
+        "raven" => Ok(Method::Raven),
+        other => Err(format!("unknown method {other:?}")),
+    }
+}
+
+fn parse_config(flags: &Flags) -> Result<RavenConfig, String> {
+    let pairs = match flags.get("pairs").unwrap_or("consecutive") {
+        "none" => PairStrategy::None,
+        "consecutive" => PairStrategy::Consecutive,
+        "all" => PairStrategy::AllPairs,
+        other => return Err(format!("unknown pair strategy {other:?}")),
+    };
+    Ok(RavenConfig {
+        pairs,
+        spec_milp: !flags.has("lp-only"),
+        ..RavenConfig::default()
+    })
+}
+
+/// Parses a batch file: `label v1 v2 ...` per line, `#` comments.
+fn parse_batch(text: &str, input_dim: usize) -> Result<(Vec<Vec<f64>>, Vec<usize>), String> {
+    let mut inputs = Vec::new();
+    let mut labels = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let label: usize = parts
+            .next()
+            .expect("non-empty line")
+            .parse()
+            .map_err(|e| format!("line {}: bad label: {e}", ln + 1))?;
+        let coords: Result<Vec<f64>, _> = parts.map(str::parse::<f64>).collect();
+        let coords = coords.map_err(|e| format!("line {}: bad value: {e}", ln + 1))?;
+        if coords.len() != input_dim {
+            return Err(format!(
+                "line {}: expected {input_dim} coordinates, found {}",
+                ln + 1,
+                coords.len()
+            ));
+        }
+        labels.push(label);
+        inputs.push(coords);
+    }
+    if inputs.is_empty() {
+        return Err("batch file contains no examples".into());
+    }
+    Ok((inputs, labels))
+}
+
+fn parse_vector(text: &str) -> Result<Vec<f64>, String> {
+    text.split(',')
+        .map(|t| t.trim().parse::<f64>().map_err(|e| e.to_string()))
+        .collect()
+}
+
+fn cmd_info(flags: &Flags) -> Result<(), String> {
+    let model = flags.require("model")?;
+    let net = load_network(Path::new(model)).map_err(|e| e.to_string())?;
+    println!("model: {model}");
+    println!("input dim : {}", net.input_dim());
+    println!("output dim: {}", net.output_dim());
+    println!("parameters: {}", net.num_params());
+    println!("widths    : {:?}", net.widths());
+    let plan = net.to_plan();
+    println!(
+        "analysis plan: {} steps ({} activation layers)",
+        plan.steps().len(),
+        plan.activation_steps().len()
+    );
+    Ok(())
+}
+
+fn cmd_train_demo(flags: &Flags) -> Result<(), String> {
+    use raven_nn::data::synth_digits;
+    use raven_nn::train::{train_classifier, TrainConfig};
+    use raven_nn::{ActKind, NetworkBuilder};
+    let out = flags.require("out")?;
+    let inputs_path = flags.require("inputs")?;
+    let ds = synth_digits(6, 4, 280, 0.15, 42);
+    let (train, test) = ds.split(0.2);
+    let mut net = NetworkBuilder::new(train.input_dim)
+        .dense(24, 101)
+        .activation(ActKind::Relu)
+        .dense(24, 102)
+        .activation(ActKind::Relu)
+        .dense(train.num_classes, 103)
+        .build();
+    let report = train_classifier(
+        &mut net,
+        &train,
+        &TrainConfig {
+            epochs: 35,
+            lr: 0.4,
+            momentum: 0.0,
+            batch_size: 8,
+            seed: 7,
+            adversarial: None,
+        },
+    );
+    save_network(&net, Path::new(out)).map_err(|e| e.to_string())?;
+    // Emit a batch of correctly classified test inputs.
+    let mut batch = String::from("# label v1 v2 ... (correctly classified test inputs)\n");
+    let mut count = 0;
+    for (x, &y) in test.inputs.iter().zip(&test.labels) {
+        if net.classify(x) == y {
+            batch.push_str(&format!("{y}"));
+            for v in x {
+                batch.push_str(&format!(" {v}"));
+            }
+            batch.push('\n');
+            count += 1;
+            if count == 6 {
+                break;
+            }
+        }
+    }
+    std::fs::write(inputs_path, batch).map_err(|e| e.to_string())?;
+    println!(
+        "trained demo model (train accuracy {:.1}%) -> {out}; {count} inputs -> {inputs_path}",
+        100.0 * report.final_accuracy
+    );
+    Ok(())
+}
+
+fn cmd_verify_uap(flags: &Flags) -> Result<(), String> {
+    let model = flags.require("model")?;
+    let net = load_network(Path::new(model)).map_err(|e| e.to_string())?;
+    let batch_text = std::fs::read_to_string(flags.require("inputs")?).map_err(|e| e.to_string())?;
+    let (inputs, labels) = parse_batch(&batch_text, net.input_dim())?;
+    let eps = flags
+        .get_f64("eps")?
+        .ok_or_else(|| "missing --eps".to_string())?;
+    let method = parse_method(flags)?;
+    let config = parse_config(flags)?;
+    let problem = UapProblem {
+        plan: net.to_plan(),
+        inputs,
+        labels,
+        eps,
+    };
+    let res = verify_uap(&problem, method, &config);
+    println!("method                 : {}", res.method);
+    println!("k (executions)         : {}", problem.k());
+    println!("eps                    : {eps}");
+    println!(
+        "worst-case accuracy    : >= {:.2}% ({})",
+        100.0 * res.worst_case_accuracy,
+        if res.exact { "exact spec" } else { "LP relaxation" }
+    );
+    println!("worst-case hamming     : <= {:.3}", res.worst_case_hamming);
+    println!(
+        "individually verified  : {}/{}",
+        res.individually_verified,
+        problem.k()
+    );
+    println!(
+        "lp size                : {} rows x {} vars",
+        res.lp_rows, res.lp_vars
+    );
+    println!("time                   : {:.1} ms", res.solve_millis);
+    Ok(())
+}
+
+fn cmd_verify_mono(flags: &Flags) -> Result<(), String> {
+    let model = flags.require("model")?;
+    let net = load_network(Path::new(model)).map_err(|e| e.to_string())?;
+    let center = parse_vector(flags.require("center")?)?;
+    if center.len() != net.input_dim() {
+        return Err(format!(
+            "--center has {} values; model expects {}",
+            center.len(),
+            net.input_dim()
+        ));
+    }
+    let feature: usize = flags
+        .require("feature")?
+        .parse()
+        .map_err(|e| format!("--feature: {e}"))?;
+    let tau = flags
+        .get_f64("tau")?
+        .ok_or_else(|| "missing --tau".to_string())?;
+    let eps = flags.get_f64("eps")?.unwrap_or(0.01);
+    let method = parse_method(flags)?;
+    let config = parse_config(flags)?;
+    let out_dim = net.output_dim();
+    // Default score: last logit minus first (binary classifiers).
+    let mut weights = vec![0.0; out_dim];
+    weights[0] = -1.0;
+    weights[out_dim - 1] = 1.0;
+    let problem = MonotonicityProblem {
+        plan: net.to_plan(),
+        center,
+        eps,
+        feature,
+        tau,
+        output_weights: weights,
+        increasing: !flags.has("decreasing"),
+    };
+    let res = verify_monotonicity(&problem, method, &config);
+    println!("method           : {}", res.method);
+    println!(
+        "property         : score {} in feature x{feature} (tau = {tau}, eps = {eps})",
+        if problem.increasing {
+            "non-decreasing"
+        } else {
+            "non-increasing"
+        }
+    );
+    println!("certified change : {:.6}", res.certified_change);
+    println!(
+        "verdict          : {}",
+        if res.verified { "VERIFIED" } else { "not verified" }
+    );
+    println!("time             : {:.1} ms", res.solve_millis);
+    Ok(())
+}
+
+/// Builds the RaVeN relational encoding for a batch and writes it in CPLEX
+/// LP format, for inspection or cross-checking with an external solver.
+fn cmd_export_lp(flags: &Flags) -> Result<(), String> {
+    use raven::relational::RelationalProblem;
+    let model = flags.require("model")?;
+    let net = load_network(Path::new(model)).map_err(|e| e.to_string())?;
+    let batch_text =
+        std::fs::read_to_string(flags.require("inputs")?).map_err(|e| e.to_string())?;
+    let (inputs, _) = parse_batch(&batch_text, net.input_dim())?;
+    let eps = flags
+        .get_f64("eps")?
+        .ok_or_else(|| "missing --eps".to_string())?;
+    let out = flags.require("out")?;
+    // Build through the generic relational API, then export.
+    let plan = net.to_plan();
+    let mut problem = RelationalProblem::new(
+        plan,
+        vec![raven_interval::Interval::symmetric(eps); net.input_dim()],
+    );
+    for z in &inputs {
+        problem.add_perturbed_execution(z);
+    }
+    let text = raven::relational::export_lp(&problem, &raven::RavenConfig::default());
+    std::fs::write(out, text).map_err(|e| e.to_string())?;
+    println!(
+        "wrote relational LP ({} executions, eps {eps}) to {out}",
+        inputs.len()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_parse_values_and_booleans() {
+        let args: Vec<String> = ["--model", "m.txt", "--decreasing", "--eps", "0.1"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = parse_flags(&args).unwrap();
+        assert_eq!(f.get("model"), Some("m.txt"));
+        assert!(f.has("decreasing"));
+        assert_eq!(f.get_f64("eps").unwrap(), Some(0.1));
+        assert!(f.get("nope").is_none());
+        assert!(f.require("nope").is_err());
+    }
+
+    #[test]
+    fn flags_reject_positional_arguments() {
+        let args = vec!["oops".to_string()];
+        assert!(parse_flags(&args).is_err());
+    }
+
+    #[test]
+    fn batch_parsing_validates_shape() {
+        let good = "# comment\n1 0.1 0.2\n0 0.3 0.4\n";
+        let (inputs, labels) = parse_batch(good, 2).unwrap();
+        assert_eq!(inputs.len(), 2);
+        assert_eq!(labels, vec![1, 0]);
+        assert!(parse_batch("1 0.1\n", 2).is_err());
+        assert!(parse_batch("x 0.1 0.2\n", 2).is_err());
+        assert!(parse_batch("", 2).is_err());
+    }
+
+    #[test]
+    fn vector_parsing() {
+        assert_eq!(parse_vector("0.5, 1.0,2").unwrap(), vec![0.5, 1.0, 2.0]);
+        assert!(parse_vector("a,b").is_err());
+    }
+
+    #[test]
+    fn method_and_config_parsing() {
+        let f = parse_flags(&["--method".to_string(), "box".to_string()]).unwrap();
+        assert_eq!(parse_method(&f).unwrap(), Method::Box);
+        let f = parse_flags(&["--pairs".to_string(), "all".to_string()]).unwrap();
+        assert_eq!(parse_config(&f).unwrap().pairs, PairStrategy::AllPairs);
+        let f = parse_flags(&["--method".to_string(), "magic".to_string()]).unwrap();
+        assert!(parse_method(&f).is_err());
+    }
+
+    #[test]
+    fn end_to_end_train_and_verify_via_tempdir() {
+        let dir = std::env::temp_dir().join("raven_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = dir.join("demo.net");
+        let batch = dir.join("batch.txt");
+        let flags = parse_flags(&[
+            "--out".to_string(),
+            model.to_string_lossy().into_owned(),
+            "--inputs".to_string(),
+            batch.to_string_lossy().into_owned(),
+        ])
+        .unwrap();
+        cmd_train_demo(&flags).expect("train-demo succeeds");
+        let flags = parse_flags(&[
+            "--model".to_string(),
+            model.to_string_lossy().into_owned(),
+            "--inputs".to_string(),
+            batch.to_string_lossy().into_owned(),
+            "--eps".to_string(),
+            "0.02".to_string(),
+            "--method".to_string(),
+            "deeppoly".to_string(),
+        ])
+        .unwrap();
+        cmd_verify_uap(&flags).expect("verify-uap succeeds");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

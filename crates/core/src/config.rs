@@ -1,0 +1,134 @@
+use raven_lp::{MilpOptions, SimplexOptions};
+
+/// Which verifier to run — the four methods compared throughout the paper's
+/// evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Per-execution interval analysis, union-bound aggregation (weakest).
+    Box,
+    /// Per-execution zonotope (DeepZ) analysis, union-bound aggregation.
+    /// Guaranteed at least as precise as `Box`; incomparable with
+    /// `DeepPolyIndividual` in theory (usually weaker in practice).
+    ZonotopeIndividual,
+    /// Per-execution DeepPoly with proper margin back-substitution,
+    /// union-bound aggregation — the strongest *non-relational* baseline.
+    DeepPolyIndividual,
+    /// The "I/O formulation" baseline: DeepPoly's symbolic input-level
+    /// margin bounds per execution, coupled only through the shared
+    /// perturbation — no per-layer variables and no difference tracking.
+    /// (For monotonicity this is the layerwise joint LP without difference
+    /// variables.)
+    IoLp,
+    /// The full verifier: `IoLp` plus DiffPoly cross-execution constraints.
+    Raven,
+}
+
+impl Method {
+    /// All methods, roughly ordered by precision. The provable chains are
+    /// `Box ≤ ZonotopeIndividual` and
+    /// `Box ≤ DeepPolyIndividual ≤ IoLp ≤ Raven`; zonotope and DeepPoly are
+    /// incomparable in theory.
+    pub fn all() -> [Method; 5] {
+        [
+            Method::Box,
+            Method::ZonotopeIndividual,
+            Method::DeepPolyIndividual,
+            Method::IoLp,
+            Method::Raven,
+        ]
+    }
+
+    /// Short display name used in benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Box => "box",
+            Method::ZonotopeIndividual => "zonotope",
+            Method::DeepPolyIndividual => "deeppoly",
+            Method::IoLp => "io-lp",
+            Method::Raven => "raven",
+        }
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which execution pairs receive DiffPoly difference tracking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PairStrategy {
+    /// No pairs (degenerates RaVeN to the I/O formulation).
+    None,
+    /// Consecutive pairs `(0,1), (1,2), …` — the scalable default.
+    #[default]
+    Consecutive,
+    /// All `k·(k−1)/2` pairs — most precise, costliest.
+    AllPairs,
+}
+
+impl PairStrategy {
+    /// The execution index pairs tracked under this strategy.
+    pub fn pairs(self, k: usize) -> Vec<(usize, usize)> {
+        match self {
+            PairStrategy::None => Vec::new(),
+            PairStrategy::Consecutive => (1..k).map(|i| (i - 1, i)).collect(),
+            PairStrategy::AllPairs => {
+                let mut v = Vec::new();
+                for i in 0..k {
+                    for j in i + 1..k {
+                        v.push((i, j));
+                    }
+                }
+                v
+            }
+        }
+    }
+}
+
+/// Tunable parameters of the RaVeN verifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RavenConfig {
+    /// Difference-tracking pair selection.
+    pub pairs: PairStrategy,
+    /// Solve the counting spec as a MILP (exact over the indicator
+    /// variables); when `false`, or when the node limit is hit, the LP
+    /// relaxation is used — still sound, possibly fractional.
+    pub spec_milp: bool,
+    /// Options for the MILP search.
+    pub milp: MilpOptions,
+    /// Options for pure-LP solves.
+    pub simplex: SimplexOptions,
+}
+
+impl Default for RavenConfig {
+    fn default() -> Self {
+        Self {
+            pairs: PairStrategy::Consecutive,
+            spec_milp: true,
+            milp: MilpOptions::default(),
+            simplex: SimplexOptions::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_strategies_enumerate_correctly() {
+        assert!(PairStrategy::None.pairs(4).is_empty());
+        assert_eq!(PairStrategy::Consecutive.pairs(4), vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(PairStrategy::AllPairs.pairs(3), vec![(0, 1), (0, 2), (1, 2)]);
+        assert!(PairStrategy::Consecutive.pairs(1).is_empty());
+    }
+
+    #[test]
+    fn method_names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            Method::all().iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), 5);
+    }
+}

@@ -1,0 +1,568 @@
+//! The relational LP encoding.
+//!
+//! Variables: caller-provided base variables (the shared perturbation `d`,
+//! or explicit input variables for monotonicity), one variable per
+//! post-activation neuron per execution, output variables per execution,
+//! and — for RaVeN — difference variables per tracked pair per activation
+//! layer. Constraints: per-execution activation relaxations (exact
+//! equalities for stable ReLUs, triangle/secant relaxations otherwise),
+//! linking equalities `Δ = h_A − h_B`, and the DiffPoly δ-space lines as
+//! linear cross-execution constraints.
+//!
+//! Affine layers are substituted inline: pre-activation expressions are
+//! kept as sparse linear expressions over the previous layer's variables,
+//! so the LP never carries explicit pre-activation variables.
+
+use raven_deeppoly::{relax_activation, DeepPolyAnalysis};
+use raven_diffpoly::DiffPolyAnalysis;
+use raven_interval::Interval;
+use raven_lp::{LinExpr, LpProblem, Sense, VarId};
+use raven_nn::{ActKind, AnalysisPlan, PlanStep};
+use std::collections::HashMap;
+
+/// A sparse affine expression over LP variables: `Σ c_i v_i + constant`.
+#[derive(Debug, Clone, Default)]
+pub struct Expr {
+    terms: HashMap<VarId, f64>,
+    constant: f64,
+}
+
+impl Expr {
+    /// The constant expression.
+    pub fn constant(c: f64) -> Self {
+        Self {
+            terms: HashMap::new(),
+            constant: c,
+        }
+    }
+
+    /// The expression `1·v`.
+    pub fn var(v: VarId) -> Self {
+        let mut terms = HashMap::new();
+        terms.insert(v, 1.0);
+        Self {
+            terms,
+            constant: 0.0,
+        }
+    }
+
+    /// Adds `coeff·v` to the expression (builder style).
+    pub fn plus_var(mut self, coeff: f64, v: VarId) -> Self {
+        if coeff != 0.0 {
+            *self.terms.entry(v).or_insert(0.0) += coeff;
+        }
+        self
+    }
+
+    /// Adds `alpha · other` into `self`.
+    pub fn add_scaled(&mut self, alpha: f64, other: &Expr) {
+        if alpha == 0.0 {
+            return;
+        }
+        self.constant += alpha * other.constant;
+        for (&v, &c) in &other.terms {
+            *self.terms.entry(v).or_insert(0.0) += alpha * c;
+        }
+    }
+
+    /// The expression's constant part.
+    pub fn constant_part(&self) -> f64 {
+        self.constant
+    }
+
+    /// Whether the expression has no variable terms.
+    pub fn is_constant(&self) -> bool {
+        self.terms.values().all(|&c| c == 0.0)
+    }
+
+    /// Converts the variable part into a solver [`LinExpr`].
+    pub fn to_lin_expr(&self) -> LinExpr {
+        self.terms
+            .iter()
+            .filter(|&(_, &c)| c != 0.0)
+            .map(|(&v, &c)| (v, c))
+            .collect()
+    }
+
+    /// Evaluates the expression at an assignment indexed by variable.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        self.constant
+            + self
+                .terms
+                .iter()
+                .map(|(&v, &c)| c * x[v.index()])
+                .sum::<f64>()
+    }
+}
+
+/// Adds the constraint `target (sense) expr`, i.e.
+/// `target − expr.terms (sense) expr.constant`.
+fn add_row(problem: &mut LpProblem, target: VarId, scale: f64, expr: &Expr, sense: Sense) {
+    let mut lhs = Expr::var(target);
+    lhs.add_scaled(-scale, expr);
+    let rhs = -lhs.constant;
+    let mut lin = lhs.to_lin_expr();
+    // `to_lin_expr` drops the constant; rebuild with target coefficient kept.
+    if lin.terms().is_empty() {
+        // Degenerate: the target itself cancelled; encode as a bound-like
+        // row anyway for uniformity.
+        lin = LinExpr::new().term(1.0, target).term(-1.0, target);
+    }
+    problem.add_constraint(lin, sense, rhs);
+}
+
+/// Per-execution variable map produced by the encoder.
+#[derive(Debug, Clone)]
+pub struct ExecVars {
+    /// One variable per neuron per activation layer (post-activation).
+    pub hidden: Vec<Vec<VarId>>,
+    /// Output logit variables.
+    pub outputs: Vec<VarId>,
+}
+
+/// Per-pair variable map (difference variables).
+#[derive(Debug, Clone)]
+pub struct PairVars {
+    /// The tracked executions `(a, b)`.
+    pub execs: (usize, usize),
+    /// Difference variables per activation layer.
+    pub hidden: Vec<Vec<VarId>>,
+    /// Output difference variables.
+    pub outputs: Vec<VarId>,
+}
+
+/// The assembled relational encoding.
+#[derive(Debug, Clone)]
+pub struct Encoding {
+    /// Per-execution variables, in input order.
+    pub execs: Vec<ExecVars>,
+    /// Per-pair difference variables (empty without difference tracking).
+    pub pairs: Vec<PairVars>,
+}
+
+/// Encodes `k` executions of `plan` (given their per-execution DeepPoly
+/// analyses and input expressions over already-created base variables)
+/// plus optional DiffPoly-tracked pairs into `problem`.
+///
+/// # Panics
+///
+/// Panics when the plan does not alternate affine/activation steps starting
+/// and ending with an affine step, or when analysis shapes disagree.
+pub fn encode(
+    problem: &mut LpProblem,
+    plan: &AnalysisPlan,
+    input_exprs: &[Vec<Expr>],
+    deeppoly: &[&DeepPolyAnalysis],
+    diff_pairs: &[(usize, usize, &DiffPolyAnalysis)],
+) -> Encoding {
+    let steps = plan.steps();
+    assert!(
+        matches!(steps.first(), Some(PlanStep::Affine { .. })),
+        "encoder expects the plan to start with an affine step"
+    );
+    assert!(
+        matches!(steps.last(), Some(PlanStep::Affine { .. })),
+        "encoder expects the plan to end with an affine step"
+    );
+    assert_eq!(input_exprs.len(), deeppoly.len(), "exec count mismatch");
+    let k = input_exprs.len();
+    let mut execs = Vec::with_capacity(k);
+    for e in 0..k {
+        execs.push(encode_exec(problem, plan, &input_exprs[e], deeppoly[e]));
+    }
+    let mut pairs = Vec::with_capacity(diff_pairs.len());
+    for &(a, b, diff) in diff_pairs {
+        assert!(a < k && b < k, "pair indices out of range");
+        pairs.push(encode_pair(
+            problem,
+            plan,
+            a,
+            b,
+            &input_exprs[a],
+            &input_exprs[b],
+            &execs[a],
+            &execs[b],
+            diff,
+        ));
+    }
+    Encoding { execs, pairs }
+}
+
+fn compose_affine(weight: &raven_tensor::Matrix, bias: Option<&[f64]>, prev: &[Expr]) -> Vec<Expr> {
+    (0..weight.rows())
+        .map(|i| {
+            let mut e = Expr::constant(bias.map_or(0.0, |b| b[i]));
+            for (j, &w) in weight.row(i).iter().enumerate() {
+                if w != 0.0 {
+                    e.add_scaled(w, &prev[j]);
+                }
+            }
+            e
+        })
+        .collect()
+}
+
+fn safe_bounds(iv: &Interval) -> (f64, f64) {
+    // Guard against floating-point inversion.
+    let lo = iv.lo().min(iv.hi());
+    let hi = iv.hi().max(iv.lo());
+    (lo, hi)
+}
+
+fn encode_exec(
+    problem: &mut LpProblem,
+    plan: &AnalysisPlan,
+    input_exprs: &[Expr],
+    dp: &DeepPolyAnalysis,
+) -> ExecVars {
+    let mut prev: Vec<Expr> = input_exprs.to_vec();
+    let mut hidden: Vec<Vec<VarId>> = Vec::new();
+    for (s, step) in plan.steps().iter().enumerate() {
+        match step {
+            PlanStep::Affine { weight, bias } => {
+                prev = compose_affine(weight, Some(bias), &prev);
+            }
+            PlanStep::Act(kind) => {
+                let pre_bounds = &dp.bounds[s];
+                let post_bounds = &dp.bounds[s + 1];
+                let mut layer_vars = Vec::with_capacity(prev.len());
+                for (n, pre_expr) in prev.iter().enumerate() {
+                    let (plo, phi) = safe_bounds(&pre_bounds[n]);
+                    let (hlo, hhi) = safe_bounds(&post_bounds[n]);
+                    let h = problem.add_var(hlo, hhi);
+                    encode_activation(problem, *kind, h, pre_expr, plo, phi);
+                    layer_vars.push(h);
+                }
+                hidden.push(layer_vars.clone());
+                prev = layer_vars.into_iter().map(Expr::var).collect();
+            }
+        }
+    }
+    // Output variables with equality links to the final affine expressions.
+    let out_bounds = dp.output();
+    let mut outputs = Vec::with_capacity(prev.len());
+    for (n, expr) in prev.iter().enumerate() {
+        let (lo, hi) = safe_bounds(&out_bounds[n]);
+        let o = problem.add_var(lo, hi);
+        add_row(problem, o, 1.0, expr, Sense::Eq);
+        outputs.push(o);
+    }
+    ExecVars { hidden, outputs }
+}
+
+fn encode_activation(
+    problem: &mut LpProblem,
+    kind: ActKind,
+    h: VarId,
+    pre: &Expr,
+    plo: f64,
+    phi: f64,
+) {
+    match kind {
+        ActKind::Relu => {
+            if plo >= 0.0 {
+                // Stable active: h = pre.
+                add_row(problem, h, 1.0, pre, Sense::Eq);
+            } else if phi <= 0.0 {
+                // Stable inactive: bounds already pin h to [0, 0].
+            } else {
+                // Unstable: h ≥ pre, h ≥ 0 (bound), h ≤ λ·pre + μ.
+                add_row(problem, h, 1.0, pre, Sense::Ge);
+                let r = relax_activation(kind, plo, phi);
+                let mut upper = Expr::constant(r.upper_intercept);
+                upper.add_scaled(r.upper_slope, pre);
+                add_row(problem, h, 1.0, &upper, Sense::Le);
+            }
+        }
+        ActKind::Sigmoid | ActKind::Tanh | ActKind::LeakyRelu | ActKind::HardTanh => {
+            // Generic two-line relaxation; `relax_activation` degenerates to
+            // an exact equality pair on stable segments, so a single Eq row
+            // suffices there.
+            let r = relax_activation(kind, plo, phi);
+            let exact = r.lower_slope == r.upper_slope && r.lower_intercept == r.upper_intercept;
+            if exact {
+                let mut line = Expr::constant(r.lower_intercept);
+                line.add_scaled(r.lower_slope, pre);
+                add_row(problem, h, 1.0, &line, Sense::Eq);
+            } else {
+                let mut lower = Expr::constant(r.lower_intercept);
+                lower.add_scaled(r.lower_slope, pre);
+                add_row(problem, h, 1.0, &lower, Sense::Ge);
+                let mut upper = Expr::constant(r.upper_intercept);
+                upper.add_scaled(r.upper_slope, pre);
+                add_row(problem, h, 1.0, &upper, Sense::Le);
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn encode_pair(
+    problem: &mut LpProblem,
+    plan: &AnalysisPlan,
+    a: usize,
+    b: usize,
+    input_a: &[Expr],
+    input_b: &[Expr],
+    exec_a: &ExecVars,
+    exec_b: &ExecVars,
+    diff: &DiffPolyAnalysis,
+) -> PairVars {
+    // Input difference expressions (often pure constants for UAP).
+    let mut prev: Vec<Expr> = input_a
+        .iter()
+        .zip(input_b)
+        .map(|(ea, eb)| {
+            let mut e = ea.clone();
+            e.add_scaled(-1.0, eb);
+            e
+        })
+        .collect();
+    let mut hidden: Vec<Vec<VarId>> = Vec::new();
+    let mut act_layer = 0usize;
+    for (s, step) in plan.steps().iter().enumerate() {
+        match step {
+            PlanStep::Affine { weight, .. } => {
+                // Bias cancels in the difference.
+                prev = compose_affine(weight, None, &prev);
+            }
+            PlanStep::Act(_) => {
+                let relax = diff.relaxations[s]
+                    .as_ref()
+                    .expect("diffpoly records activation relaxations");
+                let post = &diff.bounds[s + 1];
+                let mut layer_vars = Vec::with_capacity(prev.len());
+                for (n, dpre) in prev.iter().enumerate() {
+                    let (lo, hi) = safe_bounds(&post[n]);
+                    let dv = problem.add_var(lo, hi);
+                    // Linking equality Δ = h_a − h_b.
+                    let link = Expr::var(exec_a.hidden[act_layer][n])
+                        .plus_var(-1.0, exec_b.hidden[act_layer][n]);
+                    add_row(problem, dv, 1.0, &link, Sense::Eq);
+                    // δ-space cross-execution lines.
+                    let r = &relax[n];
+                    let same_line = r.lower_slope == r.upper_slope
+                        && r.lower_intercept == r.upper_intercept;
+                    if same_line {
+                        if r.lower_slope != 0.0 || r.lower_intercept != 0.0 || !dpre.is_constant()
+                        {
+                            let mut line = Expr::constant(r.lower_intercept);
+                            line.add_scaled(r.lower_slope, dpre);
+                            add_row(problem, dv, 1.0, &line, Sense::Eq);
+                        }
+                        // Exact zero with constant input: bounds suffice.
+                    } else {
+                        let mut lower = Expr::constant(r.lower_intercept);
+                        lower.add_scaled(r.lower_slope, dpre);
+                        add_row(problem, dv, 1.0, &lower, Sense::Ge);
+                        let mut upper = Expr::constant(r.upper_intercept);
+                        upper.add_scaled(r.upper_slope, dpre);
+                        add_row(problem, dv, 1.0, &upper, Sense::Le);
+                    }
+                    layer_vars.push(dv);
+                }
+                hidden.push(layer_vars.clone());
+                prev = layer_vars.into_iter().map(Expr::var).collect();
+                act_layer += 1;
+            }
+        }
+    }
+    // Output difference variables: tied both to the symbolic difference
+    // expression and to the per-execution output variables.
+    let out_bounds = diff.output();
+    let mut outputs = Vec::with_capacity(prev.len());
+    for (n, expr) in prev.iter().enumerate() {
+        let (lo, hi) = safe_bounds(&out_bounds[n]);
+        let dv = problem.add_var(lo, hi);
+        add_row(problem, dv, 1.0, expr, Sense::Eq);
+        let link = Expr::var(exec_a.outputs[n]).plus_var(-1.0, exec_b.outputs[n]);
+        add_row(problem, dv, 1.0, &link, Sense::Eq);
+        outputs.push(dv);
+    }
+    PairVars {
+        execs: (a, b),
+        hidden,
+        outputs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raven_interval::linf_ball;
+    use raven_lp::Direction;
+    use raven_nn::NetworkBuilder;
+
+    fn setup(
+        kind: ActKind,
+    ) -> (
+        AnalysisPlan,
+        raven_nn::Network,
+        Vec<Vec<f64>>,
+        f64,
+    ) {
+        let net = NetworkBuilder::new(3)
+            .dense(6, 41)
+            .activation(kind)
+            .dense(4, 42)
+            .activation(kind)
+            .dense(2, 43)
+            .build();
+        let plan = net.to_plan();
+        let centers = vec![vec![0.4, 0.5, 0.6], vec![0.55, 0.45, 0.5]];
+        (plan, net, centers, 0.04)
+    }
+
+    /// Builds the UAP-style encoding: shared perturbation variables plus one
+    /// execution per center.
+    fn build_uap_encoding(
+        plan: &AnalysisPlan,
+        centers: &[Vec<f64>],
+        eps: f64,
+        with_pairs: bool,
+    ) -> (LpProblem, Encoding, Vec<DeepPolyAnalysis>) {
+        let mut problem = LpProblem::new();
+        let d_vars: Vec<VarId> = (0..plan.input_dim())
+            .map(|_| problem.add_var(-eps, eps))
+            .collect();
+        let input_exprs: Vec<Vec<Expr>> = centers
+            .iter()
+            .map(|z| {
+                z.iter()
+                    .zip(&d_vars)
+                    .map(|(&zj, &dj)| Expr::constant(zj).plus_var(1.0, dj))
+                    .collect()
+            })
+            .collect();
+        let dps: Vec<DeepPolyAnalysis> = centers
+            .iter()
+            .map(|z| {
+                DeepPolyAnalysis::run(
+                    plan,
+                    &linf_ball(z, eps, f64::NEG_INFINITY, f64::INFINITY),
+                )
+            })
+            .collect();
+        let dp_refs: Vec<&DeepPolyAnalysis> = dps.iter().collect();
+        let diffs: Vec<DiffPolyAnalysis> = if with_pairs {
+            let delta: Vec<Interval> = centers[0]
+                .iter()
+                .zip(&centers[1])
+                .map(|(&a, &b)| Interval::point(a - b))
+                .collect();
+            vec![DiffPolyAnalysis::run(plan, &dps[0], &dps[1], &delta)]
+        } else {
+            Vec::new()
+        };
+        let pair_refs: Vec<(usize, usize, &DiffPolyAnalysis)> =
+            diffs.iter().map(|d| (0, 1, d)).collect();
+        let encoding = encode(&mut problem, plan, &input_exprs, &dp_refs, &pair_refs);
+        (problem, encoding, dps)
+    }
+
+    #[test]
+    fn expr_arithmetic() {
+        let mut p = LpProblem::new();
+        let v = p.add_var(0.0, 1.0);
+        let w = p.add_var(0.0, 1.0);
+        let mut e = Expr::constant(1.0).plus_var(2.0, v);
+        e.add_scaled(3.0, &Expr::var(w).plus_var(1.0, v));
+        assert_eq!(e.eval(&[0.5, 0.25]), 1.0 + 2.0 * 0.5 + 3.0 * (0.25 + 0.5));
+        assert!(!e.is_constant());
+        assert!(Expr::constant(2.0).is_constant());
+    }
+
+    #[test]
+    fn encoding_admits_concrete_executions() {
+        for kind in [ActKind::Relu, ActKind::Sigmoid] {
+            let (plan, net, centers, eps) = setup(kind);
+            let (problem, encoding, _) = build_uap_encoding(&plan, &centers, eps, true);
+            // Assemble the LP point corresponding to a concrete shared
+            // perturbation and check every constraint holds.
+            for s in 0..5 {
+                let shift: Vec<f64> = (0..3)
+                    .map(|i| eps * ((((s * 7 + i * 3) % 11) as f64 / 5.0) - 1.0))
+                    .collect();
+                let mut x = vec![0.0; problem.num_vars()];
+                for (i, &sh) in shift.iter().enumerate() {
+                    x[i] = sh;
+                }
+                let mut traces = Vec::new();
+                for (e, z) in centers.iter().enumerate() {
+                    let input: Vec<f64> =
+                        z.iter().zip(&shift).map(|(&a, &b)| a + b).collect();
+                    let trace = plan_trace(&net, &input);
+                    for (l, layer_vars) in encoding.execs[e].hidden.iter().enumerate() {
+                        for (n, var) in layer_vars.iter().enumerate() {
+                            x[var.index()] = trace.0[l][n];
+                        }
+                    }
+                    for (n, var) in encoding.execs[e].outputs.iter().enumerate() {
+                        x[var.index()] = trace.1[n];
+                    }
+                    traces.push(trace);
+                }
+                for pair in &encoding.pairs {
+                    let (a, b) = pair.execs;
+                    for (l, layer_vars) in pair.hidden.iter().enumerate() {
+                        for (n, var) in layer_vars.iter().enumerate() {
+                            x[var.index()] = traces[a].0[l][n] - traces[b].0[l][n];
+                        }
+                    }
+                    for (n, var) in pair.outputs.iter().enumerate() {
+                        x[var.index()] = traces[a].1[n] - traces[b].1[n];
+                    }
+                }
+                assert!(
+                    problem.is_feasible(&x, 1e-6),
+                    "{kind}: concrete execution violates the encoding (shift {s})"
+                );
+            }
+        }
+    }
+
+    /// Runs the plan collecting post-activation values per activation layer
+    /// and the outputs.
+    fn plan_trace(net: &raven_nn::Network, x: &[f64]) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let plan = net.to_plan();
+        let mut cur = x.to_vec();
+        let mut hidden = Vec::new();
+        for step in plan.steps() {
+            match step {
+                PlanStep::Affine { weight, bias } => {
+                    let mut y = weight.matvec(&cur);
+                    for (yi, bi) in y.iter_mut().zip(bias) {
+                        *yi += bi;
+                    }
+                    cur = y;
+                }
+                PlanStep::Act(k) => {
+                    cur = cur.iter().map(|&v| k.eval(v)).collect();
+                    hidden.push(cur.clone());
+                }
+            }
+        }
+        (hidden, cur)
+    }
+
+    #[test]
+    fn relational_lp_is_tighter_than_io_lp_on_output_difference() {
+        let (plan, _net, centers, eps) = setup(ActKind::Relu);
+        // Maximize o0_exec0 − o0_exec1 with and without difference tracking.
+        let bound = |with_pairs: bool| {
+            let (mut problem, encoding, _) =
+                build_uap_encoding(&plan, &centers, eps, with_pairs);
+            let obj = LinExpr::new()
+                .term(1.0, encoding.execs[0].outputs[0])
+                .term(-1.0, encoding.execs[1].outputs[0]);
+            problem.set_objective(Direction::Maximize, obj);
+            problem.solve().expect("lp solves").objective
+        };
+        let io = bound(false);
+        let raven = bound(true);
+        assert!(
+            raven <= io + 1e-7,
+            "difference tracking should not loosen: {raven} vs {io}"
+        );
+    }
+}

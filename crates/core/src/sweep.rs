@@ -1,0 +1,188 @@
+//! Parameter-sweep utilities: run a verifier across a range of
+//! perturbation radii and summarize the results — the programmatic
+//! counterpart of the paper's precision-vs-ε plots.
+
+use crate::config::{Method, RavenConfig};
+use crate::uap::{verify_uap, UapProblem, UapResult};
+
+/// One point of an ε sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Perturbation radius.
+    pub eps: f64,
+    /// Result per requested method, in the order given to [`uap_sweep`].
+    pub results: Vec<UapResult>,
+}
+
+/// Summary of a completed sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSummary {
+    /// The sweep data.
+    pub points: Vec<SweepPoint>,
+    /// The methods that were compared.
+    pub methods: Vec<Method>,
+}
+
+impl SweepSummary {
+    /// The largest ε at which `method` still certifies accuracy at least
+    /// `threshold` (`None` when it never does).
+    pub fn certified_radius(&self, method: Method, threshold: f64) -> Option<f64> {
+        let idx = self.methods.iter().position(|&m| m == method)?;
+        self.points
+            .iter()
+            .filter(|p| p.results[idx].worst_case_accuracy >= threshold)
+            .map(|p| p.eps)
+            .fold(None, |acc, e| Some(acc.map_or(e, |a: f64| a.max(e))))
+    }
+
+    /// Renders CSV with one column per method.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("eps");
+        for m in &self.methods {
+            out.push(',');
+            out.push_str(m.name());
+        }
+        out.push('\n');
+        for p in &self.points {
+            out.push_str(&format!("{}", p.eps));
+            for r in &p.results {
+                out.push_str(&format!(",{:.4}", r.worst_case_accuracy));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Runs `verify_uap` for every `(eps, method)` combination.
+///
+/// Exploits monotonicity to skip work: once a method certifies accuracy 0
+/// at some ε, all larger ε are recorded as 0 without solving (certified
+/// accuracy is non-increasing in ε).
+///
+/// # Panics
+///
+/// Panics when `eps_values` is unsorted or empty, or `methods` is empty.
+pub fn uap_sweep(
+    problem_at: impl Fn(f64) -> UapProblem,
+    eps_values: &[f64],
+    methods: &[Method],
+    config: &RavenConfig,
+) -> SweepSummary {
+    assert!(!eps_values.is_empty(), "sweep needs at least one eps");
+    assert!(!methods.is_empty(), "sweep needs at least one method");
+    assert!(
+        eps_values.windows(2).all(|w| w[0] <= w[1]),
+        "eps values must be sorted ascending"
+    );
+    let mut dead = vec![false; methods.len()];
+    let mut points = Vec::with_capacity(eps_values.len());
+    for &eps in eps_values {
+        let problem = problem_at(eps);
+        let results: Vec<UapResult> = methods
+            .iter()
+            .enumerate()
+            .map(|(mi, &m)| {
+                if dead[mi] {
+                    UapResult {
+                        method: m,
+                        worst_case_accuracy: 0.0,
+                        worst_case_hamming: problem.k() as f64,
+                        individually_verified: 0,
+                        solve_millis: 0.0,
+                        lp_rows: 0,
+                        lp_vars: 0,
+                        exact: true,
+                        counterexample_delta: None,
+                    }
+                } else {
+                    let r = verify_uap(&problem, m, config);
+                    if r.worst_case_accuracy <= 0.0 {
+                        dead[mi] = true;
+                    }
+                    r
+                }
+            })
+            .collect();
+        points.push(SweepPoint { eps, results });
+    }
+    SweepSummary {
+        points,
+        methods: methods.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raven_nn::{ActKind, NetworkBuilder};
+
+    fn problem_factory() -> impl Fn(f64) -> UapProblem {
+        let net = NetworkBuilder::new(4)
+            .dense(8, 61)
+            .activation(ActKind::Relu)
+            .dense(3, 62)
+            .build();
+        let inputs = vec![vec![0.3, 0.6, 0.5, 0.4], vec![0.6, 0.4, 0.5, 0.5]];
+        let labels: Vec<usize> = inputs.iter().map(|x| net.classify(x)).collect();
+        let plan = net.to_plan();
+        move |eps| UapProblem {
+            plan: plan.clone(),
+            inputs: inputs.clone(),
+            labels: labels.clone(),
+            eps,
+        }
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_eps_per_method() {
+        let sweep = uap_sweep(
+            problem_factory(),
+            &[0.01, 0.05, 0.1, 0.2, 0.4],
+            &[Method::DeepPolyIndividual, Method::Raven],
+            &RavenConfig::default(),
+        );
+        for mi in 0..2 {
+            let accs: Vec<f64> = sweep
+                .points
+                .iter()
+                .map(|p| p.results[mi].worst_case_accuracy)
+                .collect();
+            for w in accs.windows(2) {
+                assert!(w[0] >= w[1] - 1e-9, "not monotone: {accs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn certified_radius_is_consistent() {
+        let sweep = uap_sweep(
+            problem_factory(),
+            &[0.005, 0.01, 0.02],
+            &[Method::Raven],
+            &RavenConfig::default(),
+        );
+        if let Some(radius) = sweep.certified_radius(Method::Raven, 1.0) {
+            // Every eps up to the radius certifies fully.
+            for p in &sweep.points {
+                if p.eps <= radius {
+                    assert!((p.results[0].worst_case_accuracy - 1.0).abs() < 1e-9);
+                }
+            }
+        }
+        assert_eq!(sweep.certified_radius(Method::Box, 1.0), None);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let sweep = uap_sweep(
+            problem_factory(),
+            &[0.01, 0.02],
+            &[Method::Box, Method::Raven],
+            &RavenConfig::default(),
+        );
+        let csv = sweep.to_csv();
+        assert!(csv.starts_with("eps,box,raven\n"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+}

@@ -1,0 +1,900 @@
+//! Verification of robustness against universal adversarial perturbations
+//! (UAP) — the paper's headline property — and its hamming-distance variant.
+//!
+//! Problem: `k` correctly-classified inputs `z_1..z_k`, one *shared*
+//! perturbation `d` with `‖d‖∞ ≤ ε` applied to all of them. Certify a lower
+//! bound on the worst-case accuracy `min_d (#correctly classified)/k`.
+//! The worst-case hamming distance of the predicted label string is the
+//! complementary count `k · (1 − accuracy)`.
+
+use crate::config::{Method, RavenConfig};
+use crate::encode::{encode, Expr};
+use crate::margin::{all_positive, box_margins, deeppoly_margins, zonotope_margins};
+use raven_deeppoly::DeepPolyAnalysis;
+use raven_diffpoly::DiffPolyAnalysis;
+use raven_interval::{linf_ball, Interval};
+use raven_lp::{Direction, LinExpr, LpProblem, Sense, SolveStatus, VarId};
+use raven_nn::AnalysisPlan;
+use std::time::Instant;
+
+/// A UAP verification instance.
+#[derive(Debug, Clone)]
+pub struct UapProblem {
+    /// The analyzed network (lowered).
+    pub plan: AnalysisPlan,
+    /// The `k` clean inputs.
+    pub inputs: Vec<Vec<f64>>,
+    /// Ground-truth label per input.
+    pub labels: Vec<usize>,
+    /// ℓ∞ radius of the shared perturbation.
+    pub eps: f64,
+}
+
+impl UapProblem {
+    /// Number of executions `k`.
+    pub fn k(&self) -> usize {
+        self.inputs.len()
+    }
+}
+
+/// Outcome of a UAP verification run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UapResult {
+    /// The method that produced this result.
+    pub method: Method,
+    /// Certified lower bound on worst-case accuracy over the batch, in
+    /// `[0, 1]`.
+    pub worst_case_accuracy: f64,
+    /// Certified upper bound on the worst-case hamming distance
+    /// (`k · (1 − accuracy)`; fractional under LP relaxation).
+    pub worst_case_hamming: f64,
+    /// How many inputs were certified robust *individually* (the
+    /// union-bound information every method starts from).
+    pub individually_verified: usize,
+    /// Wall-clock milliseconds spent.
+    pub solve_millis: f64,
+    /// LP size, when an LP was built.
+    pub lp_rows: usize,
+    /// LP variable count, when an LP was built.
+    pub lp_vars: usize,
+    /// Whether the spec bound is exact over the indicator variables (MILP
+    /// proved integral optimum) rather than an LP relaxation.
+    pub exact: bool,
+    /// The shared perturbation realizing the LP/MILP optimum, when an LP
+    /// was solved — a concrete attack *candidate*. Replaying it through the
+    /// network yields an empirical upper bound on worst-case accuracy that
+    /// sandwiches the certificate (see [`replay_uap_delta`]).
+    pub counterexample_delta: Option<Vec<f64>>,
+}
+
+/// Replays a shared perturbation against a batch, returning the concrete
+/// accuracy — an upper bound on the worst case that complements the
+/// verifier's lower bound.
+///
+/// # Panics
+///
+/// Panics when shapes disagree.
+pub fn replay_uap_delta(
+    net: &raven_nn::Network,
+    inputs: &[Vec<f64>],
+    labels: &[usize],
+    delta: &[f64],
+) -> f64 {
+    assert_eq!(inputs.len(), labels.len(), "replay: length mismatch");
+    let correct = inputs
+        .iter()
+        .zip(labels)
+        .filter(|(z, &y)| {
+            let x: Vec<f64> = z.iter().zip(delta).map(|(&a, &b)| a + b).collect();
+            net.classify(&x) == y
+        })
+        .count();
+    correct as f64 / inputs.len() as f64
+}
+
+/// Verifies a UAP instance under a *combined ℓ∞ + ℓ1 threat model*: the
+/// shared perturbation satisfies `‖d‖∞ ≤ problem.eps` **and**
+/// `‖d‖₁ ≤ l1_budget`.
+///
+/// The LP methods encode the ℓ1 constraint exactly with auxiliary
+/// absolute-value variables (`t_j ≥ ±d_j`, `Σ t_j ≤ budget`); the
+/// non-relational baselines cannot express it and soundly fall back to the
+/// ℓ∞ box — which is precisely the expressiveness gap of box-shaped input
+/// specifications that LP-based relational verification closes.
+///
+/// # Panics
+///
+/// Panics on the same conditions as [`verify_uap`], or when
+/// `l1_budget < 0`.
+pub fn verify_uap_l1(
+    problem: &UapProblem,
+    l1_budget: f64,
+    method: Method,
+    config: &RavenConfig,
+) -> UapResult {
+    assert!(l1_budget >= 0.0, "l1 budget must be non-negative");
+    // Per-dimension cap implied by the ℓ1 budget.
+    let cap = problem.eps.min(l1_budget);
+    let delta_box = vec![Interval::symmetric(cap); problem.plan.input_dim()];
+    match method {
+        Method::Box | Method::ZonotopeIndividual | Method::DeepPolyIndividual => {
+            // Box-shaped domains cannot express the ℓ1 coupling; the ℓ∞ box
+            // with the per-dimension cap is a sound over-approximation.
+            verify_uap_on_box(problem, &delta_box, method, config)
+        }
+        Method::IoLp | Method::Raven => {
+            verify_uap_with_extra(problem, &delta_box, method, config, Some(l1_budget))
+        }
+    }
+}
+
+/// The input region of one execution: `z + delta_box` coordinatewise.
+fn exec_box(z: &[f64], delta_box: &[Interval]) -> Vec<Interval> {
+    z.iter()
+        .zip(delta_box)
+        .map(|(&zj, d)| Interval::new(zj + d.lo(), zj + d.hi()))
+        .collect()
+}
+
+/// Verifies a UAP instance with the chosen method.
+///
+/// # Panics
+///
+/// Panics when inputs/labels lengths disagree, the batch is empty, or a
+/// label is out of range.
+pub fn verify_uap(problem: &UapProblem, method: Method, config: &RavenConfig) -> UapResult {
+    let delta_box = vec![Interval::symmetric(problem.eps); problem.plan.input_dim()];
+    verify_uap_on_box(problem, &delta_box, method, config)
+}
+
+/// Verifies a UAP instance over an explicit shared-perturbation box
+/// (`problem.eps` is ignored; the box defines the threat model). Exposed
+/// through [`crate::refine::verify_uap_box`] and used by the input-splitting
+/// refinement.
+///
+/// # Panics
+///
+/// Panics on shape mismatches or out-of-range labels.
+pub(crate) fn verify_uap_on_box(
+    problem: &UapProblem,
+    delta_box: &[Interval],
+    method: Method,
+    config: &RavenConfig,
+) -> UapResult {
+    verify_uap_with_extra(problem, delta_box, method, config, None)
+}
+
+/// Shared implementation: optional exact ℓ1-budget rows on the LP paths.
+fn verify_uap_with_extra(
+    problem: &UapProblem,
+    delta_box: &[Interval],
+    method: Method,
+    config: &RavenConfig,
+    l1_budget: Option<f64>,
+) -> UapResult {
+    assert_eq!(
+        problem.inputs.len(),
+        problem.labels.len(),
+        "uap: inputs/labels length mismatch"
+    );
+    assert!(!problem.inputs.is_empty(), "uap: empty batch");
+    assert_eq!(
+        delta_box.len(),
+        problem.plan.input_dim(),
+        "uap: delta box width mismatch"
+    );
+    let out_dim = problem.plan.output_dim();
+    assert!(
+        problem.labels.iter().all(|&l| l < out_dim),
+        "uap: label out of range"
+    );
+    let start = Instant::now();
+    let k = problem.k();
+    // Per-input individual margins (used directly by the baselines, and for
+    // candidate-class pruning by the LP methods).
+    let margins: Vec<Vec<f64>> = problem
+        .inputs
+        .iter()
+        .zip(&problem.labels)
+        .map(|(z, &y)| {
+            let ball = exec_box(z, delta_box);
+            match method {
+                Method::Box => box_margins(&problem.plan, &ball, y),
+                Method::ZonotopeIndividual => zonotope_margins(&problem.plan, &ball, y),
+                _ => deeppoly_margins(&problem.plan, &ball, y),
+            }
+        })
+        .collect();
+    let individually_verified = margins.iter().filter(|m| all_positive(m)).count();
+    match method {
+        Method::Box | Method::ZonotopeIndividual | Method::DeepPolyIndividual => UapResult {
+            method,
+            worst_case_accuracy: individually_verified as f64 / k as f64,
+            worst_case_hamming: (k - individually_verified) as f64,
+            individually_verified,
+            solve_millis: start.elapsed().as_secs_f64() * 1e3,
+            lp_rows: 0,
+            lp_vars: 0,
+            exact: true,
+            counterexample_delta: None,
+        },
+        Method::IoLp => verify_uap_io(
+            problem,
+            delta_box,
+            config,
+            &margins,
+            individually_verified,
+            start,
+            l1_budget,
+        ),
+        Method::Raven => verify_uap_lp(
+            problem,
+            delta_box,
+            method,
+            config,
+            &margins,
+            individually_verified,
+            start,
+            l1_budget,
+        ),
+    }
+}
+
+/// Adds `‖d‖₁ ≤ budget` rows: `t_j ≥ d_j`, `t_j ≥ −d_j`, `Σ t_j ≤ budget`.
+fn add_l1_budget(lp: &mut LpProblem, d_vars: &[VarId], budget: f64) {
+    let mut sum = LinExpr::new();
+    for &d in d_vars {
+        let t = lp.add_var(0.0, budget);
+        lp.add_constraint(LinExpr::new().term(1.0, t).term(-1.0, d), Sense::Ge, 0.0);
+        lp.add_constraint(LinExpr::new().term(1.0, t).term(1.0, d), Sense::Ge, 0.0);
+        sum.push(1.0, t);
+    }
+    lp.add_constraint(sum, Sense::Le, budget);
+}
+
+/// The "I/O formulation" baseline: each execution's margins are bounded by
+/// DeepPoly's symbolic *input-level* linear bounds (no per-layer variables),
+/// and executions are coupled only through the shared perturbation `d`.
+/// This mirrors the prior-work baseline the paper compares against: strictly
+/// stronger than verifying every input individually, but blind to the
+/// cross-execution structure DiffPoly tracks layer by layer.
+#[allow(clippy::too_many_arguments)]
+fn verify_uap_io(
+    problem: &UapProblem,
+    delta_box: &[Interval],
+    config: &RavenConfig,
+    margins: &[Vec<f64>],
+    individually_verified: usize,
+    start: Instant,
+    l1_budget: Option<f64>,
+) -> UapResult {
+    let k = problem.k();
+    let plan = &problem.plan;
+    let out_dim = plan.output_dim();
+    let mut lp = LpProblem::new();
+    let d_vars: Vec<VarId> = delta_box
+        .iter()
+        .map(|d| lp.add_var(d.lo(), d.hi()))
+        .collect();
+    if let Some(budget) = l1_budget {
+        add_l1_budget(&mut lp, &d_vars, budget);
+    }
+    let mut objective = LinExpr::new();
+    let mut any_indicator = false;
+    for (i, &y) in problem.labels.iter().enumerate() {
+        // Candidate adversarial classes per the individual margins.
+        let mut candidates = Vec::new();
+        let mut mi = 0;
+        for c in 0..out_dim {
+            if c == y {
+                continue;
+            }
+            if margins[i][mi] <= 0.0 {
+                candidates.push((c, mi));
+            }
+            mi += 1;
+        }
+        if candidates.is_empty() {
+            continue;
+        }
+        // Symbolic margin bounds over the input for this execution.
+        let mplan = crate::margin::margin_plan(plan, y);
+        let ball = exec_box(&problem.inputs[i], delta_box);
+        let dp = DeepPolyAnalysis::run(&mplan, &ball);
+        let sym = dp.input_bounds(&mplan);
+        let concrete = sym.concretize(&ball);
+        let z_i = lp.add_binary_var();
+        objective.push(1.0, z_i);
+        any_indicator = true;
+        let mut z_row = LinExpr::new().term(1.0, z_i);
+        for &(_, row) in &candidates {
+            // Margin variable with input-level symbolic bounds, where the
+            // input is z_i + d; the certified individual margin bounds are
+            // valid bounds for the variable itself.
+            let m_var = lp.add_var(margins[i][row], concrete[row].hi().max(margins[i][row]));
+            let mut lower = LinExpr::new().term(1.0, m_var);
+            let mut lo_rhs = sym.lower_const[row];
+            for (j, &coef) in sym.lower_coeffs.row(row).iter().enumerate() {
+                if coef != 0.0 {
+                    lower.push(-coef, d_vars[j]);
+                    lo_rhs += coef * problem.inputs[i][j];
+                }
+            }
+            lp.add_constraint(lower, Sense::Ge, lo_rhs);
+            let mut upper = LinExpr::new().term(1.0, m_var);
+            let mut hi_rhs = sym.upper_const[row];
+            for (j, &coef) in sym.upper_coeffs.row(row).iter().enumerate() {
+                if coef != 0.0 {
+                    upper.push(-coef, d_vars[j]);
+                    hi_rhs += coef * problem.inputs[i][j];
+                }
+            }
+            lp.add_constraint(upper, Sense::Le, hi_rhs);
+            // w = 1 forces the margin non-positive.
+            let w_ic = lp.add_binary_var();
+            z_row.push(-1.0, w_ic);
+            let big_m = concrete[row].hi().max(0.0) + 1e-6;
+            let row_expr = LinExpr::new().term(1.0, m_var).term(big_m, w_ic);
+            lp.add_constraint(row_expr, Sense::Le, big_m);
+        }
+        lp.add_constraint(z_row, Sense::Le, 0.0);
+    }
+    let lp_rows = lp.num_constraints();
+    let lp_vars = lp.num_vars();
+    if !any_indicator {
+        return UapResult {
+            method: Method::IoLp,
+            worst_case_accuracy: 1.0,
+            worst_case_hamming: 0.0,
+            individually_verified,
+            solve_millis: start.elapsed().as_secs_f64() * 1e3,
+            lp_rows,
+            lp_vars,
+            exact: true,
+            counterexample_delta: None,
+        };
+    }
+    lp.set_objective(Direction::Maximize, objective);
+    let (max_misclassified, exact, witness) = solve_spec_with_witness(&lp, config, &d_vars);
+    let max_misclassified = max_misclassified.clamp(0.0, k as f64);
+    UapResult {
+        method: Method::IoLp,
+        worst_case_accuracy: (k as f64 - max_misclassified) / k as f64,
+        worst_case_hamming: max_misclassified,
+        individually_verified,
+        solve_millis: start.elapsed().as_secs_f64() * 1e3,
+        lp_rows,
+        lp_vars,
+        exact,
+        counterexample_delta: witness,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn verify_uap_lp(
+    problem: &UapProblem,
+    delta_box: &[Interval],
+    method: Method,
+    config: &RavenConfig,
+    margins: &[Vec<f64>],
+    individually_verified: usize,
+    start: Instant,
+    l1_budget: Option<f64>,
+) -> UapResult {
+    let k = problem.k();
+    let plan = &problem.plan;
+    let out_dim = plan.output_dim();
+    // Per-execution DeepPoly analyses over the individual balls.
+    let dps: Vec<DeepPolyAnalysis> = problem
+        .inputs
+        .iter()
+        .map(|z| DeepPolyAnalysis::run(plan, &exec_box(z, delta_box)))
+        .collect();
+    // DiffPoly pairs per the configured strategy.
+    let pair_indices = config.pairs.pairs(k);
+    let diffs: Vec<(usize, usize, DiffPolyAnalysis)> = pair_indices
+        .iter()
+        .map(|&(a, b)| {
+            let delta: Vec<Interval> = problem.inputs[a]
+                .iter()
+                .zip(&problem.inputs[b])
+                .map(|(&za, &zb)| Interval::point(za - zb))
+                .collect();
+            (a, b, DiffPolyAnalysis::run(plan, &dps[a], &dps[b], &delta))
+        })
+        .collect();
+    // Build the LP.
+    let mut lp = LpProblem::new();
+    let d_vars: Vec<VarId> = delta_box
+        .iter()
+        .map(|d| lp.add_var(d.lo(), d.hi()))
+        .collect();
+    if let Some(budget) = l1_budget {
+        add_l1_budget(&mut lp, &d_vars, budget);
+    }
+    let input_exprs: Vec<Vec<Expr>> = problem
+        .inputs
+        .iter()
+        .map(|z| {
+            z.iter()
+                .zip(&d_vars)
+                .map(|(&zj, &dj)| Expr::constant(zj).plus_var(1.0, dj))
+                .collect()
+        })
+        .collect();
+    let dp_refs: Vec<&DeepPolyAnalysis> = dps.iter().collect();
+    let pair_refs: Vec<(usize, usize, &DiffPolyAnalysis)> =
+        diffs.iter().map(|(a, b, d)| (*a, *b, d)).collect();
+    let encoding = encode(&mut lp, plan, &input_exprs, &dp_refs, &pair_refs);
+    // Spec: maximize the number of misclassified executions.
+    let mut objective = LinExpr::new();
+    let mut any_indicator = false;
+    for (i, &y) in problem.labels.iter().enumerate() {
+        // Candidate adversarial classes: those not individually dominated.
+        let mut candidates = Vec::new();
+        let mut mi = 0;
+        for c in 0..out_dim {
+            if c == y {
+                continue;
+            }
+            if margins[i][mi] <= 0.0 {
+                candidates.push(c);
+            }
+            mi += 1;
+        }
+        if candidates.is_empty() {
+            // Provably robust individually: cannot be misclassified.
+            continue;
+        }
+        let z_i = lp.add_binary_var();
+        objective.push(1.0, z_i);
+        any_indicator = true;
+        // z_i ≤ Σ_c w_ic, with w_ic = 1 forcing o_c ≥ o_y.
+        let mut z_row = LinExpr::new().term(1.0, z_i);
+        let outs = &encoding.execs[i].outputs;
+        for &c in &candidates {
+            let w_ic = lp.add_binary_var();
+            z_row.push(-1.0, w_ic);
+            // o_y − o_c + M·w ≤ M where M upper-bounds o_y − o_c.
+            let big_m = (dps[i].output()[y].hi() - dps[i].output()[c].lo()).max(0.0) + 1e-6;
+            let row = LinExpr::new()
+                .term(1.0, outs[y])
+                .term(-1.0, outs[c])
+                .term(big_m, w_ic);
+            lp.add_constraint(row, Sense::Le, big_m);
+        }
+        lp.add_constraint(z_row, Sense::Le, 0.0);
+    }
+    let lp_rows = lp.num_constraints();
+    let lp_vars = lp.num_vars();
+    if !any_indicator {
+        // Everything individually robust; no adversary possible.
+        return UapResult {
+            method,
+            worst_case_accuracy: 1.0,
+            worst_case_hamming: 0.0,
+            individually_verified,
+            solve_millis: start.elapsed().as_secs_f64() * 1e3,
+            lp_rows,
+            lp_vars,
+            exact: true,
+            counterexample_delta: None,
+        };
+    }
+    lp.set_objective(Direction::Maximize, objective);
+    // Solve: MILP when configured, falling back to the LP relaxation (still
+    // sound — the relaxation only over-counts misclassifications).
+    let (max_misclassified, exact, witness) = solve_spec_with_witness(&lp, config, &d_vars);
+    let max_misclassified = max_misclassified.clamp(0.0, k as f64);
+    UapResult {
+        method,
+        worst_case_accuracy: (k as f64 - max_misclassified) / k as f64,
+        worst_case_hamming: max_misclassified,
+        individually_verified,
+        solve_millis: start.elapsed().as_secs_f64() * 1e3,
+        lp_rows,
+        lp_vars,
+        exact,
+        counterexample_delta: witness,
+    }
+}
+
+/// A targeted-UAP verification instance: the adversary tries to force as
+/// many executions as possible into the designated `target` class with one
+/// shared perturbation.
+#[derive(Debug, Clone)]
+pub struct TargetedUapProblem {
+    /// The underlying untargeted instance (inputs, labels, eps, plan).
+    pub base: UapProblem,
+    /// The class the adversary wants everything classified as.
+    pub target: usize,
+}
+
+/// Outcome of a targeted UAP verification run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetedUapResult {
+    /// The method that produced this result.
+    pub method: Method,
+    /// Certified upper bound on the number of executions the adversary can
+    /// simultaneously force into the target class (fractional under LP
+    /// relaxation).
+    pub max_forced: f64,
+    /// Wall-clock milliseconds spent.
+    pub solve_millis: f64,
+    /// Whether the bound is exact over the indicator variables.
+    pub exact: bool,
+}
+
+/// Verifies a targeted UAP instance.
+///
+/// Inputs already labelled `target` are excluded from the count (forcing
+/// them is vacuous). Only the relational methods are meaningful here;
+/// non-relational baselines are mapped to per-execution margin checks
+/// against the target class.
+///
+/// # Panics
+///
+/// Panics on inconsistent shapes or an out-of-range target class.
+pub fn verify_targeted_uap(
+    problem: &TargetedUapProblem,
+    method: Method,
+    config: &RavenConfig,
+) -> TargetedUapResult {
+    let base = &problem.base;
+    let out_dim = base.plan.output_dim();
+    assert!(problem.target < out_dim, "target class out of range");
+    assert_eq!(base.inputs.len(), base.labels.len(), "length mismatch");
+    let start = Instant::now();
+    // Executions that could possibly be forced: margin to the target class
+    // not provably positive.
+    let mut vulnerable = Vec::new();
+    for (i, (z, &y)) in base.inputs.iter().zip(&base.labels).enumerate() {
+        if y == problem.target {
+            continue;
+        }
+        let ball = linf_ball(z, base.eps, f64::NEG_INFINITY, f64::INFINITY);
+        let margins = match method {
+            Method::Box => box_margins(&base.plan, &ball, y),
+            Method::ZonotopeIndividual => zonotope_margins(&base.plan, &ball, y),
+            _ => deeppoly_margins(&base.plan, &ball, y),
+        };
+        // Margin row index of the target class within the label-y ordering.
+        let row = if problem.target < y {
+            problem.target
+        } else {
+            problem.target - 1
+        };
+        if margins[row] <= 0.0 {
+            vulnerable.push(i);
+        }
+    }
+    if matches!(
+        method,
+        Method::Box | Method::ZonotopeIndividual | Method::DeepPolyIndividual
+    ) || vulnerable.is_empty()
+    {
+        return TargetedUapResult {
+            method,
+            max_forced: vulnerable.len() as f64,
+            solve_millis: start.elapsed().as_secs_f64() * 1e3,
+            exact: true,
+        };
+    }
+    // Relational LP: shared perturbation + per-exec encodings + indicator
+    // variables only for the target class.
+    let dps: Vec<DeepPolyAnalysis> = base
+        .inputs
+        .iter()
+        .map(|z| {
+            let ball = linf_ball(z, base.eps, f64::NEG_INFINITY, f64::INFINITY);
+            DeepPolyAnalysis::run(&base.plan, &ball)
+        })
+        .collect();
+    let pair_indices = match method {
+        Method::Raven => config.pairs.pairs(base.k()),
+        _ => Vec::new(),
+    };
+    let diffs: Vec<(usize, usize, DiffPolyAnalysis)> = pair_indices
+        .iter()
+        .map(|&(a, b)| {
+            let delta: Vec<Interval> = base.inputs[a]
+                .iter()
+                .zip(&base.inputs[b])
+                .map(|(&za, &zb)| Interval::point(za - zb))
+                .collect();
+            (a, b, DiffPolyAnalysis::run(&base.plan, &dps[a], &dps[b], &delta))
+        })
+        .collect();
+    let mut lp = LpProblem::new();
+    let d_vars: Vec<VarId> = (0..base.plan.input_dim())
+        .map(|_| lp.add_var(-base.eps, base.eps))
+        .collect();
+    let input_exprs: Vec<Vec<Expr>> = base
+        .inputs
+        .iter()
+        .map(|z| {
+            z.iter()
+                .zip(&d_vars)
+                .map(|(&zj, &dj)| Expr::constant(zj).plus_var(1.0, dj))
+                .collect()
+        })
+        .collect();
+    let dp_refs: Vec<&DeepPolyAnalysis> = dps.iter().collect();
+    let pair_refs: Vec<(usize, usize, &DiffPolyAnalysis)> =
+        diffs.iter().map(|(a, b, d)| (*a, *b, d)).collect();
+    let encoding = encode(&mut lp, &base.plan, &input_exprs, &dp_refs, &pair_refs);
+    let mut objective = LinExpr::new();
+    for &i in &vulnerable {
+        let y = base.labels[i];
+        let outs = &encoding.execs[i].outputs;
+        let z_i = lp.add_binary_var();
+        objective.push(1.0, z_i);
+        // z = 1 requires o_target ≥ o_y.
+        let big_m = (dps[i].output()[y].hi() - dps[i].output()[problem.target].lo()).max(0.0)
+            + 1e-6;
+        let row = LinExpr::new()
+            .term(1.0, outs[y])
+            .term(-1.0, outs[problem.target])
+            .term(big_m, z_i);
+        lp.add_constraint(row, Sense::Le, big_m);
+    }
+    lp.set_objective(Direction::Maximize, objective);
+    let (bound, exact) = solve_spec(&lp, config);
+    TargetedUapResult {
+        method,
+        max_forced: bound.clamp(0.0, vulnerable.len() as f64),
+        solve_millis: start.elapsed().as_secs_f64() * 1e3,
+        exact,
+    }
+}
+
+/// Solves the counting spec, returning `(bound, exact)`.
+fn solve_spec(lp: &LpProblem, config: &RavenConfig) -> (f64, bool) {
+    let (bound, exact, _) = solve_spec_with_witness(lp, config, &[]);
+    (bound, exact)
+}
+
+/// Solves the counting spec, additionally extracting the optimal values of
+/// `witness_vars` (the shared perturbation) when available.
+fn solve_spec_with_witness(
+    lp: &LpProblem,
+    config: &RavenConfig,
+    witness_vars: &[VarId],
+) -> (f64, bool, Option<Vec<f64>>) {
+    let extract = |sol: &raven_lp::Solution| {
+        (!witness_vars.is_empty())
+            .then(|| witness_vars.iter().map(|&v| sol.value(v)).collect())
+    };
+    if config.spec_milp {
+        match lp.solve_milp_with(&config.milp) {
+            Ok(sol) if sol.status == SolveStatus::Optimal => {
+                let w = extract(&sol);
+                return (sol.objective, true, w);
+            }
+            // Node/iteration limits (or an unexpected status) fall through
+            // to the LP relaxation, which is sound but may be fractional.
+            Ok(_) | Err(_) => {}
+        }
+    }
+    match lp.solve_with(&config.simplex) {
+        Ok(sol) if sol.status == SolveStatus::Optimal => {
+            let w = extract(&sol);
+            (sol.objective, false, w)
+        }
+        // Numerical failure or unexpected status: fall back to the trivial
+        // sound answer "everything may be misclassified".
+        _ => (f64::INFINITY, false, None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raven_nn::data::synth_digits;
+    use raven_nn::train::{train_classifier, TrainConfig};
+    use raven_nn::{ActKind, NetworkBuilder};
+
+    fn trained_problem(eps: f64, k: usize) -> (UapProblem, raven_nn::Network) {
+        let ds = synth_digits(4, 3, 90, 0.06, 13);
+        let mut net = NetworkBuilder::new(16)
+            .dense(12, 1)
+            .activation(ActKind::Relu)
+            .dense(8, 2)
+            .activation(ActKind::Relu)
+            .dense(3, 3)
+            .build();
+        train_classifier(
+            &mut net,
+            &ds,
+            &TrainConfig {
+                epochs: 40,
+                lr: 0.4,
+                momentum: 0.0,
+                batch_size: 8,
+                seed: 7,
+                adversarial: None,
+            },
+        );
+        // Pick k correctly-classified inputs.
+        let mut inputs = Vec::new();
+        let mut labels = Vec::new();
+        for (x, &y) in ds.inputs.iter().zip(&ds.labels) {
+            if net.classify(x) == y {
+                inputs.push(x.clone());
+                labels.push(y);
+                if inputs.len() == k {
+                    break;
+                }
+            }
+        }
+        assert_eq!(inputs.len(), k, "not enough correctly classified inputs");
+        (
+            UapProblem {
+                plan: net.to_plan(),
+                inputs,
+                labels,
+                eps,
+            },
+            net,
+        )
+    }
+
+    #[test]
+    fn methods_follow_the_provable_precision_chains() {
+        let (problem, _) = trained_problem(0.08, 3);
+        let config = RavenConfig::default();
+        let acc = |m| verify_uap(&problem, m, &config).worst_case_accuracy;
+        let bx = acc(Method::Box);
+        let zn = acc(Method::ZonotopeIndividual);
+        let dp = acc(Method::DeepPolyIndividual);
+        let io = acc(Method::IoLp);
+        let rv = acc(Method::Raven);
+        // Box ≤ Zonotope and Box ≤ DeepPoly ≤ IoLp ≤ RaVeN (DeepZ and
+        // DeepPoly are incomparable in theory, so no assertion between them).
+        assert!(bx <= zn + 1e-9, "box {bx} > zonotope {zn}");
+        assert!(bx <= dp + 1e-9, "box {bx} > deeppoly {dp}");
+        assert!(dp <= io + 1e-9, "deeppoly {dp} > io-lp {io}");
+        assert!(io <= rv + 1e-9, "io-lp {io} > raven {rv}");
+    }
+
+    #[test]
+    fn certificate_is_below_attack_upper_bound() {
+        let (problem, net) = trained_problem(0.1, 3);
+        let res = verify_uap(&problem, Method::Raven, &RavenConfig::default());
+        let attack = raven_nn::attack::uap(&net, &problem.inputs, &problem.labels, 0.1, 15, 0.02);
+        assert!(
+            res.worst_case_accuracy <= attack.accuracy + 1e-9,
+            "certified {} must lower-bound empirical {}",
+            res.worst_case_accuracy,
+            attack.accuracy
+        );
+    }
+
+    #[test]
+    fn tiny_eps_certifies_everything() {
+        let (problem, _) = trained_problem(1e-5, 3);
+        for m in Method::all() {
+            let res = verify_uap(&problem, m, &RavenConfig::default());
+            assert!(
+                (res.worst_case_accuracy - 1.0).abs() < 1e-9,
+                "{m} failed at tiny eps: {}",
+                res.worst_case_accuracy
+            );
+        }
+    }
+
+    #[test]
+    fn hamming_is_complement_of_accuracy() {
+        let (problem, _) = trained_problem(0.12, 3);
+        let res = verify_uap(&problem, Method::Raven, &RavenConfig::default());
+        let k = problem.k() as f64;
+        assert!(
+            (res.worst_case_hamming - k * (1.0 - res.worst_case_accuracy)).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn targeted_uap_is_bounded_by_vulnerable_count() {
+        let (problem, _) = trained_problem(0.1, 3);
+        for target in 0..3 {
+            let tp = TargetedUapProblem {
+                base: problem.clone(),
+                target,
+            };
+            let dp = verify_targeted_uap(&tp, Method::DeepPolyIndividual, &RavenConfig::default());
+            let rv = verify_targeted_uap(&tp, Method::Raven, &RavenConfig::default());
+            // The relational bound can only be tighter (smaller).
+            assert!(
+                rv.max_forced <= dp.max_forced + 1e-9,
+                "target {target}: raven {} > deeppoly {}",
+                rv.max_forced,
+                dp.max_forced
+            );
+            assert!(rv.max_forced >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn targeted_uap_tiny_eps_forces_nothing() {
+        let (problem, _) = trained_problem(1e-6, 3);
+        let tp = TargetedUapProblem {
+            base: problem,
+            target: 0,
+        };
+        let rv = verify_targeted_uap(&tp, Method::Raven, &RavenConfig::default());
+        assert_eq!(rv.max_forced, 0.0);
+        assert!(rv.exact);
+    }
+
+    #[test]
+    fn l1_budget_only_tightens_and_is_sound() {
+        let (problem, net) = trained_problem(0.12, 3);
+        let linf = verify_uap(&problem, Method::Raven, &RavenConfig::default());
+        // A huge ℓ1 budget changes nothing; a small one can only certify
+        // more.
+        let loose = verify_uap_l1(&problem, 1e6, Method::Raven, &RavenConfig::default());
+        assert!((loose.worst_case_accuracy - linf.worst_case_accuracy).abs() < 1e-6);
+        let tight = verify_uap_l1(&problem, 0.2, Method::Raven, &RavenConfig::default());
+        assert!(tight.worst_case_accuracy >= linf.worst_case_accuracy - 1e-9);
+        // Soundness vs sampled ℓ1-bounded shared perturbations: put the
+        // whole budget on one coordinate at a time.
+        let budget = 0.2f64;
+        for j in 0..problem.plan.input_dim() {
+            for sign in [-1.0, 1.0] {
+                let mut d = vec![0.0; problem.plan.input_dim()];
+                d[j] = sign * budget.min(problem.eps);
+                let acc = replay_uap_delta(&net, &problem.inputs, &problem.labels, &d);
+                assert!(
+                    tight.worst_case_accuracy <= acc + 1e-9,
+                    "l1 certificate {} exceeds concrete {acc}",
+                    tight.worst_case_accuracy
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_l1_budget_certifies_clean_batch() {
+        let (problem, _) = trained_problem(0.3, 3);
+        let res = verify_uap_l1(&problem, 0.0, Method::Raven, &RavenConfig::default());
+        assert!(
+            (res.worst_case_accuracy - 1.0).abs() < 1e-9,
+            "zero budget must certify a correctly classified batch: {}",
+            res.worst_case_accuracy
+        );
+    }
+
+    #[test]
+    fn counterexample_delta_sandwiches_the_certificate() {
+        let (problem, net) = trained_problem(0.12, 3);
+        let res = verify_uap(&problem, Method::Raven, &RavenConfig::default());
+        if let Some(delta) = &res.counterexample_delta {
+            assert!(delta.iter().all(|d| d.abs() <= problem.eps + 1e-9));
+            let replay = replay_uap_delta(&net, &problem.inputs, &problem.labels, delta);
+            assert!(
+                res.worst_case_accuracy <= replay + 1e-9,
+                "certified {} exceeds replayed {replay}",
+                res.worst_case_accuracy
+            );
+        } else {
+            // No LP was needed: everything was individually robust.
+            assert_eq!(res.worst_case_accuracy, 1.0);
+        }
+    }
+
+    #[test]
+    fn lp_relaxation_is_no_tighter_than_milp() {
+        let (problem, _) = trained_problem(0.1, 3);
+        let milp = verify_uap(&problem, Method::Raven, &RavenConfig::default());
+        let lp = verify_uap(
+            &problem,
+            Method::Raven,
+            &RavenConfig {
+                spec_milp: false,
+                ..RavenConfig::default()
+            },
+        );
+        assert!(lp.worst_case_accuracy <= milp.worst_case_accuracy + 1e-7);
+        assert!(!lp.exact || lp.worst_case_accuracy == 1.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! DeepPoly abstract domain: per-neuron symbolic linear bounds.
+//!
+//! DeepPoly (Singh et al., POPL 2019) assigns every neuron a pair of linear
+//! bounds over the previous layer plus concrete interval bounds obtained by
+//! substituting those bounds backwards to the input box. It is the
+//! per-execution substrate that RaVeN builds on: the strongest
+//! *non-relational* baseline in the paper's evaluation, and the source of
+//! the per-execution constraints in the relational LP.
+//!
+//! # Examples
+//!
+//! ```
+//! use raven_deeppoly::DeepPolyAnalysis;
+//! use raven_interval::linf_ball;
+//! use raven_nn::{ActKind, NetworkBuilder};
+//!
+//! let plan = NetworkBuilder::new(2)
+//!     .dense(4, 1)
+//!     .activation(ActKind::Relu)
+//!     .dense(2, 2)
+//!     .build()
+//!     .to_plan();
+//! let dp = DeepPolyAnalysis::run(&plan, &linf_ball(&[0.5, 0.5], 0.1, 0.0, 1.0));
+//! assert_eq!(dp.output().len(), 2);
+//! ```
+
+mod analyze;
+mod relax;
+
+pub use analyze::{DeepPolyAnalysis, InputBounds};
+pub use relax::{relax_activation, Relaxation};

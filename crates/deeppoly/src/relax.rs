@@ -1,0 +1,289 @@
+//! Linear relaxations of activation functions.
+//!
+//! Given concrete pre-activation bounds `[lo, hi]`, each activation is
+//! bracketed by two lines `λ_l·x + μ_l ≤ act(x) ≤ λ_u·x + μ_u` valid on
+//! `[lo, hi]`. These are the DeepPoly transformers: the exact identity/zero
+//! cases for stable ReLUs, the triangle relaxation for unstable ReLUs, and
+//! the minimum-endpoint-slope bounds for the S-shaped activations.
+
+use raven_nn::ActKind;
+
+/// A pair of linear bounds `λ_l·x + μ_l ≤ f(x) ≤ λ_u·x + μ_u` on an
+/// interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Relaxation {
+    /// Slope of the lower bounding line.
+    pub lower_slope: f64,
+    /// Intercept of the lower bounding line.
+    pub lower_intercept: f64,
+    /// Slope of the upper bounding line.
+    pub upper_slope: f64,
+    /// Intercept of the upper bounding line.
+    pub upper_intercept: f64,
+}
+
+impl Relaxation {
+    /// The exact relaxation of a linear piece `f(x) = s·x + t`.
+    pub fn exact(slope: f64, intercept: f64) -> Self {
+        Self {
+            lower_slope: slope,
+            lower_intercept: intercept,
+            upper_slope: slope,
+            upper_intercept: intercept,
+        }
+    }
+
+    /// Evaluates the lower line at `x`.
+    pub fn lower_at(&self, x: f64) -> f64 {
+        self.lower_slope * x + self.lower_intercept
+    }
+
+    /// Evaluates the upper line at `x`.
+    pub fn upper_at(&self, x: f64) -> f64 {
+        self.upper_slope * x + self.upper_intercept
+    }
+}
+
+/// Computes the DeepPoly relaxation of `kind` over `[lo, hi]`.
+///
+/// # Panics
+///
+/// Panics when `lo > hi` or either bound is non-finite (concrete bounds are
+/// always finite after interval/DeepPoly analysis of a bounded input box).
+///
+/// # Examples
+///
+/// ```
+/// use raven_deeppoly::relax_activation;
+/// use raven_nn::ActKind;
+///
+/// // Stable-active ReLU is exact.
+/// let r = relax_activation(ActKind::Relu, 0.5, 2.0);
+/// assert_eq!(r.lower_at(1.0), 1.0);
+/// assert_eq!(r.upper_at(1.0), 1.0);
+/// ```
+pub fn relax_activation(kind: ActKind, lo: f64, hi: f64) -> Relaxation {
+    assert!(
+        lo.is_finite() && hi.is_finite() && lo <= hi,
+        "relaxation needs finite ordered bounds, got [{lo}, {hi}]"
+    );
+    match kind {
+        ActKind::Relu => relax_relu(lo, hi),
+        ActKind::Sigmoid | ActKind::Tanh => relax_sshape(kind, lo, hi),
+        ActKind::LeakyRelu => relax_leaky_relu(lo, hi),
+        ActKind::HardTanh => relax_hard_tanh(lo, hi),
+    }
+}
+
+fn relax_leaky_relu(lo: f64, hi: f64) -> Relaxation {
+    let alpha = ActKind::LEAKY_SLOPE;
+    if lo >= 0.0 {
+        Relaxation::exact(1.0, 0.0)
+    } else if hi <= 0.0 {
+        Relaxation::exact(alpha, 0.0)
+    } else {
+        // Unstable: chord above (the function is convex), area-heuristic
+        // tangent slope below, both through the kink at the origin.
+        let upper_slope = (hi - alpha * lo) / (hi - lo);
+        let upper_intercept = alpha * lo - upper_slope * lo;
+        let lower_slope = if hi > -lo { 1.0 } else { alpha };
+        Relaxation {
+            lower_slope,
+            lower_intercept: 0.0,
+            upper_slope,
+            upper_intercept,
+        }
+    }
+}
+
+fn relax_hard_tanh(lo: f64, hi: f64) -> Relaxation {
+    if hi <= -1.0 {
+        return Relaxation::exact(0.0, -1.0);
+    }
+    if lo >= 1.0 {
+        return Relaxation::exact(0.0, 1.0);
+    }
+    if lo >= -1.0 && hi <= 1.0 {
+        return Relaxation::exact(1.0, 0.0);
+    }
+    if lo < -1.0 && hi <= 1.0 {
+        // Convex piece `max(x, -1)`: chord above, kink-anchored line below.
+        let upper_slope = (hi + 1.0) / (hi - lo);
+        let upper_intercept = -1.0 - upper_slope * lo;
+        let lower_slope = if hi + 1.0 > -1.0 - lo { 1.0 } else { 0.0 };
+        return Relaxation {
+            lower_slope,
+            lower_intercept: lower_slope - 1.0, // s·(x+1) − 1 at slope s
+            upper_slope,
+            upper_intercept,
+        };
+    }
+    if lo >= -1.0 && hi > 1.0 {
+        // Concave piece `min(x, 1)`: chord below, kink-anchored line above.
+        let lower_slope = (1.0 - lo) / (hi - lo);
+        let lower_intercept = lo - lower_slope * lo;
+        let upper_slope = if 1.0 - lo > hi - 1.0 { 1.0 } else { 0.0 };
+        return Relaxation {
+            lower_slope,
+            lower_intercept,
+            upper_slope,
+            upper_intercept: 1.0 - upper_slope, // s·(x−1) + 1 at slope s
+        };
+    }
+    // Both kinks inside: the tightest single lines anchored at the kinks.
+    let lower_slope = (2.0 / (hi + 1.0)).min(1.0);
+    let upper_slope = (2.0 / (1.0 - lo)).min(1.0);
+    Relaxation {
+        lower_slope,
+        lower_intercept: lower_slope - 1.0,
+        upper_slope,
+        upper_intercept: 1.0 - upper_slope,
+    }
+}
+
+fn relax_relu(lo: f64, hi: f64) -> Relaxation {
+    if lo >= 0.0 {
+        Relaxation::exact(1.0, 0.0)
+    } else if hi <= 0.0 {
+        Relaxation::exact(0.0, 0.0)
+    } else {
+        // Unstable: triangle upper bound, area-heuristic lower bound.
+        let upper_slope = hi / (hi - lo);
+        let upper_intercept = -lo * upper_slope;
+        let lower_slope = if hi > -lo { 1.0 } else { 0.0 };
+        Relaxation {
+            lower_slope,
+            lower_intercept: 0.0,
+            upper_slope,
+            upper_intercept,
+        }
+    }
+}
+
+fn relax_sshape(kind: ActKind, lo: f64, hi: f64) -> Relaxation {
+    let (flo, fhi) = (kind.eval(lo), kind.eval(hi));
+    if (hi - lo) < 1e-12 {
+        // Degenerate interval: constant bounds.
+        return Relaxation {
+            lower_slope: 0.0,
+            lower_intercept: flo,
+            upper_slope: 0.0,
+            upper_intercept: fhi,
+        };
+    }
+    let secant = (fhi - flo) / (hi - lo);
+    let lambda = kind.deriv(lo).min(kind.deriv(hi));
+    // Both sigmoid and tanh are convex below 0 and concave above 0, with a
+    // unimodal derivative peaking at 0 — the standard DeepPoly case split.
+    if hi <= 0.0 {
+        // Convex: secant above, tangent-slope line anchored at (lo, f(lo))
+        // below.
+        Relaxation {
+            lower_slope: lambda,
+            lower_intercept: flo - lambda * lo,
+            upper_slope: secant,
+            upper_intercept: flo - secant * lo,
+        }
+    } else if lo >= 0.0 {
+        // Concave: secant below, tangent-slope line anchored at (hi, f(hi))
+        // above.
+        Relaxation {
+            lower_slope: secant,
+            lower_intercept: flo - secant * lo,
+            upper_slope: lambda,
+            upper_intercept: fhi - lambda * hi,
+        }
+    } else {
+        // Mixed: λ-slope lines anchored at the endpoints (sound because the
+        // derivative exceeds λ throughout the interval).
+        Relaxation {
+            lower_slope: lambda,
+            lower_intercept: flo - lambda * lo,
+            upper_slope: lambda,
+            upper_intercept: fhi - lambda * hi,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_sound(kind: ActKind, lo: f64, hi: f64) {
+        let r = relax_activation(kind, lo, hi);
+        let n = 200;
+        for i in 0..=n {
+            let x = lo + (hi - lo) * i as f64 / n as f64;
+            let f = kind.eval(x);
+            assert!(
+                r.lower_at(x) <= f + 1e-9,
+                "{kind} lower violated at {x}: {} > {f} on [{lo},{hi}]",
+                r.lower_at(x)
+            );
+            assert!(
+                r.upper_at(x) >= f - 1e-9,
+                "{kind} upper violated at {x}: {} < {f} on [{lo},{hi}]",
+                r.upper_at(x)
+            );
+        }
+    }
+
+    #[test]
+    fn relu_cases_are_sound_and_tight() {
+        check_sound(ActKind::Relu, 1.0, 2.0);
+        check_sound(ActKind::Relu, -2.0, -1.0);
+        check_sound(ActKind::Relu, -1.0, 3.0);
+        check_sound(ActKind::Relu, -3.0, 1.0);
+        // Stable cases are exact.
+        let r = relax_activation(ActKind::Relu, 0.0, 1.0);
+        assert_eq!(r, Relaxation::exact(1.0, 0.0));
+        let r = relax_activation(ActKind::Relu, -1.0, 0.0);
+        assert_eq!(r, Relaxation::exact(0.0, 0.0));
+        // Triangle upper bound passes through both corners.
+        let r = relax_activation(ActKind::Relu, -1.0, 2.0);
+        assert!((r.upper_at(-1.0) - 0.0).abs() < 1e-12);
+        assert!((r.upper_at(2.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sshape_relaxations_are_sound_across_regimes() {
+        for kind in [ActKind::Sigmoid, ActKind::Tanh] {
+            check_sound(kind, -3.0, -0.5); // convex
+            check_sound(kind, 0.5, 3.0); // concave
+            check_sound(kind, -2.0, 2.0); // mixed
+            check_sound(kind, -0.01, 0.01); // tiny
+            check_sound(kind, -8.0, 8.0); // wide
+        }
+    }
+
+    #[test]
+    fn leaky_relu_relaxation_is_sound_and_tight_when_stable() {
+        check_sound(ActKind::LeakyRelu, 0.5, 2.0);
+        check_sound(ActKind::LeakyRelu, -2.0, -0.5);
+        check_sound(ActKind::LeakyRelu, -1.0, 3.0);
+        check_sound(ActKind::LeakyRelu, -3.0, 1.0);
+        let r = relax_activation(ActKind::LeakyRelu, 0.1, 2.0);
+        assert_eq!(r, Relaxation::exact(1.0, 0.0));
+        let r = relax_activation(ActKind::LeakyRelu, -2.0, -0.1);
+        assert_eq!(r, Relaxation::exact(ActKind::LEAKY_SLOPE, 0.0));
+    }
+
+    #[test]
+    fn hard_tanh_relaxation_sound_in_all_five_regimes() {
+        check_sound(ActKind::HardTanh, -3.0, -1.5); // saturated low
+        check_sound(ActKind::HardTanh, 1.5, 3.0); // saturated high
+        check_sound(ActKind::HardTanh, -0.8, 0.9); // linear
+        check_sound(ActKind::HardTanh, -2.0, 0.5); // low kink
+        check_sound(ActKind::HardTanh, -0.5, 2.0); // high kink
+        check_sound(ActKind::HardTanh, -2.5, 2.5); // both kinks
+        let r = relax_activation(ActKind::HardTanh, -0.5, 0.5);
+        assert_eq!(r, Relaxation::exact(1.0, 0.0));
+    }
+
+    #[test]
+    fn degenerate_interval_is_exact() {
+        let r = relax_activation(ActKind::Sigmoid, 0.3, 0.3);
+        assert!((r.lower_at(0.3) - ActKind::Sigmoid.eval(0.3)).abs() < 1e-12);
+        assert!((r.upper_at(0.3) - ActKind::Sigmoid.eval(0.3)).abs() < 1e-12);
+    }
+}

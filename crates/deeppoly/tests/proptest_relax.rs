@@ -1,0 +1,76 @@
+//! Property-based soundness tests for the activation relaxations: for any
+//! interval and any point inside it, the lower line must be below the
+//! function and the upper line above it.
+
+use proptest::prelude::*;
+use raven_deeppoly::relax_activation;
+use raven_nn::ActKind;
+
+fn bounds() -> impl Strategy<Value = (f64, f64)> {
+    (-6.0f64..6.0, 0.0f64..8.0).prop_map(|(lo, w)| (lo, lo + w))
+}
+
+fn check(kind: ActKind, lo: f64, hi: f64, t: f64) -> Result<(), TestCaseError> {
+    let r = relax_activation(kind, lo, hi);
+    let x = lo + (hi - lo) * t;
+    let f = kind.eval(x);
+    prop_assert!(
+        r.lower_at(x) <= f + 1e-9,
+        "{kind}: lower {} > f({x}) = {f} on [{lo}, {hi}]",
+        r.lower_at(x)
+    );
+    prop_assert!(
+        r.upper_at(x) >= f - 1e-9,
+        "{kind}: upper {} < f({x}) = {f} on [{lo}, {hi}]",
+        r.upper_at(x)
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn relu_relaxation_sound((lo, hi) in bounds(), t in 0.0f64..1.0) {
+        check(ActKind::Relu, lo, hi, t)?;
+    }
+
+    #[test]
+    fn sigmoid_relaxation_sound((lo, hi) in bounds(), t in 0.0f64..1.0) {
+        check(ActKind::Sigmoid, lo, hi, t)?;
+    }
+
+    #[test]
+    fn tanh_relaxation_sound((lo, hi) in bounds(), t in 0.0f64..1.0) {
+        check(ActKind::Tanh, lo, hi, t)?;
+    }
+
+    #[test]
+    fn leaky_relu_relaxation_sound((lo, hi) in bounds(), t in 0.0f64..1.0) {
+        check(ActKind::LeakyRelu, lo, hi, t)?;
+    }
+
+    #[test]
+    fn hard_tanh_relaxation_sound((lo, hi) in bounds(), t in 0.0f64..1.0) {
+        check(ActKind::HardTanh, lo, hi, t)?;
+    }
+
+    #[test]
+    fn relaxation_band_is_ordered((lo, hi) in bounds(), t in 0.0f64..1.0) {
+        // The lower line never exceeds the upper line on the interval.
+        for kind in ActKind::all() {
+            let r = relax_activation(kind, lo, hi);
+            let x = lo + (hi - lo) * t;
+            prop_assert!(r.lower_at(x) <= r.upper_at(x) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn endpoints_are_tight_for_relu_upper(lo in -6.0f64..-0.01, hi in 0.01f64..6.0) {
+        // The triangle upper bound touches ReLU at both interval endpoints
+        // (unstable case: lo < 0 < hi by construction).
+        let r = relax_activation(ActKind::Relu, lo, hi);
+        prop_assert!((r.upper_at(lo) - 0.0).abs() < 1e-9);
+        prop_assert!((r.upper_at(hi) - hi).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,395 @@
+//! The DiffPoly analysis: difference tracking between two executions of the
+//! same network at every layer, with back-substitution in δ-space.
+
+use crate::relax::{relax_activation_diff, DiffRelaxation};
+use raven_deeppoly::DeepPolyAnalysis;
+use raven_interval::Interval;
+use raven_nn::{AnalysisPlan, PlanStep};
+use raven_tensor::Matrix;
+
+/// Result of running DiffPoly on a pair of executions `(A, B)`.
+///
+/// `bounds[k]` are concrete bounds on `Δ_k = tensor_A(k) − tensor_B(k)` at
+/// plan boundary `k`; `relaxations[s]` holds, for activation step `s`, the
+/// per-neuron δ-space lines that the LP encoder turns into linear
+/// cross-execution constraints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffPolyAnalysis {
+    /// Concrete difference bounds at every plan boundary.
+    pub bounds: Vec<Vec<Interval>>,
+    /// δ-space relaxations per plan step (`None` for affine steps).
+    pub relaxations: Vec<Option<Vec<DiffRelaxation>>>,
+}
+
+impl DiffPolyAnalysis {
+    /// Runs difference tracking over `plan` for a pair of executions whose
+    /// per-execution DeepPoly analyses are `exec_a` and `exec_b`, starting
+    /// from the input-difference box `delta_in`.
+    ///
+    /// For UAP properties `delta_in` is the exact constant `z_A − z_B`; for
+    /// monotonicity it is the perturbation box along the monotone feature.
+    ///
+    /// # Panics
+    ///
+    /// Panics when widths disagree or the per-execution analyses were not
+    /// produced from the same plan.
+    pub fn run(
+        plan: &AnalysisPlan,
+        exec_a: &DeepPolyAnalysis,
+        exec_b: &DeepPolyAnalysis,
+        delta_in: &[Interval],
+    ) -> Self {
+        assert_eq!(
+            delta_in.len(),
+            plan.input_dim(),
+            "diffpoly: delta width mismatch"
+        );
+        assert_eq!(
+            exec_a.bounds.len(),
+            plan.steps().len() + 1,
+            "diffpoly: exec A analysis does not match plan"
+        );
+        assert_eq!(
+            exec_b.bounds.len(),
+            plan.steps().len() + 1,
+            "diffpoly: exec B analysis does not match plan"
+        );
+        // Tighten the input difference with the executions' own boxes.
+        let delta0: Vec<Interval> = delta_in
+            .iter()
+            .zip(exec_a.bounds[0].iter().zip(&exec_b.bounds[0]))
+            .map(|(d, (a, b))| {
+                let t = d.intersect(&(*a - *b));
+                if t.is_empty() {
+                    *d
+                } else {
+                    t
+                }
+            })
+            .collect();
+        let mut bounds: Vec<Vec<Interval>> = Vec::with_capacity(plan.steps().len() + 1);
+        bounds.push(delta0);
+        let mut relaxations: Vec<Option<Vec<DiffRelaxation>>> =
+            Vec::with_capacity(plan.steps().len());
+        for (k, step) in plan.steps().iter().enumerate() {
+            match step {
+                PlanStep::Affine { weight, .. } => {
+                    // Δ_{k+1} = W Δ_k exactly (bias cancels); concrete bounds
+                    // via δ-space back-substitution to the input difference.
+                    let mut next = back_substitute_delta(plan, &bounds, &relaxations, k, weight);
+                    // Intersect with the per-execution subtraction, which is
+                    // sometimes tighter when δ is wide.
+                    let exec_diff = sub_boxes(&exec_a.bounds[k + 1], &exec_b.bounds[k + 1]);
+                    intersect_into(&mut next, &exec_diff);
+                    bounds.push(next);
+                    relaxations.push(None);
+                }
+                PlanStep::Act(kind) => {
+                    let pre_a = &exec_a.bounds[k];
+                    let pre_b = &exec_b.bounds[k];
+                    let pre_d = &bounds[k];
+                    let mut layer_relax = Vec::with_capacity(pre_d.len());
+                    let mut next = Vec::with_capacity(pre_d.len());
+                    for i in 0..pre_d.len() {
+                        let (r, concrete) =
+                            relax_activation_diff(*kind, &pre_a[i], &pre_b[i], &pre_d[i]);
+                        layer_relax.push(r);
+                        next.push(concrete);
+                    }
+                    bounds.push(next);
+                    relaxations.push(Some(layer_relax));
+                }
+            }
+        }
+        Self {
+            bounds,
+            relaxations,
+        }
+    }
+
+    /// Concrete bounds on the output difference `N(x_A) − N(x_B)`.
+    pub fn output(&self) -> &[Interval] {
+        self.bounds.last().expect("bounds non-empty")
+    }
+}
+
+/// Computes concrete Δ bounds after affine step `k` by substituting the
+/// δ-space relaxations backwards to the input-difference box.
+///
+/// Unlike the per-execution case the affine steps carry no bias (it cancels
+/// in the difference), so only the coefficient matrices compose.
+fn back_substitute_delta(
+    plan: &AnalysisPlan,
+    bounds: &[Vec<Interval>],
+    relaxations: &[Option<Vec<DiffRelaxation>>],
+    k: usize,
+    weight: &Matrix,
+) -> Vec<Interval> {
+    let mut lower_coeffs = weight.clone();
+    let mut lower_const = vec![0.0; weight.rows()];
+    let mut upper_coeffs = weight.clone();
+    let mut upper_const = vec![0.0; weight.rows()];
+    for t in (0..k).rev() {
+        match &plan.steps()[t] {
+            PlanStep::Affine { weight: w, .. } => {
+                lower_coeffs = lower_coeffs.matmul(w).expect("plan widths validated");
+                upper_coeffs = upper_coeffs.matmul(w).expect("plan widths validated");
+            }
+            PlanStep::Act(_) => {
+                let relax = relaxations[t]
+                    .as_ref()
+                    .expect("activation steps have recorded δ relaxations");
+                // As a fallback anchor, clamp substitution through the
+                // concrete Δ bounds at this boundary when a line would widen
+                // things: standard DeepPoly-style diagonal substitution.
+                substitute_diag(
+                    &mut lower_coeffs,
+                    &mut lower_const,
+                    &mut upper_coeffs,
+                    &mut upper_const,
+                    relax,
+                );
+            }
+        }
+    }
+    let delta0 = &bounds[0];
+    (0..lower_coeffs.rows())
+        .map(|i| {
+            let lo = eval_lower(lower_coeffs.row(i), lower_const[i], delta0);
+            let hi = eval_upper(upper_coeffs.row(i), upper_const[i], delta0);
+            Interval::new(lo.min(hi), hi.max(lo))
+        })
+        .collect()
+}
+
+fn substitute_diag(
+    lower_coeffs: &mut Matrix,
+    lower_const: &mut [f64],
+    upper_coeffs: &mut Matrix,
+    upper_const: &mut [f64],
+    relax: &[DiffRelaxation],
+) {
+    let rows = lower_coeffs.rows();
+    for i in 0..rows {
+        let row = lower_coeffs.row_mut(i);
+        let c = &mut lower_const[i];
+        for (j, r) in relax.iter().enumerate() {
+            let e = row[j];
+            if e >= 0.0 {
+                row[j] = e * r.lower_slope;
+                *c += e * r.lower_intercept;
+            } else {
+                row[j] = e * r.upper_slope;
+                *c += e * r.upper_intercept;
+            }
+        }
+        let row = upper_coeffs.row_mut(i);
+        let c = &mut upper_const[i];
+        for (j, r) in relax.iter().enumerate() {
+            let e = row[j];
+            if e >= 0.0 {
+                row[j] = e * r.upper_slope;
+                *c += e * r.upper_intercept;
+            } else {
+                row[j] = e * r.lower_slope;
+                *c += e * r.lower_intercept;
+            }
+        }
+    }
+}
+
+fn eval_lower(coeffs: &[f64], constant: f64, input: &[Interval]) -> f64 {
+    let mut v = constant;
+    for (c, iv) in coeffs.iter().zip(input) {
+        v += if *c >= 0.0 { c * iv.lo() } else { c * iv.hi() };
+    }
+    v
+}
+
+fn eval_upper(coeffs: &[f64], constant: f64, input: &[Interval]) -> f64 {
+    let mut v = constant;
+    for (c, iv) in coeffs.iter().zip(input) {
+        v += if *c >= 0.0 { c * iv.hi() } else { c * iv.lo() };
+    }
+    v
+}
+
+fn sub_boxes(a: &[Interval], b: &[Interval]) -> Vec<Interval> {
+    a.iter().zip(b).map(|(x, y)| *x - *y).collect()
+}
+
+fn intersect_into(target: &mut [Interval], other: &[Interval]) {
+    for (t, o) in target.iter_mut().zip(other) {
+        let merged = t.intersect(o);
+        if !merged.is_empty() {
+            *t = merged;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raven_interval::linf_ball;
+    use raven_nn::{ActKind, NetworkBuilder};
+
+    /// Deterministic pseudo-random point in `[lo, hi]^n`.
+    fn point(n: usize, seed: usize, lo: f64, hi: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let t = (((i * 37 + seed * 101 + 13) % 211) as f64) / 210.0;
+                lo + (hi - lo) * t
+            })
+            .collect()
+    }
+
+    fn check_pair_soundness(kind: ActKind, eps: f64, delta_width: f64) {
+        let net = NetworkBuilder::new(4)
+            .dense(8, 61)
+            .activation(kind)
+            .dense(6, 62)
+            .activation(kind)
+            .dense(3, 63)
+            .build();
+        let plan = net.to_plan();
+        let za = point(4, 1, 0.3, 0.7);
+        let zb = point(4, 2, 0.3, 0.7);
+        let ball_a = linf_ball(&za, eps, 0.0, 1.0);
+        let ball_b = linf_ball(&zb, eps, 0.0, 1.0);
+        let dp_a = DeepPolyAnalysis::run(&plan, &ball_a);
+        let dp_b = DeepPolyAnalysis::run(&plan, &ball_b);
+        // Shared perturbation: x_a − x_b = (z_a − z_b) + w where |w| ≤ width.
+        let delta: Vec<Interval> = za
+            .iter()
+            .zip(&zb)
+            .map(|(&a, &b)| Interval::new(a - b - delta_width, a - b + delta_width))
+            .collect();
+        let diff = DiffPolyAnalysis::run(&plan, &dp_a, &dp_b, &delta);
+        // Sample concrete paired executions with a shared perturbation.
+        for s in 0..40 {
+            let shift: Vec<f64> = point(4, s + 7, -eps, eps);
+            let xa: Vec<f64> = za
+                .iter()
+                .zip(&shift)
+                .map(|(&z, &d)| (z + d).clamp(0.0, 1.0))
+                .collect();
+            let xb: Vec<f64> = zb
+                .iter()
+                .zip(&shift)
+                .map(|(&z, &d)| (z + d).clamp(0.0, 1.0))
+                .collect();
+            // Respect the declared delta box (clamping can violate it).
+            let ok = xa
+                .iter()
+                .zip(&xb)
+                .zip(&delta)
+                .all(|((&a, &b), d)| d.contains(a - b));
+            if !ok {
+                continue;
+            }
+            let ya = net.forward(&xa);
+            let yb = net.forward(&xb);
+            for ((iv, &va), &vb) in diff.output().iter().zip(&ya).zip(&yb) {
+                let dv = va - vb;
+                assert!(
+                    iv.lo() - 1e-7 <= dv && dv <= iv.hi() + 1e-7,
+                    "{kind}: output diff {dv} outside {iv}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diffpoly_is_sound_for_relu_pairs() {
+        check_pair_soundness(ActKind::Relu, 0.05, 1e-9);
+    }
+
+    #[test]
+    fn diffpoly_is_sound_for_sigmoid_pairs() {
+        check_pair_soundness(ActKind::Sigmoid, 0.08, 1e-9);
+    }
+
+    #[test]
+    fn diffpoly_is_sound_for_tanh_pairs() {
+        check_pair_soundness(ActKind::Tanh, 0.08, 1e-9);
+    }
+
+    #[test]
+    fn shared_perturbation_keeps_difference_tight() {
+        // With a shared perturbation the input difference is an exact
+        // constant, so DiffPoly's output difference bounds must be far
+        // tighter than the subtraction of per-execution DeepPoly bounds.
+        let net = NetworkBuilder::new(4)
+            .dense(10, 71)
+            .activation(ActKind::Relu)
+            .dense(8, 72)
+            .activation(ActKind::Relu)
+            .dense(2, 73)
+            .build();
+        let plan = net.to_plan();
+        let za = point(4, 3, 0.35, 0.65);
+        let zb = point(4, 4, 0.35, 0.65);
+        let eps = 0.06;
+        let dp_a = DeepPolyAnalysis::run(&plan, &linf_ball(&za, eps, 0.0, 1.0));
+        let dp_b = DeepPolyAnalysis::run(&plan, &linf_ball(&zb, eps, 0.0, 1.0));
+        let delta: Vec<Interval> = za
+            .iter()
+            .zip(&zb)
+            .map(|(&a, &b)| Interval::point(a - b))
+            .collect();
+        let diff = DiffPolyAnalysis::run(&plan, &dp_a, &dp_b, &delta);
+        let mut tighter = 0;
+        for (k, (da, db)) in dp_a.output().iter().zip(dp_b.output()).enumerate() {
+            let naive = *da - *db;
+            let tracked = diff.output()[k];
+            assert!(tracked.width() <= naive.width() + 1e-9);
+            if tracked.width() < naive.width() * 0.9 {
+                tighter += 1;
+            }
+        }
+        assert!(
+            tighter > 0,
+            "difference tracking gained nothing over subtraction"
+        );
+    }
+
+    #[test]
+    fn identical_executions_have_zero_difference() {
+        let net = NetworkBuilder::new(3)
+            .dense(5, 81)
+            .activation(ActKind::Relu)
+            .dense(2, 82)
+            .build();
+        let plan = net.to_plan();
+        let ball = linf_ball(&[0.5, 0.4, 0.6], 0.05, 0.0, 1.0);
+        let dp = DeepPolyAnalysis::run(&plan, &ball);
+        let delta: Vec<Interval> = (0..3).map(|_| Interval::point(0.0)).collect();
+        let diff = DiffPolyAnalysis::run(&plan, &dp, &dp, &delta);
+        for iv in diff.output() {
+            assert!(iv.lo() <= 1e-9 && iv.hi() >= -1e-9);
+            assert!(iv.width() < 1e-9, "difference of identical runs: {iv}");
+        }
+    }
+
+    #[test]
+    fn monotone_delta_propagates_sign_through_monotone_net() {
+        // All-positive weights + monotone activation: δ0 ≥ 0 implies the
+        // output difference stays ≥ 0; DiffPoly should certify this.
+        let net = NetworkBuilder::new(2)
+            .dense_from(&[&[0.5, 0.3], &[0.2, 0.9]], &[0.1, -0.2])
+            .activation(ActKind::Sigmoid)
+            .dense_from(&[&[0.7, 0.4]], &[0.0])
+            .build();
+        let plan = net.to_plan();
+        let ball = linf_ball(&[0.5, 0.5], 0.3, 0.0, 1.0);
+        let dp_a = DeepPolyAnalysis::run(&plan, &ball);
+        let dp_b = DeepPolyAnalysis::run(&plan, &ball);
+        let delta = vec![Interval::new(0.0, 0.2), Interval::point(0.0)];
+        let diff = DiffPolyAnalysis::run(&plan, &dp_a, &dp_b, &delta);
+        assert!(
+            diff.output()[0].lo() >= -1e-9,
+            "monotone sign lost: {}",
+            diff.output()[0]
+        );
+    }
+}

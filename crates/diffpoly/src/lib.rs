@@ -1,0 +1,48 @@
+//! DiffPoly: the paper's novel abstract domain for difference tracking.
+//!
+//! Precise verification of input-relational properties (universal
+//! adversarial perturbations, monotonicity, hamming distance) requires
+//! reasoning about multiple executions of the same network. DiffPoly tracks
+//! the *difference* `Δ_k = tensor_A(k) − tensor_B(k)` between two executions
+//! at every layer:
+//!
+//! * affine layers propagate differences **exactly** (`Δ' = W Δ`; the bias
+//!   cancels),
+//! * activation layers use custom difference transformers
+//!   ([`relax_relu_diff`], [`relax_sshape_diff`]) that case-split on the two
+//!   executions' activation states and emit sound δ-space lines,
+//! * concrete difference bounds come from back-substitution to the
+//!   input-difference box, intersected with the per-execution DeepPoly
+//!   subtraction.
+//!
+//! The δ-space lines are exported as [`DiffRelaxation`]s; the `raven` crate
+//! turns them into the linear cross-execution constraints of the relational
+//! LP.
+//!
+//! # Examples
+//!
+//! ```
+//! use raven_deeppoly::DeepPolyAnalysis;
+//! use raven_diffpoly::DiffPolyAnalysis;
+//! use raven_interval::{linf_ball, Interval};
+//! use raven_nn::{ActKind, NetworkBuilder};
+//!
+//! let plan = NetworkBuilder::new(2)
+//!     .dense(4, 1)
+//!     .activation(ActKind::Relu)
+//!     .dense(2, 2)
+//!     .build()
+//!     .to_plan();
+//! let ball = linf_ball(&[0.5, 0.5], 0.1, 0.0, 1.0);
+//! let dp = DeepPolyAnalysis::run(&plan, &ball);
+//! // Same execution twice: the difference is exactly zero everywhere.
+//! let delta = vec![Interval::point(0.0); 2];
+//! let diff = DiffPolyAnalysis::run(&plan, &dp, &dp, &delta);
+//! assert!(diff.output().iter().all(|iv| iv.width() < 1e-9));
+//! ```
+
+mod analyze;
+mod relax;
+
+pub use analyze::DiffPolyAnalysis;
+pub use relax::{relax_activation_diff, relax_relu_diff, relax_sshape_diff, DiffRelaxation};

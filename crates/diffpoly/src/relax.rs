@@ -1,0 +1,644 @@
+//! Difference transformers: linear bounds on `Δ = act(x) − act(y)` in terms
+//! of the pre-activation difference `δ = x − y`.
+//!
+//! This is the heart of the paper's DiffPoly domain. For ReLU the
+//! transformer case-splits on the activation states of the two executions
+//! (active / inactive / unstable)² and emits, per neuron, one sound lower
+//! and one sound upper line in δ-space plus concrete bounds; the
+//! 1-Lipschitz clamp `min(δ,0) ≤ Δ ≤ max(δ,0)` is always intersected. For
+//! the S-shaped activations the transformer uses the mean-value theorem:
+//! `Δ = σ'(ξ)·δ` with the slope range taken over the joint pre-activation
+//! hull.
+
+use raven_interval::Interval;
+use raven_nn::ActKind;
+
+/// A pair of δ-space lines `λ_l·δ + μ_l ≤ Δ ≤ λ_u·δ + μ_u`, valid for all
+/// `(x, y)` in the analyzed region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffRelaxation {
+    /// Slope of the lower line (in δ).
+    pub lower_slope: f64,
+    /// Intercept of the lower line.
+    pub lower_intercept: f64,
+    /// Slope of the upper line (in δ).
+    pub upper_slope: f64,
+    /// Intercept of the upper line.
+    pub upper_intercept: f64,
+}
+
+impl DiffRelaxation {
+    /// The exact relaxation `Δ = s·δ + t`.
+    pub fn exact(slope: f64, intercept: f64) -> Self {
+        Self {
+            lower_slope: slope,
+            lower_intercept: intercept,
+            upper_slope: slope,
+            upper_intercept: intercept,
+        }
+    }
+
+    /// Evaluates the lower line.
+    pub fn lower_at(&self, d: f64) -> f64 {
+        self.lower_slope * d + self.lower_intercept
+    }
+
+    /// Evaluates the upper line.
+    pub fn upper_at(&self, d: f64) -> f64 {
+        self.upper_slope * d + self.upper_intercept
+    }
+
+    /// Interval image of the relaxation over a δ interval.
+    pub fn image(&self, d: &Interval) -> Interval {
+        let lo = self.lower_at(d.lo()).min(self.lower_at(d.hi()));
+        let hi = self.upper_at(d.lo()).max(self.upper_at(d.hi()));
+        Interval::new(lo, hi)
+    }
+}
+
+/// One sound line `slope·δ + intercept`.
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    slope: f64,
+    intercept: f64,
+}
+
+impl Line {
+    fn at(&self, d: f64) -> f64 {
+        self.slope * d + self.intercept
+    }
+}
+
+/// Picks the lower-bound line whose value at the δ midpoint is largest
+/// (tightest on average). All candidates must be individually sound.
+fn best_lower(candidates: &[Line], d: &Interval) -> Line {
+    let mid = d.mid();
+    *candidates
+        .iter()
+        .max_by(|a, b| a.at(mid).partial_cmp(&b.at(mid)).expect("finite lines"))
+        .expect("at least one candidate")
+}
+
+/// Picks the upper-bound line with the smallest midpoint value.
+fn best_upper(candidates: &[Line], d: &Interval) -> Line {
+    let mid = d.mid();
+    *candidates
+        .iter()
+        .min_by(|a, b| a.at(mid).partial_cmp(&b.at(mid)).expect("finite lines"))
+        .expect("at least one candidate")
+}
+
+/// Activation state of one execution's neuron.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Active,
+    Inactive,
+    Unstable,
+}
+
+fn state(x: &Interval) -> State {
+    if x.lo() >= 0.0 {
+        State::Active
+    } else if x.hi() <= 0.0 {
+        State::Inactive
+    } else {
+        State::Unstable
+    }
+}
+
+/// The ReLU difference transformer.
+///
+/// Inputs: pre-activation bounds `x` (execution A), `y` (execution B), and
+/// the pre-activation difference bounds `d` (already intersected with
+/// `x − y` by the caller or not — this function intersects again). Returns
+/// the δ-space relaxation and concrete bounds on `Δ = ReLU(x) − ReLU(y)`.
+///
+/// # Panics
+///
+/// Panics when any input interval is empty.
+pub fn relax_relu_diff(
+    x: &Interval,
+    y: &Interval,
+    d: &Interval,
+) -> (DiffRelaxation, Interval) {
+    assert!(
+        !x.is_empty() && !y.is_empty() && !d.is_empty(),
+        "relu diff transformer: empty input interval"
+    );
+    // Tighten δ with the executions' own bounds.
+    let d = d.intersect(&(*x - *y));
+    let d = if d.is_empty() {
+        // Numerically inconsistent inputs; fall back to the raw subtraction.
+        *x - *y
+    } else {
+        d
+    };
+    let (ld, ud) = (d.lo(), d.hi());
+    let lipschitz = Interval::new(ld.min(0.0), ud.max(0.0));
+    let exec_diff = relu_interval(x) - relu_interval(y);
+    let (sx, sy) = (state(x), state(y));
+    let (lower, upper, case_interval) = match (sx, sy) {
+        (State::Active, State::Active) => {
+            let l = Line {
+                slope: 1.0,
+                intercept: 0.0,
+            };
+            (l, l, d)
+        }
+        (State::Inactive, State::Inactive) => {
+            let l = Line {
+                slope: 0.0,
+                intercept: 0.0,
+            };
+            (l, l, Interval::point(0.0))
+        }
+        (State::Active, State::Inactive) => {
+            // Δ = x: bounded by [lx, ux]; in δ-space Δ = δ + y.
+            let lower = best_lower(
+                &[
+                    Line {
+                        slope: 1.0,
+                        intercept: y.lo(),
+                    },
+                    Line {
+                        slope: 0.0,
+                        intercept: x.lo(),
+                    },
+                ],
+                &d,
+            );
+            let upper = best_upper(
+                &[
+                    Line {
+                        slope: 1.0,
+                        intercept: y.hi(),
+                    },
+                    Line {
+                        slope: 0.0,
+                        intercept: x.hi(),
+                    },
+                ],
+                &d,
+            );
+            (lower, upper, *x)
+        }
+        (State::Inactive, State::Active) => {
+            // Δ = −y: bounded by [−uy, −ly]; in δ-space Δ = δ − x.
+            let lower = best_lower(
+                &[
+                    Line {
+                        slope: 1.0,
+                        intercept: -x.hi(),
+                    },
+                    Line {
+                        slope: 0.0,
+                        intercept: -y.hi(),
+                    },
+                ],
+                &d,
+            );
+            let upper = best_upper(
+                &[
+                    Line {
+                        slope: 1.0,
+                        intercept: -x.lo(),
+                    },
+                    Line {
+                        slope: 0.0,
+                        intercept: -y.lo(),
+                    },
+                ],
+                &d,
+            );
+            (lower, upper, -*y)
+        }
+        (State::Active, State::Unstable) => {
+            // Δ = x − ReLU(y); ReLU(y) ∈ [y, y − ly] gives δ-lines.
+            let lower = Line {
+                slope: 1.0,
+                intercept: y.lo(),
+            };
+            let upper = Line {
+                slope: 1.0,
+                intercept: 0.0,
+            };
+            (lower, upper, Interval::new(x.lo() - y.hi().max(0.0), x.hi()))
+        }
+        (State::Unstable, State::Active) => {
+            // Δ = ReLU(x) − y; ReLU(x) ∈ [x, x − lx].
+            let lower = Line {
+                slope: 1.0,
+                intercept: 0.0,
+            };
+            let upper = Line {
+                slope: 1.0,
+                intercept: -x.lo(),
+            };
+            (
+                lower,
+                upper,
+                Interval::new(-y.hi(), x.hi().max(0.0) - y.lo()),
+            )
+        }
+        (State::Inactive, State::Unstable) => {
+            // Δ = −ReLU(y) ∈ [−uy, 0]; ReLU(y) ≤ y − ly → Δ ≥ −y + ly ≥ δ − ux + ly.
+            let lower = best_lower(
+                &[
+                    Line {
+                        slope: 1.0,
+                        intercept: y.lo() - x.hi(),
+                    },
+                    Line {
+                        slope: 0.0,
+                        intercept: -y.hi(),
+                    },
+                ],
+                &d,
+            );
+            let upper = Line {
+                slope: 0.0,
+                intercept: 0.0,
+            };
+            (lower, upper, Interval::new(-y.hi().max(0.0), 0.0))
+        }
+        (State::Unstable, State::Inactive) => {
+            // Δ = ReLU(x) ∈ [0, ux]; ReLU(x) ≤ x − lx → Δ ≤ δ + uy − lx.
+            let lower = Line {
+                slope: 0.0,
+                intercept: 0.0,
+            };
+            let upper = best_upper(
+                &[
+                    Line {
+                        slope: 1.0,
+                        intercept: y.hi() - x.lo(),
+                    },
+                    Line {
+                        slope: 0.0,
+                        intercept: x.hi(),
+                    },
+                ],
+                &d,
+            );
+            (lower, upper, Interval::new(0.0, x.hi().max(0.0)))
+        }
+        (State::Unstable, State::Unstable) => {
+            // Lipschitz envelope: min(δ,0) ≤ Δ ≤ max(δ,0), relaxed by the
+            // ReLU-triangle construction in δ-space.
+            let upper = if ld >= 0.0 {
+                Line {
+                    slope: 1.0,
+                    intercept: 0.0,
+                }
+            } else if ud <= 0.0 {
+                Line {
+                    slope: 0.0,
+                    intercept: 0.0,
+                }
+            } else {
+                let s = ud / (ud - ld);
+                Line {
+                    slope: s,
+                    intercept: -ld * s,
+                }
+            };
+            let lower = if ud <= 0.0 {
+                Line {
+                    slope: 1.0,
+                    intercept: 0.0,
+                }
+            } else if ld >= 0.0 {
+                Line {
+                    slope: 0.0,
+                    intercept: 0.0,
+                }
+            } else {
+                let s = -ld / (ud - ld);
+                Line {
+                    slope: s,
+                    intercept: ld * ud / (ud - ld),
+                }
+            };
+            (lower, upper, lipschitz)
+        }
+    };
+    let relax = DiffRelaxation {
+        lower_slope: lower.slope,
+        lower_intercept: lower.intercept,
+        upper_slope: upper.slope,
+        upper_intercept: upper.intercept,
+    };
+    let concrete = case_interval
+        .intersect(&lipschitz)
+        .intersect(&exec_diff)
+        .intersect(&relax.image(&d));
+    let concrete = if concrete.is_empty() {
+        // Floating-point corner: fall back to the always-sound pieces.
+        lipschitz.intersect(&exec_diff)
+    } else {
+        concrete
+    };
+    (relax, concrete)
+}
+
+fn relu_interval(x: &Interval) -> Interval {
+    Interval::new(x.lo().max(0.0), x.hi().max(0.0))
+}
+
+/// Range of difference quotients `(f(x) − f(y)) / (x − y)` of `kind` over
+/// the hull `[lo, hi]`: for every monotone Lipschitz activation this is
+/// contained in `[inf f', sup f']` over the hull.
+fn slope_range(kind: ActKind, lo: f64, hi: f64) -> (f64, f64) {
+    match kind {
+        ActKind::Sigmoid | ActKind::Tanh => {
+            // Unimodal derivative peaking at 0: max at the point closest to
+            // 0, min at an endpoint.
+            let peak = 0.0f64.clamp(lo, hi);
+            (kind.deriv(lo).min(kind.deriv(hi)), kind.deriv(peak))
+        }
+        ActKind::Relu => (
+            if lo < 0.0 { 0.0 } else { 1.0 },
+            if hi > 0.0 { 1.0 } else { 0.0 },
+        ),
+        ActKind::LeakyRelu => {
+            let a = ActKind::LEAKY_SLOPE;
+            (
+                if lo < 0.0 { a } else { 1.0 },
+                if hi > 0.0 { 1.0 } else { a },
+            )
+        }
+        ActKind::HardTanh => (
+            if lo < -1.0 || hi > 1.0 { 0.0 } else { 1.0 },
+            if hi < -1.0 || lo > 1.0 { 0.0 } else { 1.0 },
+        ),
+    }
+}
+
+/// The S-shaped (Sigmoid/Tanh) difference transformer via the mean-value
+/// theorem: `Δ = σ'(ξ)·δ` for some `ξ` in the joint hull of the two
+/// executions' pre-activation ranges.
+///
+/// # Panics
+///
+/// Panics when any input interval is empty.
+pub fn relax_sshape_diff(
+    kind: ActKind,
+    x: &Interval,
+    y: &Interval,
+    d: &Interval,
+) -> (DiffRelaxation, Interval) {
+    assert!(
+        !x.is_empty() && !y.is_empty() && !d.is_empty(),
+        "s-shape diff transformer: empty input interval"
+    );
+    let d = {
+        let t = d.intersect(&(*x - *y));
+        if t.is_empty() {
+            *x - *y
+        } else {
+            t
+        }
+    };
+    let hull = x.hull(y);
+    let (s_min, s_max) = slope_range(kind, hull.lo(), hull.hi());
+    let (ld, ud) = (d.lo(), d.hi());
+    // g(δ) = s_max·δ for δ ≥ 0, s_min·δ for δ < 0 is convex and upper-bounds
+    // Δ; h(δ) = s_min·δ for δ ≥ 0, s_max·δ for δ < 0 is concave and
+    // lower-bounds Δ. Chords of g (above) and h (below) give the lines.
+    let g = |t: f64| if t >= 0.0 { s_max * t } else { s_min * t };
+    let h = |t: f64| if t >= 0.0 { s_min * t } else { s_max * t };
+    let (upper, lower) = if ud - ld < 1e-15 {
+        (
+            Line {
+                slope: 0.0,
+                intercept: g(ud),
+            },
+            Line {
+                slope: 0.0,
+                intercept: h(ld),
+            },
+        )
+    } else {
+        let gu = (g(ud) - g(ld)) / (ud - ld);
+        let hu = (h(ud) - h(ld)) / (ud - ld);
+        (
+            Line {
+                slope: gu,
+                intercept: g(ld) - gu * ld,
+            },
+            Line {
+                slope: hu,
+                intercept: h(ld) - hu * ld,
+            },
+        )
+    };
+    let relax = DiffRelaxation {
+        lower_slope: lower.slope,
+        lower_intercept: lower.intercept,
+        upper_slope: upper.slope,
+        upper_intercept: upper.intercept,
+    };
+    let exec_diff = x.map_monotone(|v| kind.eval(v)) - y.map_monotone(|v| kind.eval(v));
+    let envelope = Interval::new(h(ld).min(h(ud)), g(ld).max(g(ud)));
+    let concrete = envelope.intersect(&exec_diff);
+    let concrete = if concrete.is_empty() { exec_diff } else { concrete };
+    (relax, concrete)
+}
+
+/// Dispatches to the ReLU or S-shaped transformer.
+pub fn relax_activation_diff(
+    kind: ActKind,
+    x: &Interval,
+    y: &Interval,
+    d: &Interval,
+) -> (DiffRelaxation, Interval) {
+    match kind {
+        ActKind::Relu => relax_relu_diff(x, y, d),
+        // The slope-range transformer is sound for every monotone Lipschitz
+        // activation; ReLU gets the sharper 9-case transformer above.
+        ActKind::Sigmoid | ActKind::Tanh | ActKind::LeakyRelu | ActKind::HardTanh => {
+            relax_sshape_diff(kind, x, y, d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustively samples (x, y) pairs consistent with the boxes and the δ
+    /// interval and checks both the lines and the concrete bounds.
+    fn check_sound(kind: ActKind, x: Interval, y: Interval, d: Interval) {
+        let (relax, concrete) = relax_activation_diff(kind, &x, &y, &d);
+        let n = 60;
+        for i in 0..=n {
+            for j in 0..=n {
+                let xv = x.lo() + x.width() * i as f64 / n as f64;
+                let yv = y.lo() + y.width() * j as f64 / n as f64;
+                let dv = xv - yv;
+                if !d.contains(dv) {
+                    continue;
+                }
+                let delta = kind.eval(xv) - kind.eval(yv);
+                assert!(
+                    relax.lower_at(dv) <= delta + 1e-9,
+                    "{kind} lower line violated: x={xv} y={yv} δ={dv}: {} > {delta}",
+                    relax.lower_at(dv)
+                );
+                assert!(
+                    relax.upper_at(dv) >= delta - 1e-9,
+                    "{kind} upper line violated: x={xv} y={yv} δ={dv}: {} < {delta}",
+                    relax.upper_at(dv)
+                );
+                assert!(
+                    concrete.lo() - 1e-9 <= delta && delta <= concrete.hi() + 1e-9,
+                    "{kind} concrete {concrete} misses {delta} (x={xv}, y={yv})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relu_diff_all_nine_cases_are_sound() {
+        let act = Interval::new(0.5, 2.0);
+        let inact = Interval::new(-2.0, -0.5);
+        let unstable = Interval::new(-1.0, 1.5);
+        for x in [act, inact, unstable] {
+            for y in [act, inact, unstable] {
+                let d = (x - y).intersect(&Interval::new(-10.0, 10.0));
+                check_sound(ActKind::Relu, x, y, d);
+            }
+        }
+    }
+
+    #[test]
+    fn relu_diff_with_tight_delta_beats_interval_subtraction() {
+        // Both unstable with the same range, but δ pinned near a constant —
+        // the relational information the paper exploits for UAP.
+        let x = Interval::new(-1.0, 1.0);
+        let y = Interval::new(-1.0, 1.0);
+        let d = Interval::new(0.1, 0.2);
+        check_sound(ActKind::Relu, x, y, d);
+        let (_, concrete) = relax_relu_diff(&x, &y, &d);
+        // Interval subtraction gives [-1, 1] − [0? ...]: ReLU images are
+        // [0,1] each → diff [-1,1]. Difference tracking keeps Δ ≤ 0.2.
+        assert!(concrete.hi() <= 0.2 + 1e-12);
+        assert!(concrete.lo() >= 0.0 - 1e-12);
+    }
+
+    #[test]
+    fn relu_diff_both_active_is_exact() {
+        let x = Interval::new(1.0, 2.0);
+        let y = Interval::new(0.0, 0.5);
+        let d = x - y;
+        let (relax, concrete) = relax_relu_diff(&x, &y, &d);
+        assert_eq!(relax, DiffRelaxation::exact(1.0, 0.0));
+        assert_eq!(concrete, d);
+    }
+
+    #[test]
+    fn relu_diff_both_inactive_is_zero() {
+        let x = Interval::new(-3.0, -1.0);
+        let y = Interval::new(-2.0, -0.1);
+        let d = x - y;
+        let (relax, concrete) = relax_relu_diff(&x, &y, &d);
+        assert_eq!(concrete, Interval::point(0.0));
+        assert_eq!(relax.lower_at(d.mid()), 0.0);
+        assert_eq!(relax.upper_at(d.mid()), 0.0);
+    }
+
+    #[test]
+    fn sshape_diff_is_sound_across_regimes() {
+        for kind in [ActKind::Sigmoid, ActKind::Tanh] {
+            check_sound(
+                kind,
+                Interval::new(-1.0, 1.0),
+                Interval::new(-1.2, 0.8),
+                Interval::new(-0.3, 0.4),
+            );
+            check_sound(
+                kind,
+                Interval::new(0.5, 2.0),
+                Interval::new(0.4, 1.9),
+                Interval::new(0.05, 0.15),
+            );
+            check_sound(
+                kind,
+                Interval::new(-2.0, -0.5),
+                Interval::new(-1.5, 0.5),
+                Interval::new(-1.0, 0.0),
+            );
+        }
+    }
+
+    #[test]
+    fn sshape_diff_sign_preservation() {
+        // Monotone activation: δ ≥ 0 forces Δ ≥ 0 — crucial for
+        // monotonicity certification.
+        let x = Interval::new(-0.5, 1.5);
+        let y = Interval::new(-1.0, 1.0);
+        let d = Interval::new(0.0, 0.5);
+        for kind in [ActKind::Sigmoid, ActKind::Tanh] {
+            let (_, concrete) = relax_sshape_diff(kind, &x, &y, &d);
+            assert!(concrete.lo() >= -1e-12, "{kind}: {concrete}");
+        }
+        let (_, concrete) = relax_relu_diff(&x, &y, &d);
+        assert!(concrete.lo() >= -1e-12, "relu: {concrete}");
+    }
+
+    #[test]
+    fn piecewise_linear_diff_transformers_are_sound() {
+        for kind in [ActKind::LeakyRelu, ActKind::HardTanh] {
+            check_sound(
+                kind,
+                Interval::new(-1.5, 1.5),
+                Interval::new(-1.2, 0.8),
+                Interval::new(-0.5, 0.6),
+            );
+            check_sound(
+                kind,
+                Interval::new(0.5, 2.0),
+                Interval::new(0.4, 1.9),
+                Interval::new(0.05, 0.15),
+            );
+            check_sound(
+                kind,
+                Interval::new(-2.5, -0.5),
+                Interval::new(-1.5, 0.5),
+                Interval::new(-1.2, 0.0),
+            );
+        }
+    }
+
+    #[test]
+    fn leaky_relu_diff_active_pair_is_exact() {
+        // Both strictly positive: slope range degenerates to {1} → Δ = δ.
+        let x = Interval::new(1.0, 2.0);
+        let y = Interval::new(0.5, 1.5);
+        let d = Interval::new(0.2, 0.4);
+        let (relax, concrete) = relax_activation_diff(ActKind::LeakyRelu, &x, &y, &d);
+        assert!((relax.lower_at(0.3) - 0.3).abs() < 1e-12);
+        assert!((relax.upper_at(0.3) - 0.3).abs() < 1e-12);
+        assert!(concrete.lo() >= 0.2 - 1e-12 && concrete.hi() <= 0.4 + 1e-12);
+    }
+
+    #[test]
+    fn hard_tanh_diff_saturated_pair_is_zero() {
+        // Both saturated high: the difference is exactly zero.
+        let x = Interval::new(1.5, 3.0);
+        let y = Interval::new(1.2, 2.0);
+        let d = x - y;
+        let (_, concrete) = relax_activation_diff(ActKind::HardTanh, &x, &y, &d);
+        assert!(concrete.lo().abs() < 1e-12 && concrete.hi().abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_delta_point_gives_tight_result_for_active_pair() {
+        let x = Interval::new(2.0, 3.0);
+        let y = Interval::new(1.0, 2.0);
+        let d = Interval::point(1.0);
+        let (_, concrete) = relax_relu_diff(&x, &y, &d);
+        assert!((concrete.lo() - 1.0).abs() < 1e-12);
+        assert!((concrete.hi() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based soundness tests for the difference transformers: for any
+//! pre-activation boxes and any consistent pair of points, the δ-space
+//! lines and the concrete bounds must contain the true output difference.
+
+use proptest::prelude::*;
+use raven_diffpoly::relax_activation_diff;
+use raven_interval::Interval;
+use raven_nn::ActKind;
+
+#[derive(Debug, Clone)]
+struct PairCase {
+    x: Interval,
+    y: Interval,
+    xv: f64,
+    yv: f64,
+}
+
+fn pair_case() -> impl Strategy<Value = PairCase> {
+    (
+        -4.0f64..4.0,
+        0.0f64..5.0,
+        -4.0f64..4.0,
+        0.0f64..5.0,
+        0.0f64..1.0,
+        0.0f64..1.0,
+    )
+        .prop_map(|(xlo, xw, ylo, yw, tx, ty)| PairCase {
+            x: Interval::new(xlo, xlo + xw),
+            y: Interval::new(ylo, ylo + yw),
+            xv: xlo + xw * tx,
+            yv: ylo + yw * ty,
+        })
+}
+
+fn check(kind: ActKind, case: &PairCase, d: Interval) -> Result<(), TestCaseError> {
+    let dv = case.xv - case.yv;
+    prop_assume!(d.contains(dv));
+    let (relax, concrete) = relax_activation_diff(kind, &case.x, &case.y, &d);
+    let delta = kind.eval(case.xv) - kind.eval(case.yv);
+    prop_assert!(
+        relax.lower_at(dv) <= delta + 1e-9,
+        "{kind}: lower line {} > Δ = {delta} (x={}, y={})",
+        relax.lower_at(dv),
+        case.xv,
+        case.yv
+    );
+    prop_assert!(
+        relax.upper_at(dv) >= delta - 1e-9,
+        "{kind}: upper line {} < Δ = {delta} (x={}, y={})",
+        relax.upper_at(dv),
+        case.xv,
+        case.yv
+    );
+    prop_assert!(
+        concrete.lo() - 1e-9 <= delta && delta <= concrete.hi() + 1e-9,
+        "{kind}: concrete {concrete} misses Δ = {delta}"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn relu_diff_sound_with_full_delta(case in pair_case()) {
+        let d = case.x - case.y;
+        check(ActKind::Relu, &case, d)?;
+    }
+
+    #[test]
+    fn relu_diff_sound_with_tight_delta(case in pair_case(), shrink in 0.0f64..0.45) {
+        // Shrink the δ interval symmetrically around the actual difference.
+        let full = case.x - case.y;
+        let dv = case.xv - case.yv;
+        let lo = dv - (dv - full.lo()) * (1.0 - shrink);
+        let hi = dv + (full.hi() - dv) * (1.0 - shrink);
+        check(ActKind::Relu, &case, Interval::new(lo, hi))?;
+    }
+
+    #[test]
+    fn sigmoid_diff_sound(case in pair_case()) {
+        let d = case.x - case.y;
+        check(ActKind::Sigmoid, &case, d)?;
+    }
+
+    #[test]
+    fn tanh_diff_sound(case in pair_case()) {
+        let d = case.x - case.y;
+        check(ActKind::Tanh, &case, d)?;
+    }
+
+    #[test]
+    fn diff_bounds_never_looser_than_lipschitz(case in pair_case()) {
+        // |Δ| ≤ max_slope · |δ| for every activation: the concrete result
+        // must stay inside the scaled-Lipschitz envelope of the δ interval.
+        for kind in ActKind::all() {
+            let d = case.x - case.y;
+            let (_, concrete) = relax_activation_diff(kind, &case.x, &case.y, &d);
+            let s = kind.max_slope();
+            let envelope = Interval::new(
+                (s * d.lo()).min(0.0).min(s * d.hi()),
+                (s * d.hi()).max(0.0).max(s * d.lo()),
+            );
+            prop_assert!(
+                envelope.contains_interval(&concrete)
+                    || concrete.width() <= envelope.width() + 1e-9,
+                "{kind}: {concrete} escapes the Lipschitz envelope {envelope}"
+            );
+        }
+    }
+
+    #[test]
+    fn monotone_sign_preservation(case in pair_case()) {
+        // If δ ≥ 0 everywhere then Δ ≥ 0: monotonicity of the activations.
+        let full = case.x - case.y;
+        prop_assume!(full.hi() > 0.0);
+        let d = Interval::new(full.lo().max(0.0), full.hi());
+        prop_assume!(!d.is_empty() && d.lo() >= 0.0);
+        for kind in ActKind::all() {
+            let (_, concrete) = relax_activation_diff(kind, &case.x, &case.y, &d);
+            prop_assert!(concrete.lo() >= -1e-9, "{kind}: sign lost: {concrete}");
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Interval (Box) propagation through an [`AnalysisPlan`].
+
+use crate::Interval;
+use raven_nn::{ActKind, AnalysisPlan, PlanStep};
+use raven_tensor::Matrix;
+
+/// Sound interval image of the affine map `W x + b` using center–radius
+/// evaluation: `y = W c + b ± |W| r`.
+///
+/// # Panics
+///
+/// Panics when `input.len() != weight.cols()` or any input is empty.
+pub fn affine_image(weight: &Matrix, bias: &[f64], input: &[Interval]) -> Vec<Interval> {
+    assert_eq!(input.len(), weight.cols(), "affine_image: width mismatch");
+    let center: Vec<f64> = input
+        .iter()
+        .map(|iv| {
+            assert!(!iv.is_empty(), "affine_image: empty input interval");
+            iv.mid()
+        })
+        .collect();
+    let radius: Vec<f64> = input.iter().map(|iv| 0.5 * iv.width()).collect();
+    (0..weight.rows())
+        .map(|i| {
+            let row = weight.row(i);
+            let c = raven_tensor::dot(row, &center) + bias[i];
+            let r: f64 = row
+                .iter()
+                .zip(&radius)
+                .map(|(&w, &rad)| w.abs() * rad)
+                .sum();
+            Interval::new(c - r, c + r)
+        })
+        .collect()
+}
+
+/// Sound interval image of an elementwise activation (all supported
+/// activations are monotone).
+pub fn act_image(kind: ActKind, input: &[Interval]) -> Vec<Interval> {
+    input
+        .iter()
+        .map(|iv| iv.map_monotone(|x| kind.eval(x)))
+        .collect()
+}
+
+/// Result of running interval analysis: one vector of intervals per plan
+/// boundary (`bounds[0]` is the input box, `bounds.last()` the output box).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalAnalysis {
+    /// Per-boundary interval vectors.
+    pub bounds: Vec<Vec<Interval>>,
+}
+
+impl IntervalAnalysis {
+    /// Runs the Box domain over `plan` starting from `input`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `input.len() != plan.input_dim()`.
+    pub fn run(plan: &AnalysisPlan, input: &[Interval]) -> Self {
+        assert_eq!(
+            input.len(),
+            plan.input_dim(),
+            "interval analysis: input width mismatch"
+        );
+        let mut bounds = Vec::with_capacity(plan.steps().len() + 1);
+        bounds.push(input.to_vec());
+        for step in plan.steps() {
+            let cur = bounds.last().expect("bounds non-empty");
+            let next = match step {
+                PlanStep::Affine { weight, bias } => affine_image(weight, bias, cur),
+                PlanStep::Act(kind) => act_image(*kind, cur),
+            };
+            bounds.push(next);
+        }
+        Self { bounds }
+    }
+
+    /// Interval bounds on the network output.
+    pub fn output(&self) -> &[Interval] {
+        self.bounds.last().expect("bounds non-empty")
+    }
+}
+
+/// The ℓ∞ ball of radius `eps` around `center`, intersected with
+/// `[clamp_lo, clamp_hi]` (use `-inf/inf` for no clamping).
+///
+/// # Examples
+///
+/// ```
+/// let ball = raven_interval::linf_ball(&[0.95, 0.5], 0.1, 0.0, 1.0);
+/// assert_eq!(ball[0].hi(), 1.0);
+/// assert_eq!(ball[1].lo(), 0.4);
+/// ```
+pub fn linf_ball(center: &[f64], eps: f64, clamp_lo: f64, clamp_hi: f64) -> Vec<Interval> {
+    center
+        .iter()
+        .map(|&c| Interval::new((c - eps).max(clamp_lo), (c + eps).min(clamp_hi)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raven_nn::NetworkBuilder;
+
+    #[test]
+    fn affine_image_contains_all_corner_images() {
+        let w = Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 0.5]]);
+        let b = [0.1, -0.1];
+        let input = [Interval::new(-1.0, 1.0), Interval::new(0.0, 2.0)];
+        let out = affine_image(&w, &b, &input);
+        for &x0 in &[-1.0, 1.0] {
+            for &x1 in &[0.0, 2.0] {
+                let y = [
+                    1.0 * x0 - 2.0 * x1 + 0.1,
+                    0.5 * x0 + 0.5 * x1 - 0.1,
+                ];
+                assert!(out[0].contains(y[0]));
+                assert!(out[1].contains(y[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn analysis_output_contains_concrete_executions() {
+        let net = NetworkBuilder::new(3)
+            .dense(5, 2)
+            .activation(ActKind::Relu)
+            .dense(2, 3)
+            .activation(ActKind::Sigmoid)
+            .build();
+        let plan = net.to_plan();
+        let center = [0.4, 0.6, 0.5];
+        let ball = linf_ball(&center, 0.05, 0.0, 1.0);
+        let analysis = IntervalAnalysis::run(&plan, &ball);
+        // Sample a few concrete points inside the ball.
+        for s in 0..10 {
+            let t = s as f64 / 9.0;
+            let x: Vec<f64> = center
+                .iter()
+                .map(|&c| (c - 0.05 + 0.1 * t).clamp(0.0, 1.0))
+                .collect();
+            let y = net.forward(&x);
+            for (iv, &v) in analysis.output().iter().zip(&y) {
+                assert!(
+                    iv.lo() - 1e-9 <= v && v <= iv.hi() + 1e-9,
+                    "{iv} does not contain {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn linf_ball_clamps() {
+        let ball = linf_ball(&[0.02], 0.1, 0.0, 1.0);
+        assert_eq!(ball[0].lo(), 0.0);
+        assert!((ball[0].hi() - 0.12).abs() < 1e-15);
+    }
+
+    #[test]
+    fn point_input_gives_exact_forward() {
+        let net = NetworkBuilder::new(2)
+            .dense(3, 8)
+            .activation(ActKind::Tanh)
+            .dense(2, 9)
+            .build();
+        let plan = net.to_plan();
+        let x = [0.3, 0.7];
+        let box_in: Vec<Interval> = x.iter().map(|&v| Interval::point(v)).collect();
+        let analysis = IntervalAnalysis::run(&plan, &box_in);
+        let y = net.forward(&x);
+        for (iv, &v) in analysis.output().iter().zip(&y) {
+            assert!((iv.lo() - v).abs() < 1e-9 && (iv.hi() - v).abs() < 1e-9);
+        }
+    }
+}

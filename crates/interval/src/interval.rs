@@ -1,0 +1,270 @@
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A closed interval `[lo, hi]` over `f64`.
+///
+/// The empty interval is represented by `lo > hi` (see
+/// [`Interval::is_empty`]). Arithmetic follows standard interval semantics
+/// and is sound up to floating-point rounding (the same model the paper's
+/// tooling uses; see `DESIGN.md` for the rounding caveat).
+///
+/// # Examples
+///
+/// ```
+/// use raven_interval::Interval;
+///
+/// let a = Interval::new(-1.0, 2.0);
+/// let b = Interval::new(0.5, 0.5);
+/// assert_eq!((a + b).lo(), -0.5);
+/// assert_eq!((a * 2.0).hi(), 4.0);
+/// assert!(a.contains(0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+}
+
+impl Interval {
+    /// Creates `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either endpoint is NaN.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(!lo.is_nan() && !hi.is_nan(), "interval endpoints are NaN");
+        Self { lo, hi }
+    }
+
+    /// The degenerate interval `[x, x]`.
+    pub fn point(x: f64) -> Self {
+        Self::new(x, x)
+    }
+
+    /// The interval `[-r, r]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r < 0` or NaN.
+    pub fn symmetric(r: f64) -> Self {
+        assert!(r >= 0.0, "radius must be non-negative");
+        Self::new(-r, r)
+    }
+
+    /// An empty interval.
+    pub fn empty() -> Self {
+        Self {
+            lo: f64::INFINITY,
+            hi: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The whole real line.
+    pub fn top() -> Self {
+        Self {
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY,
+        }
+    }
+
+    /// Lower endpoint.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Whether the interval contains no points.
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// Width `hi - lo` (0 for empty intervals).
+    pub fn width(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.hi - self.lo
+        }
+    }
+
+    /// Midpoint (NaN for empty or unbounded intervals).
+    pub fn mid(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// Whether `x` lies inside.
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// Whether `other` is a subset of `self`.
+    pub fn contains_interval(&self, other: &Interval) -> bool {
+        other.is_empty() || (self.lo <= other.lo && other.hi <= self.hi)
+    }
+
+    /// Smallest interval containing both.
+    pub fn hull(&self, other: &Interval) -> Interval {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Interval::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+
+    /// Intersection (may be empty).
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        }
+    }
+
+    /// Image under a monotone non-decreasing function.
+    pub fn map_monotone<F: Fn(f64) -> f64>(&self, f: F) -> Interval {
+        if self.is_empty() {
+            return Interval::empty();
+        }
+        Interval::new(f(self.lo), f(self.hi))
+    }
+
+    /// Clamps both endpoints into `[lo, hi]`.
+    pub fn clamp_to(&self, lo: f64, hi: f64) -> Interval {
+        self.intersect(&Interval::new(lo, hi))
+    }
+}
+
+impl Add for Interval {
+    type Output = Interval;
+
+    fn add(self, rhs: Interval) -> Interval {
+        if self.is_empty() || rhs.is_empty() {
+            return Interval::empty();
+        }
+        Interval::new(self.lo + rhs.lo, self.hi + rhs.hi)
+    }
+}
+
+impl Sub for Interval {
+    type Output = Interval;
+
+    fn sub(self, rhs: Interval) -> Interval {
+        if self.is_empty() || rhs.is_empty() {
+            return Interval::empty();
+        }
+        Interval::new(self.lo - rhs.hi, self.hi - rhs.lo)
+    }
+}
+
+impl Neg for Interval {
+    type Output = Interval;
+
+    fn neg(self) -> Interval {
+        if self.is_empty() {
+            return Interval::empty();
+        }
+        Interval::new(-self.hi, -self.lo)
+    }
+}
+
+impl Mul<f64> for Interval {
+    type Output = Interval;
+
+    fn mul(self, k: f64) -> Interval {
+        if self.is_empty() {
+            return Interval::empty();
+        }
+        if k >= 0.0 {
+            Interval::new(self.lo * k, self.hi * k)
+        } else {
+            Interval::new(self.hi * k, self.lo * k)
+        }
+    }
+}
+
+impl Mul for Interval {
+    type Output = Interval;
+
+    fn mul(self, rhs: Interval) -> Interval {
+        if self.is_empty() || rhs.is_empty() {
+            return Interval::empty();
+        }
+        let candidates = [
+            self.lo * rhs.lo,
+            self.lo * rhs.hi,
+            self.hi * rhs.lo,
+            self.hi * rhs.hi,
+        ];
+        let lo = candidates.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = candidates.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Interval::new(lo, hi)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            write!(f, "∅")
+        } else {
+            write!(f, "[{}, {}]", self.lo, self.hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_matches_endpoint_analysis() {
+        let a = Interval::new(-1.0, 2.0);
+        let b = Interval::new(3.0, 4.0);
+        assert_eq!(a + b, Interval::new(2.0, 6.0));
+        assert_eq!(a - b, Interval::new(-5.0, -1.0));
+        assert_eq!(a * b, Interval::new(-4.0, 8.0));
+        assert_eq!(-a, Interval::new(-2.0, 1.0));
+        assert_eq!(a * -2.0, Interval::new(-4.0, 2.0));
+    }
+
+    #[test]
+    fn empty_absorbs() {
+        let e = Interval::empty();
+        let a = Interval::new(0.0, 1.0);
+        assert!((e + a).is_empty());
+        assert!((a * e).is_empty());
+        assert!(e.is_empty());
+        assert_eq!(e.width(), 0.0);
+        assert_eq!(a.hull(&e), a);
+    }
+
+    #[test]
+    fn hull_and_intersect_are_duals() {
+        let a = Interval::new(0.0, 2.0);
+        let b = Interval::new(1.0, 3.0);
+        assert_eq!(a.hull(&b), Interval::new(0.0, 3.0));
+        assert_eq!(a.intersect(&b), Interval::new(1.0, 2.0));
+        assert!(a.intersect(&Interval::new(5.0, 6.0)).is_empty());
+    }
+
+    #[test]
+    fn containment() {
+        let a = Interval::new(0.0, 2.0);
+        assert!(a.contains(0.0) && a.contains(2.0) && !a.contains(2.1));
+        assert!(a.contains_interval(&Interval::new(0.5, 1.5)));
+        assert!(a.contains_interval(&Interval::empty()));
+        assert!(!a.contains_interval(&Interval::new(-0.1, 1.0)));
+    }
+
+    #[test]
+    fn monotone_map_and_clamp() {
+        let a = Interval::new(-2.0, 3.0);
+        let r = a.map_monotone(|x| x.max(0.0));
+        assert_eq!(r, Interval::new(0.0, 3.0));
+        assert_eq!(a.clamp_to(0.0, 1.0), Interval::new(0.0, 1.0));
+    }
+}

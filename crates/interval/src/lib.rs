@@ -1,0 +1,30 @@
+//! Interval (Box) abstract domain.
+//!
+//! The weakest — and fastest — verifier baseline in the RaVeN evaluation:
+//! every neuron is over-approximated by an independent interval, losing all
+//! correlations. It also supplies the concrete bound machinery used inside
+//! DeepPoly and DiffPoly (concretization of symbolic bounds is interval
+//! evaluation over the input box).
+//!
+//! # Examples
+//!
+//! ```
+//! use raven_interval::{linf_ball, Interval, IntervalAnalysis};
+//! use raven_nn::{ActKind, NetworkBuilder};
+//!
+//! let plan = NetworkBuilder::new(2)
+//!     .dense(4, 1)
+//!     .activation(ActKind::Relu)
+//!     .dense(2, 2)
+//!     .build()
+//!     .to_plan();
+//! let ball = linf_ball(&[0.5, 0.5], 0.1, 0.0, 1.0);
+//! let analysis = IntervalAnalysis::run(&plan, &ball);
+//! assert_eq!(analysis.output().len(), 2);
+//! ```
+
+mod analyze;
+mod interval;
+
+pub use analyze::{act_image, affine_image, linf_ball, IntervalAnalysis};
+pub use interval::Interval;

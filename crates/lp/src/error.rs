@@ -1,0 +1,50 @@
+use std::error::Error;
+use std::fmt;
+
+/// Failures of the LP/MILP machinery that are not well-defined solver
+/// outcomes (infeasible/unbounded are *statuses*, not errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// The simplex iteration limit was exceeded.
+    IterationLimit {
+        /// The limit that was hit.
+        limit: usize,
+    },
+    /// The basis matrix became numerically singular.
+    SingularBasis,
+    /// The branch-and-bound node limit was exceeded.
+    NodeLimit {
+        /// The limit that was hit.
+        limit: usize,
+    },
+    /// Problem construction was invalid (e.g. inverted bounds).
+    InvalidModel(String),
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::IterationLimit { limit } => {
+                write!(f, "simplex exceeded {limit} iterations")
+            }
+            LpError::SingularBasis => write!(f, "basis matrix is singular"),
+            LpError::NodeLimit { limit } => {
+                write!(f, "branch-and-bound exceeded {limit} nodes")
+            }
+            LpError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
+        }
+    }
+}
+
+impl Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_limits() {
+        assert!(LpError::IterationLimit { limit: 5 }.to_string().contains('5'));
+        assert!(LpError::NodeLimit { limit: 9 }.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,311 @@
+//! LP presolve: cheap, soundness-preserving problem reductions applied
+//! before the simplex.
+//!
+//! Three classic reductions, iterated for a few rounds:
+//!
+//! 1. **Singleton rows** `c·x ⋛ b` are converted into variable bounds and
+//!    dropped.
+//! 2. **Redundant rows** whose activity range (computed from the variable
+//!    bounds) already implies the constraint are dropped.
+//! 3. **Bound propagation**: for every row and variable, the row's residual
+//!    activity tightens the variable's bounds.
+//!
+//! Presolve preserves the feasible set exactly (it only removes implied
+//! rows and tightens bounds to implied values), so optimal values and
+//! optimal solutions are unchanged. Infeasibility can be detected outright,
+//! which matters inside branch & bound where fixing a binary variable often
+//! makes a node's subproblem trivially empty.
+
+use crate::model::Row;
+use crate::{LpProblem, Sense};
+
+/// Outcome of a presolve pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PresolveReport {
+    /// Rows removed (singleton or redundant).
+    pub removed_rows: usize,
+    /// Variable-bound tightenings applied.
+    pub tightened_bounds: usize,
+    /// Whether presolve proved the problem infeasible.
+    pub infeasible: bool,
+}
+
+/// Activity range of a row over the current variable bounds.
+fn activity(row: &Row, bounds: &[(f64, f64)]) -> (f64, f64) {
+    let mut lo = 0.0;
+    let mut hi = 0.0;
+    for &(v, c) in row.expr.terms() {
+        let (blo, bhi) = bounds[v.index()];
+        if c >= 0.0 {
+            lo += c * blo;
+            hi += c * bhi;
+        } else {
+            lo += c * bhi;
+            hi += c * blo;
+        }
+    }
+    (lo, hi)
+}
+
+/// Tightens `var`'s bounds to `[lo, hi]` (intersection), counting changes.
+/// Returns `false` when the domain becomes empty beyond tolerance.
+fn tighten(
+    bounds: &mut [(f64, f64)],
+    var: usize,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    report: &mut PresolveReport,
+) -> bool {
+    let (cur_lo, cur_hi) = bounds[var];
+    let new_lo = cur_lo.max(lo);
+    let new_hi = cur_hi.min(hi);
+    if new_lo > new_hi + tol {
+        report.infeasible = true;
+        return false;
+    }
+    // Only count meaningful tightenings to keep the fixpoint loop finite.
+    let significant = new_lo > cur_lo + tol || new_hi < cur_hi - tol;
+    if significant {
+        report.tightened_bounds += 1;
+        bounds[var] = (new_lo, new_hi.max(new_lo));
+    }
+    significant
+}
+
+/// Runs presolve in place for at most `rounds` fixpoint rounds.
+///
+/// Integer markers and the objective are untouched; only rows and bounds
+/// change. The variable set (and therefore solution indexing) is preserved.
+pub fn presolve(problem: &mut LpProblem, rounds: usize) -> PresolveReport {
+    let tol = 1e-9;
+    let mut report = PresolveReport::default();
+    for _ in 0..rounds {
+        let mut changed = false;
+        let mut keep: Vec<Row> = Vec::with_capacity(problem.rows.len());
+        let rows = std::mem::take(&mut problem.rows);
+        for row in rows {
+            let terms = row.expr.terms();
+            // 1. Singleton row → variable bound.
+            if terms.len() == 1 {
+                let (v, c) = terms[0];
+                if c.abs() > tol {
+                    let target = row.rhs / c;
+                    let (lo, hi) = match (row.sense, c > 0.0) {
+                        (Sense::Le, true) | (Sense::Ge, false) => (f64::NEG_INFINITY, target),
+                        (Sense::Ge, true) | (Sense::Le, false) => (target, f64::INFINITY),
+                        (Sense::Eq, _) => (target, target),
+                    };
+                    tighten(&mut problem.bounds, v.index(), lo, hi, tol, &mut report);
+                    report.removed_rows += 1;
+                    changed = true;
+                    if report.infeasible {
+                        problem.rows = keep;
+                        return report;
+                    }
+                    continue;
+                }
+                // Zero-coefficient singleton: constant row.
+                let ok = match row.sense {
+                    Sense::Le => 0.0 <= row.rhs + tol,
+                    Sense::Ge => 0.0 >= row.rhs - tol,
+                    Sense::Eq => row.rhs.abs() <= tol,
+                };
+                if !ok {
+                    report.infeasible = true;
+                    problem.rows = keep;
+                    return report;
+                }
+                report.removed_rows += 1;
+                changed = true;
+                continue;
+            }
+            let (act_lo, act_hi) = activity(&row, &problem.bounds);
+            // 2. Redundant / infeasible rows.
+            let (redundant, impossible) = match row.sense {
+                Sense::Le => (act_hi <= row.rhs + tol, act_lo > row.rhs + tol),
+                Sense::Ge => (act_lo >= row.rhs - tol, act_hi < row.rhs - tol),
+                Sense::Eq => (
+                    (act_lo - row.rhs).abs() <= tol && (act_hi - row.rhs).abs() <= tol,
+                    act_lo > row.rhs + tol || act_hi < row.rhs - tol,
+                ),
+            };
+            if impossible {
+                report.infeasible = true;
+                problem.rows = keep;
+                return report;
+            }
+            if redundant {
+                report.removed_rows += 1;
+                changed = true;
+                continue;
+            }
+            // 3. Bound propagation (≤-style and ≥-style sides).
+            if act_lo.is_finite() || act_hi.is_finite() {
+                for &(v, c) in row.expr.terms() {
+                    if c.abs() <= tol {
+                        continue;
+                    }
+                    let (blo, bhi) = problem.bounds[v.index()];
+                    // Residual activity of the other terms.
+                    let (other_lo, other_hi) = {
+                        let (mut lo, mut hi) = (act_lo, act_hi);
+                        if c >= 0.0 {
+                            lo -= c * blo;
+                            hi -= c * bhi;
+                        } else {
+                            lo -= c * bhi;
+                            hi -= c * blo;
+                        }
+                        (lo, hi)
+                    };
+                    let mut new_lo = f64::NEG_INFINITY;
+                    let mut new_hi = f64::INFINITY;
+                    if matches!(row.sense, Sense::Le | Sense::Eq) && other_lo.is_finite() {
+                        // c·x ≤ rhs − other_lo.
+                        let limit = (row.rhs - other_lo) / c;
+                        if c > 0.0 {
+                            new_hi = new_hi.min(limit);
+                        } else {
+                            new_lo = new_lo.max(limit);
+                        }
+                    }
+                    if matches!(row.sense, Sense::Ge | Sense::Eq) && other_hi.is_finite() {
+                        // c·x ≥ rhs − other_hi.
+                        let limit = (row.rhs - other_hi) / c;
+                        if c > 0.0 {
+                            new_lo = new_lo.max(limit);
+                        } else {
+                            new_hi = new_hi.min(limit);
+                        }
+                    }
+                    if tighten(&mut problem.bounds, v.index(), new_lo, new_hi, tol, &mut report)
+                    {
+                        changed = true;
+                    }
+                    if report.infeasible {
+                        // Keep remaining rows for debuggability and stop.
+                        keep.push(row.clone());
+                        problem.rows = keep;
+                        return report;
+                    }
+                }
+            }
+            keep.push(row);
+        }
+        problem.rows = keep;
+        if !changed {
+            break;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Direction, LinExpr, LpProblem, Sense, SolveStatus};
+
+    #[test]
+    fn singleton_rows_become_bounds() {
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 10.0);
+        p.add_constraint(LinExpr::new().term(2.0, x), Sense::Le, 4.0);
+        p.add_constraint(LinExpr::new().term(1.0, x), Sense::Ge, 1.0);
+        let report = presolve(&mut p, 3);
+        assert_eq!(report.removed_rows, 2);
+        assert_eq!(p.num_constraints(), 0);
+        assert_eq!(p.bounds[0], (1.0, 2.0));
+    }
+
+    #[test]
+    fn redundant_rows_are_removed() {
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 1.0);
+        let y = p.add_var(0.0, 1.0);
+        // x + y ≤ 5 is implied by the bounds.
+        p.add_constraint(LinExpr::new().term(1.0, x).term(1.0, y), Sense::Le, 5.0);
+        let report = presolve(&mut p, 3);
+        assert_eq!(report.removed_rows, 1);
+        assert_eq!(p.num_constraints(), 0);
+        assert!(!report.infeasible);
+    }
+
+    #[test]
+    fn bound_propagation_tightens() {
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 10.0);
+        let y = p.add_var(0.0, 10.0);
+        // x + y ≤ 3 → both x, y ≤ 3.
+        p.add_constraint(LinExpr::new().term(1.0, x).term(1.0, y), Sense::Le, 3.0);
+        let report = presolve(&mut p, 3);
+        assert!(report.tightened_bounds >= 2);
+        assert!(p.bounds[0].1 <= 3.0 + 1e-9);
+        assert!(p.bounds[1].1 <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn detects_infeasibility_from_bounds() {
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 1.0);
+        p.add_constraint(LinExpr::new().term(1.0, x), Sense::Ge, 2.0);
+        let report = presolve(&mut p, 3);
+        assert!(report.infeasible);
+    }
+
+    #[test]
+    fn detects_infeasibility_from_activity() {
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 1.0);
+        let y = p.add_var(0.0, 1.0);
+        p.add_constraint(LinExpr::new().term(1.0, x).term(1.0, y), Sense::Ge, 3.0);
+        let report = presolve(&mut p, 3);
+        assert!(report.infeasible);
+    }
+
+    #[test]
+    fn presolve_preserves_the_optimum() {
+        // A problem mixing all reduction opportunities.
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 10.0);
+        let y = p.add_var(0.0, 10.0);
+        let z = p.add_var(-5.0, 5.0);
+        p.add_constraint(LinExpr::new().term(1.0, x), Sense::Le, 4.0); // singleton
+        p.add_constraint(
+            LinExpr::new().term(1.0, x).term(1.0, y).term(1.0, z),
+            Sense::Le,
+            100.0,
+        ); // redundant
+        p.add_constraint(LinExpr::new().term(1.0, x).term(2.0, y), Sense::Le, 8.0);
+        p.add_constraint(LinExpr::new().term(1.0, y).term(-1.0, z), Sense::Ge, 0.0);
+        p.set_objective(
+            Direction::Maximize,
+            LinExpr::new().term(3.0, x).term(2.0, y).term(1.0, z),
+        );
+        let baseline = p.solve().expect("solves").objective;
+        let mut q = p.clone();
+        let report = presolve(&mut q, 4);
+        assert!(!report.infeasible);
+        let presolved = q.solve().expect("solves");
+        assert_eq!(presolved.status, SolveStatus::Optimal);
+        assert!(
+            (presolved.objective - baseline).abs() < 1e-6,
+            "presolve changed optimum: {} vs {baseline}",
+            presolved.objective
+        );
+        // The presolved solution is feasible for the original problem.
+        assert!(p.is_feasible(&presolved.values, 1e-6));
+    }
+
+    #[test]
+    fn equality_rows_propagate_both_sides() {
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 10.0);
+        let y = p.add_var(2.0, 3.0);
+        p.add_constraint(LinExpr::new().term(1.0, x).term(1.0, y), Sense::Eq, 5.0);
+        presolve(&mut p, 3);
+        // x = 5 − y ∈ [2, 3].
+        assert!(p.bounds[0].0 >= 2.0 - 1e-9);
+        assert!(p.bounds[0].1 <= 3.0 + 1e-9);
+    }
+}

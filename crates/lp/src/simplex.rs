@@ -1,0 +1,991 @@
+//! Bounded-variable two-phase primal simplex with an explicit dense basis
+//! inverse.
+//!
+//! The solver works on the computational form `A x + I s (+ Σ σ_i t_i) = b`
+//! with bounds `l ≤ (x, s) ≤ u`, `t ≥ 0`, where one slack `s_i` is added
+//! per row (`≤ → [0, ∞)`, `≥ → (-∞, 0]`, `= → [0, 0]`) and one *artificial*
+//! `t_i` is added for every row whose initial slack value violates its
+//! bounds. Phase 1 minimizes `Σ t_i` from a feasible basic start (the
+//! artificials absorb all residuals); phase 2 pins the artificials to zero
+//! and minimizes the user objective. Both phases use **fixed** cost
+//! vectors, so Bland's anti-cycling rule applies verbatim when degeneracy
+//! stalls progress.
+//!
+//! Numerical model: plain `f64` with a feasibility/optimality tolerance of
+//! `1e-7`, a two-pass Harris-style ratio test that prefers large pivots,
+//! and periodic refactorization of the basis inverse. These are the same
+//! guarantees a floating-point Gurobi run provides the original RaVeN
+//! implementation (see `DESIGN.md`).
+
+use crate::{Direction, LpError, LpProblem, Sense, Solution, SolveStatus};
+
+/// Tunable parameters for the simplex solver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimplexOptions {
+    /// Feasibility/optimality tolerance.
+    pub tol: f64,
+    /// Hard iteration limit (per phase).
+    pub max_iters: usize,
+    /// Refactorize the basis inverse every this many pivots.
+    pub refactor_every: usize,
+    /// Consecutive degenerate pivots before switching to Bland's rule.
+    pub stall_threshold: usize,
+    /// Presolve fixpoint rounds before the simplex (0 disables presolve).
+    pub presolve_rounds: usize,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        Self {
+            tol: 1e-7,
+            max_iters: 50_000,
+            refactor_every: 300,
+            stall_threshold: 60,
+            presolve_rounds: 3,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum VarState {
+    Basic(usize),
+    NbLower,
+    NbUpper,
+    NbFree,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    One,
+    Two,
+}
+
+struct Tableau<'a> {
+    opts: &'a SimplexOptions,
+    m: usize,
+    n_struct: usize,
+    /// Structural + slack count (artificial indices start here).
+    n_slack_end: usize,
+    n_total: usize,
+    /// Sparse columns of the structural part of `A`.
+    cols: Vec<Vec<(usize, f64)>>,
+    /// Artificial columns: `(row, sign)`.
+    art: Vec<(usize, f64)>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    /// Phase-2 costs (0 for slacks and artificials).
+    cost: Vec<f64>,
+    rhs: Vec<f64>,
+    state: Vec<VarState>,
+    basis: Vec<usize>,
+    x: Vec<f64>,
+    /// Dense row-major `m x m` basis inverse.
+    binv: Vec<f64>,
+    pivots_since_refactor: usize,
+    stall_count: usize,
+}
+
+enum ColIter<'a> {
+    Struct(std::slice::Iter<'a, (usize, f64)>),
+    Single(Option<(usize, f64)>),
+}
+
+impl Iterator for ColIter<'_> {
+    type Item = (usize, f64);
+
+    fn next(&mut self) -> Option<(usize, f64)> {
+        match self {
+            ColIter::Struct(it) => it.next().copied(),
+            ColIter::Single(s) => s.take(),
+        }
+    }
+}
+
+impl<'a> Tableau<'a> {
+    fn new(problem: &LpProblem, opts: &'a SimplexOptions) -> Self {
+        let m = problem.rows.len();
+        let n_struct = problem.num_vars();
+        let n_slack_end = n_struct + m;
+        let mut cols = vec![Vec::new(); n_struct];
+        for (i, row) in problem.rows.iter().enumerate() {
+            for &(v, c) in row.expr.terms() {
+                cols[v.0].push((i, c));
+            }
+        }
+        let mut lower = Vec::with_capacity(n_slack_end);
+        let mut upper = Vec::with_capacity(n_slack_end);
+        for &(lo, hi) in &problem.bounds {
+            lower.push(lo);
+            upper.push(hi);
+        }
+        for row in &problem.rows {
+            match row.sense {
+                Sense::Le => {
+                    lower.push(0.0);
+                    upper.push(f64::INFINITY);
+                }
+                Sense::Ge => {
+                    lower.push(f64::NEG_INFINITY);
+                    upper.push(0.0);
+                }
+                Sense::Eq => {
+                    lower.push(0.0);
+                    upper.push(0.0);
+                }
+            }
+        }
+        // Phase-2 costs (sign-flipped for maximization).
+        let sign = match problem.direction {
+            Direction::Minimize => 1.0,
+            Direction::Maximize => -1.0,
+        };
+        let mut cost = vec![0.0; n_slack_end];
+        for &(v, c) in problem.objective.terms() {
+            cost[v.0] += sign * c;
+        }
+        let rhs: Vec<f64> = problem.rows.iter().map(|r| r.rhs).collect();
+        // Nonbasic structurals at their finite bound closest to zero (or 0
+        // when free).
+        let mut state = Vec::with_capacity(n_slack_end);
+        let mut x = vec![0.0; n_slack_end];
+        for j in 0..n_struct {
+            let (lo, hi) = (lower[j], upper[j]);
+            let (s, v) = if lo.is_finite() && hi.is_finite() {
+                if lo.abs() <= hi.abs() {
+                    (VarState::NbLower, lo)
+                } else {
+                    (VarState::NbUpper, hi)
+                }
+            } else if lo.is_finite() {
+                (VarState::NbLower, lo)
+            } else if hi.is_finite() {
+                (VarState::NbUpper, hi)
+            } else {
+                (VarState::NbFree, 0.0)
+            };
+            state.push(s);
+            x[j] = v;
+        }
+        // Row residuals with all structurals nonbasic: resid = b − N x_N.
+        let mut resid = rhs.clone();
+        for (j, xj) in x.iter().enumerate().take(n_struct) {
+            if *xj != 0.0 {
+                for &(i, a) in &cols[j] {
+                    resid[i] -= a * xj;
+                }
+            }
+        }
+        // Per row: clamp the slack into its bounds; if the residual exceeds
+        // them, an artificial absorbs the remainder and becomes basic,
+        // otherwise the slack itself is basic at the residual.
+        let mut art: Vec<(usize, f64)> = Vec::new();
+        let mut basis = Vec::with_capacity(m);
+        for (i, &r) in resid.iter().enumerate() {
+            let sj = n_struct + i;
+            let (slo, shi) = (lower[sj], upper[sj]);
+            if r >= slo - 0.0 && r <= shi + 0.0 {
+                state.push(VarState::Basic(i));
+                x[sj] = r;
+                basis.push(sj);
+            } else {
+                // Slack parks at its nearest bound; artificial covers the
+                // gap with a positive value.
+                let s_val = r.clamp(slo, shi);
+                let s_val = if s_val.is_finite() { s_val } else { 0.0 };
+                state.push(if s_val == shi && shi.is_finite() {
+                    VarState::NbUpper
+                } else {
+                    VarState::NbLower
+                });
+                x[sj] = s_val;
+                let gap = r - s_val;
+                let sigma = gap.signum();
+                art.push((i, sigma));
+                basis.push(n_slack_end + art.len() - 1);
+                // Value filled in below once the variable exists.
+            }
+        }
+        let n_total = n_slack_end + art.len();
+        for _ in 0..art.len() {
+            lower.push(0.0);
+            upper.push(f64::INFINITY);
+            cost.push(0.0);
+            x.push(0.0);
+        }
+        // Mark artificial basics and set their values.
+        for (ai, &(row, sigma)) in art.iter().enumerate() {
+            let var = n_slack_end + ai;
+            state.push(VarState::Basic(row));
+            let r = resid[row];
+            let s_val = x[n_struct + row];
+            x[var] = (r - s_val) * sigma; // = |gap| ≥ 0
+        }
+        let mut binv = vec![0.0; m * m];
+        for i in 0..m {
+            binv[i * m + i] = 1.0;
+        }
+        // Rows owned by artificials have column σ·e_row; the inverse of the
+        // initial basis is diagonal with 1/σ entries.
+        for &(row, sigma) in &art {
+            binv[row * m + row] = 1.0 / sigma;
+        }
+        Self {
+            opts,
+            m,
+            n_struct,
+            n_slack_end,
+            n_total,
+            cols,
+            art,
+            lower,
+            upper,
+            cost,
+            rhs,
+            state,
+            basis,
+            x,
+            binv,
+            pivots_since_refactor: 0,
+            stall_count: 0,
+        }
+    }
+
+    fn col(&self, j: usize) -> ColIter<'_> {
+        if j < self.n_struct {
+            ColIter::Struct(self.cols[j].iter())
+        } else if j < self.n_slack_end {
+            ColIter::Single(Some((j - self.n_struct, 1.0)))
+        } else {
+            let (row, sigma) = self.art[j - self.n_slack_end];
+            ColIter::Single(Some((row, sigma)))
+        }
+    }
+
+    fn phase_cost(&self, j: usize, phase: Phase) -> f64 {
+        match phase {
+            Phase::One => {
+                if j >= self.n_slack_end {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Phase::Two => self.cost[j],
+        }
+    }
+
+    /// Recomputes the basic variable values `x_B = B^{-1}(b − N x_N)`.
+    fn recompute_basics(&mut self) {
+        let mut resid = self.rhs.clone();
+        for j in 0..self.n_total {
+            if matches!(self.state[j], VarState::Basic(_)) {
+                continue;
+            }
+            let xj = self.x[j];
+            if xj == 0.0 {
+                continue;
+            }
+            for (i, a) in self.col(j) {
+                resid[i] -= a * xj;
+            }
+        }
+        // (clippy: the index here addresses a different vector than the
+        // iteration target, so zip-style rewriting does not apply.)
+        for i in 0..self.m {
+            let row = &self.binv[i * self.m..(i + 1) * self.m];
+            let v: f64 = row.iter().zip(&resid).map(|(b, r)| b * r).sum();
+            self.x[self.basis[i]] = v;
+        }
+    }
+
+    /// Rebuilds the basis inverse from scratch by Gauss–Jordan elimination
+    /// with partial pivoting.
+    fn refactorize(&mut self) -> Result<(), LpError> {
+        let m = self.m;
+        let mut mat = vec![0.0; m * m];
+        for (bi, &var) in self.basis.iter().enumerate() {
+            for (i, a) in self.col(var) {
+                mat[i * m + bi] = a;
+            }
+        }
+        let mut inv = vec![0.0; m * m];
+        for i in 0..m {
+            inv[i * m + i] = 1.0;
+        }
+        for col in 0..m {
+            let mut piv_row = col;
+            let mut piv_val = mat[col * m + col].abs();
+            for r in col + 1..m {
+                let v = mat[r * m + col].abs();
+                if v > piv_val {
+                    piv_val = v;
+                    piv_row = r;
+                }
+            }
+            if piv_val < 1e-11 {
+                return Err(LpError::SingularBasis);
+            }
+            if piv_row != col {
+                for k in 0..m {
+                    mat.swap(piv_row * m + k, col * m + k);
+                    inv.swap(piv_row * m + k, col * m + k);
+                }
+            }
+            let p = mat[col * m + col];
+            for k in 0..m {
+                mat[col * m + k] /= p;
+                inv[col * m + k] /= p;
+            }
+            for r in 0..m {
+                if r == col {
+                    continue;
+                }
+                let f = mat[r * m + col];
+                if f == 0.0 {
+                    continue;
+                }
+                for k in 0..m {
+                    mat[r * m + k] -= f * mat[col * m + k];
+                    inv[r * m + k] -= f * inv[col * m + k];
+                }
+            }
+        }
+        self.binv = inv;
+        self.pivots_since_refactor = 0;
+        self.recompute_basics();
+        Ok(())
+    }
+
+    /// Simplex multipliers `y = B^{-T} c_B` for the given phase.
+    fn multipliers(&self, phase: Phase) -> Vec<f64> {
+        let mut y = vec![0.0; self.m];
+        for (i, &var) in self.basis.iter().enumerate() {
+            let c = self.phase_cost(var, phase);
+            if c != 0.0 {
+                let row = &self.binv[i * self.m..(i + 1) * self.m];
+                for (yk, b) in y.iter_mut().zip(row) {
+                    *yk += c * b;
+                }
+            }
+        }
+        y
+    }
+
+    fn reduced_cost(&self, j: usize, y: &[f64], phase: Phase) -> f64 {
+        let mut d = self.phase_cost(j, phase);
+        for (i, a) in self.col(j) {
+            d -= y[i] * a;
+        }
+        d
+    }
+
+    /// Picks an entering variable `(var, direction)`; `None` means optimal
+    /// for this phase. Bland mode returns the lowest-index eligible
+    /// variable.
+    fn price(&self, y: &[f64], phase: Phase, bland: bool) -> Option<(usize, f64)> {
+        let tol = self.opts.tol;
+        let mut best: Option<(usize, f64, f64)> = None;
+        for j in 0..self.n_total {
+            if matches!(self.state[j], VarState::Basic(_)) {
+                continue;
+            }
+            // Fixed variables (lo == hi) can never move; pricing them leads
+            // to endless zero-length "bound flips".
+            if self.upper[j] - self.lower[j] <= 0.0 {
+                continue;
+            }
+            let dir = match self.state[j] {
+                VarState::Basic(_) => unreachable!("filtered above"),
+                VarState::NbLower => 1.0,
+                VarState::NbUpper => -1.0,
+                VarState::NbFree => 0.0,
+            };
+            let d = self.reduced_cost(j, y, phase);
+            let (eligible, dir) = if dir == 0.0 {
+                if d < -tol {
+                    (true, 1.0)
+                } else if d > tol {
+                    (true, -1.0)
+                } else {
+                    (false, 0.0)
+                }
+            } else if dir > 0.0 {
+                (d < -tol, 1.0)
+            } else {
+                (d > tol, -1.0)
+            };
+            if !eligible {
+                continue;
+            }
+            if bland {
+                return Some((j, dir));
+            }
+            let score = d.abs();
+            match best {
+                Some((_, _, s)) if s >= score => {}
+                _ => best = Some((j, dir, score)),
+            }
+        }
+        best.map(|(j, d, _)| (j, d))
+    }
+
+    /// `w = B^{-1} a_j`.
+    fn ftran(&self, j: usize) -> Vec<f64> {
+        let mut w = vec![0.0; self.m];
+        for (r, a) in self.col(j) {
+            if a == 0.0 {
+                continue;
+            }
+            for (i, wi) in w.iter_mut().enumerate() {
+                *wi += self.binv[i * self.m + r] * a;
+            }
+        }
+        w
+    }
+
+    /// Two-pass (Harris) ratio test; under Bland's rule a strict test with
+    /// lowest-variable-index tie-breaking is used instead. Returns the step
+    /// and blocking row (`None` for a bound flip); `Err(())` when the
+    /// direction is unbounded.
+    #[allow(clippy::result_unit_err)]
+    fn ratio_test(&self, j: usize, dir: f64, w: &[f64], bland: bool) -> Result<(f64, Option<usize>), ()> {
+        let own = self.upper[j] - self.lower[j];
+        let own = if own.is_finite() { own } else { f64::INFINITY };
+        let relax = if bland { 0.0 } else { self.opts.tol };
+        // Pass 1: relaxed minimum step.
+        let mut t_relaxed = own;
+        for (i, &wi) in w.iter().enumerate() {
+            let delta = -dir * wi;
+            if delta.abs() <= 1e-11 {
+                continue;
+            }
+            let var = self.basis[i];
+            let v = self.x[var];
+            let target = if delta > 0.0 {
+                self.upper[var]
+            } else {
+                self.lower[var]
+            };
+            if !target.is_finite() {
+                continue;
+            }
+            let ti = (((target - v) / delta) + relax / delta.abs()).max(0.0);
+            if ti < t_relaxed {
+                t_relaxed = ti;
+            }
+        }
+        if !t_relaxed.is_finite() {
+            return Err(());
+        }
+        // Pass 2: choose the blocking row.
+        let mut blocking: Option<usize> = None;
+        let mut best_pivot = 0.0f64;
+        let mut best_var = usize::MAX;
+        let mut t_exact = f64::INFINITY;
+        for (i, &wi) in w.iter().enumerate() {
+            let delta = -dir * wi;
+            if delta.abs() <= 1e-11 {
+                continue;
+            }
+            let var = self.basis[i];
+            let v = self.x[var];
+            let target = if delta > 0.0 {
+                self.upper[var]
+            } else {
+                self.lower[var]
+            };
+            if !target.is_finite() {
+                continue;
+            }
+            let ti = ((target - v) / delta).max(0.0);
+            if ti > t_relaxed {
+                continue;
+            }
+            if bland {
+                // Strictly smallest step; ties broken by variable index.
+                if ti < t_exact - 1e-15 || (ti <= t_exact + 1e-15 && var < best_var) {
+                    t_exact = ti.min(t_exact);
+                    blocking = Some(i);
+                    best_var = var;
+                }
+            } else if wi.abs() > best_pivot {
+                best_pivot = wi.abs();
+                blocking = Some(i);
+                t_exact = ti;
+            }
+        }
+        match blocking {
+            Some(_) if t_exact <= own => Ok((t_exact, blocking)),
+            _ if own.is_finite() => Ok((own, None)),
+            Some(_) => Ok((t_exact, blocking)),
+            None => Err(()),
+        }
+    }
+
+    fn apply_step(&mut self, j: usize, dir: f64, t: f64, w: &[f64]) {
+        if t != 0.0 {
+            self.x[j] += dir * t;
+            for (i, &wi) in w.iter().enumerate() {
+                self.x[self.basis[i]] -= dir * t * wi;
+            }
+        }
+    }
+
+    /// Replaces basic row `r` with entering variable `j`, updating the
+    /// explicit inverse.
+    fn pivot(&mut self, r: usize, j: usize, w: &[f64]) -> Result<(), LpError> {
+        let alpha = w[r];
+        if alpha.abs() < 1e-10 {
+            return Err(LpError::SingularBasis);
+        }
+        let m = self.m;
+        let (before, rest) = self.binv.split_at_mut(r * m);
+        let (row_r, after) = rest.split_at_mut(m);
+        for v in row_r.iter_mut() {
+            *v /= alpha;
+        }
+        for (i, chunk) in before.chunks_mut(m).enumerate() {
+            let f = w[i];
+            if f != 0.0 {
+                for (c, rr) in chunk.iter_mut().zip(row_r.iter()) {
+                    *c -= f * rr;
+                }
+            }
+        }
+        for (off, chunk) in after.chunks_mut(m).enumerate() {
+            let f = w[r + 1 + off];
+            if f != 0.0 {
+                for (c, rr) in chunk.iter_mut().zip(row_r.iter()) {
+                    *c -= f * rr;
+                }
+            }
+        }
+        self.basis[r] = j;
+        self.state[j] = VarState::Basic(r);
+        self.pivots_since_refactor += 1;
+        Ok(())
+    }
+
+    /// Objective of the current point under the given phase's costs.
+    fn phase_objective(&self, phase: Phase) -> f64 {
+        (0..self.n_total)
+            .map(|j| self.phase_cost(j, phase) * self.x[j])
+            .sum()
+    }
+
+    /// Runs the simplex for one phase to optimality.
+    fn run_phase(&mut self, phase: Phase) -> Result<SolveStatus, LpError> {
+        self.stall_count = 0;
+        for _iter in 0..self.opts.max_iters {
+            if self.pivots_since_refactor >= self.opts.refactor_every {
+                self.refactorize()?;
+            }
+            let bland = self.stall_count >= self.opts.stall_threshold;
+            let y = self.multipliers(phase);
+            let Some((j, dir)) = self.price(&y, phase, bland) else {
+                return Ok(SolveStatus::Optimal);
+            };
+            let w = self.ftran(j);
+            let (t, blocking) = match self.ratio_test(j, dir, &w, bland) {
+                Ok(res) => res,
+                Err(()) => return Ok(SolveStatus::Unbounded),
+            };
+            if t <= 1e-11 {
+                self.stall_count += 1;
+            } else {
+                self.stall_count = 0;
+            }
+            self.apply_step(j, dir, t, &w);
+            match blocking {
+                None => {
+                    self.state[j] = if dir > 0.0 {
+                        VarState::NbUpper
+                    } else {
+                        VarState::NbLower
+                    };
+                    self.x[j] = if dir > 0.0 {
+                        self.upper[j]
+                    } else {
+                        self.lower[j]
+                    };
+                }
+                Some(r) => {
+                    let leaving = self.basis[r];
+                    let lv = self.x[leaving];
+                    let to_upper =
+                        (lv - self.upper[leaving]).abs() <= (lv - self.lower[leaving]).abs();
+                    self.state[leaving] = if to_upper && self.upper[leaving].is_finite() {
+                        VarState::NbUpper
+                    } else if self.lower[leaving].is_finite() {
+                        VarState::NbLower
+                    } else if self.upper[leaving].is_finite() {
+                        VarState::NbUpper
+                    } else {
+                        VarState::NbFree
+                    };
+                    self.x[leaving] = match self.state[leaving] {
+                        VarState::NbUpper => self.upper[leaving],
+                        VarState::NbLower => self.lower[leaving],
+                        _ => lv,
+                    };
+                    self.pivot(r, j, &w)?;
+                    if self.pivots_since_refactor.is_multiple_of(64) {
+                        self.recompute_basics();
+                    }
+                }
+            }
+        }
+        Err(LpError::IterationLimit {
+            limit: self.opts.max_iters,
+        })
+    }
+
+    fn run(&mut self) -> Result<SolveStatus, LpError> {
+        if !self.art.is_empty() {
+            match self.run_phase(Phase::One)? {
+                SolveStatus::Optimal => {}
+                // Phase 1 is bounded below by 0, so an "unbounded" outcome
+                // signals numerical breakdown.
+                _ => return Err(LpError::SingularBasis),
+            }
+            self.recompute_basics();
+            if self.phase_objective(Phase::One) > self.opts.tol * 10.0 {
+                return Ok(SolveStatus::Infeasible);
+            }
+            // Pin the artificials to zero for phase 2.
+            for ai in 0..self.art.len() {
+                let var = self.n_slack_end + ai;
+                self.upper[var] = 0.0;
+                if !matches!(self.state[var], VarState::Basic(_)) {
+                    self.state[var] = VarState::NbLower;
+                    self.x[var] = 0.0;
+                }
+            }
+        }
+        self.run_phase(Phase::Two)
+    }
+
+    fn objective_value(&self, problem: &LpProblem) -> f64 {
+        problem.objective.eval(&self.x[..self.n_struct])
+    }
+}
+
+/// Solves `problem` with the bounded-variable two-phase simplex.
+///
+/// # Errors
+///
+/// Returns an [`LpError`] on iteration limits or numerical breakdown;
+/// infeasible/unbounded problems are reported through [`Solution::status`],
+/// not as errors.
+pub(crate) fn solve(problem: &LpProblem, opts: &SimplexOptions) -> Result<Solution, LpError> {
+    for (i, &(lo, hi)) in problem.bounds.iter().enumerate() {
+        if lo > hi {
+            return Err(LpError::InvalidModel(format!(
+                "variable {i} has inverted bounds"
+            )));
+        }
+    }
+    // Presolve on a private copy: row removal and bound tightening preserve
+    // the feasible set, so the optimum is unchanged while the tableau
+    // shrinks (often substantially inside branch & bound).
+    let presolved;
+    let problem = if opts.presolve_rounds > 0 && !problem.rows.is_empty() {
+        let mut copy = problem.clone();
+        let report = crate::presolve::presolve(&mut copy, opts.presolve_rounds);
+        if report.infeasible {
+            return Ok(Solution {
+                status: SolveStatus::Infeasible,
+                objective: 0.0,
+                values: Vec::new(),
+                duals: Vec::new(),
+            });
+        }
+        presolved = copy;
+        &presolved
+    } else {
+        problem
+    };
+    if problem.rows.is_empty() {
+        return Ok(solve_box_only(problem));
+    }
+    let mut tableau = Tableau::new(problem, opts);
+    let status = tableau.run()?;
+    match status {
+        SolveStatus::Optimal => {
+            tableau.recompute_basics();
+            // Row duals in the user's orientation: the internal problem is
+            // always a minimization (costs negated for Maximize), so the
+            // user-facing shadow price flips sign for Maximize. Only
+            // reported when presolve did not drop rows (alignment).
+            let duals = if problem.rows.len() == tableau.m {
+                let sign = match problem.direction {
+                    Direction::Minimize => 1.0,
+                    Direction::Maximize => -1.0,
+                };
+                tableau
+                    .multipliers(Phase::Two)
+                    .into_iter()
+                    .map(|y| sign * y)
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            Ok(Solution {
+                status,
+                objective: tableau.objective_value(problem),
+                values: tableau.x[..tableau.n_struct].to_vec(),
+                duals,
+            })
+        }
+        _ => Ok(Solution {
+            status,
+            objective: 0.0,
+            values: Vec::new(),
+            duals: Vec::new(),
+        }),
+    }
+}
+
+/// Optimizes a problem with no constraints: each variable independently
+/// moves to the bound favoured by its objective coefficient.
+fn solve_box_only(problem: &LpProblem) -> Solution {
+    let mut x: Vec<f64> = problem
+        .bounds
+        .iter()
+        .map(|&(lo, hi)| {
+            if lo.is_finite() {
+                lo
+            } else if hi.is_finite() {
+                hi
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let sign = match problem.direction {
+        Direction::Minimize => 1.0,
+        Direction::Maximize => -1.0,
+    };
+    for &(v, c) in problem.objective.terms() {
+        let (lo, hi) = problem.bounds[v.0];
+        let eff = sign * c;
+        let target = if eff > 0.0 {
+            lo
+        } else if eff < 0.0 {
+            hi
+        } else {
+            continue;
+        };
+        if !target.is_finite() {
+            return Solution {
+                status: SolveStatus::Unbounded,
+                objective: 0.0,
+                values: Vec::new(),
+                duals: Vec::new(),
+            };
+        }
+        x[v.0] = target;
+    }
+    let obj = problem.objective.eval(&x);
+    Solution {
+        status: SolveStatus::Optimal,
+        objective: obj,
+        values: x,
+        duals: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinExpr, LpProblem};
+
+    fn expr(terms: &[(crate::VarId, f64)]) -> LinExpr {
+        terms.iter().map(|&(v, c)| (v, c)).collect()
+    }
+
+    #[test]
+    fn simple_maximization() {
+        // Classic: max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → 36.
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, f64::INFINITY);
+        let y = p.add_var(0.0, f64::INFINITY);
+        p.add_constraint(expr(&[(x, 1.0)]), Sense::Le, 4.0);
+        p.add_constraint(expr(&[(y, 2.0)]), Sense::Le, 12.0);
+        p.add_constraint(expr(&[(x, 3.0), (y, 2.0)]), Sense::Le, 18.0);
+        p.set_objective(Direction::Maximize, expr(&[(x, 3.0), (y, 5.0)]));
+        let sol = p.solve().unwrap();
+        assert!(sol.is_optimal());
+        assert!((sol.objective - 36.0).abs() < 1e-6, "{}", sol.objective);
+        assert!((sol.value(x) - 2.0).abs() < 1e-6);
+        assert!((sol.value(y) - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constraints_work() {
+        // min x + y s.t. x + y = 2, x - y = 0 → x = y = 1.
+        let mut p = LpProblem::new();
+        let x = p.add_var(f64::NEG_INFINITY, f64::INFINITY);
+        let y = p.add_var(f64::NEG_INFINITY, f64::INFINITY);
+        p.add_constraint(expr(&[(x, 1.0), (y, 1.0)]), Sense::Eq, 2.0);
+        p.add_constraint(expr(&[(x, 1.0), (y, -1.0)]), Sense::Eq, 0.0);
+        p.set_objective(Direction::Minimize, expr(&[(x, 1.0), (y, 1.0)]));
+        let sol = p.solve().unwrap();
+        assert!(sol.is_optimal());
+        assert!((sol.value(x) - 1.0).abs() < 1e-7);
+        assert!((sol.value(y) - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 1.0);
+        p.add_constraint(expr(&[(x, 1.0)]), Sense::Ge, 2.0);
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, f64::INFINITY);
+        let y = p.add_var(0.0, f64::INFINITY);
+        p.add_constraint(expr(&[(x, 1.0), (y, -1.0)]), Sense::Le, 1.0);
+        p.set_objective(Direction::Maximize, expr(&[(x, 1.0)]));
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.status, SolveStatus::Unbounded);
+    }
+
+    #[test]
+    fn honors_upper_bounds_via_bound_flips() {
+        // max x + y s.t. x + y ≤ 1.5, 0 ≤ x,y ≤ 1 → 1.5.
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 1.0);
+        let y = p.add_var(0.0, 1.0);
+        p.add_constraint(expr(&[(x, 1.0), (y, 1.0)]), Sense::Le, 1.5);
+        p.set_objective(Direction::Maximize, expr(&[(x, 1.0), (y, 1.0)]));
+        let sol = p.solve().unwrap();
+        assert!((sol.objective - 1.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn free_variables_and_negative_bounds() {
+        // min y s.t. y ≥ x - 1, y ≥ -x - 1, x free → y = -1 at x = 0.
+        let mut p = LpProblem::new();
+        let x = p.add_free_var();
+        let y = p.add_free_var();
+        p.add_constraint(expr(&[(y, 1.0), (x, -1.0)]), Sense::Ge, -1.0);
+        p.add_constraint(expr(&[(y, 1.0), (x, 1.0)]), Sense::Ge, -1.0);
+        p.set_objective(Direction::Minimize, expr(&[(y, 1.0)]));
+        let sol = p.solve().unwrap();
+        assert!(sol.is_optimal());
+        assert!((sol.objective + 1.0).abs() < 1e-7, "{}", sol.objective);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 10.0);
+        let y = p.add_var(0.0, 10.0);
+        for k in 1..20 {
+            let kf = k as f64;
+            p.add_constraint(expr(&[(x, kf), (y, 1.0)]), Sense::Le, kf);
+        }
+        p.set_objective(Direction::Maximize, expr(&[(x, 1.0), (y, 1.0)]));
+        let sol = p.solve().unwrap();
+        assert!(sol.is_optimal());
+        assert!(p.is_feasible(&sol.values, 1e-6));
+        assert!(sol.objective >= 1.0 - 1e-7);
+    }
+
+    #[test]
+    fn ge_constraints_with_positive_rhs_need_phase1() {
+        // min 2x + 3y s.t. x + y ≥ 4, x + 3y ≥ 6, x, y ≥ 0 → (3, 1): 9.
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, f64::INFINITY);
+        let y = p.add_var(0.0, f64::INFINITY);
+        p.add_constraint(expr(&[(x, 1.0), (y, 1.0)]), Sense::Ge, 4.0);
+        p.add_constraint(expr(&[(x, 1.0), (y, 3.0)]), Sense::Ge, 6.0);
+        p.set_objective(Direction::Minimize, expr(&[(x, 2.0), (y, 3.0)]));
+        let sol = p.solve().unwrap();
+        assert!(sol.is_optimal());
+        assert!((sol.objective - 9.0).abs() < 1e-6, "{}", sol.objective);
+    }
+
+    #[test]
+    fn no_constraints_optimizes_over_box() {
+        let mut p = LpProblem::new();
+        let x = p.add_var(-2.0, 3.0);
+        p.set_objective(Direction::Maximize, expr(&[(x, 2.0)]));
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.objective, 6.0);
+    }
+
+    #[test]
+    fn duals_match_the_textbook_example() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18: the classic
+        // Dantzig example with known shadow prices (0, 3/2, 1).
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, f64::INFINITY);
+        let y = p.add_var(0.0, f64::INFINITY);
+        p.add_constraint(expr(&[(x, 1.0)]), Sense::Le, 4.0);
+        p.add_constraint(expr(&[(y, 2.0)]), Sense::Le, 12.0);
+        p.add_constraint(expr(&[(x, 3.0), (y, 2.0)]), Sense::Le, 18.0);
+        p.set_objective(Direction::Maximize, expr(&[(x, 3.0), (y, 5.0)]));
+        let opts = SimplexOptions {
+            presolve_rounds: 0,
+            ..SimplexOptions::default()
+        };
+        let sol = p.solve_with(&opts).unwrap();
+        assert_eq!(sol.duals.len(), 3);
+        assert!(sol.duals[0].abs() < 1e-7, "{:?}", sol.duals);
+        assert!((sol.duals[1] - 1.5).abs() < 1e-7, "{:?}", sol.duals);
+        assert!((sol.duals[2] - 1.0).abs() < 1e-7, "{:?}", sol.duals);
+        // Strong duality: b·y equals the optimum for this standard-form LP.
+        let by = 4.0 * sol.duals[0] + 12.0 * sol.duals[1] + 18.0 * sol.duals[2];
+        assert!((by - sol.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minimization_duals_have_user_orientation() {
+        // min 2x s.t. x ≥ 3 → optimum 6; raising the rhs by 1 raises the
+        // optimum by 2 → dual = +2.
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, f64::INFINITY);
+        p.add_constraint(expr(&[(x, 1.0)]), Sense::Ge, 3.0);
+        p.set_objective(Direction::Minimize, expr(&[(x, 2.0)]));
+        let opts = SimplexOptions {
+            presolve_rounds: 0,
+            ..SimplexOptions::default()
+        };
+        let sol = p.solve_with(&opts).unwrap();
+        assert!((sol.objective - 6.0).abs() < 1e-7);
+        assert_eq!(sol.duals.len(), 1);
+        assert!((sol.duals[0] - 2.0).abs() < 1e-7, "{:?}", sol.duals);
+    }
+
+    #[test]
+    fn equality_chain_with_free_vars() {
+        // A chain of equalities like the verifier's linking rows:
+        // d_i = a_i − b_i, with a, b boxed and an objective on d.
+        let mut p = LpProblem::new();
+        let mut prev = None;
+        let mut d_vars = Vec::new();
+        for i in 0..10 {
+            let a = p.add_var(-1.0, 1.0);
+            let b = p.add_var(-1.0, 1.0);
+            let d = p.add_free_var();
+            p.add_constraint(expr(&[(d, 1.0), (a, -1.0), (b, 1.0)]), Sense::Eq, 0.0);
+            if let Some(pd) = prev {
+                // Couple adjacent differences: d_i − 0.5 d_{i−1} ≤ 0.2.
+                p.add_constraint(expr(&[(d, 1.0), (pd, -0.5)]), Sense::Le, 0.2);
+            }
+            prev = Some(d);
+            d_vars.push((d, 1.0 / (1.0 + i as f64)));
+        }
+        p.set_objective(Direction::Maximize, expr(&d_vars));
+        let sol = p.solve().unwrap();
+        assert!(sol.is_optimal());
+        assert!(p.is_feasible(&sol.values, 1e-6));
+    }
+}

@@ -1,0 +1,138 @@
+//! Export to the CPLEX LP text format.
+//!
+//! Lets any encoded relational problem be inspected by hand or fed to an
+//! external solver (Gurobi, CPLEX, HiGHS, glpsol) for cross-checking the
+//! in-repo simplex — the debugging path we used while validating the
+//! reproduction.
+
+use crate::{Direction, LpProblem, Sense};
+use std::fmt::Write as _;
+
+fn var_name(i: usize) -> String {
+    format!("x{i}")
+}
+
+fn write_terms(out: &mut String, terms: &[(crate::VarId, f64)]) {
+    let mut first = true;
+    for &(v, c) in terms {
+        if c == 0.0 {
+            continue;
+        }
+        if first {
+            let _ = write!(out, "{c} {}", var_name(v.index()));
+            first = false;
+        } else if c >= 0.0 {
+            let _ = write!(out, " + {c} {}", var_name(v.index()));
+        } else {
+            let _ = write!(out, " - {} {}", -c, var_name(v.index()));
+        }
+    }
+    if first {
+        out.push('0');
+    }
+}
+
+/// Serializes `problem` in CPLEX LP format.
+///
+/// # Examples
+///
+/// ```
+/// use raven_lp::{Direction, LinExpr, LpProblem, Sense, to_lp_format};
+///
+/// let mut p = LpProblem::new();
+/// let x = p.add_var(0.0, 1.0);
+/// p.add_constraint(LinExpr::new().term(2.0, x), Sense::Le, 1.5);
+/// p.set_objective(Direction::Maximize, LinExpr::new().term(1.0, x));
+/// let text = to_lp_format(&p);
+/// assert!(text.contains("Maximize"));
+/// assert!(text.contains("c0: 2 x0 <= 1.5"));
+/// ```
+pub fn to_lp_format(problem: &LpProblem) -> String {
+    let mut out = String::new();
+    out.push_str(match problem.direction {
+        Direction::Minimize => "Minimize\n",
+        Direction::Maximize => "Maximize\n",
+    });
+    out.push_str(" obj: ");
+    write_terms(&mut out, problem.objective.terms());
+    out.push_str("\nSubject To\n");
+    for (i, row) in problem.rows.iter().enumerate() {
+        let _ = write!(out, " c{i}: ");
+        write_terms(&mut out, row.expr.terms());
+        let op = match row.sense {
+            Sense::Le => "<=",
+            Sense::Ge => ">=",
+            Sense::Eq => "=",
+        };
+        let _ = writeln!(out, " {op} {}", row.rhs);
+    }
+    out.push_str("Bounds\n");
+    for (i, &(lo, hi)) in problem.bounds.iter().enumerate() {
+        let name = var_name(i);
+        match (lo.is_finite(), hi.is_finite()) {
+            (true, true) => {
+                let _ = writeln!(out, " {lo} <= {name} <= {hi}");
+            }
+            (true, false) => {
+                let _ = writeln!(out, " {name} >= {lo}");
+            }
+            (false, true) => {
+                let _ = writeln!(out, " {name} <= {hi}");
+            }
+            (false, false) => {
+                let _ = writeln!(out, " {name} free");
+            }
+        }
+    }
+    let binaries: Vec<String> = problem
+        .integer
+        .iter()
+        .enumerate()
+        .filter(|&(_, &b)| b)
+        .map(|(i, _)| var_name(i))
+        .collect();
+    if !binaries.is_empty() {
+        out.push_str("Binary\n ");
+        out.push_str(&binaries.join(" "));
+        out.push('\n');
+    }
+    out.push_str("End\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinExpr;
+
+    #[test]
+    fn format_covers_all_sections() {
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 2.0);
+        let y = p.add_free_var();
+        let b = p.add_binary_var();
+        p.add_constraint(
+            LinExpr::new().term(1.0, x).term(-2.0, y).term(1.0, b),
+            Sense::Ge,
+            -1.0,
+        );
+        p.add_constraint(LinExpr::new().term(1.0, y), Sense::Eq, 0.5);
+        p.set_objective(Direction::Minimize, LinExpr::new().term(3.0, x));
+        let text = to_lp_format(&p);
+        assert!(text.starts_with("Minimize"));
+        assert!(text.contains("c0: 1 x0 - 2 x1 + 1 x2 >= -1"));
+        assert!(text.contains("c1: 1 x1 = 0.5"));
+        assert!(text.contains("0 <= x0 <= 2"));
+        assert!(text.contains("x1 free"));
+        assert!(text.contains("Binary\n x2"));
+        assert!(text.ends_with("End\n"));
+    }
+
+    #[test]
+    fn empty_objective_renders_zero() {
+        let mut p = LpProblem::new();
+        let _ = p.add_var(0.0, 1.0);
+        let text = to_lp_format(&p);
+        assert!(text.contains("obj: 0"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests of the simplex solver: on randomly generated LPs
+//! the solver's answer must be feasible and at least as good as any sampled
+//! feasible point, and structural invariants (duality-style sandwiches,
+//! monotonicity under constraint addition) must hold.
+
+use proptest::prelude::*;
+use raven_lp::{Direction, LinExpr, LpProblem, Sense, SolveStatus};
+
+#[derive(Debug, Clone)]
+struct RandomLp {
+    bounds: Vec<(f64, f64)>,
+    rows: Vec<(Vec<f64>, f64)>, // a·x ≤ rhs
+    objective: Vec<f64>,
+}
+
+fn random_lp() -> impl Strategy<Value = RandomLp> {
+    (2usize..6, 1usize..8).prop_flat_map(|(n, m)| {
+        let bounds = proptest::collection::vec((-5.0f64..0.0, 0.0f64..5.0), n);
+        let rows = proptest::collection::vec(
+            (proptest::collection::vec(-3.0f64..3.0, n), 0.5f64..10.0),
+            m,
+        );
+        let objective = proptest::collection::vec(-2.0f64..2.0, n);
+        let _ = n;
+        (bounds, rows, objective).prop_map(|(bounds, rows, objective)| RandomLp {
+            bounds,
+            rows,
+            objective,
+        })
+    })
+}
+
+fn build(lp: &RandomLp) -> (LpProblem, Vec<raven_lp::VarId>) {
+    let mut p = LpProblem::new();
+    let vars: Vec<_> = lp.bounds.iter().map(|&(lo, hi)| p.add_var(lo, hi)).collect();
+    for (coeffs, rhs) in &lp.rows {
+        let row: LinExpr = vars
+            .iter()
+            .zip(coeffs)
+            .map(|(&v, &c)| (v, c))
+            .collect();
+        // rhs > 0 and x = 0 is inside every box, so 0 is always feasible:
+        // the LP can never be infeasible and never unbounded (boxed vars).
+        p.add_constraint(row, Sense::Le, *rhs);
+    }
+    let obj: LinExpr = vars
+        .iter()
+        .zip(&lp.objective)
+        .map(|(&v, &c)| (v, c))
+        .collect();
+    p.set_objective(Direction::Maximize, obj);
+    (p, vars)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn optimal_solutions_are_feasible_and_dominant(lp in random_lp(), samples in proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, 2..6), 8)) {
+        let (p, _) = build(&lp);
+        let sol = p.solve().expect("solve succeeds");
+        prop_assert_eq!(sol.status, SolveStatus::Optimal);
+        prop_assert!(p.is_feasible(&sol.values, 1e-5), "returned point infeasible");
+        // No sampled feasible point may beat the reported optimum.
+        for s in &samples {
+            let x: Vec<f64> = lp
+                .bounds
+                .iter()
+                .enumerate()
+                .map(|(i, &(lo, hi))| lo + (hi - lo) * s[i % s.len()])
+                .collect();
+            if p.is_feasible(&x, 1e-9) {
+                let val: f64 = x.iter().zip(&lp.objective).map(|(a, b)| a * b).sum();
+                prop_assert!(val <= sol.objective + 1e-5,
+                    "sampled feasible point {val} beats optimum {}", sol.objective);
+            }
+        }
+    }
+
+    #[test]
+    fn adding_constraints_never_improves_the_optimum(lp in random_lp()) {
+        let (p, vars) = build(&lp);
+        let base = p.solve().expect("solve succeeds").objective;
+        let mut tightened = p.clone();
+        let cut: LinExpr = vars.iter().map(|&v| (v, 1.0)).collect();
+        tightened.add_constraint(cut, Sense::Le, 1.0);
+        let t = tightened.solve().expect("solve succeeds");
+        if t.status == SolveStatus::Optimal {
+            prop_assert!(t.objective <= base + 1e-6,
+                "tightened {} > base {base}", t.objective);
+        }
+    }
+
+    #[test]
+    fn minimize_is_negated_maximize(lp in random_lp()) {
+        let (p, vars) = build(&lp);
+        let max = p.solve().expect("solve succeeds").objective;
+        let mut q = p.clone();
+        let neg_obj: LinExpr = vars
+            .iter()
+            .zip(&lp.objective)
+            .map(|(&v, &c)| (v, -c))
+            .collect();
+        q.set_objective(Direction::Minimize, neg_obj);
+        let min = q.solve().expect("solve succeeds").objective;
+        prop_assert!((max + min).abs() < 1e-5, "max {max} vs min {min}");
+    }
+
+    #[test]
+    fn presolve_preserves_the_optimum(lp in random_lp()) {
+        let (p, _) = build(&lp);
+        let baseline = p.solve().expect("solves").objective;
+        let mut q = p.clone();
+        let report = raven_lp::presolve(&mut q, 4);
+        prop_assert!(!report.infeasible, "feasible LP declared infeasible");
+        let presolved = q.solve().expect("solves");
+        prop_assert_eq!(presolved.status, SolveStatus::Optimal);
+        prop_assert!(
+            (presolved.objective - baseline).abs() < 1e-5,
+            "presolve changed optimum: {} vs {baseline}", presolved.objective
+        );
+        // The presolved solution remains feasible for the original problem.
+        prop_assert!(p.is_feasible(&presolved.values, 1e-5));
+    }
+
+    #[test]
+    fn milp_bound_is_within_lp_relaxation(coeffs in proptest::collection::vec(0.5f64..3.0, 3..7), cap in 2.0f64..6.0) {
+        // Knapsack-style: max Σ x_i st Σ c_i x_i ≤ cap, binaries.
+        let mut p = LpProblem::new();
+        let vars: Vec<_> = coeffs.iter().map(|_| p.add_binary_var()).collect();
+        let row: LinExpr = vars.iter().zip(&coeffs).map(|(&v, &c)| (v, c)).collect();
+        p.add_constraint(row, Sense::Le, cap);
+        let obj: LinExpr = vars.iter().map(|&v| (v, 1.0)).collect();
+        p.set_objective(Direction::Maximize, obj);
+        let relax = p.solve().expect("lp solves").objective;
+        let exact = p.solve_milp().expect("milp solves");
+        prop_assert!(exact.status == SolveStatus::Optimal);
+        prop_assert!(exact.objective <= relax + 1e-6);
+        // The incumbent is integral and feasible.
+        for &v in &exact.values {
+            prop_assert!((v - v.round()).abs() < 1e-6);
+        }
+        prop_assert!(p.is_feasible(&exact.values, 1e-6));
+    }
+}

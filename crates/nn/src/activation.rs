@@ -1,0 +1,224 @@
+/// The activation functions supported by the networks and by every abstract
+/// domain in the workspace (matching the paper's ReLU/Sigmoid/Tanh coverage).
+///
+/// # Examples
+///
+/// ```
+/// use raven_nn::ActKind;
+///
+/// assert_eq!(ActKind::Relu.eval(-2.0), 0.0);
+/// assert!(ActKind::Sigmoid.eval(0.0) == 0.5);
+/// assert!(ActKind::Tanh.deriv(0.0) == 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActKind {
+    /// `max(x, 0)` — piecewise linear, 1-Lipschitz, monotone.
+    Relu,
+    /// `1 / (1 + e^{-x})` — smooth, 1/4-Lipschitz, monotone.
+    Sigmoid,
+    /// `tanh(x)` — smooth, 1-Lipschitz, monotone.
+    Tanh,
+    /// `max(x, αx)` with `α =` [`ActKind::LEAKY_SLOPE`] — piecewise linear,
+    /// 1-Lipschitz, strictly monotone.
+    LeakyRelu,
+    /// `clamp(x, -1, 1)` — piecewise linear, 1-Lipschitz, monotone.
+    HardTanh,
+}
+
+impl ActKind {
+    /// Negative-side slope of [`ActKind::LeakyRelu`].
+    pub const LEAKY_SLOPE: f64 = 0.01;
+
+    /// Evaluates the activation at `x`.
+    pub fn eval(self, x: f64) -> f64 {
+        match self {
+            ActKind::Relu => x.max(0.0),
+            ActKind::Sigmoid => sigmoid(x),
+            ActKind::Tanh => x.tanh(),
+            ActKind::LeakyRelu => x.max(Self::LEAKY_SLOPE * x),
+            ActKind::HardTanh => x.clamp(-1.0, 1.0),
+        }
+    }
+
+    /// Evaluates the derivative at `x`.
+    ///
+    /// For ReLU the derivative at 0 is taken to be 0 (subgradient choice
+    /// consistent with `eval(0) == 0` being on the inactive branch).
+    pub fn deriv(self, x: f64) -> f64 {
+        match self {
+            ActKind::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            ActKind::Sigmoid => {
+                let s = sigmoid(x);
+                s * (1.0 - s)
+            }
+            ActKind::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            ActKind::LeakyRelu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    Self::LEAKY_SLOPE
+                }
+            }
+            ActKind::HardTanh => {
+                if (-1.0..=1.0).contains(&x) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Largest possible derivative value anywhere (global Lipschitz constant).
+    pub fn max_slope(self) -> f64 {
+        match self {
+            ActKind::Relu | ActKind::Tanh | ActKind::LeakyRelu | ActKind::HardTanh => 1.0,
+            ActKind::Sigmoid => 0.25,
+        }
+    }
+
+    /// Whether the function is monotonically non-decreasing (all are).
+    pub fn is_monotone(self) -> bool {
+        true
+    }
+
+    /// Short stable name used by the text serialization format.
+    pub fn name(self) -> &'static str {
+        match self {
+            ActKind::Relu => "relu",
+            ActKind::Sigmoid => "sigmoid",
+            ActKind::Tanh => "tanh",
+            ActKind::LeakyRelu => "leaky_relu",
+            ActKind::HardTanh => "hard_tanh",
+        }
+    }
+
+    /// Every supported activation kind.
+    pub fn all() -> [ActKind; 5] {
+        [
+            ActKind::Relu,
+            ActKind::Sigmoid,
+            ActKind::Tanh,
+            ActKind::LeakyRelu,
+            ActKind::HardTanh,
+        ]
+    }
+
+    /// Parses a name produced by [`ActKind::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "relu" => Some(ActKind::Relu),
+            "sigmoid" => Some(ActKind::Sigmoid),
+            "tanh" => Some(ActKind::Tanh),
+            "leaky_relu" => Some(ActKind::LeakyRelu),
+            "hard_tanh" => Some(ActKind::HardTanh),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ActKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_matches_definition() {
+        assert_eq!(ActKind::Relu.eval(3.0), 3.0);
+        assert_eq!(ActKind::Relu.eval(-3.0), 0.0);
+        assert_eq!(ActKind::Relu.deriv(2.0), 1.0);
+        assert_eq!(ActKind::Relu.deriv(-2.0), 0.0);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_for_extreme_inputs() {
+        assert!(ActKind::Sigmoid.eval(1000.0) <= 1.0);
+        assert!(ActKind::Sigmoid.eval(-1000.0) >= 0.0);
+        assert!((ActKind::Sigmoid.eval(0.0) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let h = 1e-6;
+        for kind in [ActKind::Sigmoid, ActKind::Tanh] {
+            for &x in &[-2.0, -0.5, 0.0, 0.7, 3.0] {
+                let fd = (kind.eval(x + h) - kind.eval(x - h)) / (2.0 * h);
+                assert!(
+                    (fd - kind.deriv(x)).abs() < 1e-6,
+                    "{kind} deriv mismatch at {x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_slope_bounds_derivative() {
+        for kind in ActKind::all() {
+            for i in -40..40 {
+                let x = i as f64 / 4.0;
+                assert!(kind.deriv(x) <= kind.max_slope() + 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        for kind in ActKind::all() {
+            assert_eq!(ActKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(ActKind::from_name("gelu"), None);
+    }
+
+    #[test]
+    fn leaky_relu_matches_definition() {
+        let a = ActKind::LEAKY_SLOPE;
+        assert_eq!(ActKind::LeakyRelu.eval(2.0), 2.0);
+        assert_eq!(ActKind::LeakyRelu.eval(-2.0), -2.0 * a);
+        assert_eq!(ActKind::LeakyRelu.deriv(1.0), 1.0);
+        assert_eq!(ActKind::LeakyRelu.deriv(-1.0), a);
+    }
+
+    #[test]
+    fn hard_tanh_clamps() {
+        assert_eq!(ActKind::HardTanh.eval(3.0), 1.0);
+        assert_eq!(ActKind::HardTanh.eval(-3.0), -1.0);
+        assert_eq!(ActKind::HardTanh.eval(0.4), 0.4);
+        assert_eq!(ActKind::HardTanh.deriv(0.0), 1.0);
+        assert_eq!(ActKind::HardTanh.deriv(2.0), 0.0);
+    }
+
+    #[test]
+    fn all_kinds_are_monotone() {
+        for kind in ActKind::all() {
+            let mut prev = f64::NEG_INFINITY;
+            for i in -40..=40 {
+                let v = kind.eval(i as f64 / 4.0);
+                assert!(v >= prev - 1e-12, "{kind} not monotone");
+                prev = v;
+            }
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Adversarial attacks: FGSM, PGD, and a universal-perturbation (UAP)
+//! attack.
+//!
+//! The verifier computes *certified lower bounds* on worst-case accuracy;
+//! these attacks compute *empirical upper bounds*. The benchmark harness
+//! uses both to sandwich the true worst case (experiment F4), exactly as the
+//! paper sanity-checks RaVeN's bounds against attack results.
+
+use crate::train::input_gradient;
+use crate::Network;
+
+/// Fast gradient sign method: one signed-gradient step of size `eps`,
+/// clamped to the valid input range `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use raven_nn::{ActKind, NetworkBuilder, attack};
+///
+/// let net = NetworkBuilder::new(4).dense(2, 1).build();
+/// let adv = attack::fgsm(&net, &[0.5; 4], 0, 0.1);
+/// assert!(adv.iter().zip(&[0.5; 4]).all(|(a, b)| (a - b).abs() <= 0.1 + 1e-12));
+/// ```
+pub fn fgsm(net: &Network, x: &[f64], label: usize, eps: f64) -> Vec<f64> {
+    let (_, grad) = input_gradient(net, x, label);
+    x.iter()
+        .zip(&grad)
+        .map(|(&xi, &g)| (xi + eps * g.signum()).clamp(0.0, 1.0))
+        .collect()
+}
+
+/// Projected gradient descent inside the ℓ∞ ball of radius `eps` around
+/// `x`, intersected with `[0, 1]`.
+pub fn pgd(
+    net: &Network,
+    x: &[f64],
+    label: usize,
+    eps: f64,
+    steps: usize,
+    step_size: f64,
+) -> Vec<f64> {
+    let mut cur = x.to_vec();
+    for _ in 0..steps {
+        let (_, grad) = input_gradient(net, &cur, label);
+        for ((c, &g), &orig) in cur.iter_mut().zip(&grad).zip(x) {
+            *c = (*c + step_size * g.signum())
+                .clamp(orig - eps, orig + eps)
+                .clamp(0.0, 1.0);
+        }
+    }
+    cur
+}
+
+/// Result of the UAP attack: the shared perturbation and the accuracy it
+/// achieves over the attacked batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UapAttackResult {
+    /// The universal perturbation (same width as the inputs).
+    pub delta: Vec<f64>,
+    /// Fraction of the batch still classified correctly under `delta`
+    /// (an *upper bound* on worst-case UAP accuracy).
+    pub accuracy: f64,
+}
+
+/// Searches for a single perturbation `delta` with `‖delta‖∞ ≤ eps` that
+/// misclassifies as many of the given `(input, label)` pairs as possible.
+///
+/// This is the empirical counterpart of the UAP verification problem: the
+/// returned accuracy upper-bounds the true worst case, while RaVeN's
+/// certificate lower-bounds it.
+///
+/// # Panics
+///
+/// Panics when `inputs` and `labels` have different lengths or are empty.
+pub fn uap(
+    net: &Network,
+    inputs: &[Vec<f64>],
+    labels: &[usize],
+    eps: f64,
+    steps: usize,
+    step_size: f64,
+) -> UapAttackResult {
+    assert_eq!(inputs.len(), labels.len(), "uap: length mismatch");
+    assert!(!inputs.is_empty(), "uap: empty batch");
+    let dim = inputs[0].len();
+    let mut delta = vec![0.0; dim];
+    let mut best_delta = delta.clone();
+    let mut best_acc = uap_accuracy(net, inputs, labels, &delta);
+    for _ in 0..steps {
+        // Average the signed loss gradients over the batch, ascend, project.
+        let mut avg = vec![0.0; dim];
+        for (x, &y) in inputs.iter().zip(labels) {
+            let perturbed = add_delta(x, &delta);
+            let (_, grad) = input_gradient(net, &perturbed, y);
+            for (a, g) in avg.iter_mut().zip(&grad) {
+                *a += g.signum();
+            }
+        }
+        for (d, a) in delta.iter_mut().zip(&avg) {
+            *d = (*d + step_size * a.signum()).clamp(-eps, eps);
+        }
+        let acc = uap_accuracy(net, inputs, labels, &delta);
+        if acc < best_acc {
+            best_acc = acc;
+            best_delta.copy_from_slice(&delta);
+        }
+    }
+    UapAttackResult {
+        delta: best_delta,
+        accuracy: best_acc,
+    }
+}
+
+fn add_delta(x: &[f64], delta: &[f64]) -> Vec<f64> {
+    x.iter()
+        .zip(delta)
+        .map(|(&xi, &d)| (xi + d).clamp(0.0, 1.0))
+        .collect()
+}
+
+/// Accuracy of `net` over the batch when every input is shifted by `delta`.
+pub fn uap_accuracy(net: &Network, inputs: &[Vec<f64>], labels: &[usize], delta: &[f64]) -> f64 {
+    let correct = inputs
+        .iter()
+        .zip(labels)
+        .filter(|(x, &y)| net.classify(&add_delta(x, delta)) == y)
+        .count();
+    correct as f64 / inputs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::synth_digits;
+    use crate::train::{train_classifier, TrainConfig};
+    use crate::{ActKind, NetworkBuilder};
+
+    fn trained_net() -> (crate::Network, crate::data::Dataset) {
+        let ds = synth_digits(4, 2, 80, 0.08, 5);
+        let mut net = NetworkBuilder::new(16)
+            .dense(10, 1)
+            .activation(ActKind::Relu)
+            .dense(2, 2)
+            .build();
+        train_classifier(
+            &mut net,
+            &ds,
+            &TrainConfig {
+                epochs: 30,
+                lr: 0.5,
+                momentum: 0.0,
+                batch_size: 8,
+                seed: 3,
+                adversarial: None,
+            },
+        );
+        (net, ds)
+    }
+
+    #[test]
+    fn fgsm_stays_in_ball_and_range() {
+        let (net, ds) = trained_net();
+        let adv = fgsm(&net, &ds.inputs[0], ds.labels[0], 0.07);
+        for (a, b) in adv.iter().zip(&ds.inputs[0]) {
+            assert!((a - b).abs() <= 0.07 + 1e-12);
+            assert!((0.0..=1.0).contains(a));
+        }
+    }
+
+    #[test]
+    fn pgd_is_at_least_as_strong_as_no_attack() {
+        let (net, ds) = trained_net();
+        let clean_acc = ds.accuracy_of(|x| net.classify(x));
+        let adv_correct = ds
+            .inputs
+            .iter()
+            .zip(&ds.labels)
+            .filter(|(x, &y)| net.classify(&pgd(&net, x, y, 0.3, 10, 0.08)) == y)
+            .count() as f64
+            / ds.len() as f64;
+        assert!(adv_correct <= clean_acc + 1e-12);
+    }
+
+    #[test]
+    fn uap_delta_respects_radius_and_reduces_accuracy_monotonically() {
+        let (net, ds) = trained_net();
+        let inputs = &ds.inputs[..10];
+        let labels = &ds.labels[..10];
+        let res = uap(&net, inputs, labels, 0.2, 8, 0.05);
+        assert!(res.delta.iter().all(|d| d.abs() <= 0.2 + 1e-12));
+        let clean = uap_accuracy(&net, inputs, labels, &[0.0; 16]);
+        assert!(res.accuracy <= clean + 1e-12);
+    }
+
+    #[test]
+    fn uap_accuracy_of_zero_delta_is_clean_accuracy() {
+        let (net, ds) = trained_net();
+        let acc = uap_accuracy(&net, &ds.inputs, &ds.labels, &[0.0; 16]);
+        assert!((acc - ds.accuracy_of(|x| net.classify(x))).abs() < 1e-12);
+    }
+}

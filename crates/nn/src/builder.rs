@@ -1,0 +1,244 @@
+use crate::{ActKind, BatchNorm, Conv2d, Dense, Layer, Network};
+use raven_tensor::Matrix;
+
+/// Incremental constructor for [`Network`]s.
+///
+/// Layers added with [`dense`](NetworkBuilder::dense) /
+/// [`conv`](NetworkBuilder::conv) receive deterministic pseudo-random
+/// weights derived from the provided seed (He-style scaling), which keeps
+/// tests, docs and benches reproducible without threading an RNG through.
+/// Use [`dense_from`](NetworkBuilder::dense_from) for explicit weights.
+///
+/// # Examples
+///
+/// ```
+/// use raven_nn::{ActKind, NetworkBuilder};
+///
+/// let net = NetworkBuilder::new(8)
+///     .dense(16, 1)
+///     .activation(ActKind::Relu)
+///     .dense(4, 2)
+///     .build();
+/// assert_eq!(net.input_dim(), 8);
+/// assert_eq!(net.output_dim(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    input_dim: usize,
+    width: usize,
+    layers: Vec<Layer>,
+}
+
+impl NetworkBuilder {
+    /// Starts a builder for a network with the given input width.
+    pub fn new(input_dim: usize) -> Self {
+        Self {
+            input_dim,
+            width: input_dim,
+            layers: Vec::new(),
+        }
+    }
+
+    /// Appends a dense layer with explicit weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row widths do not match the current tensor width.
+    pub fn dense_from(mut self, rows: &[&[f64]], bias: &[f64]) -> Self {
+        let w = Matrix::from_rows(rows);
+        assert_eq!(w.cols(), self.width, "dense_from: input width mismatch");
+        self.width = w.rows();
+        self.layers.push(Layer::Dense(Dense::new(w, bias.to_vec())));
+        self
+    }
+
+    /// Appends a dense layer with `out_dim` outputs and deterministic
+    /// pseudo-random weights derived from `seed`.
+    pub fn dense(mut self, out_dim: usize, seed: u64) -> Self {
+        let in_dim = self.width;
+        let scale = (2.0 / in_dim as f64).sqrt();
+        let mut rng = SplitMix::new(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut w = Matrix::zeros(out_dim, in_dim);
+        for i in 0..out_dim {
+            for j in 0..in_dim {
+                w.set(i, j, rng.next_gaussian() * scale);
+            }
+        }
+        let bias: Vec<f64> = (0..out_dim).map(|_| rng.next_gaussian() * 0.01).collect();
+        self.width = out_dim;
+        self.layers.push(Layer::Dense(Dense::new(w, bias)));
+        self
+    }
+
+    /// Appends a convolution with deterministic pseudo-random weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `in_channels * in_h * in_w` does not match the current
+    /// tensor width.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv(
+        mut self,
+        in_channels: usize,
+        in_h: usize,
+        in_w: usize,
+        out_channels: usize,
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        padding: usize,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(
+            in_channels * in_h * in_w,
+            self.width,
+            "conv: input geometry does not match current width"
+        );
+        let fan_in = (in_channels * kh * kw) as f64;
+        let scale = (2.0 / fan_in).sqrt();
+        let mut rng = SplitMix::new(seed ^ 0xbf58_476d_1ce4_e5b9);
+        let weight: Vec<f64> = (0..out_channels * in_channels * kh * kw)
+            .map(|_| rng.next_gaussian() * scale)
+            .collect();
+        let bias: Vec<f64> = (0..out_channels).map(|_| rng.next_gaussian() * 0.01).collect();
+        let conv = Conv2d::new(
+            in_channels,
+            in_h,
+            in_w,
+            out_channels,
+            kh,
+            kw,
+            stride,
+            padding,
+            weight,
+            bias,
+        );
+        self.width = conv.out_dim();
+        self.layers.push(Layer::Conv(conv));
+        self
+    }
+
+    /// Appends an elementwise activation.
+    pub fn activation(mut self, kind: ActKind) -> Self {
+        self.layers.push(Layer::Act(kind));
+        self
+    }
+
+    /// Appends a batch-normalization layer calibrated on the given samples
+    /// (must match the current tensor width).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the samples are empty or have the wrong width.
+    pub fn batch_norm_from(mut self, samples: &[Vec<f64>]) -> Self {
+        let bn = BatchNorm::calibrated(samples);
+        assert_eq!(bn.dim(), self.width, "batch_norm: width mismatch");
+        self.layers.push(Layer::BatchNorm(bn));
+        self
+    }
+
+    /// Appends an explicit batch-normalization layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the layer width does not match the current tensor width.
+    pub fn batch_norm(mut self, bn: BatchNorm) -> Self {
+        assert_eq!(bn.dim(), self.width, "batch_norm: width mismatch");
+        self.layers.push(Layer::BatchNorm(bn));
+        self
+    }
+
+    /// Finishes the builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the accumulated layers are inconsistent (cannot happen if
+    /// only builder methods were used, since each one validates widths).
+    pub fn build(self) -> Network {
+        Network::new(self.input_dim, self.layers).expect("builder maintains width invariant")
+    }
+}
+
+/// Tiny deterministic PRNG (splitmix64 + Box–Muller) used only for
+/// reproducible weight initialization inside the builder.
+#[derive(Debug, Clone)]
+struct SplitMix {
+    state: u64,
+    spare: Option<f64>,
+}
+
+impl SplitMix {
+    fn new(seed: u64) -> Self {
+        Self {
+            state: seed,
+            spare: None,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn next_uniform(&mut self) -> f64 {
+        // (0, 1]: avoids log(0) below.
+        ((self.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+    }
+
+    fn next_gaussian(&mut self) -> f64 {
+        if let Some(s) = self.spare.take() {
+            return s;
+        }
+        let u1 = self.next_uniform();
+        let u2 = self.next_uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_is_deterministic() {
+        let a = NetworkBuilder::new(6).dense(4, 42).build();
+        let b = NetworkBuilder::new(6).dense(4, 42).build();
+        assert_eq!(a, b);
+        let c = NetworkBuilder::new(6).dense(4, 43).build();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn builder_tracks_widths_through_conv() {
+        let net = NetworkBuilder::new(2 * 4 * 4)
+            .conv(2, 4, 4, 3, 3, 3, 1, 1, 5)
+            .activation(ActKind::Relu)
+            .dense(10, 6)
+            .build();
+        assert_eq!(net.output_dim(), 10);
+        assert_eq!(net.widths()[1], 3 * 4 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn dense_from_validates_width() {
+        let _ = NetworkBuilder::new(3).dense_from(&[&[1.0, 2.0]], &[0.0]);
+    }
+
+    #[test]
+    fn gaussian_init_has_reasonable_moments() {
+        let mut rng = SplitMix::new(7);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.next_gaussian()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

@@ -1,0 +1,69 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by network construction, execution, and (de)serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NnError {
+    /// Two adjacent layers disagree about the width of the tensor flowing
+    /// between them.
+    DimensionMismatch {
+        /// Index of the offending layer within the network.
+        layer: usize,
+        /// Width the layer expects on its input.
+        expected: usize,
+        /// Width actually produced by the preceding layer.
+        actual: usize,
+    },
+    /// A serialized model could not be parsed.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// Underlying I/O failure while loading or saving a model.
+    Io(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::DimensionMismatch {
+                layer,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "layer {layer} expects input width {expected} but receives {actual}"
+            ),
+            NnError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            NnError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl Error for NnError {}
+
+impl From<std::io::Error> for NnError {
+    fn from(e: std::io::Error) -> Self {
+        NnError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NnError::DimensionMismatch {
+            layer: 2,
+            expected: 10,
+            actual: 12,
+        };
+        let s = e.to_string();
+        assert!(s.contains("layer 2") && s.contains("10") && s.contains("12"));
+    }
+}

@@ -1,0 +1,569 @@
+use crate::ActKind;
+use raven_tensor::Matrix;
+
+/// A fully-connected affine layer `y = W x + b`.
+///
+/// # Examples
+///
+/// ```
+/// use raven_nn::Dense;
+/// use raven_tensor::Matrix;
+///
+/// let d = Dense::new(Matrix::from_rows(&[&[2.0, 0.0]]), vec![1.0]);
+/// assert_eq!(d.forward(&[3.0, 7.0]), vec![7.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense {
+    weight: Matrix,
+    bias: Vec<f64>,
+}
+
+impl Dense {
+    /// Creates a dense layer from a weight matrix (`out x in`) and bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bias.len() != weight.rows()`.
+    pub fn new(weight: Matrix, bias: Vec<f64>) -> Self {
+        assert_eq!(weight.rows(), bias.len(), "dense: bias length mismatch");
+        Self { weight, bias }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// The weight matrix (`out x in`).
+    pub fn weight(&self) -> &Matrix {
+        &self.weight
+    }
+
+    /// Mutable weight matrix, used by the trainer.
+    pub fn weight_mut(&mut self) -> &mut Matrix {
+        &mut self.weight
+    }
+
+    /// The bias vector.
+    pub fn bias(&self) -> &[f64] {
+        &self.bias
+    }
+
+    /// Mutable bias vector, used by the trainer.
+    pub fn bias_mut(&mut self) -> &mut [f64] {
+        &mut self.bias
+    }
+
+    /// Computes `W x + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != self.in_dim()`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = self.weight.matvec(x);
+        for (yi, bi) in y.iter_mut().zip(&self.bias) {
+            *yi += bi;
+        }
+        y
+    }
+}
+
+/// A 2-D convolution layer with explicit input geometry.
+///
+/// Input and output tensors flow through the network as flat `Vec<f64>` in
+/// `(channel, row, col)` row-major order; the layer records the spatial
+/// geometry it needs. Padding is zero-padding; dilation is not supported.
+///
+/// # Examples
+///
+/// ```
+/// use raven_nn::Conv2d;
+///
+/// // 1 input channel 3x3, one 2x2 kernel of ones, stride 1, no padding.
+/// let conv = Conv2d::new(1, 3, 3, 1, 2, 2, 1, 0, vec![1.0; 4], vec![0.0]);
+/// let x = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+/// assert_eq!(conv.forward(&x), vec![12.0, 16.0, 24.0, 28.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conv2d {
+    in_channels: usize,
+    in_h: usize,
+    in_w: usize,
+    out_channels: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    padding: usize,
+    /// Kernel weights in `(out_c, in_c, kh, kw)` row-major order.
+    weight: Vec<f64>,
+    bias: Vec<f64>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer.
+    ///
+    /// `weight` must have length `out_channels * in_channels * kh * kw` and
+    /// `bias` length `out_channels`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent buffer lengths, zero stride, or kernels larger
+    /// than the padded input.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        in_channels: usize,
+        in_h: usize,
+        in_w: usize,
+        out_channels: usize,
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        padding: usize,
+        weight: Vec<f64>,
+        bias: Vec<f64>,
+    ) -> Self {
+        assert!(stride > 0, "conv2d: stride must be positive");
+        assert_eq!(
+            weight.len(),
+            out_channels * in_channels * kh * kw,
+            "conv2d: weight length mismatch"
+        );
+        assert_eq!(bias.len(), out_channels, "conv2d: bias length mismatch");
+        assert!(
+            in_h + 2 * padding >= kh && in_w + 2 * padding >= kw,
+            "conv2d: kernel larger than padded input"
+        );
+        Self {
+            in_channels,
+            in_h,
+            in_w,
+            out_channels,
+            kh,
+            kw,
+            stride,
+            padding,
+            weight,
+            bias,
+        }
+    }
+
+    /// Output spatial height.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.padding - self.kh) / self.stride + 1
+    }
+
+    /// Output spatial width.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.padding - self.kw) / self.stride + 1
+    }
+
+    /// Flat input width (`in_channels * in_h * in_w`).
+    pub fn in_dim(&self) -> usize {
+        self.in_channels * self.in_h * self.in_w
+    }
+
+    /// Flat output width (`out_channels * out_h * out_w`).
+    pub fn out_dim(&self) -> usize {
+        self.out_channels * self.out_h() * self.out_w()
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Kernel weights in `(out_c, in_c, kh, kw)` order.
+    pub fn weight(&self) -> &[f64] {
+        &self.weight
+    }
+
+    /// Mutable kernel weights, used by the trainer.
+    pub fn weight_mut(&mut self) -> &mut [f64] {
+        &mut self.weight
+    }
+
+    /// Bias per output channel.
+    pub fn bias(&self) -> &[f64] {
+        &self.bias
+    }
+
+    /// Mutable bias, used by the trainer.
+    pub fn bias_mut(&mut self) -> &mut [f64] {
+        &mut self.bias
+    }
+
+    fn w_at(&self, oc: usize, ic: usize, r: usize, c: usize) -> f64 {
+        self.weight[((oc * self.in_channels + ic) * self.kh + r) * self.kw + c]
+    }
+
+    fn in_at(&self, x: &[f64], ic: usize, r: isize, c: isize) -> f64 {
+        if r < 0 || c < 0 || r as usize >= self.in_h || c as usize >= self.in_w {
+            0.0
+        } else {
+            x[(ic * self.in_h + r as usize) * self.in_w + c as usize]
+        }
+    }
+
+    /// Applies the convolution to a flat `(c, h, w)`-ordered input.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != self.in_dim()`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.in_dim(), "conv2d: input length mismatch");
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let mut y = vec![0.0; self.out_dim()];
+        for oc in 0..self.out_channels {
+            for orow in 0..oh {
+                for ocol in 0..ow {
+                    let mut acc = self.bias[oc];
+                    let base_r = (orow * self.stride) as isize - self.padding as isize;
+                    let base_c = (ocol * self.stride) as isize - self.padding as isize;
+                    for ic in 0..self.in_channels {
+                        for kr in 0..self.kh {
+                            for kc in 0..self.kw {
+                                let v = self.in_at(
+                                    x,
+                                    ic,
+                                    base_r + kr as isize,
+                                    base_c + kc as isize,
+                                );
+                                if v != 0.0 {
+                                    acc += self.w_at(oc, ic, kr, kc) * v;
+                                }
+                            }
+                        }
+                    }
+                    y[(oc * oh + orow) * ow + ocol] = acc;
+                }
+            }
+        }
+        y
+    }
+
+    /// Lowers the convolution to an equivalent dense affine map
+    /// `(weight_matrix, bias_vector)` over the flat input/output vectors.
+    ///
+    /// This is how the abstract domains and LP encodings consume
+    /// convolutions: as (sparse-in-practice) affine layers, exactly as in the
+    /// paper's treatment of convolution as an affine transformer.
+    pub fn to_affine(&self) -> (Matrix, Vec<f64>) {
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let mut m = Matrix::zeros(self.out_dim(), self.in_dim());
+        let mut b = vec![0.0; self.out_dim()];
+        for oc in 0..self.out_channels {
+            for orow in 0..oh {
+                for ocol in 0..ow {
+                    let out_idx = (oc * oh + orow) * ow + ocol;
+                    b[out_idx] = self.bias[oc];
+                    let base_r = (orow * self.stride) as isize - self.padding as isize;
+                    let base_c = (ocol * self.stride) as isize - self.padding as isize;
+                    for ic in 0..self.in_channels {
+                        for kr in 0..self.kh {
+                            for kc in 0..self.kw {
+                                let r = base_r + kr as isize;
+                                let c = base_c + kc as isize;
+                                if r < 0
+                                    || c < 0
+                                    || r as usize >= self.in_h
+                                    || c as usize >= self.in_w
+                                {
+                                    continue;
+                                }
+                                let in_idx =
+                                    (ic * self.in_h + r as usize) * self.in_w + c as usize;
+                                m.set(out_idx, in_idx, self.w_at(oc, ic, kr, kc));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (m, b)
+    }
+
+    /// Geometry tuple used by the serializer:
+    /// `(in_channels, in_h, in_w, out_channels, kh, kw, stride, padding)`.
+    pub fn geometry(&self) -> (usize, usize, usize, usize, usize, usize, usize, usize) {
+        (
+            self.in_channels,
+            self.in_h,
+            self.in_w,
+            self.out_channels,
+            self.kh,
+            self.kw,
+            self.stride,
+            self.padding,
+        )
+    }
+}
+
+/// An inference-time batch-normalization layer: per-channel affine
+/// `y = gamma · (x − mean) / sqrt(var + eps) + beta`.
+///
+/// At inference batch norm is a fixed elementwise affine map, so analyses
+/// consume it through [`BatchNorm::to_affine`] (a diagonal matrix), which
+/// the plan fuses with neighbouring affine steps.
+///
+/// # Examples
+///
+/// ```
+/// use raven_nn::BatchNorm;
+///
+/// let bn = BatchNorm::new(vec![2.0], vec![1.0], vec![0.5], vec![0.25], 0.0);
+/// // y = 2 * (x - 0.5) / 0.5 + 1 = 4x - 1.
+/// assert!((bn.forward(&[1.0])[0] - 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchNorm {
+    gamma: Vec<f64>,
+    beta: Vec<f64>,
+    mean: Vec<f64>,
+    var: Vec<f64>,
+    eps: f64,
+}
+
+impl BatchNorm {
+    /// Creates a batch-norm layer from learned statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the parameter vectors have different lengths, `eps < 0`,
+    /// or any variance is negative.
+    pub fn new(gamma: Vec<f64>, beta: Vec<f64>, mean: Vec<f64>, var: Vec<f64>, eps: f64) -> Self {
+        let n = gamma.len();
+        assert!(
+            beta.len() == n && mean.len() == n && var.len() == n,
+            "batchnorm: parameter length mismatch"
+        );
+        assert!(eps >= 0.0, "batchnorm: negative eps");
+        assert!(
+            var.iter().all(|&v| v >= 0.0) && var.iter().zip(&gamma).all(|(&v, _)| v + eps > 0.0),
+            "batchnorm: variance must keep var + eps positive"
+        );
+        Self {
+            gamma,
+            beta,
+            mean,
+            var,
+            eps,
+        }
+    }
+
+    /// Calibrates mean/variance from a dataset slice with unit gamma and
+    /// zero beta (useful for inserting normalization into test networks).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `samples` is empty or widths disagree.
+    pub fn calibrated(samples: &[Vec<f64>]) -> Self {
+        assert!(!samples.is_empty(), "batchnorm: no calibration samples");
+        let dim = samples[0].len();
+        let n = samples.len() as f64;
+        let mut mean = vec![0.0; dim];
+        for s in samples {
+            assert_eq!(s.len(), dim, "batchnorm: ragged samples");
+            for (m, v) in mean.iter_mut().zip(s) {
+                *m += v;
+            }
+        }
+        mean.iter_mut().for_each(|m| *m /= n);
+        let mut var = vec![0.0; dim];
+        for s in samples {
+            for ((vv, &m), &x) in var.iter_mut().zip(&mean).zip(s) {
+                *vv += (x - m) * (x - m);
+            }
+        }
+        var.iter_mut().for_each(|v| *v /= n);
+        Self::new(vec![1.0; dim], vec![0.0; dim], mean, var, 1e-5)
+    }
+
+    /// Width of the layer.
+    pub fn dim(&self) -> usize {
+        self.gamma.len()
+    }
+
+    /// Per-channel scale `gamma / sqrt(var + eps)`.
+    fn scale(&self, i: usize) -> f64 {
+        self.gamma[i] / (self.var[i] + self.eps).sqrt()
+    }
+
+    /// Applies the normalization.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != self.dim()`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim(), "batchnorm: width mismatch");
+        x.iter()
+            .enumerate()
+            .map(|(i, &v)| self.scale(i) * (v - self.mean[i]) + self.beta[i])
+            .collect()
+    }
+
+    /// Lowers to an equivalent affine map (diagonal weight matrix).
+    pub fn to_affine(&self) -> (Matrix, Vec<f64>) {
+        let n = self.dim();
+        let mut w = Matrix::zeros(n, n);
+        let mut b = Vec::with_capacity(n);
+        for i in 0..n {
+            let s = self.scale(i);
+            w.set(i, i, s);
+            b.push(self.beta[i] - s * self.mean[i]);
+        }
+        (w, b)
+    }
+
+    /// Raw parameters `(gamma, beta, mean, var, eps)` for serialization.
+    pub fn params(&self) -> (&[f64], &[f64], &[f64], &[f64], f64) {
+        (&self.gamma, &self.beta, &self.mean, &self.var, self.eps)
+    }
+}
+
+/// One layer of a feed-forward [`crate::Network`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Layer {
+    /// Fully-connected affine layer.
+    Dense(Dense),
+    /// 2-D convolution (consumed by analyses through its affine lowering).
+    Conv(Conv2d),
+    /// Elementwise activation.
+    Act(ActKind),
+    /// Inference-time batch normalization (an affine map for analyses).
+    BatchNorm(BatchNorm),
+}
+
+impl Layer {
+    /// Input width, or `None` for activations (which adapt to their input).
+    pub fn in_dim(&self) -> Option<usize> {
+        match self {
+            Layer::Dense(d) => Some(d.in_dim()),
+            Layer::Conv(c) => Some(c.in_dim()),
+            Layer::Act(_) => None,
+            Layer::BatchNorm(bn) => Some(bn.dim()),
+        }
+    }
+
+    /// Output width given the input width.
+    pub fn out_dim(&self, in_dim: usize) -> usize {
+        match self {
+            Layer::Dense(d) => d.out_dim(),
+            Layer::Conv(c) => c.out_dim(),
+            Layer::Act(_) => in_dim,
+            Layer::BatchNorm(bn) => bn.dim(),
+        }
+    }
+
+    /// Executes the layer on a flat input vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the input width does not match an affine layer's
+    /// expectation.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        match self {
+            Layer::Dense(d) => d.forward(x),
+            Layer::Conv(c) => c.forward(x),
+            Layer::Act(a) => x.iter().map(|&v| a.eval(v)).collect(),
+            Layer::BatchNorm(bn) => bn.forward(x),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_forward_is_affine() {
+        let d = Dense::new(Matrix::from_rows(&[&[1.0, 2.0], &[0.0, -1.0]]), vec![1.0, 2.0]);
+        assert_eq!(d.forward(&[1.0, 1.0]), vec![4.0, 1.0]);
+        assert_eq!(d.in_dim(), 2);
+        assert_eq!(d.out_dim(), 2);
+    }
+
+    #[test]
+    fn conv_forward_matches_affine_lowering() {
+        let conv = Conv2d::new(
+            2,
+            4,
+            4,
+            3,
+            3,
+            3,
+            1,
+            1,
+            (0..2 * 3 * 9).map(|i| (i as f64) * 0.1 - 1.0).collect(),
+            vec![0.5, -0.5, 0.25],
+        );
+        let x: Vec<f64> = (0..32).map(|i| (i as f64) * 0.3 - 4.0).collect();
+        let direct = conv.forward(&x);
+        let (m, b) = conv.to_affine();
+        let mut lowered = m.matvec(&x);
+        for (l, bi) in lowered.iter_mut().zip(&b) {
+            *l += bi;
+        }
+        assert_eq!(direct.len(), lowered.len());
+        for (d, l) in direct.iter().zip(&lowered) {
+            assert!((d - l).abs() < 1e-12, "{d} vs {l}");
+        }
+    }
+
+    #[test]
+    fn conv_geometry_with_stride_and_padding() {
+        let conv = Conv2d::new(1, 5, 5, 2, 3, 3, 2, 1, vec![0.0; 18], vec![0.0; 2]);
+        assert_eq!(conv.out_h(), 3);
+        assert_eq!(conv.out_w(), 3);
+        assert_eq!(conv.out_dim(), 18);
+    }
+
+    #[test]
+    fn batchnorm_forward_matches_affine_lowering() {
+        let bn = BatchNorm::new(
+            vec![1.5, -0.5, 2.0],
+            vec![0.1, 0.2, -0.3],
+            vec![0.4, 0.5, 0.6],
+            vec![0.25, 1.0, 4.0],
+            1e-5,
+        );
+        let x = [0.7, -0.2, 1.3];
+        let direct = bn.forward(&x);
+        let (w, b) = bn.to_affine();
+        let mut lowered = w.matvec(&x);
+        for (l, bi) in lowered.iter_mut().zip(&b) {
+            *l += bi;
+        }
+        for (d, l) in direct.iter().zip(&lowered) {
+            assert!((d - l).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn batchnorm_calibration_standardizes() {
+        let samples: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![3.0 + (i as f64 % 10.0), -1.0])
+            .collect();
+        let bn = BatchNorm::calibrated(&samples);
+        // Normalized samples should have near-zero mean and near-unit std.
+        let normed: Vec<Vec<f64>> = samples.iter().map(|s| bn.forward(s)).collect();
+        let mean0: f64 = normed.iter().map(|s| s[0]).sum::<f64>() / 100.0;
+        let var0: f64 = normed.iter().map(|s| s[0] * s[0]).sum::<f64>() / 100.0 - mean0 * mean0;
+        assert!(mean0.abs() < 1e-9);
+        assert!((var0 - 1.0).abs() < 1e-3);
+        // The constant second channel maps to 0 (zero variance, eps guard).
+        assert!(normed.iter().all(|s| s[1].abs() < 1e-9));
+    }
+
+    #[test]
+    fn activation_layer_applies_elementwise() {
+        let l = Layer::Act(ActKind::Relu);
+        assert_eq!(l.forward(&[-1.0, 2.0]), vec![0.0, 2.0]);
+        assert_eq!(l.out_dim(7), 7);
+        assert_eq!(l.in_dim(), None);
+    }
+}

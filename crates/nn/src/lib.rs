@@ -1,0 +1,53 @@
+//! Neural-network substrate for the RaVeN reproduction.
+//!
+//! The paper verifies input-relational properties of feed-forward networks
+//! (fully-connected and convolutional, with ReLU/Sigmoid/Tanh activations).
+//! This crate provides everything needed to *produce* such networks inside
+//! the repository, with no external model zoo:
+//!
+//! * [`Network`] — a feed-forward stack of [`Layer`]s with exact forward
+//!   execution and an *analysis lowering* ([`AnalysisPlan`]) that turns every
+//!   affine-ish layer (dense or convolution) into an explicit matrix so the
+//!   abstract domains and LP encodings can consume a uniform representation.
+//! * [`train`] — a from-scratch SGD trainer (softmax cross-entropy, optional
+//!   PGD adversarial training) standing in for the paper's pretrained
+//!   standard/robust models.
+//! * [`data`] — deterministic synthetic datasets substituting for
+//!   MNIST/CIFAR/tabular data (see `DESIGN.md` for the substitution
+//!   rationale).
+//! * [`attack`] — FGSM/PGD and a universal-adversarial-perturbation attack,
+//!   used by the benchmark harness to sandwich certified bounds from above.
+//!
+//! # Examples
+//!
+//! ```
+//! use raven_nn::{ActKind, NetworkBuilder};
+//!
+//! let net = NetworkBuilder::new(4)
+//!     .dense_from(&[&[1.0, 0.0, 0.0, 0.0], &[0.0, 1.0, 0.0, 0.0]], &[0.0, 0.0])
+//!     .activation(ActKind::Relu)
+//!     .dense_from(&[&[1.0, -1.0]], &[0.5])
+//!     .build();
+//! let out = net.forward(&[1.0, -2.0, 3.0, 4.0]);
+//! assert_eq!(out, vec![1.5]);
+//! ```
+
+mod activation;
+pub mod attack;
+mod builder;
+pub mod data;
+mod error;
+mod layer;
+pub mod metrics;
+mod network;
+mod plan;
+mod serialize;
+pub mod train;
+
+pub use activation::ActKind;
+pub use builder::NetworkBuilder;
+pub use error::NnError;
+pub use layer::{BatchNorm, Conv2d, Dense, Layer};
+pub use network::Network;
+pub use plan::{AnalysisPlan, PlanStep};
+pub use serialize::{load_network, network_to_string, parse_network, save_network};

@@ -1,0 +1,179 @@
+//! Classification metrics: confusion matrices and per-class statistics for
+//! evaluating trained benchmark models (used by the examples and the
+//! benchmark harness's model zoo sanity checks).
+
+use crate::data::Dataset;
+use crate::Network;
+
+/// A confusion matrix: `counts[true][predicted]`.
+///
+/// # Examples
+///
+/// ```
+/// use raven_nn::metrics::ConfusionMatrix;
+///
+/// let mut cm = ConfusionMatrix::new(2);
+/// cm.record(0, 0);
+/// cm.record(0, 1);
+/// cm.record(1, 1);
+/// assert_eq!(cm.accuracy(), 2.0 / 3.0);
+/// assert_eq!(cm.count(0, 1), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix over `classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `classes == 0`.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "need at least one class");
+        Self {
+            classes,
+            counts: vec![0; classes * classes],
+        }
+    }
+
+    /// Builds the matrix by classifying every example of `ds` with `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when widths disagree or a label is out of range.
+    pub fn from_network(net: &Network, ds: &Dataset) -> Self {
+        let mut cm = Self::new(ds.num_classes);
+        for (x, &y) in ds.inputs.iter().zip(&ds.labels) {
+            cm.record(y, net.classify(x));
+        }
+        cm
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Records one `(true, predicted)` observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either index is out of range.
+    pub fn record(&mut self, truth: usize, predicted: usize) {
+        assert!(truth < self.classes && predicted < self.classes);
+        self.counts[truth * self.classes + predicted] += 1;
+    }
+
+    /// Count of examples with the given true and predicted classes.
+    pub fn count(&self, truth: usize, predicted: usize) -> usize {
+        self.counts[truth * self.classes + predicted]
+    }
+
+    /// Total number of recorded examples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.classes).map(|c| self.count(c, c)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Recall of class `c` (`None` when the class has no examples).
+    pub fn recall(&self, c: usize) -> Option<f64> {
+        let row: usize = (0..self.classes).map(|p| self.count(c, p)).sum();
+        (row > 0).then(|| self.count(c, c) as f64 / row as f64)
+    }
+
+    /// Precision of class `c` (`None` when the class is never predicted).
+    pub fn precision(&self, c: usize) -> Option<f64> {
+        let col: usize = (0..self.classes).map(|t| self.count(t, c)).sum();
+        (col > 0).then(|| self.count(c, c) as f64 / col as f64)
+    }
+
+    /// Renders a compact text table.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("true\\pred");
+        for p in 0..self.classes {
+            out.push_str(&format!(" {p:>6}"));
+        }
+        out.push('\n');
+        for t in 0..self.classes {
+            out.push_str(&format!("{t:>9}"));
+            for p in 0..self.classes {
+                out.push_str(&format!(" {:>6}", self.count(t, p)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::synth_digits;
+    use crate::train::{train_classifier, TrainConfig};
+    use crate::{ActKind, NetworkBuilder};
+
+    #[test]
+    fn per_class_metrics() {
+        let mut cm = ConfusionMatrix::new(3);
+        // Class 0: 2 right, 1 wrong into 1.
+        cm.record(0, 0);
+        cm.record(0, 0);
+        cm.record(0, 1);
+        // Class 1: 1 right.
+        cm.record(1, 1);
+        // Class 2: never seen.
+        assert_eq!(cm.total(), 4);
+        assert!((cm.accuracy() - 0.75).abs() < 1e-12);
+        assert!((cm.recall(0).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.precision(1).unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(cm.recall(2), None);
+        assert_eq!(cm.precision(2), None);
+    }
+
+    #[test]
+    fn from_network_matches_dataset_accuracy() {
+        let ds = synth_digits(4, 2, 60, 0.08, 3);
+        let mut net = NetworkBuilder::new(16)
+            .dense(8, 1)
+            .activation(ActKind::Relu)
+            .dense(2, 2)
+            .build();
+        train_classifier(
+            &mut net,
+            &ds,
+            &TrainConfig {
+                epochs: 20,
+                lr: 0.4,
+                momentum: 0.0,
+                batch_size: 8,
+                seed: 1,
+                adversarial: None,
+            },
+        );
+        let cm = ConfusionMatrix::from_network(&net, &ds);
+        assert_eq!(cm.total(), ds.len());
+        let acc = ds.accuracy_of(|x| net.classify(x));
+        assert!((cm.accuracy() - acc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn text_rendering_is_square() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(0, 1);
+        let text = cm.to_text();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("true\\pred"));
+    }
+}

@@ -1,0 +1,299 @@
+use crate::{ActKind, AnalysisPlan, Dense, Layer, NnError};
+use raven_tensor::Matrix;
+
+/// A feed-forward neural network: an input width plus a stack of layers.
+///
+/// `Network` is the concrete executable object; analyses never consume it
+/// directly but go through [`Network::to_plan`], which lowers convolutions to
+/// affine maps and fuses adjacent affine layers.
+///
+/// # Examples
+///
+/// ```
+/// use raven_nn::{ActKind, Network, Dense, Layer};
+/// use raven_tensor::Matrix;
+///
+/// let net = Network::new(
+///     2,
+///     vec![
+///         Layer::Dense(Dense::new(Matrix::from_rows(&[&[1.0, 1.0]]), vec![0.0])),
+///         Layer::Act(ActKind::Relu),
+///     ],
+/// )
+/// .unwrap();
+/// assert_eq!(net.forward(&[1.0, -3.0]), vec![0.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Network {
+    input_dim: usize,
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Creates a network, validating that adjacent layer widths agree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] when a layer's expected input
+    /// width differs from what the previous layer produces.
+    pub fn new(input_dim: usize, layers: Vec<Layer>) -> Result<Self, NnError> {
+        let mut width = input_dim;
+        for (i, layer) in layers.iter().enumerate() {
+            if let Some(expected) = layer.in_dim() {
+                if expected != width {
+                    return Err(NnError::DimensionMismatch {
+                        layer: i,
+                        expected,
+                        actual: width,
+                    });
+                }
+            }
+            width = layer.out_dim(width);
+        }
+        Ok(Self { input_dim, layers })
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Output width.
+    pub fn output_dim(&self) -> usize {
+        let mut width = self.input_dim;
+        for layer in &self.layers {
+            width = layer.out_dim(width);
+        }
+        width
+    }
+
+    /// The layer stack.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable layer stack (used by the trainer; widths must be preserved).
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Widths of all inter-layer tensors, starting with the input width.
+    pub fn widths(&self) -> Vec<usize> {
+        let mut widths = vec![self.input_dim];
+        let mut w = self.input_dim;
+        for layer in &self.layers {
+            w = layer.out_dim(w);
+            widths.push(w);
+        }
+        widths
+    }
+
+    /// Total number of trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                Layer::Dense(d) => d.in_dim() * d.out_dim() + d.out_dim(),
+                Layer::Conv(c) => c.weight().len() + c.bias().len(),
+                Layer::Act(_) => 0,
+                Layer::BatchNorm(bn) => 4 * bn.dim(),
+            })
+            .sum()
+    }
+
+    /// Executes the network on one input.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != self.input_dim()`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.input_dim, "network: input width mismatch");
+        let mut cur = x.to_vec();
+        for layer in &self.layers {
+            cur = layer.forward(&cur);
+        }
+        cur
+    }
+
+    /// Executes the network, returning every intermediate tensor
+    /// (`result[0]` is the input, `result.last()` the output).
+    pub fn forward_trace(&self, x: &[f64]) -> Vec<Vec<f64>> {
+        assert_eq!(x.len(), self.input_dim, "network: input width mismatch");
+        let mut trace = Vec::with_capacity(self.layers.len() + 1);
+        trace.push(x.to_vec());
+        for layer in &self.layers {
+            let next = layer.forward(trace.last().expect("trace is non-empty"));
+            trace.push(next);
+        }
+        trace
+    }
+
+    /// Predicted class: argmax of the output logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the network has zero outputs.
+    pub fn classify(&self, x: &[f64]) -> usize {
+        raven_tensor::argmax(&self.forward(x)).expect("network has at least one output")
+    }
+
+    /// Lowers the network into an [`AnalysisPlan`]: convolutions become
+    /// explicit affine maps, and runs of adjacent affine layers are fused
+    /// into a single affine step, yielding a strict affine/activation
+    /// alternation that every abstract domain in the workspace consumes.
+    pub fn to_plan(&self) -> AnalysisPlan {
+        let mut steps: Vec<PlanAffineOrAct> = Vec::new();
+        for layer in &self.layers {
+            match layer {
+                Layer::Dense(d) => push_affine(&mut steps, d.weight().clone(), d.bias().to_vec()),
+                Layer::Conv(c) => {
+                    let (w, b) = c.to_affine();
+                    push_affine(&mut steps, w, b);
+                }
+                Layer::BatchNorm(bn) => {
+                    let (w, b) = bn.to_affine();
+                    push_affine(&mut steps, w, b);
+                }
+                Layer::Act(a) => steps.push(PlanAffineOrAct::Act(*a)),
+            }
+        }
+        AnalysisPlan::from_parts(
+            self.input_dim,
+            steps
+                .into_iter()
+                .map(|s| match s {
+                    PlanAffineOrAct::Affine(w, b) => crate::PlanStep::Affine { weight: w, bias: b },
+                    PlanAffineOrAct::Act(a) => crate::PlanStep::Act(a),
+                })
+                .collect(),
+        )
+    }
+}
+
+enum PlanAffineOrAct {
+    Affine(Matrix, Vec<f64>),
+    Act(ActKind),
+}
+
+fn push_affine(steps: &mut Vec<PlanAffineOrAct>, w: Matrix, b: Vec<f64>) {
+    if let Some(PlanAffineOrAct::Affine(prev_w, prev_b)) = steps.last() {
+        // Fuse: (W2 (W1 x + b1) + b2) = (W2 W1) x + (W2 b1 + b2).
+        let fused_w = w.matmul(prev_w).expect("plan fusion shapes validated");
+        let mut fused_b = w.matvec(prev_b);
+        for (fb, bi) in fused_b.iter_mut().zip(&b) {
+            *fb += bi;
+        }
+        *steps.last_mut().expect("non-empty") = PlanAffineOrAct::Affine(fused_w, fused_b);
+    } else {
+        steps.push(PlanAffineOrAct::Affine(w, b));
+    }
+}
+
+/// Convenience constructors for common test networks.
+impl Network {
+    /// Builds a single-dense-layer network (useful in tests and docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] when widths are inconsistent
+    /// (cannot happen for this constructor, but kept for API uniformity).
+    pub fn single_dense(weight: Matrix, bias: Vec<f64>) -> Result<Self, NnError> {
+        let input_dim = weight.cols();
+        Network::new(input_dim, vec![Layer::Dense(Dense::new(weight, bias))])
+    }
+}
+
+// Re-export used by `to_plan` internals.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetworkBuilder;
+
+    fn toy_net() -> Network {
+        NetworkBuilder::new(3)
+            .dense_from(
+                &[&[1.0, 0.0, -1.0], &[0.5, 0.5, 0.5]],
+                &[0.0, 1.0],
+            )
+            .activation(ActKind::Relu)
+            .dense_from(&[&[2.0, -1.0]], &[0.0])
+            .build()
+    }
+
+    #[test]
+    fn widths_and_params() {
+        let net = toy_net();
+        assert_eq!(net.widths(), vec![3, 2, 2, 1]);
+        assert_eq!(net.num_params(), 6 + 2 + 2 + 1);
+        assert_eq!(net.output_dim(), 1);
+    }
+
+    #[test]
+    fn new_rejects_mismatched_layers() {
+        let err = Network::new(
+            3,
+            vec![Layer::Dense(Dense::new(Matrix::zeros(2, 4), vec![0.0; 2]))],
+        )
+        .unwrap_err();
+        assert!(matches!(err, NnError::DimensionMismatch { layer: 0, .. }));
+    }
+
+    #[test]
+    fn forward_trace_ends_with_forward() {
+        let net = toy_net();
+        let x = [0.3, -0.7, 0.2];
+        let trace = net.forward_trace(&x);
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace.last().unwrap(), &net.forward(&x));
+    }
+
+    #[test]
+    fn plan_matches_network_on_random_points() {
+        let net = NetworkBuilder::new(4)
+            .conv(1, 2, 2, 2, 2, 2, 1, 1, 7)
+            .activation(ActKind::Tanh)
+            .dense(3, 11)
+            .activation(ActKind::Relu)
+            .dense(2, 13)
+            .build();
+        let plan = net.to_plan();
+        for s in 0..5 {
+            let x: Vec<f64> = (0..4).map(|i| ((i + s * 7) as f64 * 0.37).sin()).collect();
+            let a = net.forward(&x);
+            let b = plan.forward(&x);
+            for (u, v) in a.iter().zip(&b) {
+                assert!((u - v).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_fuses_adjacent_affine_layers() {
+        let net = NetworkBuilder::new(3)
+            .dense(4, 1)
+            .dense(2, 2)
+            .activation(ActKind::Relu)
+            .dense(2, 3)
+            .build();
+        let plan = net.to_plan();
+        // dense+dense fused -> affine, act, affine = 3 steps.
+        assert_eq!(plan.steps().len(), 3);
+        let x = [0.1, -0.2, 0.3];
+        let a = net.forward(&x);
+        let b = plan.forward(&x);
+        for (u, v) in a.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn classify_returns_argmax() {
+        let net = Network::single_dense(
+            Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]),
+            vec![0.0, 0.0],
+        )
+        .unwrap();
+        assert_eq!(net.classify(&[0.2, 0.9]), 1);
+    }
+}

@@ -1,0 +1,176 @@
+use crate::ActKind;
+use raven_tensor::Matrix;
+
+/// One step of an [`AnalysisPlan`]: either an explicit affine map or an
+/// elementwise activation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanStep {
+    /// `y = weight * x + bias`.
+    Affine {
+        /// `out x in` coefficient matrix.
+        weight: Matrix,
+        /// Output-width bias vector.
+        bias: Vec<f64>,
+    },
+    /// Elementwise activation.
+    Act(ActKind),
+}
+
+impl PlanStep {
+    /// Output width given the input width.
+    pub fn out_dim(&self, in_dim: usize) -> usize {
+        match self {
+            PlanStep::Affine { weight, .. } => weight.rows(),
+            PlanStep::Act(_) => in_dim,
+        }
+    }
+
+    /// Whether this step is an activation.
+    pub fn is_activation(&self) -> bool {
+        matches!(self, PlanStep::Act(_))
+    }
+}
+
+/// The analysis-ready lowering of a [`crate::Network`].
+///
+/// Produced by [`crate::Network::to_plan`]: convolutions are unrolled into
+/// dense affine maps and adjacent affine layers are fused, so the plan is a
+/// strict alternation of affine and activation steps. Every abstract domain
+/// (interval, DeepPoly, DiffPoly) and the LP encoder consume this type.
+///
+/// # Examples
+///
+/// ```
+/// use raven_nn::{ActKind, NetworkBuilder};
+///
+/// let plan = NetworkBuilder::new(2)
+///     .dense(3, 1)
+///     .activation(ActKind::Relu)
+///     .dense(2, 2)
+///     .build()
+///     .to_plan();
+/// assert_eq!(plan.input_dim(), 2);
+/// assert_eq!(plan.output_dim(), 2);
+/// assert_eq!(plan.steps().len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisPlan {
+    input_dim: usize,
+    steps: Vec<PlanStep>,
+}
+
+impl AnalysisPlan {
+    /// Assembles a plan from raw parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics when affine step widths do not chain.
+    pub fn from_parts(input_dim: usize, steps: Vec<PlanStep>) -> Self {
+        let mut w = input_dim;
+        for (i, s) in steps.iter().enumerate() {
+            if let PlanStep::Affine { weight, bias } = s {
+                assert_eq!(weight.cols(), w, "plan step {i}: input width mismatch");
+                assert_eq!(weight.rows(), bias.len(), "plan step {i}: bias mismatch");
+            }
+            w = s.out_dim(w);
+        }
+        Self { input_dim, steps }
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Output width.
+    pub fn output_dim(&self) -> usize {
+        let mut w = self.input_dim;
+        for s in &self.steps {
+            w = s.out_dim(w);
+        }
+        w
+    }
+
+    /// The plan's steps in execution order.
+    pub fn steps(&self) -> &[PlanStep] {
+        &self.steps
+    }
+
+    /// Widths of all inter-step tensors, starting with the input width.
+    pub fn widths(&self) -> Vec<usize> {
+        let mut widths = vec![self.input_dim];
+        let mut w = self.input_dim;
+        for s in &self.steps {
+            w = s.out_dim(w);
+            widths.push(w);
+        }
+        widths
+    }
+
+    /// Indices of activation steps (useful for per-activation-layer domains).
+    pub fn activation_steps(&self) -> Vec<usize> {
+        self.steps
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.is_activation().then_some(i))
+            .collect()
+    }
+
+    /// Executes the plan exactly (concrete semantics), mirroring
+    /// [`crate::Network::forward`]; used to cross-check the lowering.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != self.input_dim()`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.input_dim, "plan: input width mismatch");
+        let mut cur = x.to_vec();
+        for s in &self.steps {
+            cur = match s {
+                PlanStep::Affine { weight, bias } => {
+                    let mut y = weight.matvec(&cur);
+                    for (yi, bi) in y.iter_mut().zip(bias) {
+                        *yi += bi;
+                    }
+                    y
+                }
+                PlanStep::Act(a) => cur.iter().map(|&v| a.eval(v)).collect(),
+            };
+        }
+        cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_parts_validates_chaining() {
+        let plan = AnalysisPlan::from_parts(
+            2,
+            vec![
+                PlanStep::Affine {
+                    weight: Matrix::from_rows(&[&[1.0, 1.0]]),
+                    bias: vec![0.5],
+                },
+                PlanStep::Act(ActKind::Relu),
+            ],
+        );
+        assert_eq!(plan.widths(), vec![2, 1, 1]);
+        assert_eq!(plan.activation_steps(), vec![1]);
+        assert_eq!(plan.forward(&[1.0, -2.0]), vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn from_parts_rejects_bad_widths() {
+        AnalysisPlan::from_parts(
+            3,
+            vec![PlanStep::Affine {
+                weight: Matrix::zeros(1, 2),
+                bias: vec![0.0],
+            }],
+        );
+    }
+}

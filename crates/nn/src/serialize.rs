@@ -1,0 +1,339 @@
+//! Plain-text model (de)serialization.
+//!
+//! Format (line-oriented, whitespace-separated, `#` comments):
+//!
+//! ```text
+//! raven-net v1
+//! input 784
+//! dense 128 784
+//! <128 rows of 784 weights>
+//! <1 row of 128 biases>
+//! act relu
+//! conv 1 28 28 4 3 3 1 1
+//! <1 row of out_c*in_c*kh*kw kernel weights>
+//! <1 row of out_c biases>
+//! end
+//! ```
+//!
+//! The format stands in for ONNX in the paper's toolchain: it lets trained
+//! models be committed, reloaded, and shared between examples, tests, and
+//! benchmarks.
+
+use crate::{ActKind, BatchNorm, Conv2d, Dense, Layer, Network, NnError};
+use raven_tensor::Matrix;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Serializes a network to the text format.
+///
+/// # Examples
+///
+/// ```
+/// use raven_nn::{ActKind, NetworkBuilder, parse_network, network_to_string};
+///
+/// let net = NetworkBuilder::new(3).dense(2, 1).activation(ActKind::Relu).build();
+/// let text = network_to_string(&net);
+/// let back = parse_network(&text).unwrap();
+/// assert_eq!(net, back);
+/// ```
+pub fn network_to_string(net: &Network) -> String {
+    let mut out = String::new();
+    out.push_str("raven-net v1\n");
+    let _ = writeln!(out, "input {}", net.input_dim());
+    for layer in net.layers() {
+        match layer {
+            Layer::Dense(d) => {
+                let _ = writeln!(out, "dense {} {}", d.out_dim(), d.in_dim());
+                for i in 0..d.out_dim() {
+                    push_row(&mut out, d.weight().row(i));
+                }
+                push_row(&mut out, d.bias());
+            }
+            Layer::Conv(c) => {
+                let (ic, ih, iw, oc, kh, kw, s, p) = c.geometry();
+                let _ = writeln!(out, "conv {ic} {ih} {iw} {oc} {kh} {kw} {s} {p}");
+                push_row(&mut out, c.weight());
+                push_row(&mut out, c.bias());
+            }
+            Layer::Act(a) => {
+                let _ = writeln!(out, "act {}", a.name());
+            }
+            Layer::BatchNorm(bn) => {
+                let (gamma, beta, mean, var, eps) = bn.params();
+                let _ = writeln!(out, "batchnorm {} {eps:?}", bn.dim());
+                push_row(&mut out, gamma);
+                push_row(&mut out, beta);
+                push_row(&mut out, mean);
+                push_row(&mut out, var);
+            }
+        }
+    }
+    out.push_str("end\n");
+    out
+}
+
+fn push_row(out: &mut String, vals: &[f64]) {
+    let mut first = true;
+    for v in vals {
+        if !first {
+            out.push(' ');
+        }
+        let _ = write!(out, "{v:?}");
+        first = false;
+    }
+    out.push('\n');
+}
+
+struct Lines<'a> {
+    iter: std::iter::Enumerate<std::str::Lines<'a>>,
+}
+
+impl<'a> Lines<'a> {
+    fn next_content(&mut self) -> Option<(usize, &'a str)> {
+        for (i, raw) in self.iter.by_ref() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if !line.is_empty() {
+                return Some((i + 1, line));
+            }
+        }
+        None
+    }
+
+    fn expect(&mut self) -> Result<(usize, &'a str), NnError> {
+        self.next_content().ok_or(NnError::Parse {
+            line: 0,
+            message: "unexpected end of input".into(),
+        })
+    }
+}
+
+fn parse_floats(line: usize, s: &str, expected: usize) -> Result<Vec<f64>, NnError> {
+    let vals: Result<Vec<f64>, _> = s.split_whitespace().map(str::parse::<f64>).collect();
+    let vals = vals.map_err(|e| NnError::Parse {
+        line,
+        message: format!("bad float: {e}"),
+    })?;
+    if vals.len() != expected {
+        return Err(NnError::Parse {
+            line,
+            message: format!("expected {expected} values, found {}", vals.len()),
+        });
+    }
+    Ok(vals)
+}
+
+fn parse_usizes(line: usize, s: &str, expected: usize) -> Result<Vec<usize>, NnError> {
+    let vals: Result<Vec<usize>, _> = s.split_whitespace().map(str::parse::<usize>).collect();
+    let vals = vals.map_err(|e| NnError::Parse {
+        line,
+        message: format!("bad integer: {e}"),
+    })?;
+    if vals.len() != expected {
+        return Err(NnError::Parse {
+            line,
+            message: format!("expected {expected} integers, found {}", vals.len()),
+        });
+    }
+    Ok(vals)
+}
+
+/// Parses a network from the text format.
+///
+/// # Errors
+///
+/// Returns [`NnError::Parse`] with a line number on malformed input, or
+/// [`NnError::DimensionMismatch`] when the parsed layers do not chain.
+pub fn parse_network(text: &str) -> Result<Network, NnError> {
+    let mut lines = Lines {
+        iter: text.lines().enumerate(),
+    };
+    let (ln, header) = lines.expect()?;
+    if header != "raven-net v1" {
+        return Err(NnError::Parse {
+            line: ln,
+            message: format!("bad header {header:?}"),
+        });
+    }
+    let (ln, input_line) = lines.expect()?;
+    let input_dim = match input_line.strip_prefix("input ") {
+        Some(rest) => parse_usizes(ln, rest, 1)?[0],
+        None => {
+            return Err(NnError::Parse {
+                line: ln,
+                message: "expected `input <dim>`".into(),
+            })
+        }
+    };
+    let mut layers = Vec::new();
+    loop {
+        let (ln, line) = lines.expect()?;
+        if line == "end" {
+            break;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("dense") => {
+                let rest: String = parts.collect::<Vec<_>>().join(" ");
+                let dims = parse_usizes(ln, &rest, 2)?;
+                let (out_dim, in_dim) = (dims[0], dims[1]);
+                let mut w = Matrix::zeros(out_dim, in_dim);
+                for i in 0..out_dim {
+                    let (rln, row) = lines.expect()?;
+                    let vals = parse_floats(rln, row, in_dim)?;
+                    w.row_mut(i).copy_from_slice(&vals);
+                }
+                let (bln, brow) = lines.expect()?;
+                let bias = parse_floats(bln, brow, out_dim)?;
+                layers.push(Layer::Dense(Dense::new(w, bias)));
+            }
+            Some("conv") => {
+                let rest: String = parts.collect::<Vec<_>>().join(" ");
+                let g = parse_usizes(ln, &rest, 8)?;
+                let (ic, ih, iw, oc, kh, kw, s, p) =
+                    (g[0], g[1], g[2], g[3], g[4], g[5], g[6], g[7]);
+                let (wln, wrow) = lines.expect()?;
+                let weight = parse_floats(wln, wrow, oc * ic * kh * kw)?;
+                let (bln, brow) = lines.expect()?;
+                let bias = parse_floats(bln, brow, oc)?;
+                layers.push(Layer::Conv(Conv2d::new(
+                    ic, ih, iw, oc, kh, kw, s, p, weight, bias,
+                )));
+            }
+            Some("batchnorm") => {
+                let rest: String = parts.collect::<Vec<_>>().join(" ");
+                let mut it = rest.split_whitespace();
+                let dim: usize = it
+                    .next()
+                    .ok_or(NnError::Parse {
+                        line: ln,
+                        message: "batchnorm: missing dim".into(),
+                    })?
+                    .parse()
+                    .map_err(|e| NnError::Parse {
+                        line: ln,
+                        message: format!("batchnorm dim: {e}"),
+                    })?;
+                let eps: f64 = it
+                    .next()
+                    .ok_or(NnError::Parse {
+                        line: ln,
+                        message: "batchnorm: missing eps".into(),
+                    })?
+                    .parse()
+                    .map_err(|e| NnError::Parse {
+                        line: ln,
+                        message: format!("batchnorm eps: {e}"),
+                    })?;
+                let (gln, grow) = lines.expect()?;
+                let gamma = parse_floats(gln, grow, dim)?;
+                let (bln, brow) = lines.expect()?;
+                let beta = parse_floats(bln, brow, dim)?;
+                let (mln, mrow) = lines.expect()?;
+                let mean = parse_floats(mln, mrow, dim)?;
+                let (vln, vrow) = lines.expect()?;
+                let var = parse_floats(vln, vrow, dim)?;
+                layers.push(Layer::BatchNorm(BatchNorm::new(gamma, beta, mean, var, eps)));
+            }
+            Some("act") => {
+                let name = parts.next().unwrap_or("");
+                let kind = ActKind::from_name(name).ok_or_else(|| NnError::Parse {
+                    line: ln,
+                    message: format!("unknown activation {name:?}"),
+                })?;
+                layers.push(Layer::Act(kind));
+            }
+            other => {
+                return Err(NnError::Parse {
+                    line: ln,
+                    message: format!("unknown directive {other:?}"),
+                })
+            }
+        }
+    }
+    Network::new(input_dim, layers)
+}
+
+/// Saves a network to `path` in the text format.
+///
+/// # Errors
+///
+/// Returns [`NnError::Io`] on filesystem failure.
+pub fn save_network(net: &Network, path: &Path) -> Result<(), NnError> {
+    std::fs::write(path, network_to_string(net))?;
+    Ok(())
+}
+
+/// Loads a network from `path`.
+///
+/// # Errors
+///
+/// Returns [`NnError::Io`] on filesystem failure or [`NnError::Parse`] on
+/// malformed content.
+pub fn load_network(path: &Path) -> Result<Network, NnError> {
+    let text = std::fs::read_to_string(path)?;
+    parse_network(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetworkBuilder;
+
+    #[test]
+    fn roundtrip_preserves_mixed_network_exactly() {
+        let net = NetworkBuilder::new(2 * 3 * 3)
+            .conv(2, 3, 3, 4, 2, 2, 1, 0, 11)
+            .activation(ActKind::Relu)
+            .dense(5, 12)
+            .activation(ActKind::Sigmoid)
+            .dense(3, 13)
+            .build();
+        let text = network_to_string(&net);
+        let back = parse_network(&text).expect("roundtrip parses");
+        assert_eq!(net, back);
+    }
+
+    #[test]
+    fn roundtrip_preserves_batchnorm() {
+        let samples: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 * 0.05, 0.5]).collect();
+        let net = NetworkBuilder::new(2)
+            .batch_norm_from(&samples)
+            .dense(3, 5)
+            .activation(ActKind::Relu)
+            .dense(2, 6)
+            .build();
+        let back = parse_network(&network_to_string(&net)).expect("parses");
+        assert_eq!(net, back);
+    }
+
+    #[test]
+    fn parse_rejects_bad_header() {
+        let err = parse_network("bogus v9\ninput 2\nend\n").unwrap_err();
+        assert!(matches!(err, NnError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn parse_rejects_wrong_row_width() {
+        let text = "raven-net v1\ninput 2\ndense 1 2\n1.0\n0.0\nend\n";
+        let err = parse_network(text).unwrap_err();
+        assert!(matches!(err, NnError::Parse { .. }));
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blank_lines() {
+        let text = "# model\nraven-net v1\n\ninput 1\n# layer\nact relu\nend\n";
+        let net = parse_network(text).expect("parses");
+        assert_eq!(net.layers().len(), 1);
+    }
+
+    #[test]
+    fn save_and_load_roundtrip_via_tempfile() {
+        let net = NetworkBuilder::new(3).dense(2, 7).build();
+        let dir = std::env::temp_dir();
+        let path = dir.join("raven_nn_serialize_test.net");
+        save_network(&net, &path).expect("save");
+        let back = load_network(&path).expect("load");
+        assert_eq!(net, back);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,542 @@
+//! From-scratch SGD training with optional PGD adversarial training.
+//!
+//! The paper contrasts standard-trained networks with robust-trained ones
+//! (PGD / DiffAI / COLT). This module supplies the two regimes this
+//! reproduction uses: plain SGD and PGD adversarial training (the certified
+//! training methods are out of scope per the repro band; see `DESIGN.md`).
+
+use crate::data::Dataset;
+use crate::{Layer, Network};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use raven_tensor::Matrix;
+
+/// Configuration for [`train_classifier`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// Classical momentum coefficient (0 disables momentum).
+    pub momentum: f64,
+    /// Minibatch size (gradients are averaged over the batch).
+    pub batch_size: usize,
+    /// Seed for shuffling (and adversarial example generation).
+    pub seed: u64,
+    /// When set, each training example is replaced by a PGD adversarial
+    /// example inside the given radius before the gradient step.
+    pub adversarial: Option<AdvTrainConfig>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 30,
+            lr: 0.1,
+            momentum: 0.0,
+            batch_size: 16,
+            seed: 0,
+            adversarial: None,
+        }
+    }
+}
+
+/// PGD adversarial-training parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdvTrainConfig {
+    /// ℓ∞ radius of the training perturbation.
+    pub eps: f64,
+    /// Number of PGD steps.
+    pub steps: usize,
+    /// PGD step size.
+    pub step_size: f64,
+    /// Fraction of training examples replaced by adversarial ones (the rest
+    /// stay clean). Mixing keeps clean accuracy from collapsing on hard
+    /// tasks; 1.0 is classic Madry-style training.
+    pub adv_fraction: f64,
+}
+
+impl Default for AdvTrainConfig {
+    fn default() -> Self {
+        Self {
+            eps: 0.05,
+            steps: 4,
+            step_size: 0.02,
+            adv_fraction: 0.5,
+        }
+    }
+}
+
+/// Summary of a training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Mean loss over the final epoch.
+    pub final_loss: f64,
+    /// Training-set accuracy after the final epoch.
+    pub final_accuracy: f64,
+    /// Epochs actually executed.
+    pub epochs_run: usize,
+}
+
+/// Numerically stable softmax.
+///
+/// # Examples
+///
+/// ```
+/// let p = raven_nn::train::softmax(&[0.0, 0.0]);
+/// assert!((p[0] - 0.5).abs() < 1e-12);
+/// ```
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&z| (z - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Cross-entropy loss of `logits` against `label`, plus the gradient of the
+/// loss with respect to the logits (`softmax - onehot`).
+///
+/// # Panics
+///
+/// Panics when `label >= logits.len()`.
+pub fn cross_entropy(logits: &[f64], label: usize) -> (f64, Vec<f64>) {
+    assert!(label < logits.len(), "label out of range");
+    let probs = softmax(logits);
+    let loss = -(probs[label].max(1e-300)).ln();
+    let mut grad = probs;
+    grad[label] -= 1.0;
+    (loss, grad)
+}
+
+/// Per-layer parameter gradients mirroring [`Network::layers`].
+#[derive(Debug, Clone)]
+enum LayerGrad {
+    Dense { dw: Matrix, db: Vec<f64> },
+    Conv { dw: Vec<f64>, db: Vec<f64> },
+    None,
+}
+
+fn zero_grads(net: &Network) -> Vec<LayerGrad> {
+    net.layers()
+        .iter()
+        .map(|l| match l {
+            Layer::Dense(d) => LayerGrad::Dense {
+                dw: Matrix::zeros(d.out_dim(), d.in_dim()),
+                db: vec![0.0; d.out_dim()],
+            },
+            Layer::Conv(c) => LayerGrad::Conv {
+                dw: vec![0.0; c.weight().len()],
+                db: vec![0.0; c.bias().len()],
+            },
+            Layer::Act(_) | Layer::BatchNorm(_) => LayerGrad::None,
+        })
+        .collect()
+}
+
+/// Runs forward + backward for one example, accumulating parameter
+/// gradients into `grads` and returning `(loss, d loss / d input)`.
+fn backprop(net: &Network, x: &[f64], label: usize, grads: &mut [LayerGrad]) -> (f64, Vec<f64>) {
+    let trace = net.forward_trace(x);
+    let logits = trace.last().expect("trace non-empty");
+    let (loss, mut grad) = cross_entropy(logits, label);
+    for (li, layer) in net.layers().iter().enumerate().rev() {
+        let input = &trace[li];
+        grad = match (layer, &mut grads[li]) {
+            (Layer::Dense(d), LayerGrad::Dense { dw, db }) => {
+                for (i, &g) in grad.iter().enumerate() {
+                    raven_tensor::axpy(g, input, dw.row_mut(i));
+                    db[i] += g;
+                }
+                d.weight().matvec_t(&grad)
+            }
+            (Layer::Conv(c), LayerGrad::Conv { dw, db }) => {
+                conv_backward(c, input, &grad, dw, db)
+            }
+            (Layer::Act(a), LayerGrad::None) => grad
+                .iter()
+                .zip(input)
+                .map(|(&g, &z)| g * a.deriv(z))
+                .collect(),
+            (Layer::BatchNorm(bn), LayerGrad::None) => {
+                // Frozen normalization: gradient passes through the fixed
+                // per-channel scale.
+                let (w, _) = bn.to_affine();
+                w.matvec_t(&grad)
+            }
+            _ => unreachable!("gradient layout mirrors the layer stack"),
+        };
+    }
+    (loss, grad)
+}
+
+fn conv_backward(
+    c: &crate::Conv2d,
+    input: &[f64],
+    grad_out: &[f64],
+    dw: &mut [f64],
+    db: &mut [f64],
+) -> Vec<f64> {
+    let (in_channels, in_h, in_w, out_channels, kh, kw, stride, padding) = c.geometry();
+    let (oh, ow) = (c.out_h(), c.out_w());
+    let mut grad_in = vec![0.0; c.in_dim()];
+    for oc in 0..out_channels {
+        for orow in 0..oh {
+            for ocol in 0..ow {
+                let g = grad_out[(oc * oh + orow) * ow + ocol];
+                if g == 0.0 {
+                    continue;
+                }
+                db[oc] += g;
+                let base_r = (orow * stride) as isize - padding as isize;
+                let base_c = (ocol * stride) as isize - padding as isize;
+                for ic in 0..in_channels {
+                    for kr in 0..kh {
+                        for kc in 0..kw {
+                            let r = base_r + kr as isize;
+                            let cc = base_c + kc as isize;
+                            if r < 0 || cc < 0 || r as usize >= in_h || cc as usize >= in_w {
+                                continue;
+                            }
+                            let in_idx = (ic * in_h + r as usize) * in_w + cc as usize;
+                            let w_idx = ((oc * in_channels + ic) * kh + kr) * kw + kc;
+                            dw[w_idx] += g * input[in_idx];
+                            grad_in[in_idx] += g * c.weight()[w_idx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    grad_in
+}
+
+/// Gradient of the cross-entropy loss with respect to the *input*.
+///
+/// Used by the attacks in [`crate::attack`]; parameter gradients are
+/// discarded.
+pub fn input_gradient(net: &Network, x: &[f64], label: usize) -> (f64, Vec<f64>) {
+    let mut grads = zero_grads(net);
+    backprop(net, x, label, &mut grads)
+}
+
+/// Folds the batch gradient into the velocity: `v ← m·v + g`.
+fn update_velocity(velocity: &mut [LayerGrad], grads: &[LayerGrad], momentum: f64) {
+    for (v, g) in velocity.iter_mut().zip(grads) {
+        match (v, g) {
+            (LayerGrad::Dense { dw: vw, db: vb }, LayerGrad::Dense { dw, db }) => {
+                for i in 0..vw.rows() {
+                    for (vx, gx) in vw.row_mut(i).iter_mut().zip(dw.row(i)) {
+                        *vx = momentum * *vx + gx;
+                    }
+                }
+                for (vx, gx) in vb.iter_mut().zip(db) {
+                    *vx = momentum * *vx + gx;
+                }
+            }
+            (LayerGrad::Conv { dw: vw, db: vb }, LayerGrad::Conv { dw, db }) => {
+                for (vx, gx) in vw.iter_mut().zip(dw) {
+                    *vx = momentum * *vx + gx;
+                }
+                for (vx, gx) in vb.iter_mut().zip(db) {
+                    *vx = momentum * *vx + gx;
+                }
+            }
+            (LayerGrad::None, LayerGrad::None) => {}
+            _ => unreachable!("velocity layout mirrors the layer stack"),
+        }
+    }
+}
+
+fn apply_grads(net: &mut Network, grads: &[LayerGrad], lr: f64, batch: usize) {
+    let scale = lr / batch as f64;
+    for (layer, grad) in net.layers_mut().iter_mut().zip(grads) {
+        match (layer, grad) {
+            (Layer::Dense(d), LayerGrad::Dense { dw, db }) => {
+                d.weight_mut().add_scaled(-scale, dw);
+                for (b, g) in d.bias_mut().iter_mut().zip(db) {
+                    *b -= scale * g;
+                }
+            }
+            (Layer::Conv(c), LayerGrad::Conv { dw, db }) => {
+                for (w, g) in c.weight_mut().iter_mut().zip(dw) {
+                    *w -= scale * g;
+                }
+                for (b, g) in c.bias_mut().iter_mut().zip(db) {
+                    *b -= scale * g;
+                }
+            }
+            (Layer::Act(_) | Layer::BatchNorm(_), LayerGrad::None) => {}
+            _ => unreachable!("gradient layout mirrors the layer stack"),
+        }
+    }
+}
+
+/// Trains `net` in place on `ds` with minibatch SGD (optionally on PGD
+/// adversarial examples) and returns a [`TrainReport`].
+///
+/// # Panics
+///
+/// Panics when the dataset is empty or its width does not match the network.
+pub fn train_classifier(net: &mut Network, ds: &Dataset, cfg: &TrainConfig) -> TrainReport {
+    assert!(!ds.is_empty(), "cannot train on an empty dataset");
+    assert_eq!(ds.input_dim, net.input_dim(), "dataset width mismatch");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut order: Vec<usize> = (0..ds.len()).collect();
+    let mut last_epoch_loss = 0.0;
+    let mut velocity = (cfg.momentum != 0.0).then(|| zero_grads(net));
+    for _ in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0;
+        for chunk in order.chunks(cfg.batch_size.max(1)) {
+            let mut grads = zero_grads(net);
+            for (pos, &idx) in chunk.iter().enumerate() {
+                let use_adv = cfg
+                    .adversarial
+                    .as_ref()
+                    .is_some_and(|adv| (pos as f64 + 0.5) / chunk.len() as f64 <= adv.adv_fraction);
+                let x = match (&cfg.adversarial, use_adv) {
+                    (Some(adv), true) => crate::attack::pgd(
+                        net,
+                        &ds.inputs[idx],
+                        ds.labels[idx],
+                        adv.eps,
+                        adv.steps,
+                        adv.step_size,
+                    ),
+                    _ => ds.inputs[idx].clone(),
+                };
+                let (loss, _) = backprop(net, &x, ds.labels[idx], &mut grads);
+                epoch_loss += loss;
+            }
+            match &mut velocity {
+                Some(v) => {
+                    update_velocity(v, &grads, cfg.momentum);
+                    apply_grads(net, v, cfg.lr, chunk.len());
+                }
+                None => apply_grads(net, &grads, cfg.lr, chunk.len()),
+            }
+        }
+        last_epoch_loss = epoch_loss / ds.len() as f64;
+    }
+    TrainReport {
+        final_loss: last_epoch_loss,
+        final_accuracy: ds.accuracy_of(|x| net.classify(x)),
+        epochs_run: cfg.epochs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::synth_digits;
+    use crate::{ActKind, NetworkBuilder};
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let logits = [0.3, -0.7, 1.2];
+        let (_, grad) = cross_entropy(&logits, 1);
+        let h = 1e-6;
+        for i in 0..3 {
+            let mut up = logits;
+            up[i] += h;
+            let mut dn = logits;
+            dn[i] -= h;
+            let fd = (cross_entropy(&up, 1).0 - cross_entropy(&dn, 1).0) / (2.0 * h);
+            assert!((fd - grad[i]).abs() < 1e-6, "coord {i}: {fd} vs {}", grad[i]);
+        }
+    }
+
+    #[test]
+    fn parameter_gradients_match_finite_differences() {
+        let net = NetworkBuilder::new(3)
+            .dense(4, 1)
+            .activation(ActKind::Tanh)
+            .dense(2, 2)
+            .build();
+        let x = [0.2, -0.4, 0.6];
+        let label = 1;
+        let mut grads = zero_grads(&net);
+        backprop(&net, &x, label, &mut grads);
+        // Check dense-0 weight (1, 2) by central difference.
+        let h = 1e-6;
+        let fd = {
+            let mut up = net.clone();
+            let mut dn = net.clone();
+            if let Layer::Dense(d) = &mut up.layers_mut()[0] {
+                let v = d.weight().get(1, 2);
+                d.weight_mut().set(1, 2, v + h);
+            }
+            if let Layer::Dense(d) = &mut dn.layers_mut()[0] {
+                let v = d.weight().get(1, 2);
+                d.weight_mut().set(1, 2, v - h);
+            }
+            (cross_entropy(&up.forward(&x), label).0 - cross_entropy(&dn.forward(&x), label).0)
+                / (2.0 * h)
+        };
+        let LayerGrad::Dense { dw, .. } = &grads[0] else {
+            panic!("layer 0 is dense");
+        };
+        assert!((fd - dw.get(1, 2)).abs() < 1e-6, "{fd} vs {}", dw.get(1, 2));
+    }
+
+    #[test]
+    fn conv_parameter_gradients_match_finite_differences() {
+        let net = NetworkBuilder::new(4)
+            .conv(1, 2, 2, 2, 2, 2, 1, 1, 3)
+            .activation(ActKind::Relu)
+            .dense(2, 4)
+            .build();
+        let x = [0.5, -0.3, 0.8, 0.1];
+        let label = 0;
+        let mut grads = zero_grads(&net);
+        backprop(&net, &x, label, &mut grads);
+        let h = 1e-6;
+        let widx = 3;
+        let fd = {
+            let mut up = net.clone();
+            let mut dn = net.clone();
+            if let Layer::Conv(c) = &mut up.layers_mut()[0] {
+                c.weight_mut()[widx] += h;
+            }
+            if let Layer::Conv(c) = &mut dn.layers_mut()[0] {
+                c.weight_mut()[widx] -= h;
+            }
+            (cross_entropy(&up.forward(&x), label).0 - cross_entropy(&dn.forward(&x), label).0)
+                / (2.0 * h)
+        };
+        let LayerGrad::Conv { dw, .. } = &grads[0] else {
+            panic!("layer 0 is conv");
+        };
+        assert!((fd - dw[widx]).abs() < 1e-6, "{fd} vs {}", dw[widx]);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let net = NetworkBuilder::new(3)
+            .dense(5, 9)
+            .activation(ActKind::Sigmoid)
+            .dense(3, 10)
+            .build();
+        let x = [0.1, 0.5, -0.2];
+        let (_, grad) = input_gradient(&net, &x, 2);
+        let h = 1e-6;
+        for i in 0..3 {
+            let mut up = x;
+            up[i] += h;
+            let mut dn = x;
+            dn[i] -= h;
+            let fd = (cross_entropy(&net.forward(&up), 2).0
+                - cross_entropy(&net.forward(&dn), 2).0)
+                / (2.0 * h);
+            assert!((fd - grad[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn training_reaches_high_accuracy_on_separable_data() {
+        let ds = synth_digits(5, 3, 120, 0.08, 21);
+        let mut net = NetworkBuilder::new(25)
+            .dense(16, 1)
+            .activation(ActKind::Relu)
+            .dense(3, 2)
+            .build();
+        let report = train_classifier(
+            &mut net,
+            &ds,
+            &TrainConfig {
+                epochs: 40,
+                lr: 0.5,
+                momentum: 0.0,
+                batch_size: 8,
+                seed: 1,
+                adversarial: None,
+            },
+        );
+        assert!(report.final_accuracy > 0.95, "{report:?}");
+    }
+
+    #[test]
+    fn momentum_training_converges() {
+        let ds = synth_digits(5, 3, 120, 0.08, 21);
+        let mut net = NetworkBuilder::new(25)
+            .dense(16, 1)
+            .activation(ActKind::Relu)
+            .dense(3, 2)
+            .build();
+        let report = train_classifier(
+            &mut net,
+            &ds,
+            &TrainConfig {
+                epochs: 30,
+                lr: 0.2,
+                momentum: 0.9,
+                batch_size: 8,
+                seed: 1,
+                adversarial: None,
+            },
+        );
+        assert!(report.final_accuracy > 0.95, "{report:?}");
+    }
+
+    #[test]
+    fn zero_momentum_matches_plain_sgd_exactly() {
+        let ds = synth_digits(4, 2, 40, 0.06, 8);
+        let make = || {
+            NetworkBuilder::new(16)
+                .dense(6, 3)
+                .activation(ActKind::Relu)
+                .dense(2, 4)
+                .build()
+        };
+        let cfg = |momentum| TrainConfig {
+            epochs: 5,
+            lr: 0.3,
+            momentum,
+            batch_size: 8,
+            seed: 2,
+            adversarial: None,
+        };
+        let mut a = make();
+        train_classifier(&mut a, &ds, &cfg(0.0));
+        let mut b = make();
+        train_classifier(&mut b, &ds, &cfg(0.0));
+        assert_eq!(a, b, "training must be deterministic");
+    }
+
+    #[test]
+    fn adversarial_training_runs_and_learns() {
+        let ds = synth_digits(4, 2, 60, 0.05, 33);
+        let mut net = NetworkBuilder::new(16)
+            .dense(8, 1)
+            .activation(ActKind::Relu)
+            .dense(2, 2)
+            .build();
+        let report = train_classifier(
+            &mut net,
+            &ds,
+            &TrainConfig {
+                epochs: 25,
+                lr: 0.4,
+                momentum: 0.0,
+                batch_size: 8,
+                seed: 2,
+                adversarial: Some(AdvTrainConfig {
+                    eps: 0.05,
+                    steps: 3,
+                    step_size: 0.02,
+                    adv_fraction: 0.5,
+                }),
+            },
+        );
+        assert!(report.final_accuracy > 0.9, "{report:?}");
+    }
+}

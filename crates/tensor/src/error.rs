@@ -1,0 +1,56 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when tensor/matrix dimensions are incompatible.
+///
+/// # Examples
+///
+/// ```
+/// use raven_tensor::ShapeError;
+///
+/// let err = ShapeError::new("matmul", vec![2, 3], vec![4, 5]);
+/// assert!(err.to_string().contains("matmul"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    op: &'static str,
+    lhs: Vec<usize>,
+    rhs: Vec<usize>,
+}
+
+impl ShapeError {
+    /// Creates a shape error for operation `op` with the offending shapes.
+    pub fn new(op: &'static str, lhs: Vec<usize>, rhs: Vec<usize>) -> Self {
+        Self { op, lhs, rhs }
+    }
+
+    /// The operation that failed (e.g. `"matmul"`).
+    pub fn op(&self) -> &'static str {
+        self.op
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "incompatible shapes for {}: {:?} vs {:?}",
+            self.op, self.lhs, self.rhs
+        )
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_both_shapes() {
+        let e = ShapeError::new("matvec", vec![3, 4], vec![5]);
+        let s = e.to_string();
+        assert!(s.contains("[3, 4]") && s.contains("[5]"));
+        assert_eq!(e.op(), "matvec");
+    }
+}

@@ -1,0 +1,125 @@
+//! Dense tensor and matrix kernel underlying the RaVeN reproduction.
+//!
+//! This crate provides the small amount of linear algebra the rest of the
+//! workspace needs: an n-dimensional [`Tensor`] over `f64`, a dense
+//! [`Matrix`] with the usual products, and shape bookkeeping via [`Shape`].
+//! Everything is implemented from scratch; no BLAS and no external
+//! dependencies.
+//!
+//! # Examples
+//!
+//! ```
+//! use raven_tensor::{Matrix, Tensor};
+//!
+//! let w = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let x = vec![1.0, -1.0];
+//! assert_eq!(w.matvec(&x), vec![-1.0, -1.0]);
+//!
+//! let t = Tensor::zeros(&[2, 3, 4]);
+//! assert_eq!(t.len(), 24);
+//! ```
+
+mod error;
+mod matrix;
+mod shape;
+mod tensor;
+
+pub use error::ShapeError;
+pub use matrix::Matrix;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Numerically tolerant equality used across the workspace's tests.
+///
+/// Returns `true` when `a` and `b` differ by at most `tol` absolutely or
+/// relatively (relative to the larger magnitude).
+///
+/// # Examples
+///
+/// ```
+/// assert!(raven_tensor::approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+/// assert!(!raven_tensor::approx_eq(1.0, 1.1, 1e-9));
+/// ```
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    let diff = (a - b).abs();
+    let scale = a.abs().max(b.abs()).max(1.0);
+    diff <= tol * scale
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(raven_tensor::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x` over equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Index of the maximum element (first occurrence on ties).
+///
+/// Returns `None` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(raven_tensor::argmax(&[0.1, 0.9, 0.5]), Some(1));
+/// assert_eq!(raven_tensor::argmax(&[]), None);
+/// ```
+pub fn argmax(xs: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &x) in xs.iter().enumerate() {
+        match best {
+            Some((_, b)) if x <= b => {}
+            _ => best = Some((i, x)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_axpy_agree_with_manual_computation() {
+        let a = [1.0, -2.0, 3.0];
+        let b = [4.0, 5.0, -6.0];
+        assert_eq!(dot(&a, &b), 4.0 - 10.0 - 18.0);
+        let mut y = [1.0, 1.0, 1.0];
+        axpy(2.0, &a, &mut y);
+        assert_eq!(y, [3.0, -3.0, 7.0]);
+    }
+
+    #[test]
+    fn argmax_prefers_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
+    }
+
+    #[test]
+    fn approx_eq_is_relative_for_large_values() {
+        assert!(approx_eq(1e12, 1e12 + 1.0, 1e-9));
+        assert!(!approx_eq(1e12, 1.001e12, 1e-9));
+    }
+}

@@ -1,0 +1,271 @@
+use crate::ShapeError;
+use std::fmt;
+
+/// A dense row-major matrix of `f64`.
+///
+/// This is the workhorse type of the workspace: network weights, abstract
+/// domain coefficient blocks, and LP constraint rows are all `Matrix` or
+/// slices thereof.
+///
+/// # Examples
+///
+/// ```
+/// use raven_tensor::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]);
+/// assert_eq!(a.matvec(&[3.0, 4.0]), vec![3.0, 8.0]);
+/// let at = a.transpose();
+/// assert_eq!(at.get(1, 0), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have unequal lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "from_rows: ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
+    }
+
+    /// Creates a matrix from a row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, ShapeError> {
+        if data.len() != rows * cols {
+            return Err(ShapeError::new(
+                "matrix_from_vec",
+                vec![rows, cols],
+                vec![data.len()],
+            ));
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.rows && j < self.cols, "matrix index out of range");
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets the element at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.rows && j < self.cols, "matrix index out of range");
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Borrow of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index out of range");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index out of range");
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Immutable view of the full row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix–vector product `self * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
+        (0..self.rows).map(|i| crate::dot(self.row(i), x)).collect()
+    }
+
+    /// Transposed matrix–vector product `selfᵀ * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != self.rows()`.
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "matvec_t: dimension mismatch");
+        let mut y = vec![0.0; self.cols];
+        for (i, &xi) in x.iter().enumerate() {
+            crate::axpy(xi, self.row(i), &mut y);
+        }
+        y
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when the inner dimensions differ.
+    pub fn matmul(&self, other: &Self) -> Result<Self, ShapeError> {
+        if self.cols != other.rows {
+            return Err(ShapeError::new(
+                "matmul",
+                vec![self.rows, self.cols],
+                vec![other.rows, other.cols],
+            ));
+        }
+        let mut out = Self::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                crate::axpy(a, orow, out.row_mut(i));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Adds `alpha * other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes differ.
+    pub fn add_scaled(&mut self, alpha: f64, other: &Self) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "add_scaled: shape mismatch"
+        );
+        crate::axpy(alpha, &other.data, &mut self.data);
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix[{}x{}]", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_matches_manual() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(m.matvec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_t_is_transpose_matvec() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let x = [1.0, -1.0, 2.0];
+        assert_eq!(m.matvec_t(&x), m.transpose().matvec(&x));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let i = Matrix::identity(2);
+        assert_eq!(m.matmul(&i).unwrap(), m);
+        assert_eq!(i.matmul(&m).unwrap(), m);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn add_scaled_and_norm() {
+        let mut a = Matrix::identity(2);
+        let b = Matrix::identity(2);
+        a.add_scaled(2.0, &b);
+        assert_eq!(a.get(0, 0), 3.0);
+        assert!((Matrix::identity(4).frobenius_norm() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,120 @@
+use std::fmt;
+
+/// The extent of a tensor along each axis, in row-major order.
+///
+/// # Examples
+///
+/// ```
+/// use raven_tensor::Shape;
+///
+/// let s = Shape::new(vec![2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.rank(), 3);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from explicit axis extents.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Self { dims }
+    }
+
+    /// The extents along each axis.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of extents; 1 for rank 0).
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Whether the shape holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major strides for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Flattens a multi-index into a row-major linear offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` has the wrong rank or any coordinate is out of range.
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.rank(), "index rank mismatch");
+        let mut off = 0;
+        for ((&i, &d), s) in idx.iter().zip(&self.dims).zip(self.strides()) {
+            assert!(i < d, "index {i} out of range for dim {d}");
+            off += i * s;
+        }
+        off
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offset_is_row_major() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[0, 0, 3]), 3);
+        assert_eq!(s.offset(&[0, 1, 0]), 4);
+        assert_eq!(s.offset(&[1, 2, 3]), 23);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn offset_rejects_out_of_range() {
+        Shape::new(vec![2, 2]).offset(&[2, 0]);
+    }
+
+    #[test]
+    fn rank_zero_shape_has_one_element() {
+        let s = Shape::new(vec![]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.rank(), 0);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn zero_extent_axis_means_empty() {
+        assert!(Shape::new(vec![3, 0]).is_empty());
+    }
+}

@@ -1,0 +1,236 @@
+use crate::{Shape, ShapeError};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major n-dimensional array of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use raven_tensor::Tensor;
+///
+/// let mut t = Tensor::zeros(&[2, 2]);
+/// t[&[0, 1][..]] = 5.0;
+/// assert_eq!(t[&[0, 1][..]], 5.0);
+/// assert_eq!(t.sum(), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f64>,
+}
+
+impl Tensor {
+    /// Creates a tensor of the given shape filled with zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::from(dims);
+        let data = vec![0.0; shape.len()];
+        Self { shape, data }
+    }
+
+    /// Creates a tensor of the given shape filled with `value`.
+    pub fn full(dims: &[usize], value: f64) -> Self {
+        let shape = Shape::from(dims);
+        let data = vec![value; shape.len()];
+        Self { shape, data }
+    }
+
+    /// Creates a tensor from raw row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when `data.len()` does not match the shape.
+    pub fn from_vec(dims: &[usize], data: Vec<f64>) -> Result<Self, ShapeError> {
+        let shape = Shape::from(dims);
+        if shape.len() != data.len() {
+            return Err(ShapeError::new("from_vec", dims.to_vec(), vec![data.len()]));
+        }
+        Ok(Self { shape, data })
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the underlying buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Reinterprets the tensor with a new shape of identical length.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when the element counts differ.
+    pub fn reshape(mut self, dims: &[usize]) -> Result<Self, ShapeError> {
+        let new_shape = Shape::from(dims);
+        if new_shape.len() != self.data.len() {
+            return Err(ShapeError::new(
+                "reshape",
+                self.shape.dims().to_vec(),
+                dims.to_vec(),
+            ));
+        }
+        self.shape = new_shape;
+        Ok(self)
+    }
+
+    /// Applies `f` elementwise, returning a new tensor.
+    pub fn map<F: Fn(f64) -> f64>(&self, f: F) -> Self {
+        Self {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Elementwise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when shapes differ.
+    pub fn add(&self, other: &Self) -> Result<Self, ShapeError> {
+        self.zip_with(other, "add", |a, b| a + b)
+    }
+
+    /// Elementwise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when shapes differ.
+    pub fn sub(&self, other: &Self) -> Result<Self, ShapeError> {
+        self.zip_with(other, "sub", |a, b| a - b)
+    }
+
+    /// Elementwise multiplication (Hadamard product).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when shapes differ.
+    pub fn mul(&self, other: &Self) -> Result<Self, ShapeError> {
+        self.zip_with(other, "mul", |a, b| a * b)
+    }
+
+    /// Multiplies every element by `alpha` in place.
+    pub fn scale(&mut self, alpha: f64) {
+        for x in &mut self.data {
+            *x *= alpha;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Largest absolute element, or 0 for the empty tensor.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, &x| m.max(x.abs()))
+    }
+
+    fn zip_with<F: Fn(f64, f64) -> f64>(
+        &self,
+        other: &Self,
+        op: &'static str,
+        f: F,
+    ) -> Result<Self, ShapeError> {
+        if self.shape != other.shape {
+            return Err(ShapeError::new(
+                op,
+                self.shape.dims().to_vec(),
+                other.shape.dims().to_vec(),
+            ));
+        }
+        Ok(Self {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+}
+
+impl Index<&[usize]> for Tensor {
+    type Output = f64;
+
+    fn index(&self, idx: &[usize]) -> &f64 {
+        &self.data[self.shape.offset(idx)]
+    }
+}
+
+impl IndexMut<&[usize]> for Tensor {
+    fn index_mut(&mut self, idx: &[usize]) -> &mut f64 {
+        let off = self.shape.offset(idx);
+        &mut self.data[off]
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{}[{} elems]", self.shape, self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(&[2, 2], vec![0.0; 4]).is_ok());
+        assert!(Tensor::from_vec(&[2, 2], vec![0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn elementwise_ops_respect_shapes() {
+        let a = Tensor::from_vec(&[2], vec![1.0, 2.0]).unwrap();
+        let b = Tensor::from_vec(&[2], vec![3.0, 4.0]).unwrap();
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[4.0, 6.0]);
+        assert_eq!(a.sub(&b).unwrap().as_slice(), &[-2.0, -2.0]);
+        assert_eq!(a.mul(&b).unwrap().as_slice(), &[3.0, 8.0]);
+        let c = Tensor::zeros(&[3]);
+        assert!(a.add(&c).is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(&[2, 3], (0..6).map(f64::from).collect())
+            .unwrap()
+            .reshape(&[3, 2])
+            .unwrap();
+        assert_eq!(t.shape().dims(), &[3, 2]);
+        assert_eq!(t[&[2, 1][..]], 5.0);
+    }
+
+    #[test]
+    fn map_scale_and_reductions() {
+        let mut t = Tensor::from_vec(&[3], vec![-1.0, 2.0, -3.0]).unwrap();
+        assert_eq!(t.map(f64::abs).sum(), 6.0);
+        assert_eq!(t.max_abs(), 3.0);
+        t.scale(2.0);
+        assert_eq!(t.as_slice(), &[-2.0, 4.0, -6.0]);
+    }
+}

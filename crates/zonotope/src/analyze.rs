@@ -1,0 +1,134 @@
+//! Zonotope propagation through an [`AnalysisPlan`].
+
+use crate::Zonotope;
+use raven_interval::Interval;
+use raven_nn::{AnalysisPlan, PlanStep};
+
+/// Result of running the zonotope (DeepZ) domain over a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZonotopeAnalysis {
+    /// Concrete interval bounds at every plan boundary.
+    pub bounds: Vec<Vec<Interval>>,
+    /// The output zonotope (kept for downstream margin queries).
+    pub output_zonotope: Zonotope,
+}
+
+impl ZonotopeAnalysis {
+    /// Runs the domain over `plan` starting from the input box.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `input.len() != plan.input_dim()` or the box is
+    /// empty/unbounded.
+    pub fn run(plan: &AnalysisPlan, input: &[Interval]) -> Self {
+        assert_eq!(
+            input.len(),
+            plan.input_dim(),
+            "zonotope analysis: input width mismatch"
+        );
+        let mut z = Zonotope::from_box(input);
+        let mut bounds = Vec::with_capacity(plan.steps().len() + 1);
+        bounds.push(z.to_box());
+        for step in plan.steps() {
+            z = match step {
+                PlanStep::Affine { weight, bias } => z.affine(weight, bias),
+                PlanStep::Act(kind) => z.activation(*kind),
+            };
+            bounds.push(z.to_box());
+        }
+        Self {
+            bounds,
+            output_zonotope: z,
+        }
+    }
+
+    /// Concrete bounds on the network output.
+    pub fn output(&self) -> &[Interval] {
+        self.bounds.last().expect("bounds non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raven_interval::{linf_ball, IntervalAnalysis};
+    use raven_nn::{ActKind, NetworkBuilder};
+
+    #[test]
+    fn zonotope_contains_concrete_executions() {
+        for kind in ActKind::all() {
+            let net = NetworkBuilder::new(3)
+                .dense(6, 11)
+                .activation(kind)
+                .dense(5, 12)
+                .activation(kind)
+                .dense(2, 13)
+                .build();
+            let plan = net.to_plan();
+            let center = [0.4, 0.55, 0.5];
+            let eps = 0.07;
+            let ball = linf_ball(&center, eps, f64::NEG_INFINITY, f64::INFINITY);
+            let za = ZonotopeAnalysis::run(&plan, &ball);
+            for s in 0..40 {
+                let x: Vec<f64> = center
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| {
+                        let t = (((s * 11 + i * 5) % 13) as f64 / 6.0) - 1.0;
+                        c + eps * t
+                    })
+                    .collect();
+                let y = net.forward(&x);
+                for (iv, &v) in za.output().iter().zip(&y) {
+                    assert!(
+                        iv.lo() - 1e-7 <= v && v <= iv.hi() + 1e-7,
+                        "{kind}: {v} outside {iv}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zonotope_no_looser_than_interval() {
+        let net = NetworkBuilder::new(4)
+            .dense(8, 21)
+            .activation(ActKind::Relu)
+            .dense(6, 22)
+            .activation(ActKind::Relu)
+            .dense(3, 23)
+            .build();
+        let plan = net.to_plan();
+        let ball = linf_ball(&[0.5; 4], 0.05, f64::NEG_INFINITY, f64::INFINITY);
+        let za = ZonotopeAnalysis::run(&plan, &ball);
+        let iv = IntervalAnalysis::run(&plan, &ball);
+        let mut strictly_tighter = false;
+        for (z, b) in za.output().iter().zip(iv.output()) {
+            assert!(
+                z.lo() >= b.lo() - 1e-7 && z.hi() <= b.hi() + 1e-7,
+                "zonotope looser than interval: {z} vs {b}"
+            );
+            if z.width() < b.width() - 1e-9 {
+                strictly_tighter = true;
+            }
+        }
+        assert!(strictly_tighter, "zonotope should beat intervals somewhere");
+    }
+
+    #[test]
+    fn point_input_is_exact() {
+        let net = NetworkBuilder::new(2)
+            .dense(4, 31)
+            .activation(ActKind::Tanh)
+            .dense(2, 32)
+            .build();
+        let plan = net.to_plan();
+        let x = [0.3, 0.7];
+        let input: Vec<Interval> = x.iter().map(|&v| Interval::point(v)).collect();
+        let za = ZonotopeAnalysis::run(&plan, &input);
+        let y = net.forward(&x);
+        for (iv, &v) in za.output().iter().zip(&y) {
+            assert!((iv.lo() - v).abs() < 1e-9 && (iv.hi() - v).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Zonotope (DeepZ-style) abstract domain.
+//!
+//! A zonotope represents a set of vectors as an affine image of a box:
+//! `{ c + E·η : η ∈ [-1, 1]^g }` with center `c` and one column of the
+//! error matrix `E` per *noise symbol*. Affine layers transform zonotopes
+//! **exactly** (and, crucially, preserve correlations between neurons —
+//! unlike the interval domain); activation layers apply the DeepZ
+//! relaxation, which introduces one fresh noise symbol per imprecisely
+//! handled neuron.
+//!
+//! DeepZ sits strictly between the Box and DeepPoly baselines in the
+//! published verifier comparisons this paper builds on, which is exactly
+//! how it slots into this reproduction's method ladder
+//! (`Method::ZonotopeIndividual`).
+
+mod analyze;
+mod zonotope;
+
+pub use analyze::ZonotopeAnalysis;
+pub use zonotope::Zonotope;

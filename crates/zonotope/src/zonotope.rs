@@ -1,0 +1,280 @@
+use raven_interval::Interval;
+use raven_nn::ActKind;
+use raven_tensor::Matrix;
+
+/// A zonotope `{ center + Σ_j η_j · gen_j : η ∈ [-1, 1]^g }`.
+///
+/// Generators are stored generator-major: `generators[j]` is the `j`-th
+/// noise symbol's coefficient vector across all tracked neurons.
+///
+/// # Examples
+///
+/// ```
+/// use raven_interval::Interval;
+/// use raven_zonotope::Zonotope;
+///
+/// let z = Zonotope::from_box(&[Interval::new(0.0, 1.0), Interval::point(2.0)]);
+/// assert_eq!(z.dim(), 2);
+/// assert_eq!(z.num_symbols(), 1); // the point coordinate needs no symbol
+/// assert_eq!(z.interval(0), Interval::new(0.0, 1.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zonotope {
+    center: Vec<f64>,
+    generators: Vec<Vec<f64>>,
+}
+
+impl Zonotope {
+    /// The degenerate zonotope containing exactly `center`.
+    pub fn point(center: Vec<f64>) -> Self {
+        Self {
+            center,
+            generators: Vec::new(),
+        }
+    }
+
+    /// The axis-aligned box as a zonotope, one noise symbol per coordinate
+    /// with nonzero width.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any interval is empty or unbounded.
+    pub fn from_box(input: &[Interval]) -> Self {
+        let mut center = Vec::with_capacity(input.len());
+        let mut generators = Vec::new();
+        for (i, iv) in input.iter().enumerate() {
+            assert!(
+                !iv.is_empty() && iv.lo().is_finite() && iv.hi().is_finite(),
+                "zonotope: input intervals must be finite and non-empty"
+            );
+            center.push(iv.mid());
+            let r = 0.5 * iv.width();
+            if r > 0.0 {
+                let mut g = vec![0.0; input.len()];
+                g[i] = r;
+                generators.push(g);
+            }
+        }
+        Self { center, generators }
+    }
+
+    /// Number of tracked neurons.
+    pub fn dim(&self) -> usize {
+        self.center.len()
+    }
+
+    /// Number of noise symbols.
+    pub fn num_symbols(&self) -> usize {
+        self.generators.len()
+    }
+
+    /// Concrete interval of neuron `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn interval(&self, i: usize) -> Interval {
+        let r: f64 = self.generators.iter().map(|g| g[i].abs()).sum();
+        Interval::new(self.center[i] - r, self.center[i] + r)
+    }
+
+    /// Concrete bounds for every neuron.
+    pub fn to_box(&self) -> Vec<Interval> {
+        (0..self.dim()).map(|i| self.interval(i)).collect()
+    }
+
+    /// Exact affine image `W·self + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `weight.cols() != self.dim()` or bias width mismatches.
+    pub fn affine(&self, weight: &Matrix, bias: &[f64]) -> Self {
+        assert_eq!(weight.cols(), self.dim(), "zonotope affine: width mismatch");
+        assert_eq!(weight.rows(), bias.len(), "zonotope affine: bias mismatch");
+        let mut center = weight.matvec(&self.center);
+        for (c, b) in center.iter_mut().zip(bias) {
+            *c += b;
+        }
+        let generators = self
+            .generators
+            .iter()
+            .map(|g| weight.matvec(g))
+            .collect();
+        Self { center, generators }
+    }
+
+    /// DeepZ activation transformer: per neuron, a sound affine relaxation
+    /// `act(x) ∈ λ·x + [μ_lo, μ_hi]`, realized by scaling the neuron's
+    /// generator row by `λ`, recentring, and adding one fresh noise symbol
+    /// of radius `(μ_hi − μ_lo)/2` for every imprecise neuron.
+    pub fn activation(&self, kind: ActKind) -> Self {
+        let n = self.dim();
+        let mut lambda = vec![0.0; n];
+        let mut offset = vec![0.0; n];
+        let mut fresh = vec![0.0; n];
+        for i in 0..n {
+            let iv = self.interval(i);
+            let (l, u) = (iv.lo(), iv.hi());
+            let (lam, mu_lo, mu_hi) = deepz_relaxation(kind, l, u);
+            lambda[i] = lam;
+            offset[i] = 0.5 * (mu_lo + mu_hi);
+            fresh[i] = 0.5 * (mu_hi - mu_lo);
+        }
+        let center: Vec<f64> = self
+            .center
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| lambda[i] * c + offset[i])
+            .collect();
+        let mut generators: Vec<Vec<f64>> = self
+            .generators
+            .iter()
+            .map(|g| g.iter().enumerate().map(|(i, &v)| lambda[i] * v).collect())
+            .collect();
+        for (i, &r) in fresh.iter().enumerate() {
+            if r > 0.0 {
+                let mut g = vec![0.0; n];
+                g[i] = r;
+                generators.push(g);
+            }
+        }
+        Self { center, generators }
+    }
+}
+
+/// Computes the DeepZ per-neuron relaxation `(λ, μ_lo, μ_hi)` such that
+/// `act(x) ∈ λ·x + [μ_lo, μ_hi]` for all `x ∈ [l, u]`.
+fn deepz_relaxation(kind: ActKind, l: f64, u: f64) -> (f64, f64, f64) {
+    debug_assert!(l <= u, "inverted bounds");
+    if u - l < 1e-12 {
+        return (0.0, kind.eval(l).min(kind.eval(u)), kind.eval(l).max(kind.eval(u)));
+    }
+    let lam = match kind {
+        // Piecewise-linear: chord slope (exact on stable segments).
+        ActKind::Relu | ActKind::LeakyRelu | ActKind::HardTanh => {
+            (kind.eval(u) - kind.eval(l)) / (u - l)
+        }
+        // Smooth S-shaped: minimum endpoint derivative (the derivative
+        // exceeds it throughout, making g = f − λx monotone).
+        ActKind::Sigmoid | ActKind::Tanh => kind.deriv(l).min(kind.deriv(u)),
+    };
+    // Offset range of g(x) = f(x) − λ·x over [l, u]: evaluated at the
+    // endpoints plus any interior kinks (piecewise-linear kinds); for the
+    // smooth kinds g is monotone, so the endpoints suffice.
+    let mut candidates = vec![l, u];
+    let kinks: &[f64] = match kind {
+        ActKind::Relu | ActKind::LeakyRelu => &[0.0],
+        ActKind::HardTanh => &[-1.0, 1.0],
+        ActKind::Sigmoid | ActKind::Tanh => &[],
+    };
+    for &k in kinks {
+        if l < k && k < u {
+            candidates.push(k);
+        }
+    }
+    let mut mu_lo = f64::INFINITY;
+    let mut mu_hi = f64::NEG_INFINITY;
+    for &x in &candidates {
+        let g = kind.eval(x) - lam * x;
+        mu_lo = mu_lo.min(g);
+        mu_hi = mu_hi.max(g);
+    }
+    (lam, mu_lo, mu_hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn contains_grid(kind: ActKind, l: f64, u: f64) {
+        let (lam, mu_lo, mu_hi) = deepz_relaxation(kind, l, u);
+        for i in 0..=300 {
+            let x = l + (u - l) * i as f64 / 300.0;
+            let f = kind.eval(x);
+            assert!(
+                lam * x + mu_lo <= f + 1e-9 && f <= lam * x + mu_hi + 1e-9,
+                "{kind} relaxation misses f({x}) = {f} on [{l}, {u}]"
+            );
+        }
+    }
+
+    #[test]
+    fn deepz_relaxation_sound_for_all_kinds() {
+        for kind in ActKind::all() {
+            contains_grid(kind, -2.0, 3.0);
+            contains_grid(kind, 0.5, 2.5);
+            contains_grid(kind, -3.0, -0.5);
+            contains_grid(kind, -0.7, 0.4);
+            contains_grid(kind, -1.5, 1.5);
+        }
+    }
+
+    #[test]
+    fn stable_relu_is_exact() {
+        let (lam, lo, hi) = deepz_relaxation(ActKind::Relu, 1.0, 2.0);
+        assert_eq!((lam, lo, hi), (1.0, 0.0, 0.0));
+        let (lam, lo, hi) = deepz_relaxation(ActKind::Relu, -2.0, -1.0);
+        assert_eq!((lam, lo, hi), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn from_box_roundtrips_to_box() {
+        let input = [Interval::new(-1.0, 3.0), Interval::point(0.5)];
+        let z = Zonotope::from_box(&input);
+        let back = z.to_box();
+        assert_eq!(back[0], input[0]);
+        assert_eq!(back[1], input[1]);
+    }
+
+    #[test]
+    fn affine_is_exact_on_samples() {
+        let z = Zonotope::from_box(&[Interval::new(0.0, 1.0), Interval::new(-1.0, 1.0)]);
+        let w = Matrix::from_rows(&[&[1.0, 2.0], &[-1.0, 0.5], &[3.0, -3.0]]);
+        let b = [0.1, -0.2, 0.0];
+        let za = z.affine(&w, &b);
+        // Corner images stay inside the affine zonotope.
+        for &x0 in &[0.0, 0.5, 1.0] {
+            for &x1 in &[-1.0, 0.0, 1.0] {
+                let mut y = w.matvec(&[x0, x1]);
+                for (yi, bi) in y.iter_mut().zip(&b) {
+                    *yi += bi;
+                }
+                for (i, &v) in y.iter().enumerate() {
+                    assert!(za.interval(i).contains(v), "coord {i}: {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn affine_preserves_correlations_unlike_intervals() {
+        // y = x − x must be exactly 0 in a zonotope.
+        let z = Zonotope::from_box(&[Interval::new(-1.0, 1.0)]);
+        let w = Matrix::from_rows(&[&[1.0], &[1.0]]);
+        let z2 = z.affine(&w, &[0.0, 0.0]);
+        let diff = z2.affine(&Matrix::from_rows(&[&[1.0, -1.0]]), &[0.0]);
+        assert_eq!(diff.interval(0), Interval::point(0.0));
+    }
+
+    #[test]
+    fn activation_soundness_on_zonotope_samples() {
+        let z = Zonotope::from_box(&[Interval::new(-1.0, 2.0), Interval::new(-2.0, 0.5)]);
+        for kind in ActKind::all() {
+            let za = z.activation(kind);
+            for s in 0..50 {
+                let eta = ((s * 13 + 7) % 21) as f64 / 10.0 - 1.0;
+                let eta2 = ((s * 29 + 3) % 21) as f64 / 10.0 - 1.0;
+                // Concrete point of the input zonotope.
+                let x = [z.center[0] + 1.5 * eta, z.center[1] + 1.25 * eta2];
+                let y = [kind.eval(x[0]), kind.eval(x[1])];
+                for (i, &v) in y.iter().enumerate() {
+                    assert!(
+                        za.interval(i).lo() - 1e-9 <= v && v <= za.interval(i).hi() + 1e-9,
+                        "{kind}: coord {i} value {v} outside {:?}",
+                        za.interval(i)
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Custom input-relational properties through the generic
+//! [`raven::relational`] API.
+//!
+//! The built-in verifiers (UAP, hamming, monotonicity) are instances of one
+//! pattern: several executions whose inputs are affine functions of shared
+//! scenario variables, plus a linear query over their outputs. This example
+//! certifies two properties that have no dedicated verifier:
+//!
+//! 1. **Output stability under shared perturbation** — how far apart can the
+//!    logits of two fixed inputs drift when both receive the same
+//!    perturbation?
+//! 2. **Symmetry sensitivity** — how much can the network's score differ
+//!    between an input and its horizontally mirrored version under a shared
+//!    perturbation of both?
+//!
+//! Run with: `cargo run --release --example custom_relational`
+
+use raven::relational::{solve, InputCoord, OutputQuery, RelationalProblem};
+use raven::{PairStrategy, RavenConfig};
+use raven_interval::Interval;
+use raven_lp::Direction;
+use raven_nn::{ActKind, NetworkBuilder};
+
+fn main() {
+    let side = 4;
+    let dim = side * side;
+    let net = NetworkBuilder::new(dim)
+        .dense(12, 31)
+        .activation(ActKind::Relu)
+        .dense(8, 32)
+        .activation(ActKind::Relu)
+        .dense(3, 33)
+        .build();
+    let plan = net.to_plan();
+
+    // Property 1: shared-perturbation output drift between two inputs.
+    let za: Vec<f64> = (0..dim).map(|i| 0.45 + 0.02 * ((i % 5) as f64)).collect();
+    let zb: Vec<f64> = (0..dim).map(|i| 0.55 - 0.015 * ((i % 7) as f64)).collect();
+    println!("property 1: certified drift |out_A[c] − out_B[c]| under one shared eps-perturbation");
+    for eps in [0.02, 0.05] {
+        let mut problem =
+            RelationalProblem::new(plan.clone(), vec![Interval::symmetric(eps); dim]);
+        let a = problem.add_perturbed_execution(&za);
+        let b = problem.add_perturbed_execution(&zb);
+        for class in 0..3 {
+            let query = OutputQuery::output_difference(a, b, class);
+            let config = RavenConfig::default();
+            let hi = solve(&problem, &query, Direction::Maximize, &config)
+                .expect("lp solves")
+                .value;
+            let lo = solve(&problem, &query, Direction::Minimize, &config)
+                .expect("lp solves")
+                .value;
+            println!("  eps {eps:.2}, class {class}: drift in [{lo:+.4}, {hi:+.4}]");
+        }
+    }
+
+    // Property 2: mirror symmetry. Execution B sees the horizontally
+    // flipped image; both share the same perturbation applied *before*
+    // flipping (scenario variables index the unflipped pixels).
+    println!("\nproperty 2: certified score gap between an image and its mirror");
+    let eps = 0.03;
+    let mut problem = RelationalProblem::new(plan.clone(), vec![Interval::symmetric(eps); dim]);
+    let coords_a: Vec<InputCoord> = za
+        .iter()
+        .enumerate()
+        .map(|(j, &z)| InputCoord::shifted(z, j))
+        .collect();
+    let coords_b: Vec<InputCoord> = (0..dim)
+        .map(|j| {
+            let (r, c) = (j / side, j % side);
+            let src = r * side + (side - 1 - c);
+            InputCoord::shifted(za[src], src)
+        })
+        .collect();
+    let a = problem.add_execution(coords_a);
+    let b = problem.add_execution(coords_b);
+    let query = OutputQuery::new()
+        .term(1.0, a, 0)
+        .term(-1.0, a, 1)
+        .term(-1.0, b, 0)
+        .term(1.0, b, 1);
+    for (label, pairs) in [
+        ("without difference tracking", PairStrategy::None),
+        ("with difference tracking", PairStrategy::Consecutive),
+    ] {
+        let config = RavenConfig {
+            pairs,
+            ..RavenConfig::default()
+        };
+        let hi = solve(&problem, &query, Direction::Maximize, &config)
+            .expect("lp solves")
+            .value;
+        let lo = solve(&problem, &query, Direction::Minimize, &config)
+            .expect("lp solves")
+            .value;
+        println!("  {label:<28}: score gap in [{lo:+.4}, {hi:+.4}]");
+    }
+    println!("\nBoth properties were expressed in a few lines — no verifier changes needed.");
+}

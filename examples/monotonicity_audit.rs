@@ -1,0 +1,98 @@
+//! Monotonicity audit of a trained tabular model: for every feature the
+//! ground truth says is monotone, certify (or fail to certify) that the
+//! trained network's score respects that direction around test inputs.
+//!
+//! This is the property family where difference tracking is *essential*:
+//! the non-relational baselines bound the two executions independently and
+//! essentially never certify.
+//!
+//! Run with: `cargo run --release --example monotonicity_audit`
+
+use raven::{verify_monotonicity, Method, MonotonicityProblem, RavenConfig};
+use raven_nn::data::synth_credit;
+use raven_nn::train::{train_classifier, TrainConfig};
+use raven_nn::{ActKind, NetworkBuilder};
+
+fn main() {
+    let (ds, spec) = synth_credit(300, 0.05, 44);
+    let (train, test) = ds.split(0.2);
+    let mut net = NetworkBuilder::new(ds.input_dim)
+        .dense(12, 141)
+        .activation(ActKind::Sigmoid)
+        .dense(12, 142)
+        .activation(ActKind::Sigmoid)
+        .dense(2, 143)
+        .build();
+    let report = train_classifier(
+        &mut net,
+        &train,
+        &TrainConfig {
+            epochs: 60,
+            lr: 0.4,
+            momentum: 0.0,
+            batch_size: 8,
+            seed: 9,
+            adversarial: None,
+        },
+    );
+    println!(
+        "credit model trained: accuracy {:.1}% | ground-truth monotone features: \
+         increasing {:?}, decreasing {:?}",
+        100.0 * report.final_accuracy,
+        spec.increasing,
+        spec.decreasing,
+    );
+
+    let plan = net.to_plan();
+    let audit_points = 8;
+    println!(
+        "\ncertifying score monotonicity over {audit_points} test points (tau = 0.1, eps = 0.01):"
+    );
+    println!(
+        "{:>8} {:>4}  {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "feature", "dir", "box", "zonotope", "deeppoly", "io-lp", "raven"
+    );
+    let features: Vec<(usize, bool)> = spec
+        .increasing
+        .iter()
+        .map(|&f| (f, true))
+        .chain(spec.decreasing.iter().map(|&f| (f, false)))
+        .collect();
+    for (feature, increasing) in features {
+        let mut certified = [0usize; 5];
+        for x in test.inputs.iter().take(audit_points) {
+            let problem = MonotonicityProblem {
+                plan: plan.clone(),
+                center: x.clone(),
+                eps: 0.01,
+                feature,
+                tau: 0.1,
+                // Score: logit(class 1) − logit(class 0).
+                output_weights: vec![-1.0, 1.0],
+                increasing,
+            };
+            for (slot, method) in Method::all().into_iter().enumerate() {
+                let res = verify_monotonicity(&problem, method, &RavenConfig::default());
+                if res.verified {
+                    certified[slot] += 1;
+                }
+            }
+        }
+        let pct = |c: usize| format!("{:.0}%", 100.0 * c as f64 / audit_points as f64);
+        println!(
+            "{:>8} {:>4}  {:>8} {:>8} {:>8} {:>8} {:>8}",
+            format!("x{feature}"),
+            if increasing { "inc" } else { "dec" },
+            pct(certified[0]),
+            pct(certified[1]),
+            pct(certified[2]),
+            pct(certified[3]),
+            pct(certified[4]),
+        );
+    }
+    println!(
+        "\nA trained network need not be globally monotone — the audit reports where \
+         monotonicity is *provable*; RaVeN's difference tracking is what makes any \
+         certification possible."
+    );
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the RaVeN reproduction workspace.
+//!
+//! Re-exports the public API of every member crate so examples and
+//! integration tests can use a single import root.
+
+pub use raven;
+pub use raven_deeppoly as deeppoly;
+pub use raven_diffpoly as diffpoly;
+pub use raven_interval as interval;
+pub use raven_lp as lp;
+pub use raven_nn as nn;
+pub use raven_tensor as tensor;
+pub use raven_zonotope as zonotope;

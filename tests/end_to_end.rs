@@ -1,0 +1,222 @@
+//! Cross-crate integration tests: train → analyze → encode → solve →
+//! certify, exercising the full public API the way a downstream user would.
+
+use raven::{
+    verify_monotonicity, verify_uap, Method, MonotonicityProblem, PairStrategy, RavenConfig,
+    UapProblem,
+};
+use raven_nn::data::{synth_credit, synth_digits};
+use raven_nn::train::{train_classifier, TrainConfig};
+use raven_nn::{attack, ActKind, NetworkBuilder};
+
+fn trained_digit_net() -> (raven_nn::Network, raven_nn::data::Dataset) {
+    let ds = synth_digits(5, 3, 150, 0.1, 99);
+    let (train, test) = ds.split(0.2);
+    let mut net = NetworkBuilder::new(train.input_dim)
+        .dense(16, 11)
+        .activation(ActKind::Relu)
+        .dense(12, 12)
+        .activation(ActKind::Relu)
+        .dense(train.num_classes, 13)
+        .build();
+    let report = train_classifier(
+        &mut net,
+        &train,
+        &TrainConfig {
+            epochs: 40,
+            lr: 0.4,
+            momentum: 0.0,
+            batch_size: 8,
+            seed: 3,
+            adversarial: None,
+        },
+    );
+    assert!(report.final_accuracy > 0.9, "training failed: {report:?}");
+    (net, test)
+}
+
+fn batch(
+    net: &raven_nn::Network,
+    test: &raven_nn::data::Dataset,
+    k: usize,
+) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let mut inputs = Vec::new();
+    let mut labels = Vec::new();
+    for (x, &y) in test.inputs.iter().zip(&test.labels) {
+        if net.classify(x) == y {
+            inputs.push(x.clone());
+            labels.push(y);
+            if inputs.len() == k {
+                break;
+            }
+        }
+    }
+    assert_eq!(inputs.len(), k);
+    (inputs, labels)
+}
+
+#[test]
+fn uap_method_hierarchy_holds_across_epsilons() {
+    let (net, test) = trained_digit_net();
+    let (inputs, labels) = batch(&net, &test, 3);
+    let plan = net.to_plan();
+    for eps in [0.02, 0.05, 0.09] {
+        let problem = UapProblem {
+            plan: plan.clone(),
+            inputs: inputs.clone(),
+            labels: labels.clone(),
+            eps,
+        };
+        let acc =
+            |m| verify_uap(&problem, m, &RavenConfig::default()).worst_case_accuracy;
+        let bx = acc(Method::Box);
+        let zn = acc(Method::ZonotopeIndividual);
+        let dp = acc(Method::DeepPolyIndividual);
+        let io = acc(Method::IoLp);
+        let rv = acc(Method::Raven);
+        assert!(bx <= zn + 1e-9, "eps {eps}: box {bx} > zonotope {zn}");
+        assert!(bx <= dp + 1e-9, "eps {eps}: box {bx} > deeppoly {dp}");
+        assert!(dp <= io + 1e-9, "eps {eps}: deeppoly {dp} > io-lp {io}");
+        assert!(io <= rv + 1e-9, "eps {eps}: io-lp {io} > raven {rv}");
+    }
+}
+
+#[test]
+fn certificates_lower_bound_attacks_everywhere() {
+    let (net, test) = trained_digit_net();
+    let (inputs, labels) = batch(&net, &test, 3);
+    let plan = net.to_plan();
+    for eps in [0.03, 0.08, 0.15] {
+        let problem = UapProblem {
+            plan: plan.clone(),
+            inputs: inputs.clone(),
+            labels: labels.clone(),
+            eps,
+        };
+        let cert = verify_uap(&problem, Method::Raven, &RavenConfig::default());
+        let atk = attack::uap(&net, &inputs, &labels, eps, 20, eps / 4.0);
+        assert!(
+            cert.worst_case_accuracy <= atk.accuracy + 1e-9,
+            "eps {eps}: certified {} > attacked {}",
+            cert.worst_case_accuracy,
+            atk.accuracy
+        );
+    }
+}
+
+#[test]
+fn pair_strategies_never_lose_precision() {
+    let (net, test) = trained_digit_net();
+    let (inputs, labels) = batch(&net, &test, 3);
+    let problem = UapProblem {
+        plan: net.to_plan(),
+        inputs,
+        labels,
+        eps: 0.08,
+    };
+    let acc = |pairs| {
+        verify_uap(
+            &problem,
+            Method::Raven,
+            &RavenConfig {
+                pairs,
+                spec_milp: false,
+                ..RavenConfig::default()
+            },
+        )
+        .worst_case_accuracy
+    };
+    let none = acc(PairStrategy::None);
+    let consecutive = acc(PairStrategy::Consecutive);
+    let all = acc(PairStrategy::AllPairs);
+    assert!(none <= consecutive + 1e-7, "{none} vs {consecutive}");
+    assert!(consecutive <= all + 1e-7, "{consecutive} vs {all}");
+}
+
+#[test]
+fn monotonicity_pipeline_on_trained_credit_model() {
+    let (ds, spec) = synth_credit(200, 0.05, 31);
+    let (train, test) = ds.split(0.2);
+    let mut net = NetworkBuilder::new(ds.input_dim)
+        .dense(10, 21)
+        .activation(ActKind::Sigmoid)
+        .dense(2, 22)
+        .build();
+    train_classifier(
+        &mut net,
+        &train,
+        &TrainConfig {
+            epochs: 50,
+            lr: 0.4,
+            momentum: 0.0,
+            batch_size: 8,
+            seed: 4,
+            adversarial: None,
+        },
+    );
+    let plan = net.to_plan();
+    // RaVeN certifies at least as many points as the baselines for every
+    // monotone feature.
+    for &feature in spec.increasing.iter().take(2) {
+        let mut counts = [0usize; 5];
+        for x in test.inputs.iter().take(5) {
+            let problem = MonotonicityProblem {
+                plan: plan.clone(),
+                center: x.clone(),
+                eps: 0.01,
+                feature,
+                tau: 0.05,
+                output_weights: vec![-1.0, 1.0],
+                increasing: true,
+            };
+            for (slot, method) in Method::all().into_iter().enumerate() {
+                if verify_monotonicity(&problem, method, &RavenConfig::default()).verified {
+                    counts[slot] += 1;
+                }
+            }
+        }
+        assert!(counts[4] >= counts[3], "raven < io-lp: {counts:?}");
+        assert!(counts[3] >= counts[2], "io-lp < deeppoly: {counts:?}");
+        assert!(counts[2] >= counts[0], "deeppoly < box: {counts:?}");
+        assert!(counts[1] >= counts[0], "zonotope < box: {counts:?}");
+    }
+}
+
+#[test]
+fn serialization_roundtrips_through_verification() {
+    // A model saved and reloaded must verify identically.
+    let (net, test) = trained_digit_net();
+    let (inputs, labels) = batch(&net, &test, 2);
+    let text = raven_nn::network_to_string(&net);
+    let reloaded = raven_nn::parse_network(&text).expect("roundtrip parses");
+    assert_eq!(net, reloaded);
+    let mk = |n: &raven_nn::Network| UapProblem {
+        plan: n.to_plan(),
+        inputs: inputs.clone(),
+        labels: labels.clone(),
+        eps: 0.05,
+    };
+    let a = verify_uap(&mk(&net), Method::Raven, &RavenConfig::default());
+    let b = verify_uap(&mk(&reloaded), Method::Raven, &RavenConfig::default());
+    assert_eq!(a.worst_case_accuracy, b.worst_case_accuracy);
+}
+
+#[test]
+fn conv_networks_verify_through_affine_lowering() {
+    // A conv net flows through the same pipeline via its affine lowering.
+    let net = NetworkBuilder::new(2 * 4 * 4)
+        .conv(2, 4, 4, 3, 3, 3, 1, 1, 61)
+        .activation(ActKind::Relu)
+        .dense(3, 62)
+        .build();
+    let inputs = vec![vec![0.5; 32], vec![0.3; 32]];
+    let labels: Vec<usize> = inputs.iter().map(|x| net.classify(x)).collect();
+    let problem = UapProblem {
+        plan: net.to_plan(),
+        inputs,
+        labels,
+        eps: 0.01,
+    };
+    let res = verify_uap(&problem, Method::Raven, &RavenConfig::default());
+    assert!(res.worst_case_accuracy >= 0.0 && res.worst_case_accuracy <= 1.0);
+}

@@ -1,0 +1,147 @@
+//! Property-based end-to-end tests of the verifier: on randomized networks
+//! and batches, the method hierarchy, the certificate/attack sandwich, and
+//! the encoder's admission of concrete executions must all hold.
+
+use proptest::prelude::*;
+use raven::{verify_uap, Method, PairStrategy, RavenConfig, UapProblem};
+use raven_nn::{ActKind, NetworkBuilder};
+
+fn act() -> impl Strategy<Value = ActKind> {
+    prop_oneof![
+        Just(ActKind::Relu),
+        Just(ActKind::Sigmoid),
+        Just(ActKind::Tanh),
+        Just(ActKind::LeakyRelu),
+        Just(ActKind::HardTanh),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct Instance {
+    net: raven_nn::Network,
+    inputs: Vec<Vec<f64>>,
+    eps: f64,
+}
+
+fn instance() -> impl Strategy<Value = Instance> {
+    (
+        0u64..500,
+        act(),
+        2usize..4,
+        0.005f64..0.12,
+        proptest::collection::vec(proptest::collection::vec(0.2f64..0.8, 4), 2..4),
+    )
+        .prop_map(|(seed, kind, hidden, eps, inputs)| {
+            let net = NetworkBuilder::new(4)
+                .dense(hidden + 3, seed)
+                .activation(kind)
+                .dense(hidden + 2, seed + 1)
+                .activation(kind)
+                .dense(3, seed + 2)
+                .build();
+            Instance { net, inputs, eps }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn uap_method_hierarchy(inst in instance()) {
+        let labels: Vec<usize> = inst.inputs.iter().map(|x| inst.net.classify(x)).collect();
+        let problem = UapProblem {
+            plan: inst.net.to_plan(),
+            inputs: inst.inputs.clone(),
+            labels,
+            eps: inst.eps,
+        };
+        let config = RavenConfig::default();
+        let acc = |m| verify_uap(&problem, m, &config).worst_case_accuracy;
+        let bx = acc(Method::Box);
+        let zn = acc(Method::ZonotopeIndividual);
+        let dp = acc(Method::DeepPolyIndividual);
+        let io = acc(Method::IoLp);
+        let rv = acc(Method::Raven);
+        prop_assert!(bx <= zn + 1e-7, "box {bx} > zonotope {zn}");
+        prop_assert!(bx <= dp + 1e-7, "box {bx} > deeppoly {dp}");
+        prop_assert!(dp <= io + 1e-7, "deeppoly {dp} > io-lp {io}");
+        prop_assert!(io <= rv + 1e-7, "io-lp {io} > raven {rv}");
+    }
+
+    #[test]
+    fn certificate_never_exceeds_point_evaluation(inst in instance()) {
+        // The zero perturbation keeps every input at its clean prediction,
+        // so the worst case can never beat the clean accuracy (which is 1
+        // by construction of the labels).
+        let labels: Vec<usize> = inst.inputs.iter().map(|x| inst.net.classify(x)).collect();
+        let problem = UapProblem {
+            plan: inst.net.to_plan(),
+            inputs: inst.inputs.clone(),
+            labels,
+            eps: inst.eps,
+        };
+        let res = verify_uap(&problem, Method::Raven, &RavenConfig::default());
+        prop_assert!(res.worst_case_accuracy <= 1.0 + 1e-12);
+        prop_assert!(res.worst_case_accuracy >= -1e-12);
+        prop_assert!(res.worst_case_hamming >= -1e-9);
+    }
+
+    #[test]
+    fn all_pairs_at_least_as_tight_as_none(inst in instance()) {
+        let labels: Vec<usize> = inst.inputs.iter().map(|x| inst.net.classify(x)).collect();
+        let problem = UapProblem {
+            plan: inst.net.to_plan(),
+            inputs: inst.inputs.clone(),
+            labels,
+            eps: inst.eps,
+        };
+        let acc = |pairs| {
+            verify_uap(
+                &problem,
+                Method::Raven,
+                &RavenConfig {
+                    pairs,
+                    spec_milp: false,
+                    ..RavenConfig::default()
+                },
+            )
+            .worst_case_accuracy
+        };
+        prop_assert!(acc(PairStrategy::None) <= acc(PairStrategy::AllPairs) + 1e-7);
+    }
+
+    #[test]
+    fn certificate_holds_on_sampled_shared_perturbations(inst in instance(), dirs in proptest::collection::vec(proptest::collection::vec(-1.0f64..1.0, 4), 6)) {
+        let labels: Vec<usize> = inst.inputs.iter().map(|x| inst.net.classify(x)).collect();
+        let problem = UapProblem {
+            plan: inst.net.to_plan(),
+            inputs: inst.inputs.clone(),
+            labels: labels.clone(),
+            eps: inst.eps,
+        };
+        let res = verify_uap(&problem, Method::Raven, &RavenConfig::default());
+        // Any concrete shared perturbation yields accuracy ≥ the certified
+        // worst case.
+        for d in &dirs {
+            let correct = inst
+                .inputs
+                .iter()
+                .zip(&labels)
+                .filter(|(z, &y)| {
+                    let x: Vec<f64> = z
+                        .iter()
+                        .zip(d)
+                        .map(|(&zi, &t)| zi + inst.eps * t)
+                        .collect();
+                    inst.net.classify(&x) == y
+                })
+                .count() as f64
+                / inst.inputs.len() as f64;
+            prop_assert!(
+                res.worst_case_accuracy <= correct + 1e-9,
+                "certified {} exceeds concrete accuracy {correct}",
+                res.worst_case_accuracy
+            );
+        }
+    }
+}

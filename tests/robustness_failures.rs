@@ -1,0 +1,154 @@
+//! Failure-injection and resource-limit tests: the verifier must degrade
+//! *soundly* (conservative answers), never panic or over-claim, when its
+//! solver is starved or its inputs are hostile.
+
+use raven::{verify_uap, Method, RavenConfig, UapProblem};
+use raven_lp::{MilpOptions, SimplexOptions};
+use raven_nn::{ActKind, NetworkBuilder};
+use std::path::Path;
+
+fn tiny_problem(eps: f64) -> UapProblem {
+    let net = NetworkBuilder::new(3)
+        .dense(6, 41)
+        .activation(ActKind::Relu)
+        .dense(2, 42)
+        .build();
+    let inputs = vec![vec![0.4, 0.5, 0.6], vec![0.6, 0.5, 0.4]];
+    let labels: Vec<usize> = inputs.iter().map(|x| net.classify(x)).collect();
+    UapProblem {
+        plan: net.to_plan(),
+        inputs,
+        labels,
+        eps,
+    }
+}
+
+#[test]
+fn starved_simplex_degrades_conservatively() {
+    // An absurdly small iteration limit must not panic and must not
+    // over-claim: the result stays a valid probability, and it can only be
+    // more conservative (lower) than the unconstrained answer.
+    let problem = tiny_problem(0.15);
+    let full = verify_uap(&problem, Method::Raven, &RavenConfig::default());
+    let starved_cfg = RavenConfig {
+        simplex: SimplexOptions {
+            max_iters: 2,
+            ..SimplexOptions::default()
+        },
+        milp: MilpOptions {
+            simplex: SimplexOptions {
+                max_iters: 2,
+                ..SimplexOptions::default()
+            },
+            ..MilpOptions::default()
+        },
+        ..RavenConfig::default()
+    };
+    let starved = verify_uap(&problem, Method::Raven, &starved_cfg);
+    assert!((0.0..=1.0).contains(&starved.worst_case_accuracy));
+    assert!(
+        starved.worst_case_accuracy <= full.worst_case_accuracy + 1e-9,
+        "starved solver over-claimed: {} vs {}",
+        starved.worst_case_accuracy,
+        full.worst_case_accuracy
+    );
+}
+
+#[test]
+fn zero_node_budget_milp_falls_back_to_lp() {
+    let problem = tiny_problem(0.15);
+    let cfg = RavenConfig {
+        milp: MilpOptions {
+            max_nodes: 0,
+            ..MilpOptions::default()
+        },
+        ..RavenConfig::default()
+    };
+    let res = verify_uap(&problem, Method::Raven, &cfg);
+    assert!((0.0..=1.0).contains(&res.worst_case_accuracy));
+    // LP fallback (or trivially-robust shortcut); must still be sound vs a
+    // permissive run.
+    let full = verify_uap(&problem, Method::Raven, &RavenConfig::default());
+    assert!(res.worst_case_accuracy <= full.worst_case_accuracy + 1e-9);
+}
+
+#[test]
+fn hostile_model_files_error_instead_of_panicking() {
+    let cases = [
+        "",
+        "garbage",
+        "raven-net v1",
+        "raven-net v1\ninput 2\ndense 9999999 2\nend\n",
+        "raven-net v1\ninput 2\ndense 1 2\n1.0 nan\n0.0\nend\n",
+        "raven-net v1\ninput 2\nact quantum\nend\n",
+        "raven-net v1\ninput 2\nbatchnorm 2 not_a_float\nend\n",
+        "raven-net v1\ninput 18446744073709551616\nend\n",
+    ];
+    for text in cases {
+        // Must return Err (or Ok for syntactically valid inputs), never
+        // panic. `nan` parses as a float in Rust, so case 5 may be Ok.
+        let _ = raven_nn::parse_network(text);
+    }
+}
+
+#[test]
+fn committed_golden_model_loads_and_verifies() {
+    // Guards the on-disk format against accidental breakage: the repository
+    // ships a trained model + batch produced by `raven_cli train-demo`.
+    let net = raven_nn::load_network(Path::new("models/demo.net")).expect("golden model loads");
+    assert_eq!(net.input_dim(), 36);
+    assert_eq!(net.output_dim(), 4);
+    let text = std::fs::read_to_string("models/demo_batch.txt").expect("golden batch loads");
+    let mut inputs = Vec::new();
+    let mut labels = Vec::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        labels.push(parts.next().unwrap().parse::<usize>().unwrap());
+        inputs.push(parts.map(|v| v.parse::<f64>().unwrap()).collect::<Vec<f64>>());
+    }
+    assert!(!inputs.is_empty());
+    // The committed batch is correctly classified by the committed model.
+    for (x, &y) in inputs.iter().zip(&labels) {
+        assert_eq!(net.classify(x), y, "golden batch misclassified");
+    }
+    let problem = UapProblem {
+        plan: net.to_plan(),
+        inputs,
+        labels,
+        eps: 0.02,
+    };
+    let res = verify_uap(&problem, Method::Raven, &RavenConfig::default());
+    assert!((0.0..=1.0).contains(&res.worst_case_accuracy));
+}
+
+#[test]
+fn batchnorm_networks_flow_through_all_methods() {
+    let samples: Vec<Vec<f64>> = (0..30)
+        .map(|i| (0..3).map(|j| 0.3 + 0.02 * ((i + j) % 7) as f64).collect())
+        .collect();
+    let net = NetworkBuilder::new(3)
+        .batch_norm_from(&samples)
+        .dense(6, 71)
+        .activation(ActKind::Relu)
+        .dense(2, 72)
+        .build();
+    let inputs = vec![vec![0.35, 0.4, 0.38], vec![0.4, 0.36, 0.42]];
+    let labels: Vec<usize> = inputs.iter().map(|x| net.classify(x)).collect();
+    let problem = UapProblem {
+        plan: net.to_plan(),
+        inputs,
+        labels,
+        eps: 0.01,
+    };
+    for method in Method::all() {
+        let res = verify_uap(&problem, method, &RavenConfig::default());
+        assert!(
+            (0.0..=1.0).contains(&res.worst_case_accuracy),
+            "{method} produced out-of-range accuracy"
+        );
+    }
+}

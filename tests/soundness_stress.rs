@@ -1,0 +1,153 @@
+//! Randomized soundness stress tests: for many random networks, input
+//! regions and shared perturbations, every abstract result must contain the
+//! corresponding concrete execution. These are the repository's strongest
+//! end-to-end guards against transformer bugs.
+
+use raven_deeppoly::DeepPolyAnalysis;
+use raven_diffpoly::DiffPolyAnalysis;
+use raven_interval::{linf_ball, Interval, IntervalAnalysis};
+use raven_nn::{ActKind, Network, NetworkBuilder};
+
+/// Deterministic pseudo-random scalar stream.
+struct Stream(u64);
+
+impl Stream {
+    fn next(&mut self) -> f64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((self.0 >> 11) as f64) / ((1u64 << 53) as f64)
+    }
+
+    fn in_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next()
+    }
+}
+
+fn random_net(seed: u64, kind: ActKind) -> Network {
+    let mut s = Stream(seed);
+    let depth = 2 + (seed % 2) as usize;
+    let mut b = NetworkBuilder::new(4);
+    for layer in 0..depth {
+        b = b
+            .dense(4 + (seed as usize + layer) % 4, seed * 31 + layer as u64)
+            .activation(kind);
+    }
+    let _ = &mut s;
+    b.dense(3, seed * 97 + 7).build()
+}
+
+#[test]
+fn interval_and_deeppoly_contain_concrete_runs() {
+    for seed in 0..12u64 {
+        for kind in ActKind::all() {
+            let net = random_net(seed, kind);
+            let plan = net.to_plan();
+            let mut s = Stream(seed * 13 + 5);
+            let center: Vec<f64> = (0..4).map(|_| s.in_range(0.2, 0.8)).collect();
+            let eps = s.in_range(0.01, 0.15);
+            let ball = linf_ball(&center, eps, f64::NEG_INFINITY, f64::INFINITY);
+            let iv = IntervalAnalysis::run(&plan, &ball);
+            let dp = DeepPolyAnalysis::run(&plan, &ball);
+            for trial in 0..20 {
+                let mut t = Stream(seed * 101 + trial);
+                let x: Vec<f64> = center.iter().map(|&c| c + eps * t.in_range(-1.0, 1.0)).collect();
+                let y = net.forward(&x);
+                for ((bi, di), &v) in iv.output().iter().zip(dp.output()).zip(&y) {
+                    assert!(
+                        bi.lo() - 1e-7 <= v && v <= bi.hi() + 1e-7,
+                        "interval unsound (seed {seed}, {kind}): {v} not in {bi}"
+                    );
+                    assert!(
+                        di.lo() - 1e-7 <= v && v <= di.hi() + 1e-7,
+                        "deeppoly unsound (seed {seed}, {kind}): {v} not in {di}"
+                    );
+                    assert!(
+                        di.lo() >= bi.lo() - 1e-7 && di.hi() <= bi.hi() + 1e-7,
+                        "deeppoly looser than interval (seed {seed}, {kind})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn diffpoly_contains_concrete_shared_perturbation_pairs() {
+    for seed in 0..10u64 {
+        for kind in [ActKind::Relu, ActKind::Tanh, ActKind::LeakyRelu, ActKind::HardTanh] {
+            let net = random_net(seed, kind);
+            let plan = net.to_plan();
+            let mut s = Stream(seed * 7 + 3);
+            let za: Vec<f64> = (0..4).map(|_| s.in_range(0.2, 0.8)).collect();
+            let zb: Vec<f64> = (0..4).map(|_| s.in_range(0.2, 0.8)).collect();
+            let eps = s.in_range(0.02, 0.1);
+            let ball_a = linf_ball(&za, eps, f64::NEG_INFINITY, f64::INFINITY);
+            let ball_b = linf_ball(&zb, eps, f64::NEG_INFINITY, f64::INFINITY);
+            let dp_a = DeepPolyAnalysis::run(&plan, &ball_a);
+            let dp_b = DeepPolyAnalysis::run(&plan, &ball_b);
+            let delta: Vec<Interval> = za
+                .iter()
+                .zip(&zb)
+                .map(|(&a, &b)| Interval::point(a - b))
+                .collect();
+            let diff = DiffPolyAnalysis::run(&plan, &dp_a, &dp_b, &delta);
+            for trial in 0..20 {
+                let mut t = Stream(seed * 211 + trial * 17 + 1);
+                let shift: Vec<f64> = (0..4).map(|_| eps * t.in_range(-1.0, 1.0)).collect();
+                let xa: Vec<f64> = za.iter().zip(&shift).map(|(&z, &d)| z + d).collect();
+                let xb: Vec<f64> = zb.iter().zip(&shift).map(|(&z, &d)| z + d).collect();
+                let ya = net.forward(&xa);
+                let yb = net.forward(&xb);
+                for (iv, (&a, &b)) in diff.output().iter().zip(ya.iter().zip(&yb)) {
+                    let d = a - b;
+                    assert!(
+                        iv.lo() - 1e-7 <= d && d <= iv.hi() + 1e-7,
+                        "diffpoly unsound (seed {seed}, {kind}): {d} not in {iv}"
+                    );
+                }
+            }
+            // Difference tracking must never be looser than subtracting the
+            // per-execution bounds.
+            for (iv, (da, db)) in diff
+                .output()
+                .iter()
+                .zip(dp_a.output().iter().zip(dp_b.output()))
+            {
+                let naive = *da - *db;
+                assert!(
+                    iv.lo() >= naive.lo() - 1e-7 && iv.hi() <= naive.hi() + 1e-7,
+                    "diffpoly looser than subtraction (seed {seed}, {kind})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn deeppoly_monotone_in_radius() {
+    // Growing the input region must never shrink the output bounds.
+    for seed in 0..6u64 {
+        let net = random_net(seed, ActKind::Relu);
+        let plan = net.to_plan();
+        let center = vec![0.5; 4];
+        let mut prev: Option<Vec<Interval>> = None;
+        for step in 1..6 {
+            let eps = 0.02 * step as f64;
+            let dp = DeepPolyAnalysis::run(
+                &plan,
+                &linf_ball(&center, eps, f64::NEG_INFINITY, f64::INFINITY),
+            );
+            if let Some(prev) = &prev {
+                for (small, big) in prev.iter().zip(dp.output()) {
+                    assert!(
+                        big.lo() <= small.lo() + 1e-9 && big.hi() >= small.hi() - 1e-9,
+                        "bounds not monotone in radius (seed {seed})"
+                    );
+                }
+            }
+            prev = Some(dp.output().to_vec());
+        }
+    }
+}

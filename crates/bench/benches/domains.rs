@@ -1,15 +1,15 @@
-//! Criterion micro-benchmarks of the abstract domains: interval vs DeepPoly
-//! vs DiffPoly propagation cost on the benchmark networks (supports the
+//! Micro-benchmarks of the abstract domains: interval vs DeepPoly vs
+//! DiffPoly propagation cost on the benchmark networks (supports the
 //! runtime claims in T5).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use raven_bench::models::{fc_model, Training};
+use raven_bench::timing::bench;
 use raven_deeppoly::DeepPolyAnalysis;
 use raven_diffpoly::DiffPolyAnalysis;
 use raven_interval::{linf_ball, Interval, IntervalAnalysis};
 use raven_zonotope::ZonotopeAnalysis;
 
-fn bench_domains(c: &mut Criterion) {
+fn main() {
     let model = fc_model("fc-med", Training::Standard);
     let plan = model.net.to_plan();
     let za = model.test.inputs[0].clone();
@@ -18,14 +18,14 @@ fn bench_domains(c: &mut Criterion) {
     let ball_a = linf_ball(&za, eps, f64::NEG_INFINITY, f64::INFINITY);
     let ball_b = linf_ball(&zb, eps, f64::NEG_INFINITY, f64::INFINITY);
 
-    c.bench_function("interval/fc-med", |b| {
-        b.iter(|| IntervalAnalysis::run(&plan, std::hint::black_box(&ball_a)))
+    bench("interval/fc-med", 20, 50, || {
+        IntervalAnalysis::run(&plan, std::hint::black_box(&ball_a));
     });
-    c.bench_function("zonotope/fc-med", |b| {
-        b.iter(|| ZonotopeAnalysis::run(&plan, std::hint::black_box(&ball_a)))
+    bench("zonotope/fc-med", 20, 20, || {
+        ZonotopeAnalysis::run(&plan, std::hint::black_box(&ball_a));
     });
-    c.bench_function("deeppoly/fc-med", |b| {
-        b.iter(|| DeepPolyAnalysis::run(&plan, std::hint::black_box(&ball_a)))
+    bench("deeppoly/fc-med", 20, 10, || {
+        DeepPolyAnalysis::run(&plan, std::hint::black_box(&ball_a));
     });
 
     let dp_a = DeepPolyAnalysis::run(&plan, &ball_a);
@@ -35,14 +35,7 @@ fn bench_domains(c: &mut Criterion) {
         .zip(&zb)
         .map(|(&a, &b)| Interval::point(a - b))
         .collect();
-    c.bench_function("diffpoly-pair/fc-med", |b| {
-        b.iter(|| DiffPolyAnalysis::run(&plan, &dp_a, &dp_b, std::hint::black_box(&delta)))
+    bench("diffpoly-pair/fc-med", 20, 10, || {
+        DiffPolyAnalysis::run(&plan, &dp_a, &dp_b, std::hint::black_box(&delta));
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_domains
-}
-criterion_main!(benches);

@@ -1,7 +1,7 @@
-//! Criterion micro-benchmarks of the LP/MILP substrate: simplex scaling
-//! with problem size, and the branch-and-bound overhead on counting specs.
+//! Micro-benchmarks of the LP/MILP substrate: simplex scaling with
+//! problem size, and the branch-and-bound overhead on counting specs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use raven_bench::timing::bench;
 use raven_lp::{Direction, LinExpr, LpProblem, Sense};
 
 /// A dense random-ish transportation-style LP with `n` variables and `n`
@@ -43,29 +43,18 @@ fn make_knapsack(n: usize) -> LpProblem {
     p
 }
 
-fn bench_lp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simplex");
+fn main() {
     for &n in &[20usize, 60, 120] {
         let p = make_lp(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
-            b.iter(|| p.solve().expect("lp solves"))
+        bench(&format!("simplex/{n}"), 15, 5, || {
+            p.solve().expect("lp solves");
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("milp-knapsack");
     for &n in &[8usize, 12] {
         let p = make_knapsack(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
-            b.iter(|| p.solve_milp().expect("milp solves"))
+        bench(&format!("milp-knapsack/{n}"), 15, 3, || {
+            p.solve_milp().expect("milp solves");
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(15);
-    targets = bench_lp
-}
-criterion_main!(benches);

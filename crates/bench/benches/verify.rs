@@ -1,13 +1,13 @@
-//! Criterion benchmarks of end-to-end verification per method — the
-//! timing companion of table T5.
+//! Benchmarks of end-to-end verification per method — the timing
+//! companion of table T5.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use raven::{
     verify_monotonicity, verify_uap, Method, MonotonicityProblem, RavenConfig, UapProblem,
 };
 use raven_bench::models::{credit_model, fc_model, uap_batches, Training};
+use raven_bench::timing::bench;
 
-fn bench_verify(c: &mut Criterion) {
+fn main() {
     let model = fc_model("fc-small", Training::Standard);
     let plan = model.net.to_plan();
     let (inputs, labels) = uap_batches(&model, 3, 1).remove(0);
@@ -19,8 +19,8 @@ fn bench_verify(c: &mut Criterion) {
     };
     let config = RavenConfig::default();
     for method in Method::all() {
-        c.bench_function(&format!("uap/{method}/fc-small"), |b| {
-            b.iter(|| verify_uap(std::hint::black_box(&problem), method, &config))
+        bench(&format!("uap/{method}/fc-small"), 10, 3, || {
+            verify_uap(std::hint::black_box(&problem), method, &config);
         });
     }
 
@@ -35,15 +35,8 @@ fn bench_verify(c: &mut Criterion) {
         increasing: true,
     };
     for method in [Method::DeepPolyIndividual, Method::Raven] {
-        c.bench_function(&format!("monotonicity/{method}/credit"), |b| {
-            b.iter(|| verify_monotonicity(std::hint::black_box(&mono), method, &config))
+        bench(&format!("monotonicity/{method}/credit"), 10, 3, || {
+            verify_monotonicity(std::hint::black_box(&mono), method, &config);
         });
     }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_verify
-}
-criterion_main!(benches);

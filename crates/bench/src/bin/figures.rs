@@ -1,22 +1,21 @@
-//! Regenerates the evaluation figures F1–F4 as CSV series.
+//! Regenerates the evaluation figures F1–F6 as CSV series.
 //!
-//! Usage: `cargo run -p raven-bench --release --bin figures -- [f1 f2 ...|all]`
+//! Usage: `cargo run -p raven-bench --release --bin figures -- [--threads n]
+//! [f1 f2 ...|all]` (`--threads 0` uses all cores; default 1).
 
 use raven_bench::figures::run;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let ids: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let threads = raven_bench::threads_arg(&args);
+    let ids = raven_bench::positional_args(&args);
+    let ids: Vec<&str> = ids.iter().map(String::as_str).collect();
     let ids = if ids.is_empty() || ids.contains(&"all") {
         vec!["f1", "f2", "f3", "f4", "f5", "f6"]
     } else {
         ids
     };
-    for fig in run(&ids) {
+    for fig in run(&ids, threads) {
         println!("{}", fig.to_csv());
     }
 }

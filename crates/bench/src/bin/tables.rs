@@ -1,6 +1,7 @@
 //! Regenerates the evaluation tables T1–T5.
 //!
-//! Usage: `cargo run -p raven-bench --release --bin tables -- [--quick] [t1 t2 ...|all]`
+//! Usage: `cargo run -p raven-bench --release --bin tables -- [--quick]
+//! [--threads n] [t1 t2 ...|all]` (`--threads 0` uses all cores; default 1).
 
 use raven_bench::tables::{run, Scope};
 
@@ -8,17 +9,15 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let scope = if quick { Scope::Quick } else { Scope::Full };
-    let ids: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let threads = raven_bench::threads_arg(&args);
+    let ids = raven_bench::positional_args(&args);
+    let ids: Vec<&str> = ids.iter().map(String::as_str).collect();
     let ids = if ids.is_empty() || ids.contains(&"all") {
         vec!["t1", "t2", "t3", "t4", "t5", "t6", "t7"]
     } else {
         ids
     };
-    for table in run(&ids, scope) {
+    for table in run(&ids, scope, threads) {
         println!("{}", table.to_markdown());
     }
 }

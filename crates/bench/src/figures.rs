@@ -69,18 +69,23 @@ fn avg_uap_accuracy(
 }
 
 /// F1: certified worst-case UAP accuracy vs ε for all four methods.
-pub fn f1() -> Figure {
+///
+/// The ε grid points are independent (no dead-method skip here — every
+/// cell is solved), so they fan out across `threads` workers.
+pub fn f1(threads: usize) -> Figure {
     let model = fc_model("fc-med", Training::Standard);
-    let config = RavenConfig::default();
-    let mut rows = Vec::new();
-    for i in 1..=6 {
-        let eps = 0.02 * i as f64;
+    let config = RavenConfig {
+        threads,
+        ..RavenConfig::default()
+    };
+    let grid: Vec<f64> = (1..=6).map(|i| 0.02 * i as f64).collect();
+    let rows: Vec<Vec<f64>> = raven::par::map(threads, &grid, |&eps| {
         let mut row = vec![eps];
         for method in Method::all() {
             row.push(avg_uap_accuracy(&model, eps, 3, 1, method, &config).0);
         }
-        rows.push(row);
-    }
+        row
+    });
     Figure {
         title: "F1: certified worst-case UAP accuracy vs eps (fc-med/std, k=3)".into(),
         columns: vec![
@@ -96,15 +101,18 @@ pub fn f1() -> Figure {
 }
 
 /// F2: precision and time as the number of executions k grows.
-pub fn f2() -> Figure {
+pub fn f2(threads: usize) -> Figure {
     let model = fc_model("fc-small", Training::Standard);
-    let config = RavenConfig::default();
-    let mut rows = Vec::new();
-    for k in 2..=5 {
+    let config = RavenConfig {
+        threads,
+        ..RavenConfig::default()
+    };
+    let ks: Vec<usize> = (2..=5).collect();
+    let rows: Vec<Vec<f64>> = raven::par::map(threads, &ks, |&k| {
         let (io_acc, io_ms) = avg_uap_accuracy(&model, 0.1, k, 1, Method::IoLp, &config);
         let (rv_acc, rv_ms) = avg_uap_accuracy(&model, 0.1, k, 1, Method::Raven, &config);
-        rows.push(vec![k as f64, io_acc, rv_acc, io_ms, rv_ms]);
-    }
+        vec![k as f64, io_acc, rv_acc, io_ms, rv_ms]
+    });
     Figure {
         title: "F2: precision and time vs k (fc-small/std, eps=0.1)".into(),
         columns: vec![
@@ -119,9 +127,9 @@ pub fn f2() -> Figure {
 }
 
 /// F3: ablation over the DiffPoly pair strategy and the spec solver.
-pub fn f3() -> Figure {
+pub fn f3(threads: usize) -> Figure {
     let model = fc_model("fc-small", Training::Standard);
-    let mut rows = Vec::new();
+    let mut cases = Vec::new();
     let strategies = [
         (PairStrategy::None, 0.0),
         (PairStrategy::Consecutive, 1.0),
@@ -129,15 +137,20 @@ pub fn f3() -> Figure {
     ];
     for (pairs, code) in strategies {
         for (milp, milp_code) in [(false, 0.0), (true, 1.0)] {
+            cases.push((pairs, code, milp, milp_code));
+        }
+    }
+    let rows: Vec<Vec<f64>> =
+        raven::par::map(threads, &cases, |&(pairs, code, milp, milp_code)| {
             let config = RavenConfig {
                 pairs,
                 spec_milp: milp,
+                threads,
                 ..RavenConfig::default()
             };
             let (acc, millis) = avg_uap_accuracy(&model, 0.1, 3, 1, Method::Raven, &config);
-            rows.push(vec![code, milp_code, acc, millis]);
-        }
-    }
+            vec![code, milp_code, acc, millis]
+        });
     Figure {
         title: "F3: ablation — pair strategy (0=none,1=consecutive,2=all) x spec \
                 solver (0=lp,1=milp), fc-small/std, eps=0.1, k=3"
@@ -153,14 +166,16 @@ pub fn f3() -> Figure {
 }
 
 /// F4: certified lower bound vs UAP-attack upper bound.
-pub fn f4() -> Figure {
+pub fn f4(threads: usize) -> Figure {
     let model = fc_model("fc-small", Training::Standard);
-    let config = RavenConfig::default();
+    let config = RavenConfig {
+        threads,
+        ..RavenConfig::default()
+    };
     let plan = model.net.to_plan();
     let (inputs, labels) = uap_batches(&model, 3, 1).remove(0);
-    let mut rows = Vec::new();
-    for i in 1..=6 {
-        let eps = 0.025 * i as f64;
+    let grid: Vec<f64> = (1..=6).map(|i| 0.025 * i as f64).collect();
+    let rows: Vec<Vec<f64>> = raven::par::map(threads, &grid, |&eps| {
         let problem = UapProblem {
             plan: plan.clone(),
             inputs: inputs.clone(),
@@ -169,11 +184,10 @@ pub fn f4() -> Figure {
         };
         let cert = verify_uap(&problem, Method::Raven, &config);
         let atk = attack::uap(&model.net, &inputs, &labels, eps, 25, eps / 5.0);
-        rows.push(vec![eps, cert.worst_case_accuracy, atk.accuracy]);
-    }
+        vec![eps, cert.worst_case_accuracy, atk.accuracy]
+    });
     Figure {
-        title: "F4: certified lower bound vs UAP-attack upper bound (fc-small/std, k=3)"
-            .into(),
+        title: "F4: certified lower bound vs UAP-attack upper bound (fc-small/std, k=3)".into(),
         columns: vec![
             "eps".into(),
             "raven certified".into(),
@@ -188,26 +202,30 @@ pub fn f4() -> Figure {
 /// subtracting the two executions' DeepPoly bounds, as network depth grows.
 /// Ratios far below 1 are the paper's core "difference tracking is precise"
 /// claim.
-pub fn f5() -> Figure {
+pub fn f5(threads: usize) -> Figure {
     use raven_deeppoly::DeepPolyAnalysis;
     use raven_diffpoly::DiffPolyAnalysis;
     use raven_interval::{linf_ball, Interval};
     use raven_nn::{ActKind, NetworkBuilder};
-    let mut rows = Vec::new();
-    for depth in 1..=5usize {
+    let depths: Vec<usize> = (1..=5).collect();
+    let rows: Vec<Vec<f64>> = raven::par::map(threads, &depths, |&depth| {
         let mut b = NetworkBuilder::new(12);
         for layer in 0..depth {
-            b = b
-                .dense(16, 300 + layer as u64)
-                .activation(ActKind::Relu);
+            b = b.dense(16, 300 + layer as u64).activation(ActKind::Relu);
         }
         let net = b.dense(4, 399).build();
         let plan = net.to_plan();
         let za: Vec<f64> = (0..12).map(|i| 0.4 + 0.02 * (i % 5) as f64).collect();
         let zb: Vec<f64> = (0..12).map(|i| 0.45 + 0.015 * (i % 7) as f64).collect();
         let eps = 0.05;
-        let dp_a = DeepPolyAnalysis::run(&plan, &linf_ball(&za, eps, f64::NEG_INFINITY, f64::INFINITY));
-        let dp_b = DeepPolyAnalysis::run(&plan, &linf_ball(&zb, eps, f64::NEG_INFINITY, f64::INFINITY));
+        let dp_a = DeepPolyAnalysis::run(
+            &plan,
+            &linf_ball(&za, eps, f64::NEG_INFINITY, f64::INFINITY),
+        );
+        let dp_b = DeepPolyAnalysis::run(
+            &plan,
+            &linf_ball(&zb, eps, f64::NEG_INFINITY, f64::INFINITY),
+        );
         let delta: Vec<Interval> = za
             .iter()
             .zip(&zb)
@@ -224,8 +242,8 @@ pub fn f5() -> Figure {
             tracked += iv.width();
             naive += (*a - *b).width();
         }
-        rows.push(vec![depth as f64, tracked, naive, tracked / naive]);
-    }
+        vec![depth as f64, tracked, naive, tracked / naive]
+    });
     Figure {
         title: "F5: certified output-difference width — DiffPoly vs per-execution \
                 subtraction, by depth (shared eps=0.05 perturbation)"
@@ -246,13 +264,16 @@ pub fn f5() -> Figure {
 /// cannot and stay at their ℓ∞ answer, so the curves showcase the
 /// expressiveness of LP-based relational verification over non-box input
 /// specifications.
-pub fn f6() -> Figure {
+pub fn f6(threads: usize) -> Figure {
     use raven::verify_uap_l1;
     let model = fc_model("fc-small", Training::Standard);
     let plan = model.net.to_plan();
     let (inputs, labels) = uap_batches(&model, 3, 1).remove(0);
     let eps = 0.12; // per-pixel cap where the plain ℓ∞ answer is weak
-    let config = RavenConfig::default();
+    let config = RavenConfig {
+        threads,
+        ..RavenConfig::default()
+    };
     let problem = UapProblem {
         plan,
         inputs,
@@ -260,19 +281,13 @@ pub fn f6() -> Figure {
         eps,
     };
     let linf_only = verify_uap(&problem, Method::Raven, &config).worst_case_accuracy;
-    let mut rows = Vec::new();
-    for i in 0..=6 {
-        let budget = 0.3 * i as f64;
-        let deeppoly = verify_uap_l1(
-            &problem,
-            budget,
-            Method::DeepPolyIndividual,
-            &config,
-        )
-        .worst_case_accuracy;
+    let budgets: Vec<f64> = (0..=6).map(|i| 0.3 * i as f64).collect();
+    let rows: Vec<Vec<f64>> = raven::par::map(threads, &budgets, |&budget| {
+        let deeppoly = verify_uap_l1(&problem, budget, Method::DeepPolyIndividual, &config)
+            .worst_case_accuracy;
         let raven = verify_uap_l1(&problem, budget, Method::Raven, &config).worst_case_accuracy;
-        rows.push(vec![budget, deeppoly, raven, linf_only]);
-    }
+        vec![budget, deeppoly, raven, linf_only]
+    });
     Figure {
         title: format!(
             "F6: certified worst-case accuracy vs shared-perturbation l1 budget              (fc-small/std, k=3, per-pixel cap eps={eps})"
@@ -292,15 +307,15 @@ pub fn f6() -> Figure {
 /// # Panics
 ///
 /// Panics on an unknown figure id.
-pub fn run(ids: &[&str]) -> Vec<Figure> {
+pub fn run(ids: &[&str], threads: usize) -> Vec<Figure> {
     ids.iter()
         .map(|&id| match id {
-            "f1" => f1(),
-            "f2" => f2(),
-            "f3" => f3(),
-            "f4" => f4(),
-            "f5" => f5(),
-            "f6" => f6(),
+            "f1" => f1(threads),
+            "f2" => f2(threads),
+            "f3" => f3(threads),
+            "f4" => f4(threads),
+            "f5" => f5(threads),
+            "f6" => f6(threads),
             other => panic!("unknown figure {other:?} (expected f1..f6)"),
         })
         .collect()
@@ -312,7 +327,7 @@ mod tests {
 
     #[test]
     fn f4_sandwich_holds() {
-        let fig = f4();
+        let fig = f4(1);
         for row in &fig.rows {
             assert!(
                 row[1] <= row[2] + 1e-9,
@@ -326,7 +341,7 @@ mod tests {
 
     #[test]
     fn f5_difference_tracking_is_tighter() {
-        let fig = f5();
+        let fig = f5(2);
         for row in &fig.rows {
             assert!(row[3] <= 1.0 + 1e-9, "ratio above 1 at depth {}", row[0]);
         }
@@ -336,7 +351,7 @@ mod tests {
 
     #[test]
     fn f6_l1_budget_is_monotone_and_dominates_linf() {
-        let fig = f6();
+        let fig = f6(1);
         // Accuracy is non-increasing in the ℓ1 budget, and the exact-ℓ1
         // answer is never worse than the ℓ∞-only answer.
         for w in fig.rows.windows(2) {

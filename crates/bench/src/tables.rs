@@ -1,8 +1,7 @@
 //! Table experiments T1–T5 (see `DESIGN.md` for the experiment index).
 
 use crate::models::{
-    conv_model, credit_dataset, credit_model, fc_model, uap_batches, BenchModel, Training,
-    FC_SIZES,
+    conv_model, credit_dataset, credit_model, fc_model, uap_batches, BenchModel, Training, FC_SIZES,
 };
 use crate::report::{ms, pct, Table};
 use raven::{
@@ -48,8 +47,18 @@ struct Cell {
     millis: f64,
 }
 
-fn uap_cell(model: &BenchModel, eps: f64, k: usize, batches: usize, method: Method) -> Cell {
-    let config = RavenConfig::default();
+fn uap_cell(
+    model: &BenchModel,
+    eps: f64,
+    k: usize,
+    batches: usize,
+    method: Method,
+    threads: usize,
+) -> Cell {
+    let config = RavenConfig {
+        threads,
+        ..RavenConfig::default()
+    };
     let plan = model.net.to_plan();
     let mut acc = 0.0;
     let mut millis = 0.0;
@@ -73,20 +82,34 @@ fn uap_cell(model: &BenchModel, eps: f64, k: usize, batches: usize, method: Meth
 }
 
 /// T1: worst-case UAP accuracy on the fully-connected grid.
-pub fn t1(scope: Scope) -> Table {
+///
+/// Each (network, training) block trains its own model and is independent
+/// of the others, as is every (ε, method) cell inside a block — both levels
+/// fan out across `threads` workers, with rows assembled in the fixed grid
+/// order so the table is identical for any thread count.
+pub fn t1(scope: Scope, threads: usize) -> Table {
     let mut table = Table::new(
         "T1: certified worst-case UAP accuracy (%), FC networks, k=3",
-        &["net", "train", "eps", "box", "zono", "deeppoly", "io-lp", "raven", "raven ms"],
+        &[
+            "net", "train", "eps", "box", "zono", "deeppoly", "io-lp", "raven", "raven ms",
+        ],
     );
+    let mut combos: Vec<(&str, Training)> = Vec::new();
     for &size in scope.fc_sizes() {
         for training in [Training::Standard, Training::Pgd] {
-            let model = fc_model(size, training);
-            for &eps in scope.eps_values() {
-                let cells: Vec<Cell> = Method::all()
-                    .iter()
-                    .map(|&m| uap_cell(&model, eps, 3, scope.batches(), m))
-                    .collect();
-                table.push_row(vec![
+            combos.push((size, training));
+        }
+    }
+    let blocks: Vec<Vec<Vec<String>>> = raven::par::map(threads, &combos, |&(size, training)| {
+        let model = fc_model(size, training);
+        scope
+            .eps_values()
+            .iter()
+            .map(|&eps| {
+                let cells: Vec<Cell> = raven::par::map(threads, &Method::all(), |&m| {
+                    uap_cell(&model, eps, 3, scope.batches(), m, threads)
+                });
+                vec![
                     size.to_string(),
                     training.name().to_string(),
                     format!("{eps}"),
@@ -96,44 +119,60 @@ pub fn t1(scope: Scope) -> Table {
                     pct(cells[3].accuracy),
                     pct(cells[4].accuracy),
                     ms(cells[4].millis),
-                ]);
-            }
+                ]
+            })
+            .collect()
+    });
+    for block in blocks {
+        for row in block {
+            table.push_row(row);
         }
     }
     table
 }
 
 /// T2: worst-case UAP accuracy on the convolutional network.
-pub fn t2(scope: Scope) -> Table {
+pub fn t2(scope: Scope, threads: usize) -> Table {
     let mut table = Table::new(
         "T2: certified worst-case UAP accuracy (%), conv network, k=3",
-        &["net", "train", "eps", "box", "zono", "deeppoly", "io-lp", "raven", "raven ms"],
+        &[
+            "net", "train", "eps", "box", "zono", "deeppoly", "io-lp", "raven", "raven ms",
+        ],
     );
-    for training in [Training::Standard, Training::Pgd] {
+    let trainings = [Training::Standard, Training::Pgd];
+    let blocks: Vec<Vec<Vec<String>>> = raven::par::map(threads, &trainings, |&training| {
         let model = conv_model(training);
-        for &eps in scope.eps_values() {
-            let cells: Vec<Cell> = Method::all()
-                .iter()
-                .map(|&m| uap_cell(&model, eps, 3, scope.batches(), m))
-                .collect();
-            table.push_row(vec![
-                "conv-small".to_string(),
-                training.name().to_string(),
-                format!("{eps}"),
-                pct(cells[0].accuracy),
-                pct(cells[1].accuracy),
-                pct(cells[2].accuracy),
-                pct(cells[3].accuracy),
-                pct(cells[4].accuracy),
-                ms(cells[4].millis),
-            ]);
+        scope
+            .eps_values()
+            .iter()
+            .map(|&eps| {
+                let cells: Vec<Cell> = raven::par::map(threads, &Method::all(), |&m| {
+                    uap_cell(&model, eps, 3, scope.batches(), m, threads)
+                });
+                vec![
+                    "conv-small".to_string(),
+                    training.name().to_string(),
+                    format!("{eps}"),
+                    pct(cells[0].accuracy),
+                    pct(cells[1].accuracy),
+                    pct(cells[2].accuracy),
+                    pct(cells[3].accuracy),
+                    pct(cells[4].accuracy),
+                    ms(cells[4].millis),
+                ]
+            })
+            .collect()
+    });
+    for block in blocks {
+        for row in block {
+            table.push_row(row);
         }
     }
     table
 }
 
 /// T3: certified worst-case hamming distance of predicted label strings.
-pub fn t3(scope: Scope) -> Table {
+pub fn t3(scope: Scope, threads: usize) -> Table {
     let k = 4;
     let mut table = Table::new(
         format!(
@@ -142,13 +181,18 @@ pub fn t3(scope: Scope) -> Table {
         ),
         &["train", "eps", "box", "zono", "deeppoly", "io-lp", "raven"],
     );
+    let config = RavenConfig {
+        threads,
+        ..RavenConfig::default()
+    };
     for training in [Training::Standard, Training::Pgd] {
         let model = fc_model("fc-small", training);
         for &eps in scope.eps_values() {
             let plan = model.net.to_plan();
             let groups = uap_batches(&model, k, scope.batches());
             let mut row = vec![training.name().to_string(), format!("{eps}")];
-            for method in Method::all() {
+            // One independent column per method.
+            let hams: Vec<f64> = raven::par::map(threads, &Method::all(), |&method| {
                 let mut hamming = 0.0;
                 for (inputs, labels) in &groups {
                     let problem = UapProblem {
@@ -157,10 +201,12 @@ pub fn t3(scope: Scope) -> Table {
                         labels: labels.clone(),
                         eps,
                     };
-                    hamming += verify_uap(&problem, method, &RavenConfig::default())
-                        .worst_case_hamming;
+                    hamming += verify_uap(&problem, method, &config).worst_case_hamming;
                 }
-                row.push(format!("{:.2}", hamming / groups.len() as f64));
+                hamming / groups.len() as f64
+            });
+            for h in hams {
+                row.push(format!("{h:.2}"));
             }
             table.push_row(row);
         }
@@ -169,7 +215,7 @@ pub fn t3(scope: Scope) -> Table {
 }
 
 /// T4: monotonicity certification rate on the tabular model.
-pub fn t4(scope: Scope) -> Table {
+pub fn t4(scope: Scope, threads: usize) -> Table {
     let model = credit_model();
     let (_, spec) = credit_dataset();
     let num_inputs = match scope {
@@ -178,7 +224,9 @@ pub fn t4(scope: Scope) -> Table {
     };
     let mut table = Table::new(
         "T4: monotonicity certified (% of inputs), credit-sigmoid",
-        &["feature", "dir", "tau", "box", "zono", "deeppoly", "io-lp", "raven"],
+        &[
+            "feature", "dir", "tau", "box", "zono", "deeppoly", "io-lp", "raven",
+        ],
     );
     let taus: &[f64] = match scope {
         Scope::Quick => &[0.05],
@@ -198,7 +246,7 @@ pub fn t4(scope: Scope) -> Table {
                 if increasing { "inc" } else { "dec" }.to_string(),
                 format!("{tau}"),
             ];
-            for method in Method::all() {
+            let rates: Vec<f64> = raven::par::map(threads, &Method::all(), |&method| {
                 let mut certified = 0usize;
                 for x in model.test.inputs.iter().take(num_inputs) {
                     let problem = MonotonicityProblem {
@@ -214,7 +262,10 @@ pub fn t4(scope: Scope) -> Table {
                         certified += 1;
                     }
                 }
-                row.push(pct(certified as f64 / num_inputs as f64));
+                certified as f64 / num_inputs as f64
+            });
+            for rate in rates {
+                row.push(pct(rate));
             }
             table.push_row(row);
         }
@@ -223,43 +274,56 @@ pub fn t4(scope: Scope) -> Table {
 }
 
 /// T5: average verification time per method.
-pub fn t5(scope: Scope) -> Table {
+pub fn t5(scope: Scope, threads: usize) -> Table {
     let mut table = Table::new(
         "T5: average verification time per UAP instance (ms), k=3, eps=0.09",
-        &["net", "train", "box", "zono", "deeppoly", "io-lp", "raven", "raven rows"],
+        &[
+            "net",
+            "train",
+            "box",
+            "zono",
+            "deeppoly",
+            "io-lp",
+            "raven",
+            "raven rows",
+        ],
     );
+    let config = RavenConfig {
+        threads,
+        ..RavenConfig::default()
+    };
     for &size in scope.fc_sizes() {
         for training in [Training::Standard, Training::Pgd] {
             let model = fc_model(size, training);
             let plan = model.net.to_plan();
             let groups = uap_batches(&model, 3, scope.batches());
-            let mut times = [0.0; 5];
-            let mut rows = 0usize;
-            for (inputs, labels) in &groups {
-                let problem = UapProblem {
-                    plan: plan.clone(),
-                    inputs: inputs.clone(),
-                    labels: labels.clone(),
-                    eps: 0.09,
-                };
-                for (t, &m) in times.iter_mut().zip(Method::all().iter()) {
-                    let res = verify_uap(&problem, m, &RavenConfig::default());
-                    *t += res.solve_millis;
-                    if m == Method::Raven {
-                        rows = rows.max(res.lp_rows);
-                    }
+            // `(total millis, max LP rows)` per method, methods in parallel.
+            let per_method: Vec<(f64, usize)> = raven::par::map(threads, &Method::all(), |&m| {
+                let mut millis = 0.0;
+                let mut rows = 0usize;
+                for (inputs, labels) in &groups {
+                    let problem = UapProblem {
+                        plan: plan.clone(),
+                        inputs: inputs.clone(),
+                        labels: labels.clone(),
+                        eps: 0.09,
+                    };
+                    let res = verify_uap(&problem, m, &config);
+                    millis += res.solve_millis;
+                    rows = rows.max(res.lp_rows);
                 }
-            }
+                (millis, rows)
+            });
             let n = groups.len() as f64;
             table.push_row(vec![
                 size.to_string(),
                 training.name().to_string(),
-                ms(times[0] / n),
-                ms(times[1] / n),
-                ms(times[2] / n),
-                ms(times[3] / n),
-                ms(times[4] / n),
-                rows.to_string(),
+                ms(per_method[0].0 / n),
+                ms(per_method[1].0 / n),
+                ms(per_method[2].0 / n),
+                ms(per_method[3].0 / n),
+                ms(per_method[4].0 / n),
+                per_method[4].1.to_string(),
             ]);
         }
     }
@@ -268,11 +332,18 @@ pub fn t5(scope: Scope) -> Table {
 
 /// T6: activation-function generality — the same UAP sweep across all five
 /// supported activations on the fc-small architecture.
-pub fn t6(scope: Scope) -> Table {
+pub fn t6(scope: Scope, threads: usize) -> Table {
     use raven_nn::ActKind;
     let mut table = Table::new(
         "T6: certified worst-case UAP accuracy (%) by activation, fc-small/std, k=3",
-        &["activation", "train acc", "eps", "deeppoly", "io-lp", "raven"],
+        &[
+            "activation",
+            "train acc",
+            "eps",
+            "deeppoly",
+            "io-lp",
+            "raven",
+        ],
     );
     let eps_values: &[f64] = match scope {
         Scope::Quick => &[0.06],
@@ -281,10 +352,10 @@ pub fn t6(scope: Scope) -> Table {
     for kind in ActKind::all() {
         let model = crate::models::act_model(kind);
         for &eps in eps_values {
-            let cells: Vec<Cell> = [Method::DeepPolyIndividual, Method::IoLp, Method::Raven]
-                .iter()
-                .map(|&m| uap_cell(&model, eps, 3, 1, m))
-                .collect();
+            let methods = [Method::DeepPolyIndividual, Method::IoLp, Method::Raven];
+            let cells: Vec<Cell> = raven::par::map(threads, &methods, |&m| {
+                uap_cell(&model, eps, 3, 1, m, threads)
+            });
             table.push_row(vec![
                 kind.to_string(),
                 pct(model.train_accuracy),
@@ -300,7 +371,7 @@ pub fn t6(scope: Scope) -> Table {
 
 /// T7: targeted UAP — certified maximum number of executions a shared
 /// perturbation can force into a designated class.
-pub fn t7(scope: Scope) -> Table {
+pub fn t7(scope: Scope, threads: usize) -> Table {
     use raven::{verify_targeted_uap, TargetedUapProblem};
     let mut table = Table::new(
         "T7: targeted UAP — certified max executions forced to target, fc-small, k=4",
@@ -310,32 +381,43 @@ pub fn t7(scope: Scope) -> Table {
         Scope::Quick => &[0.1],
         Scope::Full => &[0.08, 0.11],
     };
+    let config = RavenConfig {
+        threads,
+        ..RavenConfig::default()
+    };
     for training in [Training::Standard, Training::Pgd] {
         let model = fc_model("fc-small", training);
         let plan = model.net.to_plan();
         let (inputs, labels) = uap_batches(&model, 4, 1).remove(0);
+        // Every (ε, counter-label) LP solve is independent — fan them out.
+        let mut cases: Vec<(f64, usize)> = Vec::new();
         for &eps in eps_values {
             for target in [0usize, 1] {
-                let problem = TargetedUapProblem {
-                    base: UapProblem {
-                        plan: plan.clone(),
-                        inputs: inputs.clone(),
-                        labels: labels.clone(),
-                        eps,
-                    },
-                    target,
-                };
-                let dp =
-                    verify_targeted_uap(&problem, Method::DeepPolyIndividual, &RavenConfig::default());
-                let rv = verify_targeted_uap(&problem, Method::Raven, &RavenConfig::default());
-                table.push_row(vec![
-                    training.name().to_string(),
-                    format!("{eps}"),
-                    format!("{target}"),
-                    format!("{:.2}", dp.max_forced),
-                    format!("{:.2}", rv.max_forced),
-                ]);
+                cases.push((eps, target));
             }
+        }
+        let rows: Vec<Vec<String>> = raven::par::map(threads, &cases, |&(eps, target)| {
+            let problem = TargetedUapProblem {
+                base: UapProblem {
+                    plan: plan.clone(),
+                    inputs: inputs.clone(),
+                    labels: labels.clone(),
+                    eps,
+                },
+                target,
+            };
+            let dp = verify_targeted_uap(&problem, Method::DeepPolyIndividual, &config);
+            let rv = verify_targeted_uap(&problem, Method::Raven, &config);
+            vec![
+                training.name().to_string(),
+                format!("{eps}"),
+                format!("{target}"),
+                format!("{:.2}", dp.max_forced),
+                format!("{:.2}", rv.max_forced),
+            ]
+        });
+        for row in rows {
+            table.push_row(row);
         }
     }
     table
@@ -346,16 +428,16 @@ pub fn t7(scope: Scope) -> Table {
 /// # Panics
 ///
 /// Panics on an unknown table id.
-pub fn run(ids: &[&str], scope: Scope) -> Vec<Table> {
+pub fn run(ids: &[&str], scope: Scope, threads: usize) -> Vec<Table> {
     ids.iter()
         .map(|&id| match id {
-            "t1" => t1(scope),
-            "t2" => t2(scope),
-            "t3" => t3(scope),
-            "t4" => t4(scope),
-            "t5" => t5(scope),
-            "t6" => t6(scope),
-            "t7" => t7(scope),
+            "t1" => t1(scope, threads),
+            "t2" => t2(scope, threads),
+            "t3" => t3(scope, threads),
+            "t4" => t4(scope, threads),
+            "t5" => t5(scope, threads),
+            "t6" => t6(scope, threads),
+            "t7" => t7(scope, threads),
             other => panic!("unknown table {other:?} (expected t1..t7)"),
         })
         .collect()
@@ -367,7 +449,7 @@ mod tests {
 
     #[test]
     fn quick_t1_shape_holds() {
-        let table = t1(Scope::Quick);
+        let table = t1(Scope::Quick, 1);
         assert!(!table.rows.is_empty());
         for row in &table.rows {
             // Provable chains: box ≤ zonotope, box ≤ deeppoly ≤ io-lp ≤

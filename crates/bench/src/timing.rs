@@ -1,0 +1,33 @@
+//! Minimal wall-clock micro-benchmark harness.
+//!
+//! The workspace builds with no registry dependencies, so the micro-bench
+//! binaries under `benches/` use this helper instead of Criterion: a short
+//! warm-up, a fixed number of timed iterations, and a median-of-samples
+//! report on stdout. Invoke with `cargo bench -p raven-bench`.
+
+use std::time::{Duration, Instant};
+
+/// Times `f` and prints `name: median per-iteration time (min … max)`.
+///
+/// Runs `samples` batches of `iters` iterations each after one warm-up
+/// batch; reports the median batch, which is robust to scheduler noise.
+pub fn bench<F: FnMut()>(name: &str, samples: usize, iters: usize, mut f: F) {
+    assert!(samples > 0 && iters > 0, "bench: empty measurement plan");
+    for _ in 0..iters {
+        f();
+    }
+    let mut per_iter: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed() / iters as u32
+        })
+        .collect();
+    per_iter.sort_unstable();
+    let median = per_iter[per_iter.len() / 2];
+    let min = per_iter[0];
+    let max = per_iter[per_iter.len() - 1];
+    println!("{name:<40} {median:>12.2?}  ({min:.2?} … {max:.2?})");
+}

@@ -5,6 +5,7 @@
 //! raven_cli train-demo --out net.txt --inputs batch.txt
 //! raven_cli verify-uap --model net.txt --inputs batch.txt --eps 0.05
 //!                      [--method box|deeppoly|io-lp|raven] [--pairs none|consecutive|all]
+//!                      [--threads n]
 //! raven_cli verify-mono --model net.txt --center 0.5,0.5,... --feature 0
 //!                       --tau 0.1 [--eps 0.01] [--decreasing]
 //! raven_cli export-lp  --model net.txt --inputs batch.txt --eps 0.05 --out problem.lp
@@ -39,8 +40,9 @@ const USAGE: &str = "usage:
   raven_cli train-demo  --out <net.txt> --inputs <batch.txt>
   raven_cli verify-uap  --model <net.txt> --inputs <batch.txt> --eps <f>
                         [--method box|deeppoly|io-lp|raven] [--pairs none|consecutive|all]
+                        [--threads <n>]   (0 = all cores, 1 = sequential; default 1)
   raven_cli verify-mono --model <net.txt> --center <v,v,...> --feature <i>
-                        --tau <f> [--eps <f>] [--decreasing] [--method ...]
+                        --tau <f> [--eps <f>] [--decreasing] [--method ...] [--threads <n>]
   raven_cli export-lp   --model <net.txt> --inputs <batch.txt> --eps <f> --out <file.lp>";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -122,9 +124,14 @@ fn parse_config(flags: &Flags) -> Result<RavenConfig, String> {
         "all" => PairStrategy::AllPairs,
         other => return Err(format!("unknown pair strategy {other:?}")),
     };
+    let threads = match flags.get("threads") {
+        Some(v) => v.parse::<usize>().map_err(|e| format!("--threads: {e}"))?,
+        None => 1,
+    };
     Ok(RavenConfig {
         pairs,
         spec_milp: !flags.has("lp-only"),
+        threads,
         ..RavenConfig::default()
     })
 }
@@ -240,7 +247,8 @@ fn cmd_train_demo(flags: &Flags) -> Result<(), String> {
 fn cmd_verify_uap(flags: &Flags) -> Result<(), String> {
     let model = flags.require("model")?;
     let net = load_network(Path::new(model)).map_err(|e| e.to_string())?;
-    let batch_text = std::fs::read_to_string(flags.require("inputs")?).map_err(|e| e.to_string())?;
+    let batch_text =
+        std::fs::read_to_string(flags.require("inputs")?).map_err(|e| e.to_string())?;
     let (inputs, labels) = parse_batch(&batch_text, net.input_dim())?;
     let eps = flags
         .get_f64("eps")?
@@ -260,7 +268,11 @@ fn cmd_verify_uap(flags: &Flags) -> Result<(), String> {
     println!(
         "worst-case accuracy    : >= {:.2}% ({})",
         100.0 * res.worst_case_accuracy,
-        if res.exact { "exact spec" } else { "LP relaxation" }
+        if res.exact {
+            "exact spec"
+        } else {
+            "LP relaxation"
+        }
     );
     println!("worst-case hamming     : <= {:.3}", res.worst_case_hamming);
     println!(
@@ -324,7 +336,11 @@ fn cmd_verify_mono(flags: &Flags) -> Result<(), String> {
     println!("certified change : {:.6}", res.certified_change);
     println!(
         "verdict          : {}",
-        if res.verified { "VERIFIED" } else { "not verified" }
+        if res.verified {
+            "VERIFIED"
+        } else {
+            "not verified"
+        }
     );
     println!("time             : {:.1} ms", res.solve_millis);
     Ok(())
@@ -410,6 +426,18 @@ mod tests {
         assert_eq!(parse_config(&f).unwrap().pairs, PairStrategy::AllPairs);
         let f = parse_flags(&["--method".to_string(), "magic".to_string()]).unwrap();
         assert!(parse_method(&f).is_err());
+    }
+
+    #[test]
+    fn threads_flag_parsing() {
+        let f = parse_flags(&[]).unwrap();
+        assert_eq!(parse_config(&f).unwrap().threads, 1);
+        let f = parse_flags(&["--threads".to_string(), "4".to_string()]).unwrap();
+        assert_eq!(parse_config(&f).unwrap().threads, 4);
+        let f = parse_flags(&["--threads".to_string(), "0".to_string()]).unwrap();
+        assert_eq!(parse_config(&f).unwrap().threads, 0);
+        let f = parse_flags(&["--threads".to_string(), "many".to_string()]).unwrap();
+        assert!(parse_config(&f).is_err());
     }
 
     #[test]

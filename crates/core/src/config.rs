@@ -100,6 +100,12 @@ pub struct RavenConfig {
     pub milp: MilpOptions,
     /// Options for pure-LP solves.
     pub simplex: SimplexOptions,
+    /// Worker threads for the parallel fan-out points (per-input analyses
+    /// and margins, pairwise DiffPoly runs, sweep columns): `0` uses all
+    /// available parallelism, `1` (the default) is the sequential path.
+    /// Results are collected in deterministic input order, so any value is
+    /// bit-identical to `1` — the knob only trades wall-clock for cores.
+    pub threads: usize,
 }
 
 impl Default for RavenConfig {
@@ -109,6 +115,7 @@ impl Default for RavenConfig {
             spec_milp: true,
             milp: MilpOptions::default(),
             simplex: SimplexOptions::default(),
+            threads: 1,
         }
     }
 }
@@ -120,15 +127,20 @@ mod tests {
     #[test]
     fn pair_strategies_enumerate_correctly() {
         assert!(PairStrategy::None.pairs(4).is_empty());
-        assert_eq!(PairStrategy::Consecutive.pairs(4), vec![(0, 1), (1, 2), (2, 3)]);
-        assert_eq!(PairStrategy::AllPairs.pairs(3), vec![(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(
+            PairStrategy::Consecutive.pairs(4),
+            vec![(0, 1), (1, 2), (2, 3)]
+        );
+        assert_eq!(
+            PairStrategy::AllPairs.pairs(3),
+            vec![(0, 1), (0, 2), (1, 2)]
+        );
         assert!(PairStrategy::Consecutive.pairs(1).is_empty());
     }
 
     #[test]
     fn method_names_are_distinct() {
-        let names: std::collections::HashSet<_> =
-            Method::all().iter().map(|m| m.name()).collect();
+        let names: std::collections::HashSet<_> = Method::all().iter().map(|m| m.name()).collect();
         assert_eq!(names.len(), 5);
     }
 }

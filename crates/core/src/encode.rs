@@ -341,11 +341,10 @@ fn encode_pair(
                     add_row(problem, dv, 1.0, &link, Sense::Eq);
                     // δ-space cross-execution lines.
                     let r = &relax[n];
-                    let same_line = r.lower_slope == r.upper_slope
-                        && r.lower_intercept == r.upper_intercept;
+                    let same_line =
+                        r.lower_slope == r.upper_slope && r.lower_intercept == r.upper_intercept;
                     if same_line {
-                        if r.lower_slope != 0.0 || r.lower_intercept != 0.0 || !dpre.is_constant()
-                        {
+                        if r.lower_slope != 0.0 || r.lower_intercept != 0.0 || !dpre.is_constant() {
                             let mut line = Expr::constant(r.lower_intercept);
                             line.add_scaled(r.lower_slope, dpre);
                             add_row(problem, dv, 1.0, &line, Sense::Eq);
@@ -393,14 +392,7 @@ mod tests {
     use raven_lp::Direction;
     use raven_nn::NetworkBuilder;
 
-    fn setup(
-        kind: ActKind,
-    ) -> (
-        AnalysisPlan,
-        raven_nn::Network,
-        Vec<Vec<f64>>,
-        f64,
-    ) {
+    fn setup(kind: ActKind) -> (AnalysisPlan, raven_nn::Network, Vec<Vec<f64>>, f64) {
         let net = NetworkBuilder::new(3)
             .dense(6, 41)
             .activation(kind)
@@ -437,10 +429,7 @@ mod tests {
         let dps: Vec<DeepPolyAnalysis> = centers
             .iter()
             .map(|z| {
-                DeepPolyAnalysis::run(
-                    plan,
-                    &linf_ball(z, eps, f64::NEG_INFINITY, f64::INFINITY),
-                )
+                DeepPolyAnalysis::run(plan, &linf_ball(z, eps, f64::NEG_INFINITY, f64::INFINITY))
             })
             .collect();
         let dp_refs: Vec<&DeepPolyAnalysis> = dps.iter().collect();
@@ -489,8 +478,7 @@ mod tests {
                 }
                 let mut traces = Vec::new();
                 for (e, z) in centers.iter().enumerate() {
-                    let input: Vec<f64> =
-                        z.iter().zip(&shift).map(|(&a, &b)| a + b).collect();
+                    let input: Vec<f64> = z.iter().zip(&shift).map(|(&a, &b)| a + b).collect();
                     let trace = plan_trace(&net, &input);
                     for (l, layer_vars) in encoding.execs[e].hidden.iter().enumerate() {
                         for (n, var) in layer_vars.iter().enumerate() {
@@ -550,8 +538,7 @@ mod tests {
         let (plan, _net, centers, eps) = setup(ActKind::Relu);
         // Maximize o0_exec0 − o0_exec1 with and without difference tracking.
         let bound = |with_pairs: bool| {
-            let (mut problem, encoding, _) =
-                build_uap_encoding(&plan, &centers, eps, with_pairs);
+            let (mut problem, encoding, _) = build_uap_encoding(&plan, &centers, eps, with_pairs);
             let obj = LinExpr::new()
                 .term(1.0, encoding.execs[0].outputs[0])
                 .term(-1.0, encoding.execs[1].outputs[0]);

@@ -45,6 +45,7 @@ mod config;
 pub mod encode;
 pub mod margin;
 mod monotonicity;
+pub mod par;
 pub mod refine;
 pub mod relational;
 pub mod sweep;

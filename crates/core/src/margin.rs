@@ -9,9 +9,9 @@
 
 use raven_deeppoly::DeepPolyAnalysis;
 use raven_interval::{Interval, IntervalAnalysis};
-use raven_zonotope::ZonotopeAnalysis;
 use raven_nn::{AnalysisPlan, PlanStep};
 use raven_tensor::Matrix;
+use raven_zonotope::ZonotopeAnalysis;
 
 /// Extends `plan` with a final affine step computing the margins
 /// `out[label] − out[c]` for all `c ≠ label`, in class order.
@@ -180,7 +180,9 @@ mod tests {
             let x: Vec<f64> = center
                 .iter()
                 .enumerate()
-                .map(|(i, &c)| (c + eps * ((((s * 7 + i * 3) % 9) as f64 / 4.0) - 1.0)).clamp(0.0, 1.0))
+                .map(|(i, &c)| {
+                    (c + eps * ((((s * 7 + i * 3) % 9) as f64 / 4.0) - 1.0)).clamp(0.0, 1.0)
+                })
                 .collect();
             let y = net.forward(&x);
             let mut idx = 0;

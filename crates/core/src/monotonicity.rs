@@ -220,11 +220,7 @@ mod tests {
     fn monotone_net() -> raven_nn::Network {
         NetworkBuilder::new(3)
             .dense_from(
-                &[
-                    &[0.8, -0.4, 0.2],
-                    &[0.5, 0.3, -0.6],
-                    &[0.9, 0.1, 0.4],
-                ],
+                &[&[0.8, -0.4, 0.2], &[0.5, 0.3, -0.6], &[0.9, 0.1, 0.4]],
                 &[0.1, -0.2, 0.0],
             )
             .activation(ActKind::Sigmoid)

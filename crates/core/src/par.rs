@@ -1,0 +1,172 @@
+//! Std-only parallel execution layer for the verifier's fan-out points.
+//!
+//! The k-execution pipeline is embarrassingly parallel in three places:
+//! per-input abstract analyses and margins, pairwise DiffPoly analyses, and
+//! independent verification cells in sweeps and benchmark drivers. This
+//! module provides the one primitive they all share — a chunked work queue
+//! drained by [`std::thread::scope`] workers — with two guarantees:
+//!
+//! * **Determinism**: results are collected in input order, so every item
+//!   is computed by the same pure closure on the same input regardless of
+//!   scheduling; `threads = N` is bit-identical to `threads = 1`.
+//! * **Panic propagation**: a panic inside the closure propagates to the
+//!   caller when the scope joins, exactly like the sequential loop would.
+//!
+//! No registry dependencies: the whole layer is `std::thread` + atomics.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a `threads` knob to a concrete worker count: `0` means "all
+/// available parallelism" (falling back to 1 when that cannot be queried),
+/// any other value is taken literally.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Computes `f(0), f(1), …, f(n-1)` on up to `threads` workers and returns
+/// the results in index order.
+///
+/// `threads` follows the [`resolve_threads`] convention; `threads <= 1` (or
+/// fewer than two items) runs the plain sequential loop with zero overhead.
+/// Workers claim contiguous index chunks from a shared queue, so uneven
+/// per-item cost still load-balances.
+///
+/// # Panics
+///
+/// Panics when `f` panics on any index (the first observed panic payload is
+/// propagated when the thread scope joins).
+pub fn map_range<U, F>(threads: usize, n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let workers = resolve_threads(threads).min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    // Small chunks keep the queue balanced under skewed item costs while
+    // amortizing the atomic claim; one chunk per item would also be correct.
+    let chunk = (n / (workers * 4)).max(1);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let lo = next.fetch_add(chunk, Ordering::Relaxed);
+                if lo >= n {
+                    break;
+                }
+                for (i, slot) in slots.iter().enumerate().take(n.min(lo + chunk)).skip(lo) {
+                    let out = f(i);
+                    *slot.lock().expect("result slot poisoned") = Some(out);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every slot filled after scope join")
+        })
+        .collect()
+}
+
+/// Maps `f` over a slice on up to `threads` workers, preserving item order.
+///
+/// See [`map_range`] for the scheduling and determinism contract.
+///
+/// # Panics
+///
+/// Panics when `f` panics on any item.
+pub fn map<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    map_range(threads, items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_threads_honors_explicit_counts() {
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(7), 7);
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn map_matches_sequential_for_any_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [1, 2, 3, 4, 8, 64] {
+            assert_eq!(
+                map(threads, &items, |&x| x * x + 1),
+                expect,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<usize> = map_range(4, 0, |i| i);
+        assert!(out.is_empty());
+        let none: Vec<u8> = map(8, &[], |x: &u8| *x);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn fewer_items_than_threads_covers_every_item() {
+        let out = map_range(16, 3, |i| i + 10);
+        assert_eq!(out, vec![10, 11, 12]);
+        let single = map_range(16, 1, |i| i);
+        assert_eq!(single, vec![0]);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_the_caller() {
+        let result = std::panic::catch_unwind(|| {
+            map_range(4, 16, |i| {
+                if i == 11 {
+                    panic!("boom at {i}");
+                }
+                i
+            })
+        });
+        assert!(result.is_err(), "panic must cross the scope join");
+    }
+
+    #[test]
+    fn chunking_load_balances_skewed_costs() {
+        // Items with wildly uneven cost must still come back in order.
+        let out = map_range(4, 40, |i| {
+            if i % 7 == 0 {
+                // Busy-work to skew the schedule.
+                (0..2_000).fold(i as u64, |a, b| a.wrapping_add(b))
+            } else {
+                i as u64
+            }
+        });
+        for (i, &v) in out.iter().enumerate() {
+            if i % 7 == 0 {
+                assert_eq!(v, (0..2_000).fold(i as u64, |a, b| a.wrapping_add(b)));
+            } else {
+                assert_eq!(v, i as u64);
+            }
+        }
+    }
+}

@@ -242,8 +242,7 @@ mod tests {
         // takes the minimum over leaves: check against explicit halves.
         let p = problem(0.1);
         let config = RavenConfig::default();
-        let full: Vec<raven_interval::Interval> =
-            vec![raven_interval::Interval::symmetric(0.1); 4];
+        let full: Vec<raven_interval::Interval> = vec![raven_interval::Interval::symmetric(0.1); 4];
         let mut lo_half = full.clone();
         lo_half[0] = raven_interval::Interval::new(-0.1, 0.0);
         let mut hi_half = full.clone();
@@ -251,7 +250,10 @@ mod tests {
         let whole = verify_uap_box(&p, &full, Method::Raven, &config).worst_case_accuracy;
         let lo = verify_uap_box(&p, &lo_half, Method::Raven, &config).worst_case_accuracy;
         let hi = verify_uap_box(&p, &hi_half, Method::Raven, &config).worst_case_accuracy;
-        assert!(lo.min(hi) >= whole - 1e-9, "halves ({lo}, {hi}) below whole {whole}");
+        assert!(
+            lo.min(hi) >= whole - 1e-9,
+            "halves ({lo}, {hi}) below whole {whole}"
+        );
     }
 
     #[test]

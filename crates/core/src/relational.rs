@@ -211,18 +211,17 @@ pub fn solve(
         .iter()
         .map(|coords| coords.iter().map(|c| c.image(&problem.scenarios)).collect())
         .collect();
-    let dps: Vec<DeepPolyAnalysis> = boxes
-        .iter()
-        .map(|b| DeepPolyAnalysis::run(&problem.plan, b))
-        .collect();
-    // Pairwise difference analyses.
+    let dps: Vec<DeepPolyAnalysis> = crate::par::map(config.threads, &boxes, |b| {
+        DeepPolyAnalysis::run(&problem.plan, b)
+    });
+    // Pairwise difference analyses, fanned out across workers (each pair
+    // only reads the already-computed per-execution analyses).
     let pair_indices = match config.pairs {
         PairStrategy::None => Vec::new(),
         strategy => strategy.pairs(problem.k()),
     };
-    let diffs: Vec<(usize, usize, DiffPolyAnalysis)> = pair_indices
-        .iter()
-        .map(|&(a, b)| {
+    let diffs: Vec<(usize, usize, DiffPolyAnalysis)> =
+        crate::par::map(config.threads, &pair_indices, |&(a, b)| {
             let delta: Vec<Interval> = problem.inputs[a]
                 .iter()
                 .zip(&problem.inputs[b])
@@ -254,8 +253,7 @@ pub fn solve(
                 b,
                 DiffPolyAnalysis::run(&problem.plan, &dps[a], &dps[b], &delta),
             )
-        })
-        .collect();
+        });
     // LP assembly.
     let mut lp = LpProblem::new();
     let scenario_vars: Vec<VarId> = problem
@@ -314,14 +312,12 @@ pub fn export_lp(problem: &RelationalProblem, config: &RavenConfig) -> String {
         .iter()
         .map(|coords| coords.iter().map(|c| c.image(&problem.scenarios)).collect())
         .collect();
-    let dps: Vec<DeepPolyAnalysis> = boxes
-        .iter()
-        .map(|b| DeepPolyAnalysis::run(&problem.plan, b))
-        .collect();
+    let dps: Vec<DeepPolyAnalysis> = crate::par::map(config.threads, &boxes, |b| {
+        DeepPolyAnalysis::run(&problem.plan, b)
+    });
     let pair_indices = config.pairs.pairs(problem.k());
-    let diffs: Vec<(usize, usize, DiffPolyAnalysis)> = pair_indices
-        .iter()
-        .map(|&(a, b)| {
+    let diffs: Vec<(usize, usize, DiffPolyAnalysis)> =
+        crate::par::map(config.threads, &pair_indices, |&(a, b)| {
             let delta: Vec<Interval> = problem.inputs[a]
                 .iter()
                 .zip(&problem.inputs[b])
@@ -341,8 +337,7 @@ pub fn export_lp(problem: &RelationalProblem, config: &RavenConfig) -> String {
                 b,
                 DiffPolyAnalysis::run(&problem.plan, &dps[a], &dps[b], &delta),
             )
-        })
-        .collect();
+        });
     let mut lp = LpProblem::new();
     let scenario_vars: Vec<VarId> = problem
         .scenarios
@@ -416,7 +411,10 @@ mod tests {
             let xa: Vec<f64> = za.iter().zip(&d).map(|(z, dd)| z + dd).collect();
             let xb: Vec<f64> = zb.iter().zip(&d).map(|(z, dd)| z + dd).collect();
             let diff = network.forward(&xa)[0] - network.forward(&xb)[0];
-            assert!(lo - 1e-6 <= diff && diff <= hi + 1e-6, "{diff} not in [{lo}, {hi}]");
+            assert!(
+                lo - 1e-6 <= diff && diff <= hi + 1e-6,
+                "{diff} not in [{lo}, {hi}]"
+            );
         }
     }
 
@@ -461,8 +459,7 @@ mod tests {
         let label = network.classify(&z);
         let other = 1 - label;
         let eps = 0.03;
-        let mut problem =
-            RelationalProblem::new(plan.clone(), vec![Interval::symmetric(eps); 3]);
+        let mut problem = RelationalProblem::new(plan.clone(), vec![Interval::symmetric(eps); 3]);
         let e = problem.add_perturbed_execution(&z);
         let query = OutputQuery::margin(e, label, other);
         let lp_margin = solve(
@@ -474,11 +471,8 @@ mod tests {
         .expect("solves")
         .value;
         let ball = raven_interval::linf_ball(&z, eps, f64::NEG_INFINITY, f64::INFINITY);
-        let dp_margin = crate::margin::deeppoly_margins(&plan, &ball, label)[if other < label {
-            other
-        } else {
-            other - 1
-        }];
+        let dp_margin = crate::margin::deeppoly_margins(&plan, &ball, label)
+            [if other < label { other } else { other - 1 }];
         assert!(
             lp_margin >= dp_margin - 1e-7,
             "lp margin {lp_margin} looser than deeppoly {dp_margin}"
@@ -490,8 +484,7 @@ mod tests {
     fn export_lp_produces_parsable_sections() {
         let network = net();
         let plan = network.to_plan();
-        let mut problem =
-            RelationalProblem::new(plan, vec![Interval::symmetric(0.05); 3]);
+        let mut problem = RelationalProblem::new(plan, vec![Interval::symmetric(0.05); 3]);
         problem.add_perturbed_execution(&[0.4, 0.5, 0.6]);
         problem.add_perturbed_execution(&[0.5, 0.4, 0.55]);
         let text = export_lp(&problem, &RavenConfig::default());
@@ -512,8 +505,7 @@ mod tests {
         let mut scenarios = vec![Interval::new(0.3, 0.7); 3];
         scenarios.push(Interval::new(0.0, 0.2)); // t
         let mut problem = RelationalProblem::new(plan, scenarios);
-        let coords_a: Vec<InputCoord> =
-            (0..3).map(|j| InputCoord::shifted(0.0, j)).collect();
+        let coords_a: Vec<InputCoord> = (0..3).map(|j| InputCoord::shifted(0.0, j)).collect();
         let mut coords_b = coords_a.clone();
         coords_b[0] = coords_b[0].clone().plus(1.0, 3);
         let a = problem.add_execution(coords_a);

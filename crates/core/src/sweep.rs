@@ -60,11 +60,17 @@ impl SweepSummary {
 /// at some ε, all larger ε are recorded as 0 without solving (certified
 /// accuracy is non-increasing in ε).
 ///
+/// The ε grid of one method is a sequential chain (the dead-method skip
+/// depends on the result at smaller ε), but the methods are mutually
+/// independent: each method column runs on its own worker per
+/// `config.threads`, walking its ε values in ascending order. Results are
+/// therefore identical for any thread count.
+///
 /// # Panics
 ///
 /// Panics when `eps_values` is unsorted or empty, or `methods` is empty.
 pub fn uap_sweep(
-    problem_at: impl Fn(f64) -> UapProblem,
+    problem_at: impl Fn(f64) -> UapProblem + Sync,
     eps_values: &[f64],
     methods: &[Method],
     config: &RavenConfig,
@@ -75,15 +81,13 @@ pub fn uap_sweep(
         eps_values.windows(2).all(|w| w[0] <= w[1]),
         "eps values must be sorted ascending"
     );
-    let mut dead = vec![false; methods.len()];
-    let mut points = Vec::with_capacity(eps_values.len());
-    for &eps in eps_values {
-        let problem = problem_at(eps);
-        let results: Vec<UapResult> = methods
+    let columns: Vec<Vec<UapResult>> = crate::par::map(config.threads, methods, |&m| {
+        let mut dead = false;
+        eps_values
             .iter()
-            .enumerate()
-            .map(|(mi, &m)| {
-                if dead[mi] {
+            .map(|&eps| {
+                let problem = problem_at(eps);
+                if dead {
                     UapResult {
                         method: m,
                         worst_case_accuracy: 0.0,
@@ -98,14 +102,21 @@ pub fn uap_sweep(
                 } else {
                     let r = verify_uap(&problem, m, config);
                     if r.worst_case_accuracy <= 0.0 {
-                        dead[mi] = true;
+                        dead = true;
                     }
                     r
                 }
             })
-            .collect();
-        points.push(SweepPoint { eps, results });
-    }
+            .collect()
+    });
+    let points: Vec<SweepPoint> = eps_values
+        .iter()
+        .enumerate()
+        .map(|(ei, &eps)| SweepPoint {
+            eps,
+            results: columns.iter().map(|col| col[ei].clone()).collect(),
+        })
+        .collect();
     SweepSummary {
         points,
         methods: methods.to_vec(),

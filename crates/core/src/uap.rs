@@ -191,20 +191,17 @@ fn verify_uap_with_extra(
     let start = Instant::now();
     let k = problem.k();
     // Per-input individual margins (used directly by the baselines, and for
-    // candidate-class pruning by the LP methods).
-    let margins: Vec<Vec<f64>> = problem
-        .inputs
-        .iter()
-        .zip(&problem.labels)
-        .map(|(z, &y)| {
-            let ball = exec_box(z, delta_box);
-            match method {
-                Method::Box => box_margins(&problem.plan, &ball, y),
-                Method::ZonotopeIndividual => zonotope_margins(&problem.plan, &ball, y),
-                _ => deeppoly_margins(&problem.plan, &ball, y),
-            }
-        })
-        .collect();
+    // candidate-class pruning by the LP methods). Each input is independent,
+    // so the batch fans out across the configured worker threads.
+    let margins: Vec<Vec<f64>> = crate::par::map_range(config.threads, k, |i| {
+        let ball = exec_box(&problem.inputs[i], delta_box);
+        let y = problem.labels[i];
+        match method {
+            Method::Box => box_margins(&problem.plan, &ball, y),
+            Method::ZonotopeIndividual => zonotope_margins(&problem.plan, &ball, y),
+            _ => deeppoly_margins(&problem.plan, &ball, y),
+        }
+    });
     let individually_verified = margins.iter().filter(|m| all_positive(m)).count();
     match method {
         Method::Box | Method::ZonotopeIndividual | Method::DeepPolyIndividual => UapResult {
@@ -279,10 +276,13 @@ fn verify_uap_io(
     if let Some(budget) = l1_budget {
         add_l1_budget(&mut lp, &d_vars, budget);
     }
-    let mut objective = LinExpr::new();
-    let mut any_indicator = false;
-    for (i, &y) in problem.labels.iter().enumerate() {
-        // Candidate adversarial classes per the individual margins.
+    // Candidate adversarial classes and symbolic input-level margin bounds
+    // per execution. The per-execution DeepPoly back-substitutions dominate
+    // this method's analysis cost and are independent, so they fan out
+    // across workers; the LP assembly below stays sequential (and therefore
+    // deterministic) regardless of the thread count.
+    let sym_rows = crate::par::map_range(config.threads, k, |i| {
+        let y = problem.labels[i];
         let mut candidates = Vec::new();
         let mut mi = 0;
         for c in 0..out_dim {
@@ -295,19 +295,26 @@ fn verify_uap_io(
             mi += 1;
         }
         if candidates.is_empty() {
-            continue;
+            return None;
         }
-        // Symbolic margin bounds over the input for this execution.
         let mplan = crate::margin::margin_plan(plan, y);
         let ball = exec_box(&problem.inputs[i], delta_box);
         let dp = DeepPolyAnalysis::run(&mplan, &ball);
         let sym = dp.input_bounds(&mplan);
         let concrete = sym.concretize(&ball);
+        Some((candidates, sym, concrete))
+    });
+    let mut objective = LinExpr::new();
+    let mut any_indicator = false;
+    for (i, row_data) in sym_rows.iter().enumerate() {
+        let Some((candidates, sym, concrete)) = row_data else {
+            continue;
+        };
         let z_i = lp.add_binary_var();
         objective.push(1.0, z_i);
         any_indicator = true;
         let mut z_row = LinExpr::new().term(1.0, z_i);
-        for &(_, row) in &candidates {
+        for &(_, row) in candidates {
             // Margin variable with input-level symbolic bounds, where the
             // input is z_i + d; the certified individual margin bounds are
             // valid bounds for the variable itself.
@@ -384,25 +391,23 @@ fn verify_uap_lp(
     let k = problem.k();
     let plan = &problem.plan;
     let out_dim = plan.output_dim();
-    // Per-execution DeepPoly analyses over the individual balls.
-    let dps: Vec<DeepPolyAnalysis> = problem
-        .inputs
-        .iter()
-        .map(|z| DeepPolyAnalysis::run(plan, &exec_box(z, delta_box)))
-        .collect();
-    // DiffPoly pairs per the configured strategy.
+    // Per-execution DeepPoly analyses over the individual balls, fanned out
+    // across the configured worker threads.
+    let dps: Vec<DeepPolyAnalysis> = crate::par::map(config.threads, &problem.inputs, |z| {
+        DeepPolyAnalysis::run(plan, &exec_box(z, delta_box))
+    });
+    // DiffPoly pairs per the configured strategy; each pair only reads the
+    // already-computed per-execution analyses, so pairs are independent.
     let pair_indices = config.pairs.pairs(k);
-    let diffs: Vec<(usize, usize, DiffPolyAnalysis)> = pair_indices
-        .iter()
-        .map(|&(a, b)| {
+    let diffs: Vec<(usize, usize, DiffPolyAnalysis)> =
+        crate::par::map(config.threads, &pair_indices, |&(a, b)| {
             let delta: Vec<Interval> = problem.inputs[a]
                 .iter()
                 .zip(&problem.inputs[b])
                 .map(|(&za, &zb)| Interval::point(za - zb))
                 .collect();
             (a, b, DiffPolyAnalysis::run(plan, &dps[a], &dps[b], &delta))
-        })
-        .collect();
+        });
     // Build the LP.
     let mut lp = LpProblem::new();
     let d_vars: Vec<VarId> = delta_box
@@ -546,13 +551,15 @@ pub fn verify_targeted_uap(
     assert_eq!(base.inputs.len(), base.labels.len(), "length mismatch");
     let start = Instant::now();
     // Executions that could possibly be forced: margin to the target class
-    // not provably positive.
-    let mut vulnerable = Vec::new();
-    for (i, (z, &y)) in base.inputs.iter().zip(&base.labels).enumerate() {
+    // not provably positive. The per-input margin analyses are independent
+    // and fan out across workers; the vulnerable list is assembled from the
+    // ordered results, so it is identical for any thread count.
+    let forcible = crate::par::map_range(config.threads, base.inputs.len(), |i| {
+        let y = base.labels[i];
         if y == problem.target {
-            continue;
+            return false;
         }
-        let ball = linf_ball(z, base.eps, f64::NEG_INFINITY, f64::INFINITY);
+        let ball = linf_ball(&base.inputs[i], base.eps, f64::NEG_INFINITY, f64::INFINITY);
         let margins = match method {
             Method::Box => box_margins(&base.plan, &ball, y),
             Method::ZonotopeIndividual => zonotope_margins(&base.plan, &ball, y),
@@ -564,10 +571,13 @@ pub fn verify_targeted_uap(
         } else {
             problem.target - 1
         };
-        if margins[row] <= 0.0 {
-            vulnerable.push(i);
-        }
-    }
+        margins[row] <= 0.0
+    });
+    let vulnerable: Vec<usize> = forcible
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &v)| v.then_some(i))
+        .collect();
     if matches!(
         method,
         Method::Box | Method::ZonotopeIndividual | Method::DeepPolyIndividual
@@ -582,29 +592,27 @@ pub fn verify_targeted_uap(
     }
     // Relational LP: shared perturbation + per-exec encodings + indicator
     // variables only for the target class.
-    let dps: Vec<DeepPolyAnalysis> = base
-        .inputs
-        .iter()
-        .map(|z| {
-            let ball = linf_ball(z, base.eps, f64::NEG_INFINITY, f64::INFINITY);
-            DeepPolyAnalysis::run(&base.plan, &ball)
-        })
-        .collect();
+    let dps: Vec<DeepPolyAnalysis> = crate::par::map(config.threads, &base.inputs, |z| {
+        let ball = linf_ball(z, base.eps, f64::NEG_INFINITY, f64::INFINITY);
+        DeepPolyAnalysis::run(&base.plan, &ball)
+    });
     let pair_indices = match method {
         Method::Raven => config.pairs.pairs(base.k()),
         _ => Vec::new(),
     };
-    let diffs: Vec<(usize, usize, DiffPolyAnalysis)> = pair_indices
-        .iter()
-        .map(|&(a, b)| {
+    let diffs: Vec<(usize, usize, DiffPolyAnalysis)> =
+        crate::par::map(config.threads, &pair_indices, |&(a, b)| {
             let delta: Vec<Interval> = base.inputs[a]
                 .iter()
                 .zip(&base.inputs[b])
                 .map(|(&za, &zb)| Interval::point(za - zb))
                 .collect();
-            (a, b, DiffPolyAnalysis::run(&base.plan, &dps[a], &dps[b], &delta))
-        })
-        .collect();
+            (
+                a,
+                b,
+                DiffPolyAnalysis::run(&base.plan, &dps[a], &dps[b], &delta),
+            )
+        });
     let mut lp = LpProblem::new();
     let d_vars: Vec<VarId> = (0..base.plan.input_dim())
         .map(|_| lp.add_var(-base.eps, base.eps))
@@ -630,8 +638,8 @@ pub fn verify_targeted_uap(
         let z_i = lp.add_binary_var();
         objective.push(1.0, z_i);
         // z = 1 requires o_target ≥ o_y.
-        let big_m = (dps[i].output()[y].hi() - dps[i].output()[problem.target].lo()).max(0.0)
-            + 1e-6;
+        let big_m =
+            (dps[i].output()[y].hi() - dps[i].output()[problem.target].lo()).max(0.0) + 1e-6;
         let row = LinExpr::new()
             .term(1.0, outs[y])
             .term(-1.0, outs[problem.target])
@@ -662,8 +670,7 @@ fn solve_spec_with_witness(
     witness_vars: &[VarId],
 ) -> (f64, bool, Option<Vec<f64>>) {
     let extract = |sol: &raven_lp::Solution| {
-        (!witness_vars.is_empty())
-            .then(|| witness_vars.iter().map(|&v| sol.value(v)).collect())
+        (!witness_vars.is_empty()).then(|| witness_vars.iter().map(|&v| sol.value(v)).collect())
     };
     if config.spec_milp {
         match lp.solve_milp_with(&config.milp) {
@@ -788,9 +795,7 @@ mod tests {
         let (problem, _) = trained_problem(0.12, 3);
         let res = verify_uap(&problem, Method::Raven, &RavenConfig::default());
         let k = problem.k() as f64;
-        assert!(
-            (res.worst_case_hamming - k * (1.0 - res.worst_case_accuracy)).abs() < 1e-9
-        );
+        assert!((res.worst_case_hamming - k * (1.0 - res.worst_case_accuracy)).abs() < 1e-9);
     }
 
     #[test]

@@ -116,11 +116,7 @@ fn state(x: &Interval) -> State {
 /// # Panics
 ///
 /// Panics when any input interval is empty.
-pub fn relax_relu_diff(
-    x: &Interval,
-    y: &Interval,
-    d: &Interval,
-) -> (DiffRelaxation, Interval) {
+pub fn relax_relu_diff(x: &Interval, y: &Interval, d: &Interval) -> (DiffRelaxation, Interval) {
     assert!(
         !x.is_empty() && !y.is_empty() && !d.is_empty(),
         "relu diff transformer: empty input interval"
@@ -222,7 +218,11 @@ pub fn relax_relu_diff(
                 slope: 1.0,
                 intercept: 0.0,
             };
-            (lower, upper, Interval::new(x.lo() - y.hi().max(0.0), x.hi()))
+            (
+                lower,
+                upper,
+                Interval::new(x.lo() - y.hi().max(0.0), x.hi()),
+            )
         }
         (State::Unstable, State::Active) => {
             // Δ = ReLU(x) − y; ReLU(x) ∈ [x, x − lx].
@@ -441,7 +441,11 @@ pub fn relax_sshape_diff(
     let exec_diff = x.map_monotone(|v| kind.eval(v)) - y.map_monotone(|v| kind.eval(v));
     let envelope = Interval::new(h(ld).min(h(ud)), g(ld).max(g(ud)));
     let concrete = envelope.intersect(&exec_diff);
-    let concrete = if concrete.is_empty() { exec_diff } else { concrete };
+    let concrete = if concrete.is_empty() {
+        exec_diff
+    } else {
+        concrete
+    };
     (relax, concrete)
 }
 

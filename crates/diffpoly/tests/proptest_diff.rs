@@ -1,11 +1,16 @@
-//! Property-based soundness tests for the difference transformers: for any
+//! Randomized soundness tests for the difference transformers: for any
 //! pre-activation boxes and any consistent pair of points, the δ-space
 //! lines and the concrete bounds must contain the true output difference.
+//!
+//! Driven by the workspace's deterministic [`Rng`] so the suite builds
+//! offline and replays identically on every run.
 
-use proptest::prelude::*;
 use raven_diffpoly::relax_activation_diff;
 use raven_interval::Interval;
 use raven_nn::ActKind;
+use raven_tensor::Rng;
+
+const CASES: usize = 512;
 
 #[derive(Debug, Clone)]
 struct PairCase {
@@ -15,84 +20,120 @@ struct PairCase {
     yv: f64,
 }
 
-fn pair_case() -> impl Strategy<Value = PairCase> {
-    (
-        -4.0f64..4.0,
-        0.0f64..5.0,
-        -4.0f64..4.0,
-        0.0f64..5.0,
-        0.0f64..1.0,
-        0.0f64..1.0,
-    )
-        .prop_map(|(xlo, xw, ylo, yw, tx, ty)| PairCase {
-            x: Interval::new(xlo, xlo + xw),
-            y: Interval::new(ylo, ylo + yw),
-            xv: xlo + xw * tx,
-            yv: ylo + yw * ty,
-        })
+fn pair_case(rng: &mut Rng) -> PairCase {
+    let xlo = rng.in_range(-4.0, 4.0);
+    let xw = rng.in_range(0.0, 5.0);
+    let ylo = rng.in_range(-4.0, 4.0);
+    let yw = rng.in_range(0.0, 5.0);
+    let tx = rng.uniform();
+    let ty = rng.uniform();
+    PairCase {
+        x: Interval::new(xlo, xlo + xw),
+        y: Interval::new(ylo, ylo + yw),
+        xv: xlo + xw * tx,
+        yv: ylo + yw * ty,
+    }
 }
 
-fn check(kind: ActKind, case: &PairCase, d: Interval) -> Result<(), TestCaseError> {
+fn check(kind: ActKind, case: &PairCase, d: Interval) {
     let dv = case.xv - case.yv;
-    prop_assume!(d.contains(dv));
+    if !d.contains(dv) {
+        return;
+    }
     let (relax, concrete) = relax_activation_diff(kind, &case.x, &case.y, &d);
     let delta = kind.eval(case.xv) - kind.eval(case.yv);
-    prop_assert!(
+    assert!(
         relax.lower_at(dv) <= delta + 1e-9,
         "{kind}: lower line {} > Δ = {delta} (x={}, y={})",
         relax.lower_at(dv),
         case.xv,
         case.yv
     );
-    prop_assert!(
+    assert!(
         relax.upper_at(dv) >= delta - 1e-9,
         "{kind}: upper line {} < Δ = {delta} (x={}, y={})",
         relax.upper_at(dv),
         case.xv,
         case.yv
     );
-    prop_assert!(
+    assert!(
         concrete.lo() - 1e-9 <= delta && delta <= concrete.hi() + 1e-9,
         "{kind}: concrete {concrete} misses Δ = {delta}"
     );
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn relu_diff_sound_with_full_delta(case in pair_case()) {
+#[test]
+fn relu_diff_sound_with_full_delta() {
+    let mut rng = Rng::new(0xd1_f0);
+    for _ in 0..CASES {
+        let case = pair_case(&mut rng);
         let d = case.x - case.y;
-        check(ActKind::Relu, &case, d)?;
+        check(ActKind::Relu, &case, d);
     }
+}
 
-    #[test]
-    fn relu_diff_sound_with_tight_delta(case in pair_case(), shrink in 0.0f64..0.45) {
-        // Shrink the δ interval symmetrically around the actual difference.
+#[test]
+fn relu_diff_sound_with_tight_delta() {
+    // Shrink the δ interval symmetrically around the actual difference.
+    let mut rng = Rng::new(0xd1_f1);
+    for _ in 0..CASES {
+        let case = pair_case(&mut rng);
+        let shrink = rng.in_range(0.0, 0.45);
         let full = case.x - case.y;
         let dv = case.xv - case.yv;
         let lo = dv - (dv - full.lo()) * (1.0 - shrink);
         let hi = dv + (full.hi() - dv) * (1.0 - shrink);
-        check(ActKind::Relu, &case, Interval::new(lo, hi))?;
+        check(ActKind::Relu, &case, Interval::new(lo, hi));
     }
+}
 
-    #[test]
-    fn sigmoid_diff_sound(case in pair_case()) {
+#[test]
+fn sigmoid_diff_sound() {
+    let mut rng = Rng::new(0xd1_f2);
+    for _ in 0..CASES {
+        let case = pair_case(&mut rng);
         let d = case.x - case.y;
-        check(ActKind::Sigmoid, &case, d)?;
+        check(ActKind::Sigmoid, &case, d);
     }
+}
 
-    #[test]
-    fn tanh_diff_sound(case in pair_case()) {
+#[test]
+fn tanh_diff_sound() {
+    let mut rng = Rng::new(0xd1_f3);
+    for _ in 0..CASES {
+        let case = pair_case(&mut rng);
         let d = case.x - case.y;
-        check(ActKind::Tanh, &case, d)?;
+        check(ActKind::Tanh, &case, d);
     }
+}
 
-    #[test]
-    fn diff_bounds_never_looser_than_lipschitz(case in pair_case()) {
-        // |Δ| ≤ max_slope · |δ| for every activation: the concrete result
-        // must stay inside the scaled-Lipschitz envelope of the δ interval.
+#[test]
+fn leaky_relu_diff_sound() {
+    let mut rng = Rng::new(0xd1_f6);
+    for _ in 0..CASES {
+        let case = pair_case(&mut rng);
+        let d = case.x - case.y;
+        check(ActKind::LeakyRelu, &case, d);
+    }
+}
+
+#[test]
+fn hard_tanh_diff_sound() {
+    let mut rng = Rng::new(0xd1_f7);
+    for _ in 0..CASES {
+        let case = pair_case(&mut rng);
+        let d = case.x - case.y;
+        check(ActKind::HardTanh, &case, d);
+    }
+}
+
+#[test]
+fn diff_bounds_never_looser_than_lipschitz() {
+    // |Δ| ≤ max_slope · |δ| for every activation: the concrete result
+    // must stay inside the scaled-Lipschitz envelope of the δ interval.
+    let mut rng = Rng::new(0xd1_f4);
+    for _ in 0..CASES {
+        let case = pair_case(&mut rng);
         for kind in ActKind::all() {
             let d = case.x - case.y;
             let (_, concrete) = relax_activation_diff(kind, &case.x, &case.y, &d);
@@ -101,24 +142,32 @@ proptest! {
                 (s * d.lo()).min(0.0).min(s * d.hi()),
                 (s * d.hi()).max(0.0).max(s * d.lo()),
             );
-            prop_assert!(
+            assert!(
                 envelope.contains_interval(&concrete)
                     || concrete.width() <= envelope.width() + 1e-9,
                 "{kind}: {concrete} escapes the Lipschitz envelope {envelope}"
             );
         }
     }
+}
 
-    #[test]
-    fn monotone_sign_preservation(case in pair_case()) {
-        // If δ ≥ 0 everywhere then Δ ≥ 0: monotonicity of the activations.
+#[test]
+fn monotone_sign_preservation() {
+    // If δ ≥ 0 everywhere then Δ ≥ 0: monotonicity of the activations.
+    let mut rng = Rng::new(0xd1_f5);
+    for _ in 0..CASES {
+        let case = pair_case(&mut rng);
         let full = case.x - case.y;
-        prop_assume!(full.hi() > 0.0);
+        if full.hi() <= 0.0 {
+            continue;
+        }
         let d = Interval::new(full.lo().max(0.0), full.hi());
-        prop_assume!(!d.is_empty() && d.lo() >= 0.0);
+        if d.is_empty() || d.lo() < 0.0 {
+            continue;
+        }
         for kind in ActKind::all() {
             let (_, concrete) = relax_activation_diff(kind, &case.x, &case.y, &d);
-            prop_assert!(concrete.lo() >= -1e-9, "{kind}: sign lost: {concrete}");
+            assert!(concrete.lo() >= -1e-9, "{kind}: sign lost: {concrete}");
         }
     }
 }

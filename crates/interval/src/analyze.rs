@@ -112,10 +112,7 @@ mod tests {
         let out = affine_image(&w, &b, &input);
         for &x0 in &[-1.0, 1.0] {
             for &x1 in &[0.0, 2.0] {
-                let y = [
-                    1.0 * x0 - 2.0 * x1 + 0.1,
-                    0.5 * x0 + 0.5 * x1 - 0.1,
-                ];
+                let y = [1.0 * x0 - 2.0 * x1 + 0.1, 0.5 * x0 + 0.5 * x1 - 0.1];
                 assert!(out[0].contains(y[0]));
                 assert!(out[1].contains(y[1]));
             }

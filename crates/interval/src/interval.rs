@@ -91,9 +91,23 @@ impl Interval {
         }
     }
 
-    /// Midpoint (NaN for empty or unbounded intervals).
+    /// Midpoint, always finite for non-empty intervals.
+    ///
+    /// Half-unbounded intervals anchor at their finite endpoint and the
+    /// whole line anchors at 0 — `0.5 * (lo + hi)` would produce ±∞ or NaN
+    /// there, which poisons downstream consumers that use `mid` as a
+    /// relaxation anchor point (e.g. the DiffPoly candidate-line selection).
+    /// Empty intervals still return NaN.
     pub fn mid(&self) -> f64 {
-        0.5 * (self.lo + self.hi)
+        if self.is_empty() {
+            return f64::NAN;
+        }
+        match (self.lo.is_finite(), self.hi.is_finite()) {
+            (true, true) => 0.5 * (self.lo + self.hi),
+            (true, false) => self.lo,
+            (false, true) => self.hi,
+            (false, false) => 0.0,
+        }
     }
 
     /// Whether `x` lies inside.
@@ -219,6 +233,18 @@ impl fmt::Display for Interval {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn mid_is_finite_for_any_nonempty_interval() {
+        assert_eq!(Interval::new(-1.0, 3.0).mid(), 1.0);
+        assert_eq!(Interval::point(0.25).mid(), 0.25);
+        // Half-unbounded intervals anchor at the finite endpoint.
+        assert_eq!(Interval::new(2.0, f64::INFINITY).mid(), 2.0);
+        assert_eq!(Interval::new(f64::NEG_INFINITY, -4.0).mid(), -4.0);
+        // The whole line anchors at the origin; empty stays NaN.
+        assert_eq!(Interval::top().mid(), 0.0);
+        assert!(Interval::empty().mid().is_nan());
+    }
 
     #[test]
     fn arithmetic_matches_endpoint_analysis() {

@@ -1,70 +1,112 @@
-//! Property-based soundness tests for interval arithmetic: for any two
+//! Randomized soundness tests for interval arithmetic: for any two
 //! intervals and any points inside them, the interval operation must
 //! contain the pointwise result.
+//!
+//! Driven by the workspace's deterministic [`Rng`] so the suite builds
+//! offline and replays identically on every run.
 
-use proptest::prelude::*;
 use raven_interval::Interval;
+use raven_tensor::Rng;
 
-fn interval_and_point() -> impl Strategy<Value = (Interval, f64)> {
-    (-50.0f64..50.0, 0.0f64..20.0, 0.0f64..1.0).prop_map(|(lo, width, t)| {
-        let iv = Interval::new(lo, lo + width);
-        (iv, lo + width * t)
-    })
+const CASES: usize = 128;
+
+fn interval_and_point(rng: &mut Rng) -> (Interval, f64) {
+    let lo = rng.in_range(-50.0, 50.0);
+    let width = rng.in_range(0.0, 20.0);
+    let t = rng.uniform();
+    (Interval::new(lo, lo + width), lo + width * t)
 }
 
-proptest! {
-    #[test]
-    fn add_contains_pointwise((a, x) in interval_and_point(), (b, y) in interval_and_point()) {
-        prop_assert!((a + b).contains(x + y));
+#[test]
+fn add_contains_pointwise() {
+    let mut rng = Rng::new(0x1_f0);
+    for _ in 0..CASES {
+        let (a, x) = interval_and_point(&mut rng);
+        let (b, y) = interval_and_point(&mut rng);
+        assert!((a + b).contains(x + y));
     }
+}
 
-    #[test]
-    fn sub_contains_pointwise((a, x) in interval_and_point(), (b, y) in interval_and_point()) {
-        prop_assert!((a - b).contains(x - y));
+#[test]
+fn sub_contains_pointwise() {
+    let mut rng = Rng::new(0x1_f1);
+    for _ in 0..CASES {
+        let (a, x) = interval_and_point(&mut rng);
+        let (b, y) = interval_and_point(&mut rng);
+        assert!((a - b).contains(x - y));
     }
+}
 
-    #[test]
-    fn mul_contains_pointwise((a, x) in interval_and_point(), (b, y) in interval_and_point()) {
+#[test]
+fn mul_contains_pointwise() {
+    let mut rng = Rng::new(0x1_f2);
+    for _ in 0..CASES {
+        let (a, x) = interval_and_point(&mut rng);
+        let (b, y) = interval_and_point(&mut rng);
         let prod = a * b;
         // Allow a relative epsilon for rounding of the products.
         let tol = 1e-9 * (1.0 + (x * y).abs());
-        prop_assert!(prod.lo() - tol <= x * y && x * y <= prod.hi() + tol);
+        assert!(prod.lo() - tol <= x * y && x * y <= prod.hi() + tol);
     }
+}
 
-    #[test]
-    fn scalar_mul_contains_pointwise((a, x) in interval_and_point(), k in -10.0f64..10.0) {
+#[test]
+fn scalar_mul_contains_pointwise() {
+    let mut rng = Rng::new(0x1_f3);
+    for _ in 0..CASES {
+        let (a, x) = interval_and_point(&mut rng);
+        let k = rng.in_range(-10.0, 10.0);
         let tol = 1e-9 * (1.0 + (k * x).abs());
         let scaled = a * k;
-        prop_assert!(scaled.lo() - tol <= k * x && k * x <= scaled.hi() + tol);
+        assert!(scaled.lo() - tol <= k * x && k * x <= scaled.hi() + tol);
     }
+}
 
-    #[test]
-    fn hull_contains_both((a, x) in interval_and_point(), (b, y) in interval_and_point()) {
+#[test]
+fn hull_contains_both() {
+    let mut rng = Rng::new(0x1_f4);
+    for _ in 0..CASES {
+        let (a, x) = interval_and_point(&mut rng);
+        let (b, y) = interval_and_point(&mut rng);
         let h = a.hull(&b);
-        prop_assert!(h.contains(x) && h.contains(y));
-        prop_assert!(h.contains_interval(&a) && h.contains_interval(&b));
+        assert!(h.contains(x) && h.contains(y));
+        assert!(h.contains_interval(&a) && h.contains_interval(&b));
     }
+}
 
-    #[test]
-    fn intersect_is_largest_common((a, _) in interval_and_point(), (b, _) in interval_and_point()) {
+#[test]
+fn intersect_is_largest_common() {
+    let mut rng = Rng::new(0x1_f5);
+    for _ in 0..CASES {
+        let (a, _) = interval_and_point(&mut rng);
+        let (b, _) = interval_and_point(&mut rng);
         let i = a.intersect(&b);
         if !i.is_empty() {
-            prop_assert!(a.contains_interval(&i) && b.contains_interval(&i));
-            prop_assert!(i.width() <= a.width() + 1e-12);
-            prop_assert!(i.width() <= b.width() + 1e-12);
+            assert!(a.contains_interval(&i) && b.contains_interval(&i));
+            assert!(i.width() <= a.width() + 1e-12);
+            assert!(i.width() <= b.width() + 1e-12);
         }
     }
+}
 
-    #[test]
-    fn neg_is_involutive((a, x) in interval_and_point()) {
-        prop_assert!((-(-a)).contains(x));
-        prop_assert_eq!(-(-a), a);
+#[test]
+fn neg_is_involutive() {
+    let mut rng = Rng::new(0x1_f6);
+    for _ in 0..CASES {
+        let (a, x) = interval_and_point(&mut rng);
+        assert!((-(-a)).contains(x));
+        assert_eq!(-(-a), a);
     }
+}
 
-    #[test]
-    fn width_is_nonnegative_and_additive((a, _) in interval_and_point(), (b, _) in interval_and_point()) {
-        prop_assert!(a.width() >= 0.0);
+#[test]
+fn width_is_nonnegative_and_additive() {
+    let mut rng = Rng::new(0x1_f7);
+    for _ in 0..CASES {
+        let (a, _) = interval_and_point(&mut rng);
+        let (b, _) = interval_and_point(&mut rng);
+        assert!(a.width() >= 0.0);
         let sum_w = (a + b).width();
-        prop_assert!((sum_w - (a.width() + b.width())).abs() < 1e-9 * (1.0 + sum_w));
+        assert!((sum_w - (a.width() + b.width())).abs() < 1e-9 * (1.0 + sum_w));
     }
 }

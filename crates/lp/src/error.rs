@@ -44,7 +44,9 @@ mod tests {
 
     #[test]
     fn display_mentions_limits() {
-        assert!(LpError::IterationLimit { limit: 5 }.to_string().contains('5'));
+        assert!(LpError::IterationLimit { limit: 5 }
+            .to_string()
+            .contains('5'));
         assert!(LpError::NodeLimit { limit: 9 }.to_string().contains('9'));
     }
 }

@@ -258,7 +258,9 @@ impl LpProblem {
     /// Adds the constraint `expr (sense) rhs`.
     pub fn add_constraint(&mut self, expr: LinExpr, sense: Sense, rhs: f64) {
         debug_assert!(
-            expr.terms().iter().all(|&(v, c)| v.0 < self.num_vars() && c.is_finite()),
+            expr.terms()
+                .iter()
+                .all(|&(v, c)| v.0 < self.num_vars() && c.is_finite()),
             "constraint references unknown variable or non-finite coefficient"
         );
         self.rows.push(Row {

@@ -179,8 +179,14 @@ pub fn presolve(problem: &mut LpProblem, rounds: usize) -> PresolveReport {
                             new_hi = new_hi.min(limit);
                         }
                     }
-                    if tighten(&mut problem.bounds, v.index(), new_lo, new_hi, tol, &mut report)
-                    {
+                    if tighten(
+                        &mut problem.bounds,
+                        v.index(),
+                        new_lo,
+                        new_hi,
+                        tol,
+                        &mut report,
+                    ) {
                         changed = true;
                     }
                     if report.infeasible {

@@ -448,7 +448,13 @@ impl<'a> Tableau<'a> {
     /// and blocking row (`None` for a bound flip); `Err(())` when the
     /// direction is unbounded.
     #[allow(clippy::result_unit_err)]
-    fn ratio_test(&self, j: usize, dir: f64, w: &[f64], bland: bool) -> Result<(f64, Option<usize>), ()> {
+    fn ratio_test(
+        &self,
+        j: usize,
+        dir: f64,
+        w: &[f64],
+        bland: bool,
+    ) -> Result<(f64, Option<usize>), ()> {
         let own = self.upper[j] - self.lower[j];
         let own = if own.is_finite() { own } else { f64::INFINITY };
         let relax = if bland { 0.0 } else { self.opts.tol };

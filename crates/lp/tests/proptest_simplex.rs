@@ -1,10 +1,15 @@
-//! Property-based tests of the simplex solver: on randomly generated LPs
-//! the solver's answer must be feasible and at least as good as any sampled
+//! Randomized tests of the simplex solver: on randomly generated LPs the
+//! solver's answer must be feasible and at least as good as any sampled
 //! feasible point, and structural invariants (duality-style sandwiches,
 //! monotonicity under constraint addition) must hold.
+//!
+//! Driven by the workspace's deterministic [`Rng`] so the suite builds
+//! offline and replays identically on every run.
 
-use proptest::prelude::*;
 use raven_lp::{Direction, LinExpr, LpProblem, Sense, SolveStatus};
+use raven_tensor::Rng;
+
+const CASES: usize = 64;
 
 #[derive(Debug, Clone)]
 struct RandomLp {
@@ -13,32 +18,35 @@ struct RandomLp {
     objective: Vec<f64>,
 }
 
-fn random_lp() -> impl Strategy<Value = RandomLp> {
-    (2usize..6, 1usize..8).prop_flat_map(|(n, m)| {
-        let bounds = proptest::collection::vec((-5.0f64..0.0, 0.0f64..5.0), n);
-        let rows = proptest::collection::vec(
-            (proptest::collection::vec(-3.0f64..3.0, n), 0.5f64..10.0),
-            m,
-        );
-        let objective = proptest::collection::vec(-2.0f64..2.0, n);
-        let _ = n;
-        (bounds, rows, objective).prop_map(|(bounds, rows, objective)| RandomLp {
-            bounds,
-            rows,
-            objective,
+fn random_lp(rng: &mut Rng) -> RandomLp {
+    let n = 2 + rng.below(4);
+    let m = 1 + rng.below(7);
+    let bounds: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.in_range(-5.0, 0.0), rng.in_range(0.0, 5.0)))
+        .collect();
+    let rows: Vec<(Vec<f64>, f64)> = (0..m)
+        .map(|_| {
+            let coeffs: Vec<f64> = (0..n).map(|_| rng.in_range(-3.0, 3.0)).collect();
+            (coeffs, rng.in_range(0.5, 10.0))
         })
-    })
+        .collect();
+    let objective: Vec<f64> = (0..n).map(|_| rng.in_range(-2.0, 2.0)).collect();
+    RandomLp {
+        bounds,
+        rows,
+        objective,
+    }
 }
 
 fn build(lp: &RandomLp) -> (LpProblem, Vec<raven_lp::VarId>) {
     let mut p = LpProblem::new();
-    let vars: Vec<_> = lp.bounds.iter().map(|&(lo, hi)| p.add_var(lo, hi)).collect();
+    let vars: Vec<_> = lp
+        .bounds
+        .iter()
+        .map(|&(lo, hi)| p.add_var(lo, hi))
+        .collect();
     for (coeffs, rhs) in &lp.rows {
-        let row: LinExpr = vars
-            .iter()
-            .zip(coeffs)
-            .map(|(&v, &c)| (v, c))
-            .collect();
+        let row: LinExpr = vars.iter().zip(coeffs).map(|(&v, &c)| (v, c)).collect();
         // rhs > 0 and x = 0 is inside every box, so 0 is always feasible:
         // the LP can never be infeasible and never unbounded (boxed vars).
         p.add_constraint(row, Sense::Le, *rhs);
@@ -52,33 +60,42 @@ fn build(lp: &RandomLp) -> (LpProblem, Vec<raven_lp::VarId>) {
     (p, vars)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn optimal_solutions_are_feasible_and_dominant(lp in random_lp(), samples in proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, 2..6), 8)) {
+#[test]
+fn optimal_solutions_are_feasible_and_dominant() {
+    let mut rng = Rng::new(0x19_00);
+    for _ in 0..CASES {
+        let lp = random_lp(&mut rng);
         let (p, _) = build(&lp);
         let sol = p.solve().expect("solve succeeds");
-        prop_assert_eq!(sol.status, SolveStatus::Optimal);
-        prop_assert!(p.is_feasible(&sol.values, 1e-5), "returned point infeasible");
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!(
+            p.is_feasible(&sol.values, 1e-5),
+            "returned point infeasible"
+        );
         // No sampled feasible point may beat the reported optimum.
-        for s in &samples {
+        for _ in 0..8 {
             let x: Vec<f64> = lp
                 .bounds
                 .iter()
-                .enumerate()
-                .map(|(i, &(lo, hi))| lo + (hi - lo) * s[i % s.len()])
+                .map(|&(lo, hi)| lo + (hi - lo) * rng.uniform())
                 .collect();
             if p.is_feasible(&x, 1e-9) {
                 let val: f64 = x.iter().zip(&lp.objective).map(|(a, b)| a * b).sum();
-                prop_assert!(val <= sol.objective + 1e-5,
-                    "sampled feasible point {val} beats optimum {}", sol.objective);
+                assert!(
+                    val <= sol.objective + 1e-5,
+                    "sampled feasible point {val} beats optimum {}",
+                    sol.objective
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn adding_constraints_never_improves_the_optimum(lp in random_lp()) {
+#[test]
+fn adding_constraints_never_improves_the_optimum() {
+    let mut rng = Rng::new(0x19_01);
+    for _ in 0..CASES {
+        let lp = random_lp(&mut rng);
         let (p, vars) = build(&lp);
         let base = p.solve().expect("solve succeeds").objective;
         let mut tightened = p.clone();
@@ -86,13 +103,20 @@ proptest! {
         tightened.add_constraint(cut, Sense::Le, 1.0);
         let t = tightened.solve().expect("solve succeeds");
         if t.status == SolveStatus::Optimal {
-            prop_assert!(t.objective <= base + 1e-6,
-                "tightened {} > base {base}", t.objective);
+            assert!(
+                t.objective <= base + 1e-6,
+                "tightened {} > base {base}",
+                t.objective
+            );
         }
     }
+}
 
-    #[test]
-    fn minimize_is_negated_maximize(lp in random_lp()) {
+#[test]
+fn minimize_is_negated_maximize() {
+    let mut rng = Rng::new(0x19_02);
+    for _ in 0..CASES {
+        let lp = random_lp(&mut rng);
         let (p, vars) = build(&lp);
         let max = p.solve().expect("solve succeeds").objective;
         let mut q = p.clone();
@@ -103,29 +127,40 @@ proptest! {
             .collect();
         q.set_objective(Direction::Minimize, neg_obj);
         let min = q.solve().expect("solve succeeds").objective;
-        prop_assert!((max + min).abs() < 1e-5, "max {max} vs min {min}");
+        assert!((max + min).abs() < 1e-5, "max {max} vs min {min}");
     }
+}
 
-    #[test]
-    fn presolve_preserves_the_optimum(lp in random_lp()) {
+#[test]
+fn presolve_preserves_the_optimum() {
+    let mut rng = Rng::new(0x19_03);
+    for _ in 0..CASES {
+        let lp = random_lp(&mut rng);
         let (p, _) = build(&lp);
         let baseline = p.solve().expect("solves").objective;
         let mut q = p.clone();
         let report = raven_lp::presolve(&mut q, 4);
-        prop_assert!(!report.infeasible, "feasible LP declared infeasible");
+        assert!(!report.infeasible, "feasible LP declared infeasible");
         let presolved = q.solve().expect("solves");
-        prop_assert_eq!(presolved.status, SolveStatus::Optimal);
-        prop_assert!(
+        assert_eq!(presolved.status, SolveStatus::Optimal);
+        assert!(
             (presolved.objective - baseline).abs() < 1e-5,
-            "presolve changed optimum: {} vs {baseline}", presolved.objective
+            "presolve changed optimum: {} vs {baseline}",
+            presolved.objective
         );
         // The presolved solution remains feasible for the original problem.
-        prop_assert!(p.is_feasible(&presolved.values, 1e-5));
+        assert!(p.is_feasible(&presolved.values, 1e-5));
     }
+}
 
-    #[test]
-    fn milp_bound_is_within_lp_relaxation(coeffs in proptest::collection::vec(0.5f64..3.0, 3..7), cap in 2.0f64..6.0) {
-        // Knapsack-style: max Σ x_i st Σ c_i x_i ≤ cap, binaries.
+#[test]
+fn milp_bound_is_within_lp_relaxation() {
+    // Knapsack-style: max Σ x_i st Σ c_i x_i ≤ cap, binaries.
+    let mut rng = Rng::new(0x19_04);
+    for _ in 0..CASES {
+        let n = 3 + rng.below(4);
+        let coeffs: Vec<f64> = (0..n).map(|_| rng.in_range(0.5, 3.0)).collect();
+        let cap = rng.in_range(2.0, 6.0);
         let mut p = LpProblem::new();
         let vars: Vec<_> = coeffs.iter().map(|_| p.add_binary_var()).collect();
         let row: LinExpr = vars.iter().zip(&coeffs).map(|(&v, &c)| (v, c)).collect();
@@ -134,12 +169,12 @@ proptest! {
         p.set_objective(Direction::Maximize, obj);
         let relax = p.solve().expect("lp solves").objective;
         let exact = p.solve_milp().expect("milp solves");
-        prop_assert!(exact.status == SolveStatus::Optimal);
-        prop_assert!(exact.objective <= relax + 1e-6);
+        assert!(exact.status == SolveStatus::Optimal);
+        assert!(exact.objective <= relax + 1e-6);
         // The incumbent is integral and feasible.
         for &v in &exact.values {
-            prop_assert!((v - v.round()).abs() < 1e-6);
+            assert!((v - v.round()).abs() < 1e-6);
         }
-        prop_assert!(p.is_feasible(&exact.values, 1e-6));
+        assert!(p.is_feasible(&exact.values, 1e-6));
     }
 }

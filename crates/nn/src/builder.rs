@@ -1,5 +1,5 @@
 use crate::{ActKind, BatchNorm, Conv2d, Dense, Layer, Network};
-use raven_tensor::Matrix;
+use raven_tensor::{Matrix, Rng};
 
 /// Incremental constructor for [`Network`]s.
 ///
@@ -57,14 +57,14 @@ impl NetworkBuilder {
     pub fn dense(mut self, out_dim: usize, seed: u64) -> Self {
         let in_dim = self.width;
         let scale = (2.0 / in_dim as f64).sqrt();
-        let mut rng = SplitMix::new(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut rng = Rng::new(seed ^ 0x9e37_79b9_7f4a_7c15);
         let mut w = Matrix::zeros(out_dim, in_dim);
         for i in 0..out_dim {
             for j in 0..in_dim {
-                w.set(i, j, rng.next_gaussian() * scale);
+                w.set(i, j, rng.gaussian() * scale);
             }
         }
-        let bias: Vec<f64> = (0..out_dim).map(|_| rng.next_gaussian() * 0.01).collect();
+        let bias: Vec<f64> = (0..out_dim).map(|_| rng.gaussian() * 0.01).collect();
         self.width = out_dim;
         self.layers.push(Layer::Dense(Dense::new(w, bias)));
         self
@@ -96,11 +96,11 @@ impl NetworkBuilder {
         );
         let fan_in = (in_channels * kh * kw) as f64;
         let scale = (2.0 / fan_in).sqrt();
-        let mut rng = SplitMix::new(seed ^ 0xbf58_476d_1ce4_e5b9);
+        let mut rng = Rng::new(seed ^ 0xbf58_476d_1ce4_e5b9);
         let weight: Vec<f64> = (0..out_channels * in_channels * kh * kw)
-            .map(|_| rng.next_gaussian() * scale)
+            .map(|_| rng.gaussian() * scale)
             .collect();
-        let bias: Vec<f64> = (0..out_channels).map(|_| rng.next_gaussian() * 0.01).collect();
+        let bias: Vec<f64> = (0..out_channels).map(|_| rng.gaussian() * 0.01).collect();
         let conv = Conv2d::new(
             in_channels,
             in_h,
@@ -159,48 +159,6 @@ impl NetworkBuilder {
     }
 }
 
-/// Tiny deterministic PRNG (splitmix64 + Box–Muller) used only for
-/// reproducible weight initialization inside the builder.
-#[derive(Debug, Clone)]
-struct SplitMix {
-    state: u64,
-    spare: Option<f64>,
-}
-
-impl SplitMix {
-    fn new(seed: u64) -> Self {
-        Self {
-            state: seed,
-            spare: None,
-        }
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
-    fn next_uniform(&mut self) -> f64 {
-        // (0, 1]: avoids log(0) below.
-        ((self.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64
-    }
-
-    fn next_gaussian(&mut self) -> f64 {
-        if let Some(s) = self.spare.take() {
-            return s;
-        }
-        let u1 = self.next_uniform();
-        let u2 = self.next_uniform();
-        let r = (-2.0 * u1.ln()).sqrt();
-        let theta = 2.0 * std::f64::consts::PI * u2;
-        self.spare = Some(r * theta.sin());
-        r * theta.cos()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,16 +187,5 @@ mod tests {
     #[should_panic(expected = "input width mismatch")]
     fn dense_from_validates_width() {
         let _ = NetworkBuilder::new(3).dense_from(&[&[1.0, 2.0]], &[0.0]);
-    }
-
-    #[test]
-    fn gaussian_init_has_reasonable_moments() {
-        let mut rng = SplitMix::new(7);
-        let n = 20_000;
-        let xs: Vec<f64> = (0..n).map(|_| rng.next_gaussian()).collect();
-        let mean = xs.iter().sum::<f64>() / n as f64;
-        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
-        assert!(mean.abs() < 0.03, "mean {mean}");
-        assert!((var - 1.0).abs() < 0.05, "var {var}");
     }
 }

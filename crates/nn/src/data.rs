@@ -9,8 +9,7 @@
 //! topology, input dimension, and perturbation radius — all of which these
 //! datasets exercise identically — not on pixel provenance. See `DESIGN.md`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use raven_tensor::Rng;
 
 /// A labelled classification dataset with flat `f64` feature vectors.
 ///
@@ -112,7 +111,7 @@ fn synth_grid(
     assert!(num_classes >= 2, "need at least two classes");
     assert!(side >= 2, "grid side must be at least 2");
     let dim = channels * side * side;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     // Class prototypes: smooth low-frequency fields (random sinusoid mixes),
     // so the ±1-pixel shift below keeps samples close to their prototype.
     // Distinct integer frequency pairs per class keep prototypes
@@ -137,13 +136,12 @@ fn synth_grid(
             let (fr, fc) = freqs[class];
             let mut proto = vec![0.0; dim];
             for ch in 0..channels {
-                let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+                let phase = rng.in_range(0.0, std::f64::consts::TAU);
                 for r in 0..side {
                     for c in 0..side {
                         let u = fr * r as f64 / side as f64 * std::f64::consts::TAU;
                         let v = fc * c as f64 / side as f64 * std::f64::consts::TAU;
-                        proto[(ch * side + r) * side + c] =
-                            0.5 + 0.4 * (u + v + phase).sin();
+                        proto[(ch * side + r) * side + c] = 0.5 + 0.4 * (u + v + phase).sin();
                     }
                 }
             }
@@ -156,8 +154,8 @@ fn synth_grid(
         let label = i % num_classes;
         // Structured variation: blend a little of the ±1-pixel shifted
         // prototype into the sample (a soft sub-pixel shift), plus noise.
-        let dr = rng.gen_range(-1isize..=1);
-        let dc = rng.gen_range(-1isize..=1);
+        let dr = rng.below(3) as isize - 1;
+        let dc = rng.below(3) as isize - 1;
         let alpha = 0.25;
         let mut x = vec![0.0; dim];
         for ch in 0..channels {
@@ -167,7 +165,7 @@ fn synth_grid(
                     let sc = (c as isize + dc).rem_euclid(side as isize) as usize;
                     let base = prototypes[label][(ch * side + r) * side + c];
                     let shifted = prototypes[label][(ch * side + sr) * side + sc];
-                    let v = (1.0 - alpha) * base + alpha * shifted + noise * gaussian(&mut rng);
+                    let v = (1.0 - alpha) * base + alpha * shifted + noise * rng.gaussian();
                     x[(ch * side + r) * side + c] = v.clamp(0.0, 1.0);
                 }
             }
@@ -207,17 +205,16 @@ pub fn synth_credit(n: usize, noise: f64, seed: u64) -> (Dataset, CreditSpec) {
         decreasing: vec![3, 4],
         dim,
     };
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let mut inputs = Vec::with_capacity(n);
     let mut labels = Vec::with_capacity(n);
     for _ in 0..n {
-        let x: Vec<f64> = (0..dim).map(|_| rng.gen::<f64>()).collect();
+        let x: Vec<f64> = (0..dim).map(|_| rng.uniform()).collect();
         // Monotone score: increasing in x0..x2, decreasing in x3, x4;
         // x5 is a nuisance feature entering through a bounded nonlinearity.
-        let score = 1.2 * x[0] + 0.8 * x[1] + 1.5 * x[2].powi(2) - 1.0 * x[3]
-            - 0.7 * x[4].sqrt()
+        let score = 1.2 * x[0] + 0.8 * x[1] + 1.5 * x[2].powi(2) - 1.0 * x[3] - 0.7 * x[4].sqrt()
             + 0.3 * (3.0 * x[5]).sin()
-            + noise * gaussian(&mut rng);
+            + noise * rng.gaussian();
         inputs.push(x);
         labels.push(usize::from(score > 0.9));
     }
@@ -232,13 +229,6 @@ pub fn synth_credit(n: usize, noise: f64, seed: u64) -> (Dataset, CreditSpec) {
     )
 }
 
-fn gaussian(rng: &mut StdRng) -> f64 {
-    // Box–Muller on two uniforms from the seeded RNG.
-    let u1: f64 = rng.gen_range(1e-12..1.0);
-    let u2: f64 = rng.gen::<f64>();
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,11 +238,7 @@ mod tests {
         let a = synth_digits(5, 3, 60, 0.1, 11);
         let b = synth_digits(5, 3, 60, 0.1, 11);
         assert_eq!(a, b);
-        assert!(a
-            .inputs
-            .iter()
-            .flatten()
-            .all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(a.inputs.iter().flatten().all(|&v| (0.0..=1.0).contains(&v)));
         let c = synth_digits(5, 3, 60, 0.1, 12);
         assert_ne!(a, c);
     }

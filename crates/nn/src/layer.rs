@@ -227,12 +227,8 @@ impl Conv2d {
                     for ic in 0..self.in_channels {
                         for kr in 0..self.kh {
                             for kc in 0..self.kw {
-                                let v = self.in_at(
-                                    x,
-                                    ic,
-                                    base_r + kr as isize,
-                                    base_c + kc as isize,
-                                );
+                                let v =
+                                    self.in_at(x, ic, base_r + kr as isize, base_c + kc as isize);
                                 if v != 0.0 {
                                     acc += self.w_at(oc, ic, kr, kc) * v;
                                 }
@@ -275,8 +271,7 @@ impl Conv2d {
                                 {
                                     continue;
                                 }
-                                let in_idx =
-                                    (ic * self.in_h + r as usize) * self.in_w + c as usize;
+                                let in_idx = (ic * self.in_h + r as usize) * self.in_w + c as usize;
                                 m.set(out_idx, in_idx, self.w_at(oc, ic, kr, kc));
                             }
                         }
@@ -481,7 +476,10 @@ mod tests {
 
     #[test]
     fn dense_forward_is_affine() {
-        let d = Dense::new(Matrix::from_rows(&[&[1.0, 2.0], &[0.0, -1.0]]), vec![1.0, 2.0]);
+        let d = Dense::new(
+            Matrix::from_rows(&[&[1.0, 2.0], &[0.0, -1.0]]),
+            vec![1.0, 2.0],
+        );
         assert_eq!(d.forward(&[1.0, 1.0]), vec![4.0, 1.0]);
         assert_eq!(d.in_dim(), 2);
         assert_eq!(d.out_dim(), 2);

@@ -212,10 +212,7 @@ mod tests {
 
     fn toy_net() -> Network {
         NetworkBuilder::new(3)
-            .dense_from(
-                &[&[1.0, 0.0, -1.0], &[0.5, 0.5, 0.5]],
-                &[0.0, 1.0],
-            )
+            .dense_from(&[&[1.0, 0.0, -1.0], &[0.5, 0.5, 0.5]], &[0.0, 1.0])
             .activation(ActKind::Relu)
             .dense_from(&[&[2.0, -1.0]], &[0.0])
             .build()

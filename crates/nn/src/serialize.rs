@@ -232,7 +232,9 @@ pub fn parse_network(text: &str) -> Result<Network, NnError> {
                 let mean = parse_floats(mln, mrow, dim)?;
                 let (vln, vrow) = lines.expect()?;
                 let var = parse_floats(vln, vrow, dim)?;
-                layers.push(Layer::BatchNorm(BatchNorm::new(gamma, beta, mean, var, eps)));
+                layers.push(Layer::BatchNorm(BatchNorm::new(
+                    gamma, beta, mean, var, eps,
+                )));
             }
             Some("act") => {
                 let name = parts.next().unwrap_or("");

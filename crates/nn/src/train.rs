@@ -7,10 +7,7 @@
 
 use crate::data::Dataset;
 use crate::{Layer, Network};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use raven_tensor::Matrix;
+use raven_tensor::{Matrix, Rng};
 
 /// Configuration for [`train_classifier`].
 #[derive(Debug, Clone, PartialEq)]
@@ -151,9 +148,7 @@ fn backprop(net: &Network, x: &[f64], label: usize, grads: &mut [LayerGrad]) -> 
                 }
                 d.weight().matvec_t(&grad)
             }
-            (Layer::Conv(c), LayerGrad::Conv { dw, db }) => {
-                conv_backward(c, input, &grad, dw, db)
-            }
+            (Layer::Conv(c), LayerGrad::Conv { dw, db }) => conv_backward(c, input, &grad, dw, db),
             (Layer::Act(a), LayerGrad::None) => grad
                 .iter()
                 .zip(input)
@@ -282,12 +277,12 @@ fn apply_grads(net: &mut Network, grads: &[LayerGrad], lr: f64, batch: usize) {
 pub fn train_classifier(net: &mut Network, ds: &Dataset, cfg: &TrainConfig) -> TrainReport {
     assert!(!ds.is_empty(), "cannot train on an empty dataset");
     assert_eq!(ds.input_dim, net.input_dim(), "dataset width mismatch");
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::new(cfg.seed);
     let mut order: Vec<usize> = (0..ds.len()).collect();
     let mut last_epoch_loss = 0.0;
     let mut velocity = (cfg.momentum != 0.0).then(|| zero_grads(net));
     for _ in 0..cfg.epochs {
-        order.shuffle(&mut rng);
+        rng.shuffle(&mut order);
         let mut epoch_loss = 0.0;
         for chunk in order.chunks(cfg.batch_size.max(1)) {
             let mut grads = zero_grads(net);
@@ -351,7 +346,11 @@ mod tests {
             let mut dn = logits;
             dn[i] -= h;
             let fd = (cross_entropy(&up, 1).0 - cross_entropy(&dn, 1).0) / (2.0 * h);
-            assert!((fd - grad[i]).abs() < 1e-6, "coord {i}: {fd} vs {}", grad[i]);
+            assert!(
+                (fd - grad[i]).abs() < 1e-6,
+                "coord {i}: {fd} vs {}",
+                grad[i]
+            );
         }
     }
 

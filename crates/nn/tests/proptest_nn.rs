@@ -1,51 +1,57 @@
-//! Property-based tests for the network substrate: serialization
-//! roundtrips, conv/affine lowering equivalence, and training-facing
-//! numerical identities on randomized architectures.
+//! Randomized tests for the network substrate: serialization roundtrips,
+//! conv/affine lowering equivalence, and training-facing numerical
+//! identities on randomized architectures.
+//!
+//! Driven by the workspace's deterministic [`Rng`] so the suite builds
+//! offline and replays identically on every run.
 
-use proptest::prelude::*;
 use raven_nn::{network_to_string, parse_network, ActKind, Conv2d, NetworkBuilder};
+use raven_tensor::Rng;
 
-fn act() -> impl Strategy<Value = ActKind> {
-    prop_oneof![
-        Just(ActKind::Relu),
-        Just(ActKind::Sigmoid),
-        Just(ActKind::Tanh),
-        Just(ActKind::LeakyRelu),
-        Just(ActKind::HardTanh),
-    ]
+const CASES: usize = 64;
+
+fn act(rng: &mut Rng) -> ActKind {
+    ActKind::all()[rng.below(ActKind::all().len())]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn serialization_roundtrips_random_mlps(
-        input in 1usize..6,
-        widths in proptest::collection::vec(1usize..6, 1..4),
-        kinds in proptest::collection::vec(act(), 3),
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn serialization_roundtrips_random_mlps() {
+    let mut rng = Rng::new(0x22_00);
+    for _ in 0..CASES {
+        let input = 1 + rng.below(5);
+        let depth = 1 + rng.below(3);
+        let widths: Vec<usize> = (0..depth).map(|_| 1 + rng.below(5)).collect();
+        let kinds: Vec<ActKind> = (0..3).map(|_| act(&mut rng)).collect();
+        let seed = rng.below(1000) as u64;
         let mut b = NetworkBuilder::new(input);
         for (i, &w) in widths.iter().enumerate() {
-            b = b.dense(w, seed + i as u64).activation(kinds[i % kinds.len()]);
+            b = b
+                .dense(w, seed + i as u64)
+                .activation(kinds[i % kinds.len()]);
         }
         let net = b.dense(2, seed + 99).build();
         let back = parse_network(&network_to_string(&net)).expect("roundtrip parses");
-        prop_assert_eq!(net, back);
+        assert_eq!(net, back);
     }
+}
 
-    #[test]
-    fn conv_forward_equals_affine_lowering(
-        in_c in 1usize..3,
-        side in 2usize..5,
-        out_c in 1usize..4,
-        k in 1usize..3,
-        pad in 0usize..2,
-        seed in 0u64..500,
-    ) {
-        prop_assume!(side + 2 * pad >= k);
+#[test]
+fn conv_forward_equals_affine_lowering() {
+    let mut rng = Rng::new(0x22_01);
+    for _ in 0..CASES {
+        let in_c = 1 + rng.below(2);
+        let side = 2 + rng.below(3);
+        let out_c = 1 + rng.below(3);
+        let k = 1 + rng.below(2);
+        let pad = rng.below(2);
+        let seed = rng.below(500) as u64;
+        if side + 2 * pad < k {
+            continue;
+        }
         let wlen = out_c * in_c * k * k;
-        let weight: Vec<f64> = (0..wlen).map(|i| ((i as f64 + seed as f64) * 0.731).sin()).collect();
+        let weight: Vec<f64> = (0..wlen)
+            .map(|i| ((i as f64 + seed as f64) * 0.731).sin())
+            .collect();
         let bias: Vec<f64> = (0..out_c).map(|i| (i as f64 * 0.17) - 0.3).collect();
         let conv = Conv2d::new(in_c, side, side, out_c, k, k, 1, pad, weight, bias);
         let x: Vec<f64> = (0..conv.in_dim())
@@ -57,55 +63,73 @@ proptest! {
         for (l, bi) in lowered.iter_mut().zip(&b) {
             *l += bi;
         }
-        prop_assert_eq!(direct.len(), lowered.len());
+        assert_eq!(direct.len(), lowered.len());
         for (d, l) in direct.iter().zip(&lowered) {
-            prop_assert!((d - l).abs() < 1e-9, "{d} vs {l}");
+            assert!((d - l).abs() < 1e-9, "{d} vs {l}");
         }
     }
+}
 
-    #[test]
-    fn plan_forward_equals_network_forward(
-        input in 2usize..5,
-        hidden in 1usize..6,
-        kind in act(),
-        seed in 0u64..500,
-        x_raw in proptest::collection::vec(-1.0f64..1.0, 2..5),
-    ) {
-        prop_assume!(x_raw.len() >= input);
+#[test]
+fn plan_forward_equals_network_forward() {
+    let mut rng = Rng::new(0x22_02);
+    for _ in 0..CASES {
+        let input = 2 + rng.below(3);
+        let hidden = 1 + rng.below(5);
+        let kind = act(&mut rng);
+        let seed = rng.below(500) as u64;
+        let x: Vec<f64> = (0..input).map(|_| rng.in_range(-1.0, 1.0)).collect();
         let net = NetworkBuilder::new(input)
             .dense(hidden, seed)
             .activation(kind)
             .dense(3, seed + 1)
             .build();
         let plan = net.to_plan();
-        let x = &x_raw[..input];
-        let a = net.forward(x);
-        let b = plan.forward(x);
+        let a = net.forward(&x);
+        let b = plan.forward(&x);
         for (u, v) in a.iter().zip(&b) {
-            prop_assert!((u - v).abs() < 1e-10);
+            assert!((u - v).abs() < 1e-10);
         }
     }
+}
 
-    #[test]
-    fn softmax_is_shift_invariant(logits in proptest::collection::vec(-10.0f64..10.0, 2..6), shift in -5.0f64..5.0) {
+#[test]
+fn softmax_is_shift_invariant() {
+    let mut rng = Rng::new(0x22_03);
+    for _ in 0..CASES {
+        let n = 2 + rng.below(4);
+        let logits: Vec<f64> = (0..n).map(|_| rng.in_range(-10.0, 10.0)).collect();
+        let shift = rng.in_range(-5.0, 5.0);
         let p = raven_nn::train::softmax(&logits);
         let shifted: Vec<f64> = logits.iter().map(|z| z + shift).collect();
         let q = raven_nn::train::softmax(&shifted);
         for (a, b) in p.iter().zip(&q) {
-            prop_assert!((a - b).abs() < 1e-12);
+            assert!((a - b).abs() < 1e-12);
         }
-        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn activations_are_monotone(kind in act(), a in -10.0f64..10.0, b in -10.0f64..10.0) {
+#[test]
+fn activations_are_monotone() {
+    let mut rng = Rng::new(0x22_04);
+    for _ in 0..CASES {
+        let kind = act(&mut rng);
+        let a = rng.in_range(-10.0, 10.0);
+        let b = rng.in_range(-10.0, 10.0);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(kind.eval(lo) <= kind.eval(hi) + 1e-15);
+        assert!(kind.eval(lo) <= kind.eval(hi) + 1e-15);
     }
+}
 
-    #[test]
-    fn activations_are_lipschitz(kind in act(), a in -10.0f64..10.0, b in -10.0f64..10.0) {
+#[test]
+fn activations_are_lipschitz() {
+    let mut rng = Rng::new(0x22_05);
+    for _ in 0..CASES {
+        let kind = act(&mut rng);
+        let a = rng.in_range(-10.0, 10.0);
+        let b = rng.in_range(-10.0, 10.0);
         let diff = (kind.eval(a) - kind.eval(b)).abs();
-        prop_assert!(diff <= kind.max_slope() * (a - b).abs() + 1e-12);
+        assert!(diff <= kind.max_slope() * (a - b).abs() + 1e-12);
     }
 }

@@ -21,11 +21,13 @@
 
 mod error;
 mod matrix;
+mod rng;
 mod shape;
 mod tensor;
 
 pub use error::ShapeError;
 pub use matrix::Matrix;
+pub use rng::Rng;
 pub use shape::Shape;
 pub use tensor::Tensor;
 

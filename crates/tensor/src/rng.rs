@@ -1,0 +1,159 @@
+//! Deterministic pseudo-random number generation shared by the whole
+//! workspace.
+//!
+//! The verifier itself is fully deterministic; randomness is only needed
+//! for reproducible *inputs* — weight initialization, synthetic datasets,
+//! training-order shuffles, and the randomized property tests. Using one
+//! hand-rolled splitmix64 stream everywhere keeps the workspace free of
+//! registry dependencies (builds run offline) and makes every consumer
+//! bit-reproducible across platforms and library versions.
+
+/// A small, fast, deterministic PRNG (splitmix64 core with a Box–Muller
+/// Gaussian layer).
+///
+/// Not cryptographically secure — it exists for reproducible test data and
+/// weight initialization only.
+///
+/// # Examples
+///
+/// ```
+/// use raven_tensor::Rng;
+///
+/// let mut a = Rng::new(42);
+/// let mut b = Rng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let u = a.uniform();
+/// assert!((0.0..1.0).contains(&u));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+    spare: Option<f64>,
+}
+
+impl Rng {
+    /// Creates a generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed,
+            spare: None,
+        }
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64) / (1u64 << 53) as f64
+    }
+
+    /// Uniform sample in `(0, 1]` (never zero; safe under `ln`).
+    pub fn uniform_open(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn in_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below: empty range");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Standard Gaussian sample (Box–Muller; pairs are cached).
+    pub fn gaussian(&mut self) -> f64 {
+        if let Some(s) = self.spare.take() {
+            return s;
+        }
+        let u1 = self.uniform_open();
+        let u2 = self.uniform_open();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_seed_sensitive() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        let mut c = Rng::new(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn uniform_stays_in_unit_interval() {
+        let mut rng = Rng::new(3);
+        for _ in 0..1000 {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+            let v = rng.uniform_open();
+            assert!(v > 0.0 && v <= 1.0);
+            let w = rng.in_range(-2.0, 5.0);
+            assert!((-2.0..5.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gaussian_moments_are_reasonable() {
+        let mut rng = Rng::new(7);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.gaussian()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::new(11);
+        let mut xs: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, (0..50).collect::<Vec<_>>(), "50 elements left in place");
+    }
+
+    #[test]
+    fn below_covers_the_range() {
+        let mut rng = Rng::new(5);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            seen[rng.below(7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

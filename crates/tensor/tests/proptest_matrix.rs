@@ -1,68 +1,102 @@
-//! Property-based tests for the tensor/matrix kernel: algebraic identities
-//! that must hold up to floating-point tolerance.
+//! Randomized property tests for the tensor/matrix kernel: algebraic
+//! identities that must hold up to floating-point tolerance.
+//!
+//! The cases are driven by the workspace's deterministic [`Rng`] rather than
+//! a property-testing framework so the suite builds offline; every run
+//! exercises the same sampled matrices.
 
-use proptest::prelude::*;
-use raven_tensor::{approx_eq, Matrix};
+use raven_tensor::{approx_eq, Matrix, Rng};
 
-fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(-5.0f64..5.0, rows * cols)
-        .prop_map(move |data| Matrix::from_vec(rows, cols, data).expect("sized correctly"))
+const CASES: usize = 64;
+
+fn matrix(rng: &mut Rng, rows: usize, cols: usize) -> Matrix {
+    let data: Vec<f64> = (0..rows * cols).map(|_| rng.in_range(-5.0, 5.0)).collect();
+    Matrix::from_vec(rows, cols, data).expect("sized correctly")
 }
 
-fn vector(n: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(-5.0f64..5.0, n)
+fn vector(rng: &mut Rng, n: usize) -> Vec<f64> {
+    (0..n).map(|_| rng.in_range(-5.0, 5.0)).collect()
 }
 
-proptest! {
-    #[test]
-    fn matmul_is_associative(a in matrix(3, 4), b in matrix(4, 2), c in matrix(2, 5)) {
+#[test]
+fn matmul_is_associative() {
+    let mut rng = Rng::new(0x7e_a5);
+    for _ in 0..CASES {
+        let a = matrix(&mut rng, 3, 4);
+        let b = matrix(&mut rng, 4, 2);
+        let c = matrix(&mut rng, 2, 5);
         let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
         let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
         for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
-            prop_assert!(approx_eq(*x, *y, 1e-9), "{x} vs {y}");
+            assert!(approx_eq(*x, *y, 1e-9), "{x} vs {y}");
         }
     }
+}
 
-    #[test]
-    fn matvec_distributes_over_addition(a in matrix(3, 4), x in vector(4), y in vector(4)) {
+#[test]
+fn matvec_distributes_over_addition() {
+    let mut rng = Rng::new(0x7e_a6);
+    for _ in 0..CASES {
+        let a = matrix(&mut rng, 3, 4);
+        let x = vector(&mut rng, 4);
+        let y = vector(&mut rng, 4);
         let sum: Vec<f64> = x.iter().zip(&y).map(|(u, v)| u + v).collect();
         let lhs = a.matvec(&sum);
         let rx = a.matvec(&x);
         let ry = a.matvec(&y);
         for ((l, u), v) in lhs.iter().zip(&rx).zip(&ry) {
-            prop_assert!(approx_eq(*l, u + v, 1e-9));
+            assert!(approx_eq(*l, u + v, 1e-9));
         }
     }
+}
 
-    #[test]
-    fn transpose_swaps_matvec(a in matrix(3, 4), x in vector(3)) {
+#[test]
+fn transpose_swaps_matvec() {
+    let mut rng = Rng::new(0x7e_a7);
+    for _ in 0..CASES {
+        let a = matrix(&mut rng, 3, 4);
+        let x = vector(&mut rng, 3);
         let via_t = a.transpose().matvec(&x);
         let via_vt = a.matvec_t(&x);
         for (u, v) in via_t.iter().zip(&via_vt) {
-            prop_assert!(approx_eq(*u, *v, 1e-12));
+            assert!(approx_eq(*u, *v, 1e-12));
         }
     }
+}
 
-    #[test]
-    fn transpose_of_product_is_reversed_product(a in matrix(3, 4), b in matrix(4, 2)) {
+#[test]
+fn transpose_of_product_is_reversed_product() {
+    let mut rng = Rng::new(0x7e_a8);
+    for _ in 0..CASES {
+        let a = matrix(&mut rng, 3, 4);
+        let b = matrix(&mut rng, 4, 2);
         let lhs = a.matmul(&b).unwrap().transpose();
         let rhs = b.transpose().matmul(&a.transpose()).unwrap();
         for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
-            prop_assert!(approx_eq(*x, *y, 1e-9));
+            assert!(approx_eq(*x, *y, 1e-9));
         }
     }
+}
 
-    #[test]
-    fn identity_is_neutral(a in matrix(4, 4)) {
+#[test]
+fn identity_is_neutral() {
+    let mut rng = Rng::new(0x7e_a9);
+    for _ in 0..CASES {
+        let a = matrix(&mut rng, 4, 4);
         let i = Matrix::identity(4);
-        prop_assert_eq!(a.matmul(&i).unwrap(), a.clone());
-        prop_assert_eq!(i.matmul(&a).unwrap(), a);
+        assert_eq!(a.matmul(&i).unwrap(), a.clone());
+        assert_eq!(i.matmul(&a).unwrap(), a);
     }
+}
 
-    #[test]
-    fn frobenius_norm_is_subadditive(a in matrix(3, 3), b in matrix(3, 3)) {
+#[test]
+fn frobenius_norm_is_subadditive() {
+    let mut rng = Rng::new(0x7e_aa);
+    for _ in 0..CASES {
+        let a = matrix(&mut rng, 3, 3);
+        let b = matrix(&mut rng, 3, 3);
         let mut sum = a.clone();
         sum.add_scaled(1.0, &b);
-        prop_assert!(sum.frobenius_norm() <= a.frobenius_norm() + b.frobenius_norm() + 1e-9);
+        assert!(sum.frobenius_norm() <= a.frobenius_norm() + b.frobenius_norm() + 1e-9);
     }
 }

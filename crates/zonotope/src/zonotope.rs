@@ -95,11 +95,7 @@ impl Zonotope {
         for (c, b) in center.iter_mut().zip(bias) {
             *c += b;
         }
-        let generators = self
-            .generators
-            .iter()
-            .map(|g| weight.matvec(g))
-            .collect();
+        let generators = self.generators.iter().map(|g| weight.matvec(g)).collect();
         Self { center, generators }
     }
 
@@ -147,7 +143,11 @@ impl Zonotope {
 fn deepz_relaxation(kind: ActKind, l: f64, u: f64) -> (f64, f64, f64) {
     debug_assert!(l <= u, "inverted bounds");
     if u - l < 1e-12 {
-        return (0.0, kind.eval(l).min(kind.eval(u)), kind.eval(l).max(kind.eval(u)));
+        return (
+            0.0,
+            kind.eval(l).min(kind.eval(u)),
+            kind.eval(l).max(kind.eval(u)),
+        );
     }
     let lam = match kind {
         // Piecewise-linear: chord slope (exact on stable segments).

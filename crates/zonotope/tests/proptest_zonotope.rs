@@ -1,13 +1,26 @@
-//! Property-based soundness tests for the zonotope domain.
+//! Randomized soundness tests for the zonotope domain.
+//!
+//! Driven by the workspace's deterministic [`Rng`] so the suite builds
+//! offline and replays identically on every run.
 
-use proptest::prelude::*;
 use raven_interval::Interval;
-use raven_tensor::Matrix;
+use raven_tensor::{Matrix, Rng};
 use raven_zonotope::Zonotope;
 
-fn boxes(n: usize) -> impl Strategy<Value = Vec<Interval>> {
-    proptest::collection::vec((-3.0f64..3.0, 0.0f64..2.0), n)
-        .prop_map(|v| v.into_iter().map(|(lo, w)| Interval::new(lo, lo + w)).collect())
+const CASES: usize = 128;
+
+fn boxes(rng: &mut Rng, n: usize) -> Vec<Interval> {
+    (0..n)
+        .map(|_| {
+            let lo = rng.in_range(-3.0, 3.0);
+            let w = rng.in_range(0.0, 2.0);
+            Interval::new(lo, lo + w)
+        })
+        .collect()
+}
+
+fn unit_vec(rng: &mut Rng, n: usize) -> Vec<f64> {
+    (0..n).map(|_| rng.uniform()).collect()
 }
 
 fn point_in(bx: &[Interval], t: &[f64]) -> Vec<f64> {
@@ -17,30 +30,33 @@ fn point_in(bx: &[Interval], t: &[f64]) -> Vec<f64> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn from_box_is_exact(bx in boxes(3), t in proptest::collection::vec(0.0f64..1.0, 3)) {
+#[test]
+fn from_box_is_exact() {
+    let mut rng = Rng::new(0x2a_10);
+    for _ in 0..CASES {
+        let bx = boxes(&mut rng, 3);
+        let t = unit_vec(&mut rng, 3);
         let z = Zonotope::from_box(&bx);
         let x = point_in(&bx, &t);
         for (i, &v) in x.iter().enumerate() {
-            prop_assert!(z.interval(i).lo() - 1e-12 <= v && v <= z.interval(i).hi() + 1e-12);
+            assert!(z.interval(i).lo() - 1e-12 <= v && v <= z.interval(i).hi() + 1e-12);
         }
         // And the box is recovered exactly.
         for (iv, orig) in z.to_box().iter().zip(&bx) {
-            prop_assert!((iv.lo() - orig.lo()).abs() < 1e-12);
-            prop_assert!((iv.hi() - orig.hi()).abs() < 1e-12);
+            assert!((iv.lo() - orig.lo()).abs() < 1e-12);
+            assert!((iv.hi() - orig.hi()).abs() < 1e-12);
         }
     }
+}
 
-    #[test]
-    fn affine_images_contain_concrete_points(
-        bx in boxes(3),
-        t in proptest::collection::vec(0.0f64..1.0, 3),
-        w in proptest::collection::vec(-2.0f64..2.0, 6),
-        b in proptest::collection::vec(-1.0f64..1.0, 2),
-    ) {
+#[test]
+fn affine_images_contain_concrete_points() {
+    let mut rng = Rng::new(0x2a_11);
+    for _ in 0..CASES {
+        let bx = boxes(&mut rng, 3);
+        let t = unit_vec(&mut rng, 3);
+        let w: Vec<f64> = (0..6).map(|_| rng.in_range(-2.0, 2.0)).collect();
+        let b: Vec<f64> = (0..2).map(|_| rng.in_range(-1.0, 1.0)).collect();
         let weight = Matrix::from_vec(2, 3, w).expect("sized");
         let z = Zonotope::from_box(&bx).affine(&weight, &b);
         let x = point_in(&bx, &t);
@@ -49,20 +65,22 @@ proptest! {
             *yi += bi;
         }
         for (i, &v) in y.iter().enumerate() {
-            prop_assert!(
+            assert!(
                 z.interval(i).lo() - 1e-9 <= v && v <= z.interval(i).hi() + 1e-9,
-                "coord {i}: {v} outside {:?}", z.interval(i)
+                "coord {i}: {v} outside {:?}",
+                z.interval(i)
             );
         }
     }
+}
 
-    #[test]
-    fn activation_images_contain_concrete_points(
-        bx in boxes(2),
-        t in proptest::collection::vec(0.0f64..1.0, 2),
-        kind_ix in 0usize..5,
-    ) {
-        let kind = raven_nn::ActKind::all()[kind_ix];
+#[test]
+fn activation_images_contain_concrete_points() {
+    let mut rng = Rng::new(0x2a_12);
+    for _ in 0..CASES {
+        let bx = boxes(&mut rng, 2);
+        let t = unit_vec(&mut rng, 2);
+        let kind = raven_nn::ActKind::all()[rng.below(5)];
         let z = Zonotope::from_box(&bx);
         let za = z.activation(kind);
         // Box corners and the sampled interior point are all concrete
@@ -70,20 +88,25 @@ proptest! {
         let x = point_in(&bx, &t);
         for (i, &v) in x.iter().enumerate() {
             let f = kind.eval(v);
-            prop_assert!(
+            assert!(
                 za.interval(i).lo() - 1e-9 <= f && f <= za.interval(i).hi() + 1e-9,
-                "{kind}: act({v}) = {f} outside {:?}", za.interval(i)
+                "{kind}: act({v}) = {f} outside {:?}",
+                za.interval(i)
             );
         }
     }
+}
 
-    #[test]
-    fn zonotope_difference_of_identical_vars_is_zero(bx in boxes(2)) {
-        // Correlation preservation: (x, x) → x − x = 0 exactly.
+#[test]
+fn zonotope_difference_of_identical_vars_is_zero() {
+    // Correlation preservation: (x, x) → x − x = 0 exactly.
+    let mut rng = Rng::new(0x2a_13);
+    for _ in 0..CASES {
+        let bx = boxes(&mut rng, 2);
         let z = Zonotope::from_box(&bx);
         let dup = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 0.0]]);
         let z3 = z.affine(&dup, &[0.0; 3]);
         let diff = z3.affine(&Matrix::from_rows(&[&[1.0, 0.0, -1.0]]), &[0.0]);
-        prop_assert!(diff.interval(0).width() < 1e-12);
+        assert!(diff.interval(0).width() < 1e-12);
     }
 }

@@ -38,8 +38,7 @@ fn main() {
     let zb: Vec<f64> = (0..dim).map(|i| 0.55 - 0.015 * ((i % 7) as f64)).collect();
     println!("property 1: certified drift |out_A[c] − out_B[c]| under one shared eps-perturbation");
     for eps in [0.02, 0.05] {
-        let mut problem =
-            RelationalProblem::new(plan.clone(), vec![Interval::symmetric(eps); dim]);
+        let mut problem = RelationalProblem::new(plan.clone(), vec![Interval::symmetric(eps); dim]);
         let a = problem.add_perturbed_execution(&za);
         let b = problem.add_perturbed_execution(&zb);
         for class in 0..3 {

@@ -53,7 +53,10 @@ fn main() {
     println!("clean predicted string: \"{rendered}\" (length {string_len})");
 
     let plan = net.to_plan();
-    println!("\n{:>5}  {:>14} {:>14}", "eps", "deeppoly bound", "raven bound");
+    println!(
+        "\n{:>5}  {:>14} {:>14}",
+        "eps", "deeppoly bound", "raven bound"
+    );
     for eps in [0.02, 0.05, 0.08, 0.11] {
         let problem = UapProblem {
             plan: plan.clone(),
@@ -61,7 +64,11 @@ fn main() {
             labels: labels.clone(),
             eps,
         };
-        let dp = verify_uap(&problem, Method::DeepPolyIndividual, &RavenConfig::default());
+        let dp = verify_uap(
+            &problem,
+            Method::DeepPolyIndividual,
+            &RavenConfig::default(),
+        );
         let rv = verify_uap(&problem, Method::Raven, &RavenConfig::default());
         println!(
             "{eps:>5.2}  {:>14.2} {:>14.2}",

@@ -87,5 +87,7 @@ fn main() {
             "certificate must lower-bound the attack"
         );
     }
-    println!("\nEvery certified value is a sound lower bound; the attack column is an upper bound.");
+    println!(
+        "\nEvery certified value is a sound lower bound; the attack column is an upper bound."
+    );
 }

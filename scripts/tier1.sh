@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate (see ROADMAP.md): everything a PR must keep green.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo fmt --check
+cargo clippy --workspace -- -D warnings
+echo "tier-1: all gates passed"

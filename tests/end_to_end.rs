@@ -67,8 +67,7 @@ fn uap_method_hierarchy_holds_across_epsilons() {
             labels: labels.clone(),
             eps,
         };
-        let acc =
-            |m| verify_uap(&problem, m, &RavenConfig::default()).worst_case_accuracy;
+        let acc = |m| verify_uap(&problem, m, &RavenConfig::default()).worst_case_accuracy;
         let bx = acc(Method::Box);
         let zn = acc(Method::ZonotopeIndividual);
         let dp = acc(Method::DeepPolyIndividual);

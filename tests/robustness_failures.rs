@@ -108,7 +108,11 @@ fn committed_golden_model_loads_and_verifies() {
         }
         let mut parts = line.split_whitespace();
         labels.push(parts.next().unwrap().parse::<usize>().unwrap());
-        inputs.push(parts.map(|v| v.parse::<f64>().unwrap()).collect::<Vec<f64>>());
+        inputs.push(
+            parts
+                .map(|v| v.parse::<f64>().unwrap())
+                .collect::<Vec<f64>>(),
+        );
     }
     assert!(!inputs.is_empty());
     // The committed batch is correctly classified by the committed model.

@@ -7,26 +7,9 @@ use raven_deeppoly::DeepPolyAnalysis;
 use raven_diffpoly::DiffPolyAnalysis;
 use raven_interval::{linf_ball, Interval, IntervalAnalysis};
 use raven_nn::{ActKind, Network, NetworkBuilder};
-
-/// Deterministic pseudo-random scalar stream.
-struct Stream(u64);
-
-impl Stream {
-    fn next(&mut self) -> f64 {
-        self.0 = self
-            .0
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        ((self.0 >> 11) as f64) / ((1u64 << 53) as f64)
-    }
-
-    fn in_range(&mut self, lo: f64, hi: f64) -> f64 {
-        lo + (hi - lo) * self.next()
-    }
-}
+use raven_tensor::Rng;
 
 fn random_net(seed: u64, kind: ActKind) -> Network {
-    let mut s = Stream(seed);
     let depth = 2 + (seed % 2) as usize;
     let mut b = NetworkBuilder::new(4);
     for layer in 0..depth {
@@ -34,7 +17,6 @@ fn random_net(seed: u64, kind: ActKind) -> Network {
             .dense(4 + (seed as usize + layer) % 4, seed * 31 + layer as u64)
             .activation(kind);
     }
-    let _ = &mut s;
     b.dense(3, seed * 97 + 7).build()
 }
 
@@ -44,15 +26,18 @@ fn interval_and_deeppoly_contain_concrete_runs() {
         for kind in ActKind::all() {
             let net = random_net(seed, kind);
             let plan = net.to_plan();
-            let mut s = Stream(seed * 13 + 5);
+            let mut s = Rng::new(seed * 13 + 5);
             let center: Vec<f64> = (0..4).map(|_| s.in_range(0.2, 0.8)).collect();
             let eps = s.in_range(0.01, 0.15);
             let ball = linf_ball(&center, eps, f64::NEG_INFINITY, f64::INFINITY);
             let iv = IntervalAnalysis::run(&plan, &ball);
             let dp = DeepPolyAnalysis::run(&plan, &ball);
             for trial in 0..20 {
-                let mut t = Stream(seed * 101 + trial);
-                let x: Vec<f64> = center.iter().map(|&c| c + eps * t.in_range(-1.0, 1.0)).collect();
+                let mut t = Rng::new(seed * 101 + trial);
+                let x: Vec<f64> = center
+                    .iter()
+                    .map(|&c| c + eps * t.in_range(-1.0, 1.0))
+                    .collect();
                 let y = net.forward(&x);
                 for ((bi, di), &v) in iv.output().iter().zip(dp.output()).zip(&y) {
                     assert!(
@@ -76,10 +61,15 @@ fn interval_and_deeppoly_contain_concrete_runs() {
 #[test]
 fn diffpoly_contains_concrete_shared_perturbation_pairs() {
     for seed in 0..10u64 {
-        for kind in [ActKind::Relu, ActKind::Tanh, ActKind::LeakyRelu, ActKind::HardTanh] {
+        for kind in [
+            ActKind::Relu,
+            ActKind::Tanh,
+            ActKind::LeakyRelu,
+            ActKind::HardTanh,
+        ] {
             let net = random_net(seed, kind);
             let plan = net.to_plan();
-            let mut s = Stream(seed * 7 + 3);
+            let mut s = Rng::new(seed * 7 + 3);
             let za: Vec<f64> = (0..4).map(|_| s.in_range(0.2, 0.8)).collect();
             let zb: Vec<f64> = (0..4).map(|_| s.in_range(0.2, 0.8)).collect();
             let eps = s.in_range(0.02, 0.1);
@@ -94,7 +84,7 @@ fn diffpoly_contains_concrete_shared_perturbation_pairs() {
                 .collect();
             let diff = DiffPolyAnalysis::run(&plan, &dp_a, &dp_b, &delta);
             for trial in 0..20 {
-                let mut t = Stream(seed * 211 + trial * 17 + 1);
+                let mut t = Rng::new(seed * 211 + trial * 17 + 1);
                 let shift: Vec<f64> = (0..4).map(|_| eps * t.in_range(-1.0, 1.0)).collect();
                 let xa: Vec<f64> = za.iter().zip(&shift).map(|(&z, &d)| z + d).collect();
                 let xb: Vec<f64> = zb.iter().zip(&shift).map(|(&z, &d)| z + d).collect();

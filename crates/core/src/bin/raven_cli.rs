@@ -5,19 +5,29 @@
 //! raven_cli train-demo --out net.txt --inputs batch.txt
 //! raven_cli verify-uap --model net.txt --inputs batch.txt --eps 0.05
 //!                      [--method box|deeppoly|io-lp|raven] [--pairs none|consecutive|all]
-//!                      [--threads n]
+//!                      [--threads n] [--json]
 //! raven_cli verify-mono --model net.txt --center 0.5,0.5,... --feature 0
-//!                       --tau 0.1 [--eps 0.01] [--decreasing]
+//!                       --tau 0.1 [--eps 0.01] [--decreasing] [--json]
 //! raven_cli export-lp  --model net.txt --inputs batch.txt --eps 0.05 --out problem.lp
 //! ```
 //!
 //! The batch file holds one example per line: the label followed by the
 //! input coordinates, whitespace-separated. `#` starts a comment.
+//!
+//! Exit codes: `0` verified/success, `1` runtime error (bad file, I/O),
+//! `2` usage error (bad flags; usage is printed), `3` the run completed
+//! soundly but the property was **not** verified — so scripts can
+//! distinguish "falsified" from "failed".
+//!
+//! `--json` emits one machine-readable object whose `result` field is the
+//! canonical verdict from `raven::report` — byte-identical to the
+//! `result` field served by `raven-serve` for the same query.
 
 use raven::{
-    verify_monotonicity, verify_uap, Method, MonotonicityProblem, PairStrategy, RavenConfig,
-    UapProblem,
+    report, verify_monotonicity, verify_uap, Method, MonotonicityProblem, PairStrategy,
+    RavenConfig, UapProblem,
 };
+use raven_json::Json;
 use raven_nn::{load_network, save_network};
 use std::path::Path;
 use std::process::ExitCode;
@@ -25,11 +35,16 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Ok(Outcome::Verified) => ExitCode::SUCCESS,
+        Ok(Outcome::Falsified) => ExitCode::from(3),
+        Err(CliError::Usage(msg)) => {
             eprintln!("error: {msg}");
             eprintln!();
             eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
             ExitCode::FAILURE
         }
     }
@@ -40,14 +55,46 @@ const USAGE: &str = "usage:
   raven_cli train-demo  --out <net.txt> --inputs <batch.txt>
   raven_cli verify-uap  --model <net.txt> --inputs <batch.txt> --eps <f>
                         [--method box|deeppoly|io-lp|raven] [--pairs none|consecutive|all]
-                        [--threads <n>]   (0 = all cores, 1 = sequential; default 1)
+                        [--threads <n>] [--json]
+                        (--threads 0 = all cores, 1 = sequential; default 1)
   raven_cli verify-mono --model <net.txt> --center <v,v,...> --feature <i>
-                        --tau <f> [--eps <f>] [--decreasing] [--method ...] [--threads <n>]
-  raven_cli export-lp   --model <net.txt> --inputs <batch.txt> --eps <f> --out <file.lp>";
+                        --tau <f> [--eps <f>] [--decreasing] [--method ...]
+                        [--threads <n>] [--json]
+  raven_cli export-lp   --model <net.txt> --inputs <batch.txt> --eps <f> --out <file.lp>
 
-fn run(args: &[String]) -> Result<(), String> {
+exit codes: 0 verified, 1 runtime error, 2 usage error, 3 ran soundly but not verified";
+
+/// How a successful run ended, for the exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    /// The property holds (or the command has no verdict).
+    Verified,
+    /// The run was sound but could not certify the property (exit 3).
+    Falsified,
+}
+
+/// Failures, split by exit-code class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CliError {
+    /// The invocation was malformed: exit 2, usage is printed.
+    Usage(String),
+    /// The invocation was fine but execution failed: exit 1, message only.
+    Runtime(String),
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> Self {
+        CliError::Usage(msg.into())
+    }
+
+    fn runtime(msg: impl Into<String>) -> Self {
+        CliError::Runtime(msg.into())
+    }
+}
+
+fn run(args: &[String]) -> Result<Outcome, CliError> {
     let Some((command, rest)) = args.split_first() else {
-        return Err("missing command".into());
+        return Err(CliError::usage("missing command"));
     };
     let opts = parse_flags(rest)?;
     match command.as_str() {
@@ -56,7 +103,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "verify-uap" => cmd_verify_uap(&opts),
         "verify-mono" => cmd_verify_mono(&opts),
         "export-lp" => cmd_export_lp(&opts),
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(CliError::usage(format!("unknown command {other:?}"))),
     }
 }
 
@@ -75,13 +122,17 @@ impl Flags {
             .map(|(_, v)| v.as_str())
     }
 
-    fn require(&self, name: &str) -> Result<&str, String> {
-        self.get(name).ok_or_else(|| format!("missing --{name}"))
+    fn require(&self, name: &str) -> Result<&str, CliError> {
+        self.get(name)
+            .ok_or_else(|| CliError::usage(format!("missing --{name}")))
     }
 
-    fn get_f64(&self, name: &str) -> Result<Option<f64>, String> {
+    fn get_f64(&self, name: &str) -> Result<Option<f64>, CliError> {
         self.get(name)
-            .map(|v| v.parse::<f64>().map_err(|e| format!("--{name}: {e}")))
+            .map(|v| {
+                v.parse::<f64>()
+                    .map_err(|e| CliError::usage(format!("--{name}: {e}")))
+            })
             .transpose()
     }
 
@@ -90,12 +141,12 @@ impl Flags {
     }
 }
 
-fn parse_flags(args: &[String]) -> Result<Flags, String> {
+fn parse_flags(args: &[String]) -> Result<Flags, CliError> {
     let mut flags = Flags::default();
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         let Some(name) = arg.strip_prefix("--") else {
-            return Err(format!("unexpected argument {arg:?}"));
+            return Err(CliError::usage(format!("unexpected argument {arg:?}")));
         };
         let value = match it.peek() {
             Some(v) if !v.starts_with("--") => it.next().expect("peeked").clone(),
@@ -106,26 +157,19 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
     Ok(flags)
 }
 
-fn parse_method(flags: &Flags) -> Result<Method, String> {
-    match flags.get("method").unwrap_or("raven") {
-        "box" => Ok(Method::Box),
-        "zonotope" => Ok(Method::ZonotopeIndividual),
-        "deeppoly" => Ok(Method::DeepPolyIndividual),
-        "io-lp" => Ok(Method::IoLp),
-        "raven" => Ok(Method::Raven),
-        other => Err(format!("unknown method {other:?}")),
-    }
+fn parse_method(flags: &Flags) -> Result<Method, CliError> {
+    let name = flags.get("method").unwrap_or("raven");
+    Method::from_name(name).ok_or_else(|| CliError::usage(format!("unknown method {name:?}")))
 }
 
-fn parse_config(flags: &Flags) -> Result<RavenConfig, String> {
-    let pairs = match flags.get("pairs").unwrap_or("consecutive") {
-        "none" => PairStrategy::None,
-        "consecutive" => PairStrategy::Consecutive,
-        "all" => PairStrategy::AllPairs,
-        other => return Err(format!("unknown pair strategy {other:?}")),
-    };
+fn parse_config(flags: &Flags) -> Result<RavenConfig, CliError> {
+    let name = flags.get("pairs").unwrap_or("consecutive");
+    let pairs = PairStrategy::from_name(name)
+        .ok_or_else(|| CliError::usage(format!("unknown pair strategy {name:?}")))?;
     let threads = match flags.get("threads") {
-        Some(v) => v.parse::<usize>().map_err(|e| format!("--threads: {e}"))?,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|e| CliError::usage(format!("--threads: {e}")))?,
         None => 1,
     };
     Ok(RavenConfig {
@@ -137,7 +181,7 @@ fn parse_config(flags: &Flags) -> Result<RavenConfig, String> {
 }
 
 /// Parses a batch file: `label v1 v2 ...` per line, `#` comments.
-fn parse_batch(text: &str, input_dim: usize) -> Result<(Vec<Vec<f64>>, Vec<usize>), String> {
+fn parse_batch(text: &str, input_dim: usize) -> Result<(Vec<Vec<f64>>, Vec<usize>), CliError> {
     let mut inputs = Vec::new();
     let mut labels = Vec::new();
     for (ln, raw) in text.lines().enumerate() {
@@ -150,34 +194,39 @@ fn parse_batch(text: &str, input_dim: usize) -> Result<(Vec<Vec<f64>>, Vec<usize
             .next()
             .expect("non-empty line")
             .parse()
-            .map_err(|e| format!("line {}: bad label: {e}", ln + 1))?;
+            .map_err(|e| CliError::runtime(format!("line {}: bad label: {e}", ln + 1)))?;
         let coords: Result<Vec<f64>, _> = parts.map(str::parse::<f64>).collect();
-        let coords = coords.map_err(|e| format!("line {}: bad value: {e}", ln + 1))?;
+        let coords =
+            coords.map_err(|e| CliError::runtime(format!("line {}: bad value: {e}", ln + 1)))?;
         if coords.len() != input_dim {
-            return Err(format!(
+            return Err(CliError::runtime(format!(
                 "line {}: expected {input_dim} coordinates, found {}",
                 ln + 1,
                 coords.len()
-            ));
+            )));
         }
         labels.push(label);
         inputs.push(coords);
     }
     if inputs.is_empty() {
-        return Err("batch file contains no examples".into());
+        return Err(CliError::runtime("batch file contains no examples"));
     }
     Ok((inputs, labels))
 }
 
-fn parse_vector(text: &str) -> Result<Vec<f64>, String> {
+fn parse_vector(text: &str) -> Result<Vec<f64>, CliError> {
     text.split(',')
-        .map(|t| t.trim().parse::<f64>().map_err(|e| e.to_string()))
+        .map(|t| {
+            t.trim()
+                .parse::<f64>()
+                .map_err(|e| CliError::usage(format!("bad vector component {t:?}: {e}")))
+        })
         .collect()
 }
 
-fn cmd_info(flags: &Flags) -> Result<(), String> {
+fn cmd_info(flags: &Flags) -> Result<Outcome, CliError> {
     let model = flags.require("model")?;
-    let net = load_network(Path::new(model)).map_err(|e| e.to_string())?;
+    let net = load_network(Path::new(model)).map_err(|e| CliError::runtime(e.to_string()))?;
     println!("model: {model}");
     println!("input dim : {}", net.input_dim());
     println!("output dim: {}", net.output_dim());
@@ -189,10 +238,10 @@ fn cmd_info(flags: &Flags) -> Result<(), String> {
         plan.steps().len(),
         plan.activation_steps().len()
     );
-    Ok(())
+    Ok(Outcome::Verified)
 }
 
-fn cmd_train_demo(flags: &Flags) -> Result<(), String> {
+fn cmd_train_demo(flags: &Flags) -> Result<Outcome, CliError> {
     use raven_nn::data::synth_digits;
     use raven_nn::train::{train_classifier, TrainConfig};
     use raven_nn::{ActKind, NetworkBuilder};
@@ -219,7 +268,7 @@ fn cmd_train_demo(flags: &Flags) -> Result<(), String> {
             adversarial: None,
         },
     );
-    save_network(&net, Path::new(out)).map_err(|e| e.to_string())?;
+    save_network(&net, Path::new(out)).map_err(|e| CliError::runtime(e.to_string()))?;
     // Emit a batch of correctly classified test inputs.
     let mut batch = String::from("# label v1 v2 ... (correctly classified test inputs)\n");
     let mut count = 0;
@@ -236,23 +285,34 @@ fn cmd_train_demo(flags: &Flags) -> Result<(), String> {
             }
         }
     }
-    std::fs::write(inputs_path, batch).map_err(|e| e.to_string())?;
+    std::fs::write(inputs_path, batch).map_err(|e| CliError::runtime(e.to_string()))?;
     println!(
         "trained demo model (train accuracy {:.1}%) -> {out}; {count} inputs -> {inputs_path}",
         100.0 * report.final_accuracy
     );
-    Ok(())
+    Ok(Outcome::Verified)
 }
 
-fn cmd_verify_uap(flags: &Flags) -> Result<(), String> {
+/// Wraps a verdict in the CLI's `--json` envelope. The `result` field is
+/// the shared canonical verdict; `solve_millis` travels outside it so the
+/// verdict stays deterministic (and cache/CLI/server comparable).
+fn json_envelope(verdict: Json, solve_millis: f64) -> String {
+    Json::obj([
+        ("result", verdict),
+        ("solve_millis", Json::from(solve_millis)),
+    ])
+    .to_string()
+}
+
+fn cmd_verify_uap(flags: &Flags) -> Result<Outcome, CliError> {
     let model = flags.require("model")?;
-    let net = load_network(Path::new(model)).map_err(|e| e.to_string())?;
-    let batch_text =
-        std::fs::read_to_string(flags.require("inputs")?).map_err(|e| e.to_string())?;
+    let net = load_network(Path::new(model)).map_err(|e| CliError::runtime(e.to_string()))?;
+    let batch_text = std::fs::read_to_string(flags.require("inputs")?)
+        .map_err(|e| CliError::runtime(e.to_string()))?;
     let (inputs, labels) = parse_batch(&batch_text, net.input_dim())?;
     let eps = flags
         .get_f64("eps")?
-        .ok_or_else(|| "missing --eps".to_string())?;
+        .ok_or_else(|| CliError::usage("missing --eps"))?;
     let method = parse_method(flags)?;
     let config = parse_config(flags)?;
     let problem = UapProblem {
@@ -262,50 +322,59 @@ fn cmd_verify_uap(flags: &Flags) -> Result<(), String> {
         eps,
     };
     let res = verify_uap(&problem, method, &config);
-    println!("method                 : {}", res.method);
-    println!("k (executions)         : {}", problem.k());
-    println!("eps                    : {eps}");
-    println!(
-        "worst-case accuracy    : >= {:.2}% ({})",
-        100.0 * res.worst_case_accuracy,
-        if res.exact {
-            "exact spec"
-        } else {
-            "LP relaxation"
-        }
-    );
-    println!("worst-case hamming     : <= {:.3}", res.worst_case_hamming);
-    println!(
-        "individually verified  : {}/{}",
-        res.individually_verified,
-        problem.k()
-    );
-    println!(
-        "lp size                : {} rows x {} vars",
-        res.lp_rows, res.lp_vars
-    );
-    println!("time                   : {:.1} ms", res.solve_millis);
-    Ok(())
+    if flags.has("json") {
+        let verdict = report::uap_verdict_json(problem.k(), problem.eps, &res);
+        println!("{}", json_envelope(verdict, res.solve_millis));
+    } else {
+        println!("method                 : {}", res.method);
+        println!("k (executions)         : {}", problem.k());
+        println!("eps                    : {eps}");
+        println!(
+            "worst-case accuracy    : >= {:.2}% ({})",
+            100.0 * res.worst_case_accuracy,
+            if res.exact {
+                "exact spec"
+            } else {
+                "LP relaxation"
+            }
+        );
+        println!("worst-case hamming     : <= {:.3}", res.worst_case_hamming);
+        println!(
+            "individually verified  : {}/{}",
+            res.individually_verified,
+            problem.k()
+        );
+        println!(
+            "lp size                : {} rows x {} vars",
+            res.lp_rows, res.lp_vars
+        );
+        println!("time                   : {:.1} ms", res.solve_millis);
+    }
+    Ok(if res.worst_case_accuracy >= 1.0 {
+        Outcome::Verified
+    } else {
+        Outcome::Falsified
+    })
 }
 
-fn cmd_verify_mono(flags: &Flags) -> Result<(), String> {
+fn cmd_verify_mono(flags: &Flags) -> Result<Outcome, CliError> {
     let model = flags.require("model")?;
-    let net = load_network(Path::new(model)).map_err(|e| e.to_string())?;
+    let net = load_network(Path::new(model)).map_err(|e| CliError::runtime(e.to_string()))?;
     let center = parse_vector(flags.require("center")?)?;
     if center.len() != net.input_dim() {
-        return Err(format!(
+        return Err(CliError::usage(format!(
             "--center has {} values; model expects {}",
             center.len(),
             net.input_dim()
-        ));
+        )));
     }
     let feature: usize = flags
         .require("feature")?
         .parse()
-        .map_err(|e| format!("--feature: {e}"))?;
+        .map_err(|e| CliError::usage(format!("--feature: {e}")))?;
     let tau = flags
         .get_f64("tau")?
-        .ok_or_else(|| "missing --tau".to_string())?;
+        .ok_or_else(|| CliError::usage("missing --tau"))?;
     let eps = flags.get_f64("eps")?.unwrap_or(0.01);
     let method = parse_method(flags)?;
     let config = parse_config(flags)?;
@@ -324,40 +393,49 @@ fn cmd_verify_mono(flags: &Flags) -> Result<(), String> {
         increasing: !flags.has("decreasing"),
     };
     let res = verify_monotonicity(&problem, method, &config);
-    println!("method           : {}", res.method);
-    println!(
-        "property         : score {} in feature x{feature} (tau = {tau}, eps = {eps})",
-        if problem.increasing {
-            "non-decreasing"
-        } else {
-            "non-increasing"
-        }
-    );
-    println!("certified change : {:.6}", res.certified_change);
-    println!(
-        "verdict          : {}",
-        if res.verified {
-            "VERIFIED"
-        } else {
-            "not verified"
-        }
-    );
-    println!("time             : {:.1} ms", res.solve_millis);
-    Ok(())
+    if flags.has("json") {
+        let verdict = report::mono_verdict_json(&problem, &res);
+        println!("{}", json_envelope(verdict, res.solve_millis));
+    } else {
+        println!("method           : {}", res.method);
+        println!(
+            "property         : score {} in feature x{feature} (tau = {tau}, eps = {eps})",
+            if problem.increasing {
+                "non-decreasing"
+            } else {
+                "non-increasing"
+            }
+        );
+        println!("certified change : {:.6}", res.certified_change);
+        println!(
+            "verdict          : {}",
+            if res.verified {
+                "VERIFIED"
+            } else {
+                "not verified"
+            }
+        );
+        println!("time             : {:.1} ms", res.solve_millis);
+    }
+    Ok(if res.verified {
+        Outcome::Verified
+    } else {
+        Outcome::Falsified
+    })
 }
 
 /// Builds the RaVeN relational encoding for a batch and writes it in CPLEX
 /// LP format, for inspection or cross-checking with an external solver.
-fn cmd_export_lp(flags: &Flags) -> Result<(), String> {
+fn cmd_export_lp(flags: &Flags) -> Result<Outcome, CliError> {
     use raven::relational::RelationalProblem;
     let model = flags.require("model")?;
-    let net = load_network(Path::new(model)).map_err(|e| e.to_string())?;
-    let batch_text =
-        std::fs::read_to_string(flags.require("inputs")?).map_err(|e| e.to_string())?;
+    let net = load_network(Path::new(model)).map_err(|e| CliError::runtime(e.to_string()))?;
+    let batch_text = std::fs::read_to_string(flags.require("inputs")?)
+        .map_err(|e| CliError::runtime(e.to_string()))?;
     let (inputs, _) = parse_batch(&batch_text, net.input_dim())?;
     let eps = flags
         .get_f64("eps")?
-        .ok_or_else(|| "missing --eps".to_string())?;
+        .ok_or_else(|| CliError::usage("missing --eps"))?;
     let out = flags.require("out")?;
     // Build through the generic relational API, then export.
     let plan = net.to_plan();
@@ -369,12 +447,12 @@ fn cmd_export_lp(flags: &Flags) -> Result<(), String> {
         problem.add_perturbed_execution(z);
     }
     let text = raven::relational::export_lp(&problem, &raven::RavenConfig::default());
-    std::fs::write(out, text).map_err(|e| e.to_string())?;
+    std::fs::write(out, text).map_err(|e| CliError::runtime(e.to_string()))?;
     println!(
         "wrote relational LP ({} executions, eps {eps}) to {out}",
         inputs.len()
     );
-    Ok(())
+    Ok(Outcome::Verified)
 }
 
 #[cfg(test)]
@@ -392,13 +470,13 @@ mod tests {
         assert!(f.has("decreasing"));
         assert_eq!(f.get_f64("eps").unwrap(), Some(0.1));
         assert!(f.get("nope").is_none());
-        assert!(f.require("nope").is_err());
+        assert!(matches!(f.require("nope"), Err(CliError::Usage(_))));
     }
 
     #[test]
     fn flags_reject_positional_arguments() {
         let args = vec!["oops".to_string()];
-        assert!(parse_flags(&args).is_err());
+        assert!(matches!(parse_flags(&args), Err(CliError::Usage(_))));
     }
 
     #[test]
@@ -407,15 +485,22 @@ mod tests {
         let (inputs, labels) = parse_batch(good, 2).unwrap();
         assert_eq!(inputs.len(), 2);
         assert_eq!(labels, vec![1, 0]);
-        assert!(parse_batch("1 0.1\n", 2).is_err());
-        assert!(parse_batch("x 0.1 0.2\n", 2).is_err());
-        assert!(parse_batch("", 2).is_err());
+        // Bad file *contents* are runtime errors, not usage errors.
+        assert!(matches!(
+            parse_batch("1 0.1\n", 2),
+            Err(CliError::Runtime(_))
+        ));
+        assert!(matches!(
+            parse_batch("x 0.1 0.2\n", 2),
+            Err(CliError::Runtime(_))
+        ));
+        assert!(matches!(parse_batch("", 2), Err(CliError::Runtime(_))));
     }
 
     #[test]
     fn vector_parsing() {
         assert_eq!(parse_vector("0.5, 1.0,2").unwrap(), vec![0.5, 1.0, 2.0]);
-        assert!(parse_vector("a,b").is_err());
+        assert!(matches!(parse_vector("a,b"), Err(CliError::Usage(_))));
     }
 
     #[test]
@@ -425,7 +510,7 @@ mod tests {
         let f = parse_flags(&["--pairs".to_string(), "all".to_string()]).unwrap();
         assert_eq!(parse_config(&f).unwrap().pairs, PairStrategy::AllPairs);
         let f = parse_flags(&["--method".to_string(), "magic".to_string()]).unwrap();
-        assert!(parse_method(&f).is_err());
+        assert!(matches!(parse_method(&f), Err(CliError::Usage(_))));
     }
 
     #[test]
@@ -437,7 +522,32 @@ mod tests {
         let f = parse_flags(&["--threads".to_string(), "0".to_string()]).unwrap();
         assert_eq!(parse_config(&f).unwrap().threads, 0);
         let f = parse_flags(&["--threads".to_string(), "many".to_string()]).unwrap();
-        assert!(parse_config(&f).is_err());
+        assert!(matches!(parse_config(&f), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn run_classifies_usage_and_runtime_errors() {
+        let to_args =
+            |list: &[&str]| -> Vec<String> { list.iter().map(|s| s.to_string()).collect() };
+        assert!(matches!(run(&to_args(&[])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&to_args(&["frobnicate"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&to_args(&["verify-uap", "--eps", "0.1"])),
+            Err(CliError::Usage(_)) // missing --model
+        ));
+        // A well-formed invocation naming a nonexistent file is a runtime
+        // error: usage is correct, execution failed.
+        assert!(matches!(
+            run(&to_args(&[
+                "info",
+                "--model",
+                "/nonexistent/raven/model.net"
+            ])),
+            Err(CliError::Runtime(_))
+        ));
     }
 
     #[test]

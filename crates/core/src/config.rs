@@ -48,6 +48,13 @@ impl Method {
             Method::Raven => "raven",
         }
     }
+
+    /// Inverse of [`Method::name`] — the one parser the CLI and the
+    /// verification server share, so their accepted spellings cannot
+    /// drift.
+    pub fn from_name(name: &str) -> Option<Method> {
+        Method::all().into_iter().find(|m| m.name() == name)
+    }
 }
 
 impl std::fmt::Display for Method {
@@ -69,6 +76,25 @@ pub enum PairStrategy {
 }
 
 impl PairStrategy {
+    /// Short display name (`none`/`consecutive`/`all`).
+    pub fn name(self) -> &'static str {
+        match self {
+            PairStrategy::None => "none",
+            PairStrategy::Consecutive => "consecutive",
+            PairStrategy::AllPairs => "all",
+        }
+    }
+
+    /// Inverse of [`PairStrategy::name`], shared by the CLI and server.
+    pub fn from_name(name: &str) -> Option<PairStrategy> {
+        match name {
+            "none" => Some(PairStrategy::None),
+            "consecutive" => Some(PairStrategy::Consecutive),
+            "all" => Some(PairStrategy::AllPairs),
+            _ => None,
+        }
+    }
+
     /// The execution index pairs tracked under this strategy.
     pub fn pairs(self, k: usize) -> Vec<(usize, usize)> {
         match self {
@@ -142,5 +168,21 @@ mod tests {
     fn method_names_are_distinct() {
         let names: std::collections::HashSet<_> = Method::all().iter().map(|m| m.name()).collect();
         assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn names_roundtrip_through_from_name() {
+        for m in Method::all() {
+            assert_eq!(Method::from_name(m.name()), Some(m));
+        }
+        assert_eq!(Method::from_name("magic"), None);
+        for p in [
+            PairStrategy::None,
+            PairStrategy::Consecutive,
+            PairStrategy::AllPairs,
+        ] {
+            assert_eq!(PairStrategy::from_name(p.name()), Some(p));
+        }
+        assert_eq!(PairStrategy::from_name("some"), None);
     }
 }

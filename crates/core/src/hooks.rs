@@ -1,0 +1,161 @@
+//! Cooperative cancellation and progress observation for long runs.
+//!
+//! A relational verification walks through well-separated phases — margin
+//! analyses, per-execution abstract analyses, pairwise difference
+//! analyses, LP assembly, and the solve. Long-running callers (the
+//! `raven-serve` job workers, interactive sweeps) need two things the
+//! phase structure makes cheap to provide: a *cancel* flag polled at every
+//! phase boundary, and a *progress* callback fired as each phase starts.
+//!
+//! Cancellation is cooperative and phase-granular: an in-progress simplex
+//! solve is not interrupted, but no new phase begins once the flag is set.
+//! A cancelled run yields `None` rather than a partial (and therefore
+//! untrustworthy) result.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// The phases reported to progress observers, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Per-input individual margin analyses.
+    Margins,
+    /// Per-execution abstract analyses (DeepPoly runs).
+    Analysis,
+    /// Pairwise DiffPoly difference analyses.
+    DiffPoly,
+    /// LP/MILP assembly.
+    Encode,
+    /// LP/MILP solving.
+    Solve,
+}
+
+impl Phase {
+    /// Short lowercase name (stable; used in progress logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Margins => "margins",
+            Phase::Analysis => "analysis",
+            Phase::DiffPoly => "diffpoly",
+            Phase::Encode => "encode",
+            Phase::Solve => "solve",
+        }
+    }
+}
+
+/// Hooks threaded through a verification run.
+///
+/// The default hooks never cancel and observe nothing, so
+/// [`crate::verify_uap`] and [`crate::verify_monotonicity`] delegate to
+/// the hook-taking variants at zero behavioral cost.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::atomic::AtomicBool;
+/// use raven::hooks::RunHooks;
+///
+/// let cancel = AtomicBool::new(false);
+/// let hooks = RunHooks::default().with_cancel(&cancel);
+/// assert!(!hooks.cancelled());
+/// cancel.store(true, std::sync::atomic::Ordering::SeqCst);
+/// assert!(hooks.cancelled());
+/// ```
+#[derive(Default, Clone, Copy)]
+pub struct RunHooks<'a> {
+    cancel: Option<&'a AtomicBool>,
+    progress: Option<&'a (dyn Fn(Phase) + Sync)>,
+}
+
+impl<'a> RunHooks<'a> {
+    /// Attaches a cancel flag, polled at phase boundaries.
+    pub fn with_cancel(mut self, flag: &'a AtomicBool) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// Attaches a progress observer, called as each phase starts.
+    pub fn with_progress(mut self, observer: &'a (dyn Fn(Phase) + Sync)) -> Self {
+        self.progress = Some(observer);
+        self
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn cancelled(&self) -> bool {
+        self.cancel.is_some_and(|c| c.load(Ordering::SeqCst))
+    }
+
+    /// Reports a phase start and returns `false` when the run should stop.
+    pub(crate) fn enter(&self, phase: Phase) -> bool {
+        if self.cancelled() {
+            return false;
+        }
+        if let Some(p) = self.progress {
+            p(phase);
+        }
+        true
+    }
+}
+
+impl std::fmt::Debug for RunHooks<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunHooks")
+            .field("cancel", &self.cancel.map(|c| c.load(Ordering::SeqCst)))
+            .field("progress", &self.progress.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn default_hooks_never_cancel_and_enter_every_phase() {
+        let hooks = RunHooks::default();
+        assert!(!hooks.cancelled());
+        for p in [
+            Phase::Margins,
+            Phase::Analysis,
+            Phase::DiffPoly,
+            Phase::Encode,
+            Phase::Solve,
+        ] {
+            assert!(hooks.enter(p));
+        }
+    }
+
+    #[test]
+    fn progress_observer_sees_phases_in_order() {
+        let seen: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+        let observer = |p: Phase| seen.lock().unwrap().push(p.name());
+        let hooks = RunHooks::default().with_progress(&observer);
+        hooks.enter(Phase::Margins);
+        hooks.enter(Phase::Solve);
+        assert_eq!(*seen.lock().unwrap(), vec!["margins", "solve"]);
+    }
+
+    #[test]
+    fn cancel_flag_stops_phase_entry() {
+        let cancel = AtomicBool::new(false);
+        let hooks = RunHooks::default().with_cancel(&cancel);
+        assert!(hooks.enter(Phase::Margins));
+        cancel.store(true, Ordering::SeqCst);
+        assert!(!hooks.enter(Phase::Analysis));
+    }
+
+    #[test]
+    fn phase_names_are_distinct() {
+        let names: std::collections::HashSet<_> = [
+            Phase::Margins,
+            Phase::Analysis,
+            Phase::DiffPoly,
+            Phase::Encode,
+            Phase::Solve,
+        ]
+        .iter()
+        .map(|p| p.name())
+        .collect();
+        assert_eq!(names.len(), 5);
+    }
+}

@@ -43,18 +43,23 @@
 
 mod config;
 pub mod encode;
+pub mod hooks;
 pub mod margin;
 mod monotonicity;
 pub mod par;
 pub mod refine;
 pub mod relational;
+pub mod report;
 pub mod sweep;
 mod uap;
 
 pub use config::{Method, PairStrategy, RavenConfig};
-pub use monotonicity::{verify_monotonicity, MonotonicityProblem, MonotonicityResult};
+pub use hooks::{Phase, RunHooks};
+pub use monotonicity::{
+    verify_monotonicity, verify_monotonicity_with_hooks, MonotonicityProblem, MonotonicityResult,
+};
 pub use relational::{InputCoord, OutputQuery, RelationalBound, RelationalProblem};
 pub use uap::{
-    replay_uap_delta, verify_targeted_uap, verify_uap, verify_uap_l1, TargetedUapProblem,
-    TargetedUapResult, UapProblem, UapResult,
+    replay_uap_delta, verify_targeted_uap, verify_uap, verify_uap_l1, verify_uap_with_hooks,
+    TargetedUapProblem, TargetedUapResult, UapProblem, UapResult,
 };

@@ -9,6 +9,7 @@
 
 use crate::config::{Method, RavenConfig};
 use crate::encode::{encode, Expr};
+use crate::hooks::{Phase, RunHooks};
 use raven_deeppoly::DeepPolyAnalysis;
 use raven_diffpoly::DiffPolyAnalysis;
 use raven_interval::{linf_ball, Interval, IntervalAnalysis};
@@ -98,6 +99,22 @@ pub fn verify_monotonicity(
     method: Method,
     config: &RavenConfig,
 ) -> MonotonicityResult {
+    verify_monotonicity_with_hooks(problem, method, config, &RunHooks::default())
+        .expect("default hooks never cancel")
+}
+
+/// [`verify_monotonicity`] with cancellation/progress hooks. Returns
+/// `None` when the run was cancelled at a phase boundary.
+///
+/// # Panics
+///
+/// Panics on the same shape violations as [`verify_monotonicity`].
+pub fn verify_monotonicity_with_hooks(
+    problem: &MonotonicityProblem,
+    method: Method,
+    config: &RavenConfig,
+    hooks: &RunHooks<'_>,
+) -> Option<MonotonicityResult> {
     assert!(
         problem.feature < problem.plan.input_dim(),
         "feature index out of range"
@@ -105,6 +122,9 @@ pub fn verify_monotonicity(
     assert!(problem.tau >= 0.0, "tau must be non-negative");
     let start = Instant::now();
     let sign = if problem.increasing { 1.0 } else { -1.0 };
+    if !hooks.enter(Phase::Analysis) {
+        return None;
+    }
     let certified_change = match method {
         Method::Box | Method::ZonotopeIndividual | Method::DeepPolyIndividual => {
             let splan = score_plan(&problem.plan, &problem.output_weights);
@@ -133,14 +153,16 @@ pub fn verify_monotonicity(
                 score_a.lo() - score_b.hi()
             }
         }
-        Method::IoLp | Method::Raven => verify_monotonicity_lp(problem, method, config, sign),
+        Method::IoLp | Method::Raven => {
+            verify_monotonicity_lp(problem, method, config, sign, hooks)?
+        }
     };
-    MonotonicityResult {
+    Some(MonotonicityResult {
         method,
         certified_change,
         verified: certified_change >= 0.0,
         solve_millis: start.elapsed().as_secs_f64() * 1e3,
-    }
+    })
 }
 
 fn verify_monotonicity_lp(
@@ -148,7 +170,8 @@ fn verify_monotonicity_lp(
     method: Method,
     config: &RavenConfig,
     sign: f64,
-) -> f64 {
+    hooks: &RunHooks<'_>,
+) -> Option<f64> {
     let plan = &problem.plan;
     let (box_a, box_b) = input_boxes(problem);
     let dp_a = DeepPolyAnalysis::run(plan, &box_a);
@@ -172,6 +195,9 @@ fn verify_monotonicity_lp(
             }
         })
         .collect();
+    if !hooks.enter(Phase::DiffPoly) {
+        return None;
+    }
     let diffs: Vec<(usize, usize, DiffPolyAnalysis)> = if method == Method::Raven {
         let delta: Vec<Interval> = (0..plan.input_dim())
             .map(|j| {
@@ -187,6 +213,9 @@ fn verify_monotonicity_lp(
     } else {
         Vec::new()
     };
+    if !hooks.enter(Phase::Encode) {
+        return None;
+    }
     let dp_refs = vec![&dp_a, &dp_b];
     let input_exprs = vec![exprs_a, exprs_b];
     let pair_refs: Vec<(usize, usize, &DiffPolyAnalysis)> =
@@ -201,12 +230,15 @@ fn verify_monotonicity_lp(
         obj.push(sign * w, encoding.execs[1].outputs[c]);
         obj.push(-sign * w, encoding.execs[0].outputs[c]);
     }
+    if !hooks.enter(Phase::Solve) {
+        return None;
+    }
     lp.set_objective(Direction::Minimize, obj);
-    match lp.solve_with(&config.simplex) {
+    Some(match lp.solve_with(&config.simplex) {
         Ok(sol) if sol.status == SolveStatus::Optimal => sol.objective,
         // Conservative failure answer: an uncertifiable change.
         _ => f64::NEG_INFINITY,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -300,6 +332,27 @@ mod tests {
         p.increasing = false;
         let res = verify_monotonicity(&p, Method::Raven, &RavenConfig::default());
         assert!(!res.verified);
+    }
+
+    #[test]
+    fn hooks_cancel_monotonicity_runs() {
+        use std::sync::atomic::AtomicBool;
+        let p = problem(0.2);
+        let cancel = AtomicBool::new(true);
+        let hooks = RunHooks::default().with_cancel(&cancel);
+        assert!(
+            verify_monotonicity_with_hooks(&p, Method::Raven, &RavenConfig::default(), &hooks)
+                .is_none()
+        );
+        let plain = verify_monotonicity(&p, Method::Raven, &RavenConfig::default());
+        let hooked = verify_monotonicity_with_hooks(
+            &p,
+            Method::Raven,
+            &RavenConfig::default(),
+            &RunHooks::default(),
+        )
+        .unwrap();
+        assert_eq!(plain.certified_change, hooked.certified_change);
     }
 
     #[test]

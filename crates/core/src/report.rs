@@ -1,0 +1,154 @@
+//! Machine-readable result objects.
+//!
+//! One function per property family builds the canonical JSON *verdict*
+//! object. Both `raven_cli --json` and the `raven-serve` HTTP responses
+//! render results through these functions, so the two output formats are
+//! the same code path and cannot drift — an acceptance requirement of the
+//! service layer (a server response's `result` field is byte-identical to
+//! the CLI's `result` field for the same query).
+//!
+//! Verdict objects are **deterministic**: they carry no timing and no
+//! environment information, which makes them safe to cache and to compare
+//! byte-for-byte. Wall-clock timing travels next to the verdict in each
+//! envelope (`solve_millis`), never inside it.
+
+use crate::{MonotonicityProblem, MonotonicityResult, UapResult};
+use raven_json::Json;
+
+/// The canonical verdict object for a UAP run.
+///
+/// `verified` means the whole batch is certified (worst-case accuracy 1).
+///
+/// # Examples
+///
+/// ```
+/// use raven::{report, verify_uap, Method, RavenConfig, UapProblem};
+/// use raven_nn::{ActKind, NetworkBuilder};
+///
+/// let net = NetworkBuilder::new(2).dense(2, 5).build();
+/// let problem = UapProblem {
+///     plan: net.to_plan(),
+///     inputs: vec![vec![0.2, 0.8]],
+///     labels: vec![net.classify(&[0.2, 0.8])],
+///     eps: 1e-6,
+/// };
+/// let res = verify_uap(&problem, Method::Raven, &RavenConfig::default());
+/// let v = report::uap_verdict_json(problem.k(), problem.eps, &res);
+/// assert_eq!(v.get("property").unwrap().as_str(), Some("uap"));
+/// assert_eq!(v.get("verified").unwrap().as_bool(), Some(true));
+/// ```
+pub fn uap_verdict_json(k: usize, eps: f64, res: &UapResult) -> Json {
+    Json::obj([
+        ("property", Json::from("uap")),
+        ("method", Json::from(res.method.name())),
+        ("k", Json::from(k)),
+        ("eps", Json::from(eps)),
+        ("verified", Json::from(res.worst_case_accuracy >= 1.0)),
+        ("worst_case_accuracy", Json::from(res.worst_case_accuracy)),
+        ("worst_case_hamming", Json::from(res.worst_case_hamming)),
+        (
+            "individually_verified",
+            Json::from(res.individually_verified),
+        ),
+        ("exact", Json::from(res.exact)),
+        ("lp_rows", Json::from(res.lp_rows)),
+        ("lp_vars", Json::from(res.lp_vars)),
+        (
+            "counterexample_delta",
+            match &res.counterexample_delta {
+                Some(d) => Json::num_array(d),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
+/// The canonical verdict object for a monotonicity run.
+pub fn mono_verdict_json(problem: &MonotonicityProblem, res: &MonotonicityResult) -> Json {
+    Json::obj([
+        ("property", Json::from("monotonicity")),
+        ("method", Json::from(res.method.name())),
+        ("feature", Json::from(problem.feature)),
+        ("tau", Json::from(problem.tau)),
+        ("eps", Json::from(problem.eps)),
+        (
+            "direction",
+            Json::from(if problem.increasing {
+                "non-decreasing"
+            } else {
+                "non-increasing"
+            }),
+        ),
+        ("verified", Json::from(res.verified)),
+        ("certified_change", Json::from(res.certified_change)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{verify_monotonicity, verify_uap, Method, RavenConfig, UapProblem};
+    use raven_nn::{ActKind, NetworkBuilder};
+
+    fn tiny_problem() -> UapProblem {
+        let net = NetworkBuilder::new(3)
+            .dense(4, 31)
+            .activation(ActKind::Relu)
+            .dense(2, 32)
+            .build();
+        let a = vec![0.2, 0.5, 0.8];
+        let b = vec![0.7, 0.1, 0.4];
+        UapProblem {
+            labels: vec![net.classify(&a), net.classify(&b)],
+            plan: net.to_plan(),
+            inputs: vec![a, b],
+            eps: 0.05,
+        }
+    }
+
+    #[test]
+    fn uap_verdict_is_deterministic_and_parseable() {
+        let problem = tiny_problem();
+        let config = RavenConfig::default();
+        let r1 = verify_uap(&problem, Method::Raven, &config);
+        let r2 = verify_uap(&problem, Method::Raven, &config);
+        let v1 = uap_verdict_json(problem.k(), problem.eps, &r1);
+        let v2 = uap_verdict_json(problem.k(), problem.eps, &r2);
+        // Timing differs between the runs; the verdict must not.
+        assert_eq!(v1.to_string(), v2.to_string());
+        let back = raven_json::Json::parse(&v1.to_string()).unwrap();
+        assert_eq!(back.get("k").unwrap().as_usize(), Some(2));
+        assert_eq!(
+            back.get("method").unwrap().as_str(),
+            Some(Method::Raven.name())
+        );
+        assert_eq!(
+            back.get("worst_case_accuracy").unwrap().as_f64(),
+            Some(r1.worst_case_accuracy)
+        );
+    }
+
+    #[test]
+    fn mono_verdict_reflects_direction_and_outcome() {
+        let net = NetworkBuilder::new(2)
+            .dense_from(&[&[1.0, 0.0], &[0.0, 1.0]], &[0.0, 0.0])
+            .build();
+        let problem = MonotonicityProblem {
+            plan: net.to_plan(),
+            center: vec![0.5, 0.5],
+            eps: 0.05,
+            feature: 0,
+            tau: 0.1,
+            output_weights: vec![-1.0, 1.0],
+            increasing: false,
+        };
+        let res = verify_monotonicity(&problem, Method::Raven, &RavenConfig::default());
+        let v = mono_verdict_json(&problem, &res);
+        assert_eq!(v.get("direction").unwrap().as_str(), Some("non-increasing"));
+        assert_eq!(v.get("verified").unwrap().as_bool(), Some(res.verified));
+        assert_eq!(
+            v.get("certified_change").unwrap().as_f64(),
+            Some(res.certified_change)
+        );
+    }
+}

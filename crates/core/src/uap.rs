@@ -9,6 +9,7 @@
 
 use crate::config::{Method, RavenConfig};
 use crate::encode::{encode, Expr};
+use crate::hooks::{Phase, RunHooks};
 use crate::margin::{all_positive, box_margins, deeppoly_margins, zonotope_margins};
 use raven_deeppoly::DeepPolyAnalysis;
 use raven_diffpoly::DiffPolyAnalysis;
@@ -122,9 +123,15 @@ pub fn verify_uap_l1(
             // with the per-dimension cap is a sound over-approximation.
             verify_uap_on_box(problem, &delta_box, method, config)
         }
-        Method::IoLp | Method::Raven => {
-            verify_uap_with_extra(problem, &delta_box, method, config, Some(l1_budget))
-        }
+        Method::IoLp | Method::Raven => verify_uap_with_extra(
+            problem,
+            &delta_box,
+            method,
+            config,
+            Some(l1_budget),
+            &RunHooks::default(),
+        )
+        .expect("default hooks never cancel"),
     }
 }
 
@@ -143,8 +150,26 @@ fn exec_box(z: &[f64], delta_box: &[Interval]) -> Vec<Interval> {
 /// Panics when inputs/labels lengths disagree, the batch is empty, or a
 /// label is out of range.
 pub fn verify_uap(problem: &UapProblem, method: Method, config: &RavenConfig) -> UapResult {
+    verify_uap_with_hooks(problem, method, config, &RunHooks::default())
+        .expect("default hooks never cancel")
+}
+
+/// [`verify_uap`] with cancellation/progress hooks threaded through every
+/// phase. Returns `None` when the run was cancelled at a phase boundary
+/// (an in-progress solve is never interrupted; no partial result is
+/// produced).
+///
+/// # Panics
+///
+/// Panics on the same shape violations as [`verify_uap`].
+pub fn verify_uap_with_hooks(
+    problem: &UapProblem,
+    method: Method,
+    config: &RavenConfig,
+    hooks: &RunHooks<'_>,
+) -> Option<UapResult> {
     let delta_box = vec![Interval::symmetric(problem.eps); problem.plan.input_dim()];
-    verify_uap_on_box(problem, &delta_box, method, config)
+    verify_uap_with_extra(problem, &delta_box, method, config, None, hooks)
 }
 
 /// Verifies a UAP instance over an explicit shared-perturbation box
@@ -161,17 +186,27 @@ pub(crate) fn verify_uap_on_box(
     method: Method,
     config: &RavenConfig,
 ) -> UapResult {
-    verify_uap_with_extra(problem, delta_box, method, config, None)
+    verify_uap_with_extra(
+        problem,
+        delta_box,
+        method,
+        config,
+        None,
+        &RunHooks::default(),
+    )
+    .expect("default hooks never cancel")
 }
 
-/// Shared implementation: optional exact ℓ1-budget rows on the LP paths.
+/// Shared implementation: optional exact ℓ1-budget rows on the LP paths,
+/// cancellation polled at phase boundaries.
 fn verify_uap_with_extra(
     problem: &UapProblem,
     delta_box: &[Interval],
     method: Method,
     config: &RavenConfig,
     l1_budget: Option<f64>,
-) -> UapResult {
+    hooks: &RunHooks<'_>,
+) -> Option<UapResult> {
     assert_eq!(
         problem.inputs.len(),
         problem.labels.len(),
@@ -190,6 +225,9 @@ fn verify_uap_with_extra(
     );
     let start = Instant::now();
     let k = problem.k();
+    if !hooks.enter(Phase::Margins) {
+        return None;
+    }
     // Per-input individual margins (used directly by the baselines, and for
     // candidate-class pruning by the LP methods). Each input is independent,
     // so the batch fans out across the configured worker threads.
@@ -204,7 +242,7 @@ fn verify_uap_with_extra(
     });
     let individually_verified = margins.iter().filter(|m| all_positive(m)).count();
     match method {
-        Method::Box | Method::ZonotopeIndividual | Method::DeepPolyIndividual => UapResult {
+        Method::Box | Method::ZonotopeIndividual | Method::DeepPolyIndividual => Some(UapResult {
             method,
             worst_case_accuracy: individually_verified as f64 / k as f64,
             worst_case_hamming: (k - individually_verified) as f64,
@@ -214,7 +252,7 @@ fn verify_uap_with_extra(
             lp_vars: 0,
             exact: true,
             counterexample_delta: None,
-        },
+        }),
         Method::IoLp => verify_uap_io(
             problem,
             delta_box,
@@ -223,6 +261,7 @@ fn verify_uap_with_extra(
             individually_verified,
             start,
             l1_budget,
+            hooks,
         ),
         Method::Raven => verify_uap_lp(
             problem,
@@ -233,6 +272,7 @@ fn verify_uap_with_extra(
             individually_verified,
             start,
             l1_budget,
+            hooks,
         ),
     }
 }
@@ -264,7 +304,11 @@ fn verify_uap_io(
     individually_verified: usize,
     start: Instant,
     l1_budget: Option<f64>,
-) -> UapResult {
+    hooks: &RunHooks<'_>,
+) -> Option<UapResult> {
+    if !hooks.enter(Phase::Analysis) {
+        return None;
+    }
     let k = problem.k();
     let plan = &problem.plan;
     let out_dim = plan.output_dim();
@@ -349,7 +393,7 @@ fn verify_uap_io(
     let lp_rows = lp.num_constraints();
     let lp_vars = lp.num_vars();
     if !any_indicator {
-        return UapResult {
+        return Some(UapResult {
             method: Method::IoLp,
             worst_case_accuracy: 1.0,
             worst_case_hamming: 0.0,
@@ -359,12 +403,15 @@ fn verify_uap_io(
             lp_vars,
             exact: true,
             counterexample_delta: None,
-        };
+        });
+    }
+    if !hooks.enter(Phase::Solve) {
+        return None;
     }
     lp.set_objective(Direction::Maximize, objective);
     let (max_misclassified, exact, witness) = solve_spec_with_witness(&lp, config, &d_vars);
     let max_misclassified = max_misclassified.clamp(0.0, k as f64);
-    UapResult {
+    Some(UapResult {
         method: Method::IoLp,
         worst_case_accuracy: (k as f64 - max_misclassified) / k as f64,
         worst_case_hamming: max_misclassified,
@@ -374,7 +421,7 @@ fn verify_uap_io(
         lp_vars,
         exact,
         counterexample_delta: witness,
-    }
+    })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -387,15 +434,22 @@ fn verify_uap_lp(
     individually_verified: usize,
     start: Instant,
     l1_budget: Option<f64>,
-) -> UapResult {
+    hooks: &RunHooks<'_>,
+) -> Option<UapResult> {
     let k = problem.k();
     let plan = &problem.plan;
     let out_dim = plan.output_dim();
+    if !hooks.enter(Phase::Analysis) {
+        return None;
+    }
     // Per-execution DeepPoly analyses over the individual balls, fanned out
     // across the configured worker threads.
     let dps: Vec<DeepPolyAnalysis> = crate::par::map(config.threads, &problem.inputs, |z| {
         DeepPolyAnalysis::run(plan, &exec_box(z, delta_box))
     });
+    if !hooks.enter(Phase::DiffPoly) {
+        return None;
+    }
     // DiffPoly pairs per the configured strategy; each pair only reads the
     // already-computed per-execution analyses, so pairs are independent.
     let pair_indices = config.pairs.pairs(k);
@@ -408,6 +462,9 @@ fn verify_uap_lp(
                 .collect();
             (a, b, DiffPolyAnalysis::run(plan, &dps[a], &dps[b], &delta))
         });
+    if !hooks.enter(Phase::Encode) {
+        return None;
+    }
     // Build the LP.
     let mut lp = LpProblem::new();
     let d_vars: Vec<VarId> = delta_box
@@ -474,7 +531,7 @@ fn verify_uap_lp(
     let lp_vars = lp.num_vars();
     if !any_indicator {
         // Everything individually robust; no adversary possible.
-        return UapResult {
+        return Some(UapResult {
             method,
             worst_case_accuracy: 1.0,
             worst_case_hamming: 0.0,
@@ -484,14 +541,17 @@ fn verify_uap_lp(
             lp_vars,
             exact: true,
             counterexample_delta: None,
-        };
+        });
+    }
+    if !hooks.enter(Phase::Solve) {
+        return None;
     }
     lp.set_objective(Direction::Maximize, objective);
     // Solve: MILP when configured, falling back to the LP relaxation (still
     // sound — the relaxation only over-counts misclassifications).
     let (max_misclassified, exact, witness) = solve_spec_with_witness(&lp, config, &d_vars);
     let max_misclassified = max_misclassified.clamp(0.0, k as f64);
-    UapResult {
+    Some(UapResult {
         method,
         worst_case_accuracy: (k as f64 - max_misclassified) / k as f64,
         worst_case_hamming: max_misclassified,
@@ -501,7 +561,7 @@ fn verify_uap_lp(
         lp_vars,
         exact,
         counterexample_delta: witness,
-    }
+    })
 }
 
 /// A targeted-UAP verification instance: the adversary tries to force as
@@ -885,6 +945,39 @@ mod tests {
             // No LP was needed: everything was individually robust.
             assert_eq!(res.worst_case_accuracy, 1.0);
         }
+    }
+
+    #[test]
+    fn hooks_cancel_and_report_phases() {
+        use crate::hooks::RunHooks;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Mutex;
+        let (problem, _) = trained_problem(0.1, 3);
+        let config = RavenConfig::default();
+        // A pre-set cancel flag stops the run before any work.
+        let cancel = AtomicBool::new(true);
+        let hooks = RunHooks::default().with_cancel(&cancel);
+        assert!(verify_uap_with_hooks(&problem, Method::Raven, &config, &hooks).is_none());
+        // Cancelling after the margins phase stops before the solve.
+        let cancel = AtomicBool::new(false);
+        let seen: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+        let observer = |p: Phase| {
+            seen.lock().unwrap().push(p.name());
+            if p == Phase::Analysis {
+                cancel.store(true, Ordering::SeqCst);
+            }
+        };
+        let hooks = RunHooks::default()
+            .with_cancel(&cancel)
+            .with_progress(&observer);
+        assert!(verify_uap_with_hooks(&problem, Method::Raven, &config, &hooks).is_none());
+        assert_eq!(*seen.lock().unwrap(), vec!["margins", "analysis"]);
+        // Unset hooks reproduce the plain result exactly.
+        let plain = verify_uap(&problem, Method::Raven, &config);
+        let hooked =
+            verify_uap_with_hooks(&problem, Method::Raven, &config, &RunHooks::default()).unwrap();
+        assert_eq!(plain.worst_case_accuracy, hooked.worst_case_accuracy);
+        assert_eq!(plain.counterexample_delta, hooked.counterexample_delta);
     }
 
     #[test]

@@ -1,0 +1,35 @@
+//! Minimal std-only JSON for the RaVeN verification service.
+//!
+//! The workspace policy (PR 1) forbids registry dependencies, so the
+//! service layer cannot use `serde`. This crate provides the small JSON
+//! subset the server and the CLI's `--json` mode need: a [`Json`] value
+//! type with **order-preserving** objects (so serialization is
+//! deterministic and responses can be compared byte-for-byte), a compact
+//! writer with full string escaping, and a recursive-descent parser.
+//!
+//! Numbers are `f64` throughout. Non-finite floats have no JSON
+//! representation and serialize as `null`, mirroring what dynamic-language
+//! encoders do.
+//!
+//! # Examples
+//!
+//! ```
+//! use raven_json::Json;
+//!
+//! let v = Json::obj([
+//!     ("name", Json::from("demo")),
+//!     ("eps", Json::from(0.05)),
+//!     ("labels", Json::Arr(vec![Json::from(1.0), Json::from(0.0)])),
+//! ]);
+//! let text = v.to_string();
+//! assert_eq!(text, r#"{"name":"demo","eps":0.05,"labels":[1,0]}"#);
+//! let back = Json::parse(&text).unwrap();
+//! assert_eq!(back.get("eps").and_then(Json::as_f64), Some(0.05));
+//! ```
+
+mod parse;
+mod value;
+mod write;
+
+pub use parse::ParseError;
+pub use value::Json;

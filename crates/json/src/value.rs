@@ -1,0 +1,166 @@
+//! The JSON value type and accessors.
+
+/// A JSON value.
+///
+/// Objects preserve insertion order (they are association vectors, not
+/// hash maps), which makes serialization deterministic — a property the
+/// result cache and the byte-identity acceptance tests rely on. Duplicate
+/// keys are not rejected; [`Json::get`] returns the first match.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always an `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use raven_json::Json;
+    /// let v = Json::obj([("a", Json::from(1.0))]);
+    /// assert_eq!(v.get("a"), Some(&Json::Num(1.0)));
+    /// ```
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array of numbers from an `f64` slice.
+    pub fn num_array(xs: &[f64]) -> Json {
+        Json::Arr(xs.iter().map(|&x| Json::Num(x)).collect())
+    }
+
+    /// Object field lookup (first match); `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, when this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as a `usize`, when this is a non-negative
+    /// integer-valued number.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u32::MAX as f64 => {
+                Some(*x as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string value, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, when this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element vector, when this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Interprets this value as a vector of `f64` (an array of numbers).
+    pub fn as_f64_vec(&self) -> Option<Vec<f64>> {
+        self.as_array()?.iter().map(Json::as_f64).collect()
+    }
+
+    /// `true` when this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_reject_wrong_types() {
+        let v = Json::obj([("x", Json::from(2.0)), ("s", Json::from("hi"))]);
+        assert_eq!(v.get("x").unwrap().as_f64(), Some(2.0));
+        assert_eq!(v.get("x").unwrap().as_usize(), Some(2));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("hi"));
+        assert!(v.get("s").unwrap().as_f64().is_none());
+        assert!(v.get("missing").is_none());
+        assert!(Json::Null.get("x").is_none());
+        assert!(Json::Num(1.5).as_usize().is_none());
+        assert!(Json::Num(-1.0).as_usize().is_none());
+    }
+
+    #[test]
+    fn f64_vec_roundtrip() {
+        let v = Json::num_array(&[1.0, -2.5, 0.0]);
+        assert_eq!(v.as_f64_vec(), Some(vec![1.0, -2.5, 0.0]));
+        let mixed = Json::Arr(vec![Json::Num(1.0), Json::Str("x".into())]);
+        assert!(mixed.as_f64_vec().is_none());
+    }
+
+    #[test]
+    fn first_key_wins_on_duplicates() {
+        let v = Json::obj([("k", Json::from(1.0)), ("k", Json::from(2.0))]);
+        assert_eq!(v.get("k").unwrap().as_f64(), Some(1.0));
+    }
+}

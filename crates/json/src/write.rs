@@ -1,0 +1,103 @@
+//! Compact JSON serialization.
+
+use crate::Json;
+use std::fmt;
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(true) => f.write_str("true"),
+            Json::Bool(false) => f.write_str("false"),
+            Json::Num(x) => write_num(f, *x),
+            Json::Str(s) => write_str(f, s),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_str(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Numbers use Rust's shortest-roundtrip `f64` formatting; integral values
+/// print without a fractional part. Non-finite values become `null`.
+fn write_num(f: &mut fmt::Formatter<'_>, x: f64) -> fmt::Result {
+    if !x.is_finite() {
+        return f.write_str("null");
+    }
+    // `{}` on f64 is shortest-roundtrip in Rust, so `Json::parse` of the
+    // output recovers the exact bits; integral values render as "42".
+    write!(f, "{x}")
+}
+
+fn write_str(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            '\u{0008}' => f.write_str("\\b")?,
+            '\u{000C}' => f.write_str("\\f")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_nesting_serialize_compactly() {
+        let v = Json::obj([
+            ("a", Json::Null),
+            ("b", Json::Bool(true)),
+            ("c", Json::Arr(vec![Json::Num(1.0), Json::Num(2.5)])),
+        ]);
+        assert_eq!(v.to_string(), r#"{"a":null,"b":true,"c":[1,2.5]}"#);
+    }
+
+    #[test]
+    fn strings_escape_control_and_special_characters() {
+        let v = Json::from("a\"b\\c\nd\te\u{0001}f");
+        assert_eq!(v.to_string(), r#""a\"b\\c\nd\te\u0001f""#);
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn floats_roundtrip_through_display() {
+        for x in [0.1, 1.0 / 3.0, 1e-308, 123456789.123456, -0.0] {
+            let text = Json::Num(x).to_string();
+            let back: f64 = text.parse().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {text}");
+        }
+    }
+}

@@ -50,4 +50,6 @@ pub use error::NnError;
 pub use layer::{BatchNorm, Conv2d, Dense, Layer};
 pub use network::Network;
 pub use plan::{AnalysisPlan, PlanStep};
-pub use serialize::{load_network, network_to_string, parse_network, save_network};
+pub use serialize::{
+    fnv1a64, load_network, network_fingerprint, network_to_string, parse_network, save_network,
+};

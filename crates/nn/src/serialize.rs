@@ -255,6 +255,41 @@ pub fn parse_network(text: &str) -> Result<Network, NnError> {
     Network::new(input_dim, layers)
 }
 
+/// Content hash of a network: FNV-1a 64 over the canonical text
+/// serialization.
+///
+/// Two networks hash equal iff their serializations are byte-identical —
+/// since `{v:?}` float formatting is shortest-roundtrip, that means
+/// bit-identical parameters and identical architecture. The service layer
+/// uses this as the model component of its result-cache key, so cached
+/// verdicts can never be served for a model whose weights changed on disk.
+///
+/// # Examples
+///
+/// ```
+/// use raven_nn::{network_fingerprint, NetworkBuilder};
+///
+/// let a = NetworkBuilder::new(2).dense(3, 7).build();
+/// let b = NetworkBuilder::new(2).dense(3, 7).build();
+/// let c = NetworkBuilder::new(2).dense(3, 8).build();
+/// assert_eq!(network_fingerprint(&a), network_fingerprint(&b));
+/// assert_ne!(network_fingerprint(&a), network_fingerprint(&c));
+/// ```
+pub fn network_fingerprint(net: &Network) -> u64 {
+    fnv1a64(network_to_string(net).as_bytes())
+}
+
+/// FNV-1a 64-bit over a byte string — the workspace's standard content
+/// hash (deterministic across platforms, no registry deps).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Saves a network to `path` in the text format.
 ///
 /// # Errors
@@ -326,6 +361,49 @@ mod tests {
         let text = "# model\nraven-net v1\n\ninput 1\n# layer\nact relu\nend\n";
         let net = parse_network(text).expect("parses");
         assert_eq!(net.layers().len(), 1);
+    }
+
+    #[test]
+    fn fingerprint_is_sensitive_to_every_parameter() {
+        let base = NetworkBuilder::new(3)
+            .dense(4, 21)
+            .activation(ActKind::Relu)
+            .dense(2, 22)
+            .build();
+        let fp = network_fingerprint(&base);
+        assert_eq!(fp, network_fingerprint(&base), "fingerprint is stable");
+        // A one-ULP weight nudge must change the hash.
+        let mut text = network_to_string(&base);
+        let pos = text.find("dense").unwrap();
+        let line_start = text[pos..].find('\n').unwrap() + pos + 1;
+        let line_end = text[line_start..].find('\n').unwrap() + line_start;
+        let first_row: Vec<f64> = text[line_start..line_end]
+            .split_whitespace()
+            .map(|v| v.parse().unwrap())
+            .collect();
+        let nudged: Vec<String> = first_row
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let v = if i == 0 {
+                    f64::from_bits(v.to_bits() + 1)
+                } else {
+                    v
+                };
+                format!("{v:?}")
+            })
+            .collect();
+        text.replace_range(line_start..line_end, &nudged.join(" "));
+        let tweaked = parse_network(&text).unwrap();
+        assert_ne!(fp, network_fingerprint(&tweaked));
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
     }
 
     #[test]

@@ -1,0 +1,525 @@
+//! Request routing and the verification endpoints.
+//!
+//! Every endpoint parses its JSON body into a [`VerifySpec`], derives the
+//! [`CacheKey`], and runs the query through the shared job queue. Verdict
+//! objects come from `raven::report` — the same functions `raven_cli
+//! --json` uses — so a server response's `result` field is byte-identical
+//! to the CLI's for the same query.
+
+use crate::cache::{CacheKey, CachedResult, PayloadHasher};
+use crate::queue::JobState;
+use crate::registry::ModelEntry;
+use crate::ServerState;
+use raven::hooks::RunHooks;
+use raven::{
+    report, verify_monotonicity_with_hooks, verify_uap_with_hooks, Method, MonotonicityProblem,
+    PairStrategy, RavenConfig, UapProblem,
+};
+use raven_json::Json;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// An HTTP reply: status code plus serialized JSON body.
+pub type Reply = (u16, String);
+
+fn error_reply(status: u16, message: &str) -> Reply {
+    let body = Json::obj([("error", Json::from(message))]).to_string();
+    (status, body)
+}
+
+/// Routes one parsed request to its handler.
+pub fn handle(state: &Arc<ServerState>, method: &str, path: &str, body: &[u8]) -> Reply {
+    match (method, path) {
+        ("GET", "/v1/healthz") => healthz(state),
+        ("GET", "/v1/models") => models(state),
+        ("POST", "/v1/verify/uap") => verify_sync(state, body, Property::Uap),
+        ("POST", "/v1/verify/mono") => verify_sync(state, body, Property::Mono),
+        ("POST", "/v1/jobs") => submit_job(state, body),
+        ("GET", p) if p.starts_with("/v1/jobs/") => job_status(state, p),
+        ("GET" | "POST", _) => error_reply(404, "no such endpoint"),
+        _ => error_reply(405, "method not allowed"),
+    }
+}
+
+fn healthz(state: &Arc<ServerState>) -> Reply {
+    let stats = state.queue.stats();
+    let (hits, misses) = state.cache.counters();
+    let body = Json::obj([
+        ("status", Json::from("ok")),
+        (
+            "uptime_secs",
+            Json::from(state.started.elapsed().as_secs_f64()),
+        ),
+        ("models", Json::from(state.registry.len())),
+        (
+            "queue",
+            Json::obj([
+                ("depth", Json::from(stats.queued)),
+                ("running", Json::from(stats.running)),
+                ("capacity", Json::from(stats.capacity)),
+                ("submitted", Json::from(stats.submitted as f64)),
+                ("completed", Json::from(stats.completed as f64)),
+                ("failed", Json::from(stats.failed as f64)),
+                ("rejected", Json::from(stats.rejected as f64)),
+            ]),
+        ),
+        (
+            "cache",
+            Json::obj([
+                ("hits", Json::from(hits as f64)),
+                ("misses", Json::from(misses as f64)),
+                ("entries", Json::from(state.cache.len())),
+                ("capacity", Json::from(state.cache.capacity())),
+            ]),
+        ),
+    ]);
+    (200, body.to_string())
+}
+
+fn models(state: &Arc<ServerState>) -> Reply {
+    let entries: Vec<Json> = state
+        .registry
+        .entries()
+        .iter()
+        .map(|e| {
+            Json::obj([
+                ("name", Json::from(e.name.as_str())),
+                ("hash", Json::from(e.hash_hex())),
+                ("input_dim", Json::from(e.plan.input_dim())),
+                ("output_dim", Json::from(e.plan.output_dim())),
+            ])
+        })
+        .collect();
+    (200, Json::obj([("models", Json::Arr(entries))]).to_string())
+}
+
+/// Which property family a request targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Property {
+    Uap,
+    Mono,
+}
+
+/// A fully parsed, validated verification request.
+struct VerifySpec {
+    entry: Arc<ModelEntry>,
+    method: Method,
+    config: RavenConfig,
+    eps: f64,
+    payload: Payload,
+    /// Artificial pre-solve delay (milliseconds) — a load-testing knob
+    /// used by the backpressure tests; excluded from the cache key.
+    delay_millis: u64,
+}
+
+enum Payload {
+    Uap {
+        inputs: Vec<Vec<f64>>,
+        labels: Vec<usize>,
+    },
+    Mono {
+        center: Vec<f64>,
+        feature: usize,
+        tau: f64,
+        increasing: bool,
+        output_weights: Vec<f64>,
+    },
+}
+
+impl VerifySpec {
+    fn property_name(&self) -> &'static str {
+        match self.payload {
+            Payload::Uap { .. } => "uap",
+            Payload::Mono { .. } => "monotonicity",
+        }
+    }
+
+    fn cache_key(&self) -> CacheKey {
+        let mut h = PayloadHasher::new();
+        match &self.payload {
+            Payload::Uap { inputs, labels } => {
+                h.usize(inputs.len());
+                for x in inputs {
+                    h.f64s(x);
+                }
+                h.usize(labels.len());
+                for &l in labels {
+                    h.usize(l);
+                }
+            }
+            Payload::Mono {
+                center,
+                feature,
+                tau,
+                increasing,
+                output_weights,
+            } => {
+                h.f64s(center)
+                    .usize(*feature)
+                    .f64(*tau)
+                    .bool(*increasing)
+                    .f64s(output_weights);
+            }
+        }
+        h.bool(self.config.spec_milp);
+        CacheKey {
+            model_hash: self.entry.hash,
+            property: self.property_name(),
+            method: self.method,
+            pairs: self.config.pairs,
+            eps_bits: self.eps.to_bits(),
+            batch_hash: h.finish(),
+        }
+    }
+}
+
+/// Parse failure carrying the status to answer with (400 or 404).
+struct ParseFail(u16, String);
+
+fn bad(msg: impl Into<String>) -> ParseFail {
+    ParseFail(400, msg.into())
+}
+
+fn parse_spec(
+    state: &Arc<ServerState>,
+    body: &[u8],
+    property: Property,
+) -> Result<VerifySpec, ParseFail> {
+    let text = std::str::from_utf8(body).map_err(|_| bad("body is not utf-8"))?;
+    let json = Json::parse(text).map_err(|e| bad(format!("invalid json: {e}")))?;
+    let model = json
+        .get("model")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("missing string field \"model\""))?;
+    let entry = state
+        .registry
+        .get(model)
+        .ok_or_else(|| ParseFail(404, format!("unknown model {model:?}")))?;
+    let eps = json
+        .get("eps")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| bad("missing number field \"eps\""))?;
+    if !eps.is_finite() || eps < 0.0 {
+        return Err(bad("\"eps\" must be finite and non-negative"));
+    }
+    let method = match json.get("method") {
+        None => Method::Raven,
+        Some(m) => {
+            let name = m
+                .as_str()
+                .ok_or_else(|| bad("\"method\" must be a string"))?;
+            Method::from_name(name).ok_or_else(|| {
+                bad(format!(
+                    "unknown method {name:?} (try box, zonotope, deeppoly, io-lp, raven)"
+                ))
+            })?
+        }
+    };
+    let mut config = RavenConfig {
+        threads: state.job_threads,
+        ..RavenConfig::default()
+    };
+    if let Some(p) = json.get("pairs") {
+        let name = p
+            .as_str()
+            .ok_or_else(|| bad("\"pairs\" must be a string"))?;
+        config.pairs = PairStrategy::from_name(name).ok_or_else(|| {
+            bad(format!(
+                "unknown pair strategy {name:?} (try none, consecutive, all)"
+            ))
+        })?;
+    }
+    if let Some(m) = json.get("spec_milp") {
+        config.spec_milp = m
+            .as_bool()
+            .ok_or_else(|| bad("\"spec_milp\" must be a boolean"))?;
+    }
+    let delay_millis = match json.get("delay_millis") {
+        None => 0,
+        Some(d) => d
+            .as_usize()
+            .ok_or_else(|| bad("\"delay_millis\" must be a non-negative integer"))?
+            as u64,
+    };
+    let input_dim = entry.plan.input_dim();
+    let output_dim = entry.plan.output_dim();
+    let payload = match property {
+        Property::Uap => {
+            let inputs = json
+                .get("inputs")
+                .and_then(Json::as_array)
+                .ok_or_else(|| bad("missing array field \"inputs\""))?;
+            let inputs: Vec<Vec<f64>> = inputs
+                .iter()
+                .enumerate()
+                .map(|(i, row)| {
+                    row.as_f64_vec()
+                        .filter(|v| v.len() == input_dim)
+                        .ok_or_else(|| {
+                            bad(format!(
+                                "inputs[{i}] must be an array of {input_dim} numbers"
+                            ))
+                        })
+                })
+                .collect::<Result<_, _>>()?;
+            if inputs.is_empty() {
+                return Err(bad("\"inputs\" must be non-empty"));
+            }
+            let labels = json
+                .get("labels")
+                .and_then(Json::as_array)
+                .ok_or_else(|| bad("missing array field \"labels\""))?;
+            let labels: Vec<usize> = labels
+                .iter()
+                .enumerate()
+                .map(|(i, l)| {
+                    l.as_usize().filter(|&l| l < output_dim).ok_or_else(|| {
+                        bad(format!("labels[{i}] must be an integer < {output_dim}"))
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            if labels.len() != inputs.len() {
+                return Err(bad("\"labels\" and \"inputs\" must have the same length"));
+            }
+            Payload::Uap { inputs, labels }
+        }
+        Property::Mono => {
+            let center = json
+                .get("center")
+                .and_then(Json::as_f64_vec)
+                .filter(|c| c.len() == input_dim)
+                .ok_or_else(|| {
+                    bad(format!(
+                        "\"center\" must be an array of {input_dim} numbers"
+                    ))
+                })?;
+            let feature = json
+                .get("feature")
+                .and_then(Json::as_usize)
+                .filter(|&f| f < input_dim)
+                .ok_or_else(|| bad(format!("\"feature\" must be an integer < {input_dim}")))?;
+            let tau = json
+                .get("tau")
+                .and_then(Json::as_f64)
+                .filter(|t| t.is_finite() && *t >= 0.0)
+                .ok_or_else(|| bad("\"tau\" must be a finite non-negative number"))?;
+            let increasing = match json.get("increasing") {
+                None => true,
+                Some(b) => b
+                    .as_bool()
+                    .ok_or_else(|| bad("\"increasing\" must be a boolean"))?,
+            };
+            let output_weights = match json.get("output_weights") {
+                Some(w) => w
+                    .as_f64_vec()
+                    .filter(|w| w.len() == output_dim)
+                    .ok_or_else(|| {
+                        bad(format!(
+                            "\"output_weights\" must be an array of {output_dim} numbers"
+                        ))
+                    })?,
+                None => {
+                    // Same default score as the CLI: last logit minus first.
+                    let mut w = vec![0.0; output_dim];
+                    w[0] = -1.0;
+                    w[output_dim - 1] = 1.0;
+                    w
+                }
+            };
+            Payload::Mono {
+                center,
+                feature,
+                tau,
+                increasing,
+                output_weights,
+            }
+        }
+    };
+    Ok(VerifySpec {
+        entry,
+        method,
+        config,
+        eps,
+        payload,
+        delay_millis,
+    })
+}
+
+/// Computes the verdict for `spec` (expensive; runs on a worker thread).
+///
+/// Returns the serialized verdict object and the wall-clock milliseconds
+/// spent, or an error when the run was cancelled by server shutdown.
+fn compute_verdict(state: &Arc<ServerState>, spec: &VerifySpec) -> Result<(String, f64), String> {
+    if spec.delay_millis > 0 {
+        std::thread::sleep(std::time::Duration::from_millis(spec.delay_millis));
+    }
+    let hooks = RunHooks::default().with_cancel(&state.cancel);
+    let start = Instant::now();
+    let verdict = match &spec.payload {
+        Payload::Uap { inputs, labels } => {
+            let problem = UapProblem {
+                plan: spec.entry.plan.clone(),
+                inputs: inputs.clone(),
+                labels: labels.clone(),
+                eps: spec.eps,
+            };
+            let res = verify_uap_with_hooks(&problem, spec.method, &spec.config, &hooks)
+                .ok_or_else(|| "verification cancelled by shutdown".to_string())?;
+            report::uap_verdict_json(problem.k(), problem.eps, &res)
+        }
+        Payload::Mono {
+            center,
+            feature,
+            tau,
+            increasing,
+            output_weights,
+        } => {
+            let problem = MonotonicityProblem {
+                plan: spec.entry.plan.clone(),
+                center: center.clone(),
+                eps: spec.eps,
+                feature: *feature,
+                tau: *tau,
+                output_weights: output_weights.clone(),
+                increasing: *increasing,
+            };
+            let res = verify_monotonicity_with_hooks(&problem, spec.method, &spec.config, &hooks)
+                .ok_or_else(|| "verification cancelled by shutdown".to_string())?;
+            report::mono_verdict_json(&problem, &res)
+        }
+    };
+    Ok((verdict.to_string(), start.elapsed().as_secs_f64() * 1e3))
+}
+
+/// Builds the response envelope around a verdict.
+fn envelope(spec: &VerifySpec, verdict: &str, solve_millis: f64, cached: bool) -> Json {
+    let result = Json::parse(verdict).expect("verdicts are valid json");
+    Json::obj([
+        ("kind", Json::from(spec.property_name())),
+        ("model", Json::from(spec.entry.name.as_str())),
+        ("model_hash", Json::from(spec.entry.hash_hex())),
+        ("result", result),
+        ("solve_millis", Json::from(solve_millis)),
+        ("cached", Json::from(cached)),
+    ])
+}
+
+/// The job closure body: cache-aware verdict computation.
+fn run_verify(
+    state: &Arc<ServerState>,
+    spec: &VerifySpec,
+    check_cache: bool,
+) -> Result<Json, String> {
+    let key = spec.cache_key();
+    if check_cache {
+        if let Some(hit) = state.cache.get(&key) {
+            return Ok(envelope(spec, &hit.verdict, hit.solve_millis, true));
+        }
+    }
+    let (verdict, solve_millis) = compute_verdict(state, spec)?;
+    state.cache.put(
+        key,
+        CachedResult {
+            verdict: verdict.clone(),
+            solve_millis,
+        },
+    );
+    Ok(envelope(spec, &verdict, solve_millis, false))
+}
+
+fn verify_sync(state: &Arc<ServerState>, body: &[u8], property: Property) -> Reply {
+    let spec = match parse_spec(state, body, property) {
+        Ok(spec) => spec,
+        Err(ParseFail(status, msg)) => return error_reply(status, &msg),
+    };
+    // Fast path: cache hits are answered without consuming a queue slot.
+    if let Some(hit) = state.cache.get(&spec.cache_key()) {
+        return (
+            200,
+            envelope(&spec, &hit.verdict, hit.solve_millis, true).to_string(),
+        );
+    }
+    let job_state = Arc::clone(state);
+    let id = state.next_job_id.fetch_add(1, Ordering::Relaxed);
+    let slot = match state
+        .queue
+        .submit(id, Box::new(move || run_verify(&job_state, &spec, false)))
+    {
+        Ok(slot) => slot,
+        Err(_) => return error_reply(429, "verification queue is full, retry later"),
+    };
+    match slot.wait_terminal(state.request_timeout) {
+        Some(JobState::Done(response)) => (200, response.to_string()),
+        Some(JobState::Failed(message)) => error_reply(500, &message),
+        Some(_) => unreachable!("wait_terminal only returns terminal states"),
+        None => error_reply(
+            504,
+            "verification exceeded the request timeout (submit via /v1/jobs to poll instead)",
+        ),
+    }
+}
+
+fn submit_job(state: &Arc<ServerState>, body: &[u8]) -> Reply {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return error_reply(400, "body is not utf-8"),
+    };
+    let json = match Json::parse(text) {
+        Ok(j) => j,
+        Err(e) => return error_reply(400, &format!("invalid json: {e}")),
+    };
+    let property = match json.get("property").and_then(Json::as_str) {
+        Some("uap") => Property::Uap,
+        Some("monotonicity") => Property::Mono,
+        _ => {
+            return error_reply(
+                400,
+                "missing field \"property\" (\"uap\" or \"monotonicity\")",
+            )
+        }
+    };
+    let spec = match parse_spec(state, body, property) {
+        Ok(spec) => spec,
+        Err(ParseFail(status, msg)) => return error_reply(status, &msg),
+    };
+    let id = state.next_job_id.fetch_add(1, Ordering::Relaxed);
+    let job_state = Arc::clone(state);
+    let slot = match state
+        .queue
+        .submit(id, Box::new(move || run_verify(&job_state, &spec, true)))
+    {
+        Ok(slot) => slot,
+        Err(_) => return error_reply(429, "verification queue is full, retry later"),
+    };
+    state.jobs.lock().expect("jobs lock").insert(id, slot);
+    let body = Json::obj([
+        ("job_id", Json::from(id as f64)),
+        ("status", Json::from("queued")),
+    ]);
+    (202, body.to_string())
+}
+
+fn job_status(state: &Arc<ServerState>, path: &str) -> Reply {
+    let id: u64 = match path.strip_prefix("/v1/jobs/").and_then(|s| s.parse().ok()) {
+        Some(id) => id,
+        None => return error_reply(400, "job id must be an integer"),
+    };
+    let slot = match state.jobs.lock().expect("jobs lock").get(&id).cloned() {
+        Some(slot) => slot,
+        None => return error_reply(404, "no such job"),
+    };
+    let job_state = slot.state();
+    let (result, error) = match &job_state {
+        JobState::Done(response) => (response.clone(), Json::Null),
+        JobState::Failed(message) => (Json::Null, Json::from(message.as_str())),
+        _ => (Json::Null, Json::Null),
+    };
+    let body = Json::obj([
+        ("job_id", Json::from(id as f64)),
+        ("status", Json::from(job_state.status())),
+        ("result", result),
+        ("error", error),
+    ]);
+    (200, body.to_string())
+}

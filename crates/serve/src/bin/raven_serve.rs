@@ -1,0 +1,214 @@
+//! `raven_serve` — the verification service binary.
+//!
+//! ```text
+//! raven_serve --models-dir models [--addr 127.0.0.1:8080] [--workers 2]
+//!             [--queue-capacity 32] [--cache-capacity 256]
+//!             [--request-timeout-secs 60] [--threads 1]
+//! ```
+//!
+//! The first ctrl-c / SIGTERM starts a graceful shutdown (drain accepted
+//! jobs, answer their connections, exit). A second signal escalates and
+//! cancels in-flight verifications at their next phase boundary.
+
+use raven_serve::{registry::ModelRegistry, Server, ServerConfig};
+use std::path::Path;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+const USAGE: &str = "\
+usage: raven_serve --models-dir DIR [options]
+
+options:
+  --models-dir DIR            directory of *.net model files (required)
+  --addr HOST:PORT            bind address (default 127.0.0.1:8080; port 0 = ephemeral)
+  --workers N                 verification worker threads (default 2; 0 = all cores)
+  --queue-capacity N          queued jobs before 429 (default 32)
+  --cache-capacity N          cached verdicts, LRU (default 256; 0 disables)
+  --request-timeout-secs N    sync request wait before 504 (default 60)
+  --threads N                 per-job solver threads (default 1; 0 = all cores)
+";
+
+/// Signals received so far (1 = graceful, 2+ = force cancel).
+static SIGNALS: AtomicUsize = AtomicUsize::new(0);
+
+extern "C" fn on_signal(_signum: i32) {
+    // Async-signal-safe: a single atomic increment, nothing else.
+    SIGNALS.fetch_add(1, Ordering::SeqCst);
+}
+
+/// Installs `on_signal` for SIGINT and SIGTERM via the libc `signal` that
+/// std already links — no external crate needed for a flag-only handler.
+fn install_signal_handlers() {
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Args {
+    models_dir: String,
+    config: ServerConfig,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut models_dir = None;
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:8080".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--models-dir" => models_dir = Some(value("--models-dir")?),
+            "--addr" => config.addr = value("--addr")?,
+            "--workers" => {
+                config.workers = parse_num(&value("--workers")?, "--workers")?;
+            }
+            "--queue-capacity" => {
+                config.queue_capacity = parse_num(&value("--queue-capacity")?, "--queue-capacity")?;
+            }
+            "--cache-capacity" => {
+                config.cache_capacity = parse_num(&value("--cache-capacity")?, "--cache-capacity")?;
+            }
+            "--request-timeout-secs" => {
+                let secs: usize =
+                    parse_num(&value("--request-timeout-secs")?, "--request-timeout-secs")?;
+                config.request_timeout = Duration::from_secs(secs as u64);
+            }
+            "--threads" => {
+                config.job_threads = parse_num(&value("--threads")?, "--threads")?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let models_dir = models_dir.ok_or_else(|| "missing --models-dir".to_string())?;
+    Ok(Args { models_dir, config })
+}
+
+fn parse_num(text: &str, flag: &str) -> Result<usize, String> {
+    text.parse().map_err(|e| format!("{flag}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let registry = match ModelRegistry::load_dir(Path::new(&args.models_dir)) {
+        Ok(registry) => registry,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if registry.is_empty() {
+        eprintln!("error: no *.net models found in {}", args.models_dir);
+        return ExitCode::FAILURE;
+    }
+    let server = match Server::bind(&args.config, registry) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", args.config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_addr().expect("listener has an address");
+    for entry in server.state().registry.entries() {
+        eprintln!("loaded model {} ({})", entry.name, entry.hash_hex());
+    }
+    eprintln!("raven-serve listening on http://{addr}");
+
+    install_signal_handlers();
+    let shutdown = server.shutdown_handle();
+    std::thread::Builder::new()
+        .name("raven-serve-signals".to_string())
+        .spawn(move || {
+            let mut seen = 0;
+            loop {
+                let now = SIGNALS.load(Ordering::SeqCst);
+                if now > seen {
+                    seen = now;
+                    if seen == 1 {
+                        eprintln!("shutdown requested: draining accepted jobs (again to force)");
+                        shutdown.shutdown();
+                    } else {
+                        eprintln!("force cancel: stopping in-flight verifications");
+                        shutdown.force_cancel();
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        })
+        .expect("spawn signal monitor");
+
+    server.run();
+    eprintln!("raven-serve stopped");
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_full_flag_set() {
+        let parsed = parse_args(&args(&[
+            "--models-dir",
+            "models",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "4",
+            "--queue-capacity",
+            "2",
+            "--cache-capacity",
+            "10",
+            "--request-timeout-secs",
+            "5",
+            "--threads",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(parsed.models_dir, "models");
+        assert_eq!(parsed.config.addr, "127.0.0.1:0");
+        assert_eq!(parsed.config.workers, 4);
+        assert_eq!(parsed.config.queue_capacity, 2);
+        assert_eq!(parsed.config.cache_capacity, 10);
+        assert_eq!(parsed.config.request_timeout, Duration::from_secs(5));
+        assert_eq!(parsed.config.job_threads, 3);
+    }
+
+    #[test]
+    fn rejects_missing_models_dir_and_unknown_flags() {
+        assert!(parse_args(&args(&[])).unwrap_err().contains("--models-dir"));
+        assert!(parse_args(&args(&["--models-dir", "m", "--bogus"]))
+            .unwrap_err()
+            .contains("--bogus"));
+        assert!(parse_args(&args(&["--models-dir"]))
+            .unwrap_err()
+            .contains("needs a value"));
+    }
+}

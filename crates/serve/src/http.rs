@@ -1,0 +1,233 @@
+//! Minimal HTTP/1.1 on `std::net` — just enough for a JSON API.
+//!
+//! One request per connection (`Connection: close`), bounded header and
+//! body sizes, explicit `Content-Length` framing (no chunked encoding).
+//! This is deliberately not a general web server: it parses exactly the
+//! subset the service emits and rejects everything else with a 4xx.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Ceiling on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path with query string stripped.
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// A request-reading failure, carrying the HTTP status to answer with.
+#[derive(Debug)]
+pub struct HttpError {
+    /// Status code to respond with (400/408/413/431/505).
+    pub status: u16,
+    /// Human-readable description (goes into the JSON error body).
+    pub message: String,
+}
+
+impl HttpError {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        Self {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+/// Reads and parses one request from `stream`.
+///
+/// # Errors
+///
+/// Returns an [`HttpError`] (with the status to answer) on malformed
+/// framing, oversized head/body, timeouts, or unsupported HTTP versions.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    // Read until the blank line terminating the head.
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::new(431, "request head too large"));
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| io_error_status(&e, "reading request head"))?;
+        if n == 0 {
+            return Err(HttpError::new(400, "connection closed mid-request"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::new(400, "non-utf8 request head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::new(400, "malformed request line"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::new(505, "unsupported http version"));
+    }
+    let path = target.split('?').next().unwrap_or("").to_string();
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::new(400, "bad content-length"))?;
+        }
+    }
+    if content_length > max_body {
+        return Err(HttpError::new(413, "request body too large"));
+    }
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| io_error_status(&e, "reading request body"))?;
+        if n == 0 {
+            return Err(HttpError::new(400, "connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn io_error_status(e: &std::io::Error, context: &str) -> HttpError {
+    use std::io::ErrorKind;
+    match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => {
+            HttpError::new(408, format!("timeout {context}"))
+        }
+        _ => HttpError::new(400, format!("io error {context}: {e}")),
+    }
+}
+
+/// Writes a JSON response with the given status and closes the exchange.
+pub fn write_json_response(stream: &mut TcpStream, status: u16, body: &str) {
+    // Best-effort: the peer may already be gone; nothing useful to do then.
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        reason(status),
+        body.len(),
+    );
+    let _ = stream.flush();
+}
+
+/// Standard reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Round-trips raw bytes through a real socket into `read_request`.
+    fn parse_raw(raw: &[u8]) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let result = read_request(&mut stream, 1024);
+        writer.join().unwrap();
+        result
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse_raw(
+            b"POST /v1/verify/uap?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\n{\"a\"",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/verify/uap");
+        assert_eq!(req.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse_raw(b"GET /v1/healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_oversized_body_and_bad_framing() {
+        let big = parse_raw(b"POST /x HTTP/1.1\r\nContent-Length: 9999\r\n\r\n").unwrap_err();
+        assert_eq!(big.status, 413);
+        let bad = parse_raw(b"NOT-HTTP\r\n\r\n").unwrap_err();
+        assert_eq!(bad.status, 400);
+        let version = parse_raw(b"GET / HTTP/2.0\r\n\r\n").unwrap_err();
+        assert_eq!(version.status, 505);
+        let truncated =
+            parse_raw(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").unwrap_err();
+        assert_eq!(truncated.status, 400);
+    }
+
+    #[test]
+    fn response_writer_emits_valid_http() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reader = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let mut text = String::new();
+            s.read_to_string(&mut text).unwrap();
+            text
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        write_json_response(&mut stream, 429, r#"{"error":"queue full"}"#);
+        drop(stream);
+        let text = reader.join().unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Content-Length: 22\r\n"));
+        assert!(text.ends_with(r#"{"error":"queue full"}"#));
+    }
+}

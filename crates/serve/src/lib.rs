@@ -1,0 +1,242 @@
+//! `raven-serve` — a std-only HTTP verification service for RaVeN.
+//!
+//! The one-shot `raven_cli` pays model load, plan lowering, and a full
+//! solve for every query. This crate wraps the same verifier in a
+//! long-running process that amortizes those costs:
+//!
+//! * a [`registry::ModelRegistry`] loads networks once and fingerprints
+//!   them by content hash;
+//! * a bounded [`queue::JobQueue`] + worker pool executes verifications
+//!   with backpressure (HTTP 429 when full) and graceful drain;
+//! * a [`cache::ResultCache`] memoizes deterministic verdicts under
+//!   `(model hash, method, ε bits, payload hash, pair strategy)`.
+//!
+//! Everything is `std`-only: the HTTP layer is a minimal hand-rolled
+//! HTTP/1.1 subset over [`std::net::TcpListener`], and JSON goes through
+//! the workspace's `raven-json` crate. Endpoints:
+//!
+//! | Route                  | Meaning                                    |
+//! |------------------------|--------------------------------------------|
+//! | `POST /v1/verify/uap`  | synchronous UAP verification               |
+//! | `POST /v1/verify/mono` | synchronous monotonicity verification      |
+//! | `POST /v1/jobs`        | async submission (poll for the result)     |
+//! | `GET /v1/jobs/{id}`    | job status / result                        |
+//! | `GET /v1/models`       | loaded models with content hashes          |
+//! | `GET /v1/healthz`      | uptime, queue depth, cache counters        |
+
+pub mod api;
+pub mod cache;
+pub mod http;
+pub mod queue;
+pub mod registry;
+
+use cache::ResultCache;
+use queue::JobQueue;
+use registry::ModelRegistry;
+use std::collections::HashMap;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tunables for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads executing verifications (0 = all cores).
+    pub workers: usize,
+    /// Maximum queued (not yet running) jobs before 429.
+    pub queue_capacity: usize,
+    /// Maximum cached verdicts (0 disables the cache).
+    pub cache_capacity: usize,
+    /// How long a synchronous endpoint waits before answering 504.
+    pub request_timeout: Duration,
+    /// `RavenConfig::threads` for each job (intra-job parallelism).
+    pub job_threads: usize,
+    /// Maximum accepted request body size in bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 32,
+            cache_capacity: 256,
+            request_timeout: Duration::from_secs(60),
+            job_threads: 1,
+            max_body_bytes: 4 * 1024 * 1024,
+        }
+    }
+}
+
+/// Shared state behind every connection and worker.
+pub struct ServerState {
+    /// Loaded models.
+    pub registry: ModelRegistry,
+    /// The job queue (shared with the worker pool).
+    pub queue: Arc<JobQueue>,
+    /// The verdict cache.
+    pub cache: ResultCache,
+    /// Async jobs by id.
+    pub jobs: Mutex<HashMap<u64, Arc<queue::JobSlot>>>,
+    /// Next job id.
+    pub next_job_id: AtomicU64,
+    /// Server start time (for `/v1/healthz` uptime).
+    pub started: Instant,
+    /// Synchronous-request wait bound.
+    pub request_timeout: Duration,
+    /// Per-job `RavenConfig::threads`.
+    pub job_threads: usize,
+    /// Force-cancel flag checked by in-flight verifications at phase
+    /// boundaries (second ctrl-c / SIGTERM escalation).
+    pub cancel: AtomicBool,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    worker_handles: Vec<std::thread::JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    max_body_bytes: usize,
+}
+
+/// Handle for stopping a running server from another thread.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    stop: Arc<AtomicBool>,
+    cancel_state: Arc<ServerState>,
+}
+
+impl ShutdownHandle {
+    /// Requests a graceful shutdown: stop accepting, drain accepted jobs,
+    /// then exit `run`.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Escalates: additionally asks in-flight verifications to stop at
+    /// their next phase boundary (their requests answer 500/cancelled).
+    pub fn force_cancel(&self) {
+        self.cancel_state.cancel.store(true, Ordering::SeqCst);
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Server {
+    /// Binds the listener and starts the worker pool (but not the accept
+    /// loop — call [`Server::run`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error (address in use, permission, …).
+    pub fn bind(config: &ServerConfig, registry: ModelRegistry) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let queue = JobQueue::new(config.queue_capacity);
+        let state = Arc::new(ServerState {
+            registry,
+            queue: queue.clone(),
+            cache: ResultCache::new(config.cache_capacity),
+            jobs: Mutex::new(HashMap::new()),
+            next_job_id: AtomicU64::new(1),
+            started: Instant::now(),
+            request_timeout: config.request_timeout,
+            job_threads: config.job_threads,
+            cancel: AtomicBool::new(false),
+        });
+        let worker_handles = queue.spawn_workers(config.workers);
+        Ok(Server {
+            listener,
+            state,
+            worker_handles,
+            stop: Arc::new(AtomicBool::new(false)),
+            max_body_bytes: config.max_body_bytes,
+        })
+    }
+
+    /// The bound address (read the ephemeral port from here).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error from `local_addr` (practically infallible).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Shared state — exposed for in-process tests and the binary.
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// A handle that stops the accept loop from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            stop: self.stop.clone(),
+            cancel_state: self.state.clone(),
+        }
+    }
+
+    /// Accepts connections until shutdown, then drains: accepted jobs
+    /// finish, their responses are written, workers exit, and `run`
+    /// returns.
+    pub fn run(self) {
+        let active = Arc::new(AtomicUsize::new(0));
+        while !self.stop.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let state = self.state.clone();
+                    let conn_active = active.clone();
+                    let max_body = self.max_body_bytes;
+                    active.fetch_add(1, Ordering::SeqCst);
+                    // One thread per connection: connections are
+                    // short-lived (Connection: close) and the expensive
+                    // part is bounded by the worker pool, not by
+                    // connection count.
+                    let spawned = std::thread::Builder::new()
+                        .name("raven-serve-conn".to_string())
+                        .spawn(move || {
+                            handle_connection(&state, stream, max_body);
+                            conn_active.fetch_sub(1, Ordering::SeqCst);
+                        });
+                    if spawned.is_err() {
+                        active.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    // Poll the shutdown flag between accepts.
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+        // Graceful drain: stop admission, finish every accepted job, let
+        // the waiting connections write their responses, join workers.
+        self.state.queue.shutdown_and_drain();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        for handle in self.worker_handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Serves one connection: read request, route, write response.
+fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream, max_body: usize) {
+    // A stuck peer must not pin the connection thread forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let (status, body) = match http::read_request(&mut stream, max_body) {
+        Ok(request) => api::handle(state, &request.method, &request.path, &request.body),
+        Err(e) => (
+            e.status,
+            raven_json::Json::obj([("error", raven_json::Json::from(e.message.as_str()))])
+                .to_string(),
+        ),
+    };
+    http::write_json_response(&mut stream, status, &body);
+}

@@ -1,0 +1,369 @@
+//! Bounded job queue and worker pool.
+//!
+//! Every verification — synchronous endpoint or async job — goes through
+//! one bounded queue drained by a fixed pool of worker threads, giving the
+//! server its two load-shedding properties:
+//!
+//! * **Backpressure**: `submit` fails immediately when the queue is full;
+//!   the API layer turns that into HTTP 429 instead of letting latency
+//!   grow without bound.
+//! * **Graceful drain**: shutdown stops *admission* but lets workers
+//!   finish every job already accepted (running and queued) before
+//!   joining — an accepted job is a promise.
+//!
+//! Worker-count resolution reuses `raven::par::resolve_threads` (0 = all
+//! cores), the same convention as the in-verifier parallel layer.
+
+use raven_json::Json;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// The work a job performs: produce a response object or an error string.
+pub type JobFn = Box<dyn FnOnce() -> Result<Json, String> + Send>;
+
+/// Observable lifecycle of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished successfully, response attached.
+    Done(Json),
+    /// Finished with an error.
+    Failed(String),
+}
+
+impl JobState {
+    /// Short status string used in API responses.
+    pub fn status(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done(_) => "done",
+            JobState::Failed(_) => "failed",
+        }
+    }
+
+    fn is_terminal(&self) -> bool {
+        matches!(self, JobState::Done(_) | JobState::Failed(_))
+    }
+}
+
+/// Shared slot a submitter can wait on.
+#[derive(Debug)]
+pub struct JobSlot {
+    state: Mutex<JobState>,
+    cv: Condvar,
+}
+
+impl JobSlot {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(JobState::Queued),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn set(&self, state: JobState) {
+        *self.state.lock().expect("job slot lock") = state;
+        self.cv.notify_all();
+    }
+
+    /// Snapshot of the current state.
+    pub fn state(&self) -> JobState {
+        self.state.lock().expect("job slot lock").clone()
+    }
+
+    /// Blocks until the job reaches a terminal state or `timeout` elapses;
+    /// returns `None` on timeout.
+    pub fn wait_terminal(&self, timeout: Duration) -> Option<JobState> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().expect("job slot lock");
+        while !state.is_terminal() {
+            let left = deadline.checked_duration_since(Instant::now())?;
+            let (next, wait) = self.cv.wait_timeout(state, left).expect("job slot wait");
+            state = next;
+            if wait.timed_out() && !state.is_terminal() {
+                return None;
+            }
+        }
+        Some(state.clone())
+    }
+}
+
+struct QueueInner {
+    queue: VecDeque<(u64, JobFn, Arc<JobSlot>)>,
+    running: usize,
+    shutdown: bool,
+}
+
+/// Counter snapshot for `/v1/healthz`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Jobs waiting for a worker.
+    pub queued: usize,
+    /// Jobs currently executing.
+    pub running: usize,
+    /// Queue capacity (bound on `queued`).
+    pub capacity: usize,
+    /// Total accepted submissions.
+    pub submitted: u64,
+    /// Jobs finished successfully.
+    pub completed: u64,
+    /// Jobs finished with an error.
+    pub failed: u64,
+    /// Submissions rejected because the queue was full.
+    pub rejected: u64,
+}
+
+/// The bounded queue; workers are attached by [`JobQueue::spawn_workers`].
+pub struct JobQueue {
+    inner: Mutex<QueueInner>,
+    cv: Condvar,
+    capacity: usize,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// `submit` failure: the queue is at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull;
+
+impl JobQueue {
+    /// Creates a queue admitting at most `capacity` waiting jobs.
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(Self {
+            inner: Mutex::new(QueueInner {
+                queue: VecDeque::new(),
+                running: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            capacity,
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        })
+    }
+
+    /// Submits a job, returning its wait slot.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueFull`] when the queue holds `capacity` waiting jobs or the
+    /// queue is shutting down (no new promises during drain).
+    pub fn submit(&self, id: u64, job: JobFn) -> Result<Arc<JobSlot>, QueueFull> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.shutdown || inner.queue.len() >= self.capacity {
+            drop(inner);
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(QueueFull);
+        }
+        let slot = JobSlot::new();
+        inner.queue.push_back((id, job, slot.clone()));
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        drop(inner);
+        self.cv.notify_one();
+        Ok(slot)
+    }
+
+    /// Spawns `workers` threads draining the queue until shutdown.
+    pub fn spawn_workers(self: &Arc<Self>, workers: usize) -> Vec<std::thread::JoinHandle<()>> {
+        let workers = raven::par::resolve_threads(workers);
+        (0..workers)
+            .map(|i| {
+                let queue = self.clone();
+                std::thread::Builder::new()
+                    .name(format!("raven-serve-worker-{i}"))
+                    .spawn(move || queue.worker_loop())
+                    .expect("spawn worker thread")
+            })
+            .collect()
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let mut inner = self.inner.lock().expect("queue lock");
+            loop {
+                if let Some((_, job, slot)) = inner.queue.pop_front() {
+                    inner.running += 1;
+                    drop(inner);
+                    slot.set(JobState::Running);
+                    // A panicking job must not kill the worker: catch it and
+                    // record a failure (the job closure is transient state).
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                    match outcome {
+                        Ok(Ok(response)) => {
+                            self.completed.fetch_add(1, Ordering::Relaxed);
+                            slot.set(JobState::Done(response));
+                        }
+                        Ok(Err(message)) => {
+                            self.failed.fetch_add(1, Ordering::Relaxed);
+                            slot.set(JobState::Failed(message));
+                        }
+                        Err(_) => {
+                            self.failed.fetch_add(1, Ordering::Relaxed);
+                            slot.set(JobState::Failed("verification panicked".to_string()));
+                        }
+                    }
+                    let mut inner = self.inner.lock().expect("queue lock");
+                    inner.running -= 1;
+                    // Wake drain waiters (and fellow workers, harmlessly).
+                    self.cv.notify_all();
+                    drop(inner);
+                    break; // re-enter the outer loop with a fresh lock
+                }
+                if inner.shutdown {
+                    return;
+                }
+                inner = self.cv.wait(inner).expect("queue wait");
+            }
+        }
+    }
+
+    /// Stops admission and blocks until every accepted job has finished
+    /// (the workers then exit on their own).
+    pub fn shutdown_and_drain(&self) {
+        let mut inner = self.inner.lock().expect("queue lock");
+        inner.shutdown = true;
+        self.cv.notify_all();
+        while !inner.queue.is_empty() || inner.running > 0 {
+            inner = self.cv.wait(inner).expect("drain wait");
+        }
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> QueueStats {
+        let inner = self.inner.lock().expect("queue lock");
+        QueueStats {
+            queued: inner.queue.len(),
+            running: inner.running,
+            capacity: self.capacity,
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok_job(n: f64) -> JobFn {
+        Box::new(move || Ok(Json::Num(n)))
+    }
+
+    #[test]
+    fn jobs_complete_and_counters_advance() {
+        let queue = JobQueue::new(8);
+        let workers = queue.spawn_workers(2);
+        let slot = queue.submit(1, ok_job(7.0)).unwrap();
+        let state = slot.wait_terminal(Duration::from_secs(5)).unwrap();
+        assert_eq!(state, JobState::Done(Json::Num(7.0)));
+        queue.shutdown_and_drain();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let stats = queue.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!((stats.queued, stats.running), (0, 0));
+    }
+
+    #[test]
+    fn full_queue_rejects_with_429_semantics() {
+        // No workers: nothing drains, so capacity is exhausted by
+        // submission alone — deterministic.
+        let queue = JobQueue::new(2);
+        queue.submit(1, ok_job(1.0)).unwrap();
+        queue.submit(2, ok_job(2.0)).unwrap();
+        assert_eq!(queue.submit(3, ok_job(3.0)).unwrap_err(), QueueFull);
+        assert_eq!(queue.stats().rejected, 1);
+        // Drain by spawning a worker afterwards.
+        let workers = queue.spawn_workers(1);
+        queue.shutdown_and_drain();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(queue.stats().completed, 2);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs_before_returning() {
+        let queue = JobQueue::new(16);
+        let workers = queue.spawn_workers(1);
+        let slots: Vec<_> = (0..5)
+            .map(|i| {
+                queue
+                    .submit(
+                        i,
+                        Box::new(move || {
+                            std::thread::sleep(Duration::from_millis(20));
+                            Ok(Json::Num(i as f64))
+                        }) as JobFn,
+                    )
+                    .unwrap()
+            })
+            .collect();
+        queue.shutdown_and_drain();
+        for (i, slot) in slots.iter().enumerate() {
+            assert_eq!(slot.state(), JobState::Done(Json::Num(i as f64)), "job {i}");
+        }
+        assert!(
+            queue.submit(99, ok_job(0.0)).is_err(),
+            "no admission after shutdown"
+        );
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn failed_and_panicking_jobs_are_contained() {
+        let queue = JobQueue::new(8);
+        let workers = queue.spawn_workers(1);
+        let bad = queue
+            .submit(1, Box::new(|| Err("nope".to_string())) as JobFn)
+            .unwrap();
+        let panicky = queue
+            .submit(
+                2,
+                Box::new(|| -> Result<Json, String> { panic!("boom") }) as JobFn,
+            )
+            .unwrap();
+        let good = queue.submit(3, ok_job(1.0)).unwrap();
+        assert_eq!(
+            bad.wait_terminal(Duration::from_secs(5)).unwrap(),
+            JobState::Failed("nope".to_string())
+        );
+        assert!(matches!(
+            panicky.wait_terminal(Duration::from_secs(5)).unwrap(),
+            JobState::Failed(_)
+        ));
+        assert!(matches!(
+            good.wait_terminal(Duration::from_secs(5)).unwrap(),
+            JobState::Done(_)
+        ));
+        queue.shutdown_and_drain();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(queue.stats().failed, 2);
+    }
+
+    #[test]
+    fn wait_terminal_times_out_on_unserviced_queue() {
+        let queue = JobQueue::new(4);
+        let slot = queue.submit(1, ok_job(0.0)).unwrap();
+        assert!(slot.wait_terminal(Duration::from_millis(30)).is_none());
+        assert_eq!(slot.state().status(), "queued");
+    }
+}

@@ -1,0 +1,160 @@
+//! Model registry: networks loaded once, keyed by name + content hash.
+//!
+//! The one-shot CLI pays model load and plan lowering on every query; the
+//! server pays them once at startup. Each entry pins the network, its
+//! lowered [`AnalysisPlan`], and the [`network_fingerprint`] content hash
+//! that namespaces the result cache — so a model file edited and reloaded
+//! under the same name can never alias stale cached verdicts.
+
+use raven_nn::{load_network, network_fingerprint, AnalysisPlan, Network};
+use std::path::Path;
+use std::sync::Arc;
+
+/// One loaded model.
+#[derive(Debug)]
+pub struct ModelEntry {
+    /// Registry name (the file stem for disk-loaded models).
+    pub name: String,
+    /// Content hash of the canonical serialization.
+    pub hash: u64,
+    /// The executable network.
+    pub net: Network,
+    /// The analysis lowering, computed once.
+    pub plan: AnalysisPlan,
+}
+
+impl ModelEntry {
+    /// The content hash as the fixed-width hex string used in API
+    /// responses and cache diagnostics.
+    pub fn hash_hex(&self) -> String {
+        format!("{:016x}", self.hash)
+    }
+}
+
+/// An immutable set of models, resolved by name.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    entries: Vec<Arc<ModelEntry>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry (useful for in-process tests).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a network under `name`, replacing any previous entry with
+    /// the same name.
+    pub fn add_network(&mut self, name: &str, net: Network) {
+        self.entries.retain(|e| e.name != name);
+        let entry = ModelEntry {
+            name: name.to_string(),
+            hash: network_fingerprint(&net),
+            plan: net.to_plan(),
+            net,
+        };
+        self.entries.push(Arc::new(entry));
+        self.entries.sort_by(|a, b| a.name.cmp(&b.name));
+    }
+
+    /// Loads every `*.net` file in `dir` (non-recursive), keyed by file
+    /// stem.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending file on I/O or parse
+    /// failure — a server must not start with a half-loaded model set.
+    pub fn load_dir(dir: &Path) -> Result<Self, String> {
+        let mut registry = Self::new();
+        let entries = std::fs::read_dir(dir)
+            .map_err(|e| format!("cannot read models dir {}: {e}", dir.display()))?;
+        let mut paths: Vec<_> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "net"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            let name = path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let net =
+                load_network(&path).map_err(|e| format!("loading {}: {e}", path.display()))?;
+            registry.add_network(&name, net);
+        }
+        Ok(registry)
+    }
+
+    /// Resolves a model by name.
+    pub fn get(&self, name: &str) -> Option<Arc<ModelEntry>> {
+        self.entries.iter().find(|e| e.name == name).cloned()
+    }
+
+    /// All entries, sorted by name.
+    pub fn entries(&self) -> &[Arc<ModelEntry>] {
+        &self.entries
+    }
+
+    /// Number of loaded models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raven_nn::{save_network, ActKind, NetworkBuilder};
+
+    fn tiny(seed: u64) -> Network {
+        NetworkBuilder::new(2)
+            .dense(3, seed)
+            .activation(ActKind::Relu)
+            .dense(2, seed + 1)
+            .build()
+    }
+
+    #[test]
+    fn add_and_get_resolve_by_name() {
+        let mut r = ModelRegistry::new();
+        r.add_network("b", tiny(1));
+        r.add_network("a", tiny(2));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.entries()[0].name, "a", "entries are name-sorted");
+        let a = r.get("a").unwrap();
+        assert_eq!(a.plan.input_dim(), 2);
+        assert_eq!(a.hash_hex().len(), 16);
+        assert!(r.get("missing").is_none());
+    }
+
+    #[test]
+    fn replacing_a_model_changes_the_hash() {
+        let mut r = ModelRegistry::new();
+        r.add_network("m", tiny(1));
+        let h1 = r.get("m").unwrap().hash;
+        r.add_network("m", tiny(9));
+        assert_eq!(r.len(), 1);
+        assert_ne!(r.get("m").unwrap().hash, h1);
+    }
+
+    #[test]
+    fn load_dir_reads_net_files_and_rejects_garbage() {
+        let dir = std::env::temp_dir().join("raven_serve_registry_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        save_network(&tiny(4), &dir.join("demo.net")).unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let r = ModelRegistry::load_dir(&dir).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(r.get("demo").is_some());
+        // A corrupt model file fails the whole load, by design.
+        std::fs::write(dir.join("bad.net"), "raven-net v1\ninput 2\ndense oops\n").unwrap();
+        assert!(ModelRegistry::load_dir(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,320 @@
+//! End-to-end tests: a real server on an ephemeral port, driven over TCP.
+//!
+//! Covers the service-layer acceptance properties:
+//! 1. repeated identical queries are served from the cache (`cached:
+//!    true`, hit counter advances);
+//! 2. load beyond the queue bound is rejected with 429;
+//! 3. the server's `result` object is byte-identical to `raven_cli
+//!    verify-uap --json` for the same query;
+//! 4. graceful shutdown drains in-flight jobs and still answers them.
+
+use raven_json::Json;
+use raven_serve::registry::ModelRegistry;
+use raven_serve::{Server, ServerConfig, ShutdownHandle};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+fn repo_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+/// Starts a server over `models/` on an ephemeral port.
+fn start_server(config: ServerConfig) -> (SocketAddr, ShutdownHandle, std::thread::JoinHandle<()>) {
+    let registry = ModelRegistry::load_dir(&repo_path("models")).expect("load models dir");
+    assert!(registry.get("demo").is_some(), "models/demo.net is present");
+    let server = Server::bind(&config, registry).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let shutdown = server.shutdown_handle();
+    let runner = std::thread::spawn(move || server.run());
+    (addr, shutdown, runner)
+}
+
+/// Minimal HTTP client: one request, returns `(status, parsed body)`.
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Json) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("read timeout");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: raven\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("read response");
+    let status: u16 = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in {text:?}"));
+    let json_body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or_default();
+    let parsed =
+        Json::parse(json_body).unwrap_or_else(|e| panic!("unparseable body {json_body:?}: {e}"));
+    (status, parsed)
+}
+
+/// Parses `models/demo_batch.txt` (label then coordinates per line).
+fn demo_batch() -> (Vec<Vec<f64>>, Vec<usize>) {
+    let text = std::fs::read_to_string(repo_path("models/demo_batch.txt")).expect("batch file");
+    let mut inputs = Vec::new();
+    let mut labels = Vec::new();
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        labels.push(parts.next().unwrap().parse().unwrap());
+        inputs.push(parts.map(|t| t.parse().unwrap()).collect());
+    }
+    (inputs, labels)
+}
+
+/// Builds a verify-uap request body for the demo batch.
+fn uap_body(eps: f64, method: &str, extra: &[(&str, Json)]) -> String {
+    let (inputs, labels) = demo_batch();
+    let mut fields = vec![
+        ("model".to_string(), Json::from("demo")),
+        ("eps".to_string(), Json::from(eps)),
+        ("method".to_string(), Json::from(method)),
+        (
+            "inputs".to_string(),
+            Json::Arr(inputs.iter().map(|x| Json::num_array(x)).collect()),
+        ),
+        (
+            "labels".to_string(),
+            Json::Arr(labels.iter().map(|&l| Json::from(l)).collect()),
+        ),
+    ];
+    for (k, v) in extra {
+        fields.push((k.to_string(), v.clone()));
+    }
+    Json::Obj(fields).to_string()
+}
+
+#[test]
+fn repeated_queries_hit_the_cache() {
+    let (addr, shutdown, runner) = start_server(ServerConfig::default());
+    let body = uap_body(0.01, "deeppoly", &[]);
+
+    let (status, first) = request(addr, "POST", "/v1/verify/uap", &body);
+    assert_eq!(status, 200, "first response: {first}");
+    assert_eq!(first.get("cached").and_then(Json::as_bool), Some(false));
+    assert_eq!(first.get("model").and_then(Json::as_str), Some("demo"));
+
+    let (status, second) = request(addr, "POST", "/v1/verify/uap", &body);
+    assert_eq!(status, 200);
+    assert_eq!(
+        second.get("cached").and_then(Json::as_bool),
+        Some(true),
+        "identical query is served from cache: {second}"
+    );
+    // The verdict object — and even the reported solve time of the
+    // original run — are identical.
+    assert_eq!(
+        first.get("result").unwrap().to_string(),
+        second.get("result").unwrap().to_string()
+    );
+    assert_eq!(
+        first.get("solve_millis").and_then(Json::as_f64),
+        second.get("solve_millis").and_then(Json::as_f64)
+    );
+
+    let (status, health) = request(addr, "GET", "/v1/healthz", "");
+    assert_eq!(status, 200);
+    let cache = health.get("cache").expect("cache block");
+    assert_eq!(cache.get("hits").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(cache.get("entries").and_then(Json::as_usize), Some(1));
+
+    shutdown.shutdown();
+    runner.join().expect("server thread");
+}
+
+#[test]
+fn overload_beyond_queue_bound_answers_429() {
+    // One worker, queue bound 1: one running job + one queued job saturate
+    // the server deterministically.
+    let config = ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        cache_capacity: 0, // every request must hit the queue
+        ..ServerConfig::default()
+    };
+    let (addr, shutdown, runner) = start_server(config);
+    let slow = uap_body(0.01, "box", &[("delay_millis", Json::from(1500usize))]);
+
+    // Occupy the worker, then wait until the job is *running* (i.e. out of
+    // the queue) so the next submission occupies the single queue slot.
+    let (status, job1) = request(addr, "POST", "/v1/jobs", &with_property(&slow));
+    assert_eq!(status, 202, "{job1}");
+    let id1 = job1.get("job_id").and_then(Json::as_usize).unwrap();
+    wait_for_status(addr, id1, "running");
+
+    let (status, job2) = request(addr, "POST", "/v1/jobs", &with_property(&slow));
+    assert_eq!(status, 202, "{job2}");
+
+    // Worker busy + queue full: both sync and async submissions shed load.
+    let (status, rejected) = request(addr, "POST", "/v1/verify/uap", &slow);
+    assert_eq!(status, 429, "{rejected}");
+    assert!(rejected.get("error").is_some());
+    let (status, rejected) = request(addr, "POST", "/v1/jobs", &with_property(&slow));
+    assert_eq!(status, 429, "{rejected}");
+
+    let (_, health) = request(addr, "GET", "/v1/healthz", "");
+    let queue = health.get("queue").expect("queue block");
+    assert!(queue.get("rejected").and_then(Json::as_f64).unwrap() >= 2.0);
+
+    // The accepted jobs still finish.
+    let id2 = job2.get("job_id").and_then(Json::as_usize).unwrap();
+    wait_for_status(addr, id1, "done");
+    wait_for_status(addr, id2, "done");
+
+    shutdown.shutdown();
+    runner.join().expect("server thread");
+}
+
+/// Adds the `property` discriminator `/v1/jobs` needs.
+fn with_property(body: &str) -> String {
+    let mut json = match Json::parse(body).unwrap() {
+        Json::Obj(fields) => fields,
+        _ => unreachable!("bodies are objects"),
+    };
+    json.push(("property".to_string(), Json::from("uap")));
+    Json::Obj(json).to_string()
+}
+
+/// Polls `GET /v1/jobs/{id}` until it reports `want`.
+fn wait_for_status(addr: SocketAddr, id: usize, want: &str) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, job) = request(addr, "GET", &format!("/v1/jobs/{id}"), "");
+        assert_eq!(status, 200, "{job}");
+        let got = job
+            .get("status")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string();
+        if got == want {
+            return;
+        }
+        assert_ne!(got, "failed", "job {id} failed: {job}");
+        assert!(
+            Instant::now() < deadline,
+            "job {id} stuck in {got:?} waiting for {want:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn server_verdict_matches_cli_json_output_exactly() {
+    // The CLI binary lives next to the test runner's deps directory.
+    let cli = std::env::current_exe()
+        .expect("test exe path")
+        .parent()
+        .and_then(Path::parent)
+        .expect("target profile dir")
+        .join(format!("raven_cli{}", std::env::consts::EXE_SUFFIX));
+    if !cli.exists() {
+        // Built lazily: `cargo test -p raven-serve` alone does not build
+        // sibling binaries, the full workspace test (tier 1) does.
+        let status = std::process::Command::new(env!("CARGO"))
+            .args(["build", "-p", "raven", "--bin", "raven_cli"])
+            .current_dir(repo_path(""))
+            .status()
+            .expect("invoke cargo");
+        assert!(status.success(), "building raven_cli failed");
+    }
+    assert!(cli.exists(), "raven_cli binary at {}", cli.display());
+
+    let eps = 0.02;
+    let output = std::process::Command::new(&cli)
+        .args([
+            "verify-uap",
+            "--model",
+            repo_path("models/demo.net").to_str().unwrap(),
+            "--inputs",
+            repo_path("models/demo_batch.txt").to_str().unwrap(),
+            "--eps",
+            &eps.to_string(),
+            "--method",
+            "raven",
+            "--json",
+        ])
+        .output()
+        .expect("run raven_cli");
+    // Exit 0 (verified) and 3 (sound but falsified) are both valid runs.
+    let code = output.status.code().expect("exit code");
+    assert!(
+        code == 0 || code == 3,
+        "raven_cli exited {code}: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 stdout");
+    let cli_envelope = Json::parse(stdout.trim()).expect("cli emits json");
+    let cli_result = cli_envelope.get("result").expect("result field");
+
+    let (addr, shutdown, runner) = start_server(ServerConfig::default());
+    let (status, response) = request(addr, "POST", "/v1/verify/uap", &uap_body(eps, "raven", &[]));
+    assert_eq!(status, 200, "{response}");
+    let server_result = response.get("result").expect("result field");
+
+    // Same verdict builder, same query — byte-identical serialization.
+    assert_eq!(server_result.to_string(), cli_result.to_string());
+    // And the CLI exit code agrees with the server's verdict.
+    assert_eq!(
+        cli_result.get("verified").and_then(Json::as_bool),
+        Some(code == 0)
+    );
+
+    shutdown.shutdown();
+    runner.join().expect("server thread");
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    let config = ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    };
+    let (addr, shutdown, runner) = start_server(config);
+
+    // A slow in-flight synchronous request...
+    let body = uap_body(0.01, "box", &[("delay_millis", Json::from(800usize))]);
+    let client = std::thread::spawn(move || request(addr, "POST", "/v1/verify/uap", &body));
+
+    // ...wait until it is actually running, then shut the server down.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (_, health) = request(addr, "GET", "/v1/healthz", "");
+        let running = health
+            .get("queue")
+            .and_then(|q| q.get("running"))
+            .and_then(Json::as_usize)
+            .unwrap();
+        if running > 0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job never started running");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    shutdown.shutdown();
+    runner.join().expect("server run() returns after drain");
+
+    // The in-flight request was drained, not dropped: full 200 response.
+    let (status, response) = client.join().expect("client thread");
+    assert_eq!(status, 200, "{response}");
+    assert_eq!(response.get("cached").and_then(Json::as_bool), Some(false));
+    assert!(response.get("result").is_some());
+
+    // New connections are refused once the listener is gone.
+    assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err());
+}

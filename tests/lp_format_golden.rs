@@ -1,0 +1,107 @@
+//! Golden-file coverage for `raven_lp::to_lp_format`.
+//!
+//! The LP writer is the interop surface for cross-checking the in-repo
+//! simplex against external solvers, so its exact output matters: a silent
+//! formatting change would invalidate saved problem files and external
+//! tooling. The golden file pins the full serialization of a small UAP
+//! relational encoding; a structural parse-back check then validates the
+//! writer's internal consistency (every variable referenced anywhere is
+//! declared in `Bounds`).
+//!
+//! Regenerate after an *intentional* format change with:
+//! `RAVEN_REGEN_GOLDEN=1 cargo test --test lp_format_golden`
+
+use raven::relational::{export_lp, RelationalProblem};
+use raven::RavenConfig;
+use raven_interval::Interval;
+use raven_nn::{ActKind, NetworkBuilder};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn golden_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/uap_small.lp")
+}
+
+/// A tiny fixed-weight network and a 2-execution UAP encoding — small
+/// enough that the golden file stays reviewable, large enough to exercise
+/// every section the writer emits (objective, constraints, two-sided
+/// bounds, free variables).
+fn small_uap_lp() -> String {
+    let net = NetworkBuilder::new(2)
+        .dense_from(&[&[1.0, -0.5], &[0.25, 0.75]], &[0.1, -0.2])
+        .activation(ActKind::Relu)
+        .dense_from(&[&[0.5, -1.0], &[1.0, 0.5]], &[0.0, 0.05])
+        .build();
+    let mut problem = RelationalProblem::new(net.to_plan(), vec![Interval::symmetric(0.1); 2]);
+    problem.add_perturbed_execution(&[0.2, 0.7]);
+    problem.add_perturbed_execution(&[0.6, 0.3]);
+    export_lp(&problem, &RavenConfig::default())
+}
+
+#[test]
+fn uap_encoding_matches_golden_file() {
+    let text = small_uap_lp();
+    let path = golden_path();
+    if std::env::var("RAVEN_REGEN_GOLDEN").is_ok() {
+        std::fs::write(&path, &text).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with RAVEN_REGEN_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        text,
+        golden,
+        "LP serialization drifted from {}; if intentional, regenerate with RAVEN_REGEN_GOLDEN=1",
+        path.display()
+    );
+}
+
+/// Extracts every `x<digits>` variable token from a line.
+fn vars_in(line: &str) -> Vec<String> {
+    line.split_whitespace()
+        .filter(|tok| {
+            tok.len() > 1 && tok.starts_with('x') && tok[1..].bytes().all(|b| b.is_ascii_digit())
+        })
+        .map(|tok| tok.to_string())
+        .collect()
+}
+
+#[test]
+fn every_referenced_variable_is_declared_in_bounds() {
+    let text = small_uap_lp();
+    // Split the serialization into its sections.
+    let (head, bounds_and_tail) = text
+        .split_once("Bounds\n")
+        .expect("writer emits a Bounds section");
+    let bounds = bounds_and_tail
+        .split("Binary\n")
+        .next()
+        .unwrap()
+        .split("End\n")
+        .next()
+        .unwrap();
+
+    let referenced: BTreeSet<String> = head.lines().flat_map(vars_in).collect();
+    let declared: BTreeSet<String> = bounds.lines().flat_map(vars_in).collect();
+    assert!(
+        !referenced.is_empty() && !declared.is_empty(),
+        "parse-back found no variables — token scanner broken?"
+    );
+    let undeclared: Vec<_> = referenced.difference(&declared).collect();
+    assert!(
+        undeclared.is_empty(),
+        "constraints/objective reference variables with no Bounds entry: {undeclared:?}"
+    );
+
+    // The encoding is relational: with two executions over a 2-input net
+    // there are shared-perturbation variables plus per-execution layer
+    // variables, so the declaration count must exceed the inputs alone.
+    assert!(
+        declared.len() > 4,
+        "suspiciously few variables: {declared:?}"
+    );
+}

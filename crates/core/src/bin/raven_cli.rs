@@ -24,13 +24,14 @@
 //! `result` field served by `raven-serve` for the same query.
 
 use raven::{
-    report, verify_monotonicity, verify_uap, Method, MonotonicityProblem, PairStrategy,
-    RavenConfig, UapProblem,
+    report, verify_monotonicity_with_hooks, verify_uap_with_hooks, Method, MonotonicityProblem,
+    PairStrategy, RavenConfig, RunHooks, TierMillis, UapProblem,
 };
 use raven_json::Json;
 use raven_nn::{load_network, save_network};
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,11 +56,12 @@ const USAGE: &str = "usage:
   raven_cli train-demo  --out <net.txt> --inputs <batch.txt>
   raven_cli verify-uap  --model <net.txt> --inputs <batch.txt> --eps <f>
                         [--method box|deeppoly|io-lp|raven] [--pairs none|consecutive|all]
-                        [--threads <n>] [--json]
-                        (--threads 0 = all cores, 1 = sequential; default 1)
+                        [--threads <n>] [--deadline-ms <ms>] [--json]
+                        (--threads 0 = all cores, 1 = sequential; default 1;
+                         --deadline-ms degrades to the best sound bound in time)
   raven_cli verify-mono --model <net.txt> --center <v,v,...> --feature <i>
                         --tau <f> [--eps <f>] [--decreasing] [--method ...]
-                        [--threads <n>] [--json]
+                        [--threads <n>] [--deadline-ms <ms>] [--json]
   raven_cli export-lp   --model <net.txt> --inputs <batch.txt> --eps <f> --out <file.lp>
 
 exit codes: 0 verified, 1 runtime error, 2 usage error, 3 ran soundly but not verified";
@@ -294,14 +296,31 @@ fn cmd_train_demo(flags: &Flags) -> Result<Outcome, CliError> {
 }
 
 /// Wraps a verdict in the CLI's `--json` envelope. The `result` field is
-/// the shared canonical verdict; `solve_millis` travels outside it so the
-/// verdict stays deterministic (and cache/CLI/server comparable).
-fn json_envelope(verdict: Json, solve_millis: f64) -> String {
+/// the shared canonical verdict; `solve_millis` and the per-tier timing
+/// travel outside it so the verdict stays deterministic (and
+/// cache/CLI/server comparable).
+fn json_envelope(verdict: Json, solve_millis: f64, tier_millis: &TierMillis) -> String {
     Json::obj([
         ("result", verdict),
         ("solve_millis", Json::from(solve_millis)),
+        ("tier_millis", report::tier_millis_json(tier_millis)),
     ])
     .to_string()
+}
+
+/// Parses `--deadline-ms` into run hooks (unlimited when absent). A
+/// deadline never aborts the run: past it, the verifier degrades down the
+/// precision ladder and still answers with a sound verdict.
+fn parse_hooks(flags: &Flags) -> Result<RunHooks<'static>, CliError> {
+    match flags.get("deadline-ms") {
+        None => Ok(RunHooks::default()),
+        Some(v) => {
+            let ms: u64 = v
+                .parse()
+                .map_err(|e| CliError::usage(format!("--deadline-ms: {e}")))?;
+            Ok(RunHooks::default().with_deadline_in(Duration::from_millis(ms)))
+        }
+    }
 }
 
 fn cmd_verify_uap(flags: &Flags) -> Result<Outcome, CliError> {
@@ -321,10 +340,15 @@ fn cmd_verify_uap(flags: &Flags) -> Result<Outcome, CliError> {
         labels,
         eps,
     };
-    let res = verify_uap(&problem, method, &config);
+    let hooks = parse_hooks(flags)?;
+    let res = verify_uap_with_hooks(&problem, method, &config, &hooks)
+        .expect("deadline-only hooks never cancel");
     if flags.has("json") {
         let verdict = report::uap_verdict_json(problem.k(), problem.eps, &res);
-        println!("{}", json_envelope(verdict, res.solve_millis));
+        println!(
+            "{}",
+            json_envelope(verdict, res.solve_millis, &res.tier_millis)
+        );
     } else {
         println!("method                 : {}", res.method);
         println!("k (executions)         : {}", problem.k());
@@ -347,6 +371,11 @@ fn cmd_verify_uap(flags: &Flags) -> Result<Outcome, CliError> {
         println!(
             "lp size                : {} rows x {} vars",
             res.lp_rows, res.lp_vars
+        );
+        println!(
+            "precision tier         : {}{}",
+            res.tier.name(),
+            if res.degraded { " (degraded)" } else { "" }
         );
         println!("time                   : {:.1} ms", res.solve_millis);
     }
@@ -392,10 +421,15 @@ fn cmd_verify_mono(flags: &Flags) -> Result<Outcome, CliError> {
         output_weights: weights,
         increasing: !flags.has("decreasing"),
     };
-    let res = verify_monotonicity(&problem, method, &config);
+    let hooks = parse_hooks(flags)?;
+    let res = verify_monotonicity_with_hooks(&problem, method, &config, &hooks)
+        .expect("deadline-only hooks never cancel");
     if flags.has("json") {
         let verdict = report::mono_verdict_json(&problem, &res);
-        println!("{}", json_envelope(verdict, res.solve_millis));
+        println!(
+            "{}",
+            json_envelope(verdict, res.solve_millis, &res.tier_millis)
+        );
     } else {
         println!("method           : {}", res.method);
         println!(
@@ -407,6 +441,11 @@ fn cmd_verify_mono(flags: &Flags) -> Result<Outcome, CliError> {
             }
         );
         println!("certified change : {:.6}", res.certified_change);
+        println!(
+            "precision tier   : {}{}",
+            res.tier.name(),
+            if res.degraded { " (degraded)" } else { "" }
+        );
         println!(
             "verdict          : {}",
             if res.verified {

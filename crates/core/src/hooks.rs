@@ -7,12 +7,21 @@
 //! phase structure makes cheap to provide: a *cancel* flag polled at every
 //! phase boundary, and a *progress* callback fired as each phase starts.
 //!
-//! Cancellation is cooperative and phase-granular: an in-progress simplex
-//! solve is not interrupted, but no new phase begins once the flag is set.
-//! A cancelled run yields `None` rather than a partial (and therefore
-//! untrustworthy) result.
+//! Cancellation is cooperative but *fine-grained*: the cancel flag is both
+//! polled at every phase boundary and threaded into the LP/MILP solvers as
+//! part of their [`raven_lp::Budget`], so even an in-progress simplex
+//! pivot loop stops promptly. A cancelled run yields `None` rather than a
+//! partial (and therefore untrustworthy) result.
+//!
+//! A **deadline** is different from cancellation: it asks for the best
+//! *sound* answer available in time. When the deadline passes mid-solve,
+//! the verification degrades down the precision ladder (MILP → LP →
+//! analysis-only union bound) and still returns a result — annotated as
+//! degraded — instead of `None` or an error.
 
+use raven_lp::Budget;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 /// The phases reported to progress observers, in execution order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,14 +72,29 @@ impl Phase {
 #[derive(Default, Clone, Copy)]
 pub struct RunHooks<'a> {
     cancel: Option<&'a AtomicBool>,
+    deadline: Option<Instant>,
     progress: Option<&'a (dyn Fn(Phase) + Sync)>,
 }
 
 impl<'a> RunHooks<'a> {
-    /// Attaches a cancel flag, polled at phase boundaries.
+    /// Attaches a cancel flag, polled at phase boundaries and inside the
+    /// solver pivot/node loops.
     pub fn with_cancel(mut self, flag: &'a AtomicBool) -> Self {
         self.cancel = Some(flag);
         self
+    }
+
+    /// Sets an absolute wall-clock deadline: past it, spec solves stop and
+    /// the verification degrades down the precision ladder to whatever
+    /// sound bound is available.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets a deadline `timeout` from now.
+    pub fn with_deadline_in(self, timeout: Duration) -> Self {
+        self.with_deadline(Instant::now() + timeout)
     }
 
     /// Attaches a progress observer, called as each phase starts.
@@ -82,6 +106,29 @@ impl<'a> RunHooks<'a> {
     /// Whether cancellation has been requested.
     pub fn cancelled(&self) -> bool {
         self.cancel.is_some_and(|c| c.load(Ordering::SeqCst))
+    }
+
+    /// The absolute deadline, when one is set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Whether the deadline has passed.
+    pub fn deadline_exceeded(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// The solver-level budget combining this run's deadline and cancel
+    /// flag, handed to `raven_lp` so solves are interruptible mid-pivot.
+    pub fn lp_budget(&self) -> Budget<'a> {
+        let mut b = Budget::unlimited();
+        if let Some(d) = self.deadline {
+            b = b.with_deadline(d);
+        }
+        if let Some(c) = self.cancel {
+            b = b.with_cancel(c);
+        }
+        b
     }
 
     /// Reports a phase start and returns `false` when the run should stop.
@@ -100,6 +147,7 @@ impl std::fmt::Debug for RunHooks<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RunHooks")
             .field("cancel", &self.cancel.map(|c| c.load(Ordering::SeqCst)))
+            .field("deadline", &self.deadline)
             .field("progress", &self.progress.is_some())
             .finish()
     }
@@ -142,6 +190,29 @@ mod tests {
         assert!(hooks.enter(Phase::Margins));
         cancel.store(true, Ordering::SeqCst);
         assert!(!hooks.enter(Phase::Analysis));
+    }
+
+    #[test]
+    fn deadline_does_not_cancel_phase_entry() {
+        // A passed deadline degrades solves; it must NOT abort the run the
+        // way cancellation does — phases still enter.
+        let hooks = RunHooks::default().with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(hooks.deadline_exceeded());
+        assert!(!hooks.cancelled());
+        assert!(hooks.enter(Phase::Solve));
+        assert!(hooks.lp_budget().exhausted());
+    }
+
+    #[test]
+    fn lp_budget_reflects_cancel_and_deadline() {
+        let cancel = AtomicBool::new(false);
+        let hooks = RunHooks::default()
+            .with_cancel(&cancel)
+            .with_deadline_in(Duration::from_secs(3600));
+        assert!(!hooks.lp_budget().exhausted());
+        cancel.store(true, Ordering::SeqCst);
+        assert!(hooks.lp_budget().exhausted());
+        assert!(hooks.lp_budget().cancelled());
     }
 
     #[test]

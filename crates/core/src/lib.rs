@@ -51,6 +51,7 @@ pub mod refine;
 pub mod relational;
 pub mod report;
 pub mod sweep;
+pub mod tier;
 mod uap;
 
 pub use config::{Method, PairStrategy, RavenConfig};
@@ -59,6 +60,7 @@ pub use monotonicity::{
     verify_monotonicity, verify_monotonicity_with_hooks, MonotonicityProblem, MonotonicityResult,
 };
 pub use relational::{InputCoord, OutputQuery, RelationalBound, RelationalProblem};
+pub use tier::{Tier, TierMillis};
 pub use uap::{
     replay_uap_delta, verify_targeted_uap, verify_uap, verify_uap_l1, verify_uap_with_hooks,
     TargetedUapProblem, TargetedUapResult, UapProblem, UapResult,

@@ -10,10 +10,11 @@
 use crate::config::{Method, RavenConfig};
 use crate::encode::{encode, Expr};
 use crate::hooks::{Phase, RunHooks};
+use crate::tier::{Tier, TierMillis};
 use raven_deeppoly::DeepPolyAnalysis;
 use raven_diffpoly::DiffPolyAnalysis;
 use raven_interval::{linf_ball, Interval, IntervalAnalysis};
-use raven_lp::{Direction, LinExpr, LpProblem, SolveStatus, VarId};
+use raven_lp::{Direction, LinExpr, LpError, LpProblem, SolveStatus, VarId};
 use raven_nn::{AnalysisPlan, PlanStep};
 use raven_tensor::Matrix;
 use std::time::Instant;
@@ -53,6 +54,15 @@ pub struct MonotonicityResult {
     pub verified: bool,
     /// Wall-clock milliseconds spent.
     pub solve_millis: f64,
+    /// Precision tier that produced the bound ([`Tier::Lp`] for the
+    /// relational methods, [`Tier::Analysis`] for the baselines or after
+    /// deadline degradation; monotonicity never solves a MILP).
+    pub tier: Tier,
+    /// True when a budget pushed the result below the configured
+    /// precision (the bound stays sound, only looser).
+    pub degraded: bool,
+    /// Wall-clock spent per tier.
+    pub tier_millis: TierMillis,
 }
 
 /// Extends the plan with a single-row affine step computing the score.
@@ -125,53 +135,74 @@ pub fn verify_monotonicity_with_hooks(
     if !hooks.enter(Phase::Analysis) {
         return None;
     }
-    let certified_change = match method {
-        Method::Box | Method::ZonotopeIndividual | Method::DeepPolyIndividual => {
-            let splan = score_plan(&problem.plan, &problem.output_weights);
-            let (box_a, box_b) = input_boxes(problem);
-            let (score_a, score_b) = match method {
-                Method::Box => {
-                    let a = IntervalAnalysis::run(&splan, &box_a);
-                    let b = IntervalAnalysis::run(&splan, &box_b);
-                    (a.output()[0], b.output()[0])
-                }
-                Method::ZonotopeIndividual => {
-                    let a = raven_zonotope::ZonotopeAnalysis::run(&splan, &box_a);
-                    let b = raven_zonotope::ZonotopeAnalysis::run(&splan, &box_b);
-                    (a.output()[0], b.output()[0])
-                }
-                _ => {
-                    let a = DeepPolyAnalysis::run(&splan, &box_a);
-                    let b = DeepPolyAnalysis::run(&splan, &box_b);
-                    (a.output()[0], b.output()[0])
-                }
-            };
-            // Independent bounds: worst signed change.
-            if problem.increasing {
-                score_b.lo() - score_a.hi()
-            } else {
-                score_a.lo() - score_b.hi()
-            }
-        }
+    let (certified_change, tier, degraded, lp_millis) = match method {
+        Method::Box | Method::ZonotopeIndividual | Method::DeepPolyIndividual => (
+            independent_change_bound(problem, method),
+            Tier::Analysis,
+            false,
+            0.0,
+        ),
         Method::IoLp | Method::Raven => {
             verify_monotonicity_lp(problem, method, config, sign, hooks)?
         }
     };
+    let millis = start.elapsed().as_secs_f64() * 1e3;
     Some(MonotonicityResult {
         method,
         certified_change,
         verified: certified_change >= 0.0,
-        solve_millis: start.elapsed().as_secs_f64() * 1e3,
+        solve_millis: millis,
+        tier,
+        degraded,
+        tier_millis: TierMillis {
+            analysis: (millis - lp_millis).max(0.0),
+            lp: lp_millis,
+            milp: 0.0,
+        },
     })
 }
 
+/// Independent-bounds certified change via the chosen abstract domain:
+/// always sound (it simply ignores the cross-execution correlation), used
+/// both by the non-relational baselines and as the degradation fallback
+/// when a deadline interrupts the relational LP.
+fn independent_change_bound(problem: &MonotonicityProblem, method: Method) -> f64 {
+    let splan = score_plan(&problem.plan, &problem.output_weights);
+    let (box_a, box_b) = input_boxes(problem);
+    let (score_a, score_b) = match method {
+        Method::Box => {
+            let a = IntervalAnalysis::run(&splan, &box_a);
+            let b = IntervalAnalysis::run(&splan, &box_b);
+            (a.output()[0], b.output()[0])
+        }
+        Method::ZonotopeIndividual => {
+            let a = raven_zonotope::ZonotopeAnalysis::run(&splan, &box_a);
+            let b = raven_zonotope::ZonotopeAnalysis::run(&splan, &box_b);
+            (a.output()[0], b.output()[0])
+        }
+        _ => {
+            let a = DeepPolyAnalysis::run(&splan, &box_a);
+            let b = DeepPolyAnalysis::run(&splan, &box_b);
+            (a.output()[0], b.output()[0])
+        }
+    };
+    // Independent bounds: worst signed change.
+    if problem.increasing {
+        score_b.lo() - score_a.hi()
+    } else {
+        score_a.lo() - score_b.hi()
+    }
+}
+
+/// The relational LP path; returns `(certified_change, tier, degraded,
+/// lp_millis)`, or `None` when cancelled.
 fn verify_monotonicity_lp(
     problem: &MonotonicityProblem,
     method: Method,
     config: &RavenConfig,
     sign: f64,
     hooks: &RunHooks<'_>,
-) -> Option<f64> {
+) -> Option<(f64, Tier, bool, f64)> {
     let plan = &problem.plan;
     let (box_a, box_b) = input_boxes(problem);
     let dp_a = DeepPolyAnalysis::run(plan, &box_a);
@@ -234,10 +265,34 @@ fn verify_monotonicity_lp(
         return None;
     }
     lp.set_objective(Direction::Minimize, obj);
-    Some(match lp.solve_with(&config.simplex) {
-        Ok(sol) if sol.status == SolveStatus::Optimal => sol.objective,
-        // Conservative failure answer: an uncertifiable change.
-        _ => f64::NEG_INFINITY,
+    let t0 = Instant::now();
+    let res = lp.solve_with_budget(&config.simplex, &hooks.lp_budget());
+    let lp_millis = t0.elapsed().as_secs_f64() * 1e3;
+    Some(match res {
+        Ok(sol) if sol.status == SolveStatus::Optimal => {
+            (sol.objective, Tier::Lp, false, lp_millis)
+        }
+        Err(LpError::BudgetExceeded) => {
+            if hooks.cancelled() {
+                // Cancellation wants no answer at all; deadline expiry
+                // (below) wants the best sound one.
+                return None;
+            }
+            (
+                independent_change_bound(problem, Method::DeepPolyIndividual),
+                Tier::Analysis,
+                true,
+                lp_millis,
+            )
+        }
+        // Numerical failure: the independent-bounds answer is still sound
+        // (strictly better than the old "uncertifiable" −∞ fallback).
+        _ => (
+            independent_change_bound(problem, Method::DeepPolyIndividual),
+            Tier::Analysis,
+            false,
+            lp_millis,
+        ),
     })
 }
 

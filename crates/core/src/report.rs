@@ -10,7 +10,13 @@
 //! Verdict objects are **deterministic**: they carry no timing and no
 //! environment information, which makes them safe to cache and to compare
 //! byte-for-byte. Wall-clock timing travels next to the verdict in each
-//! envelope (`solve_millis`), never inside it.
+//! envelope (`solve_millis`, `tier_millis`), never inside it. The
+//! precision `tier` and `degraded` flag *are* part of the verdict — they
+//! describe what the bound means, not how long it took — but degraded
+//! verdicts must never be cached (a longer budget would produce a tighter
+//! answer for the same query).
+
+use crate::tier::TierMillis;
 
 use crate::{MonotonicityProblem, MonotonicityResult, UapResult};
 use raven_json::Json;
@@ -51,6 +57,8 @@ pub fn uap_verdict_json(k: usize, eps: f64, res: &UapResult) -> Json {
             Json::from(res.individually_verified),
         ),
         ("exact", Json::from(res.exact)),
+        ("tier", Json::from(res.tier.name())),
+        ("degraded", Json::from(res.degraded)),
         ("lp_rows", Json::from(res.lp_rows)),
         ("lp_vars", Json::from(res.lp_vars)),
         (
@@ -81,6 +89,19 @@ pub fn mono_verdict_json(problem: &MonotonicityProblem, res: &MonotonicityResult
         ),
         ("verified", Json::from(res.verified)),
         ("certified_change", Json::from(res.certified_change)),
+        ("tier", Json::from(res.tier.name())),
+        ("degraded", Json::from(res.degraded)),
+    ])
+}
+
+/// The per-tier timing object that travels in result *envelopes* next to
+/// `solve_millis` (timing is environment-dependent, so it never enters the
+/// deterministic verdict).
+pub fn tier_millis_json(t: &TierMillis) -> Json {
+    Json::obj([
+        ("analysis", Json::from(t.analysis)),
+        ("lp", Json::from(t.lp)),
+        ("milp", Json::from(t.milp)),
     ])
 }
 

@@ -98,6 +98,9 @@ pub fn uap_sweep(
                         lp_vars: 0,
                         exact: true,
                         counterexample_delta: None,
+                        tier: crate::tier::Tier::Analysis,
+                        degraded: false,
+                        tier_millis: crate::tier::TierMillis::default(),
                     }
                 } else {
                     let r = verify_uap(&problem, m, config);

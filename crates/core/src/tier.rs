@@ -1,0 +1,67 @@
+//! The precision-tier ladder reported by budgeted verification runs.
+//!
+//! RaVeN escalates MILP ← LP ← abstract analysis for *precision*; under a
+//! deadline the run walks the same ladder downward for *liveness*: whatever
+//! tier completes in budget produces the verdict, and every tier is sound
+//! (lower tiers only over-approximate the adversary). [`Tier`] names the
+//! tier that produced the final bound and [`TierMillis`] accounts the
+//! wall-clock spent per tier, so reports can show both what precision a
+//! deadline bought and where the time went.
+
+/// The precision tier of the degradation ladder that produced a bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Exact (or anytime-bounded) MILP over the spec indicators.
+    Milp,
+    /// LP relaxation of the spec (fractional but sound).
+    Lp,
+    /// Abstract analysis only: per-execution margins and the union bound
+    /// (`k − individually_verified` misclassifications), no spec solve.
+    Analysis,
+}
+
+impl Tier {
+    /// Stable lowercase name used in report JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Milp => "milp",
+            Tier::Lp => "lp",
+            Tier::Analysis => "analysis",
+        }
+    }
+}
+
+/// Wall-clock milliseconds spent per tier during one verification run.
+///
+/// `analysis` covers everything before the spec solve (margins, abstract
+/// analyses, DiffPoly, LP assembly); `lp`/`milp` cover the respective spec
+/// solves (both may be nonzero when the run degraded from MILP to LP).
+/// Timing is environment-dependent, so this lives next to — never inside —
+/// the deterministic verdict object (see [`crate::report`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TierMillis {
+    /// Time before any spec solve (abstract analyses and encoding).
+    pub analysis: f64,
+    /// Time inside the LP relaxation solve.
+    pub lp: f64,
+    /// Time inside the MILP solve.
+    pub milp: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_names_are_stable_and_distinct() {
+        assert_eq!(Tier::Milp.name(), "milp");
+        assert_eq!(Tier::Lp.name(), "lp");
+        assert_eq!(Tier::Analysis.name(), "analysis");
+    }
+
+    #[test]
+    fn tier_millis_defaults_to_zero() {
+        let t = TierMillis::default();
+        assert_eq!((t.analysis, t.lp, t.milp), (0.0, 0.0, 0.0));
+    }
+}

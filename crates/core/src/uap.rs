@@ -11,10 +11,11 @@ use crate::config::{Method, RavenConfig};
 use crate::encode::{encode, Expr};
 use crate::hooks::{Phase, RunHooks};
 use crate::margin::{all_positive, box_margins, deeppoly_margins, zonotope_margins};
+use crate::tier::{Tier, TierMillis};
 use raven_deeppoly::DeepPolyAnalysis;
 use raven_diffpoly::DiffPolyAnalysis;
 use raven_interval::{linf_ball, Interval};
-use raven_lp::{Direction, LinExpr, LpProblem, Sense, SolveStatus, VarId};
+use raven_lp::{Budget, Direction, LinExpr, LpError, LpProblem, Sense, SolveStatus, VarId};
 use raven_nn::AnalysisPlan;
 use std::time::Instant;
 
@@ -66,6 +67,18 @@ pub struct UapResult {
     /// network yields an empirical upper bound on worst-case accuracy that
     /// sandwiches the certificate (see [`replay_uap_delta`]).
     pub counterexample_delta: Option<Vec<f64>>,
+    /// Precision tier of the degradation ladder that produced the final
+    /// bound. Non-relational baselines always report
+    /// [`Tier::Analysis`]; the LP methods report the deepest tier that
+    /// finished within budget.
+    pub tier: Tier,
+    /// True when a budget (deadline, cancellation pressure, or solver
+    /// node limit) pushed the result below the configured precision. The
+    /// bound is still sound — only less tight than an unbudgeted run.
+    pub degraded: bool,
+    /// Wall-clock spent per tier (environment-dependent; excluded from the
+    /// deterministic verdict object).
+    pub tier_millis: TierMillis,
 }
 
 /// Replays a shared perturbation against a batch, returning the concrete
@@ -242,17 +255,26 @@ fn verify_uap_with_extra(
     });
     let individually_verified = margins.iter().filter(|m| all_positive(m)).count();
     match method {
-        Method::Box | Method::ZonotopeIndividual | Method::DeepPolyIndividual => Some(UapResult {
-            method,
-            worst_case_accuracy: individually_verified as f64 / k as f64,
-            worst_case_hamming: (k - individually_verified) as f64,
-            individually_verified,
-            solve_millis: start.elapsed().as_secs_f64() * 1e3,
-            lp_rows: 0,
-            lp_vars: 0,
-            exact: true,
-            counterexample_delta: None,
-        }),
+        Method::Box | Method::ZonotopeIndividual | Method::DeepPolyIndividual => {
+            let millis = start.elapsed().as_secs_f64() * 1e3;
+            Some(UapResult {
+                method,
+                worst_case_accuracy: individually_verified as f64 / k as f64,
+                worst_case_hamming: (k - individually_verified) as f64,
+                individually_verified,
+                solve_millis: millis,
+                lp_rows: 0,
+                lp_vars: 0,
+                exact: true,
+                counterexample_delta: None,
+                tier: Tier::Analysis,
+                degraded: false,
+                tier_millis: TierMillis {
+                    analysis: millis,
+                    ..TierMillis::default()
+                },
+            })
+        }
         Method::IoLp => verify_uap_io(
             problem,
             delta_box,
@@ -393,24 +415,38 @@ fn verify_uap_io(
     let lp_rows = lp.num_constraints();
     let lp_vars = lp.num_vars();
     if !any_indicator {
+        let millis = start.elapsed().as_secs_f64() * 1e3;
         return Some(UapResult {
             method: Method::IoLp,
             worst_case_accuracy: 1.0,
             worst_case_hamming: 0.0,
             individually_verified,
-            solve_millis: start.elapsed().as_secs_f64() * 1e3,
+            solve_millis: millis,
             lp_rows,
             lp_vars,
             exact: true,
             counterexample_delta: None,
+            tier: Tier::Analysis,
+            degraded: false,
+            tier_millis: TierMillis {
+                analysis: millis,
+                ..TierMillis::default()
+            },
         });
     }
     if !hooks.enter(Phase::Solve) {
         return None;
     }
+    let analysis_millis = start.elapsed().as_secs_f64() * 1e3;
     lp.set_objective(Direction::Maximize, objective);
-    let (max_misclassified, exact, witness) = solve_spec_with_witness(&lp, config, &d_vars);
-    let max_misclassified = max_misclassified.clamp(0.0, k as f64);
+    let spec = solve_spec_with_witness(&lp, config, &d_vars, &hooks.lp_budget());
+    if hooks.cancelled() {
+        return None;
+    }
+    // Executions without indicators are proven individually robust, so the
+    // adversary count can never exceed the union bound — this is also the
+    // sound answer the analysis tier falls back to on total exhaustion.
+    let max_misclassified = spec.bound.clamp(0.0, (k - individually_verified) as f64);
     Some(UapResult {
         method: Method::IoLp,
         worst_case_accuracy: (k as f64 - max_misclassified) / k as f64,
@@ -419,8 +455,15 @@ fn verify_uap_io(
         solve_millis: start.elapsed().as_secs_f64() * 1e3,
         lp_rows,
         lp_vars,
-        exact,
-        counterexample_delta: witness,
+        exact: spec.exact,
+        counterexample_delta: spec.witness,
+        tier: spec.tier,
+        degraded: spec.degraded,
+        tier_millis: TierMillis {
+            analysis: analysis_millis,
+            lp: spec.lp_millis,
+            milp: spec.milp_millis,
+        },
     })
 }
 
@@ -531,26 +574,38 @@ fn verify_uap_lp(
     let lp_vars = lp.num_vars();
     if !any_indicator {
         // Everything individually robust; no adversary possible.
+        let millis = start.elapsed().as_secs_f64() * 1e3;
         return Some(UapResult {
             method,
             worst_case_accuracy: 1.0,
             worst_case_hamming: 0.0,
             individually_verified,
-            solve_millis: start.elapsed().as_secs_f64() * 1e3,
+            solve_millis: millis,
             lp_rows,
             lp_vars,
             exact: true,
             counterexample_delta: None,
+            tier: Tier::Analysis,
+            degraded: false,
+            tier_millis: TierMillis {
+                analysis: millis,
+                ..TierMillis::default()
+            },
         });
     }
     if !hooks.enter(Phase::Solve) {
         return None;
     }
+    let analysis_millis = start.elapsed().as_secs_f64() * 1e3;
     lp.set_objective(Direction::Maximize, objective);
-    // Solve: MILP when configured, falling back to the LP relaxation (still
-    // sound — the relaxation only over-counts misclassifications).
-    let (max_misclassified, exact, witness) = solve_spec_with_witness(&lp, config, &d_vars);
-    let max_misclassified = max_misclassified.clamp(0.0, k as f64);
+    // Solve: MILP when configured, degrading down the ladder (anytime MILP
+    // bound → LP relaxation → union bound) when the budget runs out; every
+    // rung only over-counts misclassifications, so the result stays sound.
+    let spec = solve_spec_with_witness(&lp, config, &d_vars, &hooks.lp_budget());
+    if hooks.cancelled() {
+        return None;
+    }
+    let max_misclassified = spec.bound.clamp(0.0, (k - individually_verified) as f64);
     Some(UapResult {
         method,
         worst_case_accuracy: (k as f64 - max_misclassified) / k as f64,
@@ -559,8 +614,15 @@ fn verify_uap_lp(
         solve_millis: start.elapsed().as_secs_f64() * 1e3,
         lp_rows,
         lp_vars,
-        exact,
-        counterexample_delta: witness,
+        exact: spec.exact,
+        counterexample_delta: spec.witness,
+        tier: spec.tier,
+        degraded: spec.degraded,
+        tier_millis: TierMillis {
+            analysis: analysis_millis,
+            lp: spec.lp_millis,
+            milp: spec.milp_millis,
+        },
     })
 }
 
@@ -718,39 +780,131 @@ pub fn verify_targeted_uap(
 
 /// Solves the counting spec, returning `(bound, exact)`.
 fn solve_spec(lp: &LpProblem, config: &RavenConfig) -> (f64, bool) {
-    let (bound, exact, _) = solve_spec_with_witness(lp, config, &[]);
-    (bound, exact)
+    let spec = solve_spec_with_witness(lp, config, &[], &Budget::unlimited());
+    (spec.bound, spec.exact)
 }
 
-/// Solves the counting spec, additionally extracting the optimal values of
-/// `witness_vars` (the shared perturbation) when available.
+/// Outcome of one walk down the spec-solve degradation ladder.
+struct SpecSolve {
+    /// Sound upper bound on the misclassification count (∞ when no solve
+    /// finished — the caller clamps to the union bound).
+    bound: f64,
+    /// Whether the bound is exact over the indicators (MILP optimum).
+    exact: bool,
+    /// Optimal/incumbent values of the witness variables, when available.
+    witness: Option<Vec<f64>>,
+    /// Deepest ladder tier that produced `bound`.
+    tier: Tier,
+    /// Whether a budget forced the result below the configured precision.
+    degraded: bool,
+    /// Wall-clock spent inside the LP relaxation solve.
+    lp_millis: f64,
+    /// Wall-clock spent inside the MILP solve.
+    milp_millis: f64,
+}
+
+/// Solves the counting spec down the degradation ladder, additionally
+/// extracting the optimal values of `witness_vars` (the shared
+/// perturbation) when available.
+///
+/// Ladder: MILP optimum (exact) → MILP anytime dual bound (budget ran out
+/// mid-search but the bound is sound) → LP relaxation → ∞ (caller clamps
+/// to the union bound). Each rung is a sound over-approximation of the
+/// adversary, so degradation never costs soundness, only tightness.
 fn solve_spec_with_witness(
     lp: &LpProblem,
     config: &RavenConfig,
     witness_vars: &[VarId],
-) -> (f64, bool, Option<Vec<f64>>) {
+    budget: &Budget<'_>,
+) -> SpecSolve {
     let extract = |sol: &raven_lp::Solution| {
-        (!witness_vars.is_empty()).then(|| witness_vars.iter().map(|&v| sol.value(v)).collect())
+        (!witness_vars.is_empty() && !sol.values.is_empty())
+            .then(|| witness_vars.iter().map(|&v| sol.value(v)).collect())
     };
+    let mut milp_millis = 0.0;
+    let mut degraded = false;
     if config.spec_milp {
-        match lp.solve_milp_with(&config.milp) {
+        let t0 = Instant::now();
+        let res = lp.solve_milp_with_budget(&config.milp, budget);
+        milp_millis = t0.elapsed().as_secs_f64() * 1e3;
+        match res {
             Ok(sol) if sol.status == SolveStatus::Optimal => {
-                let w = extract(&sol);
-                return (sol.objective, true, w);
+                let witness = extract(&sol);
+                return SpecSolve {
+                    bound: sol.objective,
+                    exact: true,
+                    witness,
+                    tier: Tier::Milp,
+                    degraded: false,
+                    lp_millis: 0.0,
+                    milp_millis,
+                };
             }
-            // Node/iteration limits (or an unexpected status) fall through
-            // to the LP relaxation, which is sound but may be fractional.
-            Ok(_) | Err(_) => {}
+            Ok(sol) => {
+                if let SolveStatus::BudgetExceeded { best_bound } = sol.status {
+                    degraded = true;
+                    if best_bound.is_finite() {
+                        // Anytime dual bound: every open node's parent
+                        // relaxation and the incumbent are covered, so the
+                        // true count is ≤ best_bound.
+                        let witness = extract(&sol);
+                        return SpecSolve {
+                            bound: best_bound,
+                            exact: false,
+                            witness,
+                            tier: Tier::Milp,
+                            degraded: true,
+                            lp_millis: 0.0,
+                            milp_millis,
+                        };
+                    }
+                }
+                // Not even the root relaxation finished (or an unexpected
+                // status): fall to the LP relaxation rung.
+            }
+            // Iteration limits / numerical breakdown fall through to the
+            // LP relaxation, which is sound but may be fractional.
+            Err(_) => {}
         }
     }
-    match lp.solve_with(&config.simplex) {
+    let t0 = Instant::now();
+    let res = lp.solve_with_budget(&config.simplex, budget);
+    let lp_millis = t0.elapsed().as_secs_f64() * 1e3;
+    match res {
         Ok(sol) if sol.status == SolveStatus::Optimal => {
-            let w = extract(&sol);
-            (sol.objective, false, w)
+            let witness = extract(&sol);
+            SpecSolve {
+                bound: sol.objective,
+                exact: false,
+                witness,
+                tier: Tier::Lp,
+                degraded,
+                lp_millis,
+                milp_millis,
+            }
         }
+        // Budget died inside the relaxation too: the only rung left is the
+        // analysis-phase union bound (the caller's clamp).
+        Err(LpError::BudgetExceeded) => SpecSolve {
+            bound: f64::INFINITY,
+            exact: false,
+            witness: None,
+            tier: Tier::Analysis,
+            degraded: true,
+            lp_millis,
+            milp_millis,
+        },
         // Numerical failure or unexpected status: fall back to the trivial
-        // sound answer "everything may be misclassified".
-        _ => (f64::INFINITY, false, None),
+        // sound answer "everything not individually verified may flip".
+        _ => SpecSolve {
+            bound: f64::INFINITY,
+            exact: false,
+            witness: None,
+            tier: Tier::Analysis,
+            degraded,
+            lp_millis,
+            milp_millis,
+        },
     }
 }
 

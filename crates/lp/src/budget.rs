@@ -1,0 +1,128 @@
+//! Cooperative solve budgets: wall-clock deadlines and cancellation.
+//!
+//! A [`Budget`] is threaded into the simplex pivot loop and the MILP node
+//! loop so every solve is interruptible mid-flight. It is deliberately a
+//! separate parameter rather than a field of `SimplexOptions`/`MilpOptions`:
+//! options are plain comparable data (`PartialEq`), while a budget carries a
+//! borrowed atomic flag and an absolute point in time.
+//!
+//! The two signals have different meanings to callers:
+//!
+//! * **cancel** — the caller no longer wants *any* answer (shutdown, client
+//!   gone). Verification layers abort the run.
+//! * **deadline** — the caller wants the best *sound* answer available right
+//!   now. The MILP returns its anytime incumbent/dual bound
+//!   ([`crate::SolveStatus::BudgetExceeded`]) and the verification layers
+//!   degrade down the precision ladder instead of erroring.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// A wall-clock deadline and/or cancel flag polled inside solver loops.
+///
+/// The default budget is unlimited: [`Budget::exhausted`] is always `false`
+/// and the solvers behave exactly as without a budget.
+///
+/// # Examples
+///
+/// ```
+/// use raven_lp::Budget;
+/// use std::time::{Duration, Instant};
+///
+/// let unlimited = Budget::default();
+/// assert!(!unlimited.exhausted());
+///
+/// let expired = Budget::default().with_deadline(Instant::now() - Duration::from_millis(1));
+/// assert!(expired.exhausted());
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Budget<'a> {
+    deadline: Option<Instant>,
+    cancel: Option<&'a AtomicBool>,
+}
+
+impl<'a> Budget<'a> {
+    /// An unlimited budget (never exhausted).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Sets an absolute wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets a deadline `timeout` from now.
+    pub fn with_deadline_in(self, timeout: Duration) -> Self {
+        self.with_deadline(Instant::now() + timeout)
+    }
+
+    /// Attaches a cancel flag (checked with `Ordering::SeqCst`).
+    pub fn with_cancel(mut self, flag: &'a AtomicBool) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// Whether this budget can never be exhausted.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.cancel.is_none()
+    }
+
+    /// The absolute deadline, when one is set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Whether cancellation was requested (ignores the deadline).
+    pub fn cancelled(&self) -> bool {
+        self.cancel.is_some_and(|c| c.load(Ordering::SeqCst))
+    }
+
+    /// Whether the budget is spent: cancel requested or deadline passed.
+    ///
+    /// Cheap enough to poll every simplex pivot / MILP node.
+    pub fn exhausted(&self) -> bool {
+        if self.cancelled() {
+            return true;
+        }
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_is_never_exhausted() {
+        let b = Budget::unlimited();
+        assert!(b.is_unlimited());
+        assert!(!b.exhausted());
+        assert!(!b.cancelled());
+    }
+
+    #[test]
+    fn expired_deadline_exhausts() {
+        let b = Budget::default().with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(!b.is_unlimited());
+        assert!(b.exhausted());
+        assert!(!b.cancelled(), "deadline expiry is not cancellation");
+    }
+
+    #[test]
+    fn future_deadline_does_not_exhaust() {
+        let b = Budget::default().with_deadline_in(Duration::from_secs(3600));
+        assert!(!b.exhausted());
+    }
+
+    #[test]
+    fn cancel_flag_exhausts_when_set() {
+        let flag = AtomicBool::new(false);
+        let b = Budget::default().with_cancel(&flag);
+        assert!(!b.exhausted());
+        flag.store(true, Ordering::SeqCst);
+        assert!(b.exhausted());
+        assert!(b.cancelled());
+    }
+}

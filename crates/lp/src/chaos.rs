@@ -1,0 +1,44 @@
+//! Fault injection for solver chaos tests (test-support).
+//!
+//! The injection API is always present so callers compile identically with
+//! and without chaos, but the injection *bodies* are compiled only under
+//! `debug_assertions` (every `cargo test` dev-profile run) or the explicit
+//! `chaos` feature; a release build pays nothing.
+//!
+//! The only solver fault worth simulating is a **stall**: a pivot loop that
+//! still makes progress but far too slowly, which is exactly the failure
+//! mode deadlines exist for. State is process-global — chaos tests that set
+//! a stall must serialize themselves (see `tests/chaos.rs`) and clear it.
+
+#[cfg(any(debug_assertions, feature = "chaos"))]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[cfg(any(debug_assertions, feature = "chaos"))]
+static PIVOT_STALL_MICROS: AtomicU64 = AtomicU64::new(0);
+
+/// Makes every subsequent simplex pivot sleep for `micros` microseconds
+/// (0 clears the stall). No-op in release builds without the `chaos`
+/// feature.
+pub fn set_pivot_stall_micros(micros: u64) {
+    #[cfg(any(debug_assertions, feature = "chaos"))]
+    PIVOT_STALL_MICROS.store(micros, Ordering::SeqCst);
+    #[cfg(not(any(debug_assertions, feature = "chaos")))]
+    let _ = micros;
+}
+
+/// Clears all injected solver faults.
+pub fn clear() {
+    set_pivot_stall_micros(0);
+}
+
+/// Called once per simplex pivot iteration; sleeps when a stall is injected.
+#[inline]
+pub(crate) fn pivot_stall_point() {
+    #[cfg(any(debug_assertions, feature = "chaos"))]
+    {
+        let micros = PIVOT_STALL_MICROS.load(Ordering::Relaxed);
+        if micros > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(micros));
+        }
+    }
+}

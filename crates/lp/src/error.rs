@@ -13,10 +13,21 @@ pub enum LpError {
     /// The basis matrix became numerically singular.
     SingularBasis,
     /// The branch-and-bound node limit was exceeded.
+    ///
+    /// No longer produced by [`crate::LpProblem::solve_milp`]: hitting
+    /// `max_nodes` now returns the anytime bound through
+    /// [`crate::SolveStatus::BudgetExceeded`] instead of discarding it.
     NodeLimit {
         /// The limit that was hit.
         limit: usize,
     },
+    /// A pure-LP solve was interrupted by its [`crate::Budget`] mid-pivot.
+    ///
+    /// An interrupted primal simplex has no sound bound to report (its
+    /// iterate under-estimates a maximization objective), so LP-level
+    /// exhaustion is an error; the MILP layer catches it and folds the
+    /// interrupted node back into its anytime dual bound.
+    BudgetExceeded,
     /// Problem construction was invalid (e.g. inverted bounds).
     InvalidModel(String),
 }
@@ -30,6 +41,9 @@ impl fmt::Display for LpError {
             LpError::SingularBasis => write!(f, "basis matrix is singular"),
             LpError::NodeLimit { limit } => {
                 write!(f, "branch-and-bound exceeded {limit} nodes")
+            }
+            LpError::BudgetExceeded => {
+                write!(f, "solve budget exhausted (deadline or cancellation)")
             }
             LpError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
         }

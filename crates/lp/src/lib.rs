@@ -21,6 +21,8 @@
 //! # Ok::<(), raven_lp::LpError>(())
 //! ```
 
+mod budget;
+pub mod chaos;
 mod error;
 mod milp;
 mod model;
@@ -28,6 +30,7 @@ mod presolve;
 mod simplex;
 mod write;
 
+pub use budget::Budget;
 pub use error::LpError;
 pub use milp::MilpOptions;
 pub use model::{Direction, LinExpr, LpProblem, Sense, Solution, SolveStatus, VarId};

@@ -6,7 +6,7 @@
 //! search tree therefore stays tiny (≤ 2^k nodes), matching the paper's
 //! scalable MILP configuration.
 
-use crate::{LpError, LpProblem, SimplexOptions, Solution, SolveStatus};
+use crate::{Budget, LpError, LpProblem, SimplexOptions, Solution, SolveStatus};
 
 /// Options for [`LpProblem::solve_milp_with`].
 #[derive(Debug, Clone, PartialEq)]
@@ -32,10 +32,48 @@ impl Default for MilpOptions {
 struct Node {
     /// `(var index, lo, hi)` overrides accumulated along the branch.
     fixes: Vec<(usize, f64, f64)>,
+    /// Parent relaxation objective: a sound bound on every leaf below this
+    /// node (infinite in the optimistic direction at the root, where no
+    /// relaxation has been solved yet).
+    bound: f64,
+}
+
+/// The anytime result when budget or node limit stops the search: the
+/// sound dual bound is the optimistic-direction extreme over the incumbent
+/// and every open node's parent relaxation bound.
+fn anytime_solution(minimize: bool, stack: &[Node], incumbent: &Option<Solution>) -> Solution {
+    let mut bound = incumbent.as_ref().map_or(
+        if minimize {
+            f64::INFINITY
+        } else {
+            f64::NEG_INFINITY
+        },
+        |s| s.objective,
+    );
+    for node in stack {
+        bound = if minimize {
+            bound.min(node.bound)
+        } else {
+            bound.max(node.bound)
+        };
+    }
+    Solution {
+        status: SolveStatus::BudgetExceeded { best_bound: bound },
+        objective: bound,
+        values: incumbent
+            .as_ref()
+            .map(|s| s.values.clone())
+            .unwrap_or_default(),
+        duals: Vec::new(),
+    }
 }
 
 /// Solves `problem` by LP-based branch & bound over its integer variables.
-pub(crate) fn solve(problem: &LpProblem, opts: &MilpOptions) -> Result<Solution, LpError> {
+pub(crate) fn solve(
+    problem: &LpProblem,
+    opts: &MilpOptions,
+    budget: &Budget<'_>,
+) -> Result<Solution, LpError> {
     let int_vars: Vec<usize> = problem
         .integer
         .iter()
@@ -43,20 +81,30 @@ pub(crate) fn solve(problem: &LpProblem, opts: &MilpOptions) -> Result<Solution,
         .filter_map(|(i, &b)| b.then_some(i))
         .collect();
     if int_vars.is_empty() {
-        return problem.solve_with(&opts.simplex);
+        return problem.solve_with_budget(&opts.simplex, budget);
     }
     let minimize = matches!(problem.direction, crate::Direction::Minimize);
+    let root_bound = if minimize {
+        f64::NEG_INFINITY
+    } else {
+        f64::INFINITY
+    };
     // Best-known integral solution.
     let mut incumbent: Option<Solution> = None;
-    let mut stack = vec![Node { fixes: Vec::new() }];
+    let mut stack = vec![Node {
+        fixes: Vec::new(),
+        bound: root_bound,
+    }];
     let mut nodes = 0usize;
     while let Some(node) = stack.pop() {
-        nodes += 1;
-        if nodes > opts.max_nodes {
-            return Err(LpError::NodeLimit {
-                limit: opts.max_nodes,
-            });
+        // Anytime exit: when the budget expires or the node limit is hit
+        // with work remaining, report the best sound incumbent/dual bound
+        // instead of discarding everything already explored.
+        if nodes >= opts.max_nodes || budget.exhausted() {
+            stack.push(node);
+            return Ok(anytime_solution(minimize, &stack, &incumbent));
         }
+        nodes += 1;
         let mut sub = problem.clone();
         for &(v, lo, hi) in &node.fixes {
             let (cur_lo, cur_hi) = sub.bounds[v];
@@ -75,7 +123,16 @@ pub(crate) fn solve(problem: &LpProblem, opts: &MilpOptions) -> Result<Solution,
         // Propagate solver failures: silently pruning a node whose
         // relaxation did not solve would under-estimate a maximization
         // objective and make verification results unsound.
-        let relax = sub.solve_with(&opts.simplex)?;
+        let relax = match sub.solve_with_budget(&opts.simplex, budget) {
+            Ok(r) => r,
+            Err(LpError::BudgetExceeded) => {
+                // The budget died inside this node's relaxation: the node
+                // is unexplored, so fold it back under its parent bound.
+                stack.push(node);
+                return Ok(anytime_solution(minimize, &stack, &incumbent));
+            }
+            Err(e) => return Err(e),
+        };
         match relax.status {
             SolveStatus::Infeasible => continue,
             SolveStatus::Unbounded => {
@@ -87,6 +144,13 @@ pub(crate) fn solve(problem: &LpProblem, opts: &MilpOptions) -> Result<Solution,
                 continue;
             }
             SolveStatus::Optimal => {}
+            // A pure-LP relaxation never reports BudgetExceeded (the
+            // simplex signals exhaustion through `LpError::BudgetExceeded`,
+            // handled above); treat it like exhaustion defensively.
+            SolveStatus::BudgetExceeded { .. } => {
+                stack.push(node);
+                return Ok(anytime_solution(minimize, &stack, &incumbent));
+            }
         }
         // Bound pruning.
         if let Some(best) = &incumbent {
@@ -134,13 +198,17 @@ pub(crate) fn solve(problem: &LpProblem, opts: &MilpOptions) -> Result<Solution,
                 down.push((v, f64::NEG_INFINITY, floor));
                 let mut up = node.fixes.clone();
                 up.push((v, floor + 1.0, f64::INFINITY));
+                // Children inherit this node's relaxation objective as
+                // their sound bound (restricting the feasible set can only
+                // worsen the optimum).
+                let bound = relax.objective;
                 // Explore the side nearest the fractional value first.
                 if x - floor < 0.5 {
-                    stack.push(Node { fixes: up });
-                    stack.push(Node { fixes: down });
+                    stack.push(Node { fixes: up, bound });
+                    stack.push(Node { fixes: down, bound });
                 } else {
-                    stack.push(Node { fixes: down });
-                    stack.push(Node { fixes: up });
+                    stack.push(Node { fixes: down, bound });
+                    stack.push(Node { fixes: up, bound });
                 }
             }
         }
@@ -155,7 +223,27 @@ pub(crate) fn solve(problem: &LpProblem, opts: &MilpOptions) -> Result<Solution,
 
 #[cfg(test)]
 mod tests {
-    use crate::{Direction, LinExpr, LpProblem, Sense, SolveStatus};
+    use crate::{Budget, Direction, LinExpr, LpProblem, MilpOptions, Sense, SolveStatus};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::{Duration, Instant};
+
+    /// A maximization knapsack whose LP relaxation is fractional, so branch
+    /// & bound must explore several nodes.
+    fn knapsack() -> LpProblem {
+        let mut p = LpProblem::new();
+        let vars: Vec<_> = (0..6).map(|_| p.add_binary_var()).collect();
+        let weights = [2.0, 3.0, 1.0, 4.0, 2.0, 3.0];
+        let profits = [5.0, 4.0, 3.0, 7.0, 4.0, 5.0];
+        let mut cap = LinExpr::new();
+        let mut obj = LinExpr::new();
+        for (i, &v) in vars.iter().enumerate() {
+            cap.push(weights[i], v);
+            obj.push(profits[i], v);
+        }
+        p.add_constraint(cap, Sense::Le, 7.0);
+        p.set_objective(Direction::Maximize, obj);
+        p
+    }
 
     #[test]
     fn knapsack_is_solved_exactly() {
@@ -204,6 +292,84 @@ mod tests {
         p.add_constraint(LinExpr::new().term(1.0, x).term(1.0, y), Sense::Ge, 3.0);
         let sol = p.solve_milp().unwrap();
         assert_eq!(sol.status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn node_limit_returns_anytime_bound_not_error() {
+        let p = knapsack();
+        let exact = p.solve_milp().unwrap();
+        assert!(exact.is_optimal());
+        let opts = MilpOptions {
+            max_nodes: 1,
+            ..MilpOptions::default()
+        };
+        let sol = p.solve_milp_with(&opts).unwrap();
+        let SolveStatus::BudgetExceeded { best_bound } = sol.status else {
+            panic!("expected BudgetExceeded, got {:?}", sol.status);
+        };
+        // The dual bound must be sound: never below the true maximum.
+        assert!(
+            best_bound >= exact.objective - 1e-9,
+            "dual bound {best_bound} < optimum {}",
+            exact.objective
+        );
+        assert_eq!(sol.objective, best_bound);
+    }
+
+    #[test]
+    fn expired_deadline_yields_sound_bound_immediately() {
+        let p = knapsack();
+        let exact = p.solve_milp().unwrap().objective;
+        let budget = Budget::default().with_deadline(Instant::now() - Duration::from_millis(1));
+        let start = Instant::now();
+        let sol = p
+            .solve_milp_with_budget(&MilpOptions::default(), &budget)
+            .unwrap();
+        assert!(
+            start.elapsed() < Duration::from_millis(500),
+            "expired budget must return promptly"
+        );
+        let SolveStatus::BudgetExceeded { best_bound } = sol.status else {
+            panic!("expected BudgetExceeded, got {:?}", sol.status);
+        };
+        assert!(best_bound >= exact - 1e-9);
+    }
+
+    #[test]
+    fn cancel_mid_solve_interrupts_lp() {
+        // A pre-set cancel flag makes the bare LP error with BudgetExceeded
+        // on its first pivot (no sound partial bound exists for an LP).
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 10.0);
+        let y = p.add_var(0.0, 10.0);
+        p.add_constraint(LinExpr::new().term(1.0, x).term(2.0, y), Sense::Le, 4.0);
+        p.set_objective(
+            Direction::Maximize,
+            LinExpr::new().term(1.0, x).term(1.0, y),
+        );
+        let flag = AtomicBool::new(true);
+        let budget = Budget::default().with_cancel(&flag);
+        let err = p
+            .solve_with_budget(&crate::SimplexOptions::default(), &budget)
+            .unwrap_err();
+        assert_eq!(err, crate::LpError::BudgetExceeded);
+        flag.store(false, Ordering::SeqCst);
+        assert!(p
+            .solve_with_budget(&crate::SimplexOptions::default(), &budget)
+            .unwrap()
+            .is_optimal());
+    }
+
+    #[test]
+    fn generous_budget_matches_unbudgeted_solve() {
+        let p = knapsack();
+        let exact = p.solve_milp().unwrap();
+        let budget = Budget::default().with_deadline_in(Duration::from_secs(60));
+        let budgeted = p
+            .solve_milp_with_budget(&MilpOptions::default(), &budget)
+            .unwrap();
+        assert!(budgeted.is_optimal());
+        assert!((budgeted.objective - exact.objective).abs() < 1e-9);
     }
 
     #[test]

@@ -117,7 +117,7 @@ pub(crate) struct Row {
 }
 
 /// Well-defined outcome of an LP/MILP solve.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SolveStatus {
     /// An optimal solution was found.
     Optimal,
@@ -125,6 +125,18 @@ pub enum SolveStatus {
     Infeasible,
     /// The objective is unbounded in the optimization direction.
     Unbounded,
+    /// A MILP solve ran out of budget (deadline, cancellation, or node
+    /// limit) before closing the gap. `best_bound` is the sound *dual*
+    /// bound in the optimization direction: the true optimum is `≤
+    /// best_bound` for Maximize and `≥ best_bound` for Minimize (it is the
+    /// max/min over the incumbent and every open node's parent relaxation;
+    /// infinite when not even the root relaxation finished). The attached
+    /// [`Solution::values`] hold the best feasible incumbent when one was
+    /// found, and [`Solution::objective`] equals `best_bound`.
+    BudgetExceeded {
+        /// Sound dual bound over the unexplored search space.
+        best_bound: f64,
+    },
 }
 
 /// Result of a successful solver run.
@@ -291,7 +303,24 @@ impl LpProblem {
     ///
     /// Returns an [`LpError`] on iteration limits or numerical breakdown.
     pub fn solve_with(&self, options: &SimplexOptions) -> Result<Solution, LpError> {
-        crate::simplex::solve(self, options)
+        crate::simplex::solve(self, options, &crate::Budget::unlimited())
+    }
+
+    /// Solves the continuous relaxation under a [`Budget`](crate::Budget),
+    /// checked every pivot iteration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::BudgetExceeded`] when the budget expires
+    /// mid-solve (an interrupted primal simplex has no sound bound to
+    /// report), or other [`LpError`]s on iteration limits / numerical
+    /// breakdown.
+    pub fn solve_with_budget(
+        &self,
+        options: &SimplexOptions,
+        budget: &crate::Budget<'_>,
+    ) -> Result<Solution, LpError> {
+        crate::simplex::solve(self, options, budget)
     }
 
     /// Solves the mixed-integer problem by branch & bound over the
@@ -302,17 +331,38 @@ impl LpProblem {
     /// Returns an [`LpError`] on node/iteration limits or numerical
     /// breakdown.
     pub fn solve_milp(&self) -> Result<Solution, LpError> {
-        crate::milp::solve(self, &crate::MilpOptions::default())
+        self.solve_milp_with(&crate::MilpOptions::default())
     }
 
     /// Solves the MILP with explicit options.
     ///
     /// # Errors
     ///
-    /// Returns an [`LpError`] on node/iteration limits or numerical
-    /// breakdown.
+    /// Returns an [`LpError`] on iteration limits or numerical breakdown.
+    /// Hitting `max_nodes` is *not* an error: the anytime incumbent/dual
+    /// bound is returned via [`SolveStatus::BudgetExceeded`].
     pub fn solve_milp_with(&self, options: &crate::MilpOptions) -> Result<Solution, LpError> {
-        crate::milp::solve(self, options)
+        crate::milp::solve(self, options, &crate::Budget::unlimited())
+    }
+
+    /// Solves the MILP under a [`Budget`](crate::Budget), checked at every
+    /// branch-and-bound node and every simplex pivot inside node
+    /// relaxations.
+    ///
+    /// On budget exhaustion the best sound anytime bound explored so far is
+    /// returned via [`SolveStatus::BudgetExceeded`] — never an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`LpError`] on iteration limits or numerical breakdown
+    /// (pure-LP problems without integer variables also surface
+    /// [`LpError::BudgetExceeded`], since a bare LP has no anytime bound).
+    pub fn solve_milp_with_budget(
+        &self,
+        options: &crate::MilpOptions,
+        budget: &crate::Budget<'_>,
+    ) -> Result<Solution, LpError> {
+        crate::milp::solve(self, options, budget)
     }
 
     /// Checks whether `x` satisfies every constraint and bound within `tol`.

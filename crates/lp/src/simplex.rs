@@ -17,7 +17,7 @@
 //! guarantees a floating-point Gurobi run provides the original RaVeN
 //! implementation (see `DESIGN.md`).
 
-use crate::{Direction, LpError, LpProblem, Sense, Solution, SolveStatus};
+use crate::{Budget, Direction, LpError, LpProblem, Sense, Solution, SolveStatus};
 
 /// Tunable parameters for the simplex solver.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,6 +62,7 @@ enum Phase {
 
 struct Tableau<'a> {
     opts: &'a SimplexOptions,
+    budget: &'a Budget<'a>,
     m: usize,
     n_struct: usize,
     /// Structural + slack count (artificial indices start here).
@@ -102,7 +103,7 @@ impl Iterator for ColIter<'_> {
 }
 
 impl<'a> Tableau<'a> {
-    fn new(problem: &LpProblem, opts: &'a SimplexOptions) -> Self {
+    fn new(problem: &LpProblem, opts: &'a SimplexOptions, budget: &'a Budget<'a>) -> Self {
         let m = problem.rows.len();
         let n_struct = problem.num_vars();
         let n_slack_end = n_struct + m;
@@ -231,6 +232,7 @@ impl<'a> Tableau<'a> {
         }
         Self {
             opts,
+            budget,
             m,
             n_struct,
             n_slack_end,
@@ -583,6 +585,13 @@ impl<'a> Tableau<'a> {
     fn run_phase(&mut self, phase: Phase) -> Result<SolveStatus, LpError> {
         self.stall_count = 0;
         for _iter in 0..self.opts.max_iters {
+            // Budget check every pivot: an exhausted budget aborts the
+            // phase immediately (there is no sound partial bound to keep —
+            // the current iterate under-estimates the optimum).
+            if !self.budget.is_unlimited() && self.budget.exhausted() {
+                return Err(LpError::BudgetExceeded);
+            }
+            crate::chaos::pivot_stall_point();
             if self.pivots_since_refactor >= self.opts.refactor_every {
                 self.refactorize()?;
             }
@@ -683,7 +692,11 @@ impl<'a> Tableau<'a> {
 /// Returns an [`LpError`] on iteration limits or numerical breakdown;
 /// infeasible/unbounded problems are reported through [`Solution::status`],
 /// not as errors.
-pub(crate) fn solve(problem: &LpProblem, opts: &SimplexOptions) -> Result<Solution, LpError> {
+pub(crate) fn solve(
+    problem: &LpProblem,
+    opts: &SimplexOptions,
+    budget: &Budget<'_>,
+) -> Result<Solution, LpError> {
     for (i, &(lo, hi)) in problem.bounds.iter().enumerate() {
         if lo > hi {
             return Err(LpError::InvalidModel(format!(
@@ -714,7 +727,7 @@ pub(crate) fn solve(problem: &LpProblem, opts: &SimplexOptions) -> Result<Soluti
     if problem.rows.is_empty() {
         return Ok(solve_box_only(problem));
     }
-    let mut tableau = Tableau::new(problem, opts);
+    let mut tableau = Tableau::new(problem, opts, budget);
     let status = tableau.run()?;
     match status {
         SolveStatus::Optimal => {

@@ -14,6 +14,16 @@ pub enum NnError {
         /// Width actually produced by the preceding layer.
         actual: usize,
     },
+    /// A layer carries a NaN or infinite parameter. Non-finite weights
+    /// would silently poison every downstream analysis (DiffPoly bound
+    /// arithmetic and simplex pivots both assume finite coefficients), so
+    /// they are rejected at construction/load time instead.
+    NonFinite {
+        /// Index of the offending layer within the network.
+        layer: usize,
+        /// Which parameter tensor holds the non-finite value.
+        param: &'static str,
+    },
     /// A serialized model could not be parsed.
     Parse {
         /// 1-based line number of the offending input line.
@@ -35,6 +45,11 @@ impl fmt::Display for NnError {
             } => write!(
                 f,
                 "layer {layer} expects input width {expected} but receives {actual}"
+            ),
+            NnError::NonFinite { layer, param } => write!(
+                f,
+                "layer {layer} has a non-finite (NaN or infinite) value in its {param}; \
+                 refusing to load a model whose parameters would poison sound bounds"
             ),
             NnError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")

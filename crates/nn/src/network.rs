@@ -30,12 +30,16 @@ pub struct Network {
 }
 
 impl Network {
-    /// Creates a network, validating that adjacent layer widths agree.
+    /// Creates a network, validating that adjacent layer widths agree and
+    /// that every parameter is finite.
     ///
     /// # Errors
     ///
     /// Returns [`NnError::DimensionMismatch`] when a layer's expected input
-    /// width differs from what the previous layer produces.
+    /// width differs from what the previous layer produces, and
+    /// [`NnError::NonFinite`] when any weight, bias, or normalization
+    /// statistic is NaN or infinite (such values would silently corrupt
+    /// DiffPoly bounds and solver pivots, so they are rejected at load).
     pub fn new(input_dim: usize, layers: Vec<Layer>) -> Result<Self, NnError> {
         let mut width = input_dim;
         for (i, layer) in layers.iter().enumerate() {
@@ -48,6 +52,7 @@ impl Network {
                     });
                 }
             }
+            check_finite_params(i, layer)?;
             width = layer.out_dim(width);
         }
         Ok(Self { input_dim, layers })
@@ -170,6 +175,48 @@ impl Network {
     }
 }
 
+/// Rejects NaN/±inf parameters in `layer` (index `i` used for the error).
+fn check_finite_params(i: usize, layer: &Layer) -> Result<(), NnError> {
+    let bad = |values: &[f64]| values.iter().any(|v| !v.is_finite());
+    let fail = |param: &'static str| Err(NnError::NonFinite { layer: i, param });
+    match layer {
+        Layer::Dense(d) => {
+            if bad(d.weight().as_slice()) {
+                return fail("weights");
+            }
+            if bad(d.bias()) {
+                return fail("biases");
+            }
+        }
+        Layer::Conv(c) => {
+            if bad(c.weight()) {
+                return fail("weights");
+            }
+            if bad(c.bias()) {
+                return fail("biases");
+            }
+        }
+        Layer::Act(_) => {}
+        Layer::BatchNorm(bn) => {
+            let (gamma, beta, mean, var, eps) = bn.params();
+            for (param, values) in [
+                ("gamma", gamma),
+                ("beta", beta),
+                ("running mean", mean),
+                ("running variance", var),
+            ] {
+                if bad(values) {
+                    return fail(param);
+                }
+            }
+            if !eps.is_finite() {
+                return fail("epsilon");
+            }
+        }
+    }
+    Ok(())
+}
+
 enum PlanAffineOrAct {
     Affine(Matrix, Vec<f64>),
     Act(ActKind),
@@ -234,6 +281,71 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, NnError::DimensionMismatch { layer: 0, .. }));
+    }
+
+    #[test]
+    fn new_rejects_nan_weight() {
+        let err = Network::new(
+            2,
+            vec![Layer::Dense(Dense::new(
+                Matrix::from_rows(&[&[1.0, f64::NAN]]),
+                vec![0.0],
+            ))],
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            NnError::NonFinite {
+                layer: 0,
+                param: "weights"
+            }
+        ));
+        assert!(err.to_string().contains("non-finite"));
+    }
+
+    #[test]
+    fn new_rejects_infinite_bias_with_layer_index() {
+        let err = Network::new(
+            2,
+            vec![
+                Layer::Dense(Dense::new(
+                    Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]),
+                    vec![0.0, 0.0],
+                )),
+                Layer::Act(ActKind::Relu),
+                Layer::Dense(Dense::new(
+                    Matrix::from_rows(&[&[1.0, 1.0]]),
+                    vec![f64::NEG_INFINITY],
+                )),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            NnError::NonFinite {
+                layer: 2,
+                param: "biases"
+            }
+        ));
+    }
+
+    #[test]
+    fn new_rejects_non_finite_batchnorm_stats() {
+        let bn = crate::BatchNorm::new(
+            vec![1.0, 1.0],
+            vec![0.0, 0.0],
+            vec![0.0, f64::INFINITY],
+            vec![1.0, 1.0],
+            1e-5,
+        );
+        let err = Network::new(2, vec![Layer::BatchNorm(bn)]).unwrap_err();
+        assert!(matches!(
+            err,
+            NnError::NonFinite {
+                layer: 0,
+                param: "running mean"
+            }
+        ));
     }
 
     #[test]

@@ -357,6 +357,30 @@ mod tests {
     }
 
     #[test]
+    fn parse_rejects_non_finite_parameters() {
+        // `str::parse::<f64>` happily accepts "NaN" and "inf", so the
+        // rejection must come from network validation at load time.
+        let nan = "raven-net v1\ninput 2\ndense 1 2\n1.0 NaN\n0.0\nend\n";
+        let err = parse_network(nan).unwrap_err();
+        assert!(
+            matches!(err, NnError::NonFinite { layer: 0, .. }),
+            "NaN weight must be rejected, got: {err}"
+        );
+        let inf = "raven-net v1\ninput 2\ndense 1 2\n1.0 2.0\ninf\nend\n";
+        let err = parse_network(inf).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                NnError::NonFinite {
+                    layer: 0,
+                    param: "biases"
+                }
+            ),
+            "infinite bias must be rejected, got: {err}"
+        );
+    }
+
+    #[test]
     fn parse_skips_comments_and_blank_lines() {
         let text = "# model\nraven-net v1\n\ninput 1\n# layer\nact relu\nend\n";
         let net = parse_network(text).expect("parses");

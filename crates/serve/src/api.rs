@@ -13,12 +13,12 @@ use crate::ServerState;
 use raven::hooks::RunHooks;
 use raven::{
     report, verify_monotonicity_with_hooks, verify_uap_with_hooks, Method, MonotonicityProblem,
-    PairStrategy, RavenConfig, UapProblem,
+    PairStrategy, RavenConfig, TierMillis, UapProblem,
 };
 use raven_json::Json;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// An HTTP reply: status code plus serialized JSON body.
 pub type Reply = (u16, String);
@@ -111,6 +111,11 @@ struct VerifySpec {
     /// Artificial pre-solve delay (milliseconds) — a load-testing knob
     /// used by the backpressure tests; excluded from the cache key.
     delay_millis: u64,
+    /// Per-request solve deadline override (milliseconds). Like
+    /// `delay_millis` it is excluded from the cache key: a deadline never
+    /// changes what a verdict *means*, only how precise it is, and
+    /// degraded verdicts are never cached anyway.
+    deadline_ms: Option<u64>,
 }
 
 enum Payload {
@@ -242,6 +247,15 @@ fn parse_spec(
             .ok_or_else(|| bad("\"delay_millis\" must be a non-negative integer"))?
             as u64,
     };
+    let deadline_ms = match json.get("deadline_ms") {
+        None => None,
+        Some(d) => Some(
+            d.as_usize()
+                .filter(|&ms| ms > 0)
+                .ok_or_else(|| bad("\"deadline_ms\" must be a positive integer"))?
+                as u64,
+        ),
+    };
     let input_dim = entry.plan.input_dim();
     let output_dim = entry.plan.output_dim();
     let payload = match property {
@@ -343,20 +357,47 @@ fn parse_spec(
         eps,
         payload,
         delay_millis,
+        deadline_ms,
     })
+}
+
+/// The outcome of one verification run, ready for envelope assembly.
+struct Computed {
+    verdict: String,
+    solve_millis: f64,
+    tier_millis: TierMillis,
+    /// True when the solve hit its deadline and fell down the precision
+    /// ladder — the verdict is sound but weaker than an unlimited run.
+    degraded: bool,
 }
 
 /// Computes the verdict for `spec` (expensive; runs on a worker thread).
 ///
-/// Returns the serialized verdict object and the wall-clock milliseconds
-/// spent, or an error when the run was cancelled by server shutdown.
-fn compute_verdict(state: &Arc<ServerState>, spec: &VerifySpec) -> Result<(String, f64), String> {
+/// The solve deadline (request `deadline_ms` override, else the server
+/// default) starts ticking here, when a worker picks the job up. On
+/// exhaustion the verifier degrades to the strongest sound verdict it has
+/// (MILP incumbent bound → LP relaxation → analysis bounds) instead of
+/// erroring.
+///
+/// Returns an error only when the run was cancelled by server shutdown.
+fn compute_verdict(state: &Arc<ServerState>, spec: &VerifySpec) -> Result<Computed, String> {
+    crate::chaos::job_panic_point();
+    let deadline = spec
+        .deadline_ms
+        .map(Duration::from_millis)
+        .or(state.default_deadline);
+    let mut hooks = RunHooks::default().with_cancel(&state.cancel);
+    if let Some(d) = deadline {
+        // The artificial `delay_millis` sleep below counts against the
+        // deadline, exactly like a slow solve would.
+        hooks = hooks.with_deadline_in(d);
+    }
+    let start = Instant::now();
     if spec.delay_millis > 0 {
         std::thread::sleep(std::time::Duration::from_millis(spec.delay_millis));
     }
-    let hooks = RunHooks::default().with_cancel(&state.cancel);
-    let start = Instant::now();
-    let verdict = match &spec.payload {
+    let cancelled = || "verification cancelled by shutdown".to_string();
+    let (verdict, tier_millis, degraded) = match &spec.payload {
         Payload::Uap { inputs, labels } => {
             let problem = UapProblem {
                 plan: spec.entry.plan.clone(),
@@ -365,8 +406,12 @@ fn compute_verdict(state: &Arc<ServerState>, spec: &VerifySpec) -> Result<(Strin
                 eps: spec.eps,
             };
             let res = verify_uap_with_hooks(&problem, spec.method, &spec.config, &hooks)
-                .ok_or_else(|| "verification cancelled by shutdown".to_string())?;
-            report::uap_verdict_json(problem.k(), problem.eps, &res)
+                .ok_or_else(cancelled)?;
+            (
+                report::uap_verdict_json(problem.k(), problem.eps, &res),
+                res.tier_millis,
+                res.degraded,
+            )
         }
         Payload::Mono {
             center,
@@ -385,15 +430,30 @@ fn compute_verdict(state: &Arc<ServerState>, spec: &VerifySpec) -> Result<(Strin
                 increasing: *increasing,
             };
             let res = verify_monotonicity_with_hooks(&problem, spec.method, &spec.config, &hooks)
-                .ok_or_else(|| "verification cancelled by shutdown".to_string())?;
-            report::mono_verdict_json(&problem, &res)
+                .ok_or_else(cancelled)?;
+            (
+                report::mono_verdict_json(&problem, &res),
+                res.tier_millis,
+                res.degraded,
+            )
         }
     };
-    Ok((verdict.to_string(), start.elapsed().as_secs_f64() * 1e3))
+    Ok(Computed {
+        verdict: verdict.to_string(),
+        solve_millis: start.elapsed().as_secs_f64() * 1e3,
+        tier_millis,
+        degraded,
+    })
 }
 
 /// Builds the response envelope around a verdict.
-fn envelope(spec: &VerifySpec, verdict: &str, solve_millis: f64, cached: bool) -> Json {
+fn envelope(
+    spec: &VerifySpec,
+    verdict: &str,
+    solve_millis: f64,
+    tier_millis: &TierMillis,
+    cached: bool,
+) -> Json {
     let result = Json::parse(verdict).expect("verdicts are valid json");
     Json::obj([
         ("kind", Json::from(spec.property_name())),
@@ -401,6 +461,7 @@ fn envelope(spec: &VerifySpec, verdict: &str, solve_millis: f64, cached: bool) -
         ("model_hash", Json::from(spec.entry.hash_hex())),
         ("result", result),
         ("solve_millis", Json::from(solve_millis)),
+        ("tier_millis", report::tier_millis_json(tier_millis)),
         ("cached", Json::from(cached)),
     ])
 }
@@ -414,18 +475,36 @@ fn run_verify(
     let key = spec.cache_key();
     if check_cache {
         if let Some(hit) = state.cache.get(&key) {
-            return Ok(envelope(spec, &hit.verdict, hit.solve_millis, true));
+            return Ok(envelope(
+                spec,
+                &hit.verdict,
+                hit.solve_millis,
+                &hit.tier_millis,
+                true,
+            ));
         }
     }
-    let (verdict, solve_millis) = compute_verdict(state, spec)?;
-    state.cache.put(
-        key,
-        CachedResult {
-            verdict: verdict.clone(),
-            solve_millis,
-        },
-    );
-    Ok(envelope(spec, &verdict, solve_millis, false))
+    let computed = compute_verdict(state, spec)?;
+    // Degraded verdicts are budget-dependent, not query-determined: the
+    // same query with a longer deadline yields a strictly better answer,
+    // so caching one would serve needlessly weak verdicts forever.
+    if !computed.degraded {
+        state.cache.put(
+            key,
+            CachedResult {
+                verdict: computed.verdict.clone(),
+                solve_millis: computed.solve_millis,
+                tier_millis: computed.tier_millis,
+            },
+        );
+    }
+    Ok(envelope(
+        spec,
+        &computed.verdict,
+        computed.solve_millis,
+        &computed.tier_millis,
+        false,
+    ))
 }
 
 fn verify_sync(state: &Arc<ServerState>, body: &[u8], property: Property) -> Reply {
@@ -437,7 +516,14 @@ fn verify_sync(state: &Arc<ServerState>, body: &[u8], property: Property) -> Rep
     if let Some(hit) = state.cache.get(&spec.cache_key()) {
         return (
             200,
-            envelope(&spec, &hit.verdict, hit.solve_millis, true).to_string(),
+            envelope(
+                &spec,
+                &hit.verdict,
+                hit.solve_millis,
+                &hit.tier_millis,
+                true,
+            )
+            .to_string(),
         );
     }
     let job_state = Arc::clone(state);

@@ -27,6 +27,10 @@ options:
   --cache-capacity N          cached verdicts, LRU (default 256; 0 disables)
   --request-timeout-secs N    sync request wait before 504 (default 60)
   --threads N                 per-job solver threads (default 1; 0 = all cores)
+  --deadline-ms N             default per-job solve deadline in milliseconds;
+                              jobs that exhaust it answer with a sound degraded
+                              verdict (default unlimited; per-request
+                              \"deadline_ms\" overrides)
 ";
 
 /// Signals received so far (1 = graceful, 2+ = force cancel).
@@ -92,6 +96,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--threads" => {
                 config.job_threads = parse_num(&value("--threads")?, "--threads")?;
+            }
+            "--deadline-ms" => {
+                let ms: usize = parse_num(&value("--deadline-ms")?, "--deadline-ms")?;
+                config.default_deadline = Some(Duration::from_millis(ms as u64));
             }
             other => return Err(format!("unknown flag {other}")),
         }
@@ -190,6 +198,8 @@ mod tests {
             "5",
             "--threads",
             "3",
+            "--deadline-ms",
+            "250",
         ]))
         .unwrap();
         assert_eq!(parsed.models_dir, "models");
@@ -199,6 +209,10 @@ mod tests {
         assert_eq!(parsed.config.cache_capacity, 10);
         assert_eq!(parsed.config.request_timeout, Duration::from_secs(5));
         assert_eq!(parsed.config.job_threads, 3);
+        assert_eq!(
+            parsed.config.default_deadline,
+            Some(Duration::from_millis(250))
+        );
     }
 
     #[test]

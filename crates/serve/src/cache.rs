@@ -113,6 +113,8 @@ pub struct CachedResult {
     pub verdict: String,
     /// Milliseconds the original computation took.
     pub solve_millis: f64,
+    /// Per-tier breakdown of the original computation.
+    pub tier_millis: raven::TierMillis,
 }
 
 struct Slot {
@@ -237,6 +239,7 @@ mod tests {
         CachedResult {
             verdict: s.to_string(),
             solve_millis: 1.0,
+            tier_millis: raven::TierMillis::default(),
         }
     }
 

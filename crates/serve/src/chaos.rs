@@ -1,0 +1,54 @@
+//! Fault injection for service chaos tests (test-support).
+//!
+//! The injection API is always present so callers compile identically with
+//! and without chaos, but the injection *bodies* are compiled only under
+//! `debug_assertions` (every `cargo test` dev-profile run) or the explicit
+//! `chaos` feature; a release build pays nothing.
+//!
+//! The service fault worth simulating is a **mid-job panic**: a
+//! verification that blows up on a worker thread after the job has been
+//! accepted. The worker pool must absorb it (`catch_unwind` in
+//! `queue::worker_loop`), answer the waiting connection with a 500, and
+//! keep the worker alive for the next job. State is process-global —
+//! chaos tests that arm a fault must serialize themselves (see
+//! `tests/chaos.rs`) and clear it.
+
+#[cfg(any(debug_assertions, feature = "chaos"))]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[cfg(any(debug_assertions, feature = "chaos"))]
+static PANIC_NEXT_JOBS: AtomicU64 = AtomicU64::new(0);
+
+/// Makes the next `n` verification jobs panic as they start computing
+/// (after queue admission, on the worker thread). No-op in release builds
+/// without the `chaos` feature.
+pub fn set_panic_next_jobs(n: u64) {
+    #[cfg(any(debug_assertions, feature = "chaos"))]
+    PANIC_NEXT_JOBS.store(n, Ordering::SeqCst);
+    #[cfg(not(any(debug_assertions, feature = "chaos")))]
+    let _ = n;
+}
+
+/// Clears all injected service faults.
+pub fn clear() {
+    set_panic_next_jobs(0);
+}
+
+/// Called at the top of every verification job body; panics while a
+/// panic budget is armed.
+#[inline]
+pub(crate) fn job_panic_point() {
+    #[cfg(any(debug_assertions, feature = "chaos"))]
+    {
+        if PANIC_NEXT_JOBS.load(Ordering::Relaxed) > 0 {
+            // Decrement-and-check so concurrent jobs consume distinct slots.
+            let prev = PANIC_NEXT_JOBS.fetch_sub(1, Ordering::SeqCst);
+            if prev > 0 {
+                panic!("chaos: injected mid-job panic");
+            }
+            // Racing underflow: another job consumed the last slot between
+            // the load and the sub — restore and carry on.
+            PANIC_NEXT_JOBS.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}

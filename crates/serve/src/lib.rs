@@ -26,6 +26,7 @@
 
 pub mod api;
 pub mod cache;
+pub mod chaos;
 pub mod http;
 pub mod queue;
 pub mod registry;
@@ -56,6 +57,11 @@ pub struct ServerConfig {
     pub job_threads: usize,
     /// Maximum accepted request body size in bytes.
     pub max_body_bytes: usize,
+    /// Default per-job solve deadline. Jobs that exhaust it degrade down
+    /// the precision ladder (MILP → LP → analysis) and answer with a
+    /// sound but weaker verdict instead of timing out with 504/500.
+    /// `None` means unlimited; a request's `deadline_ms` field overrides.
+    pub default_deadline: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +74,7 @@ impl Default for ServerConfig {
             request_timeout: Duration::from_secs(60),
             job_threads: 1,
             max_body_bytes: 4 * 1024 * 1024,
+            default_deadline: None,
         }
     }
 }
@@ -90,6 +97,8 @@ pub struct ServerState {
     pub request_timeout: Duration,
     /// Per-job `RavenConfig::threads`.
     pub job_threads: usize,
+    /// Default per-job solve deadline (see [`ServerConfig::default_deadline`]).
+    pub default_deadline: Option<Duration>,
     /// Force-cancel flag checked by in-flight verifications at phase
     /// boundaries (second ctrl-c / SIGTERM escalation).
     pub cancel: AtomicBool,
@@ -146,6 +155,7 @@ impl Server {
             started: Instant::now(),
             request_timeout: config.request_timeout,
             job_threads: config.job_threads,
+            default_deadline: config.default_deadline,
             cancel: AtomicBool::new(false),
         });
         let worker_handles = queue.spawn_workers(config.workers);
@@ -228,8 +238,11 @@ impl Server {
 
 /// Serves one connection: read request, route, write response.
 fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream, max_body: usize) {
-    // A stuck peer must not pin the connection thread forever.
+    // A stuck peer must not pin the connection thread forever — neither a
+    // client that stops sending (read) nor one that stops draining its
+    // receive window while we write a large response body (write).
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
     let (status, body) = match http::read_request(&mut stream, max_body) {
         Ok(request) => api::handle(state, &request.method, &request.path, &request.body),
         Err(e) => (

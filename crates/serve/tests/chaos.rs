@@ -1,0 +1,307 @@
+//! Chaos tests: the server under injected faults.
+//!
+//! Fault injection state (solver pivot stalls in `raven-lp`, job panics in
+//! `raven-serve`) is process-global, so every test here serializes behind
+//! `CHAOS_LOCK` and clears whatever it armed — including on the error
+//! path, via `ChaosGuard`.
+//!
+//! Covered failure modes:
+//! * a stalled solver — deadline-bounded requests still answer in time
+//!   with a sound degraded verdict (never a 500);
+//! * mid-job panics on worker threads — the pool absorbs them (500 for
+//!   the poisoned job, workers stay alive for the next one);
+//! * slow / half-open clients — connection threads don't wedge the
+//!   accept loop or the worker pool;
+//! * degraded verdicts are never cached.
+
+use raven_json::Json;
+use raven_serve::registry::ModelRegistry;
+use raven_serve::{Server, ServerConfig, ShutdownHandle};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Clears all injected faults on drop, so a failing assertion cannot leak
+/// chaos state into the next test.
+struct ChaosGuard;
+
+impl Drop for ChaosGuard {
+    fn drop(&mut self) {
+        raven_lp::chaos::clear();
+        raven_serve::chaos::clear();
+    }
+}
+
+fn repo_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+fn start_server(config: ServerConfig) -> (SocketAddr, ShutdownHandle, std::thread::JoinHandle<()>) {
+    let registry = ModelRegistry::load_dir(&repo_path("models")).expect("load models dir");
+    let server = Server::bind(&config, registry).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let shutdown = server.shutdown_handle();
+    let runner = std::thread::spawn(move || server.run());
+    (addr, shutdown, runner)
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Json) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("read timeout");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: raven\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("read response");
+    let status: u16 = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in {text:?}"));
+    let json_body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or_default();
+    let parsed =
+        Json::parse(json_body).unwrap_or_else(|e| panic!("unparseable body {json_body:?}: {e}"));
+    (status, parsed)
+}
+
+fn demo_batch() -> (Vec<Vec<f64>>, Vec<usize>) {
+    let text = std::fs::read_to_string(repo_path("models/demo_batch.txt")).expect("batch file");
+    let mut inputs = Vec::new();
+    let mut labels = Vec::new();
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        labels.push(parts.next().unwrap().parse().unwrap());
+        inputs.push(parts.map(|t| t.parse().unwrap()).collect());
+    }
+    (inputs, labels)
+}
+
+fn uap_body(eps: f64, method: &str, extra: &[(&str, Json)]) -> String {
+    let (inputs, labels) = demo_batch();
+    let mut fields = vec![
+        ("model".to_string(), Json::from("demo")),
+        ("eps".to_string(), Json::from(eps)),
+        ("method".to_string(), Json::from(method)),
+        (
+            "inputs".to_string(),
+            Json::Arr(inputs.iter().map(|x| Json::num_array(x)).collect()),
+        ),
+        (
+            "labels".to_string(),
+            Json::Arr(labels.iter().map(|&l| Json::from(l)).collect()),
+        ),
+    ];
+    for (k, v) in extra {
+        fields.push((k.to_string(), v.clone()));
+    }
+    Json::Obj(fields).to_string()
+}
+
+/// ε at which the demo model's spec MILP runs for minutes when unbounded —
+/// exactly the query a deadline exists for.
+const HEAVY_EPS: f64 = 0.12;
+
+#[test]
+fn stalled_solver_answers_in_time_with_sound_degraded_verdict() {
+    let _lock = CHAOS_LOCK.lock().unwrap();
+    let _guard = ChaosGuard;
+    let (addr, shutdown, runner) = start_server(ServerConfig {
+        cache_capacity: 0,
+        ..ServerConfig::default()
+    });
+
+    // Every simplex pivot sleeps 2ms: the stall the degradation ladder
+    // exists for. With a 300ms deadline the solve must be cut short.
+    raven_lp::chaos::set_pivot_stall_micros(2_000);
+    let body = uap_body(HEAVY_EPS, "raven", &[("deadline_ms", Json::from(300usize))]);
+    let start = Instant::now();
+    let (status, response) = request(addr, "POST", "/v1/verify/uap", &body);
+    let elapsed = start.elapsed();
+    raven_lp::chaos::clear();
+
+    // In time (deadline + analysis phases + grace), 200, never a 500.
+    assert_eq!(status, 200, "{response}");
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "stalled solve answered after {elapsed:?} despite a 300ms deadline"
+    );
+    let result = response.get("result").expect("result field");
+    assert_eq!(result.get("degraded").and_then(Json::as_bool), Some(true));
+    let tier = result.get("tier").and_then(Json::as_str).unwrap();
+    assert!(
+        ["milp", "lp", "analysis"].contains(&tier),
+        "unknown tier {tier:?}"
+    );
+    // Sound: the bound can be weak but must stay a valid accuracy bound.
+    let acc = result
+        .get("worst_case_accuracy")
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert!((0.0..=1.0).contains(&acc));
+    // The envelope names where the time went.
+    assert!(response.get("tier_millis").is_some());
+
+    shutdown.shutdown();
+    runner.join().expect("server thread");
+}
+
+#[test]
+fn injected_job_panics_do_not_lose_workers() {
+    let _lock = CHAOS_LOCK.lock().unwrap();
+    let _guard = ChaosGuard;
+    let (addr, shutdown, runner) = start_server(ServerConfig {
+        workers: 1, // a lost worker would deadlock the whole server
+        cache_capacity: 0,
+        ..ServerConfig::default()
+    });
+    let body = uap_body(0.01, "box", &[]);
+
+    raven_serve::chaos::set_panic_next_jobs(2);
+    for _ in 0..2 {
+        let (status, response) = request(addr, "POST", "/v1/verify/uap", &body);
+        assert_eq!(status, 500, "poisoned job must fail loudly: {response}");
+        let error = response.get("error").and_then(Json::as_str).unwrap();
+        assert!(error.contains("panic"), "error names the panic: {error}");
+    }
+    raven_serve::chaos::clear();
+
+    // The single worker survived both panics and still serves jobs.
+    for _ in 0..3 {
+        let (status, response) = request(addr, "POST", "/v1/verify/uap", &body);
+        assert_eq!(status, 200, "worker lost after panics: {response}");
+        assert!(response.get("result").is_some());
+    }
+    let (_, health) = request(addr, "GET", "/v1/healthz", "");
+    let queue = health.get("queue").expect("queue block");
+    assert_eq!(queue.get("failed").and_then(Json::as_f64), Some(2.0));
+    assert!(queue.get("completed").and_then(Json::as_f64).unwrap() >= 3.0);
+    assert_eq!(queue.get("running").and_then(Json::as_usize), Some(0));
+
+    shutdown.shutdown();
+    runner.join().expect("server thread");
+}
+
+#[test]
+fn slow_and_half_open_clients_keep_the_server_responsive() {
+    let _lock = CHAOS_LOCK.lock().unwrap();
+    let _guard = ChaosGuard;
+    let (addr, shutdown, runner) = start_server(ServerConfig::default());
+
+    // A client that sends half a request line and then stalls...
+    let mut slow = TcpStream::connect(addr).expect("connect slow client");
+    slow.write_all(b"POST /v1/verify/uap HT")
+        .expect("partial write");
+    // ...one that connects and never sends anything...
+    let idle = TcpStream::connect(addr).expect("connect idle client");
+    // ...and one that sends headers promising a body that never comes,
+    // then shuts down its write half (half-open).
+    let mut half_open = TcpStream::connect(addr).expect("connect half-open client");
+    half_open
+        .write_all(b"POST /v1/verify/uap HTTP/1.1\r\nHost: raven\r\nContent-Length: 999\r\n\r\n")
+        .expect("header write");
+    half_open
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half close");
+
+    // While all three sockets are held open, the server keeps answering.
+    for _ in 0..3 {
+        let start = Instant::now();
+        let (status, _) = request(addr, "GET", "/v1/healthz", "");
+        assert_eq!(status, 200);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "healthz slowed down by stuck clients"
+        );
+    }
+    let body = uap_body(0.01, "box", &[]);
+    let (status, response) = request(addr, "POST", "/v1/verify/uap", &body);
+    assert_eq!(status, 200, "{response}");
+
+    drop(slow);
+    drop(idle);
+    drop(half_open);
+    shutdown.shutdown();
+    runner.join().expect("server thread");
+}
+
+#[test]
+fn degraded_verdicts_are_never_cached() {
+    let _lock = CHAOS_LOCK.lock().unwrap();
+    let _guard = ChaosGuard;
+    let (addr, shutdown, runner) = start_server(ServerConfig::default());
+
+    // Deadline-bounded heavy query: degrades, and must not enter the cache.
+    let degraded_body = uap_body(HEAVY_EPS, "raven", &[("deadline_ms", Json::from(200usize))]);
+    for round in 0..2 {
+        let (status, response) = request(addr, "POST", "/v1/verify/uap", &degraded_body);
+        assert_eq!(status, 200, "{response}");
+        assert_eq!(
+            response.get("cached").and_then(Json::as_bool),
+            Some(false),
+            "round {round}: degraded verdict served from cache: {response}"
+        );
+        let result = response.get("result").expect("result field");
+        assert_eq!(result.get("degraded").and_then(Json::as_bool), Some(true));
+    }
+    let (_, health) = request(addr, "GET", "/v1/healthz", "");
+    let entries = health
+        .get("cache")
+        .and_then(|c| c.get("entries"))
+        .and_then(Json::as_usize)
+        .unwrap();
+    assert_eq!(entries, 0, "degraded verdicts leaked into the cache");
+
+    // An exact verdict for a cheap query still caches as before.
+    let exact_body = uap_body(0.01, "deeppoly", &[]);
+    let (_, first) = request(addr, "POST", "/v1/verify/uap", &exact_body);
+    assert_eq!(first.get("cached").and_then(Json::as_bool), Some(false));
+    let (_, second) = request(addr, "POST", "/v1/verify/uap", &exact_body);
+    assert_eq!(second.get("cached").and_then(Json::as_bool), Some(true));
+
+    shutdown.shutdown();
+    runner.join().expect("server thread");
+}
+
+#[test]
+fn server_default_deadline_applies_without_request_field() {
+    let _lock = CHAOS_LOCK.lock().unwrap();
+    let _guard = ChaosGuard;
+    let (addr, shutdown, runner) = start_server(ServerConfig {
+        default_deadline: Some(Duration::from_millis(250)),
+        cache_capacity: 0,
+        ..ServerConfig::default()
+    });
+
+    let body = uap_body(HEAVY_EPS, "raven", &[]);
+    let start = Instant::now();
+    let (status, response) = request(addr, "POST", "/v1/verify/uap", &body);
+    let elapsed = start.elapsed();
+    assert_eq!(status, 200, "{response}");
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "default deadline ignored: {elapsed:?}"
+    );
+    let result = response.get("result").expect("result field");
+    assert_eq!(result.get("degraded").and_then(Json::as_bool), Some(true));
+
+    shutdown.shutdown();
+    runner.join().expect("server thread");
+}

@@ -1,0 +1,143 @@
+//! Emits `BENCH_obs.json`: wall time *and* solver counters for a fixed
+//! verification workload.
+//!
+//! Wall time alone cannot distinguish "the solver got faster" from "the
+//! solver did less work"; the `raven-obs` counters can. This bench runs a
+//! fixed UAP + monotonicity workload on the fc-small zoo model, snapshots
+//! the solver/analysis counters before and after, and records the deltas
+//! next to the timing — so a perf regression (or win) in a future change
+//! decomposes into pivots, B&B nodes, presolve eliminations, and per-phase
+//! seconds.
+//!
+//! Usage: `cargo run -p raven-bench --release --bin obs -- [--out FILE]
+//! [--threads n]` (default output `BENCH_obs.json`).
+
+use raven::{
+    verify_monotonicity, verify_uap, Method, MonotonicityProblem, RavenConfig, UapProblem,
+};
+use raven_bench::models::{fc_model, uap_batches, Training};
+use raven_json::Json;
+use raven_obs::Counter;
+use std::time::Instant;
+
+/// The counters recorded in the report, with their JSON keys.
+fn counters() -> Vec<(&'static str, &'static Counter)> {
+    use raven::metrics as core_m;
+    use raven_lp::metrics as lp_m;
+    vec![
+        ("simplex_pivots", &lp_m::SIMPLEX_PIVOTS),
+        ("lp_solves", &lp_m::LP_SOLVES),
+        ("presolve_rows_removed", &lp_m::PRESOLVE_ROWS_REMOVED),
+        (
+            "presolve_bounds_tightened",
+            &lp_m::PRESOLVE_BOUNDS_TIGHTENED,
+        ),
+        ("milp_nodes", &lp_m::MILP_NODES),
+        ("milp_nodes_pruned", &lp_m::MILP_NODES_PRUNED),
+        ("milp_incumbent_updates", &lp_m::MILP_INCUMBENT_UPDATES),
+        ("interval_layers", &raven_interval::metrics::LAYERS),
+        (
+            "deeppoly_relaxed_neurons",
+            &raven_deeppoly::metrics::RELAXED_NEURONS,
+        ),
+        (
+            "deeppoly_split_neurons",
+            &raven_deeppoly::metrics::SPLIT_NEURONS,
+        ),
+        (
+            "diffpoly_pair_analyses",
+            &raven_diffpoly::metrics::PAIR_ANALYSES,
+        ),
+        ("uap_runs", &core_m::UAP_RUNS),
+        ("mono_runs", &core_m::MONO_RUNS),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = raven_bench::threads_arg(&args);
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_obs.json".to_string());
+
+    // Phase timings need the clock-reading side of telemetry.
+    raven_obs::set_enabled(true);
+    let model = fc_model("fc-small", Training::Pgd);
+    let plan = model.net.to_plan();
+    let config = RavenConfig {
+        threads,
+        ..RavenConfig::default()
+    };
+
+    let before: Vec<u64> = counters().iter().map(|(_, c)| c.get()).collect();
+    let start = Instant::now();
+
+    // Fixed workload: two relational UAP batches (k=3) at a moderate ε,
+    // plus one LP-tier monotonicity query — covers DeepPoly, DiffPoly,
+    // the relational LP, and (when the spec needs it) the MILP.
+    let eps = 0.03;
+    for (inputs, labels) in uap_batches(&model, 3, 2) {
+        let problem = UapProblem {
+            plan: plan.clone(),
+            inputs,
+            labels,
+            eps,
+        };
+        let _ = verify_uap(&problem, Method::Raven, &config);
+    }
+    let dim = plan.input_dim();
+    let odim = plan.output_dim();
+    let mut weights = vec![0.0; odim];
+    weights[0] = -1.0;
+    weights[odim - 1] = 1.0;
+    let mono = MonotonicityProblem {
+        plan: plan.clone(),
+        center: vec![0.5; dim],
+        eps: 0.02,
+        feature: 0,
+        tau: 0.0,
+        output_weights: weights,
+        increasing: true,
+    };
+    let _ = verify_monotonicity(&mono, Method::Raven, &config);
+
+    let wall_millis = start.elapsed().as_secs_f64() * 1e3;
+    let deltas: Vec<(String, Json)> = counters()
+        .iter()
+        .zip(&before)
+        .map(|((name, c), &b)| (name.to_string(), Json::from((c.get() - b) as f64)))
+        .collect();
+    let phases: Vec<(String, Json)> = [
+        ("margins", &raven::metrics::PHASE_MARGINS_SECONDS),
+        ("analysis", &raven::metrics::PHASE_ANALYSIS_SECONDS),
+        ("diffpoly", &raven::metrics::PHASE_DIFFPOLY_SECONDS),
+        ("encode", &raven::metrics::PHASE_ENCODE_SECONDS),
+        ("solve", &raven::metrics::PHASE_SOLVE_SECONDS),
+    ]
+    .iter()
+    .map(|(name, h)| (name.to_string(), Json::from(1e3 * h.sum())))
+    .collect();
+
+    let report = Json::obj([
+        ("bench", Json::from("obs")),
+        (
+            "workload",
+            Json::obj([
+                ("model", Json::from("fc-small/pgd")),
+                ("uap_batches", Json::from(2usize)),
+                ("k", Json::from(3usize)),
+                ("eps", Json::from(eps)),
+                ("mono_queries", Json::from(1usize)),
+                ("threads", Json::from(threads)),
+            ]),
+        ),
+        ("wall_millis", Json::from(wall_millis)),
+        ("counters", Json::Obj(deltas)),
+        ("phase_millis", Json::Obj(phases)),
+    ]);
+    std::fs::write(&out, format!("{report}\n")).expect("write report");
+    println!("wrote {out} ({wall_millis:.0} ms workload)");
+}

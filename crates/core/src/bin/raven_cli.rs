@@ -57,11 +57,15 @@ const USAGE: &str = "usage:
   raven_cli verify-uap  --model <net.txt> --inputs <batch.txt> --eps <f>
                         [--method box|deeppoly|io-lp|raven] [--pairs none|consecutive|all]
                         [--threads <n>] [--deadline-ms <ms>] [--json]
+                        [--stats] [--trace-out <trace.jsonl>]
                         (--threads 0 = all cores, 1 = sequential; default 1;
-                         --deadline-ms degrades to the best sound bound in time)
+                         --deadline-ms degrades to the best sound bound in time;
+                         --stats prints a solver/phase summary to stderr;
+                         --trace-out writes JSONL spans for flamegraphs)
   raven_cli verify-mono --model <net.txt> --center <v,v,...> --feature <i>
                         --tau <f> [--eps <f>] [--decreasing] [--method ...]
                         [--threads <n>] [--deadline-ms <ms>] [--json]
+                        [--stats] [--trace-out <trace.jsonl>]
   raven_cli export-lp   --model <net.txt> --inputs <batch.txt> --eps <f> --out <file.lp>
 
 exit codes: 0 verified, 1 runtime error, 2 usage error, 3 ran soundly but not verified";
@@ -99,14 +103,85 @@ fn run(args: &[String]) -> Result<Outcome, CliError> {
         return Err(CliError::usage("missing command"));
     };
     let opts = parse_flags(rest)?;
-    match command.as_str() {
+    let stats = setup_telemetry(&opts)?;
+    let outcome = match command.as_str() {
         "info" => cmd_info(&opts),
         "train-demo" => cmd_train_demo(&opts),
         "verify-uap" => cmd_verify_uap(&opts),
         "verify-mono" => cmd_verify_mono(&opts),
         "export-lp" => cmd_export_lp(&opts),
         other => Err(CliError::usage(format!("unknown command {other:?}"))),
+    };
+    // Flush the trace file even when the command failed — a partial trace
+    // of a failed run is exactly when you want to look at it.
+    raven_obs::clear_sink();
+    if stats && outcome.is_ok() {
+        print_stats();
     }
+    outcome
+}
+
+/// Arms telemetry from `--stats` / `--trace-out` before the command runs.
+/// Returns whether the end-of-run stats table was requested.
+fn setup_telemetry(flags: &Flags) -> Result<bool, CliError> {
+    if let Some(path) = flags.get("trace-out") {
+        raven_obs::set_sink_path(path)
+            .map_err(|e| CliError::runtime(format!("--trace-out {path}: {e}")))?;
+    }
+    let stats = flags.has("stats");
+    if stats {
+        raven_obs::set_enabled(true);
+    }
+    Ok(stats)
+}
+
+/// Prints the end-of-run solver/phase summary (to stderr, so `--json`
+/// stdout stays machine-readable).
+fn print_stats() {
+    use raven::metrics as core_m;
+    use raven_lp::metrics as lp_m;
+    eprintln!("--- run stats ---------------------------------");
+    eprintln!("simplex pivots     : {}", lp_m::SIMPLEX_PIVOTS.get());
+    eprintln!(
+        "lp solves          : {} ({:.1} ms total)",
+        lp_m::LP_SOLVES.get(),
+        1e3 * lp_m::LP_SOLVE_SECONDS.sum()
+    );
+    eprintln!(
+        "milp nodes         : {} ({} pruned, {} incumbent updates)",
+        lp_m::MILP_NODES.get(),
+        lp_m::MILP_NODES_PRUNED.get(),
+        lp_m::MILP_INCUMBENT_UPDATES.get()
+    );
+    eprintln!(
+        "presolve           : {} rows removed, {} bounds tightened",
+        lp_m::PRESOLVE_ROWS_REMOVED.get(),
+        lp_m::PRESOLVE_BOUNDS_TIGHTENED.get()
+    );
+    let phases: [(&str, &raven_obs::Histogram); 5] = [
+        ("margins", &core_m::PHASE_MARGINS_SECONDS),
+        ("analysis", &core_m::PHASE_ANALYSIS_SECONDS),
+        ("diffpoly", &core_m::PHASE_DIFFPOLY_SECONDS),
+        ("encode", &core_m::PHASE_ENCODE_SECONDS),
+        ("solve", &core_m::PHASE_SOLVE_SECONDS),
+    ];
+    for (name, hist) in phases {
+        if hist.count() > 0 {
+            eprintln!(
+                "phase {name:<12} : {:.1} ms ({} span{})",
+                1e3 * hist.sum(),
+                hist.count(),
+                if hist.count() == 1 { "" } else { "s" }
+            );
+        }
+    }
+    eprintln!(
+        "tiers reached      : milp {} / lp {} / analysis {} ({} degraded)",
+        core_m::TIER_MILP.get(),
+        core_m::TIER_LP.get(),
+        core_m::TIER_ANALYSIS.get(),
+        core_m::DEGRADED.get()
+    );
 }
 
 /// Parsed `--flag value` pairs (flags without values are stored as "true").

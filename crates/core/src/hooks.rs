@@ -132,10 +132,13 @@ impl<'a> RunHooks<'a> {
     }
 
     /// Reports a phase start and returns `false` when the run should stop.
+    /// Phase entries also delimit the telemetry phase spans (the previous
+    /// phase's span closes as the next opens; see `crate::metrics`).
     pub(crate) fn enter(&self, phase: Phase) -> bool {
         if self.cancelled() {
             return false;
         }
+        crate::metrics::phase_enter(phase);
         if let Some(p) = self.progress {
             p(phase);
         }

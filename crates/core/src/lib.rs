@@ -45,6 +45,7 @@ mod config;
 pub mod encode;
 pub mod hooks;
 pub mod margin;
+pub mod metrics;
 mod monotonicity;
 pub mod par;
 pub mod refine;

@@ -132,6 +132,7 @@ pub fn verify_monotonicity_with_hooks(
     assert!(problem.tau >= 0.0, "tau must be non-negative");
     let start = Instant::now();
     let sign = if problem.increasing { 1.0 } else { -1.0 };
+    let _phase_scope = crate::metrics::PhaseScope::new();
     if !hooks.enter(Phase::Analysis) {
         return None;
     }
@@ -147,6 +148,7 @@ pub fn verify_monotonicity_with_hooks(
         }
     };
     let millis = start.elapsed().as_secs_f64() * 1e3;
+    crate::metrics::record_verdict("monotonicity", tier, degraded);
     Some(MonotonicityResult {
         method,
         certified_change,

@@ -238,6 +238,7 @@ fn verify_uap_with_extra(
     );
     let start = Instant::now();
     let k = problem.k();
+    let _phase_scope = crate::metrics::PhaseScope::new();
     if !hooks.enter(Phase::Margins) {
         return None;
     }
@@ -254,7 +255,7 @@ fn verify_uap_with_extra(
         }
     });
     let individually_verified = margins.iter().filter(|m| all_positive(m)).count();
-    match method {
+    let result = match method {
         Method::Box | Method::ZonotopeIndividual | Method::DeepPolyIndividual => {
             let millis = start.elapsed().as_secs_f64() * 1e3;
             Some(UapResult {
@@ -296,7 +297,11 @@ fn verify_uap_with_extra(
             l1_budget,
             hooks,
         ),
+    };
+    if let Some(res) = &result {
+        crate::metrics::record_verdict("uap", res.tier, res.degraded);
     }
+    result
 }
 
 /// Adds `‖d‖₁ ≤ budget` rows: `t_j ≥ d_j`, `t_j ≥ −d_j`, `Σ t_j ≤ budget`.

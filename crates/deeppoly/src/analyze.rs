@@ -71,6 +71,7 @@ impl DeepPolyAnalysis {
         // Per-step relaxation metadata for activation steps (indexed by step).
         let mut act_relax: Vec<Option<Vec<Relaxation>>> = Vec::with_capacity(plan.steps().len());
         for (k, step) in plan.steps().iter().enumerate() {
+            let _layer_timer = raven_obs::Timer::start(&crate::metrics::LAYER_SECONDS);
             match step {
                 PlanStep::Affine { weight, bias } => {
                     let concrete = back_substitute(plan, &bounds, &act_relax, k, weight, bias)
@@ -102,6 +103,7 @@ impl DeepPolyAnalysis {
                         .iter()
                         .map(|iv| relax_activation(*kind, iv.lo(), iv.hi()))
                         .collect();
+                    crate::metrics::observe_relaxations(*kind, pre, &relaxations);
                     let post: Vec<Interval> = pre
                         .iter()
                         .map(|iv| iv.map_monotone(|x| kind.eval(x)))

@@ -25,6 +25,7 @@
 //! ```
 
 mod analyze;
+pub mod metrics;
 mod relax;
 
 pub use analyze::{DeepPolyAnalysis, InputBounds};

@@ -1,0 +1,77 @@
+//! DeepPoly telemetry: layer timings, ReLU split counts, and relaxation
+//! tightness. Observe-only; see `raven-obs` for the determinism contract.
+
+use crate::relax::Relaxation;
+use raven_interval::Interval;
+use raven_nn::ActKind;
+use raven_obs::{Counter, Desc, Histogram, MetricRef};
+
+/// Wall-clock seconds per plan step (affine back-substitution or
+/// activation relaxation). Only recorded while telemetry is enabled.
+pub static LAYER_SECONDS: Histogram = Histogram::new();
+/// Piecewise-linear neurons whose pre-activation interval straddles a kink
+/// (a "split" neuron that forces a triangle relaxation).
+pub static SPLIT_NEURONS: Counter = Counter::new();
+/// Activation neurons relaxed in total (split or stable).
+pub static RELAXED_NEURONS: Counter = Counter::new();
+/// Tightness of each activation relaxation: vertical gap between the upper
+/// and lower relaxation line at the pre-activation interval midpoint
+/// (0 for stable neurons — smaller is tighter).
+pub static RELAX_GAP: Histogram = Histogram::new();
+
+/// Whether the pre-activation interval straddles a kink of a
+/// piecewise-linear activation (smooth activations have none).
+fn straddles_kink(kind: ActKind, iv: &Interval) -> bool {
+    match kind {
+        ActKind::Relu | ActKind::LeakyRelu => iv.lo() < 0.0 && iv.hi() > 0.0,
+        ActKind::HardTanh => (iv.lo() < -1.0 && iv.hi() > -1.0) || (iv.lo() < 1.0 && iv.hi() > 1.0),
+        ActKind::Sigmoid | ActKind::Tanh => false,
+    }
+}
+
+/// Records split counts and relaxation tightness for one activation step.
+/// The per-neuron gap histogram is gated behind the telemetry switch; the
+/// two counters are always live (one atomic add per layer each).
+pub(crate) fn observe_relaxations(kind: ActKind, pre: &[Interval], relaxations: &[Relaxation]) {
+    RELAXED_NEURONS.add(pre.len() as u64);
+    let splits = pre.iter().filter(|iv| straddles_kink(kind, iv)).count();
+    if splits > 0 {
+        SPLIT_NEURONS.add(splits as u64);
+    }
+    if raven_obs::enabled() {
+        for (iv, r) in pre.iter().zip(relaxations) {
+            let m = 0.5 * (iv.lo() + iv.hi());
+            let gap =
+                (r.upper_slope * m + r.upper_intercept) - (r.lower_slope * m + r.lower_intercept);
+            RELAX_GAP.observe(gap.max(0.0));
+        }
+    }
+}
+
+/// Exposition table for this crate, in stable scrape order.
+pub static DESCS: [Desc; 4] = [
+    Desc {
+        name: "raven_deeppoly_layer_seconds",
+        help: "Wall-clock seconds per DeepPoly plan step.",
+        labels: "",
+        metric: MetricRef::Histogram(&LAYER_SECONDS),
+    },
+    Desc {
+        name: "raven_deeppoly_split_neurons_total",
+        help: "Piecewise-linear neurons straddling a kink (triangle relaxation).",
+        labels: "",
+        metric: MetricRef::Counter(&SPLIT_NEURONS),
+    },
+    Desc {
+        name: "raven_deeppoly_relaxed_neurons_total",
+        help: "Activation neurons relaxed by DeepPoly in total.",
+        labels: "",
+        metric: MetricRef::Counter(&RELAXED_NEURONS),
+    },
+    Desc {
+        name: "raven_deeppoly_relax_gap",
+        help: "Upper-minus-lower relaxation line gap at the interval midpoint.",
+        labels: "",
+        metric: MetricRef::Histogram(&RELAX_GAP),
+    },
+];

@@ -67,11 +67,13 @@ impl DiffPolyAnalysis {
                 }
             })
             .collect();
+        crate::metrics::PAIR_ANALYSES.inc();
         let mut bounds: Vec<Vec<Interval>> = Vec::with_capacity(plan.steps().len() + 1);
         bounds.push(delta0);
         let mut relaxations: Vec<Option<Vec<DiffRelaxation>>> =
             Vec::with_capacity(plan.steps().len());
         for (k, step) in plan.steps().iter().enumerate() {
+            let _layer_timer = raven_obs::Timer::start(&crate::metrics::LAYER_SECONDS);
             match step {
                 PlanStep::Affine { weight, .. } => {
                     // Δ_{k+1} = W Δ_k exactly (bias cancels); concrete bounds

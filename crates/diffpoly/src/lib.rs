@@ -42,6 +42,7 @@
 //! ```
 
 mod analyze;
+pub mod metrics;
 mod relax;
 
 pub use analyze::DiffPolyAnalysis;

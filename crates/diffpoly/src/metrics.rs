@@ -1,0 +1,26 @@
+//! DiffPoly telemetry: pair-analysis counts and δ-space layer timings.
+//! Observe-only; see `raven-obs` for the determinism contract.
+
+use raven_obs::{Counter, Desc, Histogram, MetricRef};
+
+/// Execution pairs analyzed (one per [`crate::DiffPolyAnalysis::run`]).
+pub static PAIR_ANALYSES: Counter = Counter::new();
+/// Wall-clock seconds per δ-space plan step. Only recorded while
+/// telemetry is enabled.
+pub static LAYER_SECONDS: Histogram = Histogram::new();
+
+/// Exposition table for this crate, in stable scrape order.
+pub static DESCS: [Desc; 2] = [
+    Desc {
+        name: "raven_diffpoly_pair_analyses_total",
+        help: "Execution pairs analyzed by DiffPoly difference tracking.",
+        labels: "",
+        metric: MetricRef::Counter(&PAIR_ANALYSES),
+    },
+    Desc {
+        name: "raven_diffpoly_layer_seconds",
+        help: "Wall-clock seconds per DiffPoly delta-space plan step.",
+        labels: "",
+        metric: MetricRef::Histogram(&LAYER_SECONDS),
+    },
+];

@@ -65,6 +65,7 @@ impl IntervalAnalysis {
         );
         let mut bounds = Vec::with_capacity(plan.steps().len() + 1);
         bounds.push(input.to_vec());
+        crate::metrics::LAYERS.add(plan.steps().len() as u64);
         for step in plan.steps() {
             let cur = bounds.last().expect("bounds non-empty");
             let next = match step {

@@ -25,6 +25,7 @@
 
 mod analyze;
 mod interval;
+pub mod metrics;
 
 pub use analyze::{act_image, affine_image, linf_ball, IntervalAnalysis};
 pub use interval::Interval;

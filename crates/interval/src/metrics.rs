@@ -1,0 +1,15 @@
+//! Box-domain telemetry. Observe-only; see `raven-obs` for the
+//! determinism contract.
+
+use raven_obs::{Counter, Desc, MetricRef};
+
+/// Plan steps propagated by the Box domain.
+pub static LAYERS: Counter = Counter::new();
+
+/// Exposition table for this crate, in stable scrape order.
+pub static DESCS: [Desc; 1] = [Desc {
+    name: "raven_interval_layers_total",
+    help: "Plan steps propagated by the interval (Box) domain.",
+    labels: "",
+    metric: MetricRef::Counter(&LAYERS),
+}];

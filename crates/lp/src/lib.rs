@@ -24,6 +24,7 @@
 mod budget;
 pub mod chaos;
 mod error;
+pub mod metrics;
 mod milp;
 mod model;
 mod presolve;

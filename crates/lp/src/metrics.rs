@@ -1,0 +1,97 @@
+//! Solver telemetry: where the verifier's time actually goes.
+//!
+//! Branch-&-bound verifiers live or die by node-selection and bounding
+//! cost, so the solver exports the raw work counters (pivots, nodes,
+//! prunes, incumbents) that every perf investigation starts from. All
+//! instruments are process-wide statics; see `raven-obs` for the
+//! determinism contract (observe-only, never fed back into the search).
+
+use raven_obs::{Counter, Desc, Histogram, MetricRef};
+
+/// Simplex pivot iterations (both phases, all solves).
+pub static SIMPLEX_PIVOTS: Counter = Counter::new();
+/// LP solves started (including B&B node relaxations).
+pub static LP_SOLVES: Counter = Counter::new();
+/// Wall-clock seconds per LP solve (only recorded while telemetry is
+/// enabled — the timer is clock-free otherwise).
+pub static LP_SOLVE_SECONDS: Histogram = Histogram::new();
+/// Rows dropped by presolve (singleton + redundant).
+pub static PRESOLVE_ROWS_REMOVED: Counter = Counter::new();
+/// Variable-bound tightenings applied by presolve.
+pub static PRESOLVE_BOUNDS_TIGHTENED: Counter = Counter::new();
+/// LP solves aborted by deadline/cancel (no sound partial bound).
+pub static LP_BUDGET_EXHAUSTED: Counter = Counter::new();
+/// Branch-&-bound nodes whose relaxation was solved.
+pub static MILP_NODES: Counter = Counter::new();
+/// Nodes discarded without branching (empty domain, infeasible
+/// relaxation, or dominated by the incumbent).
+pub static MILP_NODES_PRUNED: Counter = Counter::new();
+/// Times a new best integral solution was installed.
+pub static MILP_INCUMBENT_UPDATES: Counter = Counter::new();
+/// B&B searches that stopped early (deadline, cancel, or node cap) and
+/// returned an anytime bound instead of the exact optimum.
+pub static MILP_BUDGET_EXHAUSTED: Counter = Counter::new();
+
+/// Exposition table for this crate, in stable scrape order.
+pub static DESCS: [Desc; 10] = [
+    Desc {
+        name: "raven_lp_simplex_pivots_total",
+        help: "Simplex pivot iterations across all LP solves.",
+        labels: "",
+        metric: MetricRef::Counter(&SIMPLEX_PIVOTS),
+    },
+    Desc {
+        name: "raven_lp_solves_total",
+        help: "LP solves started, including branch-and-bound node relaxations.",
+        labels: "",
+        metric: MetricRef::Counter(&LP_SOLVES),
+    },
+    Desc {
+        name: "raven_lp_solve_seconds",
+        help: "Wall-clock seconds per LP solve (recorded while telemetry is enabled).",
+        labels: "",
+        metric: MetricRef::Histogram(&LP_SOLVE_SECONDS),
+    },
+    Desc {
+        name: "raven_lp_presolve_rows_removed_total",
+        help: "Constraint rows eliminated by presolve.",
+        labels: "",
+        metric: MetricRef::Counter(&PRESOLVE_ROWS_REMOVED),
+    },
+    Desc {
+        name: "raven_lp_presolve_bounds_tightened_total",
+        help: "Variable-bound tightenings applied by presolve.",
+        labels: "",
+        metric: MetricRef::Counter(&PRESOLVE_BOUNDS_TIGHTENED),
+    },
+    Desc {
+        name: "raven_lp_budget_exhausted_total",
+        help: "LP solves aborted by deadline or cancellation.",
+        labels: "",
+        metric: MetricRef::Counter(&LP_BUDGET_EXHAUSTED),
+    },
+    Desc {
+        name: "raven_lp_milp_nodes_total",
+        help: "Branch-and-bound nodes whose LP relaxation was solved.",
+        labels: "",
+        metric: MetricRef::Counter(&MILP_NODES),
+    },
+    Desc {
+        name: "raven_lp_milp_nodes_pruned_total",
+        help: "Branch-and-bound nodes discarded without branching.",
+        labels: "",
+        metric: MetricRef::Counter(&MILP_NODES_PRUNED),
+    },
+    Desc {
+        name: "raven_lp_milp_incumbent_updates_total",
+        help: "Times branch-and-bound installed a new best integral solution.",
+        labels: "",
+        metric: MetricRef::Counter(&MILP_INCUMBENT_UPDATES),
+    },
+    Desc {
+        name: "raven_lp_milp_budget_exhausted_total",
+        help: "Branch-and-bound searches stopped early with an anytime bound.",
+        labels: "",
+        metric: MetricRef::Counter(&MILP_BUDGET_EXHAUSTED),
+    },
+];

@@ -42,6 +42,7 @@ struct Node {
 /// sound dual bound is the optimistic-direction extreme over the incumbent
 /// and every open node's parent relaxation bound.
 fn anytime_solution(minimize: bool, stack: &[Node], incumbent: &Option<Solution>) -> Solution {
+    crate::metrics::MILP_BUDGET_EXHAUSTED.inc();
     let mut bound = incumbent.as_ref().map_or(
         if minimize {
             f64::INFINITY
@@ -105,6 +106,7 @@ pub(crate) fn solve(
             return Ok(anytime_solution(minimize, &stack, &incumbent));
         }
         nodes += 1;
+        crate::metrics::MILP_NODES.inc();
         let mut sub = problem.clone();
         for &(v, lo, hi) in &node.fixes {
             let (cur_lo, cur_hi) = sub.bounds[v];
@@ -118,6 +120,7 @@ pub(crate) fn solve(
             }
         }
         if sub.bounds.iter().any(|&(lo, hi)| lo > hi) {
+            crate::metrics::MILP_NODES_PRUNED.inc();
             continue;
         }
         // Propagate solver failures: silently pruning a node whose
@@ -134,13 +137,17 @@ pub(crate) fn solve(
             Err(e) => return Err(e),
         };
         match relax.status {
-            SolveStatus::Infeasible => continue,
+            SolveStatus::Infeasible => {
+                crate::metrics::MILP_NODES_PRUNED.inc();
+                continue;
+            }
             SolveStatus::Unbounded => {
                 // An unbounded relaxation at the root means the MILP is
                 // unbounded or infeasible; report unbounded conservatively.
                 if node.fixes.is_empty() {
                     return Ok(relax);
                 }
+                crate::metrics::MILP_NODES_PRUNED.inc();
                 continue;
             }
             SolveStatus::Optimal => {}
@@ -160,6 +167,7 @@ pub(crate) fn solve(
                 relax.objective <= best.objective + 1e-9
             };
             if worse {
+                crate::metrics::MILP_NODES_PRUNED.inc();
                 continue;
             }
         }
@@ -188,6 +196,7 @@ pub(crate) fn solve(
                     }
                 };
                 if better {
+                    crate::metrics::MILP_INCUMBENT_UPDATES.inc();
                     incumbent = Some(relax);
                 }
             }

@@ -589,9 +589,11 @@ impl<'a> Tableau<'a> {
             // phase immediately (there is no sound partial bound to keep —
             // the current iterate under-estimates the optimum).
             if !self.budget.is_unlimited() && self.budget.exhausted() {
+                crate::metrics::LP_BUDGET_EXHAUSTED.inc();
                 return Err(LpError::BudgetExceeded);
             }
             crate::chaos::pivot_stall_point();
+            crate::metrics::SIMPLEX_PIVOTS.inc();
             if self.pivots_since_refactor >= self.opts.refactor_every {
                 self.refactorize()?;
             }
@@ -704,6 +706,8 @@ pub(crate) fn solve(
             )));
         }
     }
+    crate::metrics::LP_SOLVES.inc();
+    let _solve_timer = raven_obs::Timer::start(&crate::metrics::LP_SOLVE_SECONDS);
     // Presolve on a private copy: row removal and bound tightening preserve
     // the feasible set, so the optimum is unchanged while the tableau
     // shrinks (often substantially inside branch & bound).
@@ -711,6 +715,8 @@ pub(crate) fn solve(
     let problem = if opts.presolve_rounds > 0 && !problem.rows.is_empty() {
         let mut copy = problem.clone();
         let report = crate::presolve::presolve(&mut copy, opts.presolve_rounds);
+        crate::metrics::PRESOLVE_ROWS_REMOVED.add(report.removed_rows as u64);
+        crate::metrics::PRESOLVE_BOUNDS_TIGHTENED.add(report.tightened_bounds as u64);
         if report.infeasible {
             return Ok(Solution {
                 status: SolveStatus::Infeasible,

@@ -1,0 +1,357 @@
+//! Atomic counters, gauges, and log-scaled histograms.
+//!
+//! All three types are `const`-constructible so instruments can live in
+//! `static`s next to the code they measure — no registration step, no
+//! locks, no allocation. Updates use relaxed atomics: telemetry needs no
+//! ordering guarantees with respect to the computation it observes, and a
+//! relaxed RMW is the cheapest thing the hardware offers.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotone event counter that **saturates** at `u64::MAX`.
+///
+/// Wrapping would make a counter jump from `u64::MAX` back to a small
+/// number, which scrape-side `rate()` math would read as a reset; pinning
+/// at the maximum is the least-surprising overflow behaviour for telemetry
+/// that can never legitimately reach 2⁶⁴ events.
+#[derive(Debug)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh zero counter, usable in `static` position.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`, saturating at `u64::MAX`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        // fetch_update loops only under contention; uncontended it is a
+        // single CAS, the same cost class as fetch_add.
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_add(n))
+            });
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (tests and per-run CLI deltas).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A signed level that can go up and down (queue depth, busy workers).
+#[derive(Debug)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A fresh zero gauge, usable in `static` position.
+    pub const fn new() -> Self {
+        Self(AtomicI64::new(0))
+    }
+
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative via [`Gauge::sub`]).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Smallest finite bucket exponent: the first bucket is `(−∞, 2^MIN_EXP]`
+/// and absorbs zero, negatives, and every subnormal (≈ 1 µs when the
+/// observed unit is seconds).
+pub(crate) const MIN_EXP: i32 = -20;
+/// Largest finite bucket exponent: `2^21 ≈ 2.1e6` (≈ 24 days in seconds,
+/// or two million pivots when the unit is a count).
+pub(crate) const MAX_EXP: i32 = 21;
+/// Total buckets: one per exponent in `MIN_EXP..=MAX_EXP` plus `+inf`.
+pub const BUCKET_COUNT: usize = (MAX_EXP - MIN_EXP + 1) as usize + 1;
+
+/// A fixed-layout histogram with log₂-scaled buckets.
+///
+/// Bucket `i < BUCKET_COUNT − 1` counts observations in
+/// `(2^(MIN_EXP+i−1), 2^(MIN_EXP+i)]` (the first bucket's lower edge is
+/// −∞), and the last bucket counts everything larger, including `+inf`.
+/// One layout for every instrument keeps the renderer trivial and the
+/// exposition deterministic.
+///
+/// Edge cases, audited like the interval arithmetic this repo is built on:
+/// `0`, negatives, and subnormals land in the underflow bucket; `+inf`
+/// lands in the overflow bucket (and drives the sum to `+inf`, which
+/// Prometheus accepts); `NaN` observations are dropped entirely — a NaN
+/// would poison the sum and belongs in no ordered bucket. Nothing panics.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    /// Σ of observed values, stored as f64 bits and CAS-accumulated.
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A coherent-enough point-in-time copy of a histogram (buckets, sum,
+/// count are read independently; under concurrent writers the snapshot may
+/// straddle an observation, which scraping tolerates by design).
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts, same layout as the histogram.
+    pub buckets: [u64; BUCKET_COUNT],
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+/// Upper bound of bucket `i` (`f64::INFINITY` for the last). Powers of two
+/// in `[-20, 21]` are exact in f64, so `powi` introduces no rounding.
+pub(crate) fn bucket_bound(i: usize) -> f64 {
+    if i + 1 >= BUCKET_COUNT {
+        f64::INFINITY
+    } else {
+        2.0f64.powi(MIN_EXP + i as i32)
+    }
+}
+
+/// Maps an observation to its bucket index; `None` drops the observation.
+fn bucket_index(v: f64) -> Option<usize> {
+    if v.is_nan() {
+        return None;
+    }
+    if v <= bucket_bound(0) {
+        // Zero, negatives, subnormals, and anything up to 2^MIN_EXP.
+        return Some(0);
+    }
+    if !v.is_finite() || v > bucket_bound(BUCKET_COUNT - 2) {
+        return Some(BUCKET_COUNT - 1);
+    }
+    // v is finite and in (2^MIN_EXP, 2^MAX_EXP]: ceil(log2 v) picks the
+    // smallest exponent e with v <= 2^e. log2 of a normal positive f64 is
+    // exact enough that the clamp only guards pathological rounding.
+    let e = v.log2().ceil() as i32;
+    let idx = (e - MIN_EXP).clamp(0, (BUCKET_COUNT - 2) as i32);
+    Some(idx as usize)
+}
+
+impl Histogram {
+    /// A fresh empty histogram, usable in `static` position.
+    pub const fn new() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; BUCKET_COUNT],
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation (unit chosen by the instrument: seconds for
+    /// durations, plain counts for sizes).
+    pub fn observe(&self, v: f64) {
+        let Some(idx) = bucket_index(v) else {
+            return; // NaN: dropped, see type-level docs.
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // CAS-accumulate the f64 sum. +inf saturates naturally.
+        let _ = self
+            .sum_bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + v).to_bits())
+            });
+    }
+
+    /// Records a [`std::time::Duration`] in seconds.
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Copies out buckets, sum, and count.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKET_COUNT];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            sum: self.sum(),
+            count: self.count(),
+        }
+    }
+
+    /// Resets all buckets, the sum, and the count to zero.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum_bits.store(0.0f64.to_bits(), Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates_instead_of_wrapping() {
+        let c = Counter::new();
+        c.add(u64::MAX - 3);
+        c.add(10);
+        assert_eq!(c.get(), u64::MAX);
+        c.inc();
+        assert_eq!(c.get(), u64::MAX);
+        c.add(u64::MAX);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.add(5);
+        g.sub(7);
+        assert_eq!(g.get(), -2);
+        g.set(42);
+        assert_eq!(g.get(), 42);
+    }
+
+    #[test]
+    fn histogram_buckets_zero_without_panicking() {
+        let h = Histogram::new();
+        h.observe(0.0);
+        h.observe(-0.0);
+        h.observe(-1.5);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.buckets[0], 3);
+        assert_eq!(s.sum, -1.5);
+    }
+
+    #[test]
+    fn histogram_buckets_subnormals_in_underflow() {
+        let h = Histogram::new();
+        h.observe(f64::MIN_POSITIVE / 2.0); // subnormal
+        h.observe(5e-324); // smallest positive subnormal
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.buckets[0], 2);
+        assert!(s.sum > 0.0 && s.sum.is_finite());
+    }
+
+    #[test]
+    fn histogram_buckets_infinity_in_overflow() {
+        let h = Histogram::new();
+        h.observe(f64::INFINITY);
+        h.observe(1e300);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.buckets[BUCKET_COUNT - 1], 2);
+        assert_eq!(s.sum, f64::INFINITY);
+    }
+
+    #[test]
+    fn histogram_drops_nan() {
+        let h = Histogram::new();
+        h.observe(f64::NAN);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0.0);
+    }
+
+    #[test]
+    fn histogram_le_semantics_on_exact_powers_of_two() {
+        let h = Histogram::new();
+        // 1.0 == 2^0 must land in the bucket whose upper bound is 2^0.
+        h.observe(1.0);
+        let idx = (0 - MIN_EXP) as usize;
+        assert_eq!(h.snapshot().buckets[idx], 1);
+        // Just above 2^0 goes one bucket up.
+        h.observe(1.0 + f64::EPSILON);
+        assert_eq!(h.snapshot().buckets[idx + 1], 1);
+    }
+
+    #[test]
+    fn histogram_covers_full_finite_range() {
+        let h = Histogram::new();
+        h.observe(1e-9); // below 2^-20 -> underflow
+        h.observe(3.0e6); // above 2^21 -> overflow
+        h.observe(0.001); // 2^-10 region
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[BUCKET_COUNT - 1], 1);
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn bucket_bounds_are_monotone() {
+        for i in 1..BUCKET_COUNT {
+            assert!(bucket_bound(i) > bucket_bound(i - 1));
+        }
+        assert!(bucket_bound(BUCKET_COUNT - 1).is_infinite());
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let h = Histogram::new();
+        h.observe(1.0);
+        h.reset();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.sum, 0.0);
+        assert!(s.buckets.iter().all(|&b| b == 0));
+    }
+}

@@ -1,0 +1,243 @@
+//! Prometheus text exposition (format version 0.0.4).
+//!
+//! Instruments live in per-crate `static` tables of [`Desc`] entries; the
+//! renderer walks those tables and prints `# HELP` / `# TYPE` headers plus
+//! sample lines. Labelled families (e.g. one counter per anytime tier)
+//! are expressed as adjacent `Desc` entries sharing a `name` with distinct
+//! static `labels` strings — the header is emitted once per name, which is
+//! why same-name entries must be adjacent in their table.
+//!
+//! Output ordering follows table order exactly, so a scrape is a
+//! deterministic function of the metric values.
+
+use crate::metric::{bucket_bound, Counter, Gauge, Histogram};
+use std::fmt::Write as _;
+
+/// A borrowed reference to one instrument.
+#[derive(Clone, Copy)]
+pub enum MetricRef {
+    /// Monotone counter (rendered as `counter`).
+    Counter(&'static Counter),
+    /// Up/down level (rendered as `gauge`).
+    Gauge(&'static Gauge),
+    /// Log₂-bucketed histogram (rendered as `histogram`).
+    Histogram(&'static Histogram),
+}
+
+/// One exposition entry: a metric name, its help text, an optional static
+/// label set (`r#"tier="milp""#` style, no braces), and the instrument.
+#[derive(Clone, Copy)]
+pub struct Desc {
+    /// Full metric name, `raven_<crate>_<name>[_<unit>]` by convention.
+    pub name: &'static str,
+    /// One-line help text.
+    pub help: &'static str,
+    /// Static labels without braces, e.g. `tier="milp"`; empty for none.
+    pub labels: &'static str,
+    /// The instrument itself.
+    pub metric: MetricRef,
+}
+
+impl MetricRef {
+    fn type_name(&self) -> &'static str {
+        match self {
+            MetricRef::Counter(_) => "counter",
+            MetricRef::Gauge(_) => "gauge",
+            MetricRef::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// Formats a sample value. Prometheus parses integers and floats alike;
+/// `{}` on f64 is shortest-roundtrip, and ±inf must be spelled `+Inf`/`-Inf`.
+fn fmt_value(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn write_labelled(out: &mut String, name: &str, labels: &str, extra: &str, value: &str) {
+    out.push_str(name);
+    if !labels.is_empty() || !extra.is_empty() {
+        out.push('{');
+        out.push_str(labels);
+        if !labels.is_empty() && !extra.is_empty() {
+            out.push(',');
+        }
+        out.push_str(extra);
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+/// Renders every table into one exposition document.
+///
+/// Tables are typically `&raven_lp::metrics::DESCS` and friends; passing
+/// them as a slice-of-slices lets `raven-serve` and the CLI assemble the
+/// same document from whatever crates they link.
+pub fn render_prometheus(tables: &[&[Desc]]) -> String {
+    let mut out = String::new();
+    let mut last_name = "";
+    for desc in tables.iter().flat_map(|t| t.iter()) {
+        if desc.name != last_name {
+            let _ = writeln!(out, "# HELP {} {}", desc.name, desc.help);
+            let _ = writeln!(out, "# TYPE {} {}", desc.name, desc.metric.type_name());
+            last_name = desc.name;
+        }
+        match desc.metric {
+            MetricRef::Counter(c) => {
+                write_labelled(&mut out, desc.name, desc.labels, "", &c.get().to_string());
+            }
+            MetricRef::Gauge(g) => {
+                write_labelled(&mut out, desc.name, desc.labels, "", &g.get().to_string());
+            }
+            MetricRef::Histogram(h) => {
+                let snap = h.snapshot();
+                let mut cumulative = 0u64;
+                for (i, &n) in snap.buckets.iter().enumerate() {
+                    cumulative = cumulative.saturating_add(n);
+                    let le = format!("le=\"{}\"", fmt_value(bucket_bound(i)));
+                    write_labelled(
+                        &mut out,
+                        &format!("{}_bucket", desc.name),
+                        desc.labels,
+                        &le,
+                        &cumulative.to_string(),
+                    );
+                }
+                write_labelled(
+                    &mut out,
+                    &format!("{}_sum", desc.name),
+                    desc.labels,
+                    "",
+                    &fmt_value(snap.sum),
+                );
+                write_labelled(
+                    &mut out,
+                    &format!("{}_count", desc.name),
+                    desc.labels,
+                    "",
+                    &snap.count.to_string(),
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::BUCKET_COUNT;
+
+    static C: Counter = Counter::new();
+    static G: Gauge = Gauge::new();
+    static H: Histogram = Histogram::new();
+
+    /// Serializes tests that reset the shared static instruments.
+    fn global_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn table() -> [Desc; 4] {
+        [
+            Desc {
+                name: "raven_test_events_total",
+                help: "Test events.",
+                labels: "",
+                metric: MetricRef::Counter(&C),
+            },
+            Desc {
+                name: "raven_test_tier_total",
+                help: "Labelled family.",
+                labels: r#"tier="milp""#,
+                metric: MetricRef::Counter(&C),
+            },
+            Desc {
+                name: "raven_test_depth",
+                help: "A gauge.",
+                labels: "",
+                metric: MetricRef::Gauge(&G),
+            },
+            Desc {
+                name: "raven_test_seconds",
+                help: "A histogram.",
+                labels: "",
+                metric: MetricRef::Histogram(&H),
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_valid_exposition_lines() {
+        let _g = global_lock();
+        C.reset();
+        H.reset();
+        C.add(3);
+        G.set(-2);
+        H.observe(0.5);
+        H.observe(f64::INFINITY);
+        let text = render_prometheus(&[&table()]);
+
+        assert!(text.contains("# HELP raven_test_events_total Test events.\n"));
+        assert!(text.contains("# TYPE raven_test_events_total counter\n"));
+        assert!(text.contains("raven_test_events_total 3\n"));
+        assert!(text.contains("raven_test_tier_total{tier=\"milp\"} 3\n"));
+        assert!(text.contains("raven_test_depth -2\n"));
+        assert!(text.contains("# TYPE raven_test_seconds histogram\n"));
+        assert!(text.contains("raven_test_seconds_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("raven_test_seconds_sum +Inf\n"));
+        assert!(text.contains("raven_test_seconds_count 2\n"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(!name.is_empty());
+            assert!(value == "+Inf" || value == "-Inf" || value.parse::<f64>().is_ok());
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_count() {
+        let _g = global_lock();
+        H.reset();
+        for v in [0.0, 1.0, 2.0, 1e9] {
+            H.observe(v);
+        }
+        let text = render_prometheus(&[&table()]);
+        let mut last = 0u64;
+        let mut inf_cum = None;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("raven_test_seconds_bucket{le=\"") {
+                let (_, v) = rest.rsplit_once(' ').unwrap();
+                let cum: u64 = v.parse().unwrap();
+                assert!(cum >= last, "buckets must be cumulative");
+                last = cum;
+                if rest.starts_with("+Inf") {
+                    inf_cum = Some(cum);
+                }
+            }
+        }
+        assert_eq!(inf_cum, Some(H.count()));
+        assert_eq!(BUCKET_COUNT, 43);
+    }
+
+    #[test]
+    fn help_and_type_emitted_once_per_family() {
+        let text = render_prometheus(&[&table()]);
+        let helps = text
+            .lines()
+            .filter(|l| l.starts_with("# HELP raven_test_events_total"))
+            .count();
+        assert_eq!(helps, 1);
+    }
+}

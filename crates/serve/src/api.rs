@@ -20,18 +20,54 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// An HTTP reply: status code plus serialized JSON body.
-pub type Reply = (u16, String);
+/// An HTTP reply: status, content type, extra headers, and body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Extra response headers (e.g. `Retry-After` on 429).
+    pub headers: Vec<(&'static str, String)>,
+    /// Serialized response body.
+    pub body: String,
+}
+
+impl Reply {
+    /// A JSON reply with no extra headers.
+    fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// Adds one extra response header.
+    fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.headers.push((name, value.into()));
+        self
+    }
+}
 
 fn error_reply(status: u16, message: &str) -> Reply {
     let body = Json::obj([("error", Json::from(message))]).to_string();
-    (status, body)
+    Reply::json(status, body)
+}
+
+/// A 429 with `Retry-After` so well-behaved clients back off instead of
+/// hammering a saturated queue. One second matches the granularity of a
+/// queue drained by jobs that take hundreds of milliseconds to seconds.
+fn queue_full_reply() -> Reply {
+    error_reply(429, "verification queue is full, retry later").with_header("Retry-After", "1")
 }
 
 /// Routes one parsed request to its handler.
 pub fn handle(state: &Arc<ServerState>, method: &str, path: &str, body: &[u8]) -> Reply {
     match (method, path) {
         ("GET", "/v1/healthz") => healthz(state),
+        ("GET", "/v1/metrics") => metrics(),
         ("GET", "/v1/models") => models(state),
         ("POST", "/v1/verify/uap") => verify_sync(state, body, Property::Uap),
         ("POST", "/v1/verify/mono") => verify_sync(state, body, Property::Mono),
@@ -39,6 +75,19 @@ pub fn handle(state: &Arc<ServerState>, method: &str, path: &str, body: &[u8]) -
         ("GET", p) if p.starts_with("/v1/jobs/") => job_status(state, p),
         ("GET" | "POST", _) => error_reply(404, "no such endpoint"),
         _ => error_reply(405, "method not allowed"),
+    }
+}
+
+/// `GET /v1/metrics` — the whole stack's instruments (solver, analysis
+/// domains, verifier core, service layer) in Prometheus text format.
+fn metrics() -> Reply {
+    let mut tables = raven::metrics::all_descs();
+    tables.push(&crate::metrics::DESCS);
+    Reply {
+        status: 200,
+        content_type: "text/plain; version=0.0.4; charset=utf-8",
+        headers: Vec::new(),
+        body: raven_obs::render_prometheus(&tables),
     }
 }
 
@@ -73,8 +122,37 @@ fn healthz(state: &Arc<ServerState>) -> Reply {
                 ("capacity", Json::from(state.cache.capacity())),
             ]),
         ),
+        (
+            "stats",
+            Json::obj([
+                (
+                    "simplex_pivots",
+                    Json::from(raven_lp::metrics::SIMPLEX_PIVOTS.get() as f64),
+                ),
+                (
+                    "lp_solves",
+                    Json::from(raven_lp::metrics::LP_SOLVES.get() as f64),
+                ),
+                (
+                    "milp_nodes",
+                    Json::from(raven_lp::metrics::MILP_NODES.get() as f64),
+                ),
+                (
+                    "uap_runs",
+                    Json::from(raven::metrics::UAP_RUNS.get() as f64),
+                ),
+                (
+                    "mono_runs",
+                    Json::from(raven::metrics::MONO_RUNS.get() as f64),
+                ),
+                (
+                    "degraded",
+                    Json::from(raven::metrics::DEGRADED.get() as f64),
+                ),
+            ]),
+        ),
     ]);
-    (200, body.to_string())
+    Reply::json(200, body.to_string())
 }
 
 fn models(state: &Arc<ServerState>) -> Reply {
@@ -91,7 +169,7 @@ fn models(state: &Arc<ServerState>) -> Reply {
             ])
         })
         .collect();
-    (200, Json::obj([("models", Json::Arr(entries))]).to_string())
+    Reply::json(200, Json::obj([("models", Json::Arr(entries))]).to_string())
 }
 
 /// Which property family a request targets.
@@ -514,7 +592,7 @@ fn verify_sync(state: &Arc<ServerState>, body: &[u8], property: Property) -> Rep
     };
     // Fast path: cache hits are answered without consuming a queue slot.
     if let Some(hit) = state.cache.get(&spec.cache_key()) {
-        return (
+        return Reply::json(
             200,
             envelope(
                 &spec,
@@ -533,10 +611,10 @@ fn verify_sync(state: &Arc<ServerState>, body: &[u8], property: Property) -> Rep
         .submit(id, Box::new(move || run_verify(&job_state, &spec, false)))
     {
         Ok(slot) => slot,
-        Err(_) => return error_reply(429, "verification queue is full, retry later"),
+        Err(_) => return queue_full_reply(),
     };
     match slot.wait_terminal(state.request_timeout) {
-        Some(JobState::Done(response)) => (200, response.to_string()),
+        Some(JobState::Done(response)) => Reply::json(200, response.to_string()),
         Some(JobState::Failed(message)) => error_reply(500, &message),
         Some(_) => unreachable!("wait_terminal only returns terminal states"),
         None => error_reply(
@@ -576,14 +654,14 @@ fn submit_job(state: &Arc<ServerState>, body: &[u8]) -> Reply {
         .submit(id, Box::new(move || run_verify(&job_state, &spec, true)))
     {
         Ok(slot) => slot,
-        Err(_) => return error_reply(429, "verification queue is full, retry later"),
+        Err(_) => return queue_full_reply(),
     };
     state.jobs.lock().expect("jobs lock").insert(id, slot);
     let body = Json::obj([
         ("job_id", Json::from(id as f64)),
         ("status", Json::from("queued")),
     ]);
-    (202, body.to_string())
+    Reply::json(202, body.to_string())
 }
 
 fn job_status(state: &Arc<ServerState>, path: &str) -> Reply {
@@ -607,5 +685,5 @@ fn job_status(state: &Arc<ServerState>, path: &str) -> Reply {
         ("result", result),
         ("error", error),
     ]);
-    (200, body.to_string())
+    Reply::json(200, body.to_string())
 }

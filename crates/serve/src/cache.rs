@@ -159,10 +159,12 @@ impl ResultCache {
             Some(slot) => {
                 slot.last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                crate::metrics::CACHE_HITS.inc();
                 Some(slot.value.clone())
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                crate::metrics::CACHE_MISSES.inc();
                 None
             }
         }

@@ -125,16 +125,34 @@ fn io_error_status(e: &std::io::Error, context: &str) -> HttpError {
     }
 }
 
-/// Writes a JSON response with the given status and closes the exchange.
-pub fn write_json_response(stream: &mut TcpStream, status: u16, body: &str) {
-    // Best-effort: the peer may already be gone; nothing useful to do then.
-    let _ = write!(
-        stream,
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+/// Writes a response with the given status, content type, and extra
+/// headers, then closes the exchange.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &str,
+) {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         reason(status),
         body.len(),
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    // Best-effort: the peer may already be gone; nothing useful to do then.
+    let _ = write!(stream, "{head}\r\n{body}");
     let _ = stream.flush();
+}
+
+/// Writes a JSON response with the given status and closes the exchange.
+pub fn write_json_response(stream: &mut TcpStream, status: u16, body: &str) {
+    write_response(stream, status, "application/json", &[], body);
 }
 
 /// Standard reason phrase for the status codes this server emits.
@@ -229,5 +247,31 @@ mod tests {
         );
         assert!(text.contains("Content-Length: 22\r\n"));
         assert!(text.ends_with(r#"{"error":"queue full"}"#));
+    }
+
+    #[test]
+    fn response_writer_supports_extra_headers_and_content_type() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reader = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let mut text = String::new();
+            s.read_to_string(&mut text).unwrap();
+            text
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        write_response(
+            &mut stream,
+            429,
+            "text/plain; charset=utf-8",
+            &[("Retry-After", "1".to_string())],
+            "slow down",
+        );
+        drop(stream);
+        let text = reader.join().unwrap();
+        let (head, body) = text.split_once("\r\n\r\n").unwrap();
+        assert!(head.contains("Content-Type: text/plain; charset=utf-8"));
+        assert!(head.contains("Retry-After: 1"));
+        assert_eq!(body, "slow down");
     }
 }

@@ -22,12 +22,14 @@
 //! | `POST /v1/jobs`        | async submission (poll for the result)     |
 //! | `GET /v1/jobs/{id}`    | job status / result                        |
 //! | `GET /v1/models`       | loaded models with content hashes          |
-//! | `GET /v1/healthz`      | uptime, queue depth, cache counters        |
+//! | `GET /v1/healthz`      | uptime, queue depth, cache + solver stats  |
+//! | `GET /v1/metrics`      | Prometheus text exposition (whole stack)   |
 
 pub mod api;
 pub mod cache;
 pub mod chaos;
 pub mod http;
+pub mod metrics;
 pub mod queue;
 pub mod registry;
 
@@ -143,6 +145,9 @@ impl Server {
     ///
     /// Returns the bind error (address in use, permission, …).
     pub fn bind(config: &ServerConfig, registry: ModelRegistry) -> std::io::Result<Server> {
+        // A long-running service always wants its latency histograms
+        // populated; telemetry is observe-only so verdicts are unaffected.
+        raven_obs::set_enabled(true);
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let queue = JobQueue::new(config.queue_capacity);
@@ -243,13 +248,22 @@ fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream, max_body: 
     // receive window while we write a large response body (write).
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    let (status, body) = match http::read_request(&mut stream, max_body) {
-        Ok(request) => api::handle(state, &request.method, &request.path, &request.body),
-        Err(e) => (
-            e.status,
-            raven_json::Json::obj([("error", raven_json::Json::from(e.message.as_str()))])
-                .to_string(),
-        ),
-    };
-    http::write_json_response(&mut stream, status, &body);
+    match http::read_request(&mut stream, max_body) {
+        Ok(request) => {
+            let reply = api::handle(state, &request.method, &request.path, &request.body);
+            http::write_response(
+                &mut stream,
+                reply.status,
+                reply.content_type,
+                &reply.headers,
+                &reply.body,
+            );
+        }
+        Err(e) => {
+            let body =
+                raven_json::Json::obj([("error", raven_json::Json::from(e.message.as_str()))])
+                    .to_string();
+            http::write_json_response(&mut stream, e.status, &body);
+        }
+    }
 }

@@ -1,0 +1,80 @@
+//! Service-layer telemetry: queue pressure, latencies, cache efficacy.
+//!
+//! The queue/cache already keep their own counters for `/v1/healthz`;
+//! this module mirrors them into `raven-obs` instruments so one
+//! `GET /v1/metrics` scrape covers the whole stack — solver pivots and
+//! B&B nodes (`raven_lp_*`), analysis timings (`raven_deeppoly_*`, …),
+//! verdict tiers (`raven_core_*`), and the service behavior here
+//! (`raven_serve_*`). Everything is observe-only: no metric feeds back
+//! into admission, scheduling, or verdicts.
+
+use raven_obs::{Counter, Desc, Gauge, Histogram, MetricRef};
+
+/// Jobs waiting for a worker right now.
+pub static QUEUE_DEPTH: Gauge = Gauge::new();
+/// Workers currently executing a job.
+pub static WORKERS_BUSY: Gauge = Gauge::new();
+/// Submissions accepted into the queue.
+pub static QUEUE_SUBMITTED: Counter = Counter::new();
+/// Submissions rejected with 429 because the queue was full (or draining).
+pub static QUEUE_REJECTED: Counter = Counter::new();
+/// Seconds a job waited in the queue before a worker picked it up.
+pub static WAIT_SECONDS: Histogram = Histogram::new();
+/// Seconds a worker spent executing a job (verification + envelope).
+pub static SERVICE_SECONDS: Histogram = Histogram::new();
+/// Verdict-cache lookups answered from the cache.
+pub static CACHE_HITS: Counter = Counter::new();
+/// Verdict-cache lookups that missed.
+pub static CACHE_MISSES: Counter = Counter::new();
+
+/// Exposition table for the service layer, in stable scrape order.
+pub static DESCS: [Desc; 8] = [
+    Desc {
+        name: "raven_serve_queue_depth",
+        help: "Jobs waiting for a worker.",
+        labels: "",
+        metric: MetricRef::Gauge(&QUEUE_DEPTH),
+    },
+    Desc {
+        name: "raven_serve_workers_busy",
+        help: "Workers currently executing a job.",
+        labels: "",
+        metric: MetricRef::Gauge(&WORKERS_BUSY),
+    },
+    Desc {
+        name: "raven_serve_queue_submitted_total",
+        help: "Submissions accepted into the queue.",
+        labels: "",
+        metric: MetricRef::Counter(&QUEUE_SUBMITTED),
+    },
+    Desc {
+        name: "raven_serve_queue_rejected_total",
+        help: "Submissions rejected with 429 (queue full or draining).",
+        labels: "",
+        metric: MetricRef::Counter(&QUEUE_REJECTED),
+    },
+    Desc {
+        name: "raven_serve_wait_seconds",
+        help: "Seconds jobs waited in the queue before execution.",
+        labels: "",
+        metric: MetricRef::Histogram(&WAIT_SECONDS),
+    },
+    Desc {
+        name: "raven_serve_service_seconds",
+        help: "Seconds workers spent executing jobs.",
+        labels: "",
+        metric: MetricRef::Histogram(&SERVICE_SECONDS),
+    },
+    Desc {
+        name: "raven_serve_cache_hits_total",
+        help: "Verdict-cache lookups answered from the cache.",
+        labels: "",
+        metric: MetricRef::Counter(&CACHE_HITS),
+    },
+    Desc {
+        name: "raven_serve_cache_misses_total",
+        help: "Verdict-cache lookups that missed.",
+        labels: "",
+        metric: MetricRef::Counter(&CACHE_MISSES),
+    },
+];

@@ -94,8 +94,17 @@ impl JobSlot {
     }
 }
 
+/// One accepted-but-not-yet-running job.
+struct Pending {
+    job: JobFn,
+    slot: Arc<JobSlot>,
+    /// Submission time, recorded only while telemetry is enabled (feeds
+    /// the queue-wait histogram when a worker picks the job up).
+    submitted_at: Option<Instant>,
+}
+
 struct QueueInner {
-    queue: VecDeque<(u64, JobFn, Arc<JobSlot>)>,
+    queue: VecDeque<Pending>,
     running: usize,
     shutdown: bool,
 }
@@ -158,16 +167,23 @@ impl JobQueue {
     ///
     /// [`QueueFull`] when the queue holds `capacity` waiting jobs or the
     /// queue is shutting down (no new promises during drain).
-    pub fn submit(&self, id: u64, job: JobFn) -> Result<Arc<JobSlot>, QueueFull> {
+    pub fn submit(&self, _id: u64, job: JobFn) -> Result<Arc<JobSlot>, QueueFull> {
         let mut inner = self.inner.lock().expect("queue lock");
         if inner.shutdown || inner.queue.len() >= self.capacity {
             drop(inner);
             self.rejected.fetch_add(1, Ordering::Relaxed);
+            crate::metrics::QUEUE_REJECTED.inc();
             return Err(QueueFull);
         }
         let slot = JobSlot::new();
-        inner.queue.push_back((id, job, slot.clone()));
+        inner.queue.push_back(Pending {
+            job,
+            slot: slot.clone(),
+            submitted_at: raven_obs::enabled().then(Instant::now),
+        });
+        crate::metrics::QUEUE_DEPTH.set(inner.queue.len() as i64);
         self.submitted.fetch_add(1, Ordering::Relaxed);
+        crate::metrics::QUEUE_SUBMITTED.inc();
         drop(inner);
         self.cv.notify_one();
         Ok(slot)
@@ -191,13 +207,26 @@ impl JobQueue {
         loop {
             let mut inner = self.inner.lock().expect("queue lock");
             loop {
-                if let Some((_, job, slot)) = inner.queue.pop_front() {
+                if let Some(pending) = inner.queue.pop_front() {
                     inner.running += 1;
+                    crate::metrics::QUEUE_DEPTH.set(inner.queue.len() as i64);
+                    crate::metrics::WORKERS_BUSY.add(1);
                     drop(inner);
+                    let Pending {
+                        job,
+                        slot,
+                        submitted_at,
+                    } = pending;
+                    if let Some(t) = submitted_at {
+                        crate::metrics::WAIT_SECONDS.observe(t.elapsed().as_secs_f64());
+                    }
+                    let service_timer = raven_obs::Timer::start(&crate::metrics::SERVICE_SECONDS);
                     slot.set(JobState::Running);
                     // A panicking job must not kill the worker: catch it and
                     // record a failure (the job closure is transient state).
                     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                    drop(service_timer);
+                    crate::metrics::WORKERS_BUSY.sub(1);
                     match outcome {
                         Ok(Ok(response)) => {
                             self.completed.fetch_add(1, Ordering::Relaxed);

@@ -33,8 +33,8 @@ fn start_server(config: ServerConfig) -> (SocketAddr, ShutdownHandle, std::threa
     (addr, shutdown, runner)
 }
 
-/// Minimal HTTP client: one request, returns `(status, parsed body)`.
-fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Json) {
+/// Minimal HTTP client: one request, returns `(status, head, raw body)`.
+fn request_raw(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(120)))
@@ -52,12 +52,18 @@ fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Json
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| panic!("bad status line in {text:?}"));
-    let json_body = text
+    let (head, raw_body) = text
         .split_once("\r\n\r\n")
-        .map(|(_, b)| b)
+        .map(|(h, b)| (h.to_string(), b.to_string()))
         .unwrap_or_default();
+    (status, head, raw_body)
+}
+
+/// [`request_raw`], with the body parsed as JSON and the head discarded.
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Json) {
+    let (status, _, json_body) = request_raw(addr, method, path, body);
     let parsed =
-        Json::parse(json_body).unwrap_or_else(|e| panic!("unparseable body {json_body:?}: {e}"));
+        Json::parse(&json_body).unwrap_or_else(|e| panic!("unparseable body {json_body:?}: {e}"));
     (status, parsed)
 }
 
@@ -161,16 +167,35 @@ fn overload_beyond_queue_bound_answers_429() {
     let (status, job2) = request(addr, "POST", "/v1/jobs", &with_property(&slow));
     assert_eq!(status, 202, "{job2}");
 
-    // Worker busy + queue full: both sync and async submissions shed load.
-    let (status, rejected) = request(addr, "POST", "/v1/verify/uap", &slow);
+    // Worker busy + queue full: both sync and async submissions shed load,
+    // and every 429 tells well-behaved clients when to come back.
+    let (status, head, rejected) = request_raw(addr, "POST", "/v1/verify/uap", &slow);
     assert_eq!(status, 429, "{rejected}");
-    assert!(rejected.get("error").is_some());
-    let (status, rejected) = request(addr, "POST", "/v1/jobs", &with_property(&slow));
+    assert!(
+        head.contains("Retry-After: 1"),
+        "429 sets Retry-After: {head}"
+    );
+    assert!(Json::parse(&rejected).unwrap().get("error").is_some());
+    let (status, head, rejected) = request_raw(addr, "POST", "/v1/jobs", &with_property(&slow));
     assert_eq!(status, 429, "{rejected}");
+    assert!(
+        head.contains("Retry-After: 1"),
+        "429 sets Retry-After: {head}"
+    );
 
     let (_, health) = request(addr, "GET", "/v1/healthz", "");
     let queue = health.get("queue").expect("queue block");
     assert!(queue.get("rejected").and_then(Json::as_f64).unwrap() >= 2.0);
+
+    // The rejections are also visible on the metrics surface.
+    let (status, _, metrics) = request_raw(addr, "GET", "/v1/metrics", "");
+    assert_eq!(status, 200);
+    let rejected_line = metrics
+        .lines()
+        .find(|l| l.starts_with("raven_serve_queue_rejected_total "))
+        .expect("rejected counter exposed");
+    let count: f64 = rejected_line.split(' ').nth(1).unwrap().parse().unwrap();
+    assert!(count >= 2.0, "rejected counter counts both 429s: {count}");
 
     // The accepted jobs still finish.
     let id2 = job2.get("job_id").and_then(Json::as_usize).unwrap();
@@ -274,6 +299,108 @@ fn server_verdict_matches_cli_json_output_exactly() {
         cli_result.get("verified").and_then(Json::as_bool),
         Some(code == 0)
     );
+
+    shutdown.shutdown();
+    runner.join().expect("server thread");
+}
+
+#[test]
+fn metrics_endpoint_exposes_the_whole_stack() {
+    let (addr, shutdown, runner) = start_server(ServerConfig::default());
+
+    // A UAP verification advances the core/serve instruments…
+    let (status, response) = request(
+        addr,
+        "POST",
+        "/v1/verify/uap",
+        &uap_body(0.01, "raven", &[]),
+    );
+    assert_eq!(status, 200, "{response}");
+    // …and a monotonicity verification always solves an LP, so the
+    // solver instruments (pivot counter, solve histogram) advance too.
+    let (inputs, _) = demo_batch();
+    let mono = Json::obj([
+        ("model", Json::from("demo")),
+        ("eps", Json::from(0.05)),
+        ("method", Json::from("raven")),
+        ("center", Json::num_array(&inputs[0])),
+        ("feature", Json::from(0usize)),
+        ("tau", Json::from(0.0)),
+    ])
+    .to_string();
+    let (status, response) = request(addr, "POST", "/v1/verify/mono", &mono);
+    assert_eq!(status, 200, "{response}");
+
+    let (status, head, text) = request_raw(addr, "GET", "/v1/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        head.contains("Content-Type: text/plain"),
+        "exposition content type: {head}"
+    );
+
+    // Structural validity: every non-comment line is `name[{labels}] value`,
+    // every metric has HELP and TYPE comments.
+    let mut names = std::collections::BTreeSet::new();
+    let mut helped = std::collections::BTreeSet::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            helped.insert(rest.split(' ').next().unwrap().to_string());
+            continue;
+        }
+        if line.starts_with("# TYPE ") || line.is_empty() {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("sample line has no value: {line:?}");
+        });
+        assert!(
+            value.parse::<f64>().is_ok() || value == "+Inf",
+            "unparseable sample value in {line:?}"
+        );
+        let name = series.split('{').next().unwrap();
+        assert!(
+            name.starts_with("raven_"),
+            "metric outside the raven namespace: {name}"
+        );
+        // Histogram series share their family's HELP.
+        let family = name
+            .trim_end_matches("_bucket")
+            .trim_end_matches("_sum")
+            .trim_end_matches("_count");
+        assert!(
+            helped.contains(name) || helped.contains(family),
+            "sample {name} has no HELP"
+        );
+        names.insert(family.to_string());
+    }
+
+    // Coverage: at least 12 distinct metrics spanning solver, verifier
+    // core, and service layer.
+    assert!(names.len() >= 12, "only {} metrics: {names:?}", names.len());
+    for prefix in ["raven_lp_", "raven_core_", "raven_serve_"] {
+        assert!(
+            names.iter().any(|n| n.starts_with(prefix)),
+            "no {prefix} metric in {names:?}"
+        );
+    }
+
+    // The verification above must be visible in the counters.
+    let sample = |name: &str| -> f64 {
+        text.lines()
+            .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+            .and_then(|l| l.rsplit_once(' '))
+            .map(|(_, v)| v.parse().unwrap())
+            .unwrap_or_else(|| panic!("metric {name} missing"))
+    };
+    assert!(sample("raven_lp_simplex_pivots_total") >= 1.0);
+    assert!(sample("raven_serve_queue_submitted_total") >= 1.0);
+    assert!(sample(r#"raven_core_runs_total{property="uap"}"#) >= 1.0);
+
+    // The healthz stats block mirrors the same counters.
+    let (_, health) = request(addr, "GET", "/v1/healthz", "");
+    let stats = health.get("stats").expect("stats block");
+    assert!(stats.get("simplex_pivots").and_then(Json::as_f64).unwrap() >= 1.0);
+    assert!(stats.get("uap_runs").and_then(Json::as_f64).unwrap() >= 1.0);
 
     shutdown.shutdown();
     runner.join().expect("server thread");

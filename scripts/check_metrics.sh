@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Starts raven-serve, runs one verification, scrapes GET /v1/metrics, and
+# validates the Prometheus text exposition:
+#   * every sample line is `name[{labels}] value` in the raven_ namespace;
+#   * every family has # HELP and # TYPE comments;
+#   * at least 12 distinct families, spanning the solver (raven_lp_*),
+#     the verifier core (raven_core_*), and the service (raven_serve_*).
+# Uses the release binary (build with `cargo build --release` first).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SERVE_BIN=${SERVE_BIN:-./target/release/raven_serve}
+ADDR=${ADDR:-127.0.0.1:8473}
+
+if [ ! -x "$SERVE_BIN" ]; then
+  echo "check_metrics: $SERVE_BIN not built (run cargo build --release)" >&2
+  exit 1
+fi
+
+"$SERVE_BIN" --models-dir models --addr "$ADDR" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 50); do
+  if curl -sf "http://$ADDR/v1/healthz" > /dev/null 2>&1; then break; fi
+  sleep 0.2
+done
+
+# One real verification so the counters are live, not all-zero.
+body=$(awk '
+  /^#/ || NF == 0 { next }
+  {
+    labels = labels (labels ? "," : "") $1
+    row = ""
+    for (i = 2; i <= NF; i++) row = row (row ? "," : "") $i
+    inputs = inputs (inputs ? "," : "") "[" row "]"
+  }
+  END {
+    printf "{\"model\":\"demo\",\"eps\":0.01,\"method\":\"raven\",\"inputs\":[%s],\"labels\":[%s]}", inputs, labels
+  }' models/demo_batch.txt)
+curl -sf -X POST "http://$ADDR/v1/verify/uap" -d "$body" > /dev/null
+
+metrics=$(curl -sf "http://$ADDR/v1/metrics")
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+trap - EXIT
+
+echo "$metrics" | awk '
+  /^# HELP / { helped[$3] = 1; next }
+  /^# TYPE / {
+    typed[$3] = 1
+    if ($4 != "counter" && $4 != "gauge" && $4 != "histogram")
+      { print "bad TYPE: " $0; bad = 1 }
+    next
+  }
+  /^$/ { next }
+  {
+    # Sample line: name[{labels}] value
+    if ($0 !~ /^raven_[a-z0-9_]+(\{[^}]*\})? (\+Inf|-?[0-9.eE+-]+)$/)
+      { print "malformed sample: " $0; bad = 1; next }
+    name = $1
+    sub(/\{.*/, "", name)
+    family = name
+    sub(/_(bucket|sum|count)$/, "", family)
+    if (!(name in helped) && !(family in helped))
+      { print "sample without HELP: " name; bad = 1 }
+    if (!(name in typed) && !(family in typed))
+      { print "sample without TYPE: " name; bad = 1 }
+    families[family] = 1
+  }
+  END {
+    n = 0
+    for (f in families) {
+      n++
+      if (f ~ /^raven_lp_/) lp = 1
+      if (f ~ /^raven_core_/) core = 1
+      if (f ~ /^raven_serve_/) serve = 1
+    }
+    if (n < 12) { print "only " n " metric families (need >= 12)"; bad = 1 }
+    if (!lp)    { print "no raven_lp_ metric"; bad = 1 }
+    if (!core)  { print "no raven_core_ metric"; bad = 1 }
+    if (!serve) { print "no raven_serve_ metric"; bad = 1 }
+    if (bad) exit 1
+    print "check_metrics: " n " families, exposition format valid"
+  }'

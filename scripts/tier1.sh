@@ -3,8 +3,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release
+# --workspace: the root package's deps don't cover member binaries
+# (raven_cli, raven_serve), and check_metrics.sh below needs the latter.
+cargo build --release --workspace
 cargo test -q
 cargo fmt --check
 cargo clippy --workspace -- -D warnings
+scripts/check_metrics.sh
 echo "tier-1: all gates passed"

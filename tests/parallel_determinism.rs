@@ -157,6 +157,29 @@ fn sweep_bit_identical_across_thread_counts_including_dead_skip() {
 }
 
 #[test]
+fn metrics_never_change_verdict_bytes() {
+    // Telemetry is observe-only: flipping the process-wide metrics switch
+    // must not change a single byte of the canonical verdict JSON, at any
+    // thread count. (The other tests in this file run with whatever state
+    // the switch is in — also fine, for the same reason.)
+    let problem = golden_problem(0.02);
+    let verdict = |threads: usize| {
+        let res = verify_uap(&problem, Method::Raven, &config(threads));
+        raven::report::uap_verdict_json(problem.k(), problem.eps, &res).to_string()
+    };
+    raven_obs::set_enabled(false);
+    let off_seq = verdict(1);
+    let off_par = verdict(4);
+    raven_obs::set_enabled(true);
+    let on_seq = verdict(1);
+    let on_par = verdict(4);
+    raven_obs::set_enabled(false);
+    assert_eq!(off_seq, on_seq, "enabling metrics changed verdict bytes");
+    assert_eq!(off_seq, off_par, "metrics off: thread count changed bytes");
+    assert_eq!(on_seq, on_par, "metrics on: thread count changed bytes");
+}
+
+#[test]
 fn relational_solve_bit_identical_across_thread_counts() {
     let problem = golden_problem(0.02);
     let mut rel = RelationalProblem::new(

@@ -71,16 +71,22 @@ impl Phase {
 /// ```
 #[derive(Default, Clone, Copy)]
 pub struct RunHooks<'a> {
-    cancel: Option<&'a AtomicBool>,
+    /// Up to two independent cancel flags: long-running services attach a
+    /// process-wide flag (shutdown escalation) *and* a per-job flag (the
+    /// `raven-serve` watchdog kills one wedged job without touching its
+    /// neighbours). Either flag set cancels the run.
+    cancels: [Option<&'a AtomicBool>; 2],
     deadline: Option<Instant>,
     progress: Option<&'a (dyn Fn(Phase) + Sync)>,
 }
 
 impl<'a> RunHooks<'a> {
     /// Attaches a cancel flag, polled at phase boundaries and inside the
-    /// solver pivot/node loops.
+    /// solver pivot/node loops. May be called twice (e.g. a process-wide
+    /// flag plus a per-job flag); a third call replaces the second flag.
     pub fn with_cancel(mut self, flag: &'a AtomicBool) -> Self {
-        self.cancel = Some(flag);
+        let slot = if self.cancels[0].is_none() { 0 } else { 1 };
+        self.cancels[slot] = Some(flag);
         self
     }
 
@@ -103,9 +109,12 @@ impl<'a> RunHooks<'a> {
         self
     }
 
-    /// Whether cancellation has been requested.
+    /// Whether cancellation has been requested (by any attached flag).
     pub fn cancelled(&self) -> bool {
-        self.cancel.is_some_and(|c| c.load(Ordering::SeqCst))
+        self.cancels
+            .iter()
+            .flatten()
+            .any(|c| c.load(Ordering::SeqCst))
     }
 
     /// The absolute deadline, when one is set.
@@ -125,7 +134,7 @@ impl<'a> RunHooks<'a> {
         if let Some(d) = self.deadline {
             b = b.with_deadline(d);
         }
-        if let Some(c) = self.cancel {
+        for c in self.cancels.iter().flatten() {
             b = b.with_cancel(c);
         }
         b
@@ -149,7 +158,14 @@ impl<'a> RunHooks<'a> {
 impl std::fmt::Debug for RunHooks<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RunHooks")
-            .field("cancel", &self.cancel.map(|c| c.load(Ordering::SeqCst)))
+            .field(
+                "cancels",
+                &self
+                    .cancels
+                    .iter()
+                    .map(|c| c.map(|c| c.load(Ordering::SeqCst)))
+                    .collect::<Vec<_>>(),
+            )
             .field("deadline", &self.deadline)
             .field("progress", &self.progress.is_some())
             .finish()
@@ -193,6 +209,18 @@ mod tests {
         assert!(hooks.enter(Phase::Margins));
         cancel.store(true, Ordering::SeqCst);
         assert!(!hooks.enter(Phase::Analysis));
+    }
+
+    #[test]
+    fn second_cancel_flag_cancels_independently() {
+        let process = AtomicBool::new(false);
+        let job = AtomicBool::new(false);
+        let hooks = RunHooks::default().with_cancel(&process).with_cancel(&job);
+        assert!(!hooks.cancelled());
+        assert!(!hooks.lp_budget().cancelled());
+        job.store(true, Ordering::SeqCst);
+        assert!(hooks.cancelled(), "per-job flag cancels the run");
+        assert!(hooks.lp_budget().cancelled(), "and the solver budget");
     }
 
     #[test]

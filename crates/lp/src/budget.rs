@@ -38,7 +38,9 @@ use std::time::{Duration, Instant};
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Budget<'a> {
     deadline: Option<Instant>,
-    cancel: Option<&'a AtomicBool>,
+    /// Up to two independent cancel flags (a process-wide one plus a
+    /// per-job one); either flag set exhausts the budget.
+    cancels: [Option<&'a AtomicBool>; 2],
 }
 
 impl<'a> Budget<'a> {
@@ -58,15 +60,18 @@ impl<'a> Budget<'a> {
         self.with_deadline(Instant::now() + timeout)
     }
 
-    /// Attaches a cancel flag (checked with `Ordering::SeqCst`).
+    /// Attaches a cancel flag (checked with `Ordering::SeqCst`). May be
+    /// called twice to watch two independent flags; a third call replaces
+    /// the second flag.
     pub fn with_cancel(mut self, flag: &'a AtomicBool) -> Self {
-        self.cancel = Some(flag);
+        let slot = if self.cancels[0].is_none() { 0 } else { 1 };
+        self.cancels[slot] = Some(flag);
         self
     }
 
     /// Whether this budget can never be exhausted.
     pub fn is_unlimited(&self) -> bool {
-        self.deadline.is_none() && self.cancel.is_none()
+        self.deadline.is_none() && self.cancels.iter().all(Option::is_none)
     }
 
     /// The absolute deadline, when one is set.
@@ -76,7 +81,10 @@ impl<'a> Budget<'a> {
 
     /// Whether cancellation was requested (ignores the deadline).
     pub fn cancelled(&self) -> bool {
-        self.cancel.is_some_and(|c| c.load(Ordering::SeqCst))
+        self.cancels
+            .iter()
+            .flatten()
+            .any(|c| c.load(Ordering::SeqCst))
     }
 
     /// Whether the budget is spent: cancel requested or deadline passed.
@@ -85,6 +93,12 @@ impl<'a> Budget<'a> {
     pub fn exhausted(&self) -> bool {
         if self.cancelled() {
             return true;
+        }
+        // Chaos: a deadline blackout simulates a wedged solver whose
+        // budget never fires — the watchdog's cancel flag (above) remains
+        // the only way out, exactly the scenario it supervises.
+        if crate::chaos::deadline_blackout() {
+            return false;
         }
         self.deadline.is_some_and(|d| Instant::now() >= d)
     }
@@ -124,5 +138,19 @@ mod tests {
         flag.store(true, Ordering::SeqCst);
         assert!(b.exhausted());
         assert!(b.cancelled());
+    }
+
+    #[test]
+    fn either_of_two_cancel_flags_exhausts() {
+        let process = AtomicBool::new(false);
+        let job = AtomicBool::new(false);
+        let b = Budget::default().with_cancel(&process).with_cancel(&job);
+        assert!(!b.is_unlimited());
+        assert!(!b.exhausted());
+        job.store(true, Ordering::SeqCst);
+        assert!(b.cancelled(), "second flag alone cancels");
+        job.store(false, Ordering::SeqCst);
+        process.store(true, Ordering::SeqCst);
+        assert!(b.cancelled(), "first flag alone cancels");
     }
 }

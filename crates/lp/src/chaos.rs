@@ -5,16 +5,27 @@
 //! `debug_assertions` (every `cargo test` dev-profile run) or the explicit
 //! `chaos` feature; a release build pays nothing.
 //!
-//! The only solver fault worth simulating is a **stall**: a pivot loop that
-//! still makes progress but far too slowly, which is exactly the failure
-//! mode deadlines exist for. State is process-global — chaos tests that set
-//! a stall must serialize themselves (see `tests/chaos.rs`) and clear it.
+//! Two solver faults are worth simulating:
+//!
+//! * a **stall** — a pivot loop that still makes progress but far too
+//!   slowly, which is exactly the failure mode deadlines exist for;
+//! * a **deadline blackout** — [`crate::Budget::exhausted`] stops seeing
+//!   its wall-clock deadline (cancellation still works), simulating a
+//!   wedged solver whose budget failed to fire. This is the failure mode
+//!   the `raven-serve` watchdog exists for: it detects the overdue job
+//!   and cancels it through the still-functional cancel flag.
+//!
+//! State is process-global — chaos tests that arm a fault must serialize
+//! themselves (see `tests/chaos.rs`) and clear it.
 
 #[cfg(any(debug_assertions, feature = "chaos"))]
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 #[cfg(any(debug_assertions, feature = "chaos"))]
 static PIVOT_STALL_MICROS: AtomicU64 = AtomicU64::new(0);
+
+#[cfg(any(debug_assertions, feature = "chaos"))]
+static DEADLINE_BLACKOUT: AtomicBool = AtomicBool::new(false);
 
 /// Makes every subsequent simplex pivot sleep for `micros` microseconds
 /// (0 clears the stall). No-op in release builds without the `chaos`
@@ -26,9 +37,33 @@ pub fn set_pivot_stall_micros(micros: u64) {
     let _ = micros;
 }
 
+/// Makes every [`crate::Budget`] ignore its wall-clock deadline (cancel
+/// flags keep working), simulating a solver that wedges past its budget.
+/// No-op in release builds without the `chaos` feature.
+pub fn set_deadline_blackout(on: bool) {
+    #[cfg(any(debug_assertions, feature = "chaos"))]
+    DEADLINE_BLACKOUT.store(on, Ordering::SeqCst);
+    #[cfg(not(any(debug_assertions, feature = "chaos")))]
+    let _ = on;
+}
+
+/// Whether the deadline blackout is armed.
+#[inline]
+pub(crate) fn deadline_blackout() -> bool {
+    #[cfg(any(debug_assertions, feature = "chaos"))]
+    {
+        DEADLINE_BLACKOUT.load(Ordering::Relaxed)
+    }
+    #[cfg(not(any(debug_assertions, feature = "chaos")))]
+    {
+        false
+    }
+}
+
 /// Clears all injected solver faults.
 pub fn clear() {
     set_pivot_stall_micros(0);
+    set_deadline_blackout(false);
 }
 
 /// Called once per simplex pivot iteration; sleeps when a stall is injected.

@@ -7,7 +7,9 @@
 //! to the CLI's for the same query.
 
 use crate::cache::{CacheKey, CachedResult, PayloadHasher};
-use crate::queue::JobState;
+use crate::http::Request;
+use crate::journal::Record;
+use crate::queue::{JobFn, JobMeta, JobSlot, JobState};
 use crate::registry::ModelEntry;
 use crate::ServerState;
 use raven::hooks::RunHooks;
@@ -16,7 +18,7 @@ use raven::{
     PairStrategy, RavenConfig, TierMillis, UapProblem,
 };
 use raven_json::Json;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -64,14 +66,14 @@ fn queue_full_reply() -> Reply {
 }
 
 /// Routes one parsed request to its handler.
-pub fn handle(state: &Arc<ServerState>, method: &str, path: &str, body: &[u8]) -> Reply {
-    match (method, path) {
+pub fn handle(state: &Arc<ServerState>, req: &Request) -> Reply {
+    match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/v1/healthz") => healthz(state),
         ("GET", "/v1/metrics") => metrics(),
         ("GET", "/v1/models") => models(state),
-        ("POST", "/v1/verify/uap") => verify_sync(state, body, Property::Uap),
-        ("POST", "/v1/verify/mono") => verify_sync(state, body, Property::Mono),
-        ("POST", "/v1/jobs") => submit_job(state, body),
+        ("POST", "/v1/verify/uap") => verify_sync(state, req, Property::Uap),
+        ("POST", "/v1/verify/mono") => verify_sync(state, req, Property::Mono),
+        ("POST", "/v1/jobs") => submit_job(state, req),
         ("GET", p) if p.starts_with("/v1/jobs/") => job_status(state, p),
         ("GET" | "POST", _) => error_reply(404, "no such endpoint"),
         _ => error_reply(405, "method not allowed"),
@@ -111,6 +113,8 @@ fn healthz(state: &Arc<ServerState>) -> Reply {
                 ("completed", Json::from(stats.completed as f64)),
                 ("failed", Json::from(stats.failed as f64)),
                 ("rejected", Json::from(stats.rejected as f64)),
+                ("retried", Json::from(stats.retried as f64)),
+                ("watchdog_kills", Json::from(stats.watchdog_kills as f64)),
             ]),
         ),
         (
@@ -179,6 +183,24 @@ enum Property {
     Mono,
 }
 
+impl Property {
+    /// Stable name used in job bodies and journal records.
+    fn name(self) -> &'static str {
+        match self {
+            Property::Uap => "uap",
+            Property::Mono => "monotonicity",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Property> {
+        match name {
+            "uap" => Some(Property::Uap),
+            "monotonicity" => Some(Property::Mono),
+            _ => None,
+        }
+    }
+}
+
 /// A fully parsed, validated verification request.
 struct VerifySpec {
     entry: Arc<ModelEntry>,
@@ -194,6 +216,11 @@ struct VerifySpec {
     /// changes what a verdict *means*, only how precise it is, and
     /// degraded verdicts are never cached anyway.
     deadline_ms: Option<u64>,
+    /// Idempotency key from the JSON body (`idempotency_key`); the
+    /// `Idempotency-Key` header takes precedence when both are present.
+    /// Excluded from the cache key — it identifies a *submission*, not a
+    /// query.
+    idempotency_key: Option<String>,
 }
 
 enum Payload {
@@ -213,8 +240,8 @@ enum Payload {
 impl VerifySpec {
     fn property_name(&self) -> &'static str {
         match self.payload {
-            Payload::Uap { .. } => "uap",
-            Payload::Mono { .. } => "monotonicity",
+            Payload::Uap { .. } => Property::Uap.name(),
+            Payload::Mono { .. } => Property::Mono.name(),
         }
     }
 
@@ -334,6 +361,15 @@ fn parse_spec(
                 as u64,
         ),
     };
+    let idempotency_key = match json.get("idempotency_key") {
+        None => None,
+        Some(k) => Some(
+            k.as_str()
+                .filter(|k| !k.is_empty())
+                .ok_or_else(|| bad("\"idempotency_key\" must be a non-empty string"))?
+                .to_string(),
+        ),
+    };
     let input_dim = entry.plan.input_dim();
     let output_dim = entry.plan.output_dim();
     let payload = match property {
@@ -436,6 +472,7 @@ fn parse_spec(
         payload,
         delay_millis,
         deadline_ms,
+        idempotency_key,
     })
 }
 
@@ -457,14 +494,22 @@ struct Computed {
 /// (MILP incumbent bound → LP relaxation → analysis bounds) instead of
 /// erroring.
 ///
-/// Returns an error only when the run was cancelled by server shutdown.
-fn compute_verdict(state: &Arc<ServerState>, spec: &VerifySpec) -> Result<Computed, String> {
+/// Returns an error only when the run was cancelled — by server shutdown
+/// or by the watchdog through the job's own cancel flag.
+fn compute_verdict(
+    state: &Arc<ServerState>,
+    spec: &VerifySpec,
+    job_cancel: &AtomicBool,
+) -> Result<Computed, String> {
     crate::chaos::job_panic_point();
+    crate::chaos::job_abort_point();
     let deadline = spec
         .deadline_ms
         .map(Duration::from_millis)
         .or(state.default_deadline);
-    let mut hooks = RunHooks::default().with_cancel(&state.cancel);
+    let mut hooks = RunHooks::default()
+        .with_cancel(&state.cancel)
+        .with_cancel(job_cancel);
     if let Some(d) = deadline {
         // The artificial `delay_millis` sleep below counts against the
         // deadline, exactly like a slow solve would.
@@ -474,7 +519,7 @@ fn compute_verdict(state: &Arc<ServerState>, spec: &VerifySpec) -> Result<Comput
     if spec.delay_millis > 0 {
         std::thread::sleep(std::time::Duration::from_millis(spec.delay_millis));
     }
-    let cancelled = || "verification cancelled by shutdown".to_string();
+    let cancelled = || "verification cancelled".to_string();
     let (verdict, tier_millis, degraded) = match &spec.payload {
         Payload::Uap { inputs, labels } => {
             let problem = UapProblem {
@@ -549,6 +594,7 @@ fn run_verify(
     state: &Arc<ServerState>,
     spec: &VerifySpec,
     check_cache: bool,
+    job_cancel: &AtomicBool,
 ) -> Result<Json, String> {
     let key = spec.cache_key();
     if check_cache {
@@ -562,7 +608,7 @@ fn run_verify(
             ));
         }
     }
-    let computed = compute_verdict(state, spec)?;
+    let computed = compute_verdict(state, spec, job_cancel)?;
     // Degraded verdicts are budget-dependent, not query-determined: the
     // same query with a longer deadline yields a strictly better answer,
     // so caching one would serve needlessly weak verdicts forever.
@@ -585,12 +631,111 @@ fn run_verify(
     ))
 }
 
-fn verify_sync(state: &Arc<ServerState>, body: &[u8], property: Property) -> Reply {
-    let spec = match parse_spec(state, body, property) {
+/// Builds the per-job scheduling metadata and queue closure for `spec`.
+fn job_for(state: &Arc<ServerState>, spec: VerifySpec, check_cache: bool) -> (JobMeta, JobFn) {
+    let cancel = Arc::new(AtomicBool::new(false));
+    let meta = JobMeta {
+        deadline: spec
+            .deadline_ms
+            .map(Duration::from_millis)
+            .or(state.default_deadline),
+        cancel: Some(cancel.clone()),
+    };
+    let job_state = Arc::clone(state);
+    let job: JobFn = Box::new(move || run_verify(&job_state, &spec, check_cache, &cancel));
+    (meta, job)
+}
+
+/// Outcome of admitting a submission through the idempotency layer.
+enum Admitted {
+    /// A fresh job was accepted.
+    New(u64, Arc<JobSlot>),
+    /// The idempotency key matched an earlier submission: its job, with
+    /// whatever state it has reached. No new solver work was enqueued.
+    Existing(u64, Arc<JobSlot>),
+}
+
+/// Admits one verification submission: idempotency-key dedup, queue
+/// submission, jobs-map registration, and the journal `Submitted` record
+/// (fsync'd before the ack).
+fn admit(
+    state: &Arc<ServerState>,
+    req: &Request,
+    spec: VerifySpec,
+    check_cache: bool,
+) -> Result<Admitted, Reply> {
+    let key = req
+        .idempotency_key
+        .clone()
+        .or_else(|| spec.idempotency_key.clone());
+    let property = spec.property_name();
+    // The key map lock is held across submission so two racing retries
+    // with the same key cannot both enqueue solver work.
+    let mut key_guard = key
+        .as_ref()
+        .map(|_| state.idempotency.lock().expect("idempotency lock"));
+    if let (Some(k), Some(map)) = (&key, key_guard.as_deref()) {
+        if let Some(&existing) = map.get(k) {
+            if let Some(slot) = state
+                .jobs
+                .lock()
+                .expect("jobs lock")
+                .get(&existing)
+                .cloned()
+            {
+                crate::metrics::IDEMPOTENT_HITS.inc();
+                return Ok(Admitted::Existing(existing, slot));
+            }
+        }
+    }
+    let id = state.next_job_id.fetch_add(1, Ordering::Relaxed);
+    let (meta, job) = job_for(state, spec, check_cache);
+    let slot = match state.queue.submit(id, meta, job) {
+        Ok(slot) => slot,
+        Err(_) => return Err(queue_full_reply()),
+    };
+    state
+        .jobs
+        .lock()
+        .expect("jobs lock")
+        .insert(id, slot.clone());
+    if let (Some(k), Some(map)) = (&key, key_guard.as_deref_mut()) {
+        map.insert(k.clone(), id);
+    }
+    drop(key_guard);
+    if let Some(journal) = &state.journal {
+        let record = Record::Submitted {
+            id,
+            property: property.to_string(),
+            body: String::from_utf8_lossy(&req.body).into_owned(),
+            key,
+        };
+        if let Err(e) = journal.append(&record, true) {
+            // The job runs regardless (it cannot be un-queued), but a
+            // submission the journal failed to capture must not be acked
+            // as durable.
+            return Err(error_reply(500, &format!("journal append failed: {e}")));
+        }
+    }
+    Ok(Admitted::New(id, slot))
+}
+
+/// The 409 served for a quarantined job.
+fn quarantined_reply() -> Reply {
+    error_reply(
+        409,
+        "job is quarantined: it crashed the server repeatedly and will not \
+         be retried (resubmit with a new idempotency key to try again)",
+    )
+}
+
+fn verify_sync(state: &Arc<ServerState>, req: &Request, property: Property) -> Reply {
+    let spec = match parse_spec(state, &req.body, property) {
         Ok(spec) => spec,
         Err(ParseFail(status, msg)) => return error_reply(status, &msg),
     };
-    // Fast path: cache hits are answered without consuming a queue slot.
+    // Fast path: cache hits are answered without consuming a queue slot
+    // (and without a journal record — there is nothing to recover).
     if let Some(hit) = state.cache.get(&spec.cache_key()) {
         return Reply::json(
             200,
@@ -604,18 +749,14 @@ fn verify_sync(state: &Arc<ServerState>, body: &[u8], property: Property) -> Rep
             .to_string(),
         );
     }
-    let job_state = Arc::clone(state);
-    let id = state.next_job_id.fetch_add(1, Ordering::Relaxed);
-    let slot = match state
-        .queue
-        .submit(id, Box::new(move || run_verify(&job_state, &spec, false)))
-    {
-        Ok(slot) => slot,
-        Err(_) => return queue_full_reply(),
+    let slot = match admit(state, req, spec, false) {
+        Ok(Admitted::New(_, slot) | Admitted::Existing(_, slot)) => slot,
+        Err(reply) => return reply,
     };
     match slot.wait_terminal(state.request_timeout) {
         Some(JobState::Done(response)) => Reply::json(200, response.to_string()),
         Some(JobState::Failed(message)) => error_reply(500, &message),
+        Some(JobState::Quarantined) => quarantined_reply(),
         Some(_) => unreachable!("wait_terminal only returns terminal states"),
         None => error_reply(
             504,
@@ -624,8 +765,8 @@ fn verify_sync(state: &Arc<ServerState>, body: &[u8], property: Property) -> Rep
     }
 }
 
-fn submit_job(state: &Arc<ServerState>, body: &[u8]) -> Reply {
-    let text = match std::str::from_utf8(body) {
+fn submit_job(state: &Arc<ServerState>, req: &Request) -> Reply {
+    let text = match std::str::from_utf8(&req.body) {
         Ok(t) => t,
         Err(_) => return error_reply(400, "body is not utf-8"),
     };
@@ -634,34 +775,108 @@ fn submit_job(state: &Arc<ServerState>, body: &[u8]) -> Reply {
         Err(e) => return error_reply(400, &format!("invalid json: {e}")),
     };
     let property = match json.get("property").and_then(Json::as_str) {
-        Some("uap") => Property::Uap,
-        Some("monotonicity") => Property::Mono,
-        _ => {
+        Some(name) => match Property::from_name(name) {
+            Some(p) => p,
+            None => {
+                return error_reply(
+                    400,
+                    "field \"property\" must be \"uap\" or \"monotonicity\"",
+                )
+            }
+        },
+        None => {
             return error_reply(
                 400,
                 "missing field \"property\" (\"uap\" or \"monotonicity\")",
             )
         }
     };
-    let spec = match parse_spec(state, body, property) {
+    let spec = match parse_spec(state, &req.body, property) {
         Ok(spec) => spec,
         Err(ParseFail(status, msg)) => return error_reply(status, &msg),
     };
-    let id = state.next_job_id.fetch_add(1, Ordering::Relaxed);
-    let job_state = Arc::clone(state);
-    let slot = match state
+    match admit(state, req, spec, true) {
+        Ok(Admitted::New(id, _)) => {
+            let body = Json::obj([
+                ("job_id", Json::from(id as f64)),
+                ("status", Json::from("queued")),
+            ]);
+            Reply::json(202, body.to_string())
+        }
+        Ok(Admitted::Existing(id, slot)) => {
+            // Idempotent replay: report the original job, not a new one.
+            let body = Json::obj([
+                ("job_id", Json::from(id as f64)),
+                ("status", Json::from(slot.state().status())),
+                ("idempotent", Json::from(true)),
+            ]);
+            Reply::json(200, body.to_string())
+        }
+        Err(reply) => reply,
+    }
+}
+
+/// Rebuilds a recovered non-terminal job from its journaled submit record
+/// and re-enqueues it under its original id (restart recovery path).
+pub(crate) fn resubmit_recovered(
+    state: &Arc<ServerState>,
+    id: u64,
+    property: &str,
+    body: &str,
+) -> Result<Arc<JobSlot>, String> {
+    let property = Property::from_name(property)
+        .ok_or_else(|| format!("journal names unknown property {property:?}"))?;
+    let spec = parse_spec(state, body.as_bytes(), property)
+        .map_err(|ParseFail(_, msg)| format!("journaled body no longer parses: {msg}"))?;
+    let (meta, job) = job_for(state, spec, true);
+    state
         .queue
-        .submit(id, Box::new(move || run_verify(&job_state, &spec, true)))
-    {
-        Ok(slot) => slot,
-        Err(_) => return queue_full_reply(),
+        .submit(id, meta, job)
+        .map_err(|_| "queue full during recovery".to_string())
+}
+
+/// Restores a replayed cacheable verdict into the LRU so post-restart
+/// queries hit the cache instead of re-solving. Returns whether the
+/// envelope was restored (a journal from before a model was unloaded may
+/// no longer parse — skipped, not fatal).
+pub(crate) fn restore_cached_verdict(
+    state: &Arc<ServerState>,
+    property: &str,
+    body: &str,
+    envelope: &Json,
+) -> bool {
+    let Some(property) = Property::from_name(property) else {
+        return false;
     };
-    state.jobs.lock().expect("jobs lock").insert(id, slot);
-    let body = Json::obj([
-        ("job_id", Json::from(id as f64)),
-        ("status", Json::from("queued")),
-    ]);
-    Reply::json(202, body.to_string())
+    let Ok(spec) = parse_spec(state, body.as_bytes(), property) else {
+        return false;
+    };
+    let Some(result) = envelope.get("result") else {
+        return false;
+    };
+    let tier = |field: &str| {
+        envelope
+            .get("tier_millis")
+            .and_then(|t| t.get(field))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    state.cache.put(
+        spec.cache_key(),
+        CachedResult {
+            verdict: result.to_string(),
+            solve_millis: envelope
+                .get("solve_millis")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+            tier_millis: TierMillis {
+                analysis: tier("analysis"),
+                lp: tier("lp"),
+                milp: tier("milp"),
+            },
+        },
+    );
+    true
 }
 
 fn job_status(state: &Arc<ServerState>, path: &str) -> Reply {
@@ -677,6 +892,10 @@ fn job_status(state: &Arc<ServerState>, path: &str) -> Reply {
     let (result, error) = match &job_state {
         JobState::Done(response) => (response.clone(), Json::Null),
         JobState::Failed(message) => (Json::Null, Json::from(message.as_str())),
+        JobState::Quarantined => (
+            Json::Null,
+            Json::from("quarantined: crashed the server repeatedly; will not be retried"),
+        ),
         _ => (Json::Null, Json::Null),
     };
     let body = Json::obj([

@@ -31,6 +31,19 @@ options:
                               jobs that exhaust it answer with a sound degraded
                               verdict (default unlimited; per-request
                               \"deadline_ms\" overrides)
+  --max-body-bytes N          largest accepted request body (default 67108864
+                              = 64 MiB; oversized bodies answer 413)
+  --journal-dir DIR           write-ahead job journal directory; enables
+                              crash recovery, idempotent retries, and verdict
+                              replay across restarts (default: disabled)
+  --journal-segment-bytes N   rotate journal segments past this size
+                              (default 4 MiB)
+  --journal-cap-bytes N       keep the journal directory below this size by
+                              compacting/deleting old segments (default 64 MiB)
+  --watchdog-grace-ms N       cancel jobs stuck this long past their deadline
+                              (default 2000)
+  --job-retries N             re-run a panicked job up to N times with
+                              exponential backoff before failing (default 1)
 ";
 
 /// Signals received so far (1 = graceful, 2+ = force cancel).
@@ -68,6 +81,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut models_dir = None;
     let mut config = ServerConfig {
         addr: "127.0.0.1:8080".to_string(),
+        // The service binary retries a panicked job once by default; the
+        // library default (0) keeps one-attempt semantics for embedders.
+        job_retries: 1,
         ..ServerConfig::default()
     };
     let mut it = argv.iter();
@@ -101,6 +117,29 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 let ms: usize = parse_num(&value("--deadline-ms")?, "--deadline-ms")?;
                 config.default_deadline = Some(Duration::from_millis(ms as u64));
             }
+            "--max-body-bytes" => {
+                config.max_body_bytes = parse_num(&value("--max-body-bytes")?, "--max-body-bytes")?;
+            }
+            "--journal-dir" => {
+                config.journal_dir = Some(std::path::PathBuf::from(value("--journal-dir")?));
+            }
+            "--journal-segment-bytes" => {
+                config.journal.segment_bytes = parse_num(
+                    &value("--journal-segment-bytes")?,
+                    "--journal-segment-bytes",
+                )? as u64;
+            }
+            "--journal-cap-bytes" => {
+                config.journal.cap_bytes =
+                    parse_num(&value("--journal-cap-bytes")?, "--journal-cap-bytes")? as u64;
+            }
+            "--watchdog-grace-ms" => {
+                let ms: usize = parse_num(&value("--watchdog-grace-ms")?, "--watchdog-grace-ms")?;
+                config.watchdog_grace = Duration::from_millis(ms as u64);
+            }
+            "--job-retries" => {
+                config.job_retries = parse_num(&value("--job-retries")?, "--job-retries")? as u32;
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -113,6 +152,9 @@ fn parse_num(text: &str, flag: &str) -> Result<usize, String> {
 }
 
 fn main() -> ExitCode {
+    // Chaos faults for spawned-process durability tests (no-op unless the
+    // RAVEN_SERVE_CHAOS_* variables are set and chaos is compiled in).
+    raven_serve::chaos::arm_from_env();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
         Ok(args) => args,
@@ -200,6 +242,18 @@ mod tests {
             "3",
             "--deadline-ms",
             "250",
+            "--max-body-bytes",
+            "1048576",
+            "--journal-dir",
+            "/tmp/wal",
+            "--journal-segment-bytes",
+            "65536",
+            "--journal-cap-bytes",
+            "1000000",
+            "--watchdog-grace-ms",
+            "500",
+            "--job-retries",
+            "3",
         ]))
         .unwrap();
         assert_eq!(parsed.models_dir, "models");
@@ -213,6 +267,23 @@ mod tests {
             parsed.config.default_deadline,
             Some(Duration::from_millis(250))
         );
+        assert_eq!(parsed.config.max_body_bytes, 1048576);
+        assert_eq!(
+            parsed.config.journal_dir.as_deref(),
+            Some(Path::new("/tmp/wal"))
+        );
+        assert_eq!(parsed.config.journal.segment_bytes, 65536);
+        assert_eq!(parsed.config.journal.cap_bytes, 1000000);
+        assert_eq!(parsed.config.watchdog_grace, Duration::from_millis(500));
+        assert_eq!(parsed.config.job_retries, 3);
+    }
+
+    #[test]
+    fn binary_defaults_enable_one_retry_and_no_journal() {
+        let parsed = parse_args(&args(&["--models-dir", "m"])).unwrap();
+        assert_eq!(parsed.config.job_retries, 1);
+        assert!(parsed.config.journal_dir.is_none());
+        assert_eq!(parsed.config.max_body_bytes, 64 * 1024 * 1024);
     }
 
     #[test]

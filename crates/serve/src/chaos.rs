@@ -19,6 +19,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 #[cfg(any(debug_assertions, feature = "chaos"))]
 static PANIC_NEXT_JOBS: AtomicU64 = AtomicU64::new(0);
 
+#[cfg(any(debug_assertions, feature = "chaos"))]
+static ABORT_NEXT_JOBS: AtomicU64 = AtomicU64::new(0);
+
 /// Makes the next `n` verification jobs panic as they start computing
 /// (after queue admission, on the worker thread). No-op in release builds
 /// without the `chaos` feature.
@@ -29,9 +32,36 @@ pub fn set_panic_next_jobs(n: u64) {
     let _ = n;
 }
 
+/// Makes the next `n` verification jobs **abort the whole process** as
+/// they start computing — a real `SIGABRT`, indistinguishable from an
+/// OOM-kill to the journal. Only meaningful in a dedicated child process
+/// (the durability tests spawn `raven_serve` with this armed via
+/// [`arm_from_env`]). No-op in release builds without the `chaos` feature.
+pub fn set_abort_next_jobs(n: u64) {
+    #[cfg(any(debug_assertions, feature = "chaos"))]
+    ABORT_NEXT_JOBS.store(n, Ordering::SeqCst);
+    #[cfg(not(any(debug_assertions, feature = "chaos")))]
+    let _ = n;
+}
+
+/// Arms chaos faults from environment variables — the only way a
+/// *spawned* server process can be given faults. Recognized:
+/// `RAVEN_SERVE_CHAOS_ABORT_JOBS=<n>` (abort the process on each of the
+/// next `n` job pickups). Call once at binary startup; no-op when the
+/// variables are unset or chaos is compiled out.
+pub fn arm_from_env() {
+    if let Some(n) = std::env::var("RAVEN_SERVE_CHAOS_ABORT_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        set_abort_next_jobs(n);
+    }
+}
+
 /// Clears all injected service faults.
 pub fn clear() {
     set_panic_next_jobs(0);
+    set_abort_next_jobs(0);
 }
 
 /// Called at the top of every verification job body; panics while a
@@ -49,6 +79,22 @@ pub(crate) fn job_panic_point() {
             // Racing underflow: another job consumed the last slot between
             // the load and the sub — restore and carry on.
             PANIC_NEXT_JOBS.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Called right after [`job_panic_point`]; aborts the process while an
+/// abort budget is armed (simulates a crash with a job mid-flight).
+#[inline]
+pub(crate) fn job_abort_point() {
+    #[cfg(any(debug_assertions, feature = "chaos"))]
+    {
+        if ABORT_NEXT_JOBS.load(Ordering::Relaxed) > 0 {
+            let prev = ABORT_NEXT_JOBS.fetch_sub(1, Ordering::SeqCst);
+            if prev > 0 {
+                std::process::abort();
+            }
+            ABORT_NEXT_JOBS.fetch_add(1, Ordering::SeqCst);
         }
     }
 }

@@ -29,15 +29,19 @@ pub mod api;
 pub mod cache;
 pub mod chaos;
 pub mod http;
+pub mod journal;
 pub mod metrics;
 pub mod queue;
 pub mod registry;
 
 use cache::ResultCache;
-use queue::JobQueue;
+use journal::{Journal, JournalConfig, Record, ReplayState, ReplayTerminal};
+use queue::{JobQueue, JobSlot, JobState, QueueHooks, Supervision};
+use raven_json::Json;
 use registry::ModelRegistry;
 use std::collections::HashMap;
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -64,6 +68,19 @@ pub struct ServerConfig {
     /// sound but weaker verdict instead of timing out with 504/500.
     /// `None` means unlimited; a request's `deadline_ms` field overrides.
     pub default_deadline: Option<Duration>,
+    /// Write-ahead journal directory. `None` disables durability: jobs
+    /// are lost on crash exactly as before the journal existed.
+    pub journal_dir: Option<PathBuf>,
+    /// Journal segment rotation and directory size cap.
+    pub journal: JournalConfig,
+    /// How long past a job's deadline the watchdog waits before cancelling
+    /// it (the solver budget should have degraded the job at its deadline;
+    /// this much later, the solver is assumed wedged).
+    pub watchdog_grace: Duration,
+    /// Maximum re-executions of a panicked job before it fails for good.
+    /// 0 (the default) preserves the pre-supervision behavior: one
+    /// attempt, panic answers 500.
+    pub job_retries: u32,
 }
 
 impl Default for ServerConfig {
@@ -75,8 +92,12 @@ impl Default for ServerConfig {
             cache_capacity: 256,
             request_timeout: Duration::from_secs(60),
             job_threads: 1,
-            max_body_bytes: 4 * 1024 * 1024,
+            max_body_bytes: 64 * 1024 * 1024,
             default_deadline: None,
+            journal_dir: None,
+            journal: JournalConfig::default(),
+            watchdog_grace: Duration::from_secs(2),
+            job_retries: 0,
         }
     }
 }
@@ -104,6 +125,10 @@ pub struct ServerState {
     /// Force-cancel flag checked by in-flight verifications at phase
     /// boundaries (second ctrl-c / SIGTERM escalation).
     pub cancel: AtomicBool,
+    /// Write-ahead job journal (`None` when durability is disabled).
+    pub journal: Option<Arc<Journal>>,
+    /// Idempotency-key → job id map (rebuilt from the journal on restart).
+    pub idempotency: Mutex<HashMap<String, u64>>,
 }
 
 /// A bound, not-yet-running server.
@@ -150,19 +175,90 @@ impl Server {
         raven_obs::set_enabled(true);
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
-        let queue = JobQueue::new(config.queue_capacity);
+        // Replay the journal before anything else: recovery needs the
+        // replayed state to seed job ids, and the hooks need the opened
+        // journal. Opening starts a fresh segment, so replay sees only
+        // the dead process's records.
+        let (journal_handle, replay) = match &config.journal_dir {
+            Some(dir) => {
+                let records = journal::replay_dir(dir)?;
+                let replay = ReplayState::digest(&records);
+                metrics::JOURNAL_REPLAYED.add(replay.records);
+                metrics::JOURNAL_CLEAN_SHUTDOWN.set(i64::from(replay.clean_shutdown));
+                let journal = Arc::new(Journal::open(dir, config.journal)?);
+                (Some(journal), Some(replay))
+            }
+            None => (None, None),
+        };
+        // Durability hooks: a fsync'd Started record per pickup (the
+        // crash-signature replay counts on it surviving power loss) and a
+        // terminal record per outcome (plain write — losing one only
+        // costs a re-run).
+        let hooks = match &journal_handle {
+            Some(journal) => {
+                let on_start = journal.clone();
+                let on_end = journal.clone();
+                QueueHooks {
+                    on_started: Some(Box::new(move |id| {
+                        let _ = on_start.append(&Record::Started { id }, true);
+                    })),
+                    on_terminal: Some(Box::new(move |id, terminal| {
+                        let record = match terminal {
+                            JobState::Done(envelope) => {
+                                // Degraded verdicts are budget-dependent
+                                // and never cacheable — on replay either.
+                                let cacheable = envelope
+                                    .get("result")
+                                    .and_then(|r| r.get("degraded"))
+                                    .and_then(Json::as_bool)
+                                    == Some(false);
+                                Record::Completed {
+                                    id,
+                                    envelope: envelope.clone(),
+                                    cacheable,
+                                }
+                            }
+                            JobState::Failed(error) => Record::Failed {
+                                id,
+                                error: error.clone(),
+                            },
+                            _ => return,
+                        };
+                        let _ = on_end.append(&record, false);
+                    })),
+                }
+            }
+            None => QueueHooks::default(),
+        };
+        let queue = JobQueue::with_options(
+            config.queue_capacity,
+            Supervision {
+                grace: config.watchdog_grace,
+                max_retries: config.job_retries,
+            },
+            hooks,
+        );
+        let next_job_id = replay.as_ref().map_or(0, ReplayState::max_id) + 1;
         let state = Arc::new(ServerState {
             registry,
             queue: queue.clone(),
             cache: ResultCache::new(config.cache_capacity),
             jobs: Mutex::new(HashMap::new()),
-            next_job_id: AtomicU64::new(1),
+            next_job_id: AtomicU64::new(next_job_id),
             started: Instant::now(),
             request_timeout: config.request_timeout,
             job_threads: config.job_threads,
             default_deadline: config.default_deadline,
             cancel: AtomicBool::new(false),
+            journal: journal_handle.clone(),
+            idempotency: Mutex::new(HashMap::new()),
         });
+        if let (Some(journal), Some(replay)) = (&journal_handle, replay) {
+            recover(&state, journal, &replay);
+            // Tidy the inherited segments now that every replayed job has
+            // a pinned outcome (best-effort; rotation compacts later too).
+            let _ = journal.compact();
+        }
         let worker_handles = queue.spawn_workers(config.workers);
         Ok(Server {
             listener,
@@ -238,6 +334,84 @@ impl Server {
         for handle in self.worker_handles {
             let _ = handle.join();
         }
+        // Workers are joined, so every terminal record is already
+        // appended: the clean-shutdown marker is genuinely last. The next
+        // boot's replay sees it and skips the crash-rescue scan entirely.
+        if let Some(journal) = &self.state.journal {
+            let _ = journal.append(&Record::CleanShutdown, true);
+            let _ = journal.sync();
+        }
+    }
+}
+
+/// Materializes the replayed journal into live server state: terminal
+/// outcomes become preset job slots (completed cacheable verdicts also
+/// re-warm the LRU), jobs that were running at two separate crashes are
+/// quarantined as poison, and interrupted jobs are re-enqueued.
+fn recover(state: &Arc<ServerState>, journal: &Journal, replay: &ReplayState) {
+    let mut ids: Vec<u64> = replay.jobs.keys().copied().collect();
+    ids.sort_unstable(); // deterministic re-enqueue order
+    for id in ids {
+        let job = &replay.jobs[&id];
+        let slot: Arc<JobSlot> = match &job.terminal {
+            Some(ReplayTerminal::Completed {
+                envelope,
+                cacheable,
+            }) => {
+                if *cacheable {
+                    if let (Some(property), Some(body)) = (&job.property, &job.body) {
+                        api::restore_cached_verdict(state, property, body, envelope);
+                    }
+                }
+                JobSlot::preset(JobState::Done(envelope.clone()))
+            }
+            Some(ReplayTerminal::Failed(error)) => JobSlot::preset(JobState::Failed(error.clone())),
+            Some(ReplayTerminal::Quarantined) => JobSlot::preset(JobState::Quarantined),
+            None if replay.clean_shutdown => {
+                // A clean shutdown drained every accepted job; a submit
+                // with no terminal can only be journal loss (size-cap
+                // deletion) — nothing recoverable.
+                continue;
+            }
+            None if job.starts >= 2 => {
+                // Poison: running at two separate process deaths. Pin the
+                // verdict so later restarts don't re-count.
+                metrics::QUARANTINED_JOBS.inc();
+                let _ = journal.append(&Record::Quarantined { id }, true);
+                JobSlot::preset(JobState::Quarantined)
+            }
+            None => {
+                let (Some(property), Some(body)) = (&job.property, &job.body) else {
+                    continue; // Started whose Submitted record was lost
+                };
+                match api::resubmit_recovered(state, id, property, body) {
+                    Ok(slot) => {
+                        metrics::RECOVERED_JOBS.inc();
+                        slot
+                    }
+                    Err(error) => {
+                        // Pin the failure so the next restart doesn't
+                        // retry a job that can no longer run.
+                        let _ = journal.append(
+                            &Record::Failed {
+                                id,
+                                error: error.clone(),
+                            },
+                            false,
+                        );
+                        JobSlot::preset(JobState::Failed(error))
+                    }
+                }
+            }
+        };
+        if let Some(key) = &job.key {
+            state
+                .idempotency
+                .lock()
+                .expect("idempotency lock")
+                .insert(key.clone(), id);
+        }
+        state.jobs.lock().expect("jobs lock").insert(id, slot);
     }
 }
 
@@ -250,7 +424,7 @@ fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream, max_body: 
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
     match http::read_request(&mut stream, max_body) {
         Ok(request) => {
-            let reply = api::handle(state, &request.method, &request.path, &request.body);
+            let reply = api::handle(state, &request);
             http::write_response(
                 &mut stream,
                 reply.status,

@@ -26,9 +26,30 @@ pub static SERVICE_SECONDS: Histogram = Histogram::new();
 pub static CACHE_HITS: Counter = Counter::new();
 /// Verdict-cache lookups that missed.
 pub static CACHE_MISSES: Counter = Counter::new();
+/// Records appended to the job journal (all record kinds).
+pub static JOURNAL_APPENDS: Counter = Counter::new();
+/// Journal records decoded during restart replay.
+pub static JOURNAL_REPLAYED: Counter = Counter::new();
+/// Journal segment compactions performed.
+pub static JOURNAL_COMPACTIONS: Counter = Counter::new();
+/// Non-terminal jobs re-enqueued by restart recovery.
+pub static RECOVERED_JOBS: Counter = Counter::new();
+/// Jobs quarantined as poison (crashed the process repeatedly).
+pub static QUARANTINED_JOBS: Counter = Counter::new();
+/// Wedged jobs cancelled by the watchdog past deadline + grace.
+pub static WATCHDOG_KILLS: Counter = Counter::new();
+/// Dead worker threads respawned by the watchdog.
+pub static WORKER_RESTARTS: Counter = Counter::new();
+/// Panicked job attempts re-enqueued for retry.
+pub static JOB_RETRIES: Counter = Counter::new();
+/// Submissions answered from a previous job via Idempotency-Key.
+pub static IDEMPOTENT_HITS: Counter = Counter::new();
+/// 1 when the journal replayed a clean-shutdown marker at startup (the
+/// fast path: no crash signatures possible), 0 otherwise.
+pub static JOURNAL_CLEAN_SHUTDOWN: Gauge = Gauge::new();
 
 /// Exposition table for the service layer, in stable scrape order.
-pub static DESCS: [Desc; 8] = [
+pub static DESCS: [Desc; 18] = [
     Desc {
         name: "raven_serve_queue_depth",
         help: "Jobs waiting for a worker.",
@@ -76,5 +97,65 @@ pub static DESCS: [Desc; 8] = [
         help: "Verdict-cache lookups that missed.",
         labels: "",
         metric: MetricRef::Counter(&CACHE_MISSES),
+    },
+    Desc {
+        name: "raven_serve_journal_appends_total",
+        help: "Records appended to the job journal.",
+        labels: "",
+        metric: MetricRef::Counter(&JOURNAL_APPENDS),
+    },
+    Desc {
+        name: "raven_serve_journal_replayed_total",
+        help: "Journal records decoded during restart replay.",
+        labels: "",
+        metric: MetricRef::Counter(&JOURNAL_REPLAYED),
+    },
+    Desc {
+        name: "raven_serve_journal_compactions_total",
+        help: "Journal segment compactions performed.",
+        labels: "",
+        metric: MetricRef::Counter(&JOURNAL_COMPACTIONS),
+    },
+    Desc {
+        name: "raven_serve_recovered_jobs_total",
+        help: "Non-terminal jobs re-enqueued by restart recovery.",
+        labels: "",
+        metric: MetricRef::Counter(&RECOVERED_JOBS),
+    },
+    Desc {
+        name: "raven_serve_quarantined_jobs_total",
+        help: "Jobs quarantined as poison after repeated process crashes.",
+        labels: "",
+        metric: MetricRef::Counter(&QUARANTINED_JOBS),
+    },
+    Desc {
+        name: "raven_serve_watchdog_kills_total",
+        help: "Wedged jobs cancelled by the watchdog past deadline + grace.",
+        labels: "",
+        metric: MetricRef::Counter(&WATCHDOG_KILLS),
+    },
+    Desc {
+        name: "raven_serve_worker_restarts_total",
+        help: "Dead worker threads respawned by the watchdog.",
+        labels: "",
+        metric: MetricRef::Counter(&WORKER_RESTARTS),
+    },
+    Desc {
+        name: "raven_serve_job_retries_total",
+        help: "Panicked job attempts re-enqueued for retry.",
+        labels: "",
+        metric: MetricRef::Counter(&JOB_RETRIES),
+    },
+    Desc {
+        name: "raven_serve_idempotent_hits_total",
+        help: "Submissions answered from a previous job via Idempotency-Key.",
+        labels: "",
+        metric: MetricRef::Counter(&IDEMPOTENT_HITS),
+    },
+    Desc {
+        name: "raven_serve_journal_clean_shutdown",
+        help: "1 when startup replayed a clean-shutdown marker, else 0.",
+        labels: "",
+        metric: MetricRef::Gauge(&JOURNAL_CLEAN_SHUTDOWN),
     },
 ];

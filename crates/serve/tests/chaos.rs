@@ -281,6 +281,81 @@ fn degraded_verdicts_are_never_cached() {
 }
 
 #[test]
+fn watchdog_cancels_wedged_jobs_and_names_itself() {
+    let _lock = CHAOS_LOCK.lock().unwrap();
+    let _guard = ChaosGuard;
+    let (addr, shutdown, runner) = start_server(ServerConfig {
+        cache_capacity: 0,
+        default_deadline: Some(Duration::from_millis(200)),
+        watchdog_grace: Duration::from_millis(300),
+        ..ServerConfig::default()
+    });
+
+    // A wedged solver: the deadline blackout makes `Budget::exhausted`
+    // ignore the deadline entirely (a stuck dependency that never observes
+    // its budget), while still honoring the cancel flag — exactly the
+    // failure the watchdog exists for. Without it this heavy query would
+    // hold the worker for minutes.
+    raven_lp::chaos::set_deadline_blackout(true);
+    let body = uap_body(HEAVY_EPS, "raven", &[]);
+    let start = Instant::now();
+    let (status, response) = request(addr, "POST", "/v1/verify/uap", &body);
+    let elapsed = start.elapsed();
+    raven_lp::chaos::clear();
+
+    // Killed shortly after deadline + grace, and the failure says by whom.
+    assert_eq!(status, 500, "wedged job must fail loudly: {response}");
+    let error = response.get("error").and_then(Json::as_str).unwrap();
+    assert!(
+        error.contains("watchdog"),
+        "error names the watchdog: {error}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "watchdog too slow: wedged job held the worker for {elapsed:?}"
+    );
+
+    // The kill is visible on the health surface, and the worker survives.
+    let (_, health) = request(addr, "GET", "/v1/healthz", "");
+    let queue = health.get("queue").expect("queue block");
+    assert!(queue.get("watchdog_kills").and_then(Json::as_f64).unwrap() >= 1.0);
+    let ok_body = uap_body(0.01, "box", &[]);
+    let (status, response) = request(addr, "POST", "/v1/verify/uap", &ok_body);
+    assert_eq!(status, 200, "worker lost after watchdog kill: {response}");
+
+    shutdown.shutdown();
+    runner.join().expect("server thread");
+}
+
+#[test]
+fn panicked_jobs_retry_transparently_when_enabled() {
+    let _lock = CHAOS_LOCK.lock().unwrap();
+    let _guard = ChaosGuard;
+    let (addr, shutdown, runner) = start_server(ServerConfig {
+        cache_capacity: 0,
+        job_retries: 2,
+        ..ServerConfig::default()
+    });
+    let body = uap_body(0.01, "box", &[]);
+
+    // One injected panic, two retries budgeted: the client never sees it.
+    raven_serve::chaos::set_panic_next_jobs(1);
+    let (status, response) = request(addr, "POST", "/v1/verify/uap", &body);
+    raven_serve::chaos::clear();
+    assert_eq!(status, 200, "retry hid the panic: {response}");
+    assert!(response.get("result").is_some());
+
+    let (_, health) = request(addr, "GET", "/v1/healthz", "");
+    let queue = health.get("queue").expect("queue block");
+    assert!(queue.get("retried").and_then(Json::as_f64).unwrap() >= 1.0);
+    // The job failed zero times from the client's point of view.
+    assert_eq!(queue.get("failed").and_then(Json::as_f64), Some(0.0));
+
+    shutdown.shutdown();
+    runner.join().expect("server thread");
+}
+
+#[test]
 fn server_default_deadline_applies_without_request_field() {
     let _lock = CHAOS_LOCK.lock().unwrap();
     let _guard = ChaosGuard;

@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# Kill-recovery smoke test: a real raven-serve process with a write-ahead
+# journal, SIGKILLed mid-flight and restarted.
+#
+# Asserts the durability contract end to end:
+#   * a completed verdict from before the crash is served from the
+#     restored cache after restart ("cached":true, no re-solve);
+#   * a job that was mid-flight at the crash is re-enqueued and completes;
+#   * the restarted process reports the crash (journal_clean_shutdown 0)
+#     and the recovery (recovered_jobs_total >= 1) on /v1/metrics;
+#   * a SIGTERM drain writes the clean-shutdown marker the *next* boot
+#     reports as journal_clean_shutdown 1.
+#
+# Uses the release binary (build with `cargo build --release` first).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SERVE_BIN=${SERVE_BIN:-./target/release/raven_serve}
+ADDR=${ADDR:-127.0.0.1:8474}
+
+if [ ! -x "$SERVE_BIN" ]; then
+  echo "kill_recovery: $SERVE_BIN not built (run cargo build --release)" >&2
+  exit 1
+fi
+
+JOURNAL=$(mktemp -d)
+SERVE_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$JOURNAL"
+}
+trap cleanup EXIT
+
+start_server() {
+  "$SERVE_BIN" --models-dir models --addr "$ADDR" --workers 1 \
+    --journal-dir "$JOURNAL" &
+  SERVE_PID=$!
+  for _ in $(seq 1 50); do
+    if curl -sf "http://$ADDR/v1/healthz" > /dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  echo "kill_recovery: server did not come up on $ADDR" >&2
+  exit 1
+}
+
+metric() {
+  curl -sf "http://$ADDR/v1/metrics" | awk -v name="$1" '$1 == name { print $2 }'
+}
+
+# Request bodies from the committed demo batch.
+base_body=$(awk '
+  /^#/ || NF == 0 { next }
+  {
+    labels = labels (labels ? "," : "") $1
+    row = ""
+    for (i = 2; i <= NF; i++) row = row (row ? "," : "") $i
+    inputs = inputs (inputs ? "," : "") "[" row "]"
+  }
+  END {
+    printf "\"model\":\"demo\",\"eps\":0.01,\"inputs\":[%s],\"labels\":[%s]", inputs, labels
+  }' models/demo_batch.txt)
+fast_body="{\"method\":\"deeppoly\",$base_body}"
+slow_job="{\"property\":\"uap\",\"method\":\"box\",\"delay_millis\":8000,$base_body}"
+
+start_server
+
+# A completed, cacheable verdict before the crash...
+before=$(curl -sf -X POST "http://$ADDR/v1/verify/uap" -d "$fast_body")
+echo "$before" | grep -q '"cached":false'
+
+# ...and a slow job that is mid-flight when the crash hits.
+submitted=$(curl -sf -X POST "http://$ADDR/v1/jobs" -d "$slow_job")
+job_id=$(echo "$submitted" | sed -n 's/.*"job_id":\([0-9]*\).*/\1/p')
+[ -n "$job_id" ] || { echo "kill_recovery: no job_id in $submitted" >&2; exit 1; }
+for _ in $(seq 1 100); do
+  status=$(curl -sf "http://$ADDR/v1/jobs/$job_id" | sed -n 's/.*"status":"\([a-z]*\)".*/\1/p')
+  [ "$status" = "running" ] && break
+  sleep 0.1
+done
+[ "$status" = "running" ] || { echo "kill_recovery: job never ran ($status)" >&2; exit 1; }
+
+echo "kill_recovery: SIGKILL with job $job_id running"
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
+start_server
+echo "kill_recovery: restarted"
+
+# The boot is flagged as crash recovery.
+[ "$(metric raven_serve_journal_clean_shutdown)" = "0" ]
+recovered=$(metric raven_serve_recovered_jobs_total)
+awk -v n="$recovered" 'BEGIN { exit !(n >= 1) }'
+
+# The pre-crash verdict is served from the restored cache.
+after=$(curl -sf -X POST "http://$ADDR/v1/verify/uap" -d "$fast_body")
+echo "$after" | grep -q '"cached":true'
+
+# The interrupted job was re-enqueued under its id and completes.
+deadline=$(( $(date +%s) + 300 ))
+while :; do
+  status=$(curl -sf "http://$ADDR/v1/jobs/$job_id" | sed -n 's/.*"status":"\([a-z]*\)".*/\1/p')
+  [ "$status" = "done" ] && break
+  if [ "$status" = "failed" ] || [ "$(date +%s)" -ge "$deadline" ]; then
+    echo "kill_recovery: recovered job $job_id stuck in '$status'" >&2
+    exit 1
+  fi
+  sleep 0.5
+done
+echo "kill_recovery: job $job_id recovered and completed"
+
+# SIGTERM drain writes the marker; the next boot reports a clean shutdown.
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_PID=""
+start_server
+[ "$(metric raven_serve_journal_clean_shutdown)" = "1" ]
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_PID=""
+
+echo "kill_recovery: all durability checks passed"

@@ -7,6 +7,9 @@ cd "$(dirname "$0")/.."
 # (raven_cli, raven_serve), and check_metrics.sh below needs the latter.
 cargo build --release --workspace
 cargo test -q
+# The explicit chaos feature must keep the fault-injection suite green
+# even where debug_assertions are off (release-profile test runs).
+cargo test -p raven-serve --features chaos -q
 cargo fmt --check
 cargo clippy --workspace -- -D warnings
 scripts/check_metrics.sh

@@ -3,17 +3,26 @@
 //!
 //! Wall time alone cannot distinguish "the solver got faster" from "the
 //! solver did less work"; the `raven-obs` counters can. This bench runs a
-//! fixed UAP + monotonicity workload on the fc-small zoo model, snapshots
-//! the solver/analysis counters before and after, and records the deltas
-//! next to the timing — so a perf regression (or win) in a future change
-//! decomposes into pivots, B&B nodes, presolve eliminations, and per-phase
-//! seconds.
+//! fixed UAP + targeted-UAP + monotonicity workload on the fc-small zoo
+//! model, snapshots the solver/analysis counters before and after, and
+//! records the deltas next to the timing — so a perf regression (or win)
+//! in a future change decomposes into pivots, dual pivots, warm starts,
+//! B&B nodes, presolve eliminations, and per-phase seconds.
+//!
+//! The high-ε batch and the per-label targeted queries are sized so the
+//! spec MILP actually branches: `milp_nodes`, `lp_dual_pivots`, and
+//! `lp_warm_starts` are all non-zero, which is what makes the report a
+//! meaningful guard for the branch-and-bound hot path.
 //!
 //! Usage: `cargo run -p raven-bench --release --bin obs -- [--out FILE]
-//! [--threads n]` (default output `BENCH_obs.json`).
+//! [--threads n] [--check BASELINE]` (default output `BENCH_obs.json`).
+//! With `--check`, the freshly measured pivot total (primal + dual) is
+//! compared against the committed baseline and the process exits non-zero
+//! on a >20% regression — wired into `scripts/tier1.sh`.
 
 use raven::{
-    verify_monotonicity, verify_uap, Method, MonotonicityProblem, RavenConfig, UapProblem,
+    verify_monotonicity, verify_targeted_uap_all, verify_uap, Method, MonotonicityProblem,
+    RavenConfig, UapProblem,
 };
 use raven_bench::models::{fc_model, uap_batches, Training};
 use raven_json::Json;
@@ -26,6 +35,8 @@ fn counters() -> Vec<(&'static str, &'static Counter)> {
     use raven_lp::metrics as lp_m;
     vec![
         ("simplex_pivots", &lp_m::SIMPLEX_PIVOTS),
+        ("lp_dual_pivots", &lp_m::LP_DUAL_PIVOTS),
+        ("lp_warm_starts", &lp_m::LP_WARM_STARTS),
         ("lp_solves", &lp_m::LP_SOLVES),
         ("presolve_rows_removed", &lp_m::PRESOLVE_ROWS_REMOVED),
         (
@@ -53,15 +64,30 @@ fn counters() -> Vec<(&'static str, &'static Counter)> {
     ]
 }
 
+/// Total simplex work in a report: primal pivots plus dual (warm-start)
+/// pivots. Old baselines predate the dual counter; a missing key reads 0.
+fn pivot_total(report: &Json) -> f64 {
+    let counter = |key: &str| {
+        report
+            .get("counters")
+            .and_then(|c| c.get(key))
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0)
+    };
+    counter("simplex_pivots") + counter("lp_dual_pivots")
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let threads = raven_bench::threads_arg(&args);
-    let out = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_obs.json".to_string());
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out = flag("--out").unwrap_or_else(|| "BENCH_obs.json".to_string());
+    let check = flag("--check");
 
     // Phase timings need the clock-reading side of telemetry.
     raven_obs::set_enabled(true);
@@ -75,9 +101,11 @@ fn main() {
     let before: Vec<u64> = counters().iter().map(|(_, c)| c.get()).collect();
     let start = Instant::now();
 
-    // Fixed workload: two relational UAP batches (k=3) at a moderate ε,
-    // plus one LP-tier monotonicity query — covers DeepPoly, DiffPoly,
-    // the relational LP, and (when the spec needs it) the MILP.
+    // Fixed workload, three parts:
+    //
+    // 1. Two relational UAP batches (k=3) at a moderate ε — covers
+    //    DeepPoly, DiffPoly, and the relational LP, usually without
+    //    indicators.
     let eps = 0.03;
     for (inputs, labels) in uap_batches(&model, 3, 2) {
         let problem = UapProblem {
@@ -88,6 +116,22 @@ fn main() {
         };
         let _ = verify_uap(&problem, Method::Raven, &config);
     }
+    // 2. One high-ε batch (k=4) where individual robustness fails: the
+    //    spec MILP branches, exercising the dual-simplex warm starts on
+    //    the B&B hot path, plus the per-label targeted queries that share
+    //    one relaxation encoding and one basis cache across all labels.
+    let hot_eps = 0.45;
+    let (inputs, labels) = uap_batches(&model, 4, 3).swap_remove(2);
+    let hot = UapProblem {
+        plan: plan.clone(),
+        inputs,
+        labels,
+        eps: hot_eps,
+    };
+    let _ = verify_uap(&hot, Method::Raven, &config);
+    let all_labels: Vec<usize> = (0..plan.output_dim()).collect();
+    let _ = verify_targeted_uap_all(&hot, &all_labels, Method::Raven, &config);
+    // 3. One LP-tier monotonicity query.
     let dim = plan.input_dim();
     let odim = plan.output_dim();
     let mut weights = vec![0.0; odim];
@@ -130,6 +174,9 @@ fn main() {
                 ("uap_batches", Json::from(2usize)),
                 ("k", Json::from(3usize)),
                 ("eps", Json::from(eps)),
+                ("hot_eps", Json::from(hot_eps)),
+                ("hot_k", Json::from(4usize)),
+                ("targeted_labels", Json::from(odim)),
                 ("mono_queries", Json::from(1usize)),
                 ("threads", Json::from(threads)),
             ]),
@@ -140,4 +187,22 @@ fn main() {
     ]);
     std::fs::write(&out, format!("{report}\n")).expect("write report");
     println!("wrote {out} ({wall_millis:.0} ms workload)");
+
+    if let Some(baseline_path) = check {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        let baseline = Json::parse(&text).expect("baseline parses");
+        let base = pivot_total(&baseline);
+        let now = pivot_total(&report);
+        let limit = base * 1.2;
+        println!("pivot check: measured {now:.0} vs baseline {base:.0} (limit {limit:.0})");
+        if now > limit {
+            eprintln!(
+                "FAIL: total pivots regressed by more than 20% \
+                 ({now:.0} > {limit:.0}); rerun with --out to refresh the \
+                 baseline if the regression is intentional"
+            );
+            std::process::exit(1);
+        }
+    }
 }

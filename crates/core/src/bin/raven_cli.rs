@@ -143,6 +143,11 @@ fn print_stats() {
     eprintln!("--- run stats ---------------------------------");
     eprintln!("simplex pivots     : {}", lp_m::SIMPLEX_PIVOTS.get());
     eprintln!(
+        "warm starts        : {} ({} dual pivots)",
+        lp_m::LP_WARM_STARTS.get(),
+        lp_m::LP_DUAL_PIVOTS.get()
+    );
+    eprintln!(
         "lp solves          : {} ({:.1} ms total)",
         lp_m::LP_SOLVES.get(),
         1e3 * lp_m::LP_SOLVE_SECONDS.sum()

@@ -63,6 +63,6 @@ pub use monotonicity::{
 pub use relational::{InputCoord, OutputQuery, RelationalBound, RelationalProblem};
 pub use tier::{Tier, TierMillis};
 pub use uap::{
-    replay_uap_delta, verify_targeted_uap, verify_uap, verify_uap_l1, verify_uap_with_hooks,
-    TargetedUapProblem, TargetedUapResult, UapProblem, UapResult,
+    replay_uap_delta, verify_targeted_uap, verify_targeted_uap_all, verify_uap, verify_uap_l1,
+    verify_uap_with_hooks, TargetedUapProblem, TargetedUapResult, UapProblem, UapResult,
 };

@@ -15,7 +15,9 @@ use crate::tier::{Tier, TierMillis};
 use raven_deeppoly::DeepPolyAnalysis;
 use raven_diffpoly::DiffPolyAnalysis;
 use raven_interval::{linf_ball, Interval};
-use raven_lp::{Budget, Direction, LinExpr, LpError, LpProblem, Sense, SolveStatus, VarId};
+use raven_lp::{
+    BasisCache, Budget, Direction, LinExpr, LpError, LpProblem, Sense, SolveStatus, VarId,
+};
 use raven_nn::AnalysisPlan;
 use std::time::Instant;
 
@@ -444,7 +446,13 @@ fn verify_uap_io(
     }
     let analysis_millis = start.elapsed().as_secs_f64() * 1e3;
     lp.set_objective(Direction::Maximize, objective);
-    let spec = solve_spec_with_witness(&lp, config, &d_vars, &hooks.lp_budget());
+    let spec = solve_spec_with_witness(
+        &lp,
+        config,
+        &d_vars,
+        &hooks.lp_budget(),
+        &mut BasisCache::new(),
+    );
     if hooks.cancelled() {
         return None;
     }
@@ -606,7 +614,13 @@ fn verify_uap_lp(
     // Solve: MILP when configured, degrading down the ladder (anytime MILP
     // bound → LP relaxation → union bound) when the budget runs out; every
     // rung only over-counts misclassifications, so the result stays sound.
-    let spec = solve_spec_with_witness(&lp, config, &d_vars, &hooks.lp_budget());
+    let spec = solve_spec_with_witness(
+        &lp,
+        config,
+        &d_vars,
+        &hooks.lp_budget(),
+        &mut BasisCache::new(),
+    );
     if hooks.cancelled() {
         return None;
     }
@@ -672,53 +686,84 @@ pub fn verify_targeted_uap(
     method: Method,
     config: &RavenConfig,
 ) -> TargetedUapResult {
-    let base = &problem.base;
+    verify_targeted_uap_all(&problem.base, &[problem.target], method, config)
+        .pop()
+        .expect("one target in, one result out")
+}
+
+/// Verifies one targeted UAP instance per entry of `targets`, sharing all
+/// target-independent work across them: the per-input margin analyses, the
+/// DeepPoly/DiffPoly passes, and the relational network encoding are
+/// computed once; each target then appends only its own indicator
+/// variables and rows to a clone of the shared relaxation. The per-label
+/// MILPs also share one basis cache, so each solve after the first
+/// warm-starts from the previous root basis (the relaxation prefix is
+/// identical across targets).
+///
+/// Results are returned in `targets` order and are identical to calling
+/// [`verify_targeted_uap`] per target (basis reuse is a pure accelerator).
+///
+/// # Panics
+///
+/// Panics on inconsistent shapes or an out-of-range target class.
+pub fn verify_targeted_uap_all(
+    base: &UapProblem,
+    targets: &[usize],
+    method: Method,
+    config: &RavenConfig,
+) -> Vec<TargetedUapResult> {
     let out_dim = base.plan.output_dim();
-    assert!(problem.target < out_dim, "target class out of range");
+    for &t in targets {
+        assert!(t < out_dim, "target class out of range");
+    }
     assert_eq!(base.inputs.len(), base.labels.len(), "length mismatch");
     let start = Instant::now();
-    // Executions that could possibly be forced: margin to the target class
-    // not provably positive. The per-input margin analyses are independent
-    // and fan out across workers; the vulnerable list is assembled from the
-    // ordered results, so it is identical for any thread count.
-    let forcible = crate::par::map_range(config.threads, base.inputs.len(), |i| {
+    // Per-input margins against *all* other classes, computed once: the
+    // analyses are target-independent, only the row lookup differs per
+    // target. Independent per input, so they fan out across workers; the
+    // vulnerable lists are assembled from the ordered results, so they are
+    // identical for any thread count.
+    let margins: Vec<Vec<f64>> = crate::par::map_range(config.threads, base.inputs.len(), |i| {
         let y = base.labels[i];
-        if y == problem.target {
-            return false;
-        }
         let ball = linf_ball(&base.inputs[i], base.eps, f64::NEG_INFINITY, f64::INFINITY);
-        let margins = match method {
+        match method {
             Method::Box => box_margins(&base.plan, &ball, y),
             Method::ZonotopeIndividual => zonotope_margins(&base.plan, &ball, y),
             _ => deeppoly_margins(&base.plan, &ball, y),
-        };
-        // Margin row index of the target class within the label-y ordering.
-        let row = if problem.target < y {
-            problem.target
-        } else {
-            problem.target - 1
-        };
-        margins[row] <= 0.0
+        }
     });
-    let vulnerable: Vec<usize> = forcible
-        .iter()
-        .enumerate()
-        .filter_map(|(i, &v)| v.then_some(i))
-        .collect();
-    if matches!(
-        method,
-        Method::Box | Method::ZonotopeIndividual | Method::DeepPolyIndividual
-    ) || vulnerable.is_empty()
-    {
-        return TargetedUapResult {
-            method,
-            max_forced: vulnerable.len() as f64,
-            solve_millis: start.elapsed().as_secs_f64() * 1e3,
-            exact: true,
-        };
+    // Executions that could possibly be forced into `target`: margin to the
+    // target class not provably positive (inputs already labelled `target`
+    // are excluded — forcing them is vacuous).
+    let vulnerable_for = |target: usize| -> Vec<usize> {
+        (0..base.inputs.len())
+            .filter(|&i| {
+                let y = base.labels[i];
+                if y == target {
+                    return false;
+                }
+                // Margin row index of the target class within the label-y
+                // ordering.
+                let row = if target < y { target } else { target - 1 };
+                margins[i][row] <= 0.0
+            })
+            .collect()
+    };
+    let relational = matches!(method, Method::IoLp | Method::Raven);
+    let needs_lp = relational && targets.iter().any(|&t| !vulnerable_for(t).is_empty());
+    if !needs_lp {
+        return targets
+            .iter()
+            .map(|&t| TargetedUapResult {
+                method,
+                max_forced: vulnerable_for(t).len() as f64,
+                solve_millis: start.elapsed().as_secs_f64() * 1e3,
+                exact: true,
+            })
+            .collect();
     }
-    // Relational LP: shared perturbation + per-exec encodings + indicator
-    // variables only for the target class.
+    // Relational LP: shared perturbation + per-exec encodings, built once;
+    // indicator variables are per target.
     let dps: Vec<DeepPolyAnalysis> = crate::par::map(config.threads, &base.inputs, |z| {
         let ball = linf_ball(z, base.eps, f64::NEG_INFINITY, f64::INFINITY);
         DeepPolyAnalysis::run(&base.plan, &ball)
@@ -740,9 +785,9 @@ pub fn verify_targeted_uap(
                 DiffPolyAnalysis::run(&base.plan, &dps[a], &dps[b], &delta),
             )
         });
-    let mut lp = LpProblem::new();
+    let mut shared = LpProblem::new();
     let d_vars: Vec<VarId> = (0..base.plan.input_dim())
-        .map(|_| lp.add_var(-base.eps, base.eps))
+        .map(|_| shared.add_var(-base.eps, base.eps))
         .collect();
     let input_exprs: Vec<Vec<Expr>> = base
         .inputs
@@ -757,35 +802,54 @@ pub fn verify_targeted_uap(
     let dp_refs: Vec<&DeepPolyAnalysis> = dps.iter().collect();
     let pair_refs: Vec<(usize, usize, &DiffPolyAnalysis)> =
         diffs.iter().map(|(a, b, d)| (*a, *b, d)).collect();
-    let encoding = encode(&mut lp, &base.plan, &input_exprs, &dp_refs, &pair_refs);
-    let mut objective = LinExpr::new();
-    for &i in &vulnerable {
-        let y = base.labels[i];
-        let outs = &encoding.execs[i].outputs;
-        let z_i = lp.add_binary_var();
-        objective.push(1.0, z_i);
-        // z = 1 requires o_target ≥ o_y.
-        let big_m =
-            (dps[i].output()[y].hi() - dps[i].output()[problem.target].lo()).max(0.0) + 1e-6;
-        let row = LinExpr::new()
-            .term(1.0, outs[y])
-            .term(-1.0, outs[problem.target])
-            .term(big_m, z_i);
-        lp.add_constraint(row, Sense::Le, big_m);
-    }
-    lp.set_objective(Direction::Maximize, objective);
-    let (bound, exact) = solve_spec(&lp, config);
-    TargetedUapResult {
-        method,
-        max_forced: bound.clamp(0.0, vulnerable.len() as f64),
-        solve_millis: start.elapsed().as_secs_f64() * 1e3,
-        exact,
-    }
+    let encoding = encode(&mut shared, &base.plan, &input_exprs, &dp_refs, &pair_refs);
+    // One basis cache across every per-label MILP: the shared relaxation is
+    // a common prefix of each target's problem, so a root basis from one
+    // target prefix-extends into the next (stale bases cold-start).
+    let mut cache = BasisCache::new();
+    targets
+        .iter()
+        .map(|&target| {
+            let vulnerable = vulnerable_for(target);
+            if vulnerable.is_empty() {
+                return TargetedUapResult {
+                    method,
+                    max_forced: 0.0,
+                    solve_millis: start.elapsed().as_secs_f64() * 1e3,
+                    exact: true,
+                };
+            }
+            let mut lp = shared.clone();
+            let mut objective = LinExpr::new();
+            for &i in &vulnerable {
+                let y = base.labels[i];
+                let outs = &encoding.execs[i].outputs;
+                let z_i = lp.add_binary_var();
+                objective.push(1.0, z_i);
+                // z = 1 requires o_target ≥ o_y.
+                let big_m =
+                    (dps[i].output()[y].hi() - dps[i].output()[target].lo()).max(0.0) + 1e-6;
+                let row = LinExpr::new()
+                    .term(1.0, outs[y])
+                    .term(-1.0, outs[target])
+                    .term(big_m, z_i);
+                lp.add_constraint(row, Sense::Le, big_m);
+            }
+            lp.set_objective(Direction::Maximize, objective);
+            let (bound, exact) = solve_spec(&lp, config, &mut cache);
+            TargetedUapResult {
+                method,
+                max_forced: bound.clamp(0.0, vulnerable.len() as f64),
+                solve_millis: start.elapsed().as_secs_f64() * 1e3,
+                exact,
+            }
+        })
+        .collect()
 }
 
 /// Solves the counting spec, returning `(bound, exact)`.
-fn solve_spec(lp: &LpProblem, config: &RavenConfig) -> (f64, bool) {
-    let spec = solve_spec_with_witness(lp, config, &[], &Budget::unlimited());
+fn solve_spec(lp: &LpProblem, config: &RavenConfig, cache: &mut BasisCache) -> (f64, bool) {
+    let spec = solve_spec_with_witness(lp, config, &[], &Budget::unlimited(), cache);
     (spec.bound, spec.exact)
 }
 
@@ -816,11 +880,17 @@ struct SpecSolve {
 /// mid-search but the bound is sound) → LP relaxation → ∞ (caller clamps
 /// to the union bound). Each rung is a sound over-approximation of the
 /// adversary, so degradation never costs soundness, only tightness.
+///
+/// `cache` carries an optimal basis between related MILP solves (branch &
+/// bound warm-starts its root from it and deposits its own root basis
+/// back); pass a fresh [`BasisCache`] when there is no related prior
+/// solve.
 fn solve_spec_with_witness(
     lp: &LpProblem,
     config: &RavenConfig,
     witness_vars: &[VarId],
     budget: &Budget<'_>,
+    cache: &mut BasisCache,
 ) -> SpecSolve {
     let extract = |sol: &raven_lp::Solution| {
         (!witness_vars.is_empty() && !sol.values.is_empty())
@@ -830,7 +900,7 @@ fn solve_spec_with_witness(
     let mut degraded = false;
     if config.spec_milp {
         let t0 = Instant::now();
-        let res = lp.solve_milp_with_budget(&config.milp, budget);
+        let res = lp.solve_milp_cached(&config.milp, budget, cache);
         milp_millis = t0.elapsed().as_secs_f64() * 1e3;
         match res {
             Ok(sol) if sol.status == SolveStatus::Optimal => {
@@ -1153,5 +1223,85 @@ mod tests {
         );
         assert!(lp.worst_case_accuracy <= milp.worst_case_accuracy + 1e-7);
         assert!(!lp.exact || lp.worst_case_accuracy == 1.0);
+    }
+
+    #[test]
+    fn warm_starts_never_change_the_verdict_bytes() {
+        // Warm-started node relaxations are a pure accelerator. Two
+        // guarantees, tested at an eps where the MILP actually branches:
+        //
+        // * for a fixed config the rendered verdict JSON is byte-identical
+        //   at any thread count (the solve is sequential; threads only fan
+        //   out the analyses);
+        // * toggling warm starts changes no verdict field except possibly
+        //   `counterexample_delta` — alternate optimal vertices are equally
+        //   valid attack candidates, but the certified bound, tier, and
+        //   exactness must agree to the last bit.
+        let (problem, _) = trained_problem(0.12, 4);
+        let verdict = |warm_start: bool, threads: usize| {
+            let config = RavenConfig {
+                threads,
+                milp: raven_lp::MilpOptions {
+                    warm_start,
+                    ..raven_lp::MilpOptions::default()
+                },
+                ..RavenConfig::default()
+            };
+            let res = verify_uap(&problem, Method::Raven, &config);
+            crate::report::uap_verdict_json(problem.k(), problem.eps, &res).to_string()
+        };
+        let warm = verdict(true, 1);
+        let cold = verdict(false, 1);
+        for threads in [2, 4] {
+            assert_eq!(warm, verdict(true, threads), "warm diverged at {threads}");
+            assert_eq!(cold, verdict(false, threads), "cold diverged at {threads}");
+        }
+        let strip_witness = |v: &str| {
+            let json = raven_json::Json::parse(v).expect("verdict parses");
+            [
+                "verified",
+                "worst_case_accuracy",
+                "worst_case_hamming",
+                "individually_verified",
+                "exact",
+                "tier",
+                "degraded",
+                "lp_rows",
+                "lp_vars",
+            ]
+            .iter()
+            .map(|k| json.get(k).expect("field present").to_string())
+            .collect::<Vec<_>>()
+        };
+        assert_eq!(strip_witness(&warm), strip_witness(&cold));
+    }
+
+    #[test]
+    fn targeted_all_matches_independent_per_target_runs() {
+        // The batched per-label entry point shares analyses, encoding, and
+        // a basis cache across targets; its bounds must match the
+        // independent single-target calls exactly.
+        let (problem, _) = trained_problem(0.1, 3);
+        let config = RavenConfig::default();
+        let all = verify_targeted_uap_all(&problem, &[0, 1, 2], Method::Raven, &config);
+        assert_eq!(all.len(), 3);
+        for (target, batched) in all.iter().enumerate() {
+            let single = verify_targeted_uap(
+                &TargetedUapProblem {
+                    base: problem.clone(),
+                    target,
+                },
+                Method::Raven,
+                &config,
+            );
+            assert_eq!(batched.method, single.method);
+            assert_eq!(batched.exact, single.exact, "target {target}");
+            assert!(
+                (batched.max_forced - single.max_forced).abs() < 1e-9,
+                "target {target}: batched {} vs single {}",
+                batched.max_forced,
+                single.max_forced
+            );
+        }
     }
 }

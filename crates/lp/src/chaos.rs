@@ -27,6 +27,10 @@ static PIVOT_STALL_MICROS: AtomicU64 = AtomicU64::new(0);
 #[cfg(any(debug_assertions, feature = "chaos"))]
 static DEADLINE_BLACKOUT: AtomicBool = AtomicBool::new(false);
 
+/// Countdown to a forced-Unbounded LP solve; `u64::MAX` means disarmed.
+#[cfg(any(debug_assertions, feature = "chaos"))]
+static FORCE_UNBOUNDED_AFTER: AtomicU64 = AtomicU64::new(u64::MAX);
+
 /// Makes every subsequent simplex pivot sleep for `micros` microseconds
 /// (0 clears the stall). No-op in release builds without the `chaos`
 /// feature.
@@ -60,10 +64,49 @@ pub(crate) fn deadline_blackout() -> bool {
     }
 }
 
+/// Arms a one-shot fault that makes an upcoming LP solve report
+/// `Unbounded` without running the simplex: the fault fires on the solve
+/// after skipping `solves` of them (0 = the very next solve), then
+/// disarms itself. `u64::MAX` disarms immediately.
+///
+/// Unbounded *child* relaxations are mathematically unreachable when
+/// branching only tightens bounds (a child's recession cone is contained
+/// in its parent's), so this is the only way to regression-test how
+/// branch & bound reacts to one. No-op in release builds without the
+/// `chaos` feature.
+pub fn set_force_unbounded_after(solves: u64) {
+    #[cfg(any(debug_assertions, feature = "chaos"))]
+    FORCE_UNBOUNDED_AFTER.store(solves, Ordering::SeqCst);
+    #[cfg(not(any(debug_assertions, feature = "chaos")))]
+    let _ = solves;
+}
+
+/// Called at every LP solve entry; counts down the armed fault and reports
+/// whether this solve must pretend to be unbounded.
+#[inline]
+pub(crate) fn take_forced_unbounded() -> bool {
+    #[cfg(any(debug_assertions, feature = "chaos"))]
+    {
+        let fired = FORCE_UNBOUNDED_AFTER.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
+            match v {
+                u64::MAX => None,    // disarmed
+                0 => Some(u64::MAX), // fire and disarm
+                n => Some(n - 1),    // keep counting down
+            }
+        });
+        matches!(fired, Ok(0))
+    }
+    #[cfg(not(any(debug_assertions, feature = "chaos")))]
+    {
+        false
+    }
+}
+
 /// Clears all injected solver faults.
 pub fn clear() {
     set_pivot_stall_micros(0);
     set_deadline_blackout(false);
+    set_force_unbounded_after(u64::MAX);
 }
 
 /// Called once per simplex pivot iteration; sleeps when a stall is injected.

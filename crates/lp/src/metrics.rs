@@ -21,6 +21,12 @@ pub static PRESOLVE_ROWS_REMOVED: Counter = Counter::new();
 pub static PRESOLVE_BOUNDS_TIGHTENED: Counter = Counter::new();
 /// LP solves aborted by deadline/cancel (no sound partial bound).
 pub static LP_BUDGET_EXHAUSTED: Counter = Counter::new();
+/// LP solves that accepted a warm-start basis (dual- or primal-feasible
+/// seed) instead of a two-phase cold start.
+pub static LP_WARM_STARTS: Counter = Counter::new();
+/// Dual-simplex pivot iterations (warm-started solves only; cold-start
+/// pivots are counted by `SIMPLEX_PIVOTS`).
+pub static LP_DUAL_PIVOTS: Counter = Counter::new();
 /// Branch-&-bound nodes whose relaxation was solved.
 pub static MILP_NODES: Counter = Counter::new();
 /// Nodes discarded without branching (empty domain, infeasible
@@ -33,7 +39,7 @@ pub static MILP_INCUMBENT_UPDATES: Counter = Counter::new();
 pub static MILP_BUDGET_EXHAUSTED: Counter = Counter::new();
 
 /// Exposition table for this crate, in stable scrape order.
-pub static DESCS: [Desc; 10] = [
+pub static DESCS: [Desc; 12] = [
     Desc {
         name: "raven_lp_simplex_pivots_total",
         help: "Simplex pivot iterations across all LP solves.",
@@ -69,6 +75,18 @@ pub static DESCS: [Desc; 10] = [
         help: "LP solves aborted by deadline or cancellation.",
         labels: "",
         metric: MetricRef::Counter(&LP_BUDGET_EXHAUSTED),
+    },
+    Desc {
+        name: "raven_lp_warm_starts_total",
+        help: "LP solves that accepted a warm-start basis instead of a cold start.",
+        labels: "",
+        metric: MetricRef::Counter(&LP_WARM_STARTS),
+    },
+    Desc {
+        name: "raven_lp_dual_pivots_total",
+        help: "Dual-simplex pivot iterations across warm-started LP solves.",
+        labels: "",
+        metric: MetricRef::Counter(&LP_DUAL_PIVOTS),
     },
     Desc {
         name: "raven_lp_milp_nodes_total",

@@ -6,7 +6,9 @@
 //! search tree therefore stays tiny (≤ 2^k nodes), matching the paper's
 //! scalable MILP configuration.
 
+use crate::simplex::{Basis, BasisCache};
 use crate::{Budget, LpError, LpProblem, SimplexOptions, Solution, SolveStatus};
+use std::rc::Rc;
 
 /// Options for [`LpProblem::solve_milp_with`].
 #[derive(Debug, Clone, PartialEq)]
@@ -17,6 +19,11 @@ pub struct MilpOptions {
     pub max_nodes: usize,
     /// Integrality tolerance.
     pub int_tol: f64,
+    /// Warm-start each node's relaxation from its parent's optimal basis
+    /// with the dual simplex (bound changes keep the parent basis
+    /// dual-feasible). Purely an accelerator: stale bases fall back to a
+    /// cold start, so results are identical either way.
+    pub warm_start: bool,
 }
 
 impl Default for MilpOptions {
@@ -25,6 +32,7 @@ impl Default for MilpOptions {
             simplex: SimplexOptions::default(),
             max_nodes: 10_000,
             int_tol: 1e-6,
+            warm_start: true,
         }
     }
 }
@@ -36,6 +44,9 @@ struct Node {
     /// node (infinite in the optimistic direction at the root, where no
     /// relaxation has been solved yet).
     bound: f64,
+    /// Closest ancestor's optimal basis, shared across siblings; the dual
+    /// simplex starts from it when warm starts are on.
+    warm: Option<Rc<Basis>>,
 }
 
 /// The anytime result when budget or node limit stops the search: the
@@ -75,6 +86,19 @@ pub(crate) fn solve(
     opts: &MilpOptions,
     budget: &Budget<'_>,
 ) -> Result<Solution, LpError> {
+    solve_with_cache(problem, opts, budget, &mut BasisCache::new())
+}
+
+/// [`solve`] plus a caller-held [`BasisCache`]: the root relaxation seeds
+/// from the cache and the final root basis is stored back, so a sequence
+/// of related MILPs (for example the per-label encodings that share one
+/// relaxation) warm-start each other.
+pub(crate) fn solve_with_cache(
+    problem: &LpProblem,
+    opts: &MilpOptions,
+    budget: &Budget<'_>,
+    cache: &mut BasisCache,
+) -> Result<Solution, LpError> {
     let int_vars: Vec<usize> = problem
         .integer
         .iter()
@@ -90,11 +114,35 @@ pub(crate) fn solve(
     } else {
         f64::INFINITY
     };
+    // One shared node state for the whole tree: each node intersects its
+    // branch's bound fixes in, solves, and undoes them — replacing the
+    // per-node full-problem clone the loop used to pay.
+    let mut work = problem.clone();
+    if opts.warm_start && opts.simplex.presolve_rounds > 0 && !work.rows.is_empty() {
+        // Warm starts need every node to share one row/variable layout, so
+        // presolve once against the root bounds instead of per node inside
+        // `solve()`. Root reductions stay valid down the tree: branching
+        // only shrinks the feasible set, so implied rows stay implied and
+        // tightened bounds stay correct.
+        let report =
+            crate::presolve::presolve(&mut work, opts.simplex.presolve_rounds, opts.simplex.tol);
+        crate::metrics::PRESOLVE_ROWS_REMOVED.add(report.removed_rows as u64);
+        crate::metrics::PRESOLVE_BOUNDS_TIGHTENED.add(report.tightened_bounds as u64);
+        if report.infeasible {
+            return Ok(Solution {
+                status: SolveStatus::Infeasible,
+                objective: 0.0,
+                values: Vec::new(),
+                duals: Vec::new(),
+            });
+        }
+    }
     // Best-known integral solution.
     let mut incumbent: Option<Solution> = None;
     let mut stack = vec![Node {
         fixes: Vec::new(),
         bound: root_bound,
+        warm: cache.basis.clone().map(Rc::new),
     }];
     let mut nodes = 0usize;
     while let Some(node) = stack.pop() {
@@ -107,26 +155,41 @@ pub(crate) fn solve(
         }
         nodes += 1;
         crate::metrics::MILP_NODES.inc();
-        let mut sub = problem.clone();
+        // Intersect this branch's fixes into the shared bounds, remembering
+        // the previous values for the undo below.
+        let mut undo: Vec<(usize, (f64, f64))> = Vec::with_capacity(node.fixes.len());
+        let mut empty = false;
         for &(v, lo, hi) in &node.fixes {
-            let (cur_lo, cur_hi) = sub.bounds[v];
+            let (cur_lo, cur_hi) = work.bounds[v];
+            undo.push((v, (cur_lo, cur_hi)));
             let new_lo = cur_lo.max(lo);
             let new_hi = cur_hi.min(hi);
             if new_lo > new_hi {
-                // Empty domain: prune.
-                sub.bounds[v] = (0.0, -1.0);
-            } else {
-                sub.bounds[v] = (new_lo, new_hi);
+                empty = true;
+                break;
             }
+            work.bounds[v] = (new_lo, new_hi);
         }
-        if sub.bounds.iter().any(|&(lo, hi)| lo > hi) {
+        if empty {
+            for &(v, b) in undo.iter().rev() {
+                work.bounds[v] = b;
+            }
             crate::metrics::MILP_NODES_PRUNED.inc();
             continue;
         }
         // Propagate solver failures: silently pruning a node whose
         // relaxation did not solve would under-estimate a maximization
         // objective and make verification results unsound.
-        let relax = match sub.solve_with_budget(&opts.simplex, budget) {
+        let solved = if opts.warm_start {
+            crate::simplex::solve_reuse(&work, &opts.simplex, budget, node.warm.as_deref())
+        } else {
+            work.solve_with_budget(&opts.simplex, budget)
+                .map(|s| (s, None))
+        };
+        for &(v, b) in undo.iter().rev() {
+            work.bounds[v] = b;
+        }
+        let (relax, relax_basis) = match solved {
             Ok(r) => r,
             Err(LpError::BudgetExceeded) => {
                 // The budget died inside this node's relaxation: the node
@@ -142,13 +205,14 @@ pub(crate) fn solve(
                 continue;
             }
             SolveStatus::Unbounded => {
-                // An unbounded relaxation at the root means the MILP is
-                // unbounded or infeasible; report unbounded conservatively.
-                if node.fixes.is_empty() {
-                    return Ok(relax);
-                }
-                crate::metrics::MILP_NODES_PRUNED.inc();
-                continue;
+                // Sound propagation from *any* node, not just the root: an
+                // unbounded ray of a child relaxation is a ray of every
+                // ancestor (bound fixes only shrink the recession cone's
+                // domain sideways, never add directions), so the MILP's
+                // objective is unbounded or its constraints infeasible —
+                // either way, pruning the node as "infeasible" would
+                // under-report a maximization bound.
+                return Ok(relax);
             }
             SolveStatus::Optimal => {}
             // A pure-LP relaxation never reports BudgetExceeded (the
@@ -159,6 +223,17 @@ pub(crate) fn solve(
                 return Ok(anytime_solution(minimize, &stack, &incumbent));
             }
         }
+        // Remember the root's optimal basis for the caller's next related
+        // solve (per-label encodings sharing one relaxation).
+        if node.fixes.is_empty() {
+            if let Some(b) = &relax_basis {
+                cache.basis = Some(b.clone());
+            }
+        }
+        // Children start the dual simplex from this node's optimal basis;
+        // when the solve came back basis-less (cold fallback ended with an
+        // artificial still basic), they inherit the nearest ancestor's.
+        let child_warm = relax_basis.map(Rc::new).or_else(|| node.warm.clone());
         // Bound pruning.
         if let Some(best) = &incumbent {
             let worse = if minimize {
@@ -212,12 +287,22 @@ pub(crate) fn solve(
                 // worsen the optimum).
                 let bound = relax.objective;
                 // Explore the side nearest the fractional value first.
+                let up = Node {
+                    fixes: up,
+                    bound,
+                    warm: child_warm.clone(),
+                };
+                let down = Node {
+                    fixes: down,
+                    bound,
+                    warm: child_warm,
+                };
                 if x - floor < 0.5 {
-                    stack.push(Node { fixes: up, bound });
-                    stack.push(Node { fixes: down, bound });
+                    stack.push(up);
+                    stack.push(down);
                 } else {
-                    stack.push(Node { fixes: down, bound });
-                    stack.push(Node { fixes: up, bound });
+                    stack.push(down);
+                    stack.push(up);
                 }
             }
         }
@@ -379,6 +464,51 @@ mod tests {
             .unwrap();
         assert!(budgeted.is_optimal());
         assert!((budgeted.objective - exact.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_start_off_matches_warm_start_on() {
+        let p = knapsack();
+        let warm = p.solve_milp().unwrap();
+        let cold = p
+            .solve_milp_with(&MilpOptions {
+                warm_start: false,
+                ..MilpOptions::default()
+            })
+            .unwrap();
+        assert_eq!(warm.status, cold.status);
+        assert!(
+            (warm.objective - cold.objective).abs() < 1e-9,
+            "warm {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
+        assert_eq!(warm.values, cold.values);
+    }
+
+    #[test]
+    fn basis_cache_reuses_across_related_solves() {
+        // Two MILP solves on the same model through one cache: the second
+        // must return the identical result while seeding from the first's
+        // root basis (counter deltas are ≥-asserted because unrelated
+        // parallel tests also warm-start).
+        let p = knapsack();
+        let budget = Budget::unlimited();
+        let mut cache = crate::BasisCache::new();
+        let first = p
+            .solve_milp_cached(&MilpOptions::default(), &budget, &mut cache)
+            .unwrap();
+        assert!(first.is_optimal());
+        assert!(cache.is_warm(), "root basis must be cached");
+        let before = crate::metrics::LP_WARM_STARTS.get();
+        let second = p
+            .solve_milp_cached(&MilpOptions::default(), &budget, &mut cache)
+            .unwrap();
+        assert_eq!(first, second);
+        assert!(
+            crate::metrics::LP_WARM_STARTS.get() > before,
+            "cached solve must warm-start at least its root"
+        );
     }
 
     #[test]

@@ -151,10 +151,12 @@ pub struct Solution {
     pub values: Vec<f64>,
     /// Row duals (shadow prices): `duals[i]` is the rate of change of the
     /// optimal objective per unit increase of row `i`'s right-hand side, in
-    /// the *user's* optimization orientation. Reported only when the solve
-    /// was optimal **and** the row set was not altered by presolve (set
-    /// `SimplexOptions::presolve_rounds = 0` to guarantee alignment); empty
-    /// for MILP solves, where duals are not well-defined across branching.
+    /// the *user's* optimization orientation. Whenever the status is
+    /// [`SolveStatus::Optimal`] this has exactly one entry per constraint
+    /// row, in the order the rows were added — rows dropped by presolve get
+    /// their duals mapped back (removed redundant rows are slack at the
+    /// optimum and report 0). Empty for MILP solves, where duals are not
+    /// well-defined across branching.
     pub duals: Vec<f64>,
 }
 
@@ -363,6 +365,27 @@ impl LpProblem {
         budget: &crate::Budget<'_>,
     ) -> Result<Solution, LpError> {
         crate::milp::solve(self, options, budget)
+    }
+
+    /// [`solve_milp_with_budget`](LpProblem::solve_milp_with_budget) with a
+    /// caller-held [`BasisCache`](crate::BasisCache): the root relaxation
+    /// warm-starts from the cached basis of a previous related solve (same
+    /// or extended variable/row layout — e.g. the per-label encodings that
+    /// share one relaxation) and the cache is refreshed with this solve's
+    /// root basis. Purely an accelerator: a stale cache only costs the
+    /// warm attempt, never correctness.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as
+    /// [`solve_milp_with_budget`](LpProblem::solve_milp_with_budget).
+    pub fn solve_milp_cached(
+        &self,
+        options: &crate::MilpOptions,
+        budget: &crate::Budget<'_>,
+        cache: &mut crate::BasisCache,
+    ) -> Result<Solution, LpError> {
+        crate::milp::solve_with_cache(self, options, budget, cache)
     }
 
     /// Checks whether `x` satisfies every constraint and bound within `tol`.

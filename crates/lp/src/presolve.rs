@@ -20,7 +20,7 @@ use crate::model::Row;
 use crate::{LpProblem, Sense};
 
 /// Outcome of a presolve pass.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct PresolveReport {
     /// Rows removed (singleton or redundant).
     pub removed_rows: usize,
@@ -28,6 +28,30 @@ pub struct PresolveReport {
     pub tightened_bounds: usize,
     /// Whether presolve proved the problem infeasible.
     pub infeasible: bool,
+    /// Original index of each surviving row, in order: `kept_rows[i]` is
+    /// where presolved row `i` sat in the input problem. Lets callers map
+    /// duals of the reduced problem back onto the original row set.
+    /// Unspecified when `infeasible`.
+    pub kept_rows: Vec<usize>,
+    /// Singleton rows that were converted into variable bounds, with
+    /// enough context to reconstruct their duals from reduced costs.
+    pub dropped_singletons: Vec<DroppedSingleton>,
+}
+
+/// A singleton row `coef · var ⋛ rhs` that presolve folded into `var`'s
+/// bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DroppedSingleton {
+    /// Original row index.
+    pub row: usize,
+    /// Index of the row's single variable.
+    pub var: usize,
+    /// The variable's coefficient (nonzero).
+    pub coef: f64,
+    /// The row's sense.
+    pub sense: Sense,
+    /// The row's right-hand side.
+    pub rhs: f64,
 }
 
 /// Activity range of a row over the current variable bounds.
@@ -73,18 +97,24 @@ fn tighten(
     significant
 }
 
-/// Runs presolve in place for at most `rounds` fixpoint rounds.
+/// Runs presolve in place for at most `rounds` fixpoint rounds, using the
+/// caller's feasibility tolerance `tol` (pass `SimplexOptions::tol` so
+/// presolve never declares infeasible what the simplex would accept).
 ///
 /// Integer markers and the objective are untouched; only rows and bounds
-/// change. The variable set (and therefore solution indexing) is preserved.
-pub fn presolve(problem: &mut LpProblem, rounds: usize) -> PresolveReport {
-    let tol = 1e-9;
+/// change. The variable set (and therefore solution indexing) is preserved;
+/// [`PresolveReport::kept_rows`] records where each surviving row came
+/// from.
+pub fn presolve(problem: &mut LpProblem, rounds: usize, tol: f64) -> PresolveReport {
     let mut report = PresolveReport::default();
+    // Original index of each current row, maintained across rounds.
+    let mut origin: Vec<usize> = (0..problem.rows.len()).collect();
     for _ in 0..rounds {
         let mut changed = false;
         let mut keep: Vec<Row> = Vec::with_capacity(problem.rows.len());
+        let mut keep_origin: Vec<usize> = Vec::with_capacity(origin.len());
         let rows = std::mem::take(&mut problem.rows);
-        for row in rows {
+        for (row, orig) in rows.into_iter().zip(origin.iter().copied()) {
             let terms = row.expr.terms();
             // 1. Singleton row → variable bound.
             if terms.len() == 1 {
@@ -97,6 +127,13 @@ pub fn presolve(problem: &mut LpProblem, rounds: usize) -> PresolveReport {
                         (Sense::Eq, _) => (target, target),
                     };
                     tighten(&mut problem.bounds, v.index(), lo, hi, tol, &mut report);
+                    report.dropped_singletons.push(DroppedSingleton {
+                        row: orig,
+                        var: v.index(),
+                        coef: c,
+                        sense: row.sense,
+                        rhs: row.rhs,
+                    });
                     report.removed_rows += 1;
                     changed = true;
                     if report.infeasible {
@@ -198,12 +235,15 @@ pub fn presolve(problem: &mut LpProblem, rounds: usize) -> PresolveReport {
                 }
             }
             keep.push(row);
+            keep_origin.push(orig);
         }
         problem.rows = keep;
+        origin = keep_origin;
         if !changed {
             break;
         }
     }
+    report.kept_rows = origin;
     report
 }
 
@@ -218,7 +258,7 @@ mod tests {
         let x = p.add_var(0.0, 10.0);
         p.add_constraint(LinExpr::new().term(2.0, x), Sense::Le, 4.0);
         p.add_constraint(LinExpr::new().term(1.0, x), Sense::Ge, 1.0);
-        let report = presolve(&mut p, 3);
+        let report = presolve(&mut p, 3, 1e-7);
         assert_eq!(report.removed_rows, 2);
         assert_eq!(p.num_constraints(), 0);
         assert_eq!(p.bounds[0], (1.0, 2.0));
@@ -231,7 +271,7 @@ mod tests {
         let y = p.add_var(0.0, 1.0);
         // x + y ≤ 5 is implied by the bounds.
         p.add_constraint(LinExpr::new().term(1.0, x).term(1.0, y), Sense::Le, 5.0);
-        let report = presolve(&mut p, 3);
+        let report = presolve(&mut p, 3, 1e-7);
         assert_eq!(report.removed_rows, 1);
         assert_eq!(p.num_constraints(), 0);
         assert!(!report.infeasible);
@@ -244,7 +284,7 @@ mod tests {
         let y = p.add_var(0.0, 10.0);
         // x + y ≤ 3 → both x, y ≤ 3.
         p.add_constraint(LinExpr::new().term(1.0, x).term(1.0, y), Sense::Le, 3.0);
-        let report = presolve(&mut p, 3);
+        let report = presolve(&mut p, 3, 1e-7);
         assert!(report.tightened_bounds >= 2);
         assert!(p.bounds[0].1 <= 3.0 + 1e-9);
         assert!(p.bounds[1].1 <= 3.0 + 1e-9);
@@ -255,7 +295,7 @@ mod tests {
         let mut p = LpProblem::new();
         let x = p.add_var(0.0, 1.0);
         p.add_constraint(LinExpr::new().term(1.0, x), Sense::Ge, 2.0);
-        let report = presolve(&mut p, 3);
+        let report = presolve(&mut p, 3, 1e-7);
         assert!(report.infeasible);
     }
 
@@ -265,7 +305,7 @@ mod tests {
         let x = p.add_var(0.0, 1.0);
         let y = p.add_var(0.0, 1.0);
         p.add_constraint(LinExpr::new().term(1.0, x).term(1.0, y), Sense::Ge, 3.0);
-        let report = presolve(&mut p, 3);
+        let report = presolve(&mut p, 3, 1e-7);
         assert!(report.infeasible);
     }
 
@@ -290,7 +330,7 @@ mod tests {
         );
         let baseline = p.solve().expect("solves").objective;
         let mut q = p.clone();
-        let report = presolve(&mut q, 4);
+        let report = presolve(&mut q, 4, 1e-7);
         assert!(!report.infeasible);
         let presolved = q.solve().expect("solves");
         assert_eq!(presolved.status, SolveStatus::Optimal);
@@ -304,12 +344,46 @@ mod tests {
     }
 
     #[test]
+    fn kept_rows_map_back_to_original_indices() {
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 10.0);
+        let y = p.add_var(0.0, 10.0);
+        p.add_constraint(LinExpr::new().term(1.0, x), Sense::Le, 4.0); // singleton (dropped)
+        p.add_constraint(LinExpr::new().term(1.0, x).term(2.0, y), Sense::Le, 8.0); // kept
+        p.add_constraint(LinExpr::new().term(1.0, x).term(1.0, y), Sense::Le, 500.0); // redundant
+        p.add_constraint(LinExpr::new().term(2.0, x).term(-1.0, y), Sense::Ge, -2.0); // kept
+        let report = presolve(&mut p, 3, 1e-7);
+        assert!(!report.infeasible);
+        assert_eq!(report.kept_rows.len(), p.num_constraints());
+        assert_eq!(report.kept_rows, vec![1, 3]);
+        assert_eq!(report.dropped_singletons.len(), 1);
+        let ds = &report.dropped_singletons[0];
+        assert_eq!((ds.row, ds.var), (0, 0));
+        assert_eq!((ds.coef, ds.rhs), (1.0, 4.0));
+        assert_eq!(ds.sense, Sense::Le);
+    }
+
+    #[test]
+    fn caller_tolerance_is_honoured() {
+        // A 5e-8 violation is within the simplex's 1e-7 tolerance: presolve
+        // run at that tolerance must not declare infeasibility (it used to,
+        // with its own hard-coded 1e-9).
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 1.0);
+        p.add_constraint(LinExpr::new().term(1.0, x), Sense::Ge, 1.0 + 5e-8);
+        let lenient = presolve(&mut p.clone(), 3, 1e-7);
+        assert!(!lenient.infeasible);
+        let strict = presolve(&mut p, 3, 1e-9);
+        assert!(strict.infeasible);
+    }
+
+    #[test]
     fn equality_rows_propagate_both_sides() {
         let mut p = LpProblem::new();
         let x = p.add_var(0.0, 10.0);
         let y = p.add_var(2.0, 3.0);
         p.add_constraint(LinExpr::new().term(1.0, x).term(1.0, y), Sense::Eq, 5.0);
-        presolve(&mut p, 3);
+        presolve(&mut p, 3, 1e-7);
         // x = 5 − y ∈ [2, 3].
         assert!(p.bounds[0].0 >= 2.0 - 1e-9);
         assert!(p.bounds[0].1 <= 3.0 + 1e-9);

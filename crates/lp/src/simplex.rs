@@ -16,6 +16,23 @@
 //! and periodic refactorization of the basis inverse. These are the same
 //! guarantees a floating-point Gurobi run provides the original RaVeN
 //! implementation (see `DESIGN.md`).
+//!
+//! # Warm starts
+//!
+//! Branch & bound re-solves a near-identical LP at every node: only
+//! variable bounds change between a parent and its children. Bound changes
+//! leave every reduced cost untouched, so the parent's optimal basis stays
+//! *dual*-feasible in the child and a bounded-variable **dual simplex**
+//! ([`Tableau::run_dual`]) restores primal feasibility in a handful of
+//! pivots instead of a full two-phase cold start. [`solve_reuse`] drives
+//! this: it seeds the tableau from a caller-supplied [`Basis`], runs the
+//! dual simplex when the basis is dual-feasible (or primal phase 2 alone
+//! when it is primal-feasible, the common case when rows were *appended*),
+//! and falls back to a cold start whenever the basis is stale — so results
+//! are always certified by the same optimality test as a cold solve, and
+//! warm starting can never change a verdict. The pivot row needed by the
+//! dual ratio test is assembled from sparse row storage
+//! (`Tableau::rows_struct`) rather than by scanning dense columns.
 
 use crate::{Budget, Direction, LpError, LpProblem, Sense, Solution, SolveStatus};
 
@@ -46,6 +63,70 @@ impl Default for SimplexOptions {
     }
 }
 
+/// Per-variable basis status, stripped of row assignments and values: just
+/// enough to rebuild a starting point on a problem with the same (or an
+/// extended) variable/row layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BState {
+    Basic,
+    Lower,
+    Upper,
+    Free,
+}
+
+/// A snapshot of an optimal simplex basis: the states of the `n_struct`
+/// structural variables followed by the `m` row slacks.
+///
+/// A basis taken from problem P can seed any problem P' whose first
+/// `n_struct` variables and first `m` rows *correspond* to P's (typically:
+/// identical layout with tightened bounds, or P plus appended variables
+/// and rows). Seeding with an unrelated basis is still *safe* — the warm
+/// paths certify optimality on the actual problem and fall back to a cold
+/// start when the basis does not help — it just wastes the warm attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Basis {
+    /// States of structurals `0..n_struct` then slacks `0..m`.
+    pub(crate) states: Vec<BState>,
+    pub(crate) n_struct: usize,
+    pub(crate) m: usize,
+}
+
+impl Basis {
+    /// Whether this basis can seed a problem of the given dimensions.
+    pub(crate) fn fits(&self, n_struct: usize, m: usize) -> bool {
+        self.n_struct <= n_struct && self.m <= m
+    }
+}
+
+/// Carries an optimal basis between related solves (for example the
+/// per-label MILP encodings that share one relaxation, or repeated calls
+/// on the same model).
+///
+/// Purely an accelerator: a stale or mismatched basis only costs the warm
+/// attempt, never correctness — every solve is certified by the same
+/// optimality conditions as a cold start.
+#[derive(Debug, Clone, Default)]
+pub struct BasisCache {
+    pub(crate) basis: Option<Basis>,
+}
+
+impl BasisCache {
+    /// An empty cache (first solve will be a cold start).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops the cached basis.
+    pub fn clear(&mut self) {
+        self.basis = None;
+    }
+
+    /// Whether a basis is currently cached.
+    pub fn is_warm(&self) -> bool {
+        self.basis.is_some()
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum VarState {
     Basic(usize),
@@ -70,6 +151,10 @@ struct Tableau<'a> {
     n_total: usize,
     /// Sparse columns of the structural part of `A`.
     cols: Vec<Vec<(usize, f64)>>,
+    /// Sparse rows of the structural part of `A` (`(col, coef)` per row):
+    /// the dual ratio test assembles its pivot row from these instead of
+    /// scanning every dense column.
+    rows_struct: Vec<Vec<(usize, f64)>>,
     /// Artificial columns: `(row, sign)`.
     art: Vec<(usize, f64)>,
     lower: Vec<f64>,
@@ -108,9 +193,11 @@ impl<'a> Tableau<'a> {
         let n_struct = problem.num_vars();
         let n_slack_end = n_struct + m;
         let mut cols = vec![Vec::new(); n_struct];
+        let mut rows_struct = vec![Vec::new(); m];
         for (i, row) in problem.rows.iter().enumerate() {
             for &(v, c) in row.expr.terms() {
                 cols[v.0].push((i, c));
+                rows_struct[i].push((v.0, c));
             }
         }
         let mut lower = Vec::with_capacity(n_slack_end);
@@ -238,6 +325,7 @@ impl<'a> Tableau<'a> {
             n_slack_end,
             n_total,
             cols,
+            rows_struct,
             art,
             lower,
             upper,
@@ -685,6 +773,602 @@ impl<'a> Tableau<'a> {
     fn objective_value(&self, problem: &LpProblem) -> f64 {
         problem.objective.eval(&self.x[..self.n_struct])
     }
+
+    /// Builds a tableau seeded from a previously extracted basis instead of
+    /// the all-slack cold start. Variables and rows beyond the basis prefix
+    /// get the cold-start defaults (nonbasic at nearest bound / slack
+    /// basic). `None` when the basis cannot form a full, factorizable basis
+    /// for this problem — the caller falls back to a cold start.
+    fn with_basis(
+        problem: &LpProblem,
+        opts: &'a SimplexOptions,
+        budget: &'a Budget<'a>,
+        warm: &Basis,
+    ) -> Option<Self> {
+        let m = problem.rows.len();
+        let n_struct = problem.num_vars();
+        if !warm.fits(n_struct, m) {
+            return None;
+        }
+        let n_slack_end = n_struct + m;
+        let mut cols = vec![Vec::new(); n_struct];
+        let mut rows_struct = vec![Vec::new(); m];
+        for (i, row) in problem.rows.iter().enumerate() {
+            for &(v, c) in row.expr.terms() {
+                cols[v.0].push((i, c));
+                rows_struct[i].push((v.0, c));
+            }
+        }
+        let mut lower = Vec::with_capacity(n_slack_end);
+        let mut upper = Vec::with_capacity(n_slack_end);
+        for &(lo, hi) in &problem.bounds {
+            lower.push(lo);
+            upper.push(hi);
+        }
+        for row in &problem.rows {
+            match row.sense {
+                Sense::Le => {
+                    lower.push(0.0);
+                    upper.push(f64::INFINITY);
+                }
+                Sense::Ge => {
+                    lower.push(f64::NEG_INFINITY);
+                    upper.push(0.0);
+                }
+                Sense::Eq => {
+                    lower.push(0.0);
+                    upper.push(0.0);
+                }
+            }
+        }
+        let sign = match problem.direction {
+            Direction::Minimize => 1.0,
+            Direction::Maximize => -1.0,
+        };
+        let mut cost = vec![0.0; n_slack_end];
+        for &(v, c) in problem.objective.terms() {
+            cost[v.0] += sign * c;
+        }
+        let rhs: Vec<f64> = problem.rows.iter().map(|r| r.rhs).collect();
+        let mut state = vec![VarState::NbFree; n_slack_end];
+        let mut x = vec![0.0; n_slack_end];
+        let mut basis: Vec<usize> = Vec::with_capacity(m);
+        for j in 0..n_slack_end {
+            // Warm prefix state: structurals share indices; slack i of the
+            // warm problem maps to slack i here. New rows start slack-basic
+            // (their slack absorbs the row residual), new structurals get
+            // the cold-start parking rule.
+            let warm_state = if j < n_struct {
+                (j < warm.n_struct).then(|| warm.states[j])
+            } else {
+                let i = j - n_struct;
+                if i < warm.m {
+                    Some(warm.states[warm.n_struct + i])
+                } else {
+                    Some(BState::Basic)
+                }
+            };
+            if warm_state == Some(BState::Basic) {
+                basis.push(j);
+                continue; // state assigned below once the row index is known
+            }
+            let (s, v) = park(warm_state, lower[j], upper[j]);
+            state[j] = s;
+            x[j] = v;
+        }
+        if basis.len() != m {
+            return None;
+        }
+        for (i, &var) in basis.iter().enumerate() {
+            state[var] = VarState::Basic(i);
+        }
+        let mut binv = vec![0.0; m * m];
+        for i in 0..m {
+            binv[i * m + i] = 1.0;
+        }
+        let mut tab = Self {
+            opts,
+            budget,
+            m,
+            n_struct,
+            n_slack_end,
+            n_total: n_slack_end,
+            cols,
+            rows_struct,
+            art: Vec::new(),
+            lower,
+            upper,
+            cost,
+            rhs,
+            state,
+            basis,
+            x,
+            binv,
+            pivots_since_refactor: 0,
+            stall_count: 0,
+        };
+        // A numerically singular warm basis is simply not reusable.
+        tab.refactorize().ok()?;
+        Some(tab)
+    }
+
+    /// Pivots zero-valued basic artificials out of an optimal basis so it
+    /// is expressible over structurals and slacks alone — the form
+    /// [`Tableau::extract_basis`] needs for warm-start reuse. Phase 1
+    /// routinely leaves artificials basic at level 0 on equality rows, and
+    /// such a basis would otherwise be unreusable.
+    ///
+    /// Only degeneracy-preserving swaps are taken: the entering column
+    /// must have a ~zero phase-2 reduced cost, so the multipliers — and
+    /// with them the reported duals — are unchanged, and the solution
+    /// point does not move (the leaving artificial sits at 0). An
+    /// artificial whose row admits no such column (a linearly dependent
+    /// row) is left basic; extraction then skips the basis, which only
+    /// costs the warm start, never correctness.
+    fn drive_out_artificials(&mut self) {
+        if !self.basis.iter().any(|&v| v >= self.n_slack_end) {
+            return;
+        }
+        let tol = self.opts.tol * 10.0;
+        let y = self.multipliers(Phase::Two);
+        for r in 0..self.m {
+            let leaving = self.basis[r];
+            if leaving < self.n_slack_end || self.x[leaving].abs() > tol {
+                continue;
+            }
+            // Row r of the inverse gives every candidate's pivot element
+            // cheaply: alpha_j = rho · col_j.
+            let rho = &self.binv[r * self.m..(r + 1) * self.m];
+            let mut pick: Option<(usize, f64)> = None;
+            for j in 0..self.n_slack_end {
+                if matches!(self.state[j], VarState::Basic(_)) {
+                    continue;
+                }
+                let alpha: f64 = self.col(j).map(|(i, a)| rho[i] * a).sum();
+                if alpha.abs() <= 1e-7 || self.reduced_cost(j, &y, Phase::Two).abs() > tol {
+                    continue;
+                }
+                if pick.is_none_or(|(_, best)| alpha.abs() > best) {
+                    pick = Some((j, alpha.abs()));
+                }
+            }
+            let Some((j, _)) = pick else { continue };
+            let w = self.ftran(j);
+            if w[r].abs() < 1e-10 || self.pivot(r, j, &w).is_err() {
+                continue;
+            }
+            self.state[leaving] = VarState::NbLower;
+            self.x[leaving] = 0.0;
+        }
+    }
+
+    /// Snapshot of the current basis for reuse; `None` while an artificial
+    /// is still basic (such a basis has no meaning outside this solve).
+    fn extract_basis(&self) -> Option<Basis> {
+        if self.basis.iter().any(|&v| v >= self.n_slack_end) {
+            return None;
+        }
+        let states = self.state[..self.n_slack_end]
+            .iter()
+            .map(|s| match s {
+                VarState::Basic(_) => BState::Basic,
+                VarState::NbLower => BState::Lower,
+                VarState::NbUpper => BState::Upper,
+                VarState::NbFree => BState::Free,
+            })
+            .collect();
+        Some(Basis {
+            states,
+            n_struct: self.n_struct,
+            m: self.m,
+        })
+    }
+
+    /// Whether every nonbasic reduced cost has the sign optimality
+    /// requires — the invariant the dual simplex maintains.
+    fn dual_feasible(&self) -> bool {
+        let tol = self.opts.tol * 10.0;
+        let y = self.multipliers(Phase::Two);
+        for j in 0..self.n_slack_end {
+            if matches!(self.state[j], VarState::Basic(_)) {
+                continue;
+            }
+            // Fixed variables satisfy any reduced-cost sign.
+            if self.upper[j] - self.lower[j] <= 0.0 {
+                continue;
+            }
+            let d = self.reduced_cost(j, &y, Phase::Two);
+            let ok = match self.state[j] {
+                VarState::NbLower => d >= -tol,
+                VarState::NbUpper => d <= tol,
+                VarState::NbFree => d.abs() <= tol,
+                VarState::Basic(_) => unreachable!("filtered above"),
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether every basic value sits within its bounds (nonbasics are at
+    /// bounds by construction).
+    fn primal_feasible(&self) -> bool {
+        let tol = self.opts.tol * 10.0;
+        self.basis
+            .iter()
+            .all(|&v| self.x[v] >= self.lower[v] - tol && self.x[v] <= self.upper[v] + tol)
+    }
+
+    /// Bounded-variable dual simplex: starting from a dual-feasible basis,
+    /// repairs primal bound violations one leaving variable at a time while
+    /// keeping every reduced cost correctly signed. Converges in a few
+    /// pivots when only variable bounds changed since the basis was
+    /// optimal.
+    fn run_dual(&mut self) -> Result<DualOutcome, LpError> {
+        self.stall_count = 0;
+        let tol = self.opts.tol;
+        let mut alpha = vec![0.0; self.n_slack_end];
+        for _iter in 0..self.opts.max_iters {
+            if !self.budget.is_unlimited() && self.budget.exhausted() {
+                crate::metrics::LP_BUDGET_EXHAUSTED.inc();
+                return Err(LpError::BudgetExceeded);
+            }
+            crate::chaos::pivot_stall_point();
+            crate::metrics::LP_DUAL_PIVOTS.inc();
+            if self.pivots_since_refactor >= self.opts.refactor_every {
+                self.refactorize()?;
+            }
+            // Leaving variable: the basic with the largest bound violation.
+            let mut leave: Option<(usize, f64, bool)> = None;
+            for (i, &var) in self.basis.iter().enumerate() {
+                let v = self.x[var];
+                if v > self.upper[var] + tol {
+                    let viol = v - self.upper[var];
+                    if leave.is_none_or(|(_, bv, _)| viol > bv) {
+                        leave = Some((i, viol, true));
+                    }
+                } else if v < self.lower[var] - tol {
+                    let viol = self.lower[var] - v;
+                    if leave.is_none_or(|(_, bv, _)| viol > bv) {
+                        leave = Some((i, viol, false));
+                    }
+                }
+            }
+            let Some((r, _, above)) = leave else {
+                return Ok(DualOutcome::PrimalFeasible);
+            };
+            if self.stall_count >= self.opts.stall_threshold {
+                // Degenerate loop: hand the node to the cold solver rather
+                // than risk cycling.
+                return Ok(DualOutcome::Stalled);
+            }
+            // Pivot row over the nonbasic columns, assembled sparsely:
+            // alpha = (row r of B^-1) · A restricted to structurals+slacks.
+            let m = self.m;
+            let rho = &self.binv[r * m..(r + 1) * m];
+            alpha.fill(0.0);
+            for (i, &ri) in rho.iter().enumerate() {
+                if ri == 0.0 {
+                    continue;
+                }
+                for &(col, coef) in &self.rows_struct[i] {
+                    alpha[col] += ri * coef;
+                }
+                alpha[self.n_struct + i] += ri;
+            }
+            let y = self.multipliers(Phase::Two);
+            let sigma = if above { 1.0 } else { -1.0 };
+            // Entering variable: dual ratio test. Eligibility keeps the
+            // entering step's primal direction consistent with removing the
+            // violation; the min ratio |d/alpha| keeps every other reduced
+            // cost correctly signed after the pivot. Ties prefer the
+            // largest pivot magnitude for stability.
+            let mut best: Option<(usize, f64, f64)> = None;
+            for (j, &aj) in alpha.iter().enumerate() {
+                if matches!(self.state[j], VarState::Basic(_)) {
+                    continue;
+                }
+                if self.upper[j] - self.lower[j] <= 0.0 {
+                    continue;
+                }
+                let a = sigma * aj;
+                let from_lower = matches!(self.state[j], VarState::NbLower | VarState::NbFree);
+                let from_upper = matches!(self.state[j], VarState::NbUpper | VarState::NbFree);
+                let eligible = (from_lower && a > 1e-9) || (from_upper && a < -1e-9);
+                if !eligible {
+                    continue;
+                }
+                let d = self.reduced_cost(j, &y, Phase::Two);
+                // Dual feasibility bounds d's sign; clamp the tolerance
+                // residue so ratios stay non-negative.
+                let ratio = (d / a).max(0.0);
+                let better = match best {
+                    None => true,
+                    Some((_, br, ba)) => {
+                        ratio < br - 1e-12 || (ratio <= br + 1e-12 && a.abs() > ba)
+                    }
+                };
+                if better {
+                    best = Some((j, ratio, a.abs()));
+                }
+            }
+            let Some((j, _, _)) = best else {
+                // Dual unbounded ⇒ primal infeasible. The caller re-proves
+                // this with a cold phase-1 run before trusting it: a false
+                // infeasible here (tolerance artifact) would unsoundly
+                // prune a branch-and-bound node.
+                return Ok(DualOutcome::Infeasible);
+            };
+            let w = self.ftran(j);
+            let piv = w[r];
+            if piv.abs() < 1e-10 {
+                return Err(LpError::SingularBasis);
+            }
+            let leaving = self.basis[r];
+            let bound = if above {
+                self.upper[leaving]
+            } else {
+                self.lower[leaving]
+            };
+            let t = (self.x[leaving] - bound) / piv;
+            if t.abs() <= 1e-11 {
+                self.stall_count += 1;
+            } else {
+                self.stall_count = 0;
+            }
+            // Primal step: entering moves by t, basics absorb, the leaving
+            // variable lands exactly on its violated bound.
+            self.x[j] += t;
+            for (i, &wi) in w.iter().enumerate() {
+                if wi != 0.0 {
+                    self.x[self.basis[i]] -= wi * t;
+                }
+            }
+            self.state[leaving] = if above {
+                VarState::NbUpper
+            } else {
+                VarState::NbLower
+            };
+            self.x[leaving] = bound;
+            self.pivot(r, j, &w)?;
+            if self.pivots_since_refactor.is_multiple_of(64) {
+                self.recompute_basics();
+            }
+        }
+        Err(LpError::IterationLimit {
+            limit: self.opts.max_iters,
+        })
+    }
+
+    /// Runs the warm-started solve: dual simplex when the seeded basis is
+    /// dual-feasible, primal phase 2 when it is primal-feasible (typical
+    /// after appending rows the old optimum satisfies), `Stale` otherwise.
+    /// Either path finishes with the primal optimality test, so a `Solved`
+    /// outcome carries exactly the certificate a cold start would.
+    fn warm_run(&mut self) -> Result<WarmOutcome, LpError> {
+        if self.dual_feasible() {
+            crate::metrics::LP_WARM_STARTS.inc();
+            match self.run_dual()? {
+                DualOutcome::PrimalFeasible => self.run_phase(Phase::Two).map(WarmOutcome::Solved),
+                DualOutcome::Infeasible | DualOutcome::Stalled => Ok(WarmOutcome::Stale),
+            }
+        } else if self.primal_feasible() {
+            crate::metrics::LP_WARM_STARTS.inc();
+            self.run_phase(Phase::Two).map(WarmOutcome::Solved)
+        } else {
+            Ok(WarmOutcome::Stale)
+        }
+    }
+}
+
+/// Outcome of a dual-simplex run.
+enum DualOutcome {
+    /// All basics back within bounds: the point is primal- and
+    /// dual-feasible, i.e. optimal up to the final pricing pass.
+    PrimalFeasible,
+    /// No entering column: the dual is unbounded, the primal infeasible
+    /// (subject to cold confirmation).
+    Infeasible,
+    /// Degenerate stall; the basis is not making progress.
+    Stalled,
+}
+
+/// Outcome of a warm-start attempt.
+enum WarmOutcome {
+    Solved(SolveStatus),
+    /// The seeded basis did not lead anywhere; redo from cold.
+    Stale,
+}
+
+/// Parking rule for a nonbasic variable: honour the warm state when its
+/// bound is finite, otherwise fall back to the cold-start rule (finite
+/// bound nearest zero, free at zero).
+fn park(warm: Option<BState>, lo: f64, hi: f64) -> (VarState, f64) {
+    match warm {
+        Some(BState::Lower) if lo.is_finite() => (VarState::NbLower, lo),
+        Some(BState::Upper) if hi.is_finite() => (VarState::NbUpper, hi),
+        Some(BState::Free) if !lo.is_finite() && !hi.is_finite() => (VarState::NbFree, 0.0),
+        _ => {
+            if lo.is_finite() && hi.is_finite() {
+                if lo.abs() <= hi.abs() {
+                    (VarState::NbLower, lo)
+                } else {
+                    (VarState::NbUpper, hi)
+                }
+            } else if lo.is_finite() {
+                (VarState::NbLower, lo)
+            } else if hi.is_finite() {
+                (VarState::NbUpper, hi)
+            } else {
+                (VarState::NbFree, 0.0)
+            }
+        }
+    }
+}
+
+fn validate_bounds(problem: &LpProblem) -> Result<(), LpError> {
+    for (i, &(lo, hi)) in problem.bounds.iter().enumerate() {
+        if lo > hi {
+            return Err(LpError::InvalidModel(format!(
+                "variable {i} has inverted bounds"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn empty_solution(status: SolveStatus) -> Solution {
+    Solution {
+        status,
+        objective: 0.0,
+        values: Vec::new(),
+        duals: Vec::new(),
+    }
+}
+
+/// A finished solve plus the byproducts the callers of the internal entry
+/// points need: internal-orientation structural reduced costs (for dual
+/// postsolve) and the optimal basis (for warm starts).
+struct Solved {
+    sol: Solution,
+    reduced: Option<Vec<f64>>,
+    basis: Option<Basis>,
+}
+
+/// Extracts the solution, duals, reduced costs, and basis from a tableau
+/// whose run ended with `status`.
+fn finish_tableau(mut tableau: Tableau<'_>, problem: &LpProblem, status: SolveStatus) -> Solved {
+    match status {
+        SolveStatus::Optimal => {
+            tableau.drive_out_artificials();
+            tableau.recompute_basics();
+            // Row duals in the user's orientation: the internal problem is
+            // always a minimization (costs negated for Maximize), so the
+            // user-facing shadow price flips sign for Maximize.
+            let sign = match problem.direction {
+                Direction::Minimize => 1.0,
+                Direction::Maximize => -1.0,
+            };
+            let y = tableau.multipliers(Phase::Two);
+            let duals = y.iter().map(|&v| sign * v).collect();
+            let reduced = (0..tableau.n_struct)
+                .map(|j| tableau.reduced_cost(j, &y, Phase::Two))
+                .collect();
+            let basis = tableau.extract_basis();
+            Solved {
+                sol: Solution {
+                    status,
+                    objective: tableau.objective_value(problem),
+                    values: tableau.x[..tableau.n_struct].to_vec(),
+                    duals,
+                },
+                reduced: Some(reduced),
+                basis,
+            }
+        }
+        _ => Solved {
+            sol: empty_solution(status),
+            reduced: None,
+            basis: None,
+        },
+    }
+}
+
+/// Internal reduced costs for a problem with no rows: with no constraints
+/// there are no multipliers, so the reduced cost is the (sign-adjusted)
+/// objective coefficient itself.
+fn box_reduced(problem: &LpProblem) -> Vec<f64> {
+    let sign = match problem.direction {
+        Direction::Minimize => 1.0,
+        Direction::Maximize => -1.0,
+    };
+    let mut d = vec![0.0; problem.num_vars()];
+    for &(v, c) in problem.objective.terms() {
+        d[v.0] += sign * c;
+    }
+    d
+}
+
+/// Maps the duals of a presolved problem back onto the original row set.
+///
+/// Kept rows copy their dual through `kept_rows`. A dropped *singleton* row
+/// became a variable bound; when that bound is active at the optimum, the
+/// row's shadow price is the variable's reduced cost rescaled by the row
+/// coefficient (`∂obj/∂rhs = d / c` via `x = rhs / c`). Redundant rows are
+/// slack at the optimum and correctly keep a zero dual. Each variable side
+/// attributes at most one row — further coincident rows are degenerate
+/// alternatives with dual zero.
+fn postsolve_duals(
+    original: &LpProblem,
+    report: &crate::presolve::PresolveReport,
+    sol: &Solution,
+    reduced: &[f64],
+    tol: f64,
+) -> Vec<f64> {
+    let sign = match original.direction {
+        Direction::Minimize => 1.0,
+        Direction::Maximize => -1.0,
+    };
+    let mut duals = vec![0.0; original.rows.len()];
+    for (i, &orig) in report.kept_rows.iter().enumerate() {
+        if let Some(&d) = sol.duals.get(i) {
+            duals[orig] = d;
+        }
+    }
+    let mut used_lo = vec![false; original.num_vars()];
+    let mut used_hi = vec![false; original.num_vars()];
+    for ds in &report.dropped_singletons {
+        let v = ds.var;
+        let d = reduced.get(v).copied().unwrap_or(0.0);
+        if d.abs() <= tol {
+            continue; // bound not binding the objective: dual 0
+        }
+        let target = ds.rhs / ds.coef;
+        let scale = 1.0_f64.max(target.abs());
+        if (sol.values[v] - target).abs() > tol * 16.0 * scale {
+            continue; // row not tight at the optimum: dual 0
+        }
+        // Which side of the variable's domain this row constrains.
+        let upper_side = matches!(
+            (ds.sense, ds.coef > 0.0),
+            (Sense::Le, true) | (Sense::Ge, false)
+        );
+        let claimed = match ds.sense {
+            Sense::Eq => {
+                if used_lo[v] || used_hi[v] {
+                    false
+                } else {
+                    used_lo[v] = true;
+                    used_hi[v] = true;
+                    true
+                }
+            }
+            // An active upper bound has d ≤ 0 at an internal minimum (and
+            // symmetrically for lower); a mismatched sign means the other
+            // side is the active one.
+            _ if upper_side => {
+                if d > 0.0 || used_hi[v] {
+                    false
+                } else {
+                    used_hi[v] = true;
+                    true
+                }
+            }
+            _ => {
+                if d < 0.0 || used_lo[v] {
+                    false
+                } else {
+                    used_lo[v] = true;
+                    true
+                }
+            }
+        };
+        if claimed {
+            duals[ds.row] = sign * d / ds.coef;
+        }
+    }
+    duals
 }
 
 /// Solves `problem` with the bounded-variable two-phase simplex.
@@ -699,76 +1383,106 @@ pub(crate) fn solve(
     opts: &SimplexOptions,
     budget: &Budget<'_>,
 ) -> Result<Solution, LpError> {
-    for (i, &(lo, hi)) in problem.bounds.iter().enumerate() {
-        if lo > hi {
-            return Err(LpError::InvalidModel(format!(
-                "variable {i} has inverted bounds"
-            )));
-        }
-    }
+    validate_bounds(problem)?;
     crate::metrics::LP_SOLVES.inc();
     let _solve_timer = raven_obs::Timer::start(&crate::metrics::LP_SOLVE_SECONDS);
+    if crate::chaos::take_forced_unbounded() {
+        return Ok(empty_solution(SolveStatus::Unbounded));
+    }
     // Presolve on a private copy: row removal and bound tightening preserve
     // the feasible set, so the optimum is unchanged while the tableau
     // shrinks (often substantially inside branch & bound).
     let presolved;
-    let problem = if opts.presolve_rounds > 0 && !problem.rows.is_empty() {
+    let mut report = None;
+    let reduced_problem = if opts.presolve_rounds > 0 && !problem.rows.is_empty() {
         let mut copy = problem.clone();
-        let report = crate::presolve::presolve(&mut copy, opts.presolve_rounds);
-        crate::metrics::PRESOLVE_ROWS_REMOVED.add(report.removed_rows as u64);
-        crate::metrics::PRESOLVE_BOUNDS_TIGHTENED.add(report.tightened_bounds as u64);
-        if report.infeasible {
-            return Ok(Solution {
-                status: SolveStatus::Infeasible,
-                objective: 0.0,
-                values: Vec::new(),
-                duals: Vec::new(),
-            });
+        let rep = crate::presolve::presolve(&mut copy, opts.presolve_rounds, opts.tol);
+        crate::metrics::PRESOLVE_ROWS_REMOVED.add(rep.removed_rows as u64);
+        crate::metrics::PRESOLVE_BOUNDS_TIGHTENED.add(rep.tightened_bounds as u64);
+        if rep.infeasible {
+            return Ok(empty_solution(SolveStatus::Infeasible));
         }
         presolved = copy;
+        report = Some(rep);
         &presolved
     } else {
         problem
     };
+    let (sol, reduced) = if reduced_problem.rows.is_empty() {
+        let sol = solve_box_only(reduced_problem);
+        let reduced = (sol.status == SolveStatus::Optimal).then(|| box_reduced(reduced_problem));
+        (sol, reduced)
+    } else {
+        let mut tableau = Tableau::new(reduced_problem, opts, budget);
+        let status = tableau.run()?;
+        let solved = finish_tableau(tableau, reduced_problem, status);
+        (solved.sol, solved.reduced)
+    };
+    // Postsolve: duals are reported against the *original* row set, so
+    // `duals.len() == rows.len()` whenever the status is Optimal.
+    let mut sol = sol;
+    if sol.status == SolveStatus::Optimal {
+        if let (Some(rep), Some(rc)) = (&report, &reduced) {
+            sol.duals = postsolve_duals(problem, rep, &sol, rc, opts.tol);
+        }
+    }
+    Ok(sol)
+}
+
+/// Solves `problem`, optionally seeding the simplex from `warm`, and
+/// returns the optimal basis for the caller to reuse on the next related
+/// solve. Never presolves: basis reuse needs the row/variable layout to
+/// stay exactly as the caller built it (branch & bound presolves once at
+/// the root instead — see `milp.rs`).
+///
+/// A warm basis is a pure accelerator: when it is dual- or primal-feasible
+/// the solve finishes in few pivots, and in every other case (stale,
+/// singular, stalled, dual-detected infeasibility) the function re-runs the
+/// ordinary cold start, so the result carries exactly the same certificate
+/// as [`solve`] with presolve disabled.
+///
+/// # Errors
+///
+/// Same contract as [`solve`].
+pub(crate) fn solve_reuse(
+    problem: &LpProblem,
+    opts: &SimplexOptions,
+    budget: &Budget<'_>,
+    warm: Option<&Basis>,
+) -> Result<(Solution, Option<Basis>), LpError> {
+    validate_bounds(problem)?;
+    crate::metrics::LP_SOLVES.inc();
+    let _solve_timer = raven_obs::Timer::start(&crate::metrics::LP_SOLVE_SECONDS);
+    if crate::chaos::take_forced_unbounded() {
+        return Ok((empty_solution(SolveStatus::Unbounded), None));
+    }
     if problem.rows.is_empty() {
-        return Ok(solve_box_only(problem));
+        return Ok((solve_box_only(problem), None));
+    }
+    if let Some(basis) = warm {
+        if basis.fits(problem.num_vars(), problem.rows.len()) {
+            if let Some(mut tab) = Tableau::with_basis(problem, opts, budget, basis) {
+                match tab.warm_run() {
+                    Ok(WarmOutcome::Solved(status)) => {
+                        let solved = finish_tableau(tab, problem, status);
+                        return Ok((solved.sol, solved.basis));
+                    }
+                    // Stale basis (including dual-detected infeasibility,
+                    // which the cold phase-1 run below re-proves before it
+                    // is trusted): fall through to the cold start.
+                    Ok(WarmOutcome::Stale) => {}
+                    Err(LpError::BudgetExceeded) => return Err(LpError::BudgetExceeded),
+                    // Numerical breakdown mid-warm-start (singular basis,
+                    // iteration limit): the cold start below is the retry.
+                    Err(_) => {}
+                }
+            }
+        }
     }
     let mut tableau = Tableau::new(problem, opts, budget);
     let status = tableau.run()?;
-    match status {
-        SolveStatus::Optimal => {
-            tableau.recompute_basics();
-            // Row duals in the user's orientation: the internal problem is
-            // always a minimization (costs negated for Maximize), so the
-            // user-facing shadow price flips sign for Maximize. Only
-            // reported when presolve did not drop rows (alignment).
-            let duals = if problem.rows.len() == tableau.m {
-                let sign = match problem.direction {
-                    Direction::Minimize => 1.0,
-                    Direction::Maximize => -1.0,
-                };
-                tableau
-                    .multipliers(Phase::Two)
-                    .into_iter()
-                    .map(|y| sign * y)
-                    .collect()
-            } else {
-                Vec::new()
-            };
-            Ok(Solution {
-                status,
-                objective: tableau.objective_value(problem),
-                values: tableau.x[..tableau.n_struct].to_vec(),
-                duals,
-            })
-        }
-        _ => Ok(Solution {
-            status,
-            objective: 0.0,
-            values: Vec::new(),
-            duals: Vec::new(),
-        }),
-    }
+    let solved = finish_tableau(tableau, problem, status);
+    Ok((solved.sol, solved.basis))
 }
 
 /// Optimizes a problem with no constraints: each variable independently
@@ -987,6 +1701,212 @@ mod tests {
         assert!((sol.objective - 6.0).abs() < 1e-7);
         assert_eq!(sol.duals.len(), 1);
         assert!((sol.duals[0] - 2.0).abs() < 1e-7, "{:?}", sol.duals);
+    }
+
+    #[test]
+    fn duals_survive_presolve_row_dropping() {
+        // Same Dantzig example, but with presolve ON: rows 1 and 2 are
+        // singletons presolve folds into bounds, so the solver used to
+        // return `duals: []`. The postsolve map must reconstruct all three
+        // shadow prices at their original indices.
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, f64::INFINITY);
+        let y = p.add_var(0.0, f64::INFINITY);
+        p.add_constraint(expr(&[(x, 1.0)]), Sense::Le, 4.0);
+        p.add_constraint(expr(&[(y, 2.0)]), Sense::Le, 12.0);
+        p.add_constraint(expr(&[(x, 3.0), (y, 2.0)]), Sense::Le, 18.0);
+        p.set_objective(Direction::Maximize, expr(&[(x, 3.0), (y, 5.0)]));
+        let sol = p.solve().unwrap();
+        assert!(sol.is_optimal());
+        assert_eq!(sol.duals.len(), 3, "duals must align with original rows");
+        assert!(sol.duals[0].abs() < 1e-6, "{:?}", sol.duals);
+        assert!((sol.duals[1] - 1.5).abs() < 1e-6, "{:?}", sol.duals);
+        assert!((sol.duals[2] - 1.0).abs() < 1e-6, "{:?}", sol.duals);
+        let by = 4.0 * sol.duals[0] + 12.0 * sol.duals[1] + 18.0 * sol.duals[2];
+        assert!((by - sol.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn duals_cover_fully_presolved_problems() {
+        // min 2x s.t. x ≥ 3: presolve turns the single row into a bound
+        // and the solve degenerates to the box-only path; the dual (+2)
+        // must still be reported against the original row.
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, f64::INFINITY);
+        p.add_constraint(expr(&[(x, 1.0)]), Sense::Ge, 3.0);
+        p.set_objective(Direction::Minimize, expr(&[(x, 2.0)]));
+        let sol = p.solve().unwrap();
+        assert!(sol.is_optimal());
+        assert!((sol.objective - 6.0).abs() < 1e-7);
+        assert_eq!(sol.duals.len(), 1);
+        assert!((sol.duals[0] - 2.0).abs() < 1e-6, "{:?}", sol.duals);
+    }
+
+    #[test]
+    fn removed_redundant_rows_report_zero_duals() {
+        // x + y ≤ 50 is implied by the bounds: presolve drops it, and a
+        // slack row has shadow price 0 at its original index.
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 1.0);
+        let y = p.add_var(0.0, 1.0);
+        p.add_constraint(expr(&[(x, 1.0), (y, 1.0)]), Sense::Le, 50.0);
+        p.add_constraint(expr(&[(x, 1.0), (y, 1.0)]), Sense::Le, 1.5);
+        p.set_objective(Direction::Maximize, expr(&[(x, 1.0), (y, 1.0)]));
+        let sol = p.solve().unwrap();
+        assert!(sol.is_optimal());
+        assert_eq!(sol.duals.len(), 2);
+        assert!(sol.duals[0].abs() < 1e-6, "{:?}", sol.duals);
+        assert!((sol.duals[1] - 1.0).abs() < 1e-6, "{:?}", sol.duals);
+    }
+
+    #[test]
+    fn presolve_tolerance_matches_simplex_tolerance() {
+        // The violation here (5e-8) sits between the old hard-coded
+        // presolve tolerance (1e-9) and the simplex feasibility tolerance
+        // (1e-7): presolve used to declare this infeasible even though the
+        // simplex would happily accept the point x = 1.
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 1.0);
+        p.add_constraint(expr(&[(x, 1.0)]), Sense::Ge, 1.0 + 5e-8);
+        p.set_objective(Direction::Minimize, expr(&[(x, 1.0)]));
+        let sol = p.solve().unwrap();
+        assert!(
+            sol.is_optimal(),
+            "within-tolerance LP declared {:?}",
+            sol.status
+        );
+    }
+
+    #[test]
+    fn warm_start_reaches_the_same_optimum_after_bound_changes() {
+        // Solve, tighten a bound (the branch-and-bound move), re-solve
+        // from the extracted basis: the dual simplex must land on the same
+        // optimum a cold solve finds.
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 4.0);
+        let y = p.add_var(0.0, 6.0);
+        p.add_constraint(expr(&[(x, 3.0), (y, 2.0)]), Sense::Le, 18.0);
+        p.add_constraint(expr(&[(x, 1.0), (y, 1.0)]), Sense::Le, 8.0);
+        p.set_objective(Direction::Maximize, expr(&[(x, 3.0), (y, 5.0)]));
+        let opts = SimplexOptions {
+            presolve_rounds: 0,
+            ..SimplexOptions::default()
+        };
+        let budget = Budget::unlimited();
+        let (first, basis) = solve_reuse(&p, &opts, &budget, None).unwrap();
+        assert!(first.is_optimal());
+        let basis = basis.expect("optimal solve yields a basis");
+        p.bounds[1] = (0.0, 3.0); // tighten y ≤ 3 as a branch would
+        let (cold, _) = solve_reuse(&p, &opts, &budget, None).unwrap();
+        let (warm, warm_basis) = solve_reuse(&p, &opts, &budget, Some(&basis)).unwrap();
+        assert!(cold.is_optimal() && warm.is_optimal());
+        assert!(
+            (warm.objective - cold.objective).abs() < 1e-7,
+            "warm {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
+        assert!(p.is_feasible(&warm.values, 1e-6));
+        assert!(warm_basis.is_some());
+    }
+
+    #[test]
+    fn warm_start_extends_across_appended_rows_and_vars() {
+        // Per-label reuse shape: solve a base LP, append a variable and a
+        // row, and seed the bigger problem from the smaller basis. The old
+        // optimum satisfies the new row, so primal phase 2 alone finishes.
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 4.0);
+        let y = p.add_var(0.0, 6.0);
+        p.add_constraint(expr(&[(x, 3.0), (y, 2.0)]), Sense::Le, 18.0);
+        p.set_objective(Direction::Maximize, expr(&[(x, 3.0), (y, 5.0)]));
+        let opts = SimplexOptions {
+            presolve_rounds: 0,
+            ..SimplexOptions::default()
+        };
+        let budget = Budget::unlimited();
+        let (_, basis) = solve_reuse(&p, &opts, &budget, None).unwrap();
+        let basis = basis.expect("basis");
+        let z = p.add_var(0.0, 1.0);
+        p.add_constraint(expr(&[(x, 1.0), (z, 5.0)]), Sense::Le, 30.0);
+        let (cold, _) = solve_reuse(&p, &opts, &budget, None).unwrap();
+        let (warm, _) = solve_reuse(&p, &opts, &budget, Some(&basis)).unwrap();
+        assert!(cold.is_optimal() && warm.is_optimal());
+        assert!((warm.objective - cold.objective).abs() < 1e-7);
+    }
+
+    #[test]
+    fn stale_basis_falls_back_to_cold_start() {
+        // A basis from a completely unrelated problem must not corrupt the
+        // result: the warm attempt is rejected or repaired, never trusted.
+        let mut small = LpProblem::new();
+        let a = small.add_var(0.0, 1.0);
+        small.add_constraint(expr(&[(a, 1.0)]), Sense::Le, 0.5);
+        small.set_objective(Direction::Maximize, expr(&[(a, 1.0)]));
+        let opts = SimplexOptions {
+            presolve_rounds: 0,
+            ..SimplexOptions::default()
+        };
+        let budget = Budget::unlimited();
+        let (_, basis) = solve_reuse(&small, &opts, &budget, None).unwrap();
+        let basis = basis.expect("basis");
+        let mut big = LpProblem::new();
+        let x = big.add_var(0.0, 4.0);
+        let y = big.add_var(0.0, 6.0);
+        big.add_constraint(expr(&[(x, 1.0)]), Sense::Ge, 1.0);
+        big.add_constraint(expr(&[(x, 3.0), (y, 2.0)]), Sense::Le, 18.0);
+        big.set_objective(Direction::Maximize, expr(&[(x, 3.0), (y, 5.0)]));
+        let (cold, _) = solve_reuse(&big, &opts, &budget, None).unwrap();
+        let (warm, _) = solve_reuse(&big, &opts, &budget, Some(&basis)).unwrap();
+        assert!(cold.is_optimal() && warm.is_optimal());
+        assert!((warm.objective - cold.objective).abs() < 1e-7);
+    }
+
+    #[test]
+    fn budget_expiry_mid_dual_pivot_errors_budget_exceeded() {
+        // An already-expired budget must abort the dual simplex on its
+        // first pivot with the same error contract as the primal phases.
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 4.0);
+        let y = p.add_var(0.0, 6.0);
+        p.add_constraint(expr(&[(x, 3.0), (y, 2.0)]), Sense::Le, 18.0);
+        p.set_objective(Direction::Maximize, expr(&[(x, 3.0), (y, 5.0)]));
+        let opts = SimplexOptions {
+            presolve_rounds: 0,
+            ..SimplexOptions::default()
+        };
+        let (first, basis) = solve_reuse(&p, &opts, &Budget::unlimited(), None).unwrap();
+        assert!(first.is_optimal());
+        let basis = basis.expect("basis");
+        p.bounds[1] = (0.0, 2.0);
+        let expired = Budget::default()
+            .with_deadline(std::time::Instant::now() - std::time::Duration::from_millis(1));
+        let err = solve_reuse(&p, &opts, &expired, Some(&basis)).unwrap_err();
+        assert_eq!(err, LpError::BudgetExceeded);
+    }
+
+    #[test]
+    fn warm_start_detects_infeasible_children() {
+        // Fixing a variable outside the constraint's reach makes the child
+        // infeasible; the dual simplex signals it and the cold fallback
+        // must confirm Infeasible rather than mislabel it.
+        let mut p = LpProblem::new();
+        let x = p.add_var(0.0, 1.0);
+        let y = p.add_var(0.0, 1.0);
+        p.add_constraint(expr(&[(x, 1.0), (y, 1.0)]), Sense::Le, 1.0);
+        p.set_objective(Direction::Maximize, expr(&[(x, 1.0), (y, 1.0)]));
+        let opts = SimplexOptions {
+            presolve_rounds: 0,
+            ..SimplexOptions::default()
+        };
+        let budget = Budget::unlimited();
+        let (first, basis) = solve_reuse(&p, &opts, &budget, None).unwrap();
+        assert!(first.is_optimal());
+        let basis = basis.expect("basis");
+        p.bounds[0] = (1.0, 1.0);
+        p.bounds[1] = (1.0, 1.0); // x + y = 2 > 1: infeasible
+        let (warm, _) = solve_reuse(&p, &opts, &budget, Some(&basis)).unwrap();
+        assert_eq!(warm.status, SolveStatus::Infeasible);
     }
 
     #[test]

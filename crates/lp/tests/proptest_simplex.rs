@@ -6,7 +6,7 @@
 //! Driven by the workspace's deterministic [`Rng`] so the suite builds
 //! offline and replays identically on every run.
 
-use raven_lp::{Direction, LinExpr, LpProblem, Sense, SolveStatus};
+use raven_lp::{Direction, LinExpr, LpProblem, MilpOptions, Sense, SolveStatus};
 use raven_tensor::Rng;
 
 const CASES: usize = 64;
@@ -139,7 +139,7 @@ fn presolve_preserves_the_optimum() {
         let (p, _) = build(&lp);
         let baseline = p.solve().expect("solves").objective;
         let mut q = p.clone();
-        let report = raven_lp::presolve(&mut q, 4);
+        let report = raven_lp::presolve(&mut q, 4, 1e-7);
         assert!(!report.infeasible, "feasible LP declared infeasible");
         let presolved = q.solve().expect("solves");
         assert_eq!(presolved.status, SolveStatus::Optimal);
@@ -176,5 +176,49 @@ fn milp_bound_is_within_lp_relaxation() {
             assert!((v - v.round()).abs() < 1e-6);
         }
         assert!(p.is_feasible(&exact.values, 1e-6));
+    }
+}
+
+#[test]
+fn warm_started_milp_matches_cold_start() {
+    // Warm starts are a pure accelerator: across random knapsack-style
+    // MILPs, branch & bound with parent-basis dual-simplex warm starts
+    // must report exactly the same status and objective as cold starts,
+    // and its incumbent must be an integral feasible point.
+    let mut rng = Rng::new(0x19_05);
+    let warm = MilpOptions::default();
+    let cold = MilpOptions {
+        warm_start: false,
+        ..MilpOptions::default()
+    };
+    assert!(warm.warm_start, "warm starts are the default");
+    for _ in 0..CASES {
+        let n = 3 + rng.below(5);
+        let mut p = LpProblem::new();
+        let vars: Vec<_> = (0..n).map(|_| p.add_binary_var()).collect();
+        let values: Vec<f64> = (0..n).map(|_| rng.in_range(0.5, 4.0)).collect();
+        for _ in 0..(1 + rng.below(3)) {
+            let coeffs: Vec<f64> = (0..n).map(|_| rng.in_range(0.2, 3.0)).collect();
+            let cap = rng.in_range(1.5, 6.0);
+            let row: LinExpr = vars.iter().zip(&coeffs).map(|(&v, &c)| (v, c)).collect();
+            p.add_constraint(row, Sense::Le, cap);
+        }
+        let obj: LinExpr = vars.iter().zip(&values).map(|(&v, &c)| (v, c)).collect();
+        p.set_objective(Direction::Maximize, obj);
+
+        let w = p.solve_milp_with(&warm).expect("warm milp solves");
+        let c = p.solve_milp_with(&cold).expect("cold milp solves");
+        assert_eq!(w.status, c.status);
+        assert_eq!(w.status, SolveStatus::Optimal);
+        assert!(
+            (w.objective - c.objective).abs() < 1e-6,
+            "warm {} vs cold {}",
+            w.objective,
+            c.objective
+        );
+        for &v in &w.values {
+            assert!((v - v.round()).abs() < 1e-6, "non-integral incumbent {v}");
+        }
+        assert!(p.is_feasible(&w.values, 1e-6));
     }
 }

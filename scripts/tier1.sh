@@ -13,4 +13,9 @@ cargo test -p raven-serve --features chaos -q
 cargo fmt --check
 cargo clippy --workspace -- -D warnings
 scripts/check_metrics.sh
+# Solver-work regression gate: rerun the fixed obs workload and fail on a
+# >20% total-pivot regression vs the committed baseline. The committed
+# BENCH_obs.json is only refreshed deliberately (run obs with --out).
+cargo run -p raven-bench --release --bin obs -- --out /tmp/raven_bench_obs.json \
+  --check BENCH_obs.json
 echo "tier-1: all gates passed"

@@ -165,6 +165,40 @@ fn main() {
     .map(|(name, h)| (name.to_string(), Json::from(1e3 * h.sum())))
     .collect();
 
+    // Certificate overhead, measured after the counter/phase snapshots
+    // above so the pivot-regression gate keeps comparing like with like:
+    // re-run the hot UAP batch and the monotonicity query certified, and
+    // record serialized certificate size plus exact-replay time.
+    let certificates: Vec<(String, Json)> = [
+        (
+            "uap",
+            raven::verify_uap_certified(&hot, Method::Raven, &config).1,
+        ),
+        (
+            "mono",
+            raven::verify_monotonicity_certified(&mono, Method::Raven, &config).1,
+        ),
+    ]
+    .into_iter()
+    .filter_map(|(name, cert)| {
+        let cert = cert?;
+        let bytes = cert.to_json().to_string().len();
+        let replay_start = Instant::now();
+        let replay = raven_check::check_certificate(&cert).expect("bench certificate replays");
+        let replay_millis = replay_start.elapsed().as_secs_f64() * 1e3;
+        Some((
+            name.to_string(),
+            Json::obj([
+                ("bytes", Json::from(bytes)),
+                ("replay_millis", Json::from(replay_millis)),
+                ("tier", Json::from(replay.tier.as_str())),
+                ("lp_checked", Json::from(replay.lp_checked)),
+                ("neurons_checked", Json::from(replay.neurons_checked)),
+            ]),
+        ))
+    })
+    .collect();
+
     let report = Json::obj([
         ("bench", Json::from("obs")),
         (
@@ -184,6 +218,7 @@ fn main() {
         ("wall_millis", Json::from(wall_millis)),
         ("counters", Json::Obj(deltas)),
         ("phase_millis", Json::Obj(phases)),
+        ("certificates", Json::Obj(certificates)),
     ]);
     std::fs::write(&out, format!("{report}\n")).expect("write report");
     println!("wrote {out} ({wall_millis:.0} ms workload)");

@@ -1,0 +1,499 @@
+//! Exact dyadic-rational arithmetic: `(-1)^neg · mag · 2^exp` with an
+//! arbitrary-size magnitude.
+//!
+//! Every number a certificate carries originates as an `f64`, and every
+//! operation certificate replay performs is addition, subtraction,
+//! multiplication, min/max, or comparison — all of which keep dyadic
+//! rationals dyadic. That closure is the whole trick: no division and no
+//! gcd ever run, magnitudes stay small (a product of two doubles plus
+//! exponent alignment is a few dozen limbs), and the checker never touches
+//! floating point on its accept path.
+
+use std::cmp::Ordering;
+
+/// An exact dyadic rational `(-1)^neg · mag · 2^exp`.
+///
+/// Invariants: `mag` is little-endian base-2^64 with a non-zero top limb;
+/// zero is canonically `{neg: false, mag: [], exp: 0}`.
+#[derive(Debug, Clone)]
+pub struct Dyadic {
+    neg: bool,
+    mag: Vec<u64>,
+    exp: i64,
+}
+
+impl Dyadic {
+    /// Exact zero.
+    pub fn zero() -> Self {
+        Self {
+            neg: false,
+            mag: Vec::new(),
+            exp: 0,
+        }
+    }
+
+    /// Exact one.
+    pub fn one() -> Self {
+        Self::pow2(0)
+    }
+
+    /// Exact `2^e`.
+    pub fn pow2(e: i64) -> Self {
+        Self {
+            neg: false,
+            mag: vec![1],
+            exp: e,
+        }
+    }
+
+    /// Exact conversion of a finite `f64` (every finite double is a dyadic
+    /// rational). `None` for NaN or ±∞.
+    pub fn from_f64(x: f64) -> Option<Self> {
+        if !x.is_finite() {
+            return None;
+        }
+        if x == 0.0 {
+            return Some(Self::zero());
+        }
+        let bits = x.to_bits();
+        let neg = bits >> 63 == 1;
+        let exp_field = ((bits >> 52) & 0x7ff) as i64;
+        let frac = bits & ((1u64 << 52) - 1);
+        let (m, e) = if exp_field == 0 {
+            (frac, -1074)
+        } else {
+            (frac | (1 << 52), exp_field - 1075)
+        };
+        let mut d = Self {
+            neg,
+            mag: vec![m],
+            exp: e,
+        };
+        d.normalize();
+        Some(d)
+    }
+
+    /// Exact conversion of an `i64`.
+    pub fn from_i64(v: i64) -> Self {
+        if v == 0 {
+            return Self::zero();
+        }
+        let neg = v < 0;
+        let mag = vec![v.unsigned_abs()];
+        let mut d = Self { neg, mag, exp: 0 };
+        d.normalize();
+        d
+    }
+
+    fn normalize(&mut self) {
+        while self.mag.last() == Some(&0) {
+            self.mag.pop();
+        }
+        if self.mag.is_empty() {
+            self.neg = false;
+            self.exp = 0;
+            return;
+        }
+        let mut drop = 0;
+        while drop < self.mag.len() && self.mag[drop] == 0 {
+            drop += 1;
+        }
+        if drop > 0 {
+            self.mag.drain(..drop);
+            self.exp += 64 * drop as i64;
+        }
+    }
+
+    /// Whether the value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.mag.is_empty()
+    }
+
+    /// Whether the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.neg && !self.is_zero()
+    }
+
+    /// Whether the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        !self.neg && !self.is_zero()
+    }
+
+    /// Exact negation.
+    pub fn negated(&self) -> Self {
+        let mut d = self.clone();
+        if !d.is_zero() {
+            d.neg = !d.neg;
+        }
+        d
+    }
+
+    /// Exact absolute value.
+    pub fn abs(&self) -> Self {
+        let mut d = self.clone();
+        d.neg = false;
+        d
+    }
+
+    /// Exact sum.
+    pub fn add(&self, other: &Self) -> Self {
+        if self.is_zero() {
+            return other.clone();
+        }
+        if other.is_zero() {
+            return self.clone();
+        }
+        let e = self.exp.min(other.exp);
+        let ma = mag_shl(&self.mag, (self.exp - e) as u64);
+        let mb = mag_shl(&other.mag, (other.exp - e) as u64);
+        let (neg, mag) = if self.neg == other.neg {
+            (self.neg, mag_add(&ma, &mb))
+        } else {
+            match mag_cmp(&ma, &mb) {
+                Ordering::Equal => return Self::zero(),
+                Ordering::Greater => (self.neg, mag_sub(&ma, &mb)),
+                Ordering::Less => (other.neg, mag_sub(&mb, &ma)),
+            }
+        };
+        let mut d = Self { neg, mag, exp: e };
+        d.normalize();
+        d
+    }
+
+    /// Exact difference `self − other`.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.add(&other.negated())
+    }
+
+    /// Exact product.
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let mut d = Self {
+            neg: self.neg != other.neg,
+            mag: mag_mul(&self.mag, &other.mag),
+            exp: self.exp + other.exp,
+        };
+        d.normalize();
+        d
+    }
+
+    /// Exact three-way comparison. An inherent method rather than an
+    /// `Ord` impl: the derived `PartialEq` compares representations, not
+    /// values, and this crate never needs `Dyadic` as a map key.
+    #[allow(clippy::should_implement_trait)]
+    pub fn cmp(&self, other: &Self) -> Ordering {
+        match (self.is_zero(), other.is_zero()) {
+            (true, true) => return Ordering::Equal,
+            (true, false) => {
+                return if other.neg {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                }
+            }
+            (false, true) => {
+                return if self.neg {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                }
+            }
+            (false, false) => {}
+        }
+        match (self.neg, other.neg) {
+            (false, true) => return Ordering::Greater,
+            (true, false) => return Ordering::Less,
+            _ => {}
+        }
+        let e = self.exp.min(other.exp);
+        let ma = mag_shl(&self.mag, (self.exp - e) as u64);
+        let mb = mag_shl(&other.mag, (other.exp - e) as u64);
+        let m = mag_cmp(&ma, &mb);
+        if self.neg {
+            m.reverse()
+        } else {
+            m
+        }
+    }
+
+    /// Exact maximum.
+    pub fn max(&self, other: &Self) -> Self {
+        if self.cmp(other) == Ordering::Less {
+            other.clone()
+        } else {
+            self.clone()
+        }
+    }
+
+    /// Exact minimum.
+    pub fn min(&self, other: &Self) -> Self {
+        if self.cmp(other) == Ordering::Greater {
+            other.clone()
+        } else {
+            self.clone()
+        }
+    }
+
+    /// `⌊self⌋` when it fits in `i128` (`None` on overflow).
+    pub fn floor_i128(&self) -> Option<i128> {
+        if self.is_zero() {
+            return Some(0);
+        }
+        let (int_mag, frac_nonzero) = if self.exp >= 0 {
+            (mag_shl(&self.mag, self.exp as u64), false)
+        } else {
+            mag_shr(&self.mag, (-self.exp) as u64)
+        };
+        let int = mag_to_u128(&int_mag)?;
+        if self.neg {
+            let base = i128::try_from(int).ok()?.checked_neg()?;
+            if frac_nonzero {
+                base.checked_sub(1)
+            } else {
+                Some(base)
+            }
+        } else {
+            i128::try_from(int).ok()
+        }
+    }
+
+    /// `⌈self⌉` when it fits in `i128` (`None` on overflow).
+    pub fn ceil_i128(&self) -> Option<i128> {
+        self.negated().floor_i128().map(|v| -v)
+    }
+
+    /// Approximate `f64` value, for display only — never used in the
+    /// checker's accept/reject decisions.
+    pub fn approx_f64(&self) -> f64 {
+        // Chunked power-of-two scaling: a single `powi` with an exponent
+        // past ±1023 detours through inf/0 and loses everything.
+        fn pow2_f64(mut e: i64) -> f64 {
+            let mut r = 1.0f64;
+            while e > 1000 {
+                r *= 2f64.powi(1000);
+                e -= 1000;
+            }
+            while e < -1000 {
+                r *= 2f64.powi(-1000);
+                e += 1000;
+            }
+            r * 2f64.powi(e as i32)
+        }
+        let mut v = 0.0f64;
+        for (i, &limb) in self.mag.iter().enumerate() {
+            v += limb as f64 * pow2_f64(64 * i as i64 + self.exp);
+        }
+        if self.neg {
+            -v
+        } else {
+            v
+        }
+    }
+}
+
+fn mag_cmp(a: &[u64], b: &[u64]) -> Ordering {
+    let la = a.iter().rposition(|&x| x != 0).map_or(0, |p| p + 1);
+    let lb = b.iter().rposition(|&x| x != 0).map_or(0, |p| p + 1);
+    if la != lb {
+        return la.cmp(&lb);
+    }
+    for i in (0..la).rev() {
+        match a[i].cmp(&b[i]) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
+}
+
+fn mag_add(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let n = a.len().max(b.len());
+    let mut out = Vec::with_capacity(n + 1);
+    let mut carry = 0u128;
+    for i in 0..n {
+        let s =
+            carry + a.get(i).copied().unwrap_or(0) as u128 + b.get(i).copied().unwrap_or(0) as u128;
+        out.push(s as u64);
+        carry = s >> 64;
+    }
+    if carry != 0 {
+        out.push(carry as u64);
+    }
+    out
+}
+
+/// `a − b`, requiring `a ≥ b`.
+fn mag_sub(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow = 0i128;
+    for (i, &ai) in a.iter().enumerate() {
+        let d = ai as i128 - b.get(i).copied().unwrap_or(0) as i128 - borrow;
+        if d < 0 {
+            out.push((d + (1i128 << 64)) as u64);
+            borrow = 1;
+        } else {
+            out.push(d as u64);
+            borrow = 0;
+        }
+    }
+    debug_assert_eq!(borrow, 0, "mag_sub requires a >= b");
+    out
+}
+
+fn mag_mul(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &bj) in b.iter().enumerate() {
+            let cur = out[i + j] as u128 + ai as u128 * bj as u128 + carry;
+            out[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let cur = out[k] as u128 + carry;
+            out[k] = cur as u64;
+            carry = cur >> 64;
+            k += 1;
+        }
+    }
+    out
+}
+
+fn mag_shl(m: &[u64], bits: u64) -> Vec<u64> {
+    if m.is_empty() || bits == 0 {
+        return m.to_vec();
+    }
+    let limbs = (bits / 64) as usize;
+    let rem = bits % 64;
+    let mut out = vec![0u64; limbs];
+    if rem == 0 {
+        out.extend_from_slice(m);
+        return out;
+    }
+    let mut carry = 0u64;
+    for &limb in m {
+        out.push((limb << rem) | carry);
+        carry = limb >> (64 - rem);
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+/// `(m >> bits, any shifted-out bit was non-zero)`.
+fn mag_shr(m: &[u64], bits: u64) -> (Vec<u64>, bool) {
+    let limbs = (bits / 64) as usize;
+    let rem = bits % 64;
+    if limbs >= m.len() {
+        return (Vec::new(), m.iter().any(|&x| x != 0));
+    }
+    let mut lost = m[..limbs].iter().any(|&x| x != 0);
+    let kept = &m[limbs..];
+    if rem == 0 {
+        return (kept.to_vec(), lost);
+    }
+    lost |= kept[0] & ((1u64 << rem) - 1) != 0;
+    let mut out = Vec::with_capacity(kept.len());
+    for i in 0..kept.len() {
+        let hi = kept.get(i + 1).copied().unwrap_or(0);
+        out.push((kept[i] >> rem) | (hi << (64 - rem)));
+    }
+    (out, lost)
+}
+
+fn mag_to_u128(m: &[u64]) -> Option<u128> {
+    let len = m.iter().rposition(|&x| x != 0).map_or(0, |p| p + 1);
+    match len {
+        0 => Some(0),
+        1 => Some(m[0] as u128),
+        2 => Some(m[0] as u128 | (m[1] as u128) << 64),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dy(x: f64) -> Dyadic {
+        Dyadic::from_f64(x).unwrap()
+    }
+
+    #[test]
+    fn f64_round_trip_is_exact() {
+        for x in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.5,
+            0.1,
+            3.25e300,
+            -7.5e-310,
+            f64::MIN_POSITIVE,
+        ] {
+            assert_eq!(dy(x).approx_f64(), x, "{x}");
+        }
+        assert!(Dyadic::from_f64(f64::NAN).is_none());
+        assert!(Dyadic::from_f64(f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn arithmetic_is_exact_where_floats_are_not() {
+        // Dyadic addition is exact real addition of the two doubles, so it
+        // lands strictly between fl(0.3) (rounded down) and fl(0.1 + 0.2)
+        // (rounded up) — neither float equals it.
+        let s = dy(0.1).add(&dy(0.2));
+        assert_eq!(s.cmp(&dy(0.1 + 0.2)), Ordering::Less);
+        assert_eq!(s.cmp(&dy(0.3)), Ordering::Greater);
+        // Products of doubles are exact dyadics (no rounding).
+        let p = dy(1e160).mul(&dy(1e160));
+        assert!(p.is_positive());
+        let q = p.sub(&p);
+        assert!(q.is_zero());
+    }
+
+    #[test]
+    fn comparison_across_scales() {
+        assert_eq!(dy(1e-300).cmp(&dy(1e300)), Ordering::Less);
+        assert_eq!(dy(-1e-300).cmp(&dy(1e-300)), Ordering::Less);
+        assert_eq!(dy(2.0).mul(&dy(0.5)).cmp(&Dyadic::one()), Ordering::Equal);
+        assert_eq!(dy(-3.0).max(&dy(2.0)).cmp(&dy(2.0)), Ordering::Equal);
+        assert_eq!(dy(-3.0).min(&dy(2.0)).cmp(&dy(-3.0)), Ordering::Equal);
+    }
+
+    #[test]
+    fn signs_and_subtraction() {
+        let a = dy(5.0).sub(&dy(7.0));
+        assert!(a.is_negative());
+        assert_eq!(a.cmp(&dy(-2.0)), Ordering::Equal);
+        assert_eq!(a.abs().cmp(&dy(2.0)), Ordering::Equal);
+        assert_eq!(a.negated().cmp(&dy(2.0)), Ordering::Equal);
+    }
+
+    #[test]
+    fn floor_and_ceil() {
+        assert_eq!(dy(2.0).floor_i128(), Some(2));
+        assert_eq!(dy(2.5).floor_i128(), Some(2));
+        assert_eq!(dy(-2.5).floor_i128(), Some(-3));
+        assert_eq!(dy(2.5).ceil_i128(), Some(3));
+        assert_eq!(dy(-2.5).ceil_i128(), Some(-2));
+        assert_eq!(Dyadic::zero().floor_i128(), Some(0));
+        assert_eq!(dy(1e300).mul(&dy(1e300)).floor_i128(), None);
+    }
+
+    #[test]
+    fn pow2_slack_scale() {
+        let slack = Dyadic::pow2(-16);
+        assert_eq!(slack.approx_f64(), 2f64.powi(-16));
+        let scaled = slack.mul(&Dyadic::one().add(&dy(100.0).abs()));
+        assert!(scaled.is_positive());
+        assert_eq!(scaled.cmp(&dy(101.0 * 2f64.powi(-16))), Ordering::Equal);
+    }
+}

@@ -1,0 +1,900 @@
+//! Exact replay of certificates.
+//!
+//! Everything on the accept path runs in [`Dyadic`] arithmetic: the floats
+//! in a certificate are converted bit-exactly and never compared as floats
+//! again. The only tolerance is an explicit *dyadic* slack — the emitting
+//! solver works in `f64`, so its claimed bound can sit a few ulps on the
+//! wrong side of the exact dual objective; the slack is fixed at
+//! `2⁻¹⁶ · (1 + |claimed|)`, far above float noise and far below anything
+//! a tampered certificate could hide behind.
+//!
+//! What a successful replay proves, per proof type:
+//!
+//! * **bound** — the supplied row duals are sign-valid for the row senses,
+//!   so weak duality makes `yᵀb + Σⱼ max/min(zⱼlⱼ, zⱼuⱼ)` (with
+//!   `z = c − Aᵀy`) a sound bound on the LP optimum; the exact value must
+//!   not exceed the claimed bound (plus slack).
+//! * **farkas** — the supplied multipliers aggregate the rows into a single
+//!   inequality `wᵀx ≥ yᵀb` that every feasible point must satisfy, yet
+//!   `sup_box wᵀx < yᵀb` exactly: the LP is infeasible.
+//! * **branch** — the leaves form a valid branching tree (sibling fixes
+//!   split an integer variable into `≤ f` / `≥ f+1`, and every integer
+//!   assignment in the root box reaches a leaf), and each leaf carries its
+//!   own bound or farkas proof over its fixed box.
+
+use crate::cert::{
+    AnalysisCertificate, BranchLeaf, CertDirection, CertProblem, CertSense, Certificate, LeafProof,
+    LpCertificate, LpProof,
+};
+use crate::dyadic::Dyadic;
+use raven_json::Json;
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+/// Replay failure: either the certificate is not well-formed, or it is
+/// well-formed and its proof does not establish the claimed bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// Structurally invalid certificate (lengths, indices, NaN, …).
+    Malformed(String),
+    /// Valid structure, failed proof: the certificate is rejected.
+    Reject(String),
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::Malformed(msg) => write!(f, "malformed certificate: {msg}"),
+            CheckError::Reject(msg) => write!(f, "certificate rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// What a successful replay verified.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CheckReport {
+    /// Property kind from the certificate.
+    pub kind: String,
+    /// Certified tier.
+    pub tier: String,
+    /// Whether the certified verdict was degraded.
+    pub degraded: bool,
+    /// Whether a solver-tier (LP/B&B) proof was replayed.
+    pub lp_checked: bool,
+    /// Branch-and-bound leaves replayed (0 for single-LP proofs).
+    pub leaves: usize,
+    /// The bound the certificate claimed (`None` when infinite).
+    pub claimed_bound: Option<f64>,
+    /// Display-only approximation of the exactly-established bound
+    /// (`None` when the proof establishes infeasibility).
+    pub exact_bound: Option<f64>,
+    /// Piecewise-linear neuron relaxations verified exactly.
+    pub neurons_checked: usize,
+    /// Sigmoid/tanh neurons present but trusted (not replayable exactly).
+    pub neurons_trusted: usize,
+}
+
+impl CheckReport {
+    /// JSON rendering for the `raven_check` binary and the serve spot-check.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("ok", Json::from(true)),
+            ("kind", Json::from(self.kind.as_str())),
+            ("tier", Json::from(self.tier.as_str())),
+            ("degraded", Json::from(self.degraded)),
+            ("lp_checked", Json::from(self.lp_checked)),
+            ("leaves", Json::from(self.leaves)),
+            (
+                "claimed_bound",
+                self.claimed_bound.map_or(Json::Null, Json::from),
+            ),
+            (
+                "exact_bound",
+                self.exact_bound.map_or(Json::Null, Json::from),
+            ),
+            ("neurons_checked", Json::from(self.neurons_checked)),
+            ("neurons_trusted", Json::from(self.neurons_trusted)),
+        ])
+    }
+}
+
+/// Exact variable box; `None` is an open (infinite) side.
+struct ExactBox {
+    lo: Vec<Option<Dyadic>>,
+    hi: Vec<Option<Dyadic>>,
+}
+
+fn dy(x: f64, what: &str) -> Result<Dyadic, CheckError> {
+    Dyadic::from_f64(x).ok_or_else(|| CheckError::Malformed(format!("{what} is not finite")))
+}
+
+/// Finite value or open side, rejecting NaN.
+fn side(x: f64, what: &str) -> Result<Option<Dyadic>, CheckError> {
+    if x.is_nan() {
+        return Err(CheckError::Malformed(format!("{what} is NaN")));
+    }
+    Ok(Dyadic::from_f64(x))
+}
+
+fn root_box(problem: &CertProblem) -> Result<ExactBox, CheckError> {
+    let n = problem.lower.len();
+    if problem.upper.len() != n {
+        return Err(CheckError::Malformed(
+            "lower/upper length mismatch".to_string(),
+        ));
+    }
+    let lo = problem
+        .lower
+        .iter()
+        .map(|&x| {
+            if x == f64::INFINITY {
+                Err(CheckError::Malformed("lower bound is +inf".to_string()))
+            } else {
+                side(x, "lower bound")
+            }
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let hi = problem
+        .upper
+        .iter()
+        .map(|&x| {
+            if x == f64::NEG_INFINITY {
+                Err(CheckError::Malformed("upper bound is -inf".to_string()))
+            } else {
+                side(x, "upper bound")
+            }
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(ExactBox { lo, hi })
+}
+
+/// The exact weak-duality bound `yᵀb + Σⱼ opt(zⱼlⱼ, zⱼuⱼ)` for sign-valid
+/// duals `y`, where `z = c − Aᵀy` and `opt` is max (Maximize) or min.
+fn dual_bound(problem: &CertProblem, bx: &ExactBox, duals: &[f64]) -> Result<Dyadic, CheckError> {
+    let n = problem.lower.len();
+    if duals.len() != problem.rows.len() {
+        return Err(CheckError::Malformed(format!(
+            "expected {} duals, got {}",
+            problem.rows.len(),
+            duals.len()
+        )));
+    }
+    let maximize = problem.direction == CertDirection::Maximize;
+    let mut total = Dyadic::zero();
+    let mut z: Vec<Dyadic> = vec![Dyadic::zero(); n];
+    for &(j, c) in &problem.objective {
+        if j >= n {
+            return Err(CheckError::Malformed("objective index out of range".into()));
+        }
+        z[j] = z[j].add(&dy(c, "objective coefficient")?);
+    }
+    for (row, &yf) in problem.rows.iter().zip(duals) {
+        let y = dy(yf, "dual")?;
+        // Sign validity in the user orientation: a Maximize upper bound may
+        // only *relax* with a ≤ row (y ≥ 0) and only *tighten*… any other
+        // sign combination breaks weak duality, so it is a hard reject.
+        let valid = match (maximize, row.sense) {
+            (_, CertSense::Eq) => true,
+            (true, CertSense::Le) | (false, CertSense::Ge) => !y.is_negative(),
+            (true, CertSense::Ge) | (false, CertSense::Le) => !y.is_positive(),
+        };
+        if !valid {
+            return Err(CheckError::Reject("dual has invalid sign".to_string()));
+        }
+        if y.is_zero() {
+            continue;
+        }
+        total = total.add(&y.mul(&dy(row.rhs, "rhs")?));
+        for &(j, a) in &row.coeffs {
+            if j >= n {
+                return Err(CheckError::Malformed("row index out of range".into()));
+            }
+            z[j] = z[j].sub(&y.mul(&dy(a, "row coefficient")?));
+        }
+    }
+    for (j, zj) in z.iter().enumerate() {
+        if zj.is_zero() {
+            continue;
+        }
+        // Max picks the box side maximizing z_j·x_j; Min the minimizing one.
+        let want_hi = zj.is_positive() == maximize;
+        let bound = if want_hi { &bx.hi[j] } else { &bx.lo[j] };
+        match bound {
+            Some(b) => total = total.add(&zj.mul(b)),
+            None => {
+                return Err(CheckError::Reject(
+                    "dual bound is unbounded (nonzero reduced cost on an open bound)".to_string(),
+                ))
+            }
+        }
+    }
+    Ok(total)
+}
+
+/// Verifies a Farkas infeasibility ray exactly: with `w = Aᵀy` and the
+/// internal sign convention (`≤` rows need `y ≤ 0`, `≥` rows `y ≥ 0`),
+/// every feasible `x` satisfies `wᵀx ≥ yᵀb`; if `sup_box wᵀx < yᵀb`
+/// strictly, the box contains no feasible point.
+fn farkas_refutes(problem: &CertProblem, bx: &ExactBox, ray: &[f64]) -> Result<(), CheckError> {
+    let n = problem.lower.len();
+    if ray.len() != problem.rows.len() {
+        return Err(CheckError::Malformed(format!(
+            "expected {} ray entries, got {}",
+            problem.rows.len(),
+            ray.len()
+        )));
+    }
+    let mut ytb = Dyadic::zero();
+    let mut w: Vec<Dyadic> = vec![Dyadic::zero(); n];
+    for (row, &yf) in problem.rows.iter().zip(ray) {
+        let y = dy(yf, "ray entry")?;
+        let valid = match row.sense {
+            CertSense::Eq => true,
+            CertSense::Le => !y.is_positive(),
+            CertSense::Ge => !y.is_negative(),
+        };
+        if !valid {
+            return Err(CheckError::Reject(
+                "farkas ray has invalid sign".to_string(),
+            ));
+        }
+        if y.is_zero() {
+            continue;
+        }
+        ytb = ytb.add(&y.mul(&dy(row.rhs, "rhs")?));
+        for &(j, a) in &row.coeffs {
+            if j >= n {
+                return Err(CheckError::Malformed("row index out of range".into()));
+            }
+            w[j] = w[j].add(&y.mul(&dy(a, "row coefficient")?));
+        }
+    }
+    let mut sup = Dyadic::zero();
+    for (j, wj) in w.iter().enumerate() {
+        if wj.is_zero() {
+            continue;
+        }
+        let bound = if wj.is_positive() {
+            &bx.hi[j]
+        } else {
+            &bx.lo[j]
+        };
+        match bound {
+            Some(b) => sup = sup.add(&wj.mul(b)),
+            None => {
+                return Err(CheckError::Reject(
+                    "farkas aggregate is unbounded over the box".to_string(),
+                ))
+            }
+        }
+    }
+    if ytb.sub(&sup).is_positive() {
+        Ok(())
+    } else {
+        Err(CheckError::Reject(
+            "farkas ray does not refute feasibility".to_string(),
+        ))
+    }
+}
+
+/// Integer interval endpoints; `None` is the open side.
+fn int_range(
+    lo: &Option<Dyadic>,
+    hi: &Option<Dyadic>,
+) -> Result<(Option<i128>, Option<i128>), CheckError> {
+    let overflow = || CheckError::Reject("branch bound exceeds i128".to_string());
+    let clo = match lo {
+        Some(d) => Some(d.ceil_i128().ok_or_else(overflow)?),
+        None => None,
+    };
+    let chi = match hi {
+        Some(d) => Some(d.floor_i128().ok_or_else(overflow)?),
+        None => None,
+    };
+    Ok((clo, chi))
+}
+
+/// Checks that the sibling intervals at one branching depth jointly cover
+/// every integer in `[clo, chi]` (`None` = infinite side).
+fn intervals_cover(
+    mut intervals: Vec<(Option<i128>, Option<i128>)>,
+    clo: Option<i128>,
+    chi: Option<i128>,
+) -> bool {
+    if let (Some(l), Some(h)) = (clo, chi) {
+        if l > h {
+            return true; // no integers to cover
+        }
+    }
+    // Sort by lower endpoint, open side first, and sweep.
+    intervals.sort_by(|a, b| match (a.0, b.0) {
+        (None, None) => Ordering::Equal,
+        (None, Some(_)) => Ordering::Less,
+        (Some(_), None) => Ordering::Greater,
+        (Some(x), Some(y)) => x.cmp(&y),
+    });
+    // `covered` = everything ≤ this value is covered (starting just below
+    // the required range); None means nothing covered yet.
+    let mut covered: Option<i128> = None;
+    let mut started = false;
+    for (lo, hi) in intervals {
+        let reaches_start = match (started, covered, lo, clo) {
+            // First interval must reach the start of the required range.
+            (false, _, None, _) => true,
+            (false, _, Some(l), None) => return l == i128::MIN, // can't cover -inf with finite lo
+            (false, _, Some(l), Some(s)) => l <= s,
+            // Later intervals must touch or overlap the covered prefix.
+            (true, Some(c), Some(l), _) => l <= c.saturating_add(1),
+            (true, Some(_), None, _) => true,
+            (true, None, _, _) => unreachable!("started implies covered"),
+        };
+        if !reaches_start {
+            continue; // disjoint later interval: useless until a gap-filler shows up (sorted, so it never will)
+        }
+        started = true;
+        match hi {
+            None => return true, // covered through +inf
+            Some(h) => {
+                covered = Some(covered.map_or(h, |c| c.max(h)));
+            }
+        }
+        if let (Some(c), Some(end)) = (covered, chi) {
+            if c >= end {
+                return true;
+            }
+        }
+    }
+    match (started, covered, chi) {
+        (false, _, _) => false,
+        (_, _, None) => false, // required range extends to +inf, no interval did
+        (true, Some(c), Some(end)) => c >= end,
+        (true, None, _) => false,
+    }
+}
+
+/// Recursive branching-tree coverage: at each depth, group the leaves by
+/// their next fix; the sibling fixes must split a single integer variable
+/// so that every integer value in the current box reaches some group.
+fn cover(
+    leaves: &[&BranchLeaf],
+    depth: usize,
+    bx: &mut ExactBox,
+    is_int: &[bool],
+) -> Result<(), CheckError> {
+    if leaves.iter().any(|l| l.fixes.len() == depth) {
+        // A leaf whose path ends here covers this whole subtree box.
+        return Ok(());
+    }
+    let mut groups: BTreeMap<(usize, u64, u64), Vec<&BranchLeaf>> = BTreeMap::new();
+    for leaf in leaves {
+        let (v, lo, hi) = leaf.fixes[depth];
+        groups
+            .entry((v, lo.to_bits(), hi.to_bits()))
+            .or_default()
+            .push(leaf);
+    }
+    let vars: Vec<usize> = {
+        let mut vs: Vec<usize> = groups.keys().map(|&(v, _, _)| v).collect();
+        vs.dedup();
+        vs
+    };
+    if vars.len() != 1 {
+        return Err(CheckError::Reject(
+            "branch siblings split different variables".to_string(),
+        ));
+    }
+    let v = vars[0];
+    if v >= is_int.len() || !is_int[v] {
+        return Err(CheckError::Reject(
+            "branch fixes a non-integer variable".to_string(),
+        ));
+    }
+    let (clo, chi) = int_range(&bx.lo[v], &bx.hi[v])?;
+    let mut intervals = Vec::with_capacity(groups.len());
+    for &(_, lo_bits, hi_bits) in groups.keys() {
+        let lo = side(f64::from_bits(lo_bits), "fix lower")?;
+        let hi = side(f64::from_bits(hi_bits), "fix upper")?;
+        intervals.push(int_range(&lo, &hi)?);
+    }
+    if !intervals_cover(intervals, clo, chi) {
+        return Err(CheckError::Reject(
+            "branch leaves do not cover all integer assignments".to_string(),
+        ));
+    }
+    for ((_, lo_bits, hi_bits), group) in &groups {
+        let fix_lo = side(f64::from_bits(*lo_bits), "fix lower")?;
+        let fix_hi = side(f64::from_bits(*hi_bits), "fix upper")?;
+        // Intersect the fix into the box, recurse, restore.
+        let old_lo = bx.lo[v].clone();
+        let old_hi = bx.hi[v].clone();
+        bx.lo[v] = match (&old_lo, &fix_lo) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (Some(a), None) => Some(a.clone()),
+            (None, b) => b.clone(),
+        };
+        bx.hi[v] = match (&old_hi, &fix_hi) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a.clone()),
+            (None, b) => b.clone(),
+        };
+        let result = cover(group, depth + 1, bx, is_int);
+        bx.lo[v] = old_lo;
+        bx.hi[v] = old_hi;
+        result?;
+    }
+    Ok(())
+}
+
+/// Applies a leaf's cumulative fixes to a copy of the root box.
+fn leaf_box(root: &ExactBox, leaf: &BranchLeaf) -> Result<ExactBox, CheckError> {
+    let mut bx = ExactBox {
+        lo: root.lo.clone(),
+        hi: root.hi.clone(),
+    };
+    for &(v, lo, hi) in &leaf.fixes {
+        if v >= bx.lo.len() {
+            return Err(CheckError::Malformed("fix index out of range".into()));
+        }
+        if let Some(b) = side(lo, "fix lower")? {
+            bx.lo[v] = Some(bx.lo[v].as_ref().map_or(b.clone(), |a| a.max(&b)));
+        }
+        if let Some(b) = side(hi, "fix upper")? {
+            bx.hi[v] = Some(bx.hi[v].as_ref().map_or(b.clone(), |a| a.min(&b)));
+        }
+    }
+    Ok(bx)
+}
+
+/// Replays a solver-tier certificate. Returns the exactly-established bound
+/// (`None` when the proof establishes infeasibility) after verifying it is
+/// at least as strong as the claimed bound.
+fn check_lp(cert: &LpCertificate) -> Result<(Option<Dyadic>, usize), CheckError> {
+    let problem = &cert.problem;
+    let n = problem.lower.len();
+    for &j in &problem.integer {
+        if j >= n {
+            return Err(CheckError::Malformed("integer index out of range".into()));
+        }
+    }
+    let mut root = root_box(problem)?;
+    let maximize = problem.direction == CertDirection::Maximize;
+    let (established, leaves) = match &cert.proof {
+        LpProof::Bound { duals } => (Some(dual_bound(problem, &root, duals)?), 0),
+        LpProof::Farkas { ray } => {
+            farkas_refutes(problem, &root, ray)?;
+            (None, 0)
+        }
+        LpProof::Branch { leaves } => {
+            if leaves.is_empty() {
+                return Err(CheckError::Malformed("branch proof with no leaves".into()));
+            }
+            let mut is_int = vec![false; n];
+            for &j in &problem.integer {
+                is_int[j] = true;
+            }
+            let refs: Vec<&BranchLeaf> = leaves.iter().collect();
+            cover(&refs, 0, &mut root, &is_int)?;
+            let mut best: Option<Dyadic> = None;
+            for leaf in leaves {
+                let bx = leaf_box(&root, leaf)?;
+                match &leaf.proof {
+                    LeafProof::Bound { duals } => {
+                        let b = dual_bound(problem, &bx, duals)?;
+                        best = Some(match best {
+                            None => b,
+                            Some(cur) => {
+                                if maximize {
+                                    cur.max(&b)
+                                } else {
+                                    cur.min(&b)
+                                }
+                            }
+                        });
+                    }
+                    LeafProof::Farkas { ray } => farkas_refutes(problem, &bx, ray)?,
+                }
+            }
+            (best, leaves.len())
+        }
+    };
+    // Compare against the claim, entirely in dyadic arithmetic.
+    let claimed = cert.claimed_bound;
+    let trivially_true = if maximize {
+        claimed == f64::INFINITY
+    } else {
+        claimed == f64::NEG_INFINITY
+    };
+    if !trivially_true {
+        match &established {
+            None => {} // proved infeasible: every bound claim holds
+            Some(bound) => {
+                if !claimed.is_finite() {
+                    // Finite-evidence proof cannot support an infeasibility
+                    // (−inf/+inf) claim.
+                    return Err(CheckError::Reject(
+                        "claimed bound is infinite but proof only bounds the optimum".to_string(),
+                    ));
+                }
+                let claimed_d = dy(claimed, "claimed bound")?;
+                let slack = Dyadic::pow2(-16).mul(&Dyadic::one().add(&claimed_d.abs()));
+                let gap = if maximize {
+                    bound.sub(&claimed_d)
+                } else {
+                    claimed_d.sub(bound)
+                };
+                if gap.cmp(&slack) == Ordering::Greater {
+                    return Err(CheckError::Reject(format!(
+                        "exact bound {} does not support claimed bound {claimed}",
+                        bound.approx_f64()
+                    )));
+                }
+            }
+        }
+    }
+    Ok((established, leaves))
+}
+
+/// Exact value of a certified piecewise-linear activation at `x`.
+fn act_value(act: &str, alpha: &Dyadic, x: &Dyadic) -> Option<Dyadic> {
+    match act {
+        "relu" => Some(x.max(&Dyadic::zero())),
+        "leakyrelu" => Some(if x.is_negative() {
+            alpha.mul(x)
+        } else {
+            x.clone()
+        }),
+        "hardtanh" => {
+            let one = Dyadic::one();
+            Some(x.max(&one.negated()).min(&one))
+        }
+        _ => None,
+    }
+}
+
+/// Interior kink positions of a certified activation.
+fn act_kinks(act: &str) -> Vec<Dyadic> {
+    match act {
+        "relu" | "leakyrelu" => vec![Dyadic::zero()],
+        "hardtanh" => vec![Dyadic::one().negated(), Dyadic::one()],
+        _ => Vec::new(),
+    }
+}
+
+/// Replays an analysis-tier certificate: every piecewise-linear relaxation
+/// must bracket its activation at the interval endpoints and every interior
+/// kink (linearity between those points does the rest). Returns
+/// `(checked, trusted)` neuron counts.
+fn check_analysis(cert: &AnalysisCertificate) -> Result<(usize, usize), CheckError> {
+    let mut checked = 0usize;
+    let mut trusted = cert.trusted;
+    for neuron in &cert.neurons {
+        match neuron.act.as_str() {
+            "sigmoid" | "tanh" => {
+                trusted += 1;
+                continue;
+            }
+            "relu" | "leakyrelu" | "hardtanh" => {}
+            other => return Err(CheckError::Malformed(format!("unknown activation {other}"))),
+        }
+        let lo = dy(neuron.lo, "neuron lo")?;
+        let hi = dy(neuron.hi, "neuron hi")?;
+        if lo.cmp(&hi) == Ordering::Greater {
+            return Err(CheckError::Malformed("neuron has inverted bounds".into()));
+        }
+        let alpha = dy(neuron.alpha, "alpha")?;
+        let ls = dy(neuron.lower_slope, "lower slope")?;
+        let li = dy(neuron.lower_intercept, "lower intercept")?;
+        let us = dy(neuron.upper_slope, "upper slope")?;
+        let ui = dy(neuron.upper_intercept, "upper intercept")?;
+        let mut points = vec![lo.clone(), hi.clone()];
+        for kink in act_kinks(&neuron.act) {
+            if lo.cmp(&kink) == Ordering::Less && kink.cmp(&hi) == Ordering::Less {
+                points.push(kink);
+            }
+        }
+        for x in &points {
+            let f = act_value(&neuron.act, &alpha, x)
+                .expect("piecewise-linear activations matched above");
+            // The emitter computed the lines in f64, so a correct
+            // relaxation can sit a few ulps past the function; the exact
+            // check allows 2⁻³⁰·(1+|x|), still ~10³ below any meaningful
+            // perturbation.
+            let tol = Dyadic::pow2(-30).mul(&Dyadic::one().add(&x.abs()));
+            let lower = ls.mul(x).add(&li);
+            let upper = us.mul(x).add(&ui);
+            if lower.sub(&f).cmp(&tol) == Ordering::Greater {
+                return Err(CheckError::Reject(format!(
+                    "lower relaxation line exceeds {} at x={}",
+                    neuron.act,
+                    x.approx_f64()
+                )));
+            }
+            if f.sub(&upper).cmp(&tol) == Ordering::Greater {
+                return Err(CheckError::Reject(format!(
+                    "upper relaxation line falls below {} at x={}",
+                    neuron.act,
+                    x.approx_f64()
+                )));
+            }
+        }
+        checked += 1;
+    }
+    Ok((checked, trusted))
+}
+
+/// Replays a complete certificate.
+///
+/// # Errors
+///
+/// [`CheckError::Malformed`] for structural problems,
+/// [`CheckError::Reject`] when a proof fails to establish its claim.
+pub fn check_certificate(cert: &Certificate) -> Result<CheckReport, CheckError> {
+    if cert.lp.is_none() && cert.analysis.is_none() {
+        return Err(CheckError::Malformed(
+            "certificate has no lp or analysis section".to_string(),
+        ));
+    }
+    let mut report = CheckReport {
+        kind: cert.kind.clone(),
+        tier: cert.tier.clone(),
+        degraded: cert.degraded,
+        ..CheckReport::default()
+    };
+    if let Some(lp) = &cert.lp {
+        let (established, leaves) = check_lp(lp)?;
+        report.lp_checked = true;
+        report.leaves = leaves;
+        report.claimed_bound = lp.claimed_bound.is_finite().then_some(lp.claimed_bound);
+        report.exact_bound = established.map(|b| b.approx_f64());
+    }
+    if let Some(analysis) = &cert.analysis {
+        let (checked, trusted) = check_analysis(analysis)?;
+        report.neurons_checked = checked;
+        report.neurons_trusted = trusted;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::{AnalysisNeuron, CertRow};
+
+    /// max x + y s.t. x + 2y ≤ 4, 3x + y ≤ 6, 0 ≤ x,y ≤ 10 → optimum 2.8
+    /// at the duals y = (0.4, 0.2).
+    fn sample_max() -> CertProblem {
+        CertProblem {
+            direction: CertDirection::Maximize,
+            lower: vec![0.0, 0.0],
+            upper: vec![10.0, 10.0],
+            integer: vec![],
+            rows: vec![
+                CertRow {
+                    sense: CertSense::Le,
+                    rhs: 4.0,
+                    coeffs: vec![(0, 1.0), (1, 2.0)],
+                },
+                CertRow {
+                    sense: CertSense::Le,
+                    rhs: 6.0,
+                    coeffs: vec![(0, 3.0), (1, 1.0)],
+                },
+            ],
+            objective: vec![(0, 1.0), (1, 1.0)],
+        }
+    }
+
+    #[test]
+    fn valid_dual_bound_is_accepted() {
+        let cert = LpCertificate {
+            problem: sample_max(),
+            claimed_bound: 2.8,
+            proof: LpProof::Bound {
+                duals: vec![0.4, 0.2],
+            },
+        };
+        // The duals 0.4/0.2 are not exact dyadics, so the exact bound
+        // differs from 2.8 by a float residue — absorbed by the slack.
+        let (bound, _) = check_lp(&cert).unwrap();
+        let b = bound.unwrap();
+        assert!((b.approx_f64() - 2.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tampered_dual_is_rejected() {
+        // Shrinking a dual loosens nothing: z picks up slack at the box
+        // bound and the exact bound rises above the claim.
+        let cert = LpCertificate {
+            problem: sample_max(),
+            claimed_bound: 2.8,
+            proof: LpProof::Bound {
+                duals: vec![0.0, 0.2],
+            },
+        };
+        assert!(matches!(check_lp(&cert), Err(CheckError::Reject(_))));
+        // A wrong-signed dual is rejected outright.
+        let cert = LpCertificate {
+            problem: sample_max(),
+            claimed_bound: 100.0,
+            proof: LpProof::Bound {
+                duals: vec![-0.4, 0.2],
+            },
+        };
+        assert!(matches!(check_lp(&cert), Err(CheckError::Reject(_))));
+    }
+
+    #[test]
+    fn understated_claim_is_rejected() {
+        let cert = LpCertificate {
+            problem: sample_max(),
+            claimed_bound: 2.0, // true optimum is 2.8: claim too strong
+            proof: LpProof::Bound {
+                duals: vec![0.4, 0.2],
+            },
+        };
+        assert!(matches!(check_lp(&cert), Err(CheckError::Reject(_))));
+    }
+
+    #[test]
+    fn farkas_ray_refutes_infeasible_box() {
+        // x ≥ 3 with x ∈ [0, 1]: the ray y = 1 (Ge) aggregates to
+        // x ≥ 3 > sup_box x = 1.
+        let problem = CertProblem {
+            direction: CertDirection::Maximize,
+            lower: vec![0.0],
+            upper: vec![1.0],
+            integer: vec![],
+            rows: vec![CertRow {
+                sense: CertSense::Ge,
+                rhs: 3.0,
+                coeffs: vec![(0, 1.0)],
+            }],
+            objective: vec![(0, 1.0)],
+        };
+        let cert = LpCertificate {
+            problem: problem.clone(),
+            claimed_bound: f64::NEG_INFINITY,
+            proof: LpProof::Farkas { ray: vec![1.0] },
+        };
+        assert!(check_lp(&cert).unwrap().0.is_none());
+        // The zero ray proves nothing.
+        let cert = LpCertificate {
+            problem,
+            claimed_bound: f64::NEG_INFINITY,
+            proof: LpProof::Farkas { ray: vec![0.0] },
+        };
+        assert!(matches!(check_lp(&cert), Err(CheckError::Reject(_))));
+    }
+
+    #[test]
+    fn branch_coverage_gap_is_rejected() {
+        // One binary; a single leaf fixing x ≤ 0 leaves x = 1 uncovered.
+        let mut problem = sample_max();
+        problem.integer = vec![0];
+        let leaf = |lo: f64, hi: f64| BranchLeaf {
+            fixes: vec![(0, lo, hi)],
+            proof: LeafProof::Bound {
+                duals: vec![0.4, 0.2],
+            },
+        };
+        let gap = LpCertificate {
+            problem: problem.clone(),
+            claimed_bound: 2.8,
+            proof: LpProof::Branch {
+                leaves: vec![leaf(f64::NEG_INFINITY, 0.0)],
+            },
+        };
+        assert!(matches!(check_lp(&gap), Err(CheckError::Reject(_))));
+        let full = LpCertificate {
+            problem,
+            claimed_bound: 2.8,
+            proof: LpProof::Branch {
+                leaves: vec![leaf(f64::NEG_INFINITY, 0.0), leaf(1.0, f64::INFINITY)],
+            },
+        };
+        let (bound, leaves) = check_lp(&full).unwrap();
+        assert!(bound.is_some());
+        assert_eq!(leaves, 2);
+    }
+
+    #[test]
+    fn interval_cover_handles_empty_and_open_ranges() {
+        // Required range empty → trivially covered.
+        assert!(intervals_cover(vec![], Some(1), Some(0)));
+        // [−inf, 0] ∪ [1, +inf] covers [0, 1].
+        assert!(intervals_cover(
+            vec![(None, Some(0)), (Some(1), None)],
+            Some(0),
+            Some(1)
+        ));
+        // Gap at 1.
+        assert!(!intervals_cover(
+            vec![(None, Some(0)), (Some(2), None)],
+            Some(0),
+            Some(3)
+        ));
+        // Open required side needs an open interval.
+        assert!(!intervals_cover(vec![(Some(0), Some(5))], None, Some(1)));
+    }
+
+    fn relu_neuron(lo: f64, hi: f64) -> AnalysisNeuron {
+        // The triangle relaxation, computed the same way the emitter does.
+        let us = hi / (hi - lo);
+        AnalysisNeuron {
+            act: "relu".to_string(),
+            alpha: 0.0,
+            lo,
+            hi,
+            lower_slope: if hi > -lo { 1.0 } else { 0.0 },
+            lower_intercept: 0.0,
+            upper_slope: us,
+            upper_intercept: -lo * us,
+        }
+    }
+
+    #[test]
+    fn analysis_relaxation_round_trips_and_rejects_tampering() {
+        let good = AnalysisCertificate {
+            neurons: vec![relu_neuron(-1.0, 3.0), relu_neuron(-0.7, 0.2)],
+            trusted: 0,
+        };
+        assert_eq!(check_analysis(&good).unwrap(), (2, 0));
+        // Lower the upper line: it dips below relu at the kink.
+        let mut bad = good.clone();
+        bad.neurons[0].upper_intercept -= 1e-3;
+        assert!(matches!(check_analysis(&bad), Err(CheckError::Reject(_))));
+        // Raise the lower line: it pokes above relu at the kink.
+        let mut bad = good.clone();
+        bad.neurons[1].lower_intercept = 0.1;
+        assert!(matches!(check_analysis(&bad), Err(CheckError::Reject(_))));
+        // Sigmoid neurons are counted as trusted, not checked.
+        let mixed = AnalysisCertificate {
+            neurons: vec![AnalysisNeuron {
+                act: "sigmoid".to_string(),
+                alpha: 0.0,
+                lo: -1.0,
+                hi: 1.0,
+                lower_slope: 0.0,
+                lower_intercept: 0.0,
+                upper_slope: 0.0,
+                upper_intercept: 1.0,
+            }],
+            trusted: 0,
+        };
+        assert_eq!(check_analysis(&mixed).unwrap(), (0, 1));
+    }
+
+    #[test]
+    fn hardtanh_and_leaky_relaxations_check_exactly() {
+        let neurons = vec![
+            AnalysisNeuron {
+                act: "hardtanh".to_string(),
+                alpha: 0.0,
+                lo: -2.5,
+                hi: 2.5,
+                // Kink-anchored lines at slope 2/(hi+1), matching relax.rs.
+                lower_slope: 2.0 / 3.5,
+                lower_intercept: 2.0 / 3.5 - 1.0,
+                upper_slope: 2.0 / 3.5,
+                upper_intercept: 1.0 - 2.0 / 3.5,
+            },
+            AnalysisNeuron {
+                act: "leakyrelu".to_string(),
+                alpha: 0.01,
+                lo: -2.0,
+                hi: 2.0,
+                lower_slope: 1.0,
+                lower_intercept: 0.0,
+                upper_slope: (2.0 + 0.01 * 2.0) / 4.0,
+                upper_intercept: 0.01 * -2.0 - (2.0 + 0.01 * 2.0) / 4.0 * -2.0,
+            },
+        ];
+        let cert = AnalysisCertificate {
+            neurons,
+            trusted: 0,
+        };
+        assert_eq!(check_analysis(&cert).unwrap(), (2, 0));
+    }
+}

@@ -24,7 +24,8 @@
 //! `result` field served by `raven-serve` for the same query.
 
 use raven::{
-    report, verify_monotonicity_with_hooks, verify_uap_with_hooks, Method, MonotonicityProblem,
+    report, verify_monotonicity_certified_with_hooks, verify_monotonicity_with_hooks,
+    verify_uap_certified_with_hooks, verify_uap_with_hooks, Method, MonotonicityProblem,
     PairStrategy, RavenConfig, RunHooks, TierMillis, UapProblem,
 };
 use raven_json::Json;
@@ -58,14 +59,18 @@ const USAGE: &str = "usage:
                         [--method box|deeppoly|io-lp|raven] [--pairs none|consecutive|all]
                         [--threads <n>] [--deadline-ms <ms>] [--json]
                         [--stats] [--trace-out <trace.jsonl>]
+                        [--certificate-out <cert.json>]
                         (--threads 0 = all cores, 1 = sequential; default 1;
                          --deadline-ms degrades to the best sound bound in time;
                          --stats prints a solver/phase summary to stderr;
-                         --trace-out writes JSONL spans for flamegraphs)
+                         --trace-out writes JSONL spans for flamegraphs;
+                         --certificate-out writes a proof certificate that
+                         `raven_check` replays in exact arithmetic)
   raven_cli verify-mono --model <net.txt> --center <v,v,...> --feature <i>
                         --tau <f> [--eps <f>] [--decreasing] [--method ...]
                         [--threads <n>] [--deadline-ms <ms>] [--json]
                         [--stats] [--trace-out <trace.jsonl>]
+                        [--certificate-out <cert.json>]
   raven_cli export-lp   --model <net.txt> --inputs <batch.txt> --eps <f> --out <file.lp>
 
 exit codes: 0 verified, 1 runtime error, 2 usage error, 3 ran soundly but not verified";
@@ -403,6 +408,18 @@ fn parse_hooks(flags: &Flags) -> Result<RunHooks<'static>, CliError> {
     }
 }
 
+/// Writes a proof certificate next to the verdict. Runs that produced no
+/// certifiable evidence write JSON `null` — the file always exists so
+/// callers can distinguish "not requested" from "nothing to certify".
+fn write_certificate(path: &str, cert: Option<raven::Certificate>) -> Result<(), CliError> {
+    let text = match cert {
+        Some(c) => c.to_json().to_string(),
+        None => "null".to_string(),
+    };
+    std::fs::write(path, text)
+        .map_err(|e| CliError::runtime(format!("--certificate-out {path}: {e}")))
+}
+
 fn cmd_verify_uap(flags: &Flags) -> Result<Outcome, CliError> {
     let model = flags.require("model")?;
     let net = load_network(Path::new(model)).map_err(|e| CliError::runtime(e.to_string()))?;
@@ -421,8 +438,16 @@ fn cmd_verify_uap(flags: &Flags) -> Result<Outcome, CliError> {
         eps,
     };
     let hooks = parse_hooks(flags)?;
-    let res = verify_uap_with_hooks(&problem, method, &config, &hooks)
-        .expect("deadline-only hooks never cancel");
+    let res = match flags.get("certificate-out") {
+        None => verify_uap_with_hooks(&problem, method, &config, &hooks)
+            .expect("deadline-only hooks never cancel"),
+        Some(path) => {
+            let (res, cert) = verify_uap_certified_with_hooks(&problem, method, &config, &hooks)
+                .expect("deadline-only hooks never cancel");
+            write_certificate(path, cert)?;
+            res
+        }
+    };
     if flags.has("json") {
         let verdict = report::uap_verdict_json(problem.k(), problem.eps, &res);
         println!(
@@ -502,8 +527,17 @@ fn cmd_verify_mono(flags: &Flags) -> Result<Outcome, CliError> {
         increasing: !flags.has("decreasing"),
     };
     let hooks = parse_hooks(flags)?;
-    let res = verify_monotonicity_with_hooks(&problem, method, &config, &hooks)
-        .expect("deadline-only hooks never cancel");
+    let res = match flags.get("certificate-out") {
+        None => verify_monotonicity_with_hooks(&problem, method, &config, &hooks)
+            .expect("deadline-only hooks never cancel"),
+        Some(path) => {
+            let (res, cert) =
+                verify_monotonicity_certified_with_hooks(&problem, method, &config, &hooks)
+                    .expect("deadline-only hooks never cancel");
+            write_certificate(path, cert)?;
+            res
+        }
+    };
     if flags.has("json") {
         let verdict = report::mono_verdict_json(&problem, &res);
         println!(

@@ -41,6 +41,7 @@
 //! assert!(result.worst_case_accuracy >= 0.0);
 //! ```
 
+mod certificate;
 mod config;
 pub mod encode;
 pub mod hooks;
@@ -58,11 +59,14 @@ mod uap;
 pub use config::{Method, PairStrategy, RavenConfig};
 pub use hooks::{Phase, RunHooks};
 pub use monotonicity::{
-    verify_monotonicity, verify_monotonicity_with_hooks, MonotonicityProblem, MonotonicityResult,
+    verify_monotonicity, verify_monotonicity_certified, verify_monotonicity_certified_with_hooks,
+    verify_monotonicity_with_hooks, MonotonicityProblem, MonotonicityResult,
 };
+pub use raven_check::Certificate;
 pub use relational::{InputCoord, OutputQuery, RelationalBound, RelationalProblem};
 pub use tier::{Tier, TierMillis};
 pub use uap::{
-    replay_uap_delta, verify_targeted_uap, verify_targeted_uap_all, verify_uap, verify_uap_l1,
-    verify_uap_with_hooks, TargetedUapProblem, TargetedUapResult, UapProblem, UapResult,
+    replay_uap_delta, verify_targeted_uap, verify_targeted_uap_all, verify_uap,
+    verify_uap_certified, verify_uap_certified_with_hooks, verify_uap_l1, verify_uap_with_hooks,
+    TargetedUapProblem, TargetedUapResult, UapProblem, UapResult,
 };

@@ -7,6 +7,7 @@
 //! baselines bound each execution's score independently, which almost never
 //! certifies monotonicity — exactly the gap the paper reports.
 
+use crate::certificate::CertSink;
 use crate::config::{Method, RavenConfig};
 use crate::encode::{encode, Expr};
 use crate::hooks::{Phase, RunHooks};
@@ -125,6 +126,53 @@ pub fn verify_monotonicity_with_hooks(
     config: &RavenConfig,
     hooks: &RunHooks<'_>,
 ) -> Option<MonotonicityResult> {
+    verify_monotonicity_inner(problem, method, config, hooks, None)
+}
+
+/// [`verify_monotonicity`] that additionally emits a replayable proof
+/// certificate: the LP dual evidence from a secondary certified solve when
+/// the relational LP finished, plus the per-neuron DeepPoly relaxation
+/// records for the two executions. `None` certificate when the run
+/// produced no certifiable evidence; the [`MonotonicityResult`] is the
+/// same verdict the uncertified path computes.
+///
+/// # Panics
+///
+/// Panics on the same shape violations as [`verify_monotonicity`].
+pub fn verify_monotonicity_certified(
+    problem: &MonotonicityProblem,
+    method: Method,
+    config: &RavenConfig,
+) -> (MonotonicityResult, Option<raven_check::Certificate>) {
+    verify_monotonicity_certified_with_hooks(problem, method, config, &RunHooks::default())
+        .expect("default hooks never cancel")
+}
+
+/// [`verify_monotonicity_certified`] with cancellation/progress hooks.
+/// Returns `None` when the run was cancelled at a phase boundary.
+///
+/// # Panics
+///
+/// Panics on the same shape violations as [`verify_monotonicity`].
+pub fn verify_monotonicity_certified_with_hooks(
+    problem: &MonotonicityProblem,
+    method: Method,
+    config: &RavenConfig,
+    hooks: &RunHooks<'_>,
+) -> Option<(MonotonicityResult, Option<raven_check::Certificate>)> {
+    let mut sink = CertSink::default();
+    let res = verify_monotonicity_inner(problem, method, config, hooks, Some(&mut sink))?;
+    let cert = sink.into_certificate("monotonicity", res.tier, res.degraded);
+    Some((res, cert))
+}
+
+fn verify_monotonicity_inner(
+    problem: &MonotonicityProblem,
+    method: Method,
+    config: &RavenConfig,
+    hooks: &RunHooks<'_>,
+    cert: Option<&mut CertSink>,
+) -> Option<MonotonicityResult> {
     assert!(
         problem.feature < problem.plan.input_dim(),
         "feature index out of range"
@@ -144,7 +192,7 @@ pub fn verify_monotonicity_with_hooks(
             0.0,
         ),
         Method::IoLp | Method::Raven => {
-            verify_monotonicity_lp(problem, method, config, sign, hooks)?
+            verify_monotonicity_lp(problem, method, config, sign, hooks, cert)?
         }
     };
     let millis = start.elapsed().as_secs_f64() * 1e3;
@@ -204,11 +252,15 @@ fn verify_monotonicity_lp(
     config: &RavenConfig,
     sign: f64,
     hooks: &RunHooks<'_>,
+    mut cert: Option<&mut CertSink>,
 ) -> Option<(f64, Tier, bool, f64)> {
     let plan = &problem.plan;
     let (box_a, box_b) = input_boxes(problem);
     let dp_a = DeepPolyAnalysis::run(plan, &box_a);
     let dp_b = DeepPolyAnalysis::run(plan, &box_b);
+    if let Some(sink) = cert.as_deref_mut() {
+        sink.record_analyses(plan, &[&dp_a, &dp_b]);
+    }
     // Base variables: the shared input x (box A) and the shift t.
     let mut lp = LpProblem::new();
     let x_vars: Vec<VarId> = box_a
@@ -272,6 +324,9 @@ fn verify_monotonicity_lp(
     let lp_millis = t0.elapsed().as_secs_f64() * 1e3;
     Some(match res {
         Ok(sol) if sol.status == SolveStatus::Optimal => {
+            if let Some(sink) = cert {
+                sink.solve_lp(&lp, Tier::Lp, config, hooks);
+            }
             (sol.objective, Tier::Lp, false, lp_millis)
         }
         Err(LpError::BudgetExceeded) => {

@@ -7,6 +7,7 @@
 //! The worst-case hamming distance of the predicted label string is the
 //! complementary count `k · (1 − accuracy)`.
 
+use crate::certificate::CertSink;
 use crate::config::{Method, RavenConfig};
 use crate::encode::{encode, Expr};
 use crate::hooks::{Phase, RunHooks};
@@ -145,6 +146,7 @@ pub fn verify_uap_l1(
             config,
             Some(l1_budget),
             &RunHooks::default(),
+            None,
         )
         .expect("default hooks never cancel"),
     }
@@ -184,7 +186,54 @@ pub fn verify_uap_with_hooks(
     hooks: &RunHooks<'_>,
 ) -> Option<UapResult> {
     let delta_box = vec![Interval::symmetric(problem.eps); problem.plan.input_dim()];
-    verify_uap_with_extra(problem, &delta_box, method, config, None, hooks)
+    verify_uap_with_extra(problem, &delta_box, method, config, None, hooks, None)
+}
+
+/// [`verify_uap`] that additionally emits a replayable proof certificate
+/// for the verdict: LP/MILP dual evidence from a secondary certified solve
+/// matched to the verdict's tier, plus the per-neuron DeepPoly relaxation
+/// records (RaVeN method only — the I/O formulation discards its analyses).
+/// The certificate is `None` when the run produced no certifiable
+/// evidence; the [`UapResult`] is byte-for-byte the same verdict the
+/// uncertified path computes.
+///
+/// # Panics
+///
+/// Panics on the same shape violations as [`verify_uap`].
+pub fn verify_uap_certified(
+    problem: &UapProblem,
+    method: Method,
+    config: &RavenConfig,
+) -> (UapResult, Option<raven_check::Certificate>) {
+    verify_uap_certified_with_hooks(problem, method, config, &RunHooks::default())
+        .expect("default hooks never cancel")
+}
+
+/// [`verify_uap_certified`] with cancellation/progress hooks. Returns
+/// `None` when the run was cancelled at a phase boundary.
+///
+/// # Panics
+///
+/// Panics on the same shape violations as [`verify_uap`].
+pub fn verify_uap_certified_with_hooks(
+    problem: &UapProblem,
+    method: Method,
+    config: &RavenConfig,
+    hooks: &RunHooks<'_>,
+) -> Option<(UapResult, Option<raven_check::Certificate>)> {
+    let delta_box = vec![Interval::symmetric(problem.eps); problem.plan.input_dim()];
+    let mut sink = CertSink::default();
+    let res = verify_uap_with_extra(
+        problem,
+        &delta_box,
+        method,
+        config,
+        None,
+        hooks,
+        Some(&mut sink),
+    )?;
+    let cert = sink.into_certificate("uap", res.tier, res.degraded);
+    Some((res, cert))
 }
 
 /// Verifies a UAP instance over an explicit shared-perturbation box
@@ -208,12 +257,15 @@ pub(crate) fn verify_uap_on_box(
         config,
         None,
         &RunHooks::default(),
+        None,
     )
     .expect("default hooks never cancel")
 }
 
 /// Shared implementation: optional exact ℓ1-budget rows on the LP paths,
-/// cancellation polled at phase boundaries.
+/// cancellation polled at phase boundaries, optional certificate
+/// collection.
+#[allow(clippy::too_many_arguments)]
 fn verify_uap_with_extra(
     problem: &UapProblem,
     delta_box: &[Interval],
@@ -221,6 +273,7 @@ fn verify_uap_with_extra(
     config: &RavenConfig,
     l1_budget: Option<f64>,
     hooks: &RunHooks<'_>,
+    cert: Option<&mut CertSink>,
 ) -> Option<UapResult> {
     assert_eq!(
         problem.inputs.len(),
@@ -287,6 +340,7 @@ fn verify_uap_with_extra(
             start,
             l1_budget,
             hooks,
+            cert,
         ),
         Method::Raven => verify_uap_lp(
             problem,
@@ -298,6 +352,7 @@ fn verify_uap_with_extra(
             start,
             l1_budget,
             hooks,
+            cert,
         ),
     };
     if let Some(res) = &result {
@@ -334,6 +389,7 @@ fn verify_uap_io(
     start: Instant,
     l1_budget: Option<f64>,
     hooks: &RunHooks<'_>,
+    cert: Option<&mut CertSink>,
 ) -> Option<UapResult> {
     if !hooks.enter(Phase::Analysis) {
         return None;
@@ -456,6 +512,9 @@ fn verify_uap_io(
     if hooks.cancelled() {
         return None;
     }
+    if let Some(sink) = cert {
+        sink.solve_lp(&lp, spec.tier, config, hooks);
+    }
     // Executions without indicators are proven individually robust, so the
     // adversary count can never exceed the union bound — this is also the
     // sound answer the analysis tier falls back to on total exhaustion.
@@ -491,6 +550,7 @@ fn verify_uap_lp(
     start: Instant,
     l1_budget: Option<f64>,
     hooks: &RunHooks<'_>,
+    mut cert: Option<&mut CertSink>,
 ) -> Option<UapResult> {
     let k = problem.k();
     let plan = &problem.plan;
@@ -503,6 +563,10 @@ fn verify_uap_lp(
     let dps: Vec<DeepPolyAnalysis> = crate::par::map(config.threads, &problem.inputs, |z| {
         DeepPolyAnalysis::run(plan, &exec_box(z, delta_box))
     });
+    if let Some(sink) = cert.as_deref_mut() {
+        let refs: Vec<&DeepPolyAnalysis> = dps.iter().collect();
+        sink.record_analyses(plan, &refs);
+    }
     if !hooks.enter(Phase::DiffPoly) {
         return None;
     }
@@ -623,6 +687,9 @@ fn verify_uap_lp(
     );
     if hooks.cancelled() {
         return None;
+    }
+    if let Some(sink) = cert {
+        sink.solve_lp(&lp, spec.tier, config, hooks);
     }
     let max_misclassified = spec.bound.clamp(0.0, (k - individually_verified) as f64);
     Some(UapResult {

@@ -3,7 +3,7 @@
 
 use crate::relax::{relax_activation, Relaxation};
 use raven_interval::Interval;
-use raven_nn::{AnalysisPlan, PlanStep};
+use raven_nn::{ActKind, AnalysisPlan, PlanStep};
 use raven_tensor::Matrix;
 
 /// Result of a DeepPoly run over an [`AnalysisPlan`].
@@ -117,6 +117,32 @@ impl DeepPolyAnalysis {
             bounds,
             relaxations: act_relax,
         }
+    }
+
+    /// Flat per-neuron relaxation records across every activation step:
+    /// `(kind, pre-activation lo, pre-activation hi, relaxation)` in plan
+    /// order. This is the raw material for analysis-tier certificates — an
+    /// exact checker can replay each piecewise-linear relaxation against
+    /// its pre-activation interval without rerunning the analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the analysis was produced from a different plan.
+    pub fn relaxation_records(&self, plan: &AnalysisPlan) -> Vec<(ActKind, f64, f64, Relaxation)> {
+        assert_eq!(
+            self.bounds.len(),
+            plan.steps().len() + 1,
+            "analysis does not match plan"
+        );
+        let mut records = Vec::new();
+        for (k, step) in plan.steps().iter().enumerate() {
+            if let (PlanStep::Act(kind), Some(relaxations)) = (step, &self.relaxations[k]) {
+                for (iv, r) in self.bounds[k].iter().zip(relaxations) {
+                    records.push((*kind, iv.lo(), iv.hi(), *r));
+                }
+            }
+        }
+        records
     }
 
     /// Symbolic bounds of the *output* tensor directly over the input

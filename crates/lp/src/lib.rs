@@ -22,6 +22,7 @@
 //! ```
 
 mod budget;
+mod certificate;
 pub mod chaos;
 mod error;
 pub mod metrics;

@@ -6,8 +6,10 @@
 //! search tree therefore stays tiny (≤ 2^k nodes), matching the paper's
 //! scalable MILP configuration.
 
+use crate::certificate::BranchCollector;
 use crate::simplex::{Basis, BasisCache};
 use crate::{Budget, LpError, LpProblem, SimplexOptions, Solution, SolveStatus};
+use raven_check::LeafProof;
 use std::rc::Rc;
 
 /// Options for [`LpProblem::solve_milp_with`].
@@ -47,6 +49,12 @@ struct Node {
     /// Closest ancestor's optimal basis, shared across siblings; the dual
     /// simplex starts from it when warm starts are on.
     warm: Option<Rc<Basis>>,
+    /// Parent relaxation's row duals, kept only in certified runs: a node
+    /// still open when the budget dies becomes a certificate leaf whose
+    /// bound is proved by its parent's duals (dual feasibility does not
+    /// depend on the variable box, so the parent's multipliers bound every
+    /// sub-box too). `None` at the root — a root left open is uncertifiable.
+    duals: Option<Rc<Vec<f64>>>,
 }
 
 /// The anytime result when budget or node limit stops the search: the
@@ -77,6 +85,24 @@ fn anytime_solution(minimize: bool, stack: &[Node], incumbent: &Option<Solution>
             .map(|s| s.values.clone())
             .unwrap_or_default(),
         duals: Vec::new(),
+        farkas: Vec::new(),
+    }
+}
+
+/// Converts every still-open node into a certificate leaf proved by its
+/// parent's duals (see [`Node::duals`]); an open root has no parent proof
+/// and makes the run uncertifiable.
+fn drain_open_nodes(collector: &mut BranchCollector, stack: &[Node]) {
+    for node in stack {
+        match &node.duals {
+            Some(d) => collector.leaf(
+                &node.fixes,
+                LeafProof::Bound {
+                    duals: (**d).clone(),
+                },
+            ),
+            None => collector.uncertifiable = true,
+        }
     }
 }
 
@@ -99,6 +125,30 @@ pub(crate) fn solve_with_cache(
     budget: &Budget<'_>,
     cache: &mut BasisCache,
 ) -> Result<Solution, LpError> {
+    solve_collecting(problem, opts, budget, cache, None)
+}
+
+/// [`solve_with_cache`] plus an optional certificate collector. A `Some`
+/// collector switches the run to *certified mode*: presolve is disabled
+/// everywhere (it rewrites the row set and would misalign duals with the
+/// rows the certificate records) and every disposed node contributes a leaf
+/// proof. Certified mode costs time, never correctness — the solution is
+/// computed the same way either side of the flag, modulo presolve.
+pub(crate) fn solve_collecting(
+    problem: &LpProblem,
+    opts: &MilpOptions,
+    budget: &Budget<'_>,
+    cache: &mut BasisCache,
+    mut collector: Option<&mut BranchCollector>,
+) -> Result<Solution, LpError> {
+    let mut certified_opts;
+    let opts = if collector.is_some() {
+        certified_opts = opts.clone();
+        certified_opts.simplex.presolve_rounds = 0;
+        &certified_opts
+    } else {
+        opts
+    };
     let int_vars: Vec<usize> = problem
         .integer
         .iter()
@@ -106,7 +156,26 @@ pub(crate) fn solve_with_cache(
         .filter_map(|(i, &b)| b.then_some(i))
         .collect();
     if int_vars.is_empty() {
-        return problem.solve_with_budget(&opts.simplex, budget);
+        let sol = problem.solve_with_budget(&opts.simplex, budget)?;
+        if let Some(c) = collector {
+            // No branching happened: the whole "tree" is one root leaf.
+            match sol.status {
+                SolveStatus::Optimal if sol.duals.len() == problem.rows.len() => c.leaf(
+                    &[],
+                    LeafProof::Bound {
+                        duals: sol.duals.clone(),
+                    },
+                ),
+                SolveStatus::Infeasible if sol.farkas.len() == problem.rows.len() => c.leaf(
+                    &[],
+                    LeafProof::Farkas {
+                        ray: sol.farkas.clone(),
+                    },
+                ),
+                _ => c.uncertifiable = true,
+            }
+        }
+        return Ok(sol);
     }
     let minimize = matches!(problem.direction, crate::Direction::Minimize);
     let root_bound = if minimize {
@@ -134,6 +203,7 @@ pub(crate) fn solve_with_cache(
                 objective: 0.0,
                 values: Vec::new(),
                 duals: Vec::new(),
+                farkas: Vec::new(),
             });
         }
     }
@@ -143,6 +213,7 @@ pub(crate) fn solve_with_cache(
         fixes: Vec::new(),
         bound: root_bound,
         warm: cache.basis.clone().map(Rc::new),
+        duals: None,
     }];
     let mut nodes = 0usize;
     while let Some(node) = stack.pop() {
@@ -151,6 +222,9 @@ pub(crate) fn solve_with_cache(
         // instead of discarding everything already explored.
         if nodes >= opts.max_nodes || budget.exhausted() {
             stack.push(node);
+            if let Some(c) = collector.as_deref_mut() {
+                drain_open_nodes(c, &stack);
+            }
             return Ok(anytime_solution(minimize, &stack, &incumbent));
         }
         nodes += 1;
@@ -189,18 +263,33 @@ pub(crate) fn solve_with_cache(
         for &(v, b) in undo.iter().rev() {
             work.bounds[v] = b;
         }
-        let (relax, relax_basis) = match solved {
+        let (mut relax, relax_basis) = match solved {
             Ok(r) => r,
             Err(LpError::BudgetExceeded) => {
                 // The budget died inside this node's relaxation: the node
                 // is unexplored, so fold it back under its parent bound.
                 stack.push(node);
+                if let Some(c) = collector.as_deref_mut() {
+                    drain_open_nodes(c, &stack);
+                }
                 return Ok(anytime_solution(minimize, &stack, &incumbent));
             }
             Err(e) => return Err(e),
         };
         match relax.status {
             SolveStatus::Infeasible => {
+                if let Some(c) = collector.as_deref_mut() {
+                    if relax.farkas.len() == work.rows.len() && !relax.farkas.is_empty() {
+                        c.leaf(
+                            &node.fixes,
+                            LeafProof::Farkas {
+                                ray: relax.farkas.clone(),
+                            },
+                        );
+                    } else {
+                        c.uncertifiable = true;
+                    }
+                }
                 crate::metrics::MILP_NODES_PRUNED.inc();
                 continue;
             }
@@ -212,6 +301,9 @@ pub(crate) fn solve_with_cache(
                 // objective is unbounded or its constraints infeasible —
                 // either way, pruning the node as "infeasible" would
                 // under-report a maximization bound.
+                if let Some(c) = collector.as_deref_mut() {
+                    c.uncertifiable = true;
+                }
                 return Ok(relax);
             }
             SolveStatus::Optimal => {}
@@ -220,6 +312,9 @@ pub(crate) fn solve_with_cache(
             // handled above); treat it like exhaustion defensively.
             SolveStatus::BudgetExceeded { .. } => {
                 stack.push(node);
+                if let Some(c) = collector.as_deref_mut() {
+                    drain_open_nodes(c, &stack);
+                }
                 return Ok(anytime_solution(minimize, &stack, &incumbent));
             }
         }
@@ -242,6 +337,17 @@ pub(crate) fn solve_with_cache(
                 relax.objective <= best.objective + 1e-9
             };
             if worse {
+                // Certified mode: a bound-pruned node is a leaf; its own
+                // optimal duals prove its relaxation objective, which the
+                // final incumbent dominates.
+                if let Some(c) = collector.as_deref_mut() {
+                    c.leaf(
+                        &node.fixes,
+                        LeafProof::Bound {
+                            duals: relax.duals.clone(),
+                        },
+                    );
+                }
                 crate::metrics::MILP_NODES_PRUNED.inc();
                 continue;
             }
@@ -259,6 +365,16 @@ pub(crate) fn solve_with_cache(
         }
         match branch_var {
             None => {
+                // Certified mode: an integral node is a leaf proved by its
+                // own duals whether or not it improves the incumbent.
+                if let Some(c) = collector.as_deref_mut() {
+                    c.leaf(
+                        &node.fixes,
+                        LeafProof::Bound {
+                            duals: relax.duals.clone(),
+                        },
+                    );
+                }
                 // Integral: candidate incumbent.
                 let better = match &incumbent {
                     None => true,
@@ -286,16 +402,23 @@ pub(crate) fn solve_with_cache(
                 // their sound bound (restricting the feasible set can only
                 // worsen the optimum).
                 let bound = relax.objective;
+                // Certified mode: children also inherit this node's duals,
+                // the proof of record should they be cut off open.
+                let child_duals = collector
+                    .is_some()
+                    .then(|| Rc::new(std::mem::take(&mut relax.duals)));
                 // Explore the side nearest the fractional value first.
                 let up = Node {
                     fixes: up,
                     bound,
                     warm: child_warm.clone(),
+                    duals: child_duals.clone(),
                 };
                 let down = Node {
                     fixes: down,
                     bound,
                     warm: child_warm,
+                    duals: child_duals,
                 };
                 if x - floor < 0.5 {
                     stack.push(up);
@@ -312,6 +435,7 @@ pub(crate) fn solve_with_cache(
         objective: 0.0,
         values: Vec::new(),
         duals: Vec::new(),
+        farkas: Vec::new(),
     }))
 }
 

@@ -158,6 +158,14 @@ pub struct Solution {
     /// optimum and report 0). Empty for MILP solves, where duals are not
     /// well-defined across branching.
     pub duals: Vec<f64>,
+    /// Farkas infeasibility multipliers: when `status` is
+    /// [`SolveStatus::Infeasible`] and the simplex (rather than presolve)
+    /// detected it, one entry per constraint row such that aggregating the
+    /// rows with these weights yields an inequality no point in the
+    /// variable box can satisfy (`≤` rows get non-positive weights, `≥`
+    /// rows non-negative, `=` rows are free). Empty when infeasibility was
+    /// detected structurally (presolve) or the status is not Infeasible.
+    pub farkas: Vec<f64>,
 }
 
 impl Solution {
@@ -386,6 +394,60 @@ impl LpProblem {
         cache: &mut crate::BasisCache,
     ) -> Result<Solution, LpError> {
         crate::milp::solve_with_cache(self, options, budget, cache)
+    }
+
+    /// [`solve_with_budget`](LpProblem::solve_with_budget) plus a proof
+    /// certificate: the solve runs with presolve disabled (presolve rewrites
+    /// the row set and would misalign the certificate's duals with the
+    /// recorded rows) and packages the optimal duals — or Farkas
+    /// infeasibility multipliers — into a replayable
+    /// [`LpCertificate`](raven_check::LpCertificate). `None` when the
+    /// outcome carries no replayable evidence (e.g. an unbounded LP).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`solve_with_budget`](LpProblem::solve_with_budget).
+    pub fn solve_certified(
+        &self,
+        options: &SimplexOptions,
+        budget: &crate::Budget<'_>,
+    ) -> Result<(Solution, Option<raven_check::LpCertificate>), LpError> {
+        let mut opts = options.clone();
+        opts.presolve_rounds = 0;
+        let sol = crate::simplex::solve(self, &opts, budget)?;
+        let cert = crate::certificate::bound_certificate(self, &sol);
+        Ok((sol, cert))
+    }
+
+    /// [`solve_milp_with_budget`](LpProblem::solve_milp_with_budget) plus a
+    /// proof certificate: branch & bound runs in certified mode (presolve
+    /// off, per-leaf duals and Farkas rays collected) and packages the
+    /// whole tree into a replayable
+    /// [`LpCertificate`](raven_check::LpCertificate) whose claimed bound is
+    /// this solve's own objective/dual bound. `None` when some part of the
+    /// tree lacked evidence (an unbounded relaxation, an infeasibility
+    /// without usable multipliers, or a budget exit with the root still
+    /// open).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as
+    /// [`solve_milp_with_budget`](LpProblem::solve_milp_with_budget).
+    pub fn solve_milp_certified(
+        &self,
+        options: &crate::MilpOptions,
+        budget: &crate::Budget<'_>,
+    ) -> Result<(Solution, Option<raven_check::LpCertificate>), LpError> {
+        let mut collector = crate::certificate::BranchCollector::default();
+        let sol = crate::milp::solve_collecting(
+            self,
+            options,
+            budget,
+            &mut crate::BasisCache::new(),
+            Some(&mut collector),
+        )?;
+        let cert = crate::certificate::branch_certificate(self, &sol, collector);
+        Ok((sol, cert))
     }
 
     /// Checks whether `x` satisfies every constraint and bound within `tol`.

@@ -1224,6 +1224,7 @@ fn empty_solution(status: SolveStatus) -> Solution {
         objective: 0.0,
         values: Vec::new(),
         duals: Vec::new(),
+        farkas: Vec::new(),
     }
 }
 
@@ -1262,9 +1263,48 @@ fn finish_tableau(mut tableau: Tableau<'_>, problem: &LpProblem, status: SolveSt
                     objective: tableau.objective_value(problem),
                     values: tableau.x[..tableau.n_struct].to_vec(),
                     duals,
+                    farkas: Vec::new(),
                 },
                 reduced: Some(reduced),
                 basis,
+            }
+        }
+        SolveStatus::Infeasible => {
+            // The phase-1 multipliers are a Farkas certificate: with the
+            // phase-1 objective strictly positive at its optimum, weak
+            // duality gives `yᵀb − sup_box (Aᵀy)ᵀx = phase-1 objective > 0`
+            // provided each multiplier respects its row's sign (`≤` rows
+            // need `y ≤ 0`, `≥` rows `y ≥ 0`, since the opposite sign lets
+            // the row's slack absorb everything). Float noise can leave
+            // tol-sized sign violations — clamp those to zero; a large
+            // violation means the multipliers do not certify anything, so
+            // emit none rather than a bogus ray.
+            let y = tableau.multipliers(Phase::One);
+            let tol = tableau.opts.tol * 100.0;
+            let mut farkas = Vec::with_capacity(y.len());
+            let mut usable = y.len() == problem.rows.len();
+            for (row, &yi) in problem.rows.iter().zip(&y) {
+                let clamped = match row.sense {
+                    Sense::Le if yi > 0.0 => {
+                        usable &= yi <= tol;
+                        0.0
+                    }
+                    Sense::Ge if yi < 0.0 => {
+                        usable &= -yi <= tol;
+                        0.0
+                    }
+                    _ => yi,
+                };
+                farkas.push(clamped);
+            }
+            let mut sol = empty_solution(status);
+            if usable {
+                sol.farkas = farkas;
+            }
+            Solved {
+                sol,
+                reduced: None,
+                basis: None,
             }
         }
         _ => Solved {
@@ -1521,6 +1561,7 @@ fn solve_box_only(problem: &LpProblem) -> Solution {
                 objective: 0.0,
                 values: Vec::new(),
                 duals: Vec::new(),
+                farkas: Vec::new(),
             };
         }
         x[v.0] = target;
@@ -1531,6 +1572,7 @@ fn solve_box_only(problem: &LpProblem) -> Solution {
         objective: obj,
         values: x,
         duals: Vec::new(),
+        farkas: Vec::new(),
     }
 }
 

@@ -14,7 +14,8 @@ use crate::registry::ModelEntry;
 use crate::ServerState;
 use raven::hooks::RunHooks;
 use raven::{
-    report, verify_monotonicity_with_hooks, verify_uap_with_hooks, Method, MonotonicityProblem,
+    report, verify_monotonicity_certified_with_hooks, verify_monotonicity_with_hooks,
+    verify_uap_certified_with_hooks, verify_uap_with_hooks, Method, MonotonicityProblem,
     PairStrategy, RavenConfig, TierMillis, UapProblem,
 };
 use raven_json::Json;
@@ -221,6 +222,11 @@ struct VerifySpec {
     /// Excluded from the cache key — it identifies a *submission*, not a
     /// query.
     idempotency_key: Option<String>,
+    /// `certificate=1` (or `true`): emit a replayable proof certificate
+    /// next to the verdict. Excluded from the cache key — the verdict is
+    /// identical either way — but a certificate request bypasses cache
+    /// *reads*, since cached entries carry no certificate.
+    certificate: bool,
 }
 
 enum Payload {
@@ -370,6 +376,14 @@ fn parse_spec(
                 .to_string(),
         ),
     };
+    let certificate = match json.get("certificate") {
+        None => false,
+        // Accept both `true` and `1` — curl one-liners tend to write `1`.
+        Some(c) => c
+            .as_bool()
+            .or_else(|| c.as_usize().map(|n| n != 0))
+            .ok_or_else(|| bad("\"certificate\" must be a boolean or 0/1"))?,
+    };
     let input_dim = entry.plan.input_dim();
     let output_dim = entry.plan.output_dim();
     let payload = match property {
@@ -473,6 +487,7 @@ fn parse_spec(
         delay_millis,
         deadline_ms,
         idempotency_key,
+        certificate,
     })
 }
 
@@ -484,6 +499,33 @@ struct Computed {
     /// True when the solve hit its deadline and fell down the precision
     /// ladder — the verdict is sound but weaker than an unlimited run.
     degraded: bool,
+    /// Serialized proof certificate, when the request asked for one and
+    /// the run produced certifiable evidence. Never part of `verdict`.
+    certificate: Option<Json>,
+}
+
+/// Spot-checks an emitted certificate by replaying it in the in-process
+/// exact checker, recording size and replay-time metrics. A rejection is
+/// counted and logged but never blocks the response: the verdict itself is
+/// not derived from the certificate, and the client can (and should)
+/// replay it independently with `raven_check`.
+fn spot_check_certificate(cert: &raven::Certificate, json: &Json) {
+    crate::metrics::CERTIFICATE_BYTES.observe(json.to_string().len() as f64);
+    let t0 = Instant::now();
+    let outcome = raven_check::check_certificate(cert);
+    crate::metrics::REPLAY_MILLIS.observe(t0.elapsed().as_secs_f64() * 1e3);
+    if let Err(e) = outcome {
+        crate::metrics::SPOT_CHECK_FAILURES.inc();
+        eprintln!("raven-serve: certificate spot check failed: {e}");
+    }
+}
+
+/// Serializes an emitted certificate and runs the spot-check hook on it.
+fn certificate_json(cert: Option<raven::Certificate>) -> Option<Json> {
+    let cert = cert?;
+    let json = cert.to_json();
+    spot_check_certificate(&cert, &json);
+    Some(json)
 }
 
 /// Computes the verdict for `spec` (expensive; runs on a worker thread).
@@ -520,7 +562,7 @@ fn compute_verdict(
         std::thread::sleep(std::time::Duration::from_millis(spec.delay_millis));
     }
     let cancelled = || "verification cancelled".to_string();
-    let (verdict, tier_millis, degraded) = match &spec.payload {
+    let (verdict, tier_millis, degraded, certificate) = match &spec.payload {
         Payload::Uap { inputs, labels } => {
             let problem = UapProblem {
                 plan: spec.entry.plan.clone(),
@@ -528,12 +570,19 @@ fn compute_verdict(
                 labels: labels.clone(),
                 eps: spec.eps,
             };
-            let res = verify_uap_with_hooks(&problem, spec.method, &spec.config, &hooks)
-                .ok_or_else(cancelled)?;
+            let (res, cert) = if spec.certificate {
+                verify_uap_certified_with_hooks(&problem, spec.method, &spec.config, &hooks)
+                    .ok_or_else(cancelled)?
+            } else {
+                let res = verify_uap_with_hooks(&problem, spec.method, &spec.config, &hooks)
+                    .ok_or_else(cancelled)?;
+                (res, None)
+            };
             (
                 report::uap_verdict_json(problem.k(), problem.eps, &res),
                 res.tier_millis,
                 res.degraded,
+                certificate_json(cert),
             )
         }
         Payload::Mono {
@@ -552,12 +601,25 @@ fn compute_verdict(
                 output_weights: output_weights.clone(),
                 increasing: *increasing,
             };
-            let res = verify_monotonicity_with_hooks(&problem, spec.method, &spec.config, &hooks)
-                .ok_or_else(cancelled)?;
+            let (res, cert) = if spec.certificate {
+                verify_monotonicity_certified_with_hooks(
+                    &problem,
+                    spec.method,
+                    &spec.config,
+                    &hooks,
+                )
+                .ok_or_else(cancelled)?
+            } else {
+                let res =
+                    verify_monotonicity_with_hooks(&problem, spec.method, &spec.config, &hooks)
+                        .ok_or_else(cancelled)?;
+                (res, None)
+            };
             (
                 report::mono_verdict_json(&problem, &res),
                 res.tier_millis,
                 res.degraded,
+                certificate_json(cert),
             )
         }
     };
@@ -566,19 +628,23 @@ fn compute_verdict(
         solve_millis: start.elapsed().as_secs_f64() * 1e3,
         tier_millis,
         degraded,
+        certificate,
     })
 }
 
-/// Builds the response envelope around a verdict.
+/// Builds the response envelope around a verdict. The certificate (when
+/// requested) travels as a *sibling* of `result`, never inside it: the
+/// verdict bytes must stay identical with and without certification.
 fn envelope(
     spec: &VerifySpec,
     verdict: &str,
     solve_millis: f64,
     tier_millis: &TierMillis,
     cached: bool,
+    certificate: Option<Json>,
 ) -> Json {
     let result = Json::parse(verdict).expect("verdicts are valid json");
-    Json::obj([
+    let mut fields = vec![
         ("kind", Json::from(spec.property_name())),
         ("model", Json::from(spec.entry.name.as_str())),
         ("model_hash", Json::from(spec.entry.hash_hex())),
@@ -586,7 +652,18 @@ fn envelope(
         ("solve_millis", Json::from(solve_millis)),
         ("tier_millis", report::tier_millis_json(tier_millis)),
         ("cached", Json::from(cached)),
-    ])
+    ];
+    if spec.certificate {
+        // Always present when requested; JSON null when the run produced
+        // no certifiable evidence.
+        fields.push(("certificate", certificate.unwrap_or(Json::Null)));
+    }
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
 }
 
 /// The job closure body: cache-aware verdict computation.
@@ -597,7 +674,9 @@ fn run_verify(
     job_cancel: &AtomicBool,
 ) -> Result<Json, String> {
     let key = spec.cache_key();
-    if check_cache {
+    // Cached entries carry no certificate, so a certificate request must
+    // recompute (the verdict it returns is still byte-identical).
+    if check_cache && !spec.certificate {
         if let Some(hit) = state.cache.get(&key) {
             return Ok(envelope(
                 spec,
@@ -605,6 +684,7 @@ fn run_verify(
                 hit.solve_millis,
                 &hit.tier_millis,
                 true,
+                None,
             ));
         }
     }
@@ -628,6 +708,7 @@ fn run_verify(
         computed.solve_millis,
         &computed.tier_millis,
         false,
+        computed.certificate,
     ))
 }
 
@@ -736,18 +817,22 @@ fn verify_sync(state: &Arc<ServerState>, req: &Request, property: Property) -> R
     };
     // Fast path: cache hits are answered without consuming a queue slot
     // (and without a journal record — there is nothing to recover).
-    if let Some(hit) = state.cache.get(&spec.cache_key()) {
-        return Reply::json(
-            200,
-            envelope(
-                &spec,
-                &hit.verdict,
-                hit.solve_millis,
-                &hit.tier_millis,
-                true,
-            )
-            .to_string(),
-        );
+    // Certificate requests skip it: cached entries carry no certificate.
+    if !spec.certificate {
+        if let Some(hit) = state.cache.get(&spec.cache_key()) {
+            return Reply::json(
+                200,
+                envelope(
+                    &spec,
+                    &hit.verdict,
+                    hit.solve_millis,
+                    &hit.tier_millis,
+                    true,
+                    None,
+                )
+                .to_string(),
+            );
+        }
     }
     let slot = match admit(state, req, spec, false) {
         Ok(Admitted::New(_, slot) | Admitted::Existing(_, slot)) => slot,

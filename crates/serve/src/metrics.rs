@@ -47,9 +47,17 @@ pub static IDEMPOTENT_HITS: Counter = Counter::new();
 /// 1 when the journal replayed a clean-shutdown marker at startup (the
 /// fast path: no crash signatures possible), 0 otherwise.
 pub static JOURNAL_CLEAN_SHUTDOWN: Gauge = Gauge::new();
+/// Serialized size (bytes) of each emitted proof certificate.
+pub static CERTIFICATE_BYTES: Histogram = Histogram::new();
+/// Milliseconds the exact-arithmetic spot-check replay took per
+/// certificate.
+pub static REPLAY_MILLIS: Histogram = Histogram::new();
+/// Emitted certificates the in-process spot check rejected. Any non-zero
+/// value is a solver/emitter bug worth alerting on.
+pub static SPOT_CHECK_FAILURES: Counter = Counter::new();
 
 /// Exposition table for the service layer, in stable scrape order.
-pub static DESCS: [Desc; 18] = [
+pub static DESCS: [Desc; 21] = [
     Desc {
         name: "raven_serve_queue_depth",
         help: "Jobs waiting for a worker.",
@@ -157,5 +165,23 @@ pub static DESCS: [Desc; 18] = [
         help: "1 when startup replayed a clean-shutdown marker, else 0.",
         labels: "",
         metric: MetricRef::Gauge(&JOURNAL_CLEAN_SHUTDOWN),
+    },
+    Desc {
+        name: "raven_check_certificate_bytes",
+        help: "Serialized size in bytes of each emitted proof certificate.",
+        labels: "",
+        metric: MetricRef::Histogram(&CERTIFICATE_BYTES),
+    },
+    Desc {
+        name: "raven_check_replay_millis",
+        help: "Milliseconds per exact-arithmetic certificate spot check.",
+        labels: "",
+        metric: MetricRef::Histogram(&REPLAY_MILLIS),
+    },
+    Desc {
+        name: "raven_serve_spot_check_failures_total",
+        help: "Emitted certificates rejected by the in-process spot check.",
+        labels: "",
+        metric: MetricRef::Counter(&SPOT_CHECK_FAILURES),
     },
 ];

@@ -30,3 +30,18 @@ pub use cert::{
 };
 pub use dyadic::Dyadic;
 pub use replay::{check_certificate, CheckError, CheckReport};
+
+/// Parses and replays a certificate straight from its JSON form — the
+/// one-call gate used by services that receive certificates over the wire
+/// (e.g. `raven-serve`'s fleet dispatch and spot checks). Parse failures
+/// surface as [`CheckError::Malformed`], replay failures as their own
+/// [`CheckError`] variants.
+///
+/// # Errors
+///
+/// Returns [`CheckError`] when the JSON does not decode as a certificate
+/// or the exact replay rejects it.
+pub fn check_certificate_json(json: &raven_json::Json) -> Result<CheckReport, CheckError> {
+    let cert = Certificate::from_json(json).map_err(CheckError::Malformed)?;
+    check_certificate(&cert)
+}

@@ -7,10 +7,11 @@
 //! to the CLI's for the same query.
 
 use crate::cache::{CacheKey, CachedResult, PayloadHasher};
+use crate::fleet::{DispatchCtx, Expected, ExpectedKind};
 use crate::http::Request;
 use crate::journal::Record;
 use crate::queue::{JobFn, JobMeta, JobSlot, JobState};
-use crate::registry::ModelEntry;
+use crate::registry::{ModelEntry, ModelRegistry};
 use crate::ServerState;
 use raven::hooks::RunHooks;
 use raven::{
@@ -70,7 +71,7 @@ fn queue_full_reply() -> Reply {
 pub fn handle(state: &Arc<ServerState>, req: &Request) -> Reply {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/v1/healthz") => healthz(state),
-        ("GET", "/v1/metrics") => metrics(),
+        ("GET", "/v1/metrics") => metrics(state),
         ("GET", "/v1/models") => models(state),
         ("POST", "/v1/verify/uap") => verify_sync(state, req, Property::Uap),
         ("POST", "/v1/verify/mono") => verify_sync(state, req, Property::Mono),
@@ -83,21 +84,27 @@ pub fn handle(state: &Arc<ServerState>, req: &Request) -> Reply {
 
 /// `GET /v1/metrics` — the whole stack's instruments (solver, analysis
 /// domains, verifier core, service layer) in Prometheus text format.
-fn metrics() -> Reply {
+fn metrics(state: &Arc<ServerState>) -> Reply {
     let mut tables = raven::metrics::all_descs();
     tables.push(&crate::metrics::DESCS);
+    let mut body = raven_obs::render_prometheus(&tables);
+    if let Some(fleet) = &state.fleet {
+        // Per-worker labeled series are dynamic (one per connected worker
+        // name) and therefore rendered by the fleet, not the static tables.
+        body.push_str(&fleet.render_prometheus());
+    }
     Reply {
         status: 200,
         content_type: "text/plain; version=0.0.4; charset=utf-8",
         headers: Vec::new(),
-        body: raven_obs::render_prometheus(&tables),
+        body,
     }
 }
 
 fn healthz(state: &Arc<ServerState>) -> Reply {
     let stats = state.queue.stats();
     let (hits, misses) = state.cache.counters();
-    let body = Json::obj([
+    let mut body = Json::obj([
         ("status", Json::from("ok")),
         (
             "uptime_secs",
@@ -154,9 +161,18 @@ fn healthz(state: &Arc<ServerState>) -> Reply {
                     "degraded",
                     Json::from(raven::metrics::DEGRADED.get() as f64),
                 ),
+                (
+                    "spot_check_failures",
+                    Json::from(crate::metrics::SPOT_CHECK_FAILURES.get() as f64),
+                ),
             ]),
         ),
     ]);
+    if let Some(fleet) = &state.fleet {
+        if let Json::Obj(fields) = &mut body {
+            fields.push(("fleet".to_string(), fleet.healthz_json()));
+        }
+    }
     Reply::json(200, body.to_string())
 }
 
@@ -227,6 +243,9 @@ struct VerifySpec {
     /// identical either way — but a certificate request bypasses cache
     /// *reads*, since cached entries carry no certificate.
     certificate: bool,
+    /// The raw request body text, kept for fleet dispatch (the job frame
+    /// forwards it verbatim so the worker parses exactly what we parsed).
+    raw_body: String,
 }
 
 enum Payload {
@@ -298,7 +317,8 @@ fn bad(msg: impl Into<String>) -> ParseFail {
 }
 
 fn parse_spec(
-    state: &Arc<ServerState>,
+    registry: &ModelRegistry,
+    job_threads: usize,
     body: &[u8],
     property: Property,
 ) -> Result<VerifySpec, ParseFail> {
@@ -308,8 +328,7 @@ fn parse_spec(
         .get("model")
         .and_then(Json::as_str)
         .ok_or_else(|| bad("missing string field \"model\""))?;
-    let entry = state
-        .registry
+    let entry = registry
         .get(model)
         .ok_or_else(|| ParseFail(404, format!("unknown model {model:?}")))?;
     let eps = json
@@ -333,7 +352,7 @@ fn parse_spec(
         }
     };
     let mut config = RavenConfig {
-        threads: state.job_threads,
+        threads: job_threads,
         ..RavenConfig::default()
     };
     if let Some(p) = json.get("pairs") {
@@ -488,6 +507,7 @@ fn parse_spec(
         deadline_ms,
         idempotency_key,
         certificate,
+        raw_body: text.to_string(),
     })
 }
 
@@ -502,56 +522,70 @@ struct Computed {
     /// Serialized proof certificate, when the request asked for one and
     /// the run produced certifiable evidence. Never part of `verdict`.
     certificate: Option<Json>,
+    /// Whether the in-process spot check accepted the emitted certificate
+    /// (vacuously true when none was emitted). `--strict-certificates`
+    /// recomputes the job when this is false.
+    spot_ok: bool,
 }
 
 /// Spot-checks an emitted certificate by replaying it in the in-process
-/// exact checker, recording size and replay-time metrics. A rejection is
-/// counted and logged but never blocks the response: the verdict itself is
-/// not derived from the certificate, and the client can (and should)
-/// replay it independently with `raven_check`.
-fn spot_check_certificate(cert: &raven::Certificate, json: &Json) {
+/// exact checker, recording size and replay-time metrics. By default a
+/// rejection is counted and logged but never blocks the response: the
+/// verdict itself is not derived from the certificate, and the client can
+/// (and should) replay it independently with `raven_check`. Under
+/// `--strict-certificates` the caller recomputes instead of serving the
+/// unverifiable response.
+fn spot_check_certificate(json: &Json) -> bool {
     crate::metrics::CERTIFICATE_BYTES.observe(json.to_string().len() as f64);
     let t0 = Instant::now();
-    let outcome = raven_check::check_certificate(cert);
+    let outcome = raven_check::check_certificate_json(json);
     crate::metrics::REPLAY_MILLIS.observe(t0.elapsed().as_secs_f64() * 1e3);
-    if let Err(e) = outcome {
-        crate::metrics::SPOT_CHECK_FAILURES.inc();
-        eprintln!("raven-serve: certificate spot check failed: {e}");
+    match outcome {
+        Ok(_) => true,
+        Err(e) => {
+            crate::metrics::SPOT_CHECK_FAILURES.inc();
+            eprintln!("raven-serve: certificate spot check failed: {e}");
+            false
+        }
     }
 }
 
 /// Serializes an emitted certificate and runs the spot-check hook on it.
-fn certificate_json(cert: Option<raven::Certificate>) -> Option<Json> {
-    let cert = cert?;
-    let json = cert.to_json();
-    spot_check_certificate(&cert, &json);
-    Some(json)
+/// Returns the JSON (chaos may tamper it first — that is the point: the
+/// spot check must catch the tamper) and the spot-check outcome.
+fn certificate_json(cert: Option<raven::Certificate>) -> (Option<Json>, bool) {
+    let Some(cert) = cert else {
+        return (None, true);
+    };
+    let mut json = cert.to_json();
+    if crate::chaos::take_cert_tamper() {
+        crate::chaos::tamper_certificate(&mut json);
+    }
+    let ok = spot_check_certificate(&json);
+    (Some(json), ok)
 }
 
-/// Computes the verdict for `spec` (expensive; runs on a worker thread).
+/// Computes the verdict for `spec` (expensive; runs on a worker thread
+/// or inside a remote `raven_worker` process).
 ///
-/// The solve deadline (request `deadline_ms` override, else the server
-/// default) starts ticking here, when a worker picks the job up. On
-/// exhaustion the verifier degrades to the strongest sound verdict it has
-/// (MILP incumbent bound → LP relaxation → analysis bounds) instead of
-/// erroring.
+/// The solve deadline starts ticking here, when a worker picks the job
+/// up. On exhaustion the verifier degrades to the strongest sound verdict
+/// it has (MILP incumbent bound → LP relaxation → analysis bounds)
+/// instead of erroring.
 ///
-/// Returns an error only when the run was cancelled — by server shutdown
-/// or by the watchdog through the job's own cancel flag.
+/// Returns an error only when the run was cancelled — through either of
+/// the two cancel flags (server shutdown and the job's own watchdog flag
+/// locally; the worker stop flag remotely).
 fn compute_verdict(
-    state: &Arc<ServerState>,
     spec: &VerifySpec,
-    job_cancel: &AtomicBool,
+    deadline: Option<Duration>,
+    cancels: (&AtomicBool, &AtomicBool),
 ) -> Result<Computed, String> {
     crate::chaos::job_panic_point();
     crate::chaos::job_abort_point();
-    let deadline = spec
-        .deadline_ms
-        .map(Duration::from_millis)
-        .or(state.default_deadline);
     let mut hooks = RunHooks::default()
-        .with_cancel(&state.cancel)
-        .with_cancel(job_cancel);
+        .with_cancel(cancels.0)
+        .with_cancel(cancels.1);
     if let Some(d) = deadline {
         // The artificial `delay_millis` sleep below counts against the
         // deadline, exactly like a slow solve would.
@@ -623,12 +657,14 @@ fn compute_verdict(
             )
         }
     };
+    let (certificate, spot_ok) = certificate;
     Ok(Computed {
         verdict: verdict.to_string(),
         solve_millis: start.elapsed().as_secs_f64() * 1e3,
         tier_millis,
         degraded,
         certificate,
+        spot_ok,
     })
 }
 
@@ -666,9 +702,79 @@ fn envelope(
     )
 }
 
-/// The job closure body: cache-aware verdict computation.
+/// Whether a job is worth shipping to the fleet: the solver-backed
+/// methods are the expensive ones; pure-analysis methods finish in
+/// microseconds locally, and the artificial `delay_millis` knob exists to
+/// occupy *this* server's workers in backpressure tests.
+fn fleet_eligible(spec: &VerifySpec) -> bool {
+    matches!(spec.method, Method::IoLp | Method::Raven) && spec.delay_millis == 0
+}
+
+/// The expectation the certificate gate checks a remote result against,
+/// derived from the server's own parse of the request.
+fn expected_for(spec: &VerifySpec) -> Expected {
+    let kind = match &spec.payload {
+        Payload::Uap { inputs, .. } => ExpectedKind::Uap {
+            k: inputs.len(),
+            eps: spec.eps,
+        },
+        Payload::Mono {
+            feature,
+            tau,
+            increasing,
+            ..
+        } => ExpectedKind::Mono {
+            eps: spec.eps,
+            feature: *feature,
+            tau: *tau,
+            increasing: *increasing,
+        },
+    };
+    Expected {
+        property: spec.property_name().to_string(),
+        model_hash: spec.entry.hash_hex(),
+        want_certificate: spec.certificate,
+        kind,
+    }
+}
+
+/// Caches an accepted remote envelope under the job's cache key, exactly
+/// as a local solve would have been (only when not degraded).
+fn cache_remote(state: &Arc<ServerState>, key: CacheKey, env: &Json) {
+    let Some(result) = env.get("result") else {
+        return;
+    };
+    if result.get("degraded").and_then(Json::as_bool) != Some(false) {
+        return;
+    }
+    let tier = |field: &str| {
+        env.get("tier_millis")
+            .and_then(|t| t.get(field))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    state.cache.put(
+        key,
+        CachedResult {
+            verdict: result.to_string(),
+            solve_millis: env
+                .get("solve_millis")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+            tier_millis: TierMillis {
+                analysis: tier("analysis"),
+                lp: tier("lp"),
+                milp: tier("milp"),
+            },
+        },
+    );
+}
+
+/// The job closure body: cache-aware verdict computation, with fleet
+/// dispatch when workers are attached and local compute as the fallback.
 fn run_verify(
     state: &Arc<ServerState>,
+    id: u64,
     spec: &VerifySpec,
     check_cache: bool,
     job_cancel: &AtomicBool,
@@ -688,7 +794,39 @@ fn run_verify(
             ));
         }
     }
-    let computed = compute_verdict(state, spec, job_cancel)?;
+    let deadline = spec
+        .deadline_ms
+        .map(Duration::from_millis)
+        .or(state.default_deadline);
+    if let Some(fleet) = &state.fleet {
+        if fleet_eligible(spec) {
+            let model_hash = spec.entry.hash_hex();
+            let ctx = DispatchCtx {
+                job_id: id,
+                property: spec.property_name(),
+                body: &spec.raw_body,
+                model: &spec.entry.name,
+                model_hash: &model_hash,
+                deadline_ms: deadline.map(|d| d.as_millis() as u64),
+                journal: state.journal.as_deref(),
+            };
+            if let Some(env) = fleet.dispatch(&ctx, &expected_for(spec), job_cancel) {
+                // The gate already pinned the envelope to this job's spec;
+                // an accepted remote verdict caches like a local one.
+                cache_remote(state, key, &env);
+                return Ok(env);
+            }
+        }
+    }
+    let mut computed = compute_verdict(spec, deadline, (&state.cancel, job_cancel))?;
+    if state.strict_certificates && !computed.spot_ok {
+        // Strict mode: never serve a response whose certificate failed its
+        // own spot check — recompute once and serve that run instead (its
+        // certificate gets its own spot check; a second failure is served
+        // regardless, since retrying a deterministic bug forever is worse).
+        crate::metrics::STRICT_RECOMPUTES.inc();
+        computed = compute_verdict(spec, deadline, (&state.cancel, job_cancel))?;
+    }
     // Degraded verdicts are budget-dependent, not query-determined: the
     // same query with a longer deadline yields a strictly better answer,
     // so caching one would serve needlessly weak verdicts forever.
@@ -712,8 +850,50 @@ fn run_verify(
     ))
 }
 
+/// Computes one dispatched job inside a `raven_worker` process: parse the
+/// forwarded body exactly as the server did, force certificate emission
+/// (the server's gate requires a proof regardless of what the client
+/// asked for), and return the envelope — with the *client's* certificate
+/// preference — plus the certificate for the result frame.
+pub(crate) fn remote_compute(
+    registry: &ModelRegistry,
+    job_threads: usize,
+    property: &str,
+    body: &[u8],
+    deadline_ms: Option<u64>,
+    stop: &AtomicBool,
+) -> Result<(Json, Option<Json>), String> {
+    let property =
+        Property::from_name(property).ok_or_else(|| format!("unknown property {property:?}"))?;
+    let mut spec = parse_spec(registry, job_threads, body, property)
+        .map_err(|ParseFail(_, msg)| format!("job body does not parse: {msg}"))?;
+    let want_certificate = spec.certificate;
+    spec.certificate = true;
+    // The server ships the *effective* deadline (request override or
+    // server default already applied); the body's own field is ignored.
+    let deadline = deadline_ms.map(Duration::from_millis);
+    let computed = compute_verdict(&spec, deadline, (stop, stop))?;
+    spec.certificate = want_certificate;
+    let env = envelope(
+        &spec,
+        &computed.verdict,
+        computed.solve_millis,
+        &computed.tier_millis,
+        false,
+        want_certificate
+            .then(|| computed.certificate.clone())
+            .flatten(),
+    );
+    Ok((env, computed.certificate))
+}
+
 /// Builds the per-job scheduling metadata and queue closure for `spec`.
-fn job_for(state: &Arc<ServerState>, spec: VerifySpec, check_cache: bool) -> (JobMeta, JobFn) {
+fn job_for(
+    state: &Arc<ServerState>,
+    id: u64,
+    spec: VerifySpec,
+    check_cache: bool,
+) -> (JobMeta, JobFn) {
     let cancel = Arc::new(AtomicBool::new(false));
     let meta = JobMeta {
         deadline: spec
@@ -723,7 +903,7 @@ fn job_for(state: &Arc<ServerState>, spec: VerifySpec, check_cache: bool) -> (Jo
         cancel: Some(cancel.clone()),
     };
     let job_state = Arc::clone(state);
-    let job: JobFn = Box::new(move || run_verify(&job_state, &spec, check_cache, &cancel));
+    let job: JobFn = Box::new(move || run_verify(&job_state, id, &spec, check_cache, &cancel));
     (meta, job)
 }
 
@@ -770,7 +950,7 @@ fn admit(
         }
     }
     let id = state.next_job_id.fetch_add(1, Ordering::Relaxed);
-    let (meta, job) = job_for(state, spec, check_cache);
+    let (meta, job) = job_for(state, id, spec, check_cache);
     let slot = match state.queue.submit(id, meta, job) {
         Ok(slot) => slot,
         Err(_) => return Err(queue_full_reply()),
@@ -811,7 +991,7 @@ fn quarantined_reply() -> Reply {
 }
 
 fn verify_sync(state: &Arc<ServerState>, req: &Request, property: Property) -> Reply {
-    let spec = match parse_spec(state, &req.body, property) {
+    let spec = match parse_spec(&state.registry, state.job_threads, &req.body, property) {
         Ok(spec) => spec,
         Err(ParseFail(status, msg)) => return error_reply(status, &msg),
     };
@@ -876,7 +1056,7 @@ fn submit_job(state: &Arc<ServerState>, req: &Request) -> Reply {
             )
         }
     };
-    let spec = match parse_spec(state, &req.body, property) {
+    let spec = match parse_spec(&state.registry, state.job_threads, &req.body, property) {
         Ok(spec) => spec,
         Err(ParseFail(status, msg)) => return error_reply(status, &msg),
     };
@@ -911,9 +1091,14 @@ pub(crate) fn resubmit_recovered(
 ) -> Result<Arc<JobSlot>, String> {
     let property = Property::from_name(property)
         .ok_or_else(|| format!("journal names unknown property {property:?}"))?;
-    let spec = parse_spec(state, body.as_bytes(), property)
-        .map_err(|ParseFail(_, msg)| format!("journaled body no longer parses: {msg}"))?;
-    let (meta, job) = job_for(state, spec, true);
+    let spec = parse_spec(
+        &state.registry,
+        state.job_threads,
+        body.as_bytes(),
+        property,
+    )
+    .map_err(|ParseFail(_, msg)| format!("journaled body no longer parses: {msg}"))?;
+    let (meta, job) = job_for(state, id, spec, true);
     state
         .queue
         .submit(id, meta, job)
@@ -933,7 +1118,12 @@ pub(crate) fn restore_cached_verdict(
     let Some(property) = Property::from_name(property) else {
         return false;
     };
-    let Ok(spec) = parse_spec(state, body.as_bytes(), property) else {
+    let Ok(spec) = parse_spec(
+        &state.registry,
+        state.job_threads,
+        body.as_bytes(),
+        property,
+    ) else {
         return false;
     };
     let Some(result) = envelope.get("result") else {

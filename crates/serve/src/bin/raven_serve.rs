@@ -44,6 +44,21 @@ options:
                               (default 2000)
   --job-retries N             re-run a panicked job up to N times with
                               exponential backoff before failing (default 1)
+  --client-timeout-ms N       per-connection client socket read/write timeout
+                              (default 10000)
+  --fleet-addr HOST:PORT      bind a fleet listener for raven_worker
+                              processes; remote results are served only
+                              after their proof certificate replays
+                              in-process (default: no fleet)
+  --fleet-timeout-ms N        socket-level patience per fleet dispatch, on
+                              top of the job's solve deadline (default 10000)
+  --worker-probation-ms N     quarantine length after repeated certificate
+                              rejections (default 60000)
+  --worker-reject-strikes N   certificate rejections before quarantine
+                              (default 2)
+  --strict-certificates       recompute a job whose emitted certificate
+                              fails its own spot check instead of serving
+                              the unverifiable response
 ";
 
 /// Signals received so far (1 = graceful, 2+ = force cancel).
@@ -140,6 +155,27 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--job-retries" => {
                 config.job_retries = parse_num(&value("--job-retries")?, "--job-retries")? as u32;
             }
+            "--client-timeout-ms" => {
+                let ms: usize = parse_num(&value("--client-timeout-ms")?, "--client-timeout-ms")?;
+                config.client_timeout = Duration::from_millis(ms as u64);
+            }
+            "--fleet-addr" => config.fleet_addr = Some(value("--fleet-addr")?),
+            "--fleet-timeout-ms" => {
+                let ms: usize = parse_num(&value("--fleet-timeout-ms")?, "--fleet-timeout-ms")?;
+                config.fleet.io_timeout = Duration::from_millis(ms as u64);
+            }
+            "--worker-probation-ms" => {
+                let ms: usize =
+                    parse_num(&value("--worker-probation-ms")?, "--worker-probation-ms")?;
+                config.fleet.probation = Duration::from_millis(ms as u64);
+            }
+            "--worker-reject-strikes" => {
+                config.fleet.reject_strikes = parse_num(
+                    &value("--worker-reject-strikes")?,
+                    "--worker-reject-strikes",
+                )? as u32;
+            }
+            "--strict-certificates" => config.strict_certificates = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -184,6 +220,9 @@ fn main() -> ExitCode {
     let addr = server.local_addr().expect("listener has an address");
     for entry in server.state().registry.entries() {
         eprintln!("loaded model {} ({})", entry.name, entry.hash_hex());
+    }
+    if let Some(fleet_addr) = server.fleet_addr() {
+        eprintln!("raven-serve fleet listening on {fleet_addr}");
     }
     eprintln!("raven-serve listening on http://{addr}");
 
@@ -254,6 +293,17 @@ mod tests {
             "500",
             "--job-retries",
             "3",
+            "--client-timeout-ms",
+            "2500",
+            "--fleet-addr",
+            "127.0.0.1:0",
+            "--fleet-timeout-ms",
+            "3000",
+            "--worker-probation-ms",
+            "1234",
+            "--worker-reject-strikes",
+            "5",
+            "--strict-certificates",
         ]))
         .unwrap();
         assert_eq!(parsed.models_dir, "models");
@@ -276,6 +326,20 @@ mod tests {
         assert_eq!(parsed.config.journal.cap_bytes, 1000000);
         assert_eq!(parsed.config.watchdog_grace, Duration::from_millis(500));
         assert_eq!(parsed.config.job_retries, 3);
+        assert_eq!(parsed.config.client_timeout, Duration::from_millis(2500));
+        assert_eq!(parsed.config.fleet_addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(parsed.config.fleet.io_timeout, Duration::from_millis(3000));
+        assert_eq!(parsed.config.fleet.probation, Duration::from_millis(1234));
+        assert_eq!(parsed.config.fleet.reject_strikes, 5);
+        assert!(parsed.config.strict_certificates);
+    }
+
+    #[test]
+    fn fleet_defaults_are_off() {
+        let parsed = parse_args(&args(&["--models-dir", "m"])).unwrap();
+        assert!(parsed.config.fleet_addr.is_none());
+        assert!(!parsed.config.strict_certificates);
+        assert_eq!(parsed.config.client_timeout, Duration::from_secs(10));
     }
 
     #[test]

@@ -93,6 +93,24 @@ pub enum Record {
         /// Job id.
         id: u64,
     },
+    /// The job was shipped to a remote fleet worker. While a remote
+    /// attempt is outstanding the local process is just waiting on a
+    /// socket, so a crash in that window is not the job's fault: replay
+    /// subtracts it from the crash-signature weight (see
+    /// [`ReplayJob::crash_weight`]).
+    RemoteAttempt {
+        /// Job id.
+        id: u64,
+        /// Fleet worker name (from its hello frame).
+        worker: String,
+    },
+    /// Every remote attempt failed (rejection, timeout, disconnect); the
+    /// job fell back to local compute, which *can* crash the process, so
+    /// the crash-signature weight goes back up.
+    LocalFallback {
+        /// Job id.
+        id: u64,
+    },
     /// The job finished; the envelope is the exact response served.
     Completed {
         /// Job id.
@@ -141,6 +159,8 @@ impl Record {
         match self {
             Record::Submitted { id, .. }
             | Record::Started { id }
+            | Record::RemoteAttempt { id, .. }
+            | Record::LocalFallback { id }
             | Record::Completed { id, .. }
             | Record::Failed { id, .. }
             | Record::Quarantined { id }
@@ -174,6 +194,14 @@ impl Record {
                 Json::obj(fields)
             }
             Record::Started { id } => Json::obj([("t", Json::from("started")), id_field(*id)]),
+            Record::RemoteAttempt { id, worker } => Json::obj([
+                ("t", Json::from("remote_attempt")),
+                id_field(*id),
+                ("worker", Json::from(worker.as_str())),
+            ]),
+            Record::LocalFallback { id } => {
+                Json::obj([("t", Json::from("local_fallback")), id_field(*id)])
+            }
             Record::Completed {
                 id,
                 envelope,
@@ -227,6 +255,11 @@ impl Record {
                 key: key(),
             }),
             "started" => Some(Record::Started { id: id()? }),
+            "remote_attempt" => Some(Record::RemoteAttempt {
+                id: id()?,
+                worker: text("worker")?,
+            }),
+            "local_fallback" => Some(Record::LocalFallback { id: id()? }),
             "completed" => Some(Record::Completed {
                 id: id()?,
                 envelope: json.get("envelope")?.clone(),
@@ -554,8 +587,18 @@ pub struct ReplayJob {
     pub body: Option<String>,
     /// Idempotency key from the submit record.
     pub key: Option<String>,
-    /// Number of `Started` records (attempt/crash signature count).
+    /// Number of `Started` records (attempt count).
     pub starts: u32,
+    /// Crash-signature weight: `Started` records not excused by an
+    /// outstanding remote attempt. A crash while a fleet worker held the
+    /// job says nothing about the job being poison — the local process
+    /// was only waiting on a socket — so a `RemoteAttempt` after a
+    /// `Started` subtracts that start from the weight, and a
+    /// `LocalFallback` (the job came back for local compute) adds it
+    /// back. Quarantine triggers on this weight, not on raw `starts`.
+    pub crash_weight: u32,
+    /// Whether the latest lifecycle record left the job in remote hands.
+    pub remote: bool,
     /// Terminal state, when one was journaled.
     pub terminal: Option<ReplayTerminal>,
 }
@@ -593,7 +636,23 @@ impl ReplayState {
                     job.body = Some(body.clone());
                     job.key.clone_from(key);
                 }
-                Record::Started { .. } => job.starts += 1,
+                Record::Started { .. } => {
+                    job.starts += 1;
+                    job.crash_weight += 1;
+                    job.remote = false;
+                }
+                Record::RemoteAttempt { .. } => {
+                    if !job.remote {
+                        job.remote = true;
+                        job.crash_weight = job.crash_weight.saturating_sub(1);
+                    }
+                }
+                Record::LocalFallback { .. } => {
+                    if job.remote {
+                        job.remote = false;
+                        job.crash_weight += 1;
+                    }
+                }
                 Record::Completed {
                     envelope,
                     cacheable,
@@ -678,6 +737,11 @@ mod tests {
                 error: "boom".to_string(),
             },
             Record::Quarantined { id: 3 },
+            Record::RemoteAttempt {
+                id: 4,
+                worker: "w-1".to_string(),
+            },
+            Record::LocalFallback { id: 4 },
             Record::CleanShutdown,
         ];
         let mut bytes = Vec::new();
@@ -745,6 +809,47 @@ mod tests {
         let mut clean = records;
         clean.push(Record::CleanShutdown);
         assert!(ReplayState::digest(&clean).clean_shutdown);
+    }
+
+    #[test]
+    fn remote_attempts_excuse_crash_signatures() {
+        let remote = |id| Record::RemoteAttempt {
+            id,
+            worker: "w-1".to_string(),
+        };
+        // Crash while a fleet worker held the job: not a poison signature.
+        let records = vec![
+            submitted(9, None),
+            Record::Started { id: 9 },
+            remote(9),
+            Record::Started { id: 9 }, // restart, re-dispatched
+            remote(9),
+        ];
+        let state = ReplayState::digest(&records);
+        assert_eq!(state.jobs[&9].starts, 2);
+        assert_eq!(state.jobs[&9].crash_weight, 0);
+        assert!(state.jobs[&9].remote);
+
+        // Falling back to local compute restores the signature; duplicate
+        // remote attempts (retries on other workers) excuse only one start.
+        let records = vec![
+            submitted(9, None),
+            Record::Started { id: 9 },
+            remote(9),
+            remote(9),
+            Record::LocalFallback { id: 9 },
+        ];
+        let state = ReplayState::digest(&records);
+        assert_eq!(state.jobs[&9].crash_weight, 1);
+        assert!(!state.jobs[&9].remote);
+
+        // Plain local runs are unchanged: two starts, weight two.
+        let records = vec![
+            submitted(9, None),
+            Record::Started { id: 9 },
+            Record::Started { id: 9 },
+        ];
+        assert_eq!(ReplayState::digest(&records).jobs[&9].crash_weight, 2);
     }
 
     #[test]

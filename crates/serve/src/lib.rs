@@ -28,6 +28,7 @@
 pub mod api;
 pub mod cache;
 pub mod chaos;
+pub mod fleet;
 pub mod http;
 pub mod journal;
 pub mod metrics;
@@ -81,6 +82,19 @@ pub struct ServerConfig {
     /// 0 (the default) preserves the pre-supervision behavior: one
     /// attempt, panic answers 500.
     pub job_retries: u32,
+    /// Per-connection client socket read/write timeout
+    /// (`--client-timeout-ms`). A stalled peer must not pin a connection
+    /// thread forever.
+    pub client_timeout: Duration,
+    /// Fleet listener bind address (`--fleet-addr`). `None` disables the
+    /// fleet entirely: no listener, all jobs solve locally.
+    pub fleet_addr: Option<String>,
+    /// Fleet dispatch tunables (timeouts, probation, strikes, retries).
+    pub fleet: fleet::FleetConfig,
+    /// `--strict-certificates`: when an emitted certificate fails its own
+    /// spot check, recompute the job instead of serving the unverifiable
+    /// response.
+    pub strict_certificates: bool,
 }
 
 impl Default for ServerConfig {
@@ -98,6 +112,10 @@ impl Default for ServerConfig {
             journal: JournalConfig::default(),
             watchdog_grace: Duration::from_secs(2),
             job_retries: 0,
+            client_timeout: Duration::from_secs(10),
+            fleet_addr: None,
+            fleet: fleet::FleetConfig::default(),
+            strict_certificates: false,
         }
     }
 }
@@ -129,6 +147,10 @@ pub struct ServerState {
     pub journal: Option<Arc<Journal>>,
     /// Idempotency-key → job id map (rebuilt from the journal on restart).
     pub idempotency: Mutex<HashMap<String, u64>>,
+    /// The worker fleet (`None` when no `--fleet-addr` was given).
+    pub fleet: Option<Arc<fleet::Fleet>>,
+    /// Recompute on spot-check failure instead of serving the response.
+    pub strict_certificates: bool,
 }
 
 /// A bound, not-yet-running server.
@@ -138,6 +160,7 @@ pub struct Server {
     worker_handles: Vec<std::thread::JoinHandle<()>>,
     stop: Arc<AtomicBool>,
     max_body_bytes: usize,
+    client_timeout: Duration,
 }
 
 /// Handle for stopping a running server from another thread.
@@ -239,6 +262,10 @@ impl Server {
             hooks,
         );
         let next_job_id = replay.as_ref().map_or(0, ReplayState::max_id) + 1;
+        let fleet_handle = match &config.fleet_addr {
+            Some(addr) => Some(Arc::new(fleet::Fleet::bind(addr, config.fleet.clone())?)),
+            None => None,
+        };
         let state = Arc::new(ServerState {
             registry,
             queue: queue.clone(),
@@ -252,6 +279,8 @@ impl Server {
             cancel: AtomicBool::new(false),
             journal: journal_handle.clone(),
             idempotency: Mutex::new(HashMap::new()),
+            fleet: fleet_handle,
+            strict_certificates: config.strict_certificates,
         });
         if let (Some(journal), Some(replay)) = (&journal_handle, replay) {
             recover(&state, journal, &replay);
@@ -266,7 +295,14 @@ impl Server {
             worker_handles,
             stop: Arc::new(AtomicBool::new(false)),
             max_body_bytes: config.max_body_bytes,
+            client_timeout: config.client_timeout,
         })
+    }
+
+    /// The bound fleet listener address, when a fleet is attached (read
+    /// the ephemeral port from here to point `raven_worker --connect` at).
+    pub fn fleet_addr(&self) -> Option<std::net::SocketAddr> {
+        self.state.fleet.as_ref().and_then(|f| f.local_addr().ok())
     }
 
     /// The bound address (read the ephemeral port from here).
@@ -296,12 +332,18 @@ impl Server {
     /// returns.
     pub fn run(self) {
         let active = Arc::new(AtomicUsize::new(0));
+        let fleet_acceptor = self
+            .state
+            .fleet
+            .as_ref()
+            .map(|fleet| fleet.spawn_acceptor(self.stop.clone()));
         while !self.stop.load(Ordering::SeqCst) {
             match self.listener.accept() {
                 Ok((stream, _)) => {
                     let state = self.state.clone();
                     let conn_active = active.clone();
                     let max_body = self.max_body_bytes;
+                    let client_timeout = self.client_timeout;
                     active.fetch_add(1, Ordering::SeqCst);
                     // One thread per connection: connections are
                     // short-lived (Connection: close) and the expensive
@@ -310,7 +352,7 @@ impl Server {
                     let spawned = std::thread::Builder::new()
                         .name("raven-serve-conn".to_string())
                         .spawn(move || {
-                            handle_connection(&state, stream, max_body);
+                            handle_connection(&state, stream, max_body, client_timeout);
                             conn_active.fetch_sub(1, Ordering::SeqCst);
                         });
                     if spawned.is_err() {
@@ -332,6 +374,9 @@ impl Server {
             std::thread::sleep(Duration::from_millis(5));
         }
         for handle in self.worker_handles {
+            let _ = handle.join();
+        }
+        if let Some(handle) = fleet_acceptor {
             let _ = handle.join();
         }
         // Workers are joined, so every terminal record is already
@@ -373,9 +418,13 @@ fn recover(state: &Arc<ServerState>, journal: &Journal, replay: &ReplayState) {
                 // deletion) — nothing recoverable.
                 continue;
             }
-            None if job.starts >= 2 => {
-                // Poison: running at two separate process deaths. Pin the
-                // verdict so later restarts don't re-count.
+            None if job.crash_weight >= 2 => {
+                // Poison: running at two separate process deaths while
+                // *locally* executing. Crashes that happened while the job
+                // was dispatched to a fleet worker are excused by their
+                // `RemoteAttempt` records — a remote solve cannot have
+                // crashed this process. Pin the verdict so later restarts
+                // don't re-count.
                 metrics::QUARANTINED_JOBS.inc();
                 let _ = journal.append(&Record::Quarantined { id }, true);
                 JobSlot::preset(JobState::Quarantined)
@@ -416,12 +465,17 @@ fn recover(state: &Arc<ServerState>, journal: &Journal, replay: &ReplayState) {
 }
 
 /// Serves one connection: read request, route, write response.
-fn handle_connection(state: &Arc<ServerState>, mut stream: TcpStream, max_body: usize) {
+fn handle_connection(
+    state: &Arc<ServerState>,
+    mut stream: TcpStream,
+    max_body: usize,
+    client_timeout: Duration,
+) {
     // A stuck peer must not pin the connection thread forever — neither a
     // client that stops sending (read) nor one that stops draining its
     // receive window while we write a large response body (write).
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_read_timeout(Some(client_timeout));
+    let _ = stream.set_write_timeout(Some(client_timeout));
     match http::read_request(&mut stream, max_body) {
         Ok(request) => {
             let reply = api::handle(state, &request);

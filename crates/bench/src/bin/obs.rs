@@ -14,9 +14,11 @@
 //! `lp_warm_starts` are all non-zero, which is what makes the report a
 //! meaningful guard for the branch-and-bound hot path.
 //!
-//! Certificate overhead and fleet dispatch round trips are measured
-//! *after* the counter snapshot, so the pivot-regression gate below keeps
-//! comparing like with like across baselines that predate them.
+//! Certificate overhead, fleet dispatch round trips, and tracing overhead
+//! (the same workload with and without a per-request trace context) are
+//! measured *after* the counter snapshot, so the pivot-regression gate
+//! below keeps comparing like with like across baselines that predate
+//! them.
 //!
 //! Usage: `cargo run -p raven-bench --release --bin obs -- [--out FILE]
 //! [--threads n] [--check BASELINE]` (default output `BENCH_obs.json`).
@@ -305,6 +307,49 @@ fn main() {
         ])
     };
 
+    // Distributed-tracing overhead, also outside the pivot-gate window:
+    // the same moderate-ε UAP batch solved with and without a per-request
+    // trace context buffering spans. Tracing is observe-only, so the only
+    // cost is the per-record buffering — this column keeps it honest.
+    let tracing = {
+        let (inputs, labels) = uap_batches(&model, 3, 1).swap_remove(0);
+        let problem = UapProblem {
+            plan: plan.clone(),
+            inputs,
+            labels,
+            eps,
+        };
+        let reps = 3usize;
+        let t_off = Instant::now();
+        for _ in 0..reps {
+            let _ = verify_uap(&problem, Method::Raven, &config);
+        }
+        let untraced_millis = t_off.elapsed().as_secs_f64() * 1e3 / reps as f64;
+        let mut spans_buffered = 0u64;
+        let t_on = Instant::now();
+        for _ in 0..reps {
+            let ctx = raven_obs::begin_trace(raven_obs::mint_trace_id(), raven_obs::next_span_id());
+            raven_obs::set_current_trace(Some(ctx));
+            let _ = verify_uap(&problem, Method::Raven, &config);
+            raven_obs::set_current_trace(None);
+            spans_buffered += raven_obs::end_trace(ctx).records.len() as u64;
+        }
+        let traced_millis = t_on.elapsed().as_secs_f64() * 1e3 / reps as f64;
+        Json::obj([
+            ("reps", Json::from(reps)),
+            ("untraced_millis", Json::from(untraced_millis)),
+            ("traced_millis", Json::from(traced_millis)),
+            (
+                "overhead_millis",
+                Json::from(traced_millis - untraced_millis),
+            ),
+            (
+                "spans_per_run",
+                Json::from(spans_buffered as f64 / reps as f64),
+            ),
+        ])
+    };
+
     let report = Json::obj([
         ("bench", Json::from("obs")),
         (
@@ -326,6 +371,7 @@ fn main() {
         ("phase_millis", Json::Obj(phases)),
         ("certificates", Json::Obj(certificates)),
         ("fleet", fleet),
+        ("tracing", tracing),
     ]);
     std::fs::write(&out, format!("{report}\n")).expect("write report");
     println!("wrote {out} ({wall_millis:.0} ms workload)");

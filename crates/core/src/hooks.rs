@@ -78,6 +78,10 @@ pub struct RunHooks<'a> {
     cancels: [Option<&'a AtomicBool>; 2],
     deadline: Option<Instant>,
     progress: Option<&'a (dyn Fn(Phase) + Sync)>,
+    /// Distributed-trace context for this run: installed on the verifying
+    /// thread for the run's duration, so phase spans (and anything the
+    /// solvers emit) attach to the owning request's trace.
+    trace: Option<raven_obs::TraceCtx>,
 }
 
 impl<'a> RunHooks<'a> {
@@ -107,6 +111,21 @@ impl<'a> RunHooks<'a> {
     pub fn with_progress(mut self, observer: &'a (dyn Fn(Phase) + Sync)) -> Self {
         self.progress = Some(observer);
         self
+    }
+
+    /// Attaches a distributed-trace context. The verify entry points
+    /// install it on the executing thread for the duration of the run
+    /// (restoring the previous context afterwards), which is what lets a
+    /// caller build hooks on one thread and run verification on another —
+    /// the `raven-serve` queue and `raven_worker` both rely on this.
+    pub fn with_trace(mut self, ctx: raven_obs::TraceCtx) -> Self {
+        self.trace = Some(ctx);
+        self
+    }
+
+    /// The attached trace context, if any.
+    pub fn trace(&self) -> Option<raven_obs::TraceCtx> {
+        self.trace
     }
 
     /// Whether cancellation has been requested (by any attached flag).
@@ -168,6 +187,7 @@ impl std::fmt::Debug for RunHooks<'_> {
             )
             .field("deadline", &self.deadline)
             .field("progress", &self.progress.is_some())
+            .field("trace", &self.trace)
             .finish()
     }
 }
@@ -244,6 +264,18 @@ mod tests {
         cancel.store(true, Ordering::SeqCst);
         assert!(hooks.lp_budget().exhausted());
         assert!(hooks.lp_budget().cancelled());
+    }
+
+    #[test]
+    fn trace_context_rides_along_and_stays_copy() {
+        let ctx = raven_obs::begin_trace(42, 7);
+        let hooks = RunHooks::default().with_trace(ctx);
+        // RunHooks must stay `Copy` so callers can hand it around freely.
+        let copied = hooks;
+        assert_eq!(copied.trace(), Some(ctx));
+        assert_eq!(hooks.trace(), Some(ctx));
+        assert!(RunHooks::default().trace().is_none());
+        raven_obs::discard_trace(ctx);
     }
 
     #[test]

@@ -71,12 +71,23 @@ pub(crate) fn phase_enter(phase: Phase) {
     });
 }
 
-/// Guard that closes the last open phase span when a verify run ends.
-pub(crate) struct PhaseScope;
+/// Guard at the top of each verify entry point: installs the run's trace
+/// context (from [`RunHooks::with_trace`](crate::RunHooks::with_trace)) on
+/// the executing thread and closes the last open phase span when the run
+/// ends, restoring the previous trace context.
+pub(crate) struct PhaseScope {
+    _trace: raven_obs::TraceScope,
+}
 
 impl PhaseScope {
-    pub(crate) fn new() -> Self {
-        PhaseScope
+    pub(crate) fn new(hooks: &crate::RunHooks<'_>) -> Self {
+        // When the caller did not attach a context explicitly, leave
+        // whatever is already installed on this thread (the serve queue
+        // installs one per job) untouched.
+        let trace = hooks.trace().or_else(raven_obs::current_trace);
+        PhaseScope {
+            _trace: raven_obs::propagate_trace(trace),
+        }
     }
 }
 

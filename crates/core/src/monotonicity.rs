@@ -180,7 +180,7 @@ fn verify_monotonicity_inner(
     assert!(problem.tau >= 0.0, "tau must be non-negative");
     let start = Instant::now();
     let sign = if problem.increasing { 1.0 } else { -1.0 };
-    let _phase_scope = crate::metrics::PhaseScope::new();
+    let _phase_scope = crate::metrics::PhaseScope::new(hooks);
     if !hooks.enter(Phase::Analysis) {
         return None;
     }

@@ -12,7 +12,9 @@
 //! * **Panic propagation**: a panic inside the closure propagates to the
 //!   caller when the scope joins, exactly like the sequential loop would.
 //!
-//! No registry dependencies: the whole layer is `std::thread` + atomics.
+//! No registry dependencies: the whole layer is `std::thread` + atomics,
+//! plus an explicit hand-off of the caller's `raven-obs` trace context to
+//! each scoped worker (observe-only; scheduling is unaffected).
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -57,16 +59,23 @@ where
     let chunk = (n / (workers * 4)).max(1);
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // Hand the caller's trace context to every scoped worker explicitly:
+    // spans and events emitted inside `f` then attach to the owning
+    // request's trace regardless of which worker ran the item.
+    let trace = raven_obs::current_trace();
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let lo = next.fetch_add(chunk, Ordering::Relaxed);
-                if lo >= n {
-                    break;
-                }
-                for (i, slot) in slots.iter().enumerate().take(n.min(lo + chunk)).skip(lo) {
-                    let out = f(i);
-                    *slot.lock().expect("result slot poisoned") = Some(out);
+            scope.spawn(|| {
+                let _trace = raven_obs::propagate_trace(trace);
+                loop {
+                    let lo = next.fetch_add(chunk, Ordering::Relaxed);
+                    if lo >= n {
+                        break;
+                    }
+                    for (i, slot) in slots.iter().enumerate().take(n.min(lo + chunk)).skip(lo) {
+                        let out = f(i);
+                        *slot.lock().expect("result slot poisoned") = Some(out);
+                    }
                 }
             });
         }

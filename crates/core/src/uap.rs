@@ -293,7 +293,7 @@ fn verify_uap_with_extra(
     );
     let start = Instant::now();
     let k = problem.k();
-    let _phase_scope = crate::metrics::PhaseScope::new();
+    let _phase_scope = crate::metrics::PhaseScope::new(hooks);
     if !hooks.enter(Phase::Margins) {
         return None;
     }

@@ -62,6 +62,19 @@ struct Node {
 /// and every open node's parent relaxation bound.
 fn anytime_solution(minimize: bool, stack: &[Node], incumbent: &Option<Solution>) -> Solution {
     crate::metrics::MILP_BUDGET_EXHAUSTED.inc();
+    // Mark the exhaustion in the owning request's trace (when one is
+    // installed on this thread): a degraded verdict's trace then shows
+    // exactly where the anytime ladder gave up and how much B&B work was
+    // still open. Observe-only; gated to skip the allocations otherwise.
+    if raven_obs::enabled() {
+        raven_obs::event(
+            "milp_budget_exhausted",
+            &[
+                ("open_nodes", stack.len().to_string()),
+                ("incumbent", incumbent.is_some().to_string()),
+            ],
+        );
+    }
     let mut bound = incumbent.as_ref().map_or(
         if minimize {
             f64::INFINITY

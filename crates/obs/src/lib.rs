@@ -14,6 +14,10 @@
 //! * [`SpanGuard`]/[`span`] — hierarchical monotonic-clock spans emitted as
 //!   JSONL events to a process-wide [sink](set_sink_path);
 //! * [`Timer`] — a drop-guard that records elapsed seconds into a histogram;
+//! * [`TraceCtx`]/[`begin_trace`] — request-scoped distributed tracing:
+//!   a 128-bit trace id carried explicitly across threads (and fleet
+//!   processes), per-trace ring buffers, and a [`TailSampler`] that keeps
+//!   slow/degraded/errored traces and samples the rest;
 //! * [`render_prometheus`] — the Prometheus text exposition renderer over
 //!   static [`Desc`] tables.
 //!
@@ -44,10 +48,17 @@
 mod metric;
 mod render;
 mod span;
+mod trace;
 
 pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot, BUCKET_COUNT};
 pub use render::{render_prometheus, Desc, MetricRef};
 pub use span::{
-    clear_sink, enabled, event, set_enabled, set_sink_path, set_sink_writer, sink_active, span,
-    timed_span, SpanGuard, Timer,
+    clear_sink, enabled, event, reset_thread_spans, set_enabled, set_sink_path, set_sink_writer,
+    sink_active, span, timed_span, SpanGuard, Timer,
+};
+pub use trace::{
+    begin_trace, current_trace, discard_trace, end_trace, format_traceparent, mint_trace_id,
+    next_span_id, now_us, parse_traceparent, propagate_trace, record_into, set_current_trace,
+    KeepReason, TailSampler, TraceCtx, TraceData, TraceOutcome, TraceRecord, TraceScope,
+    TRACE_BUFFER_CAP,
 };

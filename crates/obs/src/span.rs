@@ -40,6 +40,27 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
+/// Microseconds elapsed since the telemetry epoch (the span timebase).
+pub(crate) fn epoch_elapsed_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+/// Mints a fresh span id from the process-wide sequence.
+pub(crate) fn mint_span_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Empties the calling thread's span stack.
+///
+/// `raven-serve` calls this at every job start (and when the watchdog
+/// respawns a worker thread) so a span leaked by a panicked or misbehaving
+/// job can never become the parent of a later job's spans on the reused
+/// thread. Live [`SpanGuard`]s tolerate the clear: their drop pops by id
+/// and a missing id is a no-op.
+pub fn reset_thread_spans() {
+    SPAN_STACK.with(|s| s.borrow_mut().clear());
+}
+
 /// Turns clock-reading telemetry on or off (counters are always live).
 pub fn set_enabled(on: bool) {
     ENABLED.store(on, Ordering::Relaxed);
@@ -116,20 +137,56 @@ fn thread_label(out: &mut String) {
     }
 }
 
-/// Emits a one-off structured event (`{"type":"event",...}`) to the sink.
+/// Emits a one-off structured event (`{"type":"event",...}`) to the sink
+/// and, when a [trace context](crate::current_trace) is installed on the
+/// thread, into the trace's ring buffer.
 ///
-/// No-op without a sink. Field values are emitted as JSON strings.
+/// No-op without a sink or trace. Field values are emitted as JSON strings.
 pub fn event(name: &str, fields: &[(&str, String)]) {
+    let trace = crate::trace::current_trace();
+    if !sink_active() && trace.is_none() {
+        return;
+    }
+    let ts_us = epoch_elapsed_us();
+    if let Some(ctx) = trace {
+        let parent = SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0));
+        crate::trace::record_into(
+            ctx,
+            crate::trace::TraceRecord {
+                kind: "event",
+                name: name.to_string(),
+                id: 0,
+                parent: if parent == 0 { ctx.parent_span } else { parent },
+                thread: {
+                    let mut t = String::new();
+                    thread_label(&mut t);
+                    t
+                },
+                start_us: ts_us,
+                dur_us: 0,
+                remote: false,
+                fields: fields
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+            },
+        );
+    }
     if !sink_active() {
         return;
     }
-    let ts_us = epoch().elapsed().as_micros();
     let mut line = String::with_capacity(96);
     line.push_str("{\"type\":\"event\",\"name\":\"");
     escape_into(&mut line, name);
     line.push_str("\",\"thread\":\"");
     thread_label(&mut line);
     let _ = std::fmt::Write::write_fmt(&mut line, format_args!("\",\"ts_us\":{ts_us}"));
+    if let Some(ctx) = trace {
+        let _ = std::fmt::Write::write_fmt(
+            &mut line,
+            format_args!(",\"trace\":\"{:032x}\"", ctx.trace_id),
+        );
+    }
     for (k, v) in fields {
         line.push_str(",\"");
         escape_into(&mut line, k);
@@ -192,6 +249,14 @@ fn span_with(name: &'static str, hist: Option<&'static Histogram>) -> SpanGuard 
     }
 }
 
+impl SpanGuard {
+    /// This span's id (`0` when telemetry was disabled at open time) —
+    /// used to parent remote spans stitched under a fleet dispatch.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(start) = self.start else {
@@ -209,9 +274,39 @@ impl Drop for SpanGuard {
         if let Some(h) = self.hist {
             h.observe(elapsed.as_secs_f64());
         }
+        let trace = crate::trace::current_trace();
+        if !sink_active() && trace.is_none() {
+            return;
+        }
+        let start_us = (start.saturating_duration_since(epoch())).as_micros() as u64;
+        let dur_us = elapsed.as_micros() as u64;
+        if let Some(ctx) = trace {
+            crate::trace::record_into(
+                ctx,
+                crate::trace::TraceRecord {
+                    kind: "span",
+                    name: self.name.to_string(),
+                    id: self.id,
+                    // A thread-root span belongs to the trace's designated
+                    // parent (the request root or the dispatch span).
+                    parent: if self.parent == 0 {
+                        ctx.parent_span
+                    } else {
+                        self.parent
+                    },
+                    thread: {
+                        let mut t = String::new();
+                        thread_label(&mut t);
+                        t
+                    },
+                    start_us,
+                    dur_us,
+                    remote: false,
+                    fields: Vec::new(),
+                },
+            );
+        }
         if sink_active() {
-            let start_us = (start - epoch()).as_micros();
-            let dur_us = elapsed.as_micros();
             let mut line = String::with_capacity(128);
             line.push_str("{\"type\":\"span\",\"name\":\"");
             escape_into(&mut line, self.name);
@@ -225,8 +320,15 @@ impl Drop for SpanGuard {
             thread_label(&mut line);
             let _ = std::fmt::Write::write_fmt(
                 &mut line,
-                format_args!("\",\"start_us\":{start_us},\"dur_us\":{dur_us}}}"),
+                format_args!("\",\"start_us\":{start_us},\"dur_us\":{dur_us}"),
             );
+            if let Some(ctx) = trace {
+                let _ = std::fmt::Write::write_fmt(
+                    &mut line,
+                    format_args!(",\"trace\":\"{:032x}\"", ctx.trace_id),
+                );
+            }
+            line.push('}');
             write_line(&line);
         }
     }

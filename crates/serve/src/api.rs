@@ -77,6 +77,8 @@ pub fn handle(state: &Arc<ServerState>, req: &Request) -> Reply {
         ("POST", "/v1/verify/mono") => verify_sync(state, req, Property::Mono),
         ("POST", "/v1/jobs") => submit_job(state, req),
         ("GET", p) if p.starts_with("/v1/jobs/") => job_status(state, p),
+        ("GET", "/v1/traces") => list_traces(state),
+        ("GET", p) if p.starts_with("/v1/traces/") => trace_detail(state, req, p),
         ("GET" | "POST", _) => error_reply(404, "no such endpoint"),
         _ => error_reply(405, "method not allowed"),
     }
@@ -98,6 +100,41 @@ fn metrics(state: &Arc<ServerState>) -> Reply {
         content_type: "text/plain; version=0.0.4; charset=utf-8",
         headers: Vec::new(),
         body,
+    }
+}
+
+/// `GET /v1/traces` — summaries of the tail-sampled traces, newest first.
+fn list_traces(state: &Arc<ServerState>) -> Reply {
+    Reply::json(200, state.traces.list().to_string())
+}
+
+/// `GET /v1/traces/{id}` — one retained trace, as native JSONL (the
+/// default; `scripts/trace2folded.rs` folds it) or the Chrome trace-event
+/// format with `?format=chrome` (load in `chrome://tracing` / Perfetto).
+fn trace_detail(state: &Arc<ServerState>, req: &Request, path: &str) -> Reply {
+    let hex = &path["/v1/traces/".len()..];
+    let Ok(trace_id) = u128::from_str_radix(hex, 16) else {
+        return error_reply(
+            400,
+            "trace id must be hex (as echoed in the traceparent header)",
+        );
+    };
+    let Some(trace) = state.traces.get(trace_id) else {
+        return error_reply(404, "no such trace (not sampled, or evicted)");
+    };
+    let chrome = req
+        .query
+        .as_deref()
+        .is_some_and(|q| q.split('&').any(|kv| kv == "format=chrome"));
+    if chrome {
+        Reply::json(200, crate::trace::render_chrome(&trace).to_string())
+    } else {
+        Reply {
+            status: 200,
+            content_type: "application/x-ndjson",
+            headers: Vec::new(),
+            body: crate::trace::render_jsonl(&trace),
+        }
     }
 }
 
@@ -586,6 +623,13 @@ fn compute_verdict(
     let mut hooks = RunHooks::default()
         .with_cancel(cancels.0)
         .with_cancel(cancels.1);
+    // Attach the request's trace context (installed on this thread by the
+    // queue locally, or by the fleet worker loop remotely) so the phase
+    // spans and solver events land in the owning trace even when the
+    // verifier fans out to helper threads.
+    if let Some(ctx) = raven_obs::current_trace() {
+        hooks = hooks.with_trace(ctx);
+    }
     if let Some(d) = deadline {
         // The artificial `delay_millis` sleep below counts against the
         // deadline, exactly like a slow solve would.
@@ -809,6 +853,7 @@ fn run_verify(
                 model_hash: &model_hash,
                 deadline_ms: deadline.map(|d| d.as_millis() as u64),
                 journal: state.journal.as_deref(),
+                trace: raven_obs::current_trace(),
             };
             if let Some(env) = fleet.dispatch(&ctx, &expected_for(spec), job_cancel) {
                 // The gate already pinned the envelope to this job's spec;
@@ -893,6 +938,7 @@ fn job_for(
     id: u64,
     spec: VerifySpec,
     check_cache: bool,
+    trace: Option<raven_obs::TraceCtx>,
 ) -> (JobMeta, JobFn) {
     let cancel = Arc::new(AtomicBool::new(false));
     let meta = JobMeta {
@@ -901,9 +947,28 @@ fn job_for(
             .map(Duration::from_millis)
             .or(state.default_deadline),
         cancel: Some(cancel.clone()),
+        trace,
     };
     let job_state = Arc::clone(state);
-    let job: JobFn = Box::new(move || run_verify(&job_state, id, &spec, check_cache, &cancel));
+    let job: JobFn = Box::new(move || {
+        // `begin` reads the context the queue installed on this thread; on
+        // an untraced job (recovery resubmits) it is a no-op `None`.
+        let job_trace = crate::trace::JobTrace::begin();
+        let mut result = {
+            let _span = raven_obs::span("job");
+            run_verify(&job_state, id, &spec, check_cache, &cancel)
+        };
+        if let Some(t) = job_trace {
+            t.finish(
+                &job_state.traces,
+                id,
+                spec.property_name(),
+                &spec.entry.name,
+                &mut result,
+            );
+        }
+        result
+    });
     (meta, job)
 }
 
@@ -919,11 +984,24 @@ enum Admitted {
 /// Admits one verification submission: idempotency-key dedup, queue
 /// submission, jobs-map registration, and the journal `Submitted` record
 /// (fsync'd before the ack).
+/// Mints the request's trace context: an incoming `traceparent` header
+/// continues the caller's trace id; otherwise a fresh id is minted. The
+/// context's parent span doubles as the synthesized `request` root span.
+fn begin_request_trace(req: &Request) -> raven_obs::TraceCtx {
+    let trace_id = req
+        .traceparent
+        .as_deref()
+        .and_then(raven_obs::parse_traceparent)
+        .map_or_else(raven_obs::mint_trace_id, |(id, _span)| id);
+    raven_obs::begin_trace(trace_id, raven_obs::next_span_id())
+}
+
 fn admit(
     state: &Arc<ServerState>,
     req: &Request,
     spec: VerifySpec,
     check_cache: bool,
+    trace: Option<raven_obs::TraceCtx>,
 ) -> Result<Admitted, Reply> {
     let key = req
         .idempotency_key
@@ -945,15 +1023,27 @@ fn admit(
                 .cloned()
             {
                 crate::metrics::IDEMPOTENT_HITS.inc();
+                // No new job runs, so this request's trace buffer would
+                // leak — release it.
+                if let Some(ctx) = trace {
+                    raven_obs::discard_trace(ctx);
+                }
                 return Ok(Admitted::Existing(existing, slot));
             }
         }
     }
     let id = state.next_job_id.fetch_add(1, Ordering::Relaxed);
-    let (meta, job) = job_for(state, id, spec, check_cache);
+    let (meta, job) = job_for(state, id, spec, check_cache, trace);
     let slot = match state.queue.submit(id, meta, job) {
         Ok(slot) => slot,
-        Err(_) => return Err(queue_full_reply()),
+        Err(_) => {
+            // Rejected before any worker saw it: the queue's terminal
+            // backstop never fires, so release the buffer here.
+            if let Some(ctx) = trace {
+                raven_obs::discard_trace(ctx);
+            }
+            return Err(queue_full_reply());
+        }
     };
     state
         .jobs
@@ -1014,20 +1104,25 @@ fn verify_sync(state: &Arc<ServerState>, req: &Request, property: Property) -> R
             );
         }
     }
-    let slot = match admit(state, req, spec, false) {
+    let trace = begin_request_trace(req);
+    let traceparent = trace.traceparent();
+    let slot = match admit(state, req, spec, false, Some(trace)) {
         Ok(Admitted::New(_, slot) | Admitted::Existing(_, slot)) => slot,
         Err(reply) => return reply,
     };
-    match slot.wait_terminal(state.request_timeout) {
+    let reply = match slot.wait_terminal(state.request_timeout) {
         Some(JobState::Done(response)) => Reply::json(200, response.to_string()),
         Some(JobState::Failed(message)) => error_reply(500, &message),
         Some(JobState::Quarantined) => quarantined_reply(),
         Some(_) => unreachable!("wait_terminal only returns terminal states"),
+        // On timeout the job (and its trace) is still running; the queue's
+        // terminal backstop releases the buffer when it finishes.
         None => error_reply(
             504,
             "verification exceeded the request timeout (submit via /v1/jobs to poll instead)",
         ),
-    }
+    };
+    reply.with_header("traceparent", traceparent)
 }
 
 fn submit_job(state: &Arc<ServerState>, req: &Request) -> Reply {
@@ -1060,13 +1155,15 @@ fn submit_job(state: &Arc<ServerState>, req: &Request) -> Reply {
         Ok(spec) => spec,
         Err(ParseFail(status, msg)) => return error_reply(status, &msg),
     };
-    match admit(state, req, spec, true) {
+    let trace = begin_request_trace(req);
+    let traceparent = trace.traceparent();
+    match admit(state, req, spec, true, Some(trace)) {
         Ok(Admitted::New(id, _)) => {
             let body = Json::obj([
                 ("job_id", Json::from(id as f64)),
                 ("status", Json::from("queued")),
             ]);
-            Reply::json(202, body.to_string())
+            Reply::json(202, body.to_string()).with_header("traceparent", traceparent)
         }
         Ok(Admitted::Existing(id, slot)) => {
             // Idempotent replay: report the original job, not a new one.
@@ -1098,7 +1195,9 @@ pub(crate) fn resubmit_recovered(
         property,
     )
     .map_err(|ParseFail(_, msg)| format!("journaled body no longer parses: {msg}"))?;
-    let (meta, job) = job_for(state, id, spec, true);
+    // Recovered jobs run untraced: the original request's context died
+    // with the crashed process.
+    let (meta, job) = job_for(state, id, spec, true, None);
     state
         .queue
         .submit(id, meta, job)

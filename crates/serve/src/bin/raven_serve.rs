@@ -59,6 +59,14 @@ options:
   --strict-certificates       recompute a job whose emitted certificate
                               fails its own spot check instead of serving
                               the unverifiable response
+  --trace-slow-ms N           tail sampling always keeps traces of requests
+                              at least this slow (default 500; degraded,
+                              errored, retried, and certificate-rejected
+                              requests are always kept)
+  --trace-sample-rate R       probability in [0,1] of keeping an otherwise
+                              uninteresting request's trace (default 1.0)
+  --trace-capacity N          retained traces behind /v1/traces before the
+                              oldest is evicted (default 256)
 ";
 
 /// Signals received so far (1 = graceful, 2+ = force cancel).
@@ -176,6 +184,23 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 )? as u32;
             }
             "--strict-certificates" => config.strict_certificates = true,
+            "--trace-slow-ms" => {
+                config.trace_slow_ms =
+                    parse_num(&value("--trace-slow-ms")?, "--trace-slow-ms")? as u64;
+            }
+            "--trace-sample-rate" => {
+                let raw = value("--trace-sample-rate")?;
+                let rate: f64 = raw
+                    .parse()
+                    .map_err(|e| format!("--trace-sample-rate: {e}"))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err("--trace-sample-rate must be in [0, 1]".to_string());
+                }
+                config.trace_sample_rate = rate;
+            }
+            "--trace-capacity" => {
+                config.trace_capacity = parse_num(&value("--trace-capacity")?, "--trace-capacity")?;
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -304,6 +329,12 @@ mod tests {
             "--worker-reject-strikes",
             "5",
             "--strict-certificates",
+            "--trace-slow-ms",
+            "250",
+            "--trace-sample-rate",
+            "0.25",
+            "--trace-capacity",
+            "64",
         ]))
         .unwrap();
         assert_eq!(parsed.models_dir, "models");
@@ -332,6 +363,19 @@ mod tests {
         assert_eq!(parsed.config.fleet.probation, Duration::from_millis(1234));
         assert_eq!(parsed.config.fleet.reject_strikes, 5);
         assert!(parsed.config.strict_certificates);
+        assert_eq!(parsed.config.trace_slow_ms, 250);
+        assert_eq!(parsed.config.trace_sample_rate, 0.25);
+        assert_eq!(parsed.config.trace_capacity, 64);
+    }
+
+    #[test]
+    fn trace_defaults_keep_everything() {
+        let parsed = parse_args(&args(&["--models-dir", "m"])).unwrap();
+        assert_eq!(parsed.config.trace_slow_ms, 500);
+        assert_eq!(parsed.config.trace_sample_rate, 1.0);
+        assert_eq!(parsed.config.trace_capacity, 256);
+        let bad = parse_args(&args(&["--models-dir", "m", "--trace-sample-rate", "1.5"]));
+        assert!(bad.unwrap_err().contains("[0, 1]"));
     }
 
     #[test]

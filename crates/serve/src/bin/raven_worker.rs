@@ -133,6 +133,10 @@ fn main() -> ExitCode {
         eprintln!("error: no *.net models found in {}", args.models_dir);
         return ExitCode::FAILURE;
     }
+    // Like the server: a long-running process keeps its telemetry live,
+    // and traced job frames need span timings to ship home. Observe-only —
+    // verdict bytes are unaffected.
+    raven_obs::set_enabled(true);
     install_signal_handlers();
     let opts = WorkerOptions {
         connect: args.connect,

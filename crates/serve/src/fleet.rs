@@ -36,9 +36,16 @@
 //! * worker → server  `{"t":"hello","worker":name,"models":{name:hash}}`
 //! * server → worker  `{"t":"welcome"}`
 //! * server → worker  `{"t":"job","seq":n,"property":…,"body":…,
-//!   "model":…,"model_hash":…,"deadline_ms":…}`
+//!   "model":…,"model_hash":…,"deadline_ms":…,"trace_id":…}`
 //! * worker → server  `{"t":"result","seq":n,"envelope":…,
-//!   "certificate":…}` or `{"t":"error","seq":n,"error":…}`
+//!   "certificate":…,"spans":[…]}` or `{"t":"error","seq":n,"error":…}`
+//!
+//! `trace_id` (hex) rides along when the dispatching request is traced;
+//! the worker buffers its spans under that id (timestamps relative to job
+//! receipt) and ships them back in `spans`, where the server rebases them
+//! onto its own clock and stitches them under the dispatch span. Both
+//! fields are optional and ignored by peers that don't understand them —
+//! tracing never changes verdict bytes.
 //!
 //! ## Reputation
 //!
@@ -76,6 +83,11 @@ use std::time::{Duration, Instant};
 /// hundreds of KB; 256 MiB leaves three orders of magnitude of headroom
 /// while still bounding a hostile length header.
 pub const MAX_FRAME_BYTES: usize = 256 * 1024 * 1024;
+
+/// Cap on trace records a worker ships home per job: observability must
+/// not balloon result frames (records past the cap are simply dropped —
+/// the trace buffer itself is already ring-bounded).
+const MAX_SHIPPED_SPANS: usize = 512;
 
 /// Fleet tunables (server side).
 #[derive(Debug, Clone)]
@@ -322,6 +334,10 @@ pub(crate) struct DispatchCtx<'a> {
     pub deadline_ms: Option<u64>,
     /// Journal for remote-attempt records.
     pub journal: Option<&'a Journal>,
+    /// The owning request's trace context. When present, the job frame
+    /// carries the trace id (so the worker tags its spans with it) and the
+    /// result frame's spans are stitched under this dispatch's span.
+    pub trace: Option<raven_obs::TraceCtx>,
 }
 
 /// The server-side fleet: a listener workers connect to, the set of live
@@ -519,6 +535,10 @@ impl Fleet {
     ) -> Option<Json> {
         let mut tried: Vec<String> = Vec::new();
         let mut attempts: u32 = 0;
+        // The dispatch span is what the worker's remote spans hang under
+        // after stitching (it records into the trace at guard drop; the
+        // children reference it by id, so ordering does not matter).
+        let dispatch_span = raven_obs::span("fleet_dispatch");
         let outcome = loop {
             if attempts >= self.config.dispatch_attempts {
                 break None;
@@ -545,6 +565,7 @@ impl Fleet {
             }
             metrics::FLEET_DISPATCHES.inc();
             let t0 = Instant::now();
+            let base_us = raven_obs::now_us();
             let reply = self.round_trip(&worker, ctx, cancel);
             let rtt = t0.elapsed();
             match reply {
@@ -565,6 +586,18 @@ impl Fleet {
                         Ok(envelope) => {
                             metrics::FLEET_ACCEPTED.inc();
                             self.ledger_accept(&worker.name, rtt);
+                            // Stitch the worker's spans (shipped in the
+                            // result frame, timestamped relative to its
+                            // job receipt) into the request's trace.
+                            if let (Some(tctx), Some(spans)) = (ctx.trace, reply.get("spans")) {
+                                crate::trace::stitch_remote_records(
+                                    tctx,
+                                    &worker.name,
+                                    dispatch_span.id(),
+                                    base_us,
+                                    spans,
+                                );
+                            }
                             break Some(envelope);
                         }
                         Err(why) => {
@@ -629,6 +662,9 @@ impl Fleet {
         ];
         if let Some(ms) = ctx.deadline_ms {
             fields.push(("deadline_ms", Json::from(ms as f64)));
+        }
+        if let Some(t) = ctx.trace {
+            fields.push(("trace_id", Json::from(format!("{:032x}", t.trace_id))));
         }
         let job = Json::obj(fields);
         let mut conn = worker.conn.lock().expect("fleet conn lock");
@@ -1080,21 +1116,55 @@ fn worker_loop(conn: &mut FrameConn, opts: &WorkerOptions, stop: &AtomicBool) {
             .get("deadline_ms")
             .and_then(Json::as_f64)
             .map(|ms| ms as u64);
+        // A traced job frame carries the server's trace id: buffer this
+        // job's spans under it (timestamps relative to receipt, so the
+        // server can rebase them onto its own clock) and ship them home
+        // in the result frame for stitching.
+        let trace_ctx = job
+            .get("trace_id")
+            .and_then(Json::as_str)
+            .and_then(|hex| u128::from_str_radix(hex, 16).ok())
+            .filter(|id| *id != 0)
+            .map(|id| raven_obs::begin_trace(id, 0));
+        let receipt_us = raven_obs::now_us();
+        raven_obs::reset_thread_spans();
+        raven_obs::set_current_trace(trace_ctx);
         let chaos_mode = crate::chaos::take_worker_chaos();
         if matches!(chaos_mode, Some(crate::chaos::WorkerChaos::Stall)) {
+            raven_obs::set_current_trace(None);
+            if let Some(ctx) = trace_ctx {
+                raven_obs::discard_trace(ctx);
+            }
             // Byzantine stall: never answer; the server times out and
             // retries elsewhere.
             std::thread::sleep(Duration::from_secs(30));
             return;
         }
-        let reply = match crate::api::remote_compute(
+        let computed = crate::api::remote_compute(
             &opts.registry,
             opts.job_threads,
             &property,
             body.as_bytes(),
             deadline_ms,
             stop,
-        ) {
+        );
+        raven_obs::set_current_trace(None);
+        let spans = trace_ctx.map(|ctx| {
+            let data = raven_obs::end_trace(ctx);
+            // Rebase onto the job receipt and cap the shipment: the
+            // server re-times them against its dispatch start.
+            let records: Vec<raven_obs::TraceRecord> = data
+                .records
+                .into_iter()
+                .take(MAX_SHIPPED_SPANS)
+                .map(|mut r| {
+                    r.start_us = r.start_us.saturating_sub(receipt_us);
+                    r
+                })
+                .collect();
+            crate::trace::records_to_json(&records)
+        });
+        let reply = match computed {
             Ok((mut envelope, certificate)) => {
                 let mut certificate = certificate.unwrap_or(Json::Null);
                 match chaos_mode {
@@ -1115,12 +1185,16 @@ fn worker_loop(conn: &mut FrameConn, opts: &WorkerOptions, stop: &AtomicBool) {
                     }
                     _ => {}
                 }
-                Json::obj([
+                let mut fields = vec![
                     ("t", Json::from("result")),
                     ("seq", Json::from(seq)),
                     ("envelope", envelope),
                     ("certificate", certificate),
-                ])
+                ];
+                if let Some(spans) = spans {
+                    fields.push(("spans", spans));
+                }
+                Json::obj(fields)
             }
             Err(error) => Json::obj([
                 ("t", Json::from("error")),

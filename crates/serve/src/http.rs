@@ -22,10 +22,16 @@ pub struct Request {
     pub method: String,
     /// Path with query string stripped.
     pub path: String,
+    /// The query string (after `?`), when the target carried one.
+    pub query: Option<String>,
     /// Raw body bytes (empty when no `Content-Length` and not chunked).
     pub body: Vec<u8>,
     /// `Idempotency-Key` header value, when the client sent one.
     pub idempotency_key: Option<String>,
+    /// W3C `traceparent` header value, when the client sent one (the
+    /// verification endpoints continue the caller's trace instead of
+    /// minting a fresh trace id).
+    pub traceparent: Option<String>,
 }
 
 impl Request {
@@ -34,8 +40,10 @@ impl Request {
         Self {
             method: method.to_string(),
             path: path.to_string(),
+            query: None,
             body: body.into(),
             idempotency_key: None,
+            traceparent: None,
         }
     }
 }
@@ -95,10 +103,14 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     if !version.starts_with("HTTP/1.") {
         return Err(HttpError::new(505, "unsupported http version"));
     }
-    let path = target.split('?').next().unwrap_or("").to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
     let mut content_length = 0usize;
     let mut chunked = false;
     let mut idempotency_key = None;
+    let mut traceparent = None;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
@@ -117,6 +129,11 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
             let key = value.trim();
             if !key.is_empty() {
                 idempotency_key = Some(key.to_string());
+            }
+        } else if name.eq_ignore_ascii_case("traceparent") {
+            let tp = value.trim();
+            if !tp.is_empty() {
+                traceparent = Some(tp.to_string());
             }
         }
     }
@@ -148,8 +165,10 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     Ok(Request {
         method: method.to_string(),
         path,
+        query,
         body,
         idempotency_key,
+        traceparent,
     })
 }
 
@@ -356,6 +375,24 @@ mod tests {
             parse_raw(b"POST /x HTTP/1.1\r\nIdempotency-Key:   \r\nContent-Length: 0\r\n\r\n")
                 .unwrap();
         assert_eq!(blank.idempotency_key, None, "blank key ignored");
+    }
+
+    #[test]
+    fn captures_traceparent_header_and_query_string() {
+        let req = parse_raw(
+            b"POST /v1/verify/uap HTTP/1.1\r\ntraceparent: 00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01\r\nContent-Length: 2\r\n\r\n{}",
+        )
+        .unwrap();
+        assert_eq!(
+            req.traceparent.as_deref(),
+            Some("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+        );
+        let req = parse_raw(b"GET /v1/traces/abc?format=chrome HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/v1/traces/abc");
+        assert_eq!(req.query.as_deref(), Some("format=chrome"));
+        let req = parse_raw(b"GET /v1/healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.traceparent, None);
+        assert_eq!(req.query, None);
     }
 
     #[test]

@@ -24,6 +24,8 @@
 //! | `GET /v1/models`       | loaded models with content hashes          |
 //! | `GET /v1/healthz`      | uptime, queue depth, cache + solver stats  |
 //! | `GET /v1/metrics`      | Prometheus text exposition (whole stack)   |
+//! | `GET /v1/traces`       | tail-sampled trace summaries               |
+//! | `GET /v1/traces/{id}`  | one trace (JSONL, or `?format=chrome`)     |
 
 pub mod api;
 pub mod cache;
@@ -34,6 +36,7 @@ pub mod journal;
 pub mod metrics;
 pub mod queue;
 pub mod registry;
+pub mod trace;
 
 use cache::ResultCache;
 use journal::{Journal, JournalConfig, Record, ReplayState, ReplayTerminal};
@@ -95,6 +98,15 @@ pub struct ServerConfig {
     /// spot check, recompute the job instead of serving the unverifiable
     /// response.
     pub strict_certificates: bool,
+    /// `--trace-slow-ms`: tail sampling always keeps requests at least
+    /// this slow (besides degraded / errored / retried /
+    /// certificate-rejected ones, which are always kept).
+    pub trace_slow_ms: u64,
+    /// `--trace-sample-rate`: probability of keeping an otherwise
+    /// uninteresting (fast, clean) request's trace, in `[0, 1]`.
+    pub trace_sample_rate: f64,
+    /// Maximum retained traces behind `/v1/traces` (ring; oldest evicted).
+    pub trace_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -116,6 +128,9 @@ impl Default for ServerConfig {
             fleet_addr: None,
             fleet: fleet::FleetConfig::default(),
             strict_certificates: false,
+            trace_slow_ms: 500,
+            trace_sample_rate: 1.0,
+            trace_capacity: 256,
         }
     }
 }
@@ -151,6 +166,8 @@ pub struct ServerState {
     pub fleet: Option<Arc<fleet::Fleet>>,
     /// Recompute on spot-check failure instead of serving the response.
     pub strict_certificates: bool,
+    /// Tail-sampled per-request traces behind `/v1/traces`.
+    pub traces: Arc<trace::TraceStore>,
 }
 
 /// A bound, not-yet-running server.
@@ -281,6 +298,10 @@ impl Server {
             idempotency: Mutex::new(HashMap::new()),
             fleet: fleet_handle,
             strict_certificates: config.strict_certificates,
+            traces: Arc::new(trace::TraceStore::new(
+                trace::sampler_from(config.trace_slow_ms, config.trace_sample_rate),
+                config.trace_capacity,
+            )),
         });
         if let (Some(journal), Some(replay)) = (&journal_handle, replay) {
             recover(&state, journal, &replay);

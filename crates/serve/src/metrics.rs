@@ -80,9 +80,15 @@ pub static FLEET_LOCAL_FALLBACKS: Counter = Counter::new();
 pub static FLEET_REMOTE_SOLVES: Counter = Counter::new();
 /// Seconds per dispatch round trip (ship job, receive + gate the reply).
 pub static FLEET_DISPATCH_SECONDS: Histogram = Histogram::new();
+/// Traces retained by the tail sampler (slow/degraded/errored/sampled).
+pub static TRACES_SAMPLED: Counter = Counter::new();
+/// Traces discarded by the tail sampler (boring and below the rate).
+pub static TRACES_DROPPED: Counter = Counter::new();
+/// Remote worker spans stitched into local traces from result frames.
+pub static TRACES_REMOTE_SPANS: Counter = Counter::new();
 
 /// Exposition table for the service layer, in stable scrape order.
-pub static DESCS: [Desc; 32] = [
+pub static DESCS: [Desc; 35] = [
     Desc {
         name: "raven_serve_queue_depth",
         help: "Jobs waiting for a worker.",
@@ -274,5 +280,23 @@ pub static DESCS: [Desc; 32] = [
         help: "Seconds per fleet dispatch round trip.",
         labels: "",
         metric: MetricRef::Histogram(&FLEET_DISPATCH_SECONDS),
+    },
+    Desc {
+        name: "raven_serve_traces_total",
+        help: "Tail-sampler decisions on finished request traces.",
+        labels: r#"decision="sampled""#,
+        metric: MetricRef::Counter(&TRACES_SAMPLED),
+    },
+    Desc {
+        name: "raven_serve_traces_total",
+        help: "Tail-sampler decisions on finished request traces.",
+        labels: r#"decision="dropped""#,
+        metric: MetricRef::Counter(&TRACES_DROPPED),
+    },
+    Desc {
+        name: "raven_serve_traces_remote_spans_total",
+        help: "Remote worker spans stitched into local traces.",
+        labels: "",
+        metric: MetricRef::Counter(&TRACES_REMOTE_SPANS),
     },
 ];

@@ -25,10 +25,23 @@
 //! cores), the same convention as the in-verifier parallel layer.
 
 use raven_json::Json;
+use std::cell::Cell;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+thread_local! {
+    /// 1-based attempt number of the job executing on this worker thread
+    /// (0 outside a job) — lets a job body observe that it is a retry.
+    static CURRENT_ATTEMPT: Cell<u32> = const { Cell::new(0) };
+}
+
+/// The attempt number of the job running on the calling worker thread
+/// (1 for a first run, 2+ for panic-recovery retries, 0 outside a job).
+pub(crate) fn current_attempt() -> u32 {
+    CURRENT_ATTEMPT.with(|a| a.get())
+}
 
 /// The work a job performs: produce a response object or an error string.
 /// `Fn` (not `FnOnce`) so a panicked attempt can be retried.
@@ -138,6 +151,11 @@ pub struct JobMeta {
     /// watchdog sets it to kill a wedged job without touching its
     /// neighbours). `None` makes the job unkillable.
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Distributed-trace context minted at admission. The worker installs
+    /// it on its thread for the duration of the job (every attempt), so
+    /// solver spans attach to the owning request; the queue discards the
+    /// trace buffer as a backstop once the job is terminal.
+    pub trace: Option<raven_obs::TraceCtx>,
 }
 
 /// One accepted-but-not-yet-running job.
@@ -340,6 +358,10 @@ impl JobQueue {
         std::thread::Builder::new()
             .name(format!("raven-serve-worker-{index}"))
             .spawn(move || {
+                // Span-stack hygiene on (re)spawn: the watchdog respawns
+                // workers through this same path after a fatal panic, and
+                // the replacement thread must start with no span ancestry.
+                raven_obs::reset_thread_spans();
                 let _guard = WorkerGuard(&queue.workers_alive);
                 queue.worker_loop();
             })
@@ -437,9 +459,21 @@ impl JobQueue {
         if let Some(hook) = &self.hooks.on_started {
             hook(id);
         }
+        // Job-start hygiene: a span leaked by a previous panicked job on
+        // this (reused) thread must never parent this job's spans.
+        raven_obs::reset_thread_spans();
+        // Install the owning request's trace context for the job body (and
+        // record which attempt this is, for the tail sampler's retry rule).
+        raven_obs::set_current_trace(meta.trace);
+        CURRENT_ATTEMPT.with(|a| a.set(attempts + 1));
         // A panicking job must not kill the worker: catch it and either
         // retry (transient, bounded) or record a failure.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&job));
+        CURRENT_ATTEMPT.with(|a| a.set(0));
+        raven_obs::set_current_trace(None);
+        // A panic unwound past the job's spans without popping cleanly in
+        // every case; clear again so the stack is empty either way.
+        raven_obs::reset_thread_spans();
         drop(service_timer);
         crate::metrics::WORKERS_BUSY.sub(1);
         let attempts = attempts + 1;
@@ -482,6 +516,12 @@ impl JobQueue {
                 drop(inner);
                 if let Some(hook) = &self.hooks.on_terminal {
                     hook(id, &state);
+                }
+                // Backstop: a job that panicked past its own trace finish
+                // leaves its ring buffer behind — release it (idempotent;
+                // a normally-finished trace was already drained).
+                if let Some(ctx) = meta.trace {
+                    raven_obs::discard_trace(ctx);
                 }
                 let inner = self.inner.lock().expect("queue lock");
                 // Wake drain waiters (and fellow workers, harmlessly).
@@ -796,6 +836,7 @@ mod tests {
         let meta = JobMeta {
             deadline: Some(Duration::from_millis(100)),
             cancel: Some(cancel),
+            trace: None,
         };
         let slot = queue.submit(1, meta, job).unwrap();
         let state = slot.wait_terminal(Duration::from_secs(10)).unwrap();

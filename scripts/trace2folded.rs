@@ -11,11 +11,19 @@
 //! minus the duration of its direct children), aggregated across
 //! occurrences. Event records (`"type":"event"`) are ignored.
 //!
+//! Span lines may carry distributed-trace context: a `"trace":"<32 hex>"`
+//! trace id (present both in the process sink when a request context is
+//! installed and in `GET /v1/traces/{id}` JSONL exports) and a
+//! `"remote":true` marker on spans stitched in from fleet workers (their
+//! thread labels are already `worker/thread`-prefixed). `--trace <id>`
+//! folds only the spans of one request.
+//!
 //! Single file, std only — compile and run with:
 //!
 //! ```text
 //! rustc -O scripts/trace2folded.rs -o /tmp/trace2folded
 //! /tmp/trace2folded trace.jsonl > trace.folded
+//! /tmp/trace2folded --trace 0123…cdef trace.jsonl > one-request.folded
 //! flamegraph.pl trace.folded > trace.svg
 //! ```
 
@@ -28,6 +36,14 @@ struct Span {
     thread: String,
     dur_us: u64,
     child_us: u64,
+}
+
+/// Lowercases and strips leading zeros so `--trace 0xABC`, `abc`, and the
+/// 32-digit padded form all name the same trace.
+fn normalize_trace_id(id: &str) -> String {
+    let id = id.strip_prefix("0x").unwrap_or(id).to_ascii_lowercase();
+    let trimmed = id.trim_start_matches('0');
+    if trimmed.is_empty() { "0".to_string() } else { trimmed.to_string() }
 }
 
 /// Extracts the raw value after `"key":` — either a JSON string (returned
@@ -65,11 +81,22 @@ fn field(line: &str, key: &str) -> Option<String> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // --trace <id>: fold only span lines tagged with this trace id
+    // (leading zeros optional — ids compare normalized).
+    let mut want_trace: Option<String> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--trace") {
+        if pos + 1 >= args.len() {
+            eprintln!("trace2folded: --trace needs a value");
+            std::process::exit(1);
+        }
+        want_trace = Some(normalize_trace_id(&args[pos + 1]));
+        args.drain(pos..=pos + 1);
+    }
     let reader: Box<dyn Read> = match args.first().map(String::as_str) {
         None | Some("-") => Box::new(std::io::stdin()),
         Some("--help" | "-h") => {
-            eprintln!("usage: trace2folded [trace.jsonl] > trace.folded");
+            eprintln!("usage: trace2folded [--trace TRACE_ID] [trace.jsonl] > trace.folded");
             return;
         }
         Some(path) => Box::new(std::fs::File::open(path).unwrap_or_else(|e| {
@@ -89,6 +116,12 @@ fn main() {
         };
         if field(&line, "type").as_deref() != Some("span") {
             continue;
+        }
+        if let Some(want) = &want_trace {
+            match field(&line, "trace") {
+                Some(id) if normalize_trace_id(&id) == *want => {}
+                _ => continue,
+            }
         }
         let parsed = (|| {
             let id: u64 = field(&line, "id")?.parse().ok()?;

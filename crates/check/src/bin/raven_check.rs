@@ -6,7 +6,7 @@
 //! `/v1/jobs/<id>` response can be piped straight in). Prints a one-line
 //! JSON report and exits 0 on accept, 1 on reject, 2 on malformed input.
 
-use raven_check::{check_certificate, Certificate, CheckError};
+use raven_check::{check_certificate_json, CheckError};
 use raven_json::Json;
 use std::io::Read;
 use std::time::Instant;
@@ -57,12 +57,10 @@ fn main() {
         }
     }
     let bytes = node.to_string().len();
-    let cert = match Certificate::from_json(node) {
-        Ok(c) => c,
-        Err(err) => fail(2, &format!("not a certificate: {err}")),
-    };
     let start = Instant::now();
-    match check_certificate(&cert) {
+    // One-call gate: handles both ordinary certificates and the merged
+    // certificates of sharded runs (shard proofs + merge step).
+    match check_certificate_json(node) {
         Ok(report) => {
             let millis = start.elapsed().as_secs_f64() * 1e3;
             let mut out = report.to_json();

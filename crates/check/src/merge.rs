@@ -1,0 +1,463 @@
+//! Merged certificates for sharded UAP runs, and their exact replay.
+//!
+//! A sharded run splits the shared-perturbation region into sub-boxes,
+//! verifies each independently (each shard emitting its own ordinary
+//! [`Certificate`]), and merges the shard verdicts into one whole-region
+//! verdict. The merged certificate records *everything* needed to replay
+//! that pipeline: the per-shard proofs plus the merge claims, so the
+//! checker re-establishes
+//!
+//! ```text
+//! hamming(union) ≤ clamp( max_s hamming_s, 0, k − min_s iv_s )
+//! ```
+//!
+//! with its own arithmetic rather than trusting the merger. A tampered
+//! merge that claims a tighter bound than the shard minima imply — or a
+//! shard claim inconsistent with that shard's replayed proof — is
+//! rejected.
+//!
+//! The per-shard consistency slacks mirror the serve-side remote gate:
+//! solver-tier claims may sit a relative `1e-6` off their certificate's
+//! claimed bound (the certificate comes from a secondary certified solve),
+//! analysis-tier claims must match `k − iv` to `1e-9`. The merge equalities
+//! themselves are pure max/min/clamp over already-pinned `f64`s and are
+//! checked to `1e-9` in both directions.
+
+use crate::cert::Certificate;
+use crate::replay::{check_certificate, CheckError, CheckReport};
+use raven_json::Json;
+
+/// One shard's contribution to the merge: the verdict fields the merge
+/// arithmetic consumes, claimed by the merger and cross-checked against
+/// the shard's own replayed certificate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardClaim {
+    /// The shard's certified worst-case hamming bound.
+    pub worst_case_hamming: f64,
+    /// Inputs the shard certified individually robust.
+    pub individually_verified: usize,
+    /// The shard verdict's tier (must match the shard certificate).
+    pub tier: String,
+    /// The shard verdict's degraded flag (must match the certificate).
+    pub degraded: bool,
+}
+
+/// A merged certificate: per-shard proofs plus the merge step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedCertificate {
+    /// Executions in the batch.
+    pub k: usize,
+    /// ℓ∞ radius of the (whole, pre-shard) perturbation region.
+    pub eps: f64,
+    /// Per-shard claims, in shard order.
+    pub claims: Vec<ShardClaim>,
+    /// Merged worst-case hamming bound for the union.
+    pub merged_hamming: f64,
+    /// Merged individually-verified count (min over shards).
+    pub merged_individually_verified: usize,
+    /// Merged worst-case accuracy (`(k − hamming)/k`).
+    pub merged_accuracy: f64,
+    /// The per-shard certificates, in shard order.
+    pub shards: Vec<Certificate>,
+}
+
+/// The `kind` discriminator of the merged-certificate JSON encoding.
+pub const MERGE_KIND: &str = "uap-merge";
+
+impl MergedCertificate {
+    /// JSON encoding. Shard certificates embed their ordinary encoding,
+    /// so each can also be extracted and replayed standalone.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("version", Json::from(1.0)),
+            ("kind", Json::from(MERGE_KIND)),
+            ("k", Json::from(self.k)),
+            ("eps", Json::from(self.eps)),
+            (
+                "claims",
+                Json::Arr(
+                    self.claims
+                        .iter()
+                        .map(|c| {
+                            Json::obj([
+                                ("worst_case_hamming", Json::from(c.worst_case_hamming)),
+                                ("individually_verified", Json::from(c.individually_verified)),
+                                ("tier", Json::from(c.tier.as_str())),
+                                ("degraded", Json::from(c.degraded)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "merged",
+                Json::obj([
+                    ("worst_case_hamming", Json::from(self.merged_hamming)),
+                    (
+                        "individually_verified",
+                        Json::from(self.merged_individually_verified),
+                    ),
+                    ("worst_case_accuracy", Json::from(self.merged_accuracy)),
+                ]),
+            ),
+            (
+                "shards",
+                Json::Arr(self.shards.iter().map(Certificate::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Whether a JSON object carries the merged-certificate kind.
+    pub fn is_merged(json: &Json) -> bool {
+        json.get("kind").and_then(Json::as_str) == Some(MERGE_KIND)
+    }
+
+    /// Decodes the [`MergedCertificate::to_json`] encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        if json.get("version").and_then(Json::as_f64) != Some(1.0) {
+            return Err("merge: unsupported version".to_string());
+        }
+        if !Self::is_merged(json) {
+            return Err(format!("merge: kind must be {MERGE_KIND}"));
+        }
+        let k = json
+            .get("k")
+            .and_then(Json::as_usize)
+            .ok_or("merge: missing k")?;
+        let eps = json
+            .get("eps")
+            .and_then(Json::as_f64)
+            .ok_or("merge: missing eps")?;
+        let claims = json
+            .get("claims")
+            .and_then(Json::as_array)
+            .ok_or("merge: missing claims")?
+            .iter()
+            .map(|c| {
+                Ok(ShardClaim {
+                    worst_case_hamming: c
+                        .get("worst_case_hamming")
+                        .and_then(Json::as_f64)
+                        .ok_or("claim: missing worst_case_hamming")?,
+                    individually_verified: c
+                        .get("individually_verified")
+                        .and_then(Json::as_usize)
+                        .ok_or("claim: missing individually_verified")?,
+                    tier: c
+                        .get("tier")
+                        .and_then(Json::as_str)
+                        .ok_or("claim: missing tier")?
+                        .to_string(),
+                    degraded: c
+                        .get("degraded")
+                        .and_then(Json::as_bool)
+                        .ok_or("claim: missing degraded")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let merged = json.get("merged").ok_or("merge: missing merged object")?;
+        let merged_hamming = merged
+            .get("worst_case_hamming")
+            .and_then(Json::as_f64)
+            .ok_or("merged: missing worst_case_hamming")?;
+        let merged_individually_verified = merged
+            .get("individually_verified")
+            .and_then(Json::as_usize)
+            .ok_or("merged: missing individually_verified")?;
+        let merged_accuracy = merged
+            .get("worst_case_accuracy")
+            .and_then(Json::as_f64)
+            .ok_or("merged: missing worst_case_accuracy")?;
+        let shards = json
+            .get("shards")
+            .and_then(Json::as_array)
+            .ok_or("merge: missing shards")?
+            .iter()
+            .map(Certificate::from_json)
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Self {
+            k,
+            eps,
+            claims,
+            merged_hamming,
+            merged_individually_verified,
+            merged_accuracy,
+            shards,
+        })
+    }
+}
+
+/// Relative slack for solver-tier bound comparisons — the same tolerance
+/// the serve-side remote gate applies between a verdict and its
+/// certificate's claimed bound.
+fn tol(bound: f64) -> f64 {
+    1e-6 * (1.0 + bound.abs())
+}
+
+/// Ladder rank of a tier name; rejects unknown tiers.
+fn tier_rank(tier: &str) -> Result<u8, CheckError> {
+    match tier {
+        "analysis" => Ok(0),
+        "lp" => Ok(1),
+        "milp" => Ok(2),
+        other => Err(CheckError::Malformed(format!("unknown tier {other}"))),
+    }
+}
+
+/// Replays a merged certificate: every shard proof through the exact
+/// checker, every shard claim against its certificate, and the merge
+/// arithmetic re-derived from the claims.
+///
+/// # Errors
+///
+/// [`CheckError::Malformed`] for structural problems,
+/// [`CheckError::Reject`] when a shard proof fails or the merge claims a
+/// bound the shard claims do not imply (tighter *or* looser — the merge is
+/// a deterministic function of the claims, so any drift is tampering).
+pub fn check_merged_certificate(merged: &MergedCertificate) -> Result<CheckReport, CheckError> {
+    if merged.claims.is_empty() || merged.shards.is_empty() {
+        return Err(CheckError::Malformed("merge: zero shards".to_string()));
+    }
+    if merged.claims.len() != merged.shards.len() {
+        return Err(CheckError::Malformed(format!(
+            "merge: {} claims but {} shard certificates",
+            merged.claims.len(),
+            merged.shards.len()
+        )));
+    }
+    if merged.k == 0 {
+        return Err(CheckError::Malformed("merge: k is zero".to_string()));
+    }
+    if !merged.eps.is_finite() || merged.eps < 0.0 {
+        return Err(CheckError::Malformed("merge: bad eps".to_string()));
+    }
+    let k = merged.k as f64;
+    let mut report = CheckReport {
+        kind: MERGE_KIND.to_string(),
+        ..CheckReport::default()
+    };
+    let mut weakest = u8::MAX;
+    for (i, (claim, cert)) in merged.claims.iter().zip(&merged.shards).enumerate() {
+        if cert.kind != "uap" {
+            return Err(CheckError::Malformed(format!(
+                "shard {i}: certificate kind {} is not uap",
+                cert.kind
+            )));
+        }
+        if cert.tier != claim.tier || cert.degraded != claim.degraded {
+            return Err(CheckError::Reject(format!(
+                "shard {i}: claim tier/degraded disagrees with its certificate"
+            )));
+        }
+        if claim.individually_verified > merged.k {
+            return Err(CheckError::Reject(format!(
+                "shard {i}: individually_verified {} exceeds k {}",
+                claim.individually_verified, merged.k
+            )));
+        }
+        if !claim.worst_case_hamming.is_finite() || claim.worst_case_hamming < 0.0 {
+            return Err(CheckError::Reject(format!(
+                "shard {i}: bad hamming claim {}",
+                claim.worst_case_hamming
+            )));
+        }
+        // The shard's own proof replays exactly.
+        let shard_report = check_certificate(cert)?;
+        report.leaves += shard_report.leaves;
+        report.lp_checked |= shard_report.lp_checked;
+        report.neurons_checked += shard_report.neurons_checked;
+        report.neurons_trusted += shard_report.neurons_trusted;
+        report.degraded |= claim.degraded;
+        weakest = weakest.min(tier_rank(&claim.tier)?);
+        // Claim vs certificate: the shard's hamming must be what its own
+        // proof implies — the clamped LP bound for solver tiers, the
+        // union-bound complement for the analysis tier.
+        let iv = claim.individually_verified as f64;
+        match claim.tier.as_str() {
+            "milp" | "lp" => {
+                let lp = cert.lp.as_ref().ok_or_else(|| {
+                    CheckError::Malformed(format!("shard {i}: solver tier without lp section"))
+                })?;
+                let implied = lp.claimed_bound.clamp(0.0, k - iv);
+                if (claim.worst_case_hamming - implied).abs() > tol(implied) {
+                    return Err(CheckError::Reject(format!(
+                        "shard {i}: hamming claim {} not implied by certified bound {}",
+                        claim.worst_case_hamming, implied
+                    )));
+                }
+            }
+            _ => {
+                if (claim.worst_case_hamming - (k - iv)).abs() > 1e-9 {
+                    return Err(CheckError::Reject(format!(
+                        "shard {i}: analysis-tier hamming claim {} must equal k − iv = {}",
+                        claim.worst_case_hamming,
+                        k - iv
+                    )));
+                }
+            }
+        }
+    }
+    // Re-derive the merge from the (now certified) claims.
+    let min_iv = merged
+        .claims
+        .iter()
+        .map(|c| c.individually_verified)
+        .min()
+        .expect("non-empty");
+    let max_hamming = merged
+        .claims
+        .iter()
+        .map(|c| c.worst_case_hamming)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let implied_hamming = max_hamming.clamp(0.0, k - min_iv as f64);
+    if merged.merged_individually_verified != min_iv {
+        return Err(CheckError::Reject(format!(
+            "merge: individually_verified {} must be the shard minimum {min_iv}",
+            merged.merged_individually_verified
+        )));
+    }
+    if (merged.merged_hamming - implied_hamming).abs() > 1e-9 {
+        return Err(CheckError::Reject(format!(
+            "merge: hamming {} differs from the shard-implied bound {implied_hamming}",
+            merged.merged_hamming
+        )));
+    }
+    let implied_accuracy = (k - merged.merged_hamming) / k;
+    if (merged.merged_accuracy - implied_accuracy).abs() > 1e-9 {
+        return Err(CheckError::Reject(format!(
+            "merge: accuracy {} differs from (k − hamming)/k = {implied_accuracy}",
+            merged.merged_accuracy
+        )));
+    }
+    report.tier = match weakest {
+        0 => "analysis",
+        1 => "lp",
+        _ => "milp",
+    }
+    .to_string();
+    report.claimed_bound = Some(merged.merged_hamming);
+    report.exact_bound = Some(implied_hamming);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::{AnalysisCertificate, Certificate};
+
+    /// An analysis-tier shard certificate (no neurons: a linear network's
+    /// analysis has nothing to replay, which the checker accepts).
+    fn analysis_cert() -> Certificate {
+        Certificate {
+            kind: "uap".to_string(),
+            tier: "analysis".to_string(),
+            degraded: false,
+            lp: None,
+            analysis: Some(AnalysisCertificate::default()),
+        }
+    }
+
+    fn verified_merge(k: usize, shards: usize) -> MergedCertificate {
+        MergedCertificate {
+            k,
+            eps: 0.01,
+            claims: vec![
+                ShardClaim {
+                    worst_case_hamming: 0.0,
+                    individually_verified: k,
+                    tier: "analysis".to_string(),
+                    degraded: false,
+                };
+                shards
+            ],
+            merged_hamming: 0.0,
+            merged_individually_verified: k,
+            merged_accuracy: 1.0,
+            shards: vec![analysis_cert(); shards],
+        }
+    }
+
+    #[test]
+    fn merged_certificate_round_trips_and_replays() {
+        let merged = verified_merge(4, 3);
+        let json = merged.to_json();
+        assert!(MergedCertificate::is_merged(&json));
+        let back = MergedCertificate::from_json(&json).unwrap();
+        assert_eq!(merged, back);
+        let report = check_merged_certificate(&back).unwrap();
+        assert_eq!(report.kind, MERGE_KIND);
+        assert_eq!(report.tier, "analysis");
+        assert_eq!(report.claimed_bound, Some(0.0));
+    }
+
+    #[test]
+    fn partial_shard_failure_merges_to_the_min_iv() {
+        let mut merged = verified_merge(4, 2);
+        merged.claims[1] = ShardClaim {
+            worst_case_hamming: 3.0,
+            individually_verified: 1,
+            tier: "analysis".to_string(),
+            degraded: false,
+        };
+        merged.merged_hamming = 3.0;
+        merged.merged_individually_verified = 1;
+        merged.merged_accuracy = 0.25;
+        check_merged_certificate(&merged).unwrap();
+    }
+
+    #[test]
+    fn tampered_tighter_merge_is_rejected() {
+        // One shard only certifies 1 of 4 inputs; claiming the union is
+        // fully verified is exactly the unsound `k − max_s iv` merge.
+        let mut merged = verified_merge(4, 2);
+        merged.claims[1] = ShardClaim {
+            worst_case_hamming: 3.0,
+            individually_verified: 1,
+            tier: "analysis".to_string(),
+            degraded: false,
+        };
+        // Tamper 1: keep the optimistic shard's numbers for the union.
+        merged.merged_hamming = 0.0;
+        merged.merged_individually_verified = 4;
+        merged.merged_accuracy = 1.0;
+        let err = check_merged_certificate(&merged).unwrap_err();
+        assert!(matches!(err, CheckError::Reject(_)), "{err}");
+        // Tamper 2: correct iv, still-tighter hamming.
+        merged.merged_individually_verified = 1;
+        merged.merged_hamming = 1.0;
+        merged.merged_accuracy = 0.75;
+        let err = check_merged_certificate(&merged).unwrap_err();
+        assert!(matches!(err, CheckError::Reject(_)), "{err}");
+    }
+
+    #[test]
+    fn inconsistent_shard_claim_is_rejected() {
+        // An analysis-tier shard claiming hamming below k − iv lies about
+        // its own certificate.
+        let mut merged = verified_merge(4, 2);
+        merged.claims[0].individually_verified = 2;
+        let err = check_merged_certificate(&merged).unwrap_err();
+        assert!(matches!(err, CheckError::Reject(_)), "{err}");
+    }
+
+    #[test]
+    fn structural_problems_are_malformed() {
+        let mut merged = verified_merge(4, 2);
+        merged.shards.pop();
+        assert!(matches!(
+            check_merged_certificate(&merged),
+            Err(CheckError::Malformed(_))
+        ));
+        let mut merged = verified_merge(4, 2);
+        merged.claims.clear();
+        merged.shards.clear();
+        assert!(matches!(
+            check_merged_certificate(&merged),
+            Err(CheckError::Malformed(_))
+        ));
+    }
+}

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! raven_worker --connect HOST:PORT --models-dir models
-//!              [--name NAME] [--threads 1] [--reconnect-ms 1000] [--once]
+//!              [--name NAME] [--threads 1] [--reconnect-ms 1000]
+//!              [--cache 64] [--once]
 //! ```
 //!
 //! The worker connects to the server's `--fleet-addr` listener, announces
@@ -30,6 +31,10 @@ options:
                         key (default worker-<pid>)
   --threads N           per-job solver threads (default 1; 0 = all cores)
   --reconnect-ms N      delay between reconnect attempts (default 1000)
+  --cache N             worker-side LRU result cache capacity, keyed like
+                        the server's verdict cache with the shard index
+                        folded in, so a retried shard on a warm worker
+                        skips the re-solve (default 64; 0 disables)
   --once                exit after the first disconnect instead of
                         reconnecting (tests)
 ";
@@ -64,6 +69,7 @@ struct Args {
     name: Option<String>,
     threads: usize,
     reconnect: Duration,
+    cache: usize,
     once: bool,
 }
 
@@ -73,6 +79,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut name = None;
     let mut threads = 1usize;
     let mut reconnect = Duration::from_millis(1000);
+    let mut cache = 64usize;
     let mut once = false;
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -96,6 +103,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .map_err(|e| format!("--reconnect-ms: {e}"))?;
                 reconnect = Duration::from_millis(ms);
             }
+            "--cache" => {
+                cache = value("--cache")?
+                    .parse()
+                    .map_err(|e| format!("--cache: {e}"))?;
+            }
             "--once" => once = true,
             other => return Err(format!("unknown flag {other}")),
         }
@@ -106,6 +118,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         name,
         threads,
         reconnect,
+        cache,
         once,
     })
 }
@@ -146,6 +159,7 @@ fn main() -> ExitCode {
         registry,
         job_threads: args.threads,
         reconnect: args.reconnect,
+        cache_capacity: args.cache,
         once: args.once,
     };
     match run_worker(&opts, &STOP) {
@@ -181,6 +195,8 @@ mod tests {
             "2",
             "--reconnect-ms",
             "250",
+            "--cache",
+            "8",
             "--once",
         ]))
         .unwrap();
@@ -189,12 +205,14 @@ mod tests {
         assert_eq!(parsed.name.as_deref(), Some("w1"));
         assert_eq!(parsed.threads, 2);
         assert_eq!(parsed.reconnect, Duration::from_millis(250));
+        assert_eq!(parsed.cache, 8);
         assert!(parsed.once);
 
         let defaults = parse_args(&args(&["--connect", "a:1", "--models-dir", "m"])).unwrap();
         assert!(defaults.name.is_none());
         assert_eq!(defaults.threads, 1);
         assert_eq!(defaults.reconnect, Duration::from_millis(1000));
+        assert_eq!(defaults.cache, 64);
         assert!(!defaults.once);
     }
 

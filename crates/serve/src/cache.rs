@@ -115,6 +115,11 @@ pub struct CachedResult {
     pub solve_millis: f64,
     /// Per-tier breakdown of the original computation.
     pub tier_millis: raven::TierMillis,
+    /// Serialized proof certificate of the original run, when one was
+    /// emitted and retained. The server's verdict cache never stores one
+    /// (certificate requests bypass cache reads); the *worker-side* cache
+    /// keeps it so a retried shard re-emits the identical proof.
+    pub certificate: Option<String>,
 }
 
 struct Slot {
@@ -242,6 +247,7 @@ mod tests {
             verdict: s.to_string(),
             solve_millis: 1.0,
             tier_millis: raven::TierMillis::default(),
+            certificate: None,
         }
     }
 

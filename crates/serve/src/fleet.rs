@@ -104,6 +104,17 @@ pub struct FleetConfig {
     pub dispatch_attempts: u32,
     /// First retry backoff; doubles per attempt.
     pub backoff_base: Duration,
+    /// Input-region sub-boxes per fleet-eligible UAP job
+    /// (`--fleet-shards`). 1 dispatches whole jobs exactly as before.
+    pub shards: u32,
+    /// Remote retries per shard (on top of the first attempt) before that
+    /// shard is solved locally (`--shard-retries`). Other shards' accepted
+    /// results are kept.
+    pub shard_retries: u32,
+    /// Saturation-aware admission (`--fleet-when-saturated`): dispatch
+    /// remotely only when the local pool is saturated (all workers busy or
+    /// jobs queued). Off means always prefer remote, as before.
+    pub when_saturated: bool,
 }
 
 impl Default for FleetConfig {
@@ -114,6 +125,9 @@ impl Default for FleetConfig {
             reject_strikes: 2,
             dispatch_attempts: 3,
             backoff_base: Duration::from_millis(100),
+            shards: 1,
+            shard_retries: 2,
+            when_saturated: true,
         }
     }
 }
@@ -522,6 +536,20 @@ impl Fleet {
         }
     }
 
+    /// The attached [`FleetConfig`] (the api layer reads the shard count
+    /// and the saturation-aware admission gate from here).
+    pub(crate) fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Sleeps the exponential backoff for `exp` completed failures. The
+    /// shift and multiply both saturate so a hostile or miscounted retry
+    /// counter can never overflow into a panic (or a zero-length sleep).
+    fn backoff(&self, exp: u32) {
+        let factor = 1u32.checked_shl(exp).unwrap_or(u32::MAX);
+        std::thread::sleep(self.config.backoff_base.saturating_mul(factor));
+    }
+
     /// Ships the job to fleet workers until one answer survives the
     /// certificate gate. Returns the accepted envelope, or `None` when
     /// every attempt failed (the caller computes locally). Journals one
@@ -533,6 +561,68 @@ impl Fleet {
         expected: &Expected,
         cancel: &AtomicBool,
     ) -> Option<Json> {
+        let (outcome, attempts) =
+            self.dispatch_inner(ctx, expected, cancel, None, self.config.dispatch_attempts);
+        if outcome.is_none() && attempts > 0 {
+            metrics::FLEET_LOCAL_FALLBACKS.inc();
+            if let Some(journal) = ctx.journal {
+                let _ = journal.append(&Record::LocalFallback { id: ctx.job_id }, false);
+            }
+        } else if outcome.is_some() {
+            metrics::FLEET_REMOTE_SOLVES.inc();
+        }
+        outcome.map(|(envelope, _certificate)| envelope)
+    }
+
+    /// Ships one input-region shard of a UAP job to fleet workers.
+    /// Returns the accepted `(envelope, certificate)` pair — the
+    /// certificate feeds the merged proof — or `None` when every remote
+    /// attempt failed, in which case the caller solves this shard locally
+    /// and other shards' accepted results are kept (fault containment is
+    /// per shard, never per job). Journals a `ShardAttempt` per attempt
+    /// and a `ShardFallback` when attempts were made but none survived.
+    pub(crate) fn dispatch_shard(
+        &self,
+        ctx: &DispatchCtx<'_>,
+        expected: &Expected,
+        cancel: &AtomicBool,
+        shard: u32,
+        shards: u32,
+    ) -> Option<(Json, Json)> {
+        let attempts_cap = self.config.shard_retries.saturating_add(1);
+        let (outcome, attempts) =
+            self.dispatch_inner(ctx, expected, cancel, Some((shard, shards)), attempts_cap);
+        if outcome.is_none() && attempts > 0 {
+            metrics::FLEET_SHARD_FALLBACKS.inc();
+            if let Some(journal) = ctx.journal {
+                let _ = journal.append(
+                    &Record::ShardFallback {
+                        id: ctx.job_id,
+                        shard,
+                    },
+                    false,
+                );
+            }
+        } else if outcome.is_some() {
+            metrics::FLEET_SHARD_REMOTE.inc();
+        }
+        outcome
+    }
+
+    /// The shared dispatch loop behind [`Fleet::dispatch`] (whole jobs)
+    /// and [`Fleet::dispatch_shard`] (one sub-box of a sharded UAP job).
+    /// Retries with exponential backoff on distinct workers until one
+    /// reply survives the certificate gate or `max_attempts` is spent.
+    /// Returns the accepted `(envelope, certificate)` and the number of
+    /// attempts actually made.
+    fn dispatch_inner(
+        &self,
+        ctx: &DispatchCtx<'_>,
+        expected: &Expected,
+        cancel: &AtomicBool,
+        shard: Option<(u32, u32)>,
+        max_attempts: u32,
+    ) -> (Option<(Json, Json)>, u32) {
         let mut tried: Vec<String> = Vec::new();
         let mut attempts: u32 = 0;
         // The dispatch span is what the worker's remote spans hang under
@@ -540,33 +630,42 @@ impl Fleet {
         // children reference it by id, so ordering does not matter).
         let dispatch_span = raven_obs::span("fleet_dispatch");
         let outcome = loop {
-            if attempts >= self.config.dispatch_attempts {
+            if attempts >= max_attempts {
                 break None;
+            }
+            if attempts > 0 {
+                // Exponential backoff between attempts (the previous
+                // worker just failed us; give the fleet a beat). Sleeping
+                // *before* the claim keeps every worker dispatchable to
+                // concurrent jobs and shards while we wait.
+                self.backoff((attempts - 1).min(5));
             }
             let Some(worker) = self.claim(ctx.model, &expected.model_hash, &tried) else {
                 break None;
             };
-            if attempts > 0 {
-                // Exponential backoff between attempts (the previous
-                // worker just failed us; give the fleet a beat).
-                let exp = (attempts - 1).min(5);
-                std::thread::sleep(self.config.backoff_base * (1u32 << exp));
-            }
             attempts += 1;
             tried.push(worker.name.clone());
             if let Some(journal) = ctx.journal {
-                let _ = journal.append(
-                    &Record::RemoteAttempt {
+                let record = match shard {
+                    Some((shard, _)) => Record::ShardAttempt {
+                        id: ctx.job_id,
+                        shard,
+                        worker: worker.name.clone(),
+                    },
+                    None => Record::RemoteAttempt {
                         id: ctx.job_id,
                         worker: worker.name.clone(),
                     },
-                    false,
-                );
+                };
+                let _ = journal.append(&record, false);
             }
             metrics::FLEET_DISPATCHES.inc();
+            if shard.is_some() {
+                metrics::FLEET_SHARD_DISPATCHES.inc();
+            }
             let t0 = Instant::now();
             let base_us = raven_obs::now_us();
-            let reply = self.round_trip(&worker, ctx, cancel);
+            let reply = self.round_trip(&worker, ctx, cancel, shard);
             let rtt = t0.elapsed();
             match reply {
                 Ok(reply) => {
@@ -598,7 +697,9 @@ impl Fleet {
                                     spans,
                                 );
                             }
-                            break Some(envelope);
+                            let certificate =
+                                reply.get("certificate").cloned().unwrap_or(Json::Null);
+                            break Some((envelope, certificate));
                         }
                         Err(why) => {
                             metrics::FLEET_REJECTED.inc();
@@ -633,15 +734,7 @@ impl Fleet {
                 }
             }
         };
-        if outcome.is_none() && attempts > 0 {
-            metrics::FLEET_LOCAL_FALLBACKS.inc();
-            if let Some(journal) = ctx.journal {
-                let _ = journal.append(&Record::LocalFallback { id: ctx.job_id }, false);
-            }
-        } else if outcome.is_some() {
-            metrics::FLEET_REMOTE_SOLVES.inc();
-        }
-        outcome
+        (outcome, attempts)
     }
 
     /// One job/result exchange on a claimed worker connection.
@@ -650,6 +743,7 @@ impl Fleet {
         worker: &Arc<WorkerConn>,
         ctx: &DispatchCtx<'_>,
         cancel: &AtomicBool,
+        shard: Option<(u32, u32)>,
     ) -> Result<Json, FrameError> {
         let seq = worker.seq.fetch_add(1, Ordering::SeqCst);
         let mut fields = vec![
@@ -660,6 +754,10 @@ impl Fleet {
             ("model_hash", Json::from(ctx.model_hash)),
             ("body", Json::from(ctx.body)),
         ];
+        if let Some((shard, shards)) = shard {
+            fields.push(("shard", Json::from(f64::from(shard))));
+            fields.push(("shards", Json::from(f64::from(shards))));
+        }
         if let Some(ms) = ctx.deadline_ms {
             fields.push(("deadline_ms", Json::from(ms as f64)));
         }
@@ -805,6 +903,26 @@ impl Fleet {
             (
                 "quarantined_workers",
                 Json::from(metrics::FLEET_QUARANTINED_WORKERS.get() as f64),
+            ),
+            (
+                "shard_dispatches",
+                Json::from(metrics::FLEET_SHARD_DISPATCHES.get() as f64),
+            ),
+            (
+                "shard_remote",
+                Json::from(metrics::FLEET_SHARD_REMOTE.get() as f64),
+            ),
+            (
+                "shard_fallbacks",
+                Json::from(metrics::FLEET_SHARD_FALLBACKS.get() as f64),
+            ),
+            (
+                "shard_merges",
+                Json::from(metrics::FLEET_SHARD_MERGES.get() as f64),
+            ),
+            (
+                "kept_local",
+                Json::from(metrics::FLEET_KEPT_LOCAL.get() as f64),
             ),
         ])
     }
@@ -1023,6 +1141,11 @@ pub struct WorkerOptions {
     pub reconnect: Duration,
     /// Exit after the first disconnect instead of reconnecting (tests).
     pub once: bool,
+    /// Worker-side result cache capacity (`--cache`; 0 disables). Keyed
+    /// exactly like the server's verdict cache with the shard index folded
+    /// in, so a shard retried on a warm worker skips the re-solve and
+    /// re-emits the identical envelope and certificate.
+    pub cache_capacity: usize,
 }
 
 /// Runs the worker loop: connect, hello, serve jobs until `stop`.
@@ -1033,6 +1156,9 @@ pub struct WorkerOptions {
 /// Returns the *first* connect error only when no connection ever
 /// succeeded and `once` is set; otherwise retries forever.
 pub fn run_worker(opts: &WorkerOptions, stop: &AtomicBool) -> std::io::Result<()> {
+    // The result cache outlives individual connections: a shard retried on
+    // this worker after a reconnect still hits warm.
+    let cache = crate::cache::ResultCache::new(opts.cache_capacity);
     let models: Vec<(String, Json)> = opts
         .registry
         .entries()
@@ -1083,7 +1209,7 @@ pub fn run_worker(opts: &WorkerOptions, stop: &AtomicBool) -> std::io::Result<()
             opts.connect,
             models.len()
         );
-        worker_loop(&mut conn, opts, stop);
+        worker_loop(&mut conn, opts, &cache, stop);
         if opts.once || stop.load(Ordering::SeqCst) {
             return Ok(());
         }
@@ -1092,7 +1218,12 @@ pub fn run_worker(opts: &WorkerOptions, stop: &AtomicBool) -> std::io::Result<()
 }
 
 /// Serves jobs on one connection until it drops or `stop` is raised.
-fn worker_loop(conn: &mut FrameConn, opts: &WorkerOptions, stop: &AtomicBool) {
+fn worker_loop(
+    conn: &mut FrameConn,
+    opts: &WorkerOptions,
+    cache: &crate::cache::ResultCache,
+    stop: &AtomicBool,
+) {
     loop {
         let job = match conn.read_frame(None, Some(stop)) {
             Ok(frame) => frame,
@@ -1116,6 +1247,16 @@ fn worker_loop(conn: &mut FrameConn, opts: &WorkerOptions, stop: &AtomicBool) {
             .get("deadline_ms")
             .and_then(Json::as_f64)
             .map(|ms| ms as u64);
+        // A sharded job frame names the sub-box of the perturbation region
+        // this worker should solve; the worker re-derives the box from
+        // (eps, dim, shard, shards) bit-identically to the server.
+        let shard = match (
+            job.get("shard").and_then(Json::as_f64),
+            job.get("shards").and_then(Json::as_f64),
+        ) {
+            (Some(i), Some(n)) if n >= 1.0 && i >= 0.0 && i < n => Some((i as u32, n as u32)),
+            _ => None,
+        };
         // A traced job frame carries the server's trace id: buffer this
         // job's spans under it (timestamps relative to receipt, so the
         // server can rebase them onto its own clock) and ship them home
@@ -1146,6 +1287,8 @@ fn worker_loop(conn: &mut FrameConn, opts: &WorkerOptions, stop: &AtomicBool) {
             &property,
             body.as_bytes(),
             deadline_ms,
+            shard,
+            cache,
             stop,
         );
         raven_obs::set_current_trace(None);

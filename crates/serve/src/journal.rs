@@ -111,6 +111,29 @@ pub enum Record {
         /// Job id.
         id: u64,
     },
+    /// One shard of a sharded UAP job was shipped to a remote fleet
+    /// worker. Crash-accounting-wise a shard attempt behaves like a
+    /// [`Record::RemoteAttempt`]: while any shard is in remote hands the
+    /// local process is waiting on sockets, so a crash in that window is
+    /// excused.
+    ShardAttempt {
+        /// Job id.
+        id: u64,
+        /// Shard index within the job's partition.
+        shard: u32,
+        /// Fleet worker name the shard was shipped to.
+        worker: String,
+    },
+    /// One shard exhausted its remote retries and is being solved locally
+    /// (the other shards' accepted results are kept). Local compute *can*
+    /// crash the process, so — like [`Record::LocalFallback`] — the
+    /// crash-signature weight goes back up.
+    ShardFallback {
+        /// Job id.
+        id: u64,
+        /// Shard index being solved locally.
+        shard: u32,
+    },
     /// The job finished; the envelope is the exact response served.
     Completed {
         /// Job id.
@@ -161,6 +184,8 @@ impl Record {
             | Record::Started { id }
             | Record::RemoteAttempt { id, .. }
             | Record::LocalFallback { id }
+            | Record::ShardAttempt { id, .. }
+            | Record::ShardFallback { id, .. }
             | Record::Completed { id, .. }
             | Record::Failed { id, .. }
             | Record::Quarantined { id }
@@ -202,6 +227,17 @@ impl Record {
             Record::LocalFallback { id } => {
                 Json::obj([("t", Json::from("local_fallback")), id_field(*id)])
             }
+            Record::ShardAttempt { id, shard, worker } => Json::obj([
+                ("t", Json::from("shard_attempt")),
+                id_field(*id),
+                ("shard", Json::from(f64::from(*shard))),
+                ("worker", Json::from(worker.as_str())),
+            ]),
+            Record::ShardFallback { id, shard } => Json::obj([
+                ("t", Json::from("shard_fallback")),
+                id_field(*id),
+                ("shard", Json::from(f64::from(*shard))),
+            ]),
             Record::Completed {
                 id,
                 envelope,
@@ -260,6 +296,15 @@ impl Record {
                 worker: text("worker")?,
             }),
             "local_fallback" => Some(Record::LocalFallback { id: id()? }),
+            "shard_attempt" => Some(Record::ShardAttempt {
+                id: id()?,
+                shard: json.get("shard").and_then(Json::as_f64)? as u32,
+                worker: text("worker")?,
+            }),
+            "shard_fallback" => Some(Record::ShardFallback {
+                id: id()?,
+                shard: json.get("shard").and_then(Json::as_f64)? as u32,
+            }),
             "completed" => Some(Record::Completed {
                 id: id()?,
                 envelope: json.get("envelope")?.clone(),
@@ -653,6 +698,23 @@ impl ReplayState {
                         job.crash_weight += 1;
                     }
                 }
+                // Shard-granular dispatch mirrors the whole-job records:
+                // any live shard attempt means a crash during the window is
+                // excused (the work was in remote hands), while the first
+                // shard falling back to a local solve restores the local
+                // crash accounting.
+                Record::ShardAttempt { .. } => {
+                    if !job.remote {
+                        job.remote = true;
+                        job.crash_weight = job.crash_weight.saturating_sub(1);
+                    }
+                }
+                Record::ShardFallback { .. } => {
+                    if job.remote {
+                        job.remote = false;
+                        job.crash_weight += 1;
+                    }
+                }
                 Record::Completed {
                     envelope,
                     cacheable,
@@ -742,6 +804,12 @@ mod tests {
                 worker: "w-1".to_string(),
             },
             Record::LocalFallback { id: 4 },
+            Record::ShardAttempt {
+                id: 5,
+                shard: 2,
+                worker: "w-2".to_string(),
+            },
+            Record::ShardFallback { id: 5, shard: 2 },
             Record::CleanShutdown,
         ];
         let mut bytes = Vec::new();
@@ -850,6 +918,42 @@ mod tests {
             Record::Started { id: 9 },
         ];
         assert_eq!(ReplayState::digest(&records).jobs[&9].crash_weight, 2);
+    }
+
+    #[test]
+    fn shard_records_excuse_crash_signatures_like_whole_job_ones() {
+        let attempt = |id, shard| Record::ShardAttempt {
+            id,
+            shard,
+            worker: "w-1".to_string(),
+        };
+        // Crash while shards were in remote hands: excused, like a
+        // whole-job RemoteAttempt. Attempts on several shards excuse only
+        // the one start.
+        let records = vec![
+            submitted(11, None),
+            Record::Started { id: 11 },
+            attempt(11, 0),
+            attempt(11, 1),
+            Record::Started { id: 11 }, // restart, re-dispatched
+            attempt(11, 0),
+        ];
+        let state = ReplayState::digest(&records);
+        assert_eq!(state.jobs[&11].starts, 2);
+        assert_eq!(state.jobs[&11].crash_weight, 0);
+        assert!(state.jobs[&11].remote);
+
+        // A shard falling back to local compute restores the crash
+        // accounting for the whole job.
+        let records = vec![
+            submitted(11, None),
+            Record::Started { id: 11 },
+            attempt(11, 0),
+            Record::ShardFallback { id: 11, shard: 0 },
+        ];
+        let state = ReplayState::digest(&records);
+        assert_eq!(state.jobs[&11].crash_weight, 1);
+        assert!(!state.jobs[&11].remote);
     }
 
     #[test]

@@ -164,6 +164,10 @@ pub struct ServerState {
     pub idempotency: Mutex<HashMap<String, u64>>,
     /// The worker fleet (`None` when no `--fleet-addr` was given).
     pub fleet: Option<Arc<fleet::Fleet>>,
+    /// Resolved local worker-pool size, for the saturation-aware dispatch
+    /// gate (`--fleet-when-saturated`): remote dispatch is only preferred
+    /// when every local worker is busy or jobs are queued behind them.
+    pub pool_workers: usize,
     /// Recompute on spot-check failure instead of serving the response.
     pub strict_certificates: bool,
     /// Tail-sampled per-request traces behind `/v1/traces`.
@@ -297,6 +301,7 @@ impl Server {
             journal: journal_handle.clone(),
             idempotency: Mutex::new(HashMap::new()),
             fleet: fleet_handle,
+            pool_workers: raven::par::resolve_threads(config.workers),
             strict_certificates: config.strict_certificates,
             traces: Arc::new(trace::TraceStore::new(
                 trace::sampler_from(config.trace_slow_ms, config.trace_sample_rate),

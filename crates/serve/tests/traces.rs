@@ -380,6 +380,12 @@ fn fleet_remote_spans_stitch_into_one_trace() {
     let worker_registry = ModelRegistry::load_dir(&repo_path("models")).expect("load models dir");
     let config = ServerConfig {
         fleet_addr: Some("127.0.0.1:0".to_string()),
+        // The pool is idle here; disable saturation-aware admission so
+        // the request actually crosses the fleet wire.
+        fleet: raven_serve::fleet::FleetConfig {
+            when_saturated: false,
+            ..raven_serve::fleet::FleetConfig::default()
+        },
         ..ServerConfig::default()
     };
     let server = Server::bind(&config, registry).expect("bind fleet server");
@@ -394,6 +400,7 @@ fn fleet_remote_spans_stitch_into_one_trace() {
             registry: worker_registry,
             job_threads: 1,
             reconnect: Duration::from_millis(100),
+            cache_capacity: 64,
             once: true,
         };
         let _ = run_worker(&opts, &WORKER_STOP);
